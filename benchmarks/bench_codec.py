@@ -1,0 +1,55 @@
+"""Benchmark S5: METHCOMP codec vs gzip (the "~10x better" claim).
+
+The paper motivates METHCOMP with "about 10x better compression ratio
+than gzip" on methylation data.  This bench measures our codec's ratio
+against gzip on the synthetic methylome — and, since the codec does
+*real* work, its wall-clock throughput is a genuine benchmark (not a
+simulation artifact).
+"""
+
+import pytest
+
+from repro.experiments import format_rows, sweep_codec
+from repro.methcomp import MethylomeGenerator, serialize_records
+from repro.methcomp.codec import compress, decompress, gzip_compress
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return serialize_records(MethylomeGenerator(seed=2021).records(60_000))
+
+
+def test_codec_ratio_table(benchmark, record_result):
+    rows = benchmark.pedantic(
+        lambda: sweep_codec(record_counts=(10_000, 50_000, 150_000)),
+        rounds=1,
+        iterations=1,
+    )
+    headers = list(rows[0].keys())
+    record_result(
+        "s5_codec_ratio",
+        format_rows(headers, [[row[h] for h in headers] for row in rows],
+                    title="S5: METHCOMP-style codec vs gzip"),
+    )
+    for row in rows:
+        # Several-fold better than gzip at every size (paper: ~10x on
+        # real ENCODE data; synthetic data has a higher entropy floor —
+        # see EXPERIMENTS.md).
+        assert row["methcomp_vs_gzip"] > 4.0
+        assert row["methcomp_ratio"] > 15.0
+
+
+def test_codec_encode_throughput(benchmark, corpus):
+    compressed = benchmark(compress, corpus)
+    assert len(compressed) < len(corpus) / 10
+
+
+def test_codec_decode_throughput(benchmark, corpus):
+    compressed = compress(corpus)
+    restored = benchmark(decompress, compressed)
+    assert restored == corpus
+
+
+def test_gzip_baseline_throughput(benchmark, corpus):
+    compressed = benchmark(gzip_compress, corpus)
+    assert len(compressed) < len(corpus)

@@ -1,0 +1,63 @@
+"""Benchmark S9: fault injection overhead and straggler mitigation.
+
+Serverless fan-outs self-heal by re-invoking crashed calls and by
+launching backup tasks for stragglers.  Both mechanisms trade extra
+invocations (dollars) for reliability and tail latency; these rows
+quantify that trade on the simulated platform.
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.experiments import format_rows
+from repro.experiments.sweeps import sweep_fault_rate, sweep_speculation
+
+
+def test_fault_rate_overhead(benchmark, record_result, bench_scale):
+    config = ExperimentConfig(logical_scale=bench_scale)
+    rows = benchmark.pedantic(
+        lambda: sweep_fault_rate(config),
+        rounds=1,
+        iterations=1,
+    )
+    headers = list(rows[0].keys())
+    record_result(
+        "s9_fault_rate",
+        format_rows(headers, [[row[h] for h in headers] for row in rows],
+                    title="S9a: map-job overhead vs injected crash rate"),
+    )
+
+    by_rate = {row["crash_probability"]: row for row in rows}
+    baseline = by_rate[0.0]
+    worst = by_rate[max(by_rate)]
+    # Failures must cost something, and healing must stay lossless
+    # (asserted inside the sweep itself).
+    assert worst["latency_s"] > baseline["latency_s"]
+    assert worst["cost_usd"] > baseline["cost_usd"]
+    assert worst["crashes"] > 0
+    assert baseline["crashes"] == 0
+    # Every crash triggered exactly one replacement invocation.
+    assert worst["invocations"] == 32 + worst["crashes"]
+
+
+def test_speculation_ablation(benchmark, record_result, bench_scale):
+    config = ExperimentConfig(logical_scale=bench_scale)
+    rows = benchmark.pedantic(
+        lambda: sweep_speculation(config),
+        rounds=1,
+        iterations=1,
+    )
+    headers = list(rows[0].keys())
+    record_result(
+        "s9_speculation",
+        format_rows(headers, [[row[h] for h in headers] for row in rows],
+                    title="S9b: straggler mitigation under heavy-tailed "
+                          "cold starts"),
+    )
+
+    by_label = {row["speculation"]: row for row in rows}
+    # Backups fire, and the job does not get slower for having them.
+    assert by_label["on"]["backup_tasks"] > 0
+    assert by_label["on"]["latency_s"] <= by_label["off"]["latency_s"] * 1.01
+    # The mitigation is paid for in duplicate invocations.
+    assert by_label["on"]["invocations"] > by_label["off"]["invocations"]

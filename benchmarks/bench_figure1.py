@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the paper's Figure 1 (architecture diagram).
+
+Figure 1 shows the two incarnations of the genomics compression
+pipeline.  The reproduction renders the *executable* DAGs — the same
+objects the experiment runs — as annotated ASCII.
+"""
+
+from repro.core import ExperimentConfig
+from repro.experiments import render_figure1
+
+
+def test_figure1_regeneration(benchmark, record_result):
+    art = benchmark(render_figure1, ExperimentConfig())
+    record_result("figure1", art)
+
+    # Both incarnations present, with the right substrates.
+    assert "(A) VM-supported (hybrid)" in art
+    assert "(B) Purely serverless" in art
+    assert "vm_sort" in art and "virtual machine" in art
+    assert "shuffle_sort" in art and "cloud functions" in art
+    assert art.count("methcomp_encode") == 2
+    assert "object storage" in art

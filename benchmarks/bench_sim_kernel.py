@@ -1,0 +1,88 @@
+"""Microbenchmarks of the simulation kernel itself.
+
+Not a paper artifact — these quantify the substrate's own performance
+(events/second, resource churn, link re-rating), which bounds how big an
+experiment the harness can regenerate in reasonable wall-clock time.
+"""
+
+from repro.sim import FairShareLink, Resource, Simulator, TokenBucket
+
+
+def test_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator(seed=1)
+        for _ in range(10_000):
+            sim.timeout(1.0)
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_events) == 1.0
+
+
+def test_process_switch_throughput(benchmark):
+    def run_processes():
+        sim = Simulator(seed=1)
+
+        def worker():
+            for _ in range(100):
+                yield sim.timeout(1.0)
+
+        for _ in range(100):
+            sim.process(worker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_processes) == 100.0
+
+
+def test_token_bucket_throughput(benchmark):
+    def run_bucket():
+        sim = Simulator(seed=1)
+        bucket = TokenBucket(sim, rate=1000.0, capacity=100.0)
+
+        def consumer():
+            for _ in range(2_000):
+                yield bucket.consume(1.0)
+
+        sim.process(consumer())
+        sim.run()
+        return sim.now
+
+    benchmark(run_bucket)
+
+
+def test_resource_contention_throughput(benchmark):
+    def run_resource():
+        sim = Simulator(seed=1)
+        resource = Resource(sim, capacity=4)
+
+        def worker():
+            for _ in range(50):
+                yield resource.acquire()
+                yield sim.timeout(0.01)
+                resource.release()
+
+        for _ in range(40):
+            sim.process(worker())
+        sim.run()
+        return sim.now
+
+    benchmark(run_resource)
+
+
+def test_fair_link_rerating_throughput(benchmark):
+    def run_link():
+        sim = Simulator(seed=1)
+        link = FairShareLink(sim, capacity=1e9)
+
+        def sender(delay):
+            yield sim.timeout(delay)
+            yield link.transfer(1e6)
+
+        for index in range(200):
+            sim.process(sender(index * 0.001))
+        sim.run()
+        return link.bytes_delivered
+
+    delivered = benchmark(run_link)
+    assert abs(delivered - 200 * 1e6) < 1.0  # fluid model: float tolerance

@@ -1,0 +1,37 @@
+"""Benchmark S2: data-size scaling of both configurations.
+
+The VM-supported pipeline pays a ~constant provisioning penalty, so the
+serverless advantage should *shrink in relative terms but persist* as
+data grows at fixed parallelism — and at small sizes the VM variant is
+hopeless.  This sweep documents where the crossover would sit (if any).
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.experiments import format_rows, sweep_size
+
+SIZES_GB = (0.5, 1.0, 2.0, 3.5, 7.0)
+
+
+def test_size_sweep(benchmark, record_result, bench_scale):
+    config = ExperimentConfig(logical_scale=bench_scale)
+    rows = benchmark.pedantic(
+        lambda: sweep_size(config, sizes_gb=SIZES_GB), rounds=1, iterations=1
+    )
+    headers = list(rows[0].keys())
+    record_result(
+        "s2_size_sweep",
+        format_rows(headers, [[row[h] for h in headers] for row in rows],
+                    title="S2: latency vs input size (parallelism 8)"),
+    )
+
+    # Serverless wins at every size in this range.
+    assert all(row["speedup"] > 1.0 for row in rows)
+    # The relative gap narrows as size grows (fixed boot amortizes).
+    assert rows[0]["speedup"] > rows[-1]["speedup"]
+    # Latency grows monotonically with size for both variants.
+    serverless = [row["serverless_latency_s"] for row in rows]
+    vm = [row["vm_latency_s"] for row in rows]
+    assert serverless == sorted(serverless)
+    assert vm == sorted(vm)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (or
+a supporting ablation).  Since pytest captures stdout, each bench also
+writes its regenerated table to ``benchmarks/results/<name>.txt`` so the
+artifacts survive a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """``record_result(name, text)`` — print and persist an artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Logical-to-real scale used by the simulation-heavy benchmarks.
+
+    1024 keeps real data at ~3.4 MB for the 3.5 GB experiments: heavy
+    enough to exercise every real code path, light enough for CI.
+    """
+    return 1024.0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""On-the-fly shuffle tuning: probe the region, then plan.
+
+Primula picks the number of shuffle functions "on the fly".  This
+example shows why that beats static calibration: the same planner runs
+on (a) last month's calibration constants and (b) the numbers a single
+probe function just measured — on a region whose NICs are silently
+throttled to 8 MB/s.
+
+Run: ``python examples/autotune_probe.py``
+"""
+
+from repro.cloud import Cloud
+from repro.core import ExperimentConfig
+from repro.core.experiment import stage_input
+from repro.executor import FunctionExecutor
+from repro.shuffle.adaptive import OnlineTuner
+from repro.shuffle.planner import plan_shuffle
+from repro.sim import Simulator
+
+CANDIDATES = (4, 8, 16, 32, 64, 128)
+
+
+def main() -> None:
+    config = ExperimentConfig(logical_scale=1024.0)
+
+    # The region everyone *thinks* they are on...
+    static_plan = plan_shuffle(
+        config.logical_bytes,
+        config.make_profile(),
+        config.workload.shuffle_cost_model(),
+        candidates=CANDIDATES,
+    )
+    print(f"static calibration picks:  {static_plan.workers:>4} workers "
+          f"(predicts {static_plan.predicted_s:.1f} s)")
+
+    # ...and the region they are actually on: NICs throttled to 8 MB/s.
+    profile = config.make_profile()
+    profile.faas.instance_bandwidth = 8e6
+    cloud = Cloud(Simulator(seed=7), profile)
+    stage_input(cloud, config, "pipeline", "input/methylome.bed")
+    executor = FunctionExecutor(cloud, bucket="pipeline")
+    tuner = OnlineTuner(executor)
+
+    def driver():
+        return (
+            yield tuner.tune(
+                "pipeline",
+                config.logical_bytes,
+                config.workload.shuffle_cost_model(),
+                candidates=CANDIDATES,
+            )
+        )
+
+    report, tuned_plan = cloud.sim.run_process(driver())
+    print(f"probe measured:            {report.describe()}")
+    print(f"online tuner picks:        {tuned_plan.workers:>4} workers "
+          f"(predicts {tuned_plan.predicted_s:.1f} s)")
+    print()
+    if tuned_plan.workers > static_plan.workers:
+        print("With less bandwidth per function, the tuner spreads the "
+              "shuffle over more functions —")
+        print("exploiting the object store's aggregate bandwidth, exactly "
+              "the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

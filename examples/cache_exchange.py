@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Three-way data exchange: object storage vs VM vs in-memory cache.
+
+The paper compares two ways to run the METHCOMP sort stage (through
+object storage with many functions, or inside one big VM) and *mentions*
+a third — "alternatives such as AWS ElastiCache".  This example runs all
+three on the same synthetic 3.5 GB methylome and prints the paper-style
+latency/cost table, plus the per-stage breakdown of the cache variant.
+
+What to look for in the output:
+
+* the cache-supported sort is the fastest of the three — sub-millisecond
+  batched requests absorb the all-to-all traffic;
+* it is also the most expensive — the cache cluster bills node-seconds
+  whether or not requests flow;
+* object storage stays the "comfortable" default: nearly as fast here,
+  cheapest, and with nothing to provision or size.
+
+Run: ``python examples/cache_exchange.py``
+"""
+
+from repro.core import ExperimentConfig, run_exchange_comparison
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        logical_scale=1024.0,  # simulate 3.5 GB with ~3.4 MB of real data
+        parallelism=8,
+    )
+    result = run_exchange_comparison(config)
+    print(result.to_table())
+
+    print()
+    print("Cache-supported pipeline, stage by stage:")
+    print(result.cache.workflow.tracker.render())
+
+    sort_artifact = result.cache.workflow.artifacts["sort"]
+    print()
+    print(
+        f"cache cluster: {sort_artifact['cache_nodes']} x "
+        f"{sort_artifact['cache_node_type']}, peak fill "
+        f"{sort_artifact['cache_peak_fill']:.1%}"
+    )
+
+    print()
+    print("Itemized bill of the cache run:")
+    print(result.cache.cloud.meter.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fault tolerance in serverless fan-outs: retries and backup tasks.
+
+Two mechanisms keep a wide map job healthy on a flaky platform:
+
+* **crash retries** — the executor re-invokes calls the platform killed
+  (Lithops does the same); the job completes losslessly, at a cost;
+* **speculative execution** — once most calls finish, stragglers get a
+  backup attempt; whichever finishes first wins, cutting tail latency.
+
+This example injects crashes and heavy-tailed cold starts, then prints
+the latency/cost of each mitigation combination.
+
+Run: ``python examples/fault_tolerance.py``
+"""
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.executor import FunctionExecutor, SpeculationPolicy
+
+
+def crunch(x):
+    """The map payload; its runtime comes from the cpu model below."""
+    return x * x
+
+
+def run_job(crash_probability: float, speculation: SpeculationPolicy | None):
+    profile = ibm_us_east()
+    profile.faas.cold_start.mean = 1.5
+    profile.faas.cold_start.sigma = 1.4  # occasional pathological cold start
+    cloud = Cloud.fresh(seed=11, profile=profile)
+    cloud.faas.crash_probability = crash_probability
+    cloud.faas.crash_latest_s = 6.0
+    executor = FunctionExecutor(cloud, speculation=speculation)
+
+    def driver():
+        futures = yield executor.map(
+            crunch, list(range(48)), cpu_model=lambda _x: 5.0
+        )
+        return (yield executor.get_result(futures))
+
+    results = cloud.sim.run_process(driver())
+    assert results == [x * x for x in range(48)], "lost results!"
+    return {
+        "latency_s": cloud.sim.now,
+        "cost_usd": cloud.meter.total_usd,
+        "crashes": cloud.faas.stats.crashes,
+        "backup_tasks": executor.speculative_launches,
+    }
+
+
+def main() -> None:
+    policy = SpeculationPolicy(quantile=0.7, latency_multiplier=1.3)
+    configurations = [
+        ("healthy, no speculation", 0.0, None),
+        ("healthy, speculation", 0.0, policy),
+        ("crashy (p=0.2), no speculation", 0.2, None),
+        ("crashy (p=0.2), speculation", 0.2, policy),
+    ]
+    print(f"{'configuration':<34} {'latency':>9} {'cost':>9} "
+          f"{'crashes':>8} {'backups':>8}")
+    print("-" * 74)
+    for label, crash_probability, speculation in configurations:
+        row = run_job(crash_probability, speculation)
+        print(
+            f"{label:<34} {row['latency_s']:>8.2f}s "
+            f"${row['cost_usd']:>7.5f} {row['crashes']:>8} "
+            f"{row['backup_tasks']:>8}"
+        )
+    print()
+    print("All 48 results verified correct in every configuration —")
+    print("failures cost time and money, never data.")
+
+
+if __name__ == "__main__":
+    main()

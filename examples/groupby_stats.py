@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Serverless GroupBy: per-chromosome methylation statistics.
+
+The paper names "GroupBy and OrderBy" as the all-to-all stages that make
+or break serverless workflows.  This example runs a GroupBy over the
+synthetic methylome entirely through object storage: records are
+range-partitioned by chromosome across functions, and each reducer
+computes per-chromosome aggregate statistics.
+
+Run: ``python examples/groupby_stats.py``
+"""
+
+from repro.cloud import Cloud
+from repro.executor import FunctionExecutor
+from repro.methcomp import MethylomeGenerator, serialize_records
+from repro.shuffle import LineRecordCodec, ShuffleGroupBy
+
+
+def chrom_key(line: bytes) -> bytes:
+    """Grouping key: the chromosome column."""
+    return line.split(b"\t", 1)[0]
+
+
+def methylation_stats(chrom: bytes, records: list[bytes]) -> list[bytes]:
+    """Aggregate one chromosome: site count, mean coverage, mean pct."""
+    coverages = []
+    percents = []
+    for line in records:
+        fields = line.rstrip(b"\n").split(b"\t")
+        coverages.append(int(fields[9]))
+        percents.append(int(fields[10]))
+    summary = (
+        f"{chrom.decode()}\tsites={len(records)}\t"
+        f"mean_coverage={sum(coverages) / len(coverages):.1f}\t"
+        f"mean_pct_meth={sum(percents) / len(percents):.1f}\n"
+    )
+    return [summary.encode()]
+
+
+def main() -> None:
+    cloud = Cloud.fresh(seed=9)
+    cloud.store.ensure_bucket("data")
+    payload = serialize_records(MethylomeGenerator(seed=9).shuffled_records(30_000))
+
+    executor = FunctionExecutor(cloud)
+    operator = ShuffleGroupBy(executor, LineRecordCodec(chrom_key), chrom_key)
+
+    def driver():
+        yield cloud.store.put("data", "methylome.bed", payload)
+        return (
+            yield operator.group_by(
+                "data", "methylome.bed", methylation_stats, workers=6
+            )
+        )
+
+    result = cloud.sim.run_process(driver())
+    print(
+        f"grouped {result.records_in:,} records into {result.total_groups} "
+        f"chromosomes with {result.workers} functions "
+        f"in {result.duration_s:.2f} virtual seconds\n"
+    )
+    for out in result.outputs:
+        body = cloud.store.peek("data", out["output_key"])
+        for line in body.decode().splitlines():
+            print("  " + line)
+    print(f"\ntotal cost: ${cloud.meter.total_usd:.6f}")
+
+
+if __name__ == "__main__":
+    main()

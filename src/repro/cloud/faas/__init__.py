@@ -1,0 +1,24 @@
+"""Simulated serverless functions platform (IBM Cloud Functions-like)."""
+
+from repro.cloud.faas.context import FunctionContext
+from repro.cloud.faas.errors import (
+    FunctionAlreadyRegistered,
+    FunctionCrashed,
+    FunctionNotFound,
+    FunctionTimeout,
+    InvalidFunctionConfig,
+)
+from repro.cloud.faas.platform import FaasPlatform, FaasStats, FunctionDef, Handler
+
+__all__ = [
+    "FaasPlatform",
+    "FaasStats",
+    "FunctionAlreadyRegistered",
+    "FunctionContext",
+    "FunctionCrashed",
+    "FunctionDef",
+    "FunctionNotFound",
+    "FunctionTimeout",
+    "Handler",
+    "InvalidFunctionConfig",
+]

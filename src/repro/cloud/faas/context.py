@@ -1,0 +1,101 @@
+"""Execution context handed to serverless function handlers.
+
+Handlers are generator functions with the signature::
+
+    def handler(ctx: FunctionContext, payload):
+        data = yield ctx.storage.get("bucket", "key")
+        yield ctx.compute(cpu_seconds_for(data))
+        yield ctx.storage.put("bucket", "out", result)
+        return summary
+
+Everything a handler may legitimately touch goes through the context:
+storage (bandwidth-bounded by the instance NIC), modeled compute time
+(scaled by the memory-proportional CPU share), sleeps, and the RNG.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cloud.retry import RetryPolicy
+from repro.cloud.storageview import BoundStorage
+from repro.sim import SimEvent, Simulator
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.faas.platform import FaasPlatform
+
+
+class FunctionContext:
+    """Per-invocation view of the platform for a running handler."""
+
+    def __init__(
+        self,
+        platform: "FaasPlatform",
+        function_name: str,
+        memory_mb: int,
+        activation_id: str,
+    ):
+        self._platform = platform
+        self.function_name = function_name
+        self.memory_mb = memory_mb
+        self.activation_id = activation_id
+        self.sim: Simulator = platform.sim
+        #: Storage client bounded by the function instance's NIC; retries
+        #: transient 5xx-style failures like the real worker SDK does.
+        self.storage = BoundStorage(
+            platform.store,
+            platform.profile.instance_bandwidth,
+            retry=RetryPolicy(),
+            name=f"{function_name}.{activation_id}.storage",
+        )
+        #: Fraction of a full vCPU this memory size buys.
+        self.cpu_share = min(
+            1.0, memory_mb / platform.profile.cpu_full_share_mb
+        )
+        #: Mirrors ``CloudProfile.logical_scale`` for workload cost models.
+        self.logical_scale = platform.logical_scale
+
+    # ------------------------------------------------------------------
+    # effects for handlers to yield
+    # ------------------------------------------------------------------
+    def compute(self, cpu_seconds: float) -> SimEvent:
+        """Charge ``cpu_seconds`` of single-core work at this instance's share.
+
+        A handler that needs 2 s of full-core CPU on a half-share
+        (1024 MB) instance waits 4 s of virtual time.
+        """
+        return self.sim.timeout(max(0.0, cpu_seconds) / self.cpu_share)
+
+    def compute_bytes(self, real_bytes: float, throughput_bps: float) -> SimEvent:
+        """Charge CPU for processing ``real_bytes`` of *real* data.
+
+        The logical scale is applied here, so workload code can pass real
+        buffer lengths and a full-core throughput in bytes/second.
+        """
+        cpu_seconds = (real_bytes * self.logical_scale) / throughput_bps
+        return self.compute(cpu_seconds)
+
+    def sleep(self, seconds: float) -> SimEvent:
+        """Plain virtual-time sleep (not CPU-scaled)."""
+        return self.sim.timeout(seconds)
+
+    def rng(self, name: str):
+        """Named deterministic RNG stream scoped to this function."""
+        return self.sim.rng.stream(f"fn:{self.function_name}:{name}")
+
+    def kv(self, cluster_id: str):
+        """Cache client for ``cluster_id``, bounded by this instance's NIC.
+
+        Worker payloads carry cluster *ids* (plain strings survive
+        pickling); the handler resolves them here.  Raises
+        :class:`~repro.errors.FaasError` when the region has no cache
+        service attached.
+        """
+        if self._platform.memstore is None:
+            from repro.errors import FaasError
+
+            raise FaasError("this region has no memstore service attached")
+        cluster = self._platform.memstore.cluster(cluster_id)
+        return cluster.client(
+            connection_bandwidth=self._platform.profile.instance_bandwidth
+        )

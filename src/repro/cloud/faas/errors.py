@@ -1,0 +1,42 @@
+"""FaaS platform error types."""
+
+from __future__ import annotations
+
+from repro.errors import FaasError
+
+
+class FunctionNotFound(FaasError):
+    """Invocation of a function name that was never registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function not registered: {name!r}")
+        self.name = name
+
+
+class FunctionAlreadyRegistered(FaasError):
+    """A function name was registered twice."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function already registered: {name!r}")
+        self.name = name
+
+
+class FunctionTimeout(FaasError):
+    """The function exceeded its configured timeout and was killed."""
+
+    def __init__(self, name: str, timeout_s: float):
+        super().__init__(f"function {name!r} timed out after {timeout_s:.1f}s")
+        self.name = name
+        self.timeout_s = timeout_s
+
+
+class FunctionCrashed(FaasError):
+    """The platform killed the invocation (injected infrastructure failure)."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function {name!r} crashed (infrastructure failure)")
+        self.name = name
+
+
+class InvalidFunctionConfig(FaasError):
+    """A function was registered with nonsensical resources."""

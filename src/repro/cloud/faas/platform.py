@@ -1,0 +1,290 @@
+"""The simulated serverless functions platform (IBM Cloud Functions-like).
+
+Models the pieces that matter for the paper's end-to-end numbers:
+
+* **cold vs warm starts** — per-function warm container pools with a
+  keep-alive window; a burst of N parallel invocations on a cold
+  function pays N cold starts (exactly the "startup times" included in
+  the paper's latencies);
+* **account concurrency** — a region-wide cap on concurrently running
+  activations;
+* **memory-proportional CPU** — a 1024 MB function gets half the CPU of
+  a 2048 MB one, scaling every ``ctx.compute`` charge;
+* **GB-second billing** — duration rounded up to the billing
+  granularity, times allocated memory.
+
+Handlers run as simulation processes and may perform storage I/O through
+their :class:`~repro.cloud.faas.context.FunctionContext`.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import itertools
+import typing as t
+
+from repro.cloud.billing import CostMeter
+from repro.cloud.faas.context import FunctionContext
+from repro.cloud.faas.errors import (
+    FunctionAlreadyRegistered,
+    FunctionCrashed,
+    FunctionNotFound,
+    FunctionTimeout,
+    InvalidFunctionConfig,
+)
+from repro.cloud.objectstore.service import ObjectStore
+from repro.cloud.profiles import FaasProfile
+from repro.sim import Resource, SimEvent, Simulator
+
+#: Handler signature: generator function taking (ctx, payload).
+Handler = t.Callable[[FunctionContext, t.Any], t.Generator]
+
+
+@dataclasses.dataclass(slots=True)
+class FunctionDef:
+    """A registered function."""
+
+    name: str
+    handler: Handler
+    memory_mb: int
+    timeout_s: float
+
+
+class FaasStats:
+    """Platform counters for reports and tests."""
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.completions = 0
+        self.cold_starts = 0
+        self.warm_starts = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.errors = 0
+        self.billed_gb_seconds = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(vars(self))
+
+
+class FaasPlatform:
+    """Control plane + runtime for simulated serverless functions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: FaasProfile,
+        store: ObjectStore,
+        meter: CostMeter,
+        logical_scale: float = 1.0,
+        name: str = "faas",
+        memstore=None,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.store = store
+        self.meter = meter
+        self.logical_scale = logical_scale
+        self.name = name
+        #: Optional cache service for function-side key-value exchange
+        #: (set by :class:`~repro.cloud.environment.Cloud`).
+        self.memstore = memstore
+        self._functions: dict[str, FunctionDef] = {}
+        self._concurrency = Resource(
+            sim, capacity=profile.account_concurrency, name=f"{name}.concurrency"
+        )
+        # Warm containers per function: deque of expiry timestamps.
+        self._warm_pools: dict[str, collections.deque[float]] = {}
+        self._activation_ids = itertools.count(1)
+        self._rng = sim.rng.stream(f"{name}.lifecycle")
+        self._fault_rng = sim.rng.stream(f"{name}.faults")
+        #: Probability that an invocation crashes mid-flight (failure
+        #: injection for retry tests); 0 by default.
+        self.crash_probability = 0.0
+        #: When an activation is selected to crash, the kill fires at
+        #: uniform(0, crash_latest_s) after execution starts.  Note the
+        #: kill only materializes if the body has not finished by then.
+        self.crash_latest_s = 5.0
+        self.stats = FaasStats()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        handler: Handler,
+        memory_mb: int = 2048,
+        timeout_s: float | None = None,
+    ) -> FunctionDef:
+        """Register ``handler`` under ``name`` with the given resources."""
+        if name in self._functions:
+            raise FunctionAlreadyRegistered(name)
+        if memory_mb < 128 or memory_mb > 8192:
+            raise InvalidFunctionConfig(
+                f"memory_mb must be in [128, 8192], got {memory_mb}"
+            )
+        definition = FunctionDef(
+            name=name,
+            handler=handler,
+            memory_mb=memory_mb,
+            timeout_s=timeout_s if timeout_s is not None else self.profile.default_timeout_s,
+        )
+        self._functions[name] = definition
+        self._warm_pools[name] = collections.deque()
+        return definition
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._functions
+
+    def function(self, name: str) -> FunctionDef:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise FunctionNotFound(name) from None
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def invoke(self, name: str, payload: object = None) -> SimEvent:
+        """Asynchronously invoke ``name``; the event carries the result.
+
+        The event fails with the handler's exception, with
+        :class:`FunctionTimeout`, or with :class:`FunctionCrashed`.
+        """
+        definition = self.function(name)
+        activation_id = f"act-{next(self._activation_ids)}"
+        process = self.sim.process(
+            self._activation(definition, payload, activation_id),
+            name=f"{self.name}.{name}.{activation_id}",
+        )
+        return process.completion
+
+    def _activation(
+        self, definition: FunctionDef, payload: object, activation_id: str
+    ) -> t.Generator:
+        self.stats.invocations += 1
+        yield self.sim.timeout(self.profile.invoke_overhead.sample(self._rng))
+        yield self._concurrency.acquire()
+        try:
+            started_cold = self._acquire_container(definition.name)
+            if started_cold:
+                self.stats.cold_starts += 1
+                startup = self.profile.cold_start.sample(self._rng)
+            else:
+                self.stats.warm_starts += 1
+                startup = self.profile.warm_start.sample(self._rng)
+            self.sim.timeline.record(
+                self.sim.now,
+                "faas",
+                "cold_start" if started_cold else "warm_start",
+                function=definition.name,
+                activation=activation_id,
+            )
+            yield self.sim.timeout(startup)
+
+            execution_start = self.sim.now
+            self.sim.timeline.record(
+                self.sim.now,
+                "faas",
+                "activation_start",
+                function=definition.name,
+                activation=activation_id,
+                cold=started_cold,
+            )
+            context = FunctionContext(
+                self, definition.name, definition.memory_mb, activation_id
+            )
+            body = self.sim.process(
+                definition.handler(context, payload),
+                name=f"{definition.name}.body.{activation_id}",
+            )
+            crash_delay = self._maybe_crash_delay(definition)
+            try:
+                result = yield from self._race_body(definition, body, crash_delay)
+            finally:
+                self._bill(definition, execution_start)
+                self._release_container(definition.name)
+                self.sim.timeline.record(
+                    self.sim.now,
+                    "faas",
+                    "activation_end",
+                    function=definition.name,
+                    activation=activation_id,
+                    started=execution_start,
+                )
+            self.stats.completions += 1
+            return result
+        finally:
+            self._concurrency.release()
+
+    def _maybe_crash_delay(self, definition: FunctionDef) -> float | None:
+        """If fault injection decides this activation dies, pick when."""
+        if self.crash_probability <= 0.0:
+            return None
+        if self._fault_rng.random() >= self.crash_probability:
+            return None
+        window = min(self.crash_latest_s, definition.timeout_s)
+        return self._fault_rng.uniform(0.0, window)
+
+    def _race_body(
+        self, definition: FunctionDef, body, crash_delay: float | None
+    ) -> t.Generator:
+        """Wait for the handler, its timeout, or an injected crash."""
+        contenders: list[SimEvent] = [body.completion]
+        timeout_event = self.sim.timeout(definition.timeout_s)
+        contenders.append(timeout_event)
+        if crash_delay is not None:
+            contenders.append(self.sim.timeout(crash_delay, value="crash"))
+        winner_index, value = yield self.sim.any_of(contenders)
+        if winner_index == 0:
+            return value
+        body.interrupt(cause="killed by platform")
+        if winner_index == 1:
+            self.stats.timeouts += 1
+            raise FunctionTimeout(definition.name, definition.timeout_s)
+        self.stats.crashes += 1
+        raise FunctionCrashed(definition.name)
+
+    # ------------------------------------------------------------------
+    # containers
+    # ------------------------------------------------------------------
+    def _acquire_container(self, name: str) -> bool:
+        """Take a warm container if one is alive; return True if cold."""
+        pool = self._warm_pools[name]
+        now = self.sim.now
+        while pool:
+            expires_at = pool.popleft()
+            if expires_at >= now:
+                return False  # warm
+        return True  # cold
+
+    def _release_container(self, name: str) -> None:
+        self._warm_pools[name].append(self.sim.now + self.profile.keep_alive_s)
+
+    def warm_container_count(self, name: str) -> int:
+        """Live warm containers for ``name`` (expired ones excluded)."""
+        now = self.sim.now
+        return sum(1 for expiry in self._warm_pools[name] if expiry >= now)
+
+    # ------------------------------------------------------------------
+    # billing
+    # ------------------------------------------------------------------
+    def _bill(self, definition: FunctionDef, execution_start: float) -> None:
+        duration = self.sim.now - execution_start
+        granularity = self.profile.billing_granularity_s
+        billed_duration = max(
+            granularity,
+            ((duration + granularity - 1e-12) // granularity) * granularity,
+        )
+        gb_seconds = billed_duration * (definition.memory_mb / 1024.0)
+        self.stats.billed_gb_seconds += gb_seconds
+        self.meter.charge(
+            self.sim.now,
+            "faas",
+            "gb_second",
+            gb_seconds,
+            gb_seconds * self.profile.gb_second_usd,
+            function=definition.name,
+        )

@@ -1,0 +1,34 @@
+"""Simulated in-memory key-value store (AWS ElastiCache-like).
+
+The third data-exchange substrate of the comparison: sub-millisecond
+requests and ~100 k ops/s per node, but provisioned capacity billed by
+the node-hour — the alternative the paper names when discussing object
+storage's latency and throughput limits.
+"""
+
+from repro.cloud.memstore.errors import (
+    CacheKeyMissing,
+    CacheOutOfMemory,
+    ClusterAlreadyTerminated,
+    ClusterNotRunning,
+    MemStoreError,
+    UnknownCacheNodeType,
+    UnknownCluster,
+)
+from repro.cloud.memstore.node import CacheNode, CacheNodeStats
+from repro.cloud.memstore.service import CacheClient, MemStoreCluster, MemStoreService
+
+__all__ = [
+    "CacheClient",
+    "CacheKeyMissing",
+    "CacheNode",
+    "CacheNodeStats",
+    "CacheOutOfMemory",
+    "ClusterAlreadyTerminated",
+    "ClusterNotRunning",
+    "MemStoreCluster",
+    "MemStoreError",
+    "MemStoreService",
+    "UnknownCacheNodeType",
+    "UnknownCluster",
+]

@@ -1,0 +1,26 @@
+"""Simulated object storage service (IBM COS-like)."""
+
+from repro.cloud.objectstore.blobs import MultipartUpload, ObjectMetadata, StoredObject
+from repro.cloud.objectstore.errors import (
+    BucketAlreadyExists,
+    InvalidRange,
+    MultipartError,
+    NoSuchBucket,
+    NoSuchKey,
+    SlowDown,
+)
+from repro.cloud.objectstore.service import ObjectStore, OpStats
+
+__all__ = [
+    "BucketAlreadyExists",
+    "InvalidRange",
+    "MultipartError",
+    "MultipartUpload",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "ObjectMetadata",
+    "ObjectStore",
+    "OpStats",
+    "SlowDown",
+    "StoredObject",
+]

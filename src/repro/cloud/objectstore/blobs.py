@@ -1,0 +1,48 @@
+"""Stored-object model for the simulated object store."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ObjectMetadata:
+    """What ``HEAD`` returns: identity and sizes, but no payload.
+
+    ``logical_size`` is the size the performance/billing model uses; it
+    differs from ``size`` (the real payload length) when the experiment
+    runs scaled-down data (see ``CloudProfile.logical_scale``).
+    """
+
+    bucket: str
+    key: str
+    size: int
+    logical_size: float
+    etag: str
+    created_at: float
+
+
+@dataclasses.dataclass(slots=True)
+class StoredObject:
+    """Payload plus metadata, as held by the store."""
+
+    data: bytes
+    meta: ObjectMetadata
+
+
+def compute_etag(data: bytes) -> str:
+    """Deterministic content hash used as the object ETag."""
+    return hashlib.md5(data).hexdigest()  # noqa: S324 - identity, not security
+
+
+@dataclasses.dataclass(slots=True)
+class MultipartUpload:
+    """In-progress multipart upload state."""
+
+    bucket: str
+    key: str
+    upload_id: str
+    parts: dict[int, bytes] = dataclasses.field(default_factory=dict)
+    part_logical: dict[int, float] = dataclasses.field(default_factory=dict)
+    completed: bool = False

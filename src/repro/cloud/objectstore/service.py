@@ -1,0 +1,468 @@
+"""The simulated object storage service (IBM COS-like).
+
+The model captures the three characteristics the paper's argument rests
+on:
+
+1. **limited request throughput** — an account-level token bucket caps
+   sustained requests/s ("IBM COS only supports a few thousand
+   operations/s"); when the backlog exceeds a threshold the service
+   fails requests with :class:`SlowDown`, like the real thing;
+2. **large aggregate bandwidth** — all transfers share one max-min
+   fair :class:`~repro.sim.links.FairShareLink` whose capacity is far
+   above any single connection ("the huge aggregated bandwidth offered
+   by object stores");
+3. **per-connection bandwidth caps and per-request latency** — each
+   GET/PUT pays a first-byte latency and streams at a bounded
+   per-connection rate, so few large readers cannot saturate the
+   aggregate pipe.
+
+All operations return :class:`~repro.sim.events.SimEvent`s; callers are
+simulation processes that ``yield`` them.
+
+Real payload bytes are stored verbatim; ``logical_scale`` only affects
+*timing and volume billing*, so scaled-down experiments still move real
+data through real code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+
+from repro.cloud.billing import CostMeter
+from repro.cloud.objectstore.blobs import (
+    MultipartUpload,
+    ObjectMetadata,
+    StoredObject,
+    compute_etag,
+)
+from repro.cloud.objectstore.errors import (
+    BucketAlreadyExists,
+    InternalError,
+    InvalidRange,
+    MultipartError,
+    NoSuchBucket,
+    NoSuchKey,
+    SlowDown,
+)
+from repro.cloud.profiles import GB, ObjectStoreProfile
+from repro.sim import FairShareLink, SimEvent, Simulator, TokenBucket
+
+
+class OpStats:
+    """Operation counters exposed for planners, reports and tests."""
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.heads = 0
+        self.lists = 0
+        self.deletes = 0
+        self.slowdowns = 0
+        self.internal_errors = 0
+        self.bytes_in = 0.0  # logical bytes written
+        self.bytes_out = 0.0  # logical bytes read
+
+    @property
+    def total_requests(self) -> int:
+        return self.puts + self.gets + self.heads + self.lists + self.deletes
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "heads": self.heads,
+            "lists": self.lists,
+            "deletes": self.deletes,
+            "slowdowns": self.slowdowns,
+            "internal_errors": self.internal_errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
+
+class ObjectStore:
+    """Simulated object storage with COS-like performance and pricing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: ObjectStoreProfile,
+        meter: CostMeter,
+        logical_scale: float = 1.0,
+        name: str = "cos",
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.meter = meter
+        self.logical_scale = logical_scale
+        self.name = name
+        self._buckets: dict[str, dict[str, StoredObject]] = {}
+        self._ops = TokenBucket(
+            sim,
+            rate=profile.ops_per_second,
+            capacity=profile.ops_burst,
+            name=f"{name}.ops",
+        )
+        self._aggregate = FairShareLink(
+            sim, capacity=profile.aggregate_bandwidth, name=f"{name}.aggregate"
+        )
+        self._rng_read = sim.rng.stream(f"{name}.read_latency")
+        self._rng_write = sim.rng.stream(f"{name}.write_latency")
+        self._rng_faults = sim.rng.stream(f"{name}.faults")
+        #: Probability that a data-plane request fails transiently with
+        #: :class:`InternalError` after admission (failure injection for
+        #: client-retry tests); 0 by default.
+        self.fault_probability = 0.0
+        self._uploads: dict[str, MultipartUpload] = {}
+        self._upload_ids = itertools.count(1)
+        self.stats = OpStats()
+        # Storage-volume billing: integral of logical bytes over time.
+        self._stored_logical = 0.0
+        self._volume_updated_at = sim.now
+        self._volume_gb_hours = 0.0
+
+    # ------------------------------------------------------------------
+    # buckets
+    # ------------------------------------------------------------------
+    def create_bucket(self, bucket: str) -> None:
+        """Create a bucket (control-plane action: instantaneous, free)."""
+        if bucket in self._buckets:
+            raise BucketAlreadyExists(bucket)
+        self._buckets[bucket] = {}
+
+    def ensure_bucket(self, bucket: str) -> None:
+        """Create ``bucket`` if it does not already exist."""
+        self._buckets.setdefault(bucket, {})
+
+    def bucket_exists(self, bucket: str) -> bool:
+        return bucket in self._buckets
+
+    def _bucket(self, bucket: str) -> dict[str, StoredObject]:
+        try:
+            return self._buckets[bucket]
+        except KeyError:
+            raise NoSuchBucket(bucket) from None
+
+    # ------------------------------------------------------------------
+    # data-plane operations (each returns a completion SimEvent)
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        logical_size: float | None = None,
+        connection_bandwidth: float | None = None,
+    ) -> SimEvent:
+        """Store ``data`` under ``bucket/key``; event → :class:`ObjectMetadata`."""
+        return self._spawn(
+            self._put_op(bucket, key, data, logical_size, connection_bandwidth),
+            f"put:{key}",
+        )
+
+    def get(
+        self, bucket: str, key: str, connection_bandwidth: float | None = None
+    ) -> SimEvent:
+        """Fetch a whole object; event → ``bytes``."""
+        return self._spawn(
+            self._get_op(bucket, key, None, connection_bandwidth), f"get:{key}"
+        )
+
+    def get_range(
+        self,
+        bucket: str,
+        key: str,
+        start: int,
+        end: int,
+        connection_bandwidth: float | None = None,
+    ) -> SimEvent:
+        """Fetch bytes ``[start, end)`` of an object; event → ``bytes``."""
+        return self._spawn(
+            self._get_op(bucket, key, (start, end), connection_bandwidth),
+            f"get_range:{key}",
+        )
+
+    def head(self, bucket: str, key: str) -> SimEvent:
+        """Metadata lookup; event → :class:`ObjectMetadata`."""
+        return self._spawn(self._head_op(bucket, key), f"head:{key}")
+
+    def list_keys(self, bucket: str, prefix: str = "") -> SimEvent:
+        """List keys with ``prefix``; event → ``list[str]`` (sorted)."""
+        return self._spawn(self._list_op(bucket, prefix), f"list:{prefix}")
+
+    def delete(self, bucket: str, key: str) -> SimEvent:
+        """Delete an object (idempotent); event → ``None``."""
+        return self._spawn(self._delete_op(bucket, key), f"delete:{key}")
+
+    def _spawn(self, generator: t.Generator, name: str) -> SimEvent:
+        return self.sim.process(generator, name=f"{self.name}.{name}").completion
+
+    # ------------------------------------------------------------------
+    # operation bodies
+    # ------------------------------------------------------------------
+    def _admit(self, operation: str = "request") -> t.Generator:
+        """Pass the request-rate limiter, or fail fast with SlowDown.
+
+        Admitted requests may still fail transiently when failure
+        injection is enabled — a failed request *has* consumed a rate
+        token and a round trip, like a real 500.
+        """
+        limit = self.profile.slowdown_after_s
+        if limit is not None and self._ops.estimated_wait(1.0) > limit:
+            self.stats.slowdowns += 1
+            self.sim.timeline.record(self.sim.now, "storage", "slowdown")
+            raise SlowDown(self._ops.estimated_wait(1.0))
+        yield self._ops.consume(1.0)
+        if (
+            self.fault_probability > 0.0
+            and self._rng_faults.random() < self.fault_probability
+        ):
+            self.stats.internal_errors += 1
+            self.sim.timeline.record(
+                self.sim.now, "storage", "internal_error", operation=operation
+            )
+            raise InternalError(operation)
+
+    def _logical(self, real_bytes: float, logical_size: float | None) -> float:
+        if logical_size is not None:
+            return logical_size
+        return real_bytes * self.logical_scale
+
+    def _flow_cap(self, connection_bandwidth: float | None) -> float:
+        cap = self.profile.per_connection_bandwidth
+        if connection_bandwidth is not None:
+            cap = min(cap, connection_bandwidth)
+        return cap
+
+    def _put_op(
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        logical_size: float | None,
+        connection_bandwidth: float | None,
+    ) -> t.Generator:
+        objects = self._bucket(bucket)
+        yield from self._admit("put")
+        yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
+        logical = self._logical(len(data), logical_size)
+        if logical > 0:
+            yield self._aggregate.transfer(logical, self._flow_cap(connection_bandwidth))
+        meta = ObjectMetadata(
+            bucket=bucket,
+            key=key,
+            size=len(data),
+            logical_size=logical,
+            etag=compute_etag(data),
+            created_at=self.sim.now,
+        )
+        self._accrue_volume()
+        previous = objects.get(key)
+        if previous is not None:
+            self._stored_logical -= previous.meta.logical_size
+        objects[key] = StoredObject(bytes(data), meta)
+        self._stored_logical += logical
+        self.stats.puts += 1
+        self.stats.bytes_in += logical
+        self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        self.sim.timeline.record(
+            self.sim.now, "storage", "put", bucket=bucket, key=key, logical=logical
+        )
+        return meta
+
+    def _get_op(
+        self,
+        bucket: str,
+        key: str,
+        byte_range: tuple[int, int] | None,
+        connection_bandwidth: float | None,
+    ) -> t.Generator:
+        objects = self._bucket(bucket)
+        yield from self._admit("get")
+        yield self.sim.timeout(self.profile.read_latency.sample(self._rng_read))
+        stored = objects.get(key)
+        if stored is None:
+            raise NoSuchKey(bucket, key)
+        if byte_range is None:
+            payload = stored.data
+        else:
+            start, end = byte_range
+            if start < 0 or end < start or start > len(stored.data):
+                raise InvalidRange(bucket, key, start, end, len(stored.data))
+            payload = stored.data[start:end]
+        logical = len(payload) * (
+            stored.meta.logical_size / stored.meta.size if stored.meta.size else 1.0
+        )
+        if logical > 0:
+            yield self._aggregate.transfer(logical, self._flow_cap(connection_bandwidth))
+        self.stats.gets += 1
+        self.stats.bytes_out += logical
+        self._charge_request("class_b_request", self.profile.class_b_price_usd)
+        self.sim.timeline.record(
+            self.sim.now, "storage", "get", bucket=bucket, key=key, logical=logical
+        )
+        return payload
+
+    def _head_op(self, bucket: str, key: str) -> t.Generator:
+        objects = self._bucket(bucket)
+        yield from self._admit()
+        yield self.sim.timeout(self.profile.read_latency.sample(self._rng_read))
+        stored = objects.get(key)
+        if stored is None:
+            raise NoSuchKey(bucket, key)
+        self.stats.heads += 1
+        self._charge_request("class_b_request", self.profile.class_b_price_usd)
+        return stored.meta
+
+    def _list_op(self, bucket: str, prefix: str) -> t.Generator:
+        objects = self._bucket(bucket)
+        yield from self._admit()
+        yield self.sim.timeout(self.profile.read_latency.sample(self._rng_read))
+        self.stats.lists += 1
+        self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        return sorted(key for key in objects if key.startswith(prefix))
+
+    def _delete_op(self, bucket: str, key: str) -> t.Generator:
+        objects = self._bucket(bucket)
+        yield from self._admit()
+        yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
+        stored = objects.pop(key, None)
+        if stored is not None:
+            self._accrue_volume()
+            self._stored_logical -= stored.meta.logical_size
+        self.stats.deletes += 1
+        self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        return None
+
+    # ------------------------------------------------------------------
+    # multipart upload
+    # ------------------------------------------------------------------
+    def create_multipart_upload(self, bucket: str, key: str) -> SimEvent:
+        """Begin a multipart upload; event → ``upload_id`` string."""
+        return self._spawn(self._create_multipart_op(bucket, key), f"mpu:{key}")
+
+    def upload_part(
+        self,
+        upload_id: str,
+        part_number: int,
+        data: bytes,
+        logical_size: float | None = None,
+        connection_bandwidth: float | None = None,
+    ) -> SimEvent:
+        """Upload one part; parts may be sent concurrently; event → ``None``."""
+        return self._spawn(
+            self._upload_part_op(
+                upload_id, part_number, data, logical_size, connection_bandwidth
+            ),
+            f"part:{upload_id}:{part_number}",
+        )
+
+    def complete_multipart_upload(self, upload_id: str) -> SimEvent:
+        """Concatenate parts in part-number order; event → metadata."""
+        return self._spawn(self._complete_multipart_op(upload_id), f"mpuc:{upload_id}")
+
+    def _create_multipart_op(self, bucket: str, key: str) -> t.Generator:
+        self._bucket(bucket)  # existence check
+        yield from self._admit()
+        yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
+        upload_id = f"mpu-{next(self._upload_ids)}"
+        self._uploads[upload_id] = MultipartUpload(bucket, key, upload_id)
+        self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        return upload_id
+
+    def _upload_part_op(
+        self,
+        upload_id: str,
+        part_number: int,
+        data: bytes,
+        logical_size: float | None,
+        connection_bandwidth: float | None,
+    ) -> t.Generator:
+        upload = self._uploads.get(upload_id)
+        if upload is None or upload.completed:
+            raise MultipartError(f"unknown or completed upload: {upload_id!r}")
+        if part_number < 1:
+            raise MultipartError(f"part numbers start at 1, got {part_number}")
+        yield from self._admit()
+        yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
+        logical = self._logical(len(data), logical_size)
+        if logical > 0:
+            yield self._aggregate.transfer(logical, self._flow_cap(connection_bandwidth))
+        upload.parts[part_number] = bytes(data)
+        upload.part_logical[part_number] = logical
+        self.stats.puts += 1
+        self.stats.bytes_in += logical
+        self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        return None
+
+    def _complete_multipart_op(self, upload_id: str) -> t.Generator:
+        upload = self._uploads.get(upload_id)
+        if upload is None or upload.completed:
+            raise MultipartError(f"unknown or completed upload: {upload_id!r}")
+        if not upload.parts:
+            raise MultipartError(f"upload {upload_id!r} has no parts")
+        yield from self._admit()
+        yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
+        data = b"".join(upload.parts[number] for number in sorted(upload.parts))
+        logical = sum(upload.part_logical.values())
+        meta = ObjectMetadata(
+            bucket=upload.bucket,
+            key=upload.key,
+            size=len(data),
+            logical_size=logical,
+            etag=compute_etag(data),
+            created_at=self.sim.now,
+        )
+        objects = self._bucket(upload.bucket)
+        self._accrue_volume()
+        previous = objects.get(upload.key)
+        if previous is not None:
+            self._stored_logical -= previous.meta.logical_size
+        objects[upload.key] = StoredObject(data, meta)
+        self._stored_logical += logical
+        upload.completed = True
+        self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        return meta
+
+    # ------------------------------------------------------------------
+    # billing
+    # ------------------------------------------------------------------
+    def _charge_request(self, item: str, unit_price: float) -> None:
+        self.meter.charge(self.sim.now, "objectstore", item, 1.0, unit_price)
+
+    def _accrue_volume(self) -> None:
+        now = self.sim.now
+        elapsed_hours = (now - self._volume_updated_at) / 3600.0
+        if elapsed_hours > 0:
+            self._volume_gb_hours += (self._stored_logical / GB) * elapsed_hours
+        self._volume_updated_at = now
+
+    def finalize_billing(self) -> None:
+        """Charge accrued storage-volume GB-hours.  Call once, at run end."""
+        self._accrue_volume()
+        if self._volume_gb_hours > 0:
+            self.meter.charge(
+                self.sim.now,
+                "objectstore",
+                "storage_gb_hour",
+                self._volume_gb_hours,
+                self._volume_gb_hours * self.profile.storage_gb_hour_usd,
+            )
+            self._volume_gb_hours = 0.0
+
+    # ------------------------------------------------------------------
+    # introspection helpers (control-plane, free, instantaneous)
+    # ------------------------------------------------------------------
+    def object_count(self, bucket: str) -> int:
+        return len(self._bucket(bucket))
+
+    def stored_logical_bytes(self) -> float:
+        return self._stored_logical
+
+    def peek(self, bucket: str, key: str) -> bytes:
+        """Read payload without simulation cost (tests/debugging only)."""
+        stored = self._bucket(bucket).get(key)
+        if stored is None:
+            raise NoSuchKey(bucket, key)
+        return stored.data

@@ -1,0 +1,34 @@
+"""Retry policy for transient object-storage failures.
+
+Lives in the cloud layer (below :mod:`repro.storage`) so that both the
+driver-side :class:`~repro.storage.api.Storage` client and the
+worker-side :class:`~repro.cloud.storageview.BoundStorage` can share it
+without an import cycle.  Real COS/S3 SDKs retry 503 SlowDown and 500
+InternalError with exponential backoff and full jitter; so do we.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cloud.objectstore.errors import InternalError, SlowDown
+
+#: Failures a client is expected to back off and retry (5xx-style).
+RETRYABLE_ERRORS = (SlowDown, InternalError)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter, COS-client style."""
+
+    max_attempts: int = 6
+    base_delay_s: float = 0.5
+    max_delay_s: float = 20.0
+    multiplier: float = 2.0
+
+    def delay(self, attempt: int, rng) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        ceiling = min(
+            self.max_delay_s, self.base_delay_s * (self.multiplier ** (attempt - 1))
+        )
+        return rng.uniform(0.0, ceiling)

@@ -1,0 +1,14 @@
+"""Simulated virtual server instances (IBM VPC VSI-like)."""
+
+from repro.cloud.vm.errors import UnknownInstanceType, VmAlreadyTerminated, VmNotRunning
+from repro.cloud.vm.instance import VirtualMachine, VmContext, VmService, VmTask
+
+__all__ = [
+    "UnknownInstanceType",
+    "VirtualMachine",
+    "VmAlreadyTerminated",
+    "VmContext",
+    "VmNotRunning",
+    "VmService",
+    "VmTask",
+]

@@ -1,0 +1,32 @@
+"""VM service error types."""
+
+from __future__ import annotations
+
+from repro.errors import VmError
+
+
+class UnknownInstanceType(VmError):
+    """Requested instance type is not in the catalog."""
+
+    def __init__(self, type_name: str, available: list[str]):
+        super().__init__(
+            f"unknown instance type {type_name!r}; available: {sorted(available)}"
+        )
+        self.type_name = type_name
+
+
+class VmNotRunning(VmError):
+    """An operation required a running VM."""
+
+    def __init__(self, vm_id: str, state: str):
+        super().__init__(f"VM {vm_id} is {state}, not running")
+        self.vm_id = vm_id
+        self.state = state
+
+
+class VmAlreadyTerminated(VmError):
+    """Terminate was called twice."""
+
+    def __init__(self, vm_id: str):
+        super().__init__(f"VM {vm_id} already terminated")
+        self.vm_id = vm_id

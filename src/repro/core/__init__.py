@@ -1,0 +1,57 @@
+"""The paper's core contribution: object-storage- vs VM-driven data exchange.
+
+Public API::
+
+    from repro.core import ExperimentConfig, run_table1
+    result = run_table1(ExperimentConfig(logical_scale=512))
+    print(result.to_table())
+"""
+
+from repro.core.calibration import ExperimentConfig, WorkloadParams
+from repro.core.experiment import (
+    ExchangeComparison,
+    PipelineRun,
+    Table1Result,
+    run_exchange_comparison,
+    run_pipeline,
+    run_table1,
+    stage_input,
+)
+from repro.core.pipelines import (
+    CACHE_SUPPORTED,
+    ENCODE_STAGE,
+    INGEST_STAGE,
+    PURE_SERVERLESS,
+    SORT_STAGE,
+    VERIFY_STAGE,
+    VM_SUPPORTED,
+    cache_supported_pipeline,
+    pipeline_for,
+    pure_serverless_pipeline,
+    vm_supported_pipeline,
+)
+from repro.core.stages import register_builtin_stage_kinds
+
+__all__ = [
+    "CACHE_SUPPORTED",
+    "ENCODE_STAGE",
+    "ExchangeComparison",
+    "ExperimentConfig",
+    "INGEST_STAGE",
+    "PURE_SERVERLESS",
+    "PipelineRun",
+    "SORT_STAGE",
+    "Table1Result",
+    "VERIFY_STAGE",
+    "VM_SUPPORTED",
+    "WorkloadParams",
+    "cache_supported_pipeline",
+    "pipeline_for",
+    "pure_serverless_pipeline",
+    "register_builtin_stage_kinds",
+    "run_exchange_comparison",
+    "run_pipeline",
+    "run_table1",
+    "stage_input",
+    "vm_supported_pipeline",
+]

@@ -1,0 +1,160 @@
+"""Calibrated workload parameters for the METHCOMP experiments.
+
+Every tunable of the Table 1 reproduction lives here, next to the
+rationale for its value.  The cloud-side constants live in
+:mod:`repro.cloud.profiles`; these are the *workload-side* throughputs
+plus the experiment defaults.
+
+Calibration target (paper, Table 1, 3.5 GB, parallelism 8):
+
+================  ===========  ========
+configuration     latency (s)  cost ($)
+================  ===========  ========
+purely serverless  83.32       0.008
+VM-supported      142.77       0.010
+================  ===========  ========
+
+EXPERIMENTS.md records the measured values for every release of the
+calibration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.cloud.profiles import GB, CloudProfile, ibm_us_east, profile_named
+from repro.shuffle.cacheplanner import CacheShuffleCostModel
+from repro.shuffle.planner import ShuffleCostModel
+
+
+@dataclasses.dataclass(slots=True)
+class WorkloadParams:
+    """Workload-side throughput constants (bytes/s of input, per core).
+
+    Values model native-speed tooling (the paper runs C-grade sort and
+    METHCOMP binaries), applied to *logical* bytes.
+    """
+
+    #: Mapper-side partitioning pass of the serverless shuffle.
+    partition_throughput: float = 115e6
+    #: Reducer-side sort of the serverless shuffle.
+    sort_throughput: float = 55e6
+    #: In-VM parse+sort throughput (per core) for the hybrid variant.
+    vm_sort_throughput: float = 65e6
+    #: METHCOMP encode stage.
+    encode_throughput: float = 25e6
+    #: METHCOMP decode (verification stage).
+    decode_throughput: float = 40e6
+    #: Concurrent range-GETs per reducer.
+    fetch_parallelism: int = 4
+
+    def shuffle_cost_model(self) -> ShuffleCostModel:
+        return ShuffleCostModel(
+            partition_throughput=self.partition_throughput,
+            sort_throughput=self.sort_throughput,
+            fetch_parallelism=self.fetch_parallelism,
+        )
+
+    def cache_shuffle_cost_model(self) -> CacheShuffleCostModel:
+        return CacheShuffleCostModel(
+            partition_throughput=self.partition_throughput,
+            sort_throughput=self.sort_throughput,
+        )
+
+
+@dataclasses.dataclass(slots=True)
+class ExperimentConfig:
+    """Defaults reproducing the paper's Table 1 setup."""
+
+    #: Logical dataset size (the paper's ENCFF988BSW is 3.5 GB).
+    size_gb: float = 3.5
+    #: Parallelism degree ("8 workers" in the paper) for sort and encode.
+    parallelism: int = 8
+    #: Function memory (the paper allocates 2 GB).
+    function_memory_mb: int = 2048
+    #: Cloud provider profile (Lithops is multi-cloud; the paper runs on
+    #: IBM Cloud, experiment S11 re-runs everything on ``aws-us-east``).
+    provider: str = "ibm-us-east"
+    #: VM flavour for the hybrid variant; ``None`` picks the provider's
+    #: equivalent of the paper's bx2-8x32 (8 vCPUs, 32 GB).
+    vm_instance_type: str | None = None
+    #: Real bytes = logical / scale; request counts are scale-invariant.
+    logical_scale: float = 256.0
+    #: Root seed for data generation and all latency jitter.
+    seed: int = 2021
+    #: Zero latency jitter (tests); experiments keep jitter on.
+    deterministic: bool = False
+    #: Let the Primula planner pick the shuffle worker count instead of
+    #: pinning ``parallelism`` (the paper pins 8 for Table 1).
+    auto_workers: bool = False
+    #: Cache cluster for the cache-supported variant (supplementary
+    #: experiment S8; the paper names ElastiCache as the alternative).
+    cache_node_type: str = "cache.r5.large"
+    #: Node count; ``0`` sizes the cluster to fit the shuffle data.
+    cache_nodes: int = 0
+    #: ``"warm"`` uses a pre-provisioned cluster (billing still covers
+    #: the run); ``"cold"`` pays cluster creation on the clock.
+    cache_provisioning: str = "warm"
+    workload: WorkloadParams = dataclasses.field(default_factory=WorkloadParams)
+    #: Optional hook mutating the profile after calibration (sweeps use
+    #: this to perturb a single knob, e.g. the cold-start time).
+    profile_mutator: t.Callable[[CloudProfile], None] | None = None
+
+    @property
+    def logical_bytes(self) -> float:
+        return self.size_gb * GB
+
+    @property
+    def real_bytes(self) -> int:
+        return int(self.logical_bytes / self.logical_scale)
+
+    #: Per-provider equivalent of the paper's bx2-8x32 (8 vCPU, 32 GB,
+    #: $0.384/h — m5.2xlarge matches all three).
+    _DEFAULT_VM_TYPES: t.ClassVar[dict[str, str]] = {
+        "ibm-us-east": "bx2-8x32",
+        "aws-us-east": "m5.2xlarge",
+    }
+
+    @property
+    def resolved_vm_instance_type(self) -> str:
+        """The configured VM flavour, or the provider's default."""
+        if self.vm_instance_type is not None:
+            return self.vm_instance_type
+        return self._DEFAULT_VM_TYPES[self.provider]
+
+    def make_profile(self) -> CloudProfile:
+        """The calibrated cloud profile for this experiment.
+
+        Deviations from the generic provider defaults, with rationale
+        (IBM, the paper's setting):
+
+        * ``faas.instance_bandwidth`` 44 MB/s — measured IBM CF function
+          -to-COS throughput is well below the COS per-connection cap;
+        * ``faas.invoke_overhead`` 0.30 s — Lithops adds per-call
+          dispatch work (payload upload, API call) on top of the
+          platform's scheduling latency;
+        * ``vm.boot`` 99 s — Lithops standalone mode pays VM create +
+          boot + agent/runtime bootstrap before the first task runs
+          (the dominant penalty of the hybrid configuration).
+
+        On AWS the same Lithops layers apply over different bases:
+        Lambda-to-S3 throughput is higher, and EC2 boots faster but the
+        standalone bootstrap still costs tens of seconds.
+        """
+        profile = profile_named(
+            self.provider,
+            logical_scale=self.logical_scale,
+            deterministic=self.deterministic,
+        )
+        if self.provider == "ibm-us-east":
+            profile.faas.instance_bandwidth = 44e6
+            profile.faas.invoke_overhead.mean = 0.30
+            profile.vm.boot.mean = 99.0
+        elif self.provider == "aws-us-east":
+            profile.faas.instance_bandwidth = 60e6
+            profile.faas.invoke_overhead.mean = 0.20
+            profile.vm.boot.mean = 65.0
+        if self.profile_mutator is not None:
+            self.profile_mutator(profile)
+        return profile

@@ -1,0 +1,163 @@
+"""The METHCOMP pipeline incarnations (paper Figure 1, plus one).
+
+* **Configuration B — purely serverless**: sort via the Primula shuffle
+  through object storage, encode with cloud functions.
+* **Configuration A — VM-supported (hybrid)**: sort inside a bx2-8x32
+  VM, encode with cloud functions.
+* **Configuration C — cache-supported** (supplementary, experiment S8):
+  sort with cloud functions exchanging partitions through an in-memory
+  cache cluster — the ElastiCache alternative the paper names.
+
+All take their input from a pre-staged object (``dataset_ref``), as in
+the paper's demo where ENCFF988BSW already sits in COS, and all write
+their sorted runs and compressed blocks to object storage.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import ExperimentConfig
+from repro.workflows.dag import StageSpec, WorkflowDag
+
+#: Names shared by all incarnations so reports line up.
+INGEST_STAGE = "ingest"
+SORT_STAGE = "sort"
+ENCODE_STAGE = "encode"
+VERIFY_STAGE = "verify"
+
+PURE_SERVERLESS = "purely-serverless"
+VM_SUPPORTED = "vm-supported"
+CACHE_SUPPORTED = "cache-supported"
+
+
+def pure_serverless_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Configuration B: shuffle-sort with functions, then encode."""
+    workers = None if config.auto_workers else config.parallelism
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "shuffle_sort",
+            after=(INGEST_STAGE,),
+            params={
+                "workers": workers,
+                "memory_mb": config.function_memory_mb,
+                "max_workers": 256,
+            },
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(PURE_SERVERLESS, stages, bucket=bucket)
+
+
+def vm_supported_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Configuration A: sort in a VM, encode with functions."""
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "vm_sort",
+            after=(INGEST_STAGE,),
+            params={
+                "instance_type": config.resolved_vm_instance_type,
+                "partitions": config.parallelism,
+            },
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(VM_SUPPORTED, stages, bucket=bucket)
+
+
+def cache_supported_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Configuration C: cache-mediated sort, then encode with functions."""
+    workers = None if config.auto_workers else config.parallelism
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "cache_sort",
+            after=(INGEST_STAGE,),
+            params={
+                "workers": workers,
+                "memory_mb": config.function_memory_mb,
+                "max_workers": 256,
+                "node_type": config.cache_node_type,
+                "nodes": config.cache_nodes,
+                "provisioning": config.cache_provisioning,
+            },
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(CACHE_SUPPORTED, stages, bucket=bucket)
+
+
+def pipeline_for(variant: str, config: ExperimentConfig, **kwargs) -> WorkflowDag:
+    """Build any incarnation by name."""
+    builders = {
+        PURE_SERVERLESS: pure_serverless_pipeline,
+        VM_SUPPORTED: vm_supported_pipeline,
+        CACHE_SUPPORTED: cache_supported_pipeline,
+    }
+    try:
+        builder = builders[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {sorted(builders)}"
+        ) from None
+    return builder(config, **kwargs)

@@ -1,0 +1,422 @@
+"""Stage-kind implementations for the METHCOMP pipelines.
+
+These are the building blocks the declarative workflows (and the
+Table 1 experiment) compose:
+
+==================  ====================================================
+``methylome_dataset``  generate a synthetic ENCFF988BSW-like bedMethyl
+                       payload and upload it to object storage
+``dataset_ref``        point at an existing object (pre-staged input)
+``shuffle_sort``       sort through object storage with serverless
+                       functions (Primula) — configuration **B**
+``vm_sort``            sort inside a provisioned VM — configuration **A**
+``cache_sort``         sort with serverless functions exchanging via an
+                       in-memory cache cluster — configuration **C**
+                       (the ElastiCache alternative, experiment S8)
+``methcomp_encode``    embarrassingly parallel METHCOMP compression of
+                       the sorted runs with cloud functions
+``methcomp_verify``    decompress and check record conservation
+==================  ====================================================
+
+Both sort kinds produce the same artifact shape (a list of sorted runs
+in partition order), so the encode stage is substrate-agnostic —
+exactly the property the paper's comparison relies on.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.core.calibration import WorkloadParams
+from repro.errors import WorkflowError
+from repro.executor.executor import FunctionExecutor
+from repro.methcomp.bed import bed_sort_key
+from repro.methcomp.datagen import MethylomeGenerator
+from repro.methcomp.pipeline import bed_record_codec, decode_worker, encode_worker
+from repro.shuffle.cacheoperator import CacheShuffleSort
+from repro.shuffle.cacheplanner import required_cache_nodes
+from repro.shuffle.operator import ShuffleSort
+from repro.storage import paths
+from repro.workflows.engine import StageContext, register_stage_kind
+
+#: Engine-level cache of function executors, one per memory size, so
+#: consecutive stages share warm containers (Lithops runtime reuse).
+_EXECUTOR_CACHE_ATTR = "_repro_executor_cache"
+
+
+def _workload(context: StageContext) -> WorkloadParams:
+    """Workload params attached to the engine (or library defaults)."""
+    workload = getattr(context.engine, "workload", None)
+    return workload if workload is not None else WorkloadParams()
+
+
+def _function_executor(context: StageContext, memory_mb: int) -> FunctionExecutor:
+    cache = getattr(context.engine, _EXECUTOR_CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(context.engine, _EXECUTOR_CACHE_ATTR, cache)
+    if memory_mb not in cache:
+        cache[memory_mb] = FunctionExecutor(
+            context.cloud,
+            runtime_memory_mb=memory_mb,
+            bucket=context.bucket,
+        )
+    return cache[memory_mb]
+
+
+def _single_input(inputs: dict[str, t.Any], stage: str) -> t.Any:
+    if len(inputs) != 1:
+        raise WorkflowError(
+            f"stage {stage!r} expects exactly one upstream stage, "
+            f"got {sorted(inputs)}"
+        )
+    return next(iter(inputs.values()))
+
+
+# ----------------------------------------------------------------------
+# dataset stages
+# ----------------------------------------------------------------------
+def methylome_dataset(context: StageContext, inputs: dict) -> t.Generator:
+    """Generate and upload the synthetic methylome.
+
+    Params: ``size_gb`` (logical; real bytes are divided by the cloud's
+    ``logical_scale``), ``seed``, ``key``, ``sorted`` (default False —
+    raw pipeline input is unsorted, that is why the sort stage exists).
+    """
+    size_gb = float(context.param("size_gb", required=True))
+    seed = int(context.param("seed", 0))
+    key = context.param("key", "input/methylome.bed")
+    scale = context.cloud.logical_scale
+    real_bytes = max(1, int(size_gb * (1 << 30) / scale))
+    generator = MethylomeGenerator(seed=seed)
+    payload = generator.generate_bed_bytes(
+        real_bytes, sorted_output=bool(context.param("sorted", False))
+    )
+    meta = yield context.cloud.store.put(context.bucket, key, payload)
+    return {
+        "bucket": context.bucket,
+        "key": key,
+        "real_bytes": meta.size,
+        "logical_bytes": meta.logical_size,
+        "records": payload.count(b"\n"),
+    }
+
+
+def dataset_ref(context: StageContext, inputs: dict) -> t.Generator:
+    """Reference an existing object (pre-staged input data).
+
+    Params: ``key``, optional ``bucket`` (defaults to the workflow
+    bucket), optional ``records`` (for downstream verification).
+    """
+    bucket = context.param("bucket", context.bucket)
+    key = context.param("key", required=True)
+    meta = yield context.cloud.store.head(bucket, key)
+    return {
+        "bucket": bucket,
+        "key": key,
+        "real_bytes": meta.size,
+        "logical_bytes": meta.logical_size,
+        "records": context.param("records"),
+    }
+
+
+# ----------------------------------------------------------------------
+# sort stages (the paper's two configurations)
+# ----------------------------------------------------------------------
+def shuffle_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Configuration B: pure serverless sort through object storage.
+
+    Params: ``workers`` (pin the count; omit to let the Primula planner
+    choose), ``max_workers``, ``memory_mb``, ``samplers``.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    operator = ShuffleSort(
+        executor, bed_record_codec(), cost=workload.shuffle_cost_model()
+    )
+    result = yield operator.sort(
+        upstream["bucket"],
+        upstream["key"],
+        out_bucket=context.bucket,
+        out_prefix=f"{context.spec.name}",
+        workers=context.param("workers"),
+        samplers=int(context.param("samplers", 8)),
+        max_workers=int(context.param("max_workers", 256)),
+    )
+    return {
+        "runs": [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "records": run.records,
+                "bytes": run.size_bytes,
+            }
+            for run in result.runs
+        ],
+        "workers": result.workers,
+        "records": result.total_records,
+        "duration_s": result.duration_s,
+        "planned_workers": result.planned.workers if result.planned else None,
+    }
+
+
+def cache_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Configuration C: serverless sort exchanging via a cache cluster.
+
+    Params: ``workers`` (pin the count; omit to let the cache planner
+    choose), ``memory_mb``, ``samplers``, ``max_workers``,
+    ``node_type`` (default cache.r5.large), ``nodes`` (0 = size the
+    cluster to fit the data), ``provisioning`` (``"warm"`` pre-provisioned
+    or ``"cold"`` on the clock), ``cleanup``.
+
+    The cluster lives exactly as long as the stage; its node-seconds are
+    billed into the stage's cost either way.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    node_type = context.param("node_type", "cache.r5.large")
+    nodes = int(context.param("nodes", 0))
+    if nodes < 1:
+        nodes = required_cache_nodes(
+            upstream["logical_bytes"], context.cloud.profile, node_type
+        )
+    provisioning = context.param("provisioning", "warm")
+    if provisioning == "cold":
+        cluster = yield context.cloud.cache.provision(node_type, nodes)
+    elif provisioning == "warm":
+        cluster = context.cloud.cache.provision_ready(node_type, nodes)
+    else:
+        raise WorkflowError(
+            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
+            f"'cold', got {provisioning!r}"
+        )
+    cost = workload.cache_shuffle_cost_model()
+    cost.cleanup = bool(context.param("cleanup", False))
+    operator = CacheShuffleSort(executor, bed_record_codec(), cluster, cost=cost)
+    try:
+        result = yield operator.sort(
+            upstream["bucket"],
+            upstream["key"],
+            out_bucket=context.bucket,
+            out_prefix=f"{context.spec.name}",
+            workers=context.param("workers"),
+            samplers=int(context.param("samplers", 8)),
+            max_workers=int(context.param("max_workers", 256)),
+        )
+    finally:
+        if cluster.state == "running":
+            cluster.terminate()
+    return {
+        "runs": [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "records": run.records,
+                "bytes": run.size_bytes,
+            }
+            for run in result.runs
+        ],
+        "workers": result.workers,
+        "records": result.total_records,
+        "duration_s": result.duration_s,
+        "planned_workers": result.planned.workers if result.planned else None,
+        "cache_nodes": operator.report.nodes,
+        "cache_node_type": operator.report.node_type,
+        "cache_peak_fill": operator.report.peak_fill_fraction,
+    }
+
+
+def vm_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Configuration A: sort inside a large-memory VM.
+
+    Params: ``instance_type`` (default bx2-8x32), ``partitions`` (output
+    runs; default 8), ``download_chunk_mb`` (range-GET granularity).
+
+    The VM downloads the whole object with parallel ranged GETs, parses
+    and sorts it in memory using all vCPUs, range-partitions the result
+    and uploads the runs — then terminates.  Data still passes through
+    object storage (the paper keeps COS as the data-passing mechanism in
+    both pipelines); what changes is *where the all-to-all happens*.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    instance_type = context.param("instance_type", "bx2-8x32")
+    partitions = int(context.param("partitions", 8))
+    # The chunk granularity is a *logical* size: scaled-down runs must
+    # still spread the download over the same number of connections.
+    chunk_logical = int(context.param("download_chunk_mb", 32)) * (1 << 20)
+    chunk_real = max(1, int(chunk_logical / context.cloud.logical_scale))
+    workload = _workload(context)
+    bucket = context.bucket
+    stage_name = context.spec.name
+
+    vm = yield context.cloud.vms.provision(instance_type)
+
+    def sort_task(vm_context) -> t.Generator:
+        meta = yield vm_context.storage.head(upstream["bucket"], upstream["key"])
+        size = meta.size
+
+        # Parallel ranged download through the NIC-capped io slots.
+        offsets = list(range(0, size, chunk_real)) or [0]
+        chunks: dict[int, bytes] = {}
+
+        def fetch(index: int, start: int) -> t.Generator:
+            yield vm_context.io_slot().acquire()
+            try:
+                chunks[index] = yield vm_context.storage.get_range(
+                    upstream["bucket"], upstream["key"], start,
+                    min(size, start + chunk_real),
+                )
+            finally:
+                vm_context.io_slot().release()
+
+        fetchers = [
+            vm_context.sim.process(fetch(index, start), name=f"vmfetch{index}")
+            for index, start in enumerate(offsets)
+        ]
+        yield vm_context.sim.all_of([process.completion for process in fetchers])
+        payload = b"".join(chunks[index] for index in sorted(chunks))
+
+        # Parse + sort on all vCPUs (modeled CPU; real sort on real data).
+        lines = payload.split(b"\n")[:-1]
+        lines.sort(key=bed_sort_key)
+        vcpus = vm.instance_type.vcpus
+        total_cpu = (
+            len(payload) * vm_context.logical_scale / workload.vm_sort_throughput
+        )
+        workers = [vm_context.compute(total_cpu / vcpus) for _ in range(vcpus)]
+        yield vm_context.sim.all_of(workers)
+
+        # Range partitioning = equal-count contiguous slices of the
+        # sorted list; upload the runs in parallel.
+        run_puts = []
+        run_infos = []
+        base, remainder = divmod(len(lines), partitions)
+        cursor = 0
+        for reducer_id in range(partitions):
+            count = base + (1 if reducer_id < remainder else 0)
+            body = b"".join(
+                line + b"\n" for line in lines[cursor : cursor + count]
+            )
+            cursor += count
+            key = paths.shuffle_output_key(stage_name, reducer_id)
+            run_puts.append((bucket, key, body))
+            run_infos.append(
+                {
+                    "bucket": bucket,
+                    "key": key,
+                    "records": count,
+                    "bytes": len(body),
+                }
+            )
+        yield vm_context.parallel_put(run_puts)
+        return run_infos
+
+    started = context.sim.now
+    run_infos = yield vm.run(sort_task, name="sort")
+    vm.terminate()
+    return {
+        "runs": run_infos,
+        "workers": partitions,
+        "records": sum(info["records"] for info in run_infos),
+        "duration_s": context.sim.now - started,
+        "vm_type": instance_type,
+    }
+
+
+# ----------------------------------------------------------------------
+# encode / verify stages
+# ----------------------------------------------------------------------
+def methcomp_encode(context: StageContext, inputs: dict) -> t.Generator:
+    """Compress each sorted run with the METHCOMP codec (cloud functions).
+
+    Params: ``memory_mb`` (default 2048).  Parallelism equals the number
+    of runs produced by the sort stage (the paper's second stage is
+    embarrassingly parallel over partitions).
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    tasks = [
+        {
+            "bucket": run["bucket"],
+            "key": run["key"],
+            "out_bucket": context.bucket,
+            "out_key": f"{context.spec.name}/block{index:05d}.mcmp",
+            "throughput_bps": workload.encode_throughput,
+        }
+        for index, run in enumerate(upstream["runs"])
+    ]
+    futures = yield executor.map(encode_worker, tasks)
+    results = yield executor.get_result(futures)
+    raw_bytes = sum(result["raw_bytes"] for result in results)
+    compressed_bytes = sum(result["compressed_bytes"] for result in results)
+    return {
+        "blocks": [
+            {"bucket": context.bucket, "key": result["out_key"],
+             "records": result["records"]}
+            for result in results
+        ],
+        "records": sum(result["records"] for result in results),
+        "raw_bytes": raw_bytes,
+        "compressed_bytes": compressed_bytes,
+        "ratio": (raw_bytes / compressed_bytes) if compressed_bytes else 0.0,
+        "workers": len(tasks),
+    }
+
+
+def methcomp_verify(context: StageContext, inputs: dict) -> t.Generator:
+    """Decompress every block and check record conservation.
+
+    Params: ``memory_mb``.  Fails the workflow if records were lost.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    tasks = [
+        {
+            "bucket": block["bucket"],
+            "key": block["key"],
+            "out_bucket": context.bucket,
+            "out_key": f"{context.spec.name}/restored{index:05d}.bed",
+            "throughput_bps": workload.decode_throughput,
+        }
+        for index, block in enumerate(upstream["blocks"])
+    ]
+    futures = yield executor.map(decode_worker, tasks)
+    results = yield executor.get_result(futures)
+    restored = sum(result["records"] for result in results)
+    expected = upstream["records"]
+    if restored != expected:
+        raise WorkflowError(
+            f"verification failed: restored {restored} records, "
+            f"expected {expected}"
+        )
+    return {"verified": True, "records": restored}
+
+
+def register_builtin_stage_kinds() -> None:
+    """Idempotently register the METHCOMP stage kinds."""
+    from repro.workflows.engine import registered_kinds
+
+    builtin = {
+        "methylome_dataset": methylome_dataset,
+        "dataset_ref": dataset_ref,
+        "shuffle_sort": shuffle_sort,
+        "cache_sort": cache_sort,
+        "vm_sort": vm_sort,
+        "methcomp_encode": methcomp_encode,
+        "methcomp_verify": methcomp_verify,
+    }
+    existing = set(registered_kinds())
+    for kind, impl in builtin.items():
+        if kind not in existing:
+            register_stage_kind(kind, impl)
+
+
+register_builtin_stage_kinds()

@@ -1,0 +1,67 @@
+"""Exception hierarchy shared across the ``repro`` packages.
+
+Every subsystem defines its own specific exceptions, but they all derive
+from :class:`ReproError` so callers can catch library failures with a
+single ``except`` clause.  Simulation-control exceptions (such as
+:class:`Interrupted`) intentionally do *not* derive from
+:class:`ReproError`: they are control-flow signals, not failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all failures raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class DeadlockError(SimulationError):
+    """``Simulator.run`` ran out of events while processes were still waiting."""
+
+
+class Interrupted(Exception):
+    """Raised inside a process that another process interrupted.
+
+    This deliberately subclasses :class:`Exception` (not
+    :class:`ReproError`) because it is a control-flow signal used for
+    failure injection and cancellation, not a library failure.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StorageError(ReproError):
+    """Base class for object-storage failures."""
+
+
+class FaasError(ReproError):
+    """Base class for FaaS platform failures."""
+
+
+class VmError(ReproError):
+    """Base class for VM service failures."""
+
+
+class ExecutorError(ReproError):
+    """Base class for function-executor failures."""
+
+
+class ShuffleError(ReproError):
+    """Base class for shuffle-operator failures."""
+
+
+class WorkflowError(ReproError):
+    """Base class for workflow-engine failures."""
+
+
+class CodecError(ReproError):
+    """Base class for METHCOMP codec failures."""
+
+
+class ConfigError(ReproError):
+    """A configuration value or declarative spec is invalid."""

@@ -1,0 +1,39 @@
+"""Lithops-like function executors over the simulated cloud."""
+
+from repro.executor.executor import (
+    ALL_COMPLETED,
+    ANY_COMPLETED,
+    CpuModel,
+    FunctionExecutor,
+)
+from repro.executor.futures import CallState, CallStats, ResponseFuture
+from repro.executor.job import JobRecord
+from repro.executor.speculation import JobSpeculator, SpeculationPolicy
+from repro.executor.partitioner import (
+    ByteRange,
+    align_start_to_record,
+    chunk_ranges,
+    extend_end_to_record,
+    split_range,
+)
+from repro.executor.standalone import StandaloneExecutor, VmWorkerContext
+
+__all__ = [
+    "ALL_COMPLETED",
+    "ANY_COMPLETED",
+    "ByteRange",
+    "CallState",
+    "CallStats",
+    "CpuModel",
+    "FunctionExecutor",
+    "JobRecord",
+    "JobSpeculator",
+    "SpeculationPolicy",
+    "ResponseFuture",
+    "StandaloneExecutor",
+    "VmWorkerContext",
+    "align_start_to_record",
+    "chunk_ranges",
+    "extend_end_to_record",
+    "split_range",
+]

@@ -1,0 +1,38 @@
+"""Job bookkeeping for the executors."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.executor.futures import ResponseFuture
+
+
+@dataclasses.dataclass(slots=True)
+class JobRecord:
+    """One submitted job (a batch of calls sharing a function)."""
+
+    job_id: str
+    function_name: str
+    call_count: int
+    submitted_at: float
+    futures: list[ResponseFuture] = dataclasses.field(default_factory=list)
+    finished_at: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return all(future.done for future in self.futures)
+
+    @property
+    def failed_calls(self) -> list[ResponseFuture]:
+        return [future for future in self.futures if future.error is not None]
+
+    def summary(self) -> dict[str, t.Any]:
+        return {
+            "job_id": self.job_id,
+            "function": self.function_name,
+            "calls": self.call_count,
+            "failed": len(self.failed_calls),
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }

@@ -1,0 +1,93 @@
+"""Input partitioning for map jobs.
+
+The executor maps functions over *iterables* of arbitrary Python data;
+this module provides the helpers that turn big storage objects into such
+iterables:
+
+* :func:`split_range` — cut ``[0, size)`` into ``n`` near-equal byte
+  ranges (the classic input-split of data-parallel systems);
+* :func:`chunk_ranges` — cut by target chunk size instead of count;
+* :func:`align_range_to_records` — extend/trim a byte range to record
+  (newline) boundaries, given a peek window, so record-oriented mappers
+  can process a split without seeing torn lines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ExecutorError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ByteRange:
+    """A half-open byte interval ``[start, end)`` of one object."""
+
+    bucket: str
+    key: str
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def split_range(bucket: str, key: str, size: int, parts: int) -> list[ByteRange]:
+    """Split ``[0, size)`` into ``parts`` contiguous near-equal ranges."""
+    if parts < 1:
+        raise ExecutorError(f"parts must be >= 1, got {parts}")
+    if size < 0:
+        raise ExecutorError(f"size must be >= 0, got {size}")
+    base, remainder = divmod(size, parts)
+    ranges = []
+    cursor = 0
+    for index in range(parts):
+        length = base + (1 if index < remainder else 0)
+        ranges.append(ByteRange(bucket, key, cursor, cursor + length))
+        cursor += length
+    return ranges
+
+
+def chunk_ranges(bucket: str, key: str, size: int, chunk_size: int) -> list[ByteRange]:
+    """Split ``[0, size)`` into ranges of at most ``chunk_size`` bytes."""
+    if chunk_size < 1:
+        raise ExecutorError(f"chunk_size must be >= 1, got {chunk_size}")
+    ranges = []
+    for start in range(0, size, chunk_size):
+        ranges.append(ByteRange(bucket, key, start, min(size, start + chunk_size)))
+    if not ranges:
+        ranges.append(ByteRange(bucket, key, 0, 0))
+    return ranges
+
+
+def align_start_to_record(data: bytes, is_first: bool, delimiter: bytes = b"\n") -> int:
+    """Offset within ``data`` where this split's first whole record starts.
+
+    Non-first splits skip the (possibly torn) leading record: the bytes
+    up to and including the first delimiter belong to the previous split.
+    """
+    if is_first:
+        return 0
+    position = data.find(delimiter)
+    if position < 0:
+        return len(data)  # whole window is a torn record tail
+    return position + len(delimiter)
+
+
+def extend_end_to_record(
+    tail: bytes, at_object_end: bool, delimiter: bytes = b"\n"
+) -> int:
+    """How many bytes of the peek window past ``end`` belong to this split.
+
+    A split owns the record that *starts* inside it, so it must consume
+    the continuation bytes up to (and including) the next delimiter.
+    """
+    if at_object_end:
+        return len(tail)
+    position = tail.find(delimiter)
+    if position < 0:
+        raise ExecutorError(
+            "record exceeds the peek window; increase the window size"
+        )
+    return position + len(delimiter)

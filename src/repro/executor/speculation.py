@@ -1,0 +1,173 @@
+"""Speculative execution (straggler mitigation) for map jobs.
+
+Lognormal startup jitter and injected crashes make a few calls in every
+wide fan-out run long — and a map stage is as slow as its slowest call.
+The classical MapReduce remedy is *backup tasks*: once most of the job
+has finished, re-invoke the stragglers and take whichever attempt
+settles first.
+
+:class:`SpeculationPolicy` captures the trigger rule; :class:`JobSpeculator`
+implements it callback-style on the simulation kernel (no polling
+process).  The executor exposes it through ``map(..., speculation=...)``.
+
+Duplicated attempts write to the same output key, so the winner is
+simply the first attempt to settle — the idempotence that makes backup
+tasks safe in the real Lithops data path too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing as t
+
+from repro.errors import ExecutorError
+from repro.sim import SimEvent
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.executor.executor import FunctionExecutor
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SpeculationPolicy:
+    """When to launch backup attempts for straggling calls.
+
+    Attributes
+    ----------
+    quantile:
+        Fraction of the job's calls that must have completed before any
+        backup launches (speculating early wastes money on healthy
+        calls).
+    latency_multiplier:
+        A call is a straggler once its age exceeds ``latency_multiplier``
+        times the median duration of the completed calls.
+    max_duplicates:
+        Backup attempts allowed per call.
+    """
+
+    quantile: float = 0.75
+    latency_multiplier: float = 1.5
+    max_duplicates: int = 1
+
+    def validate(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ExecutorError(
+                f"speculation quantile must be in (0, 1), got {self.quantile}"
+            )
+        if self.latency_multiplier < 1.0:
+            raise ExecutorError(
+                "speculation latency_multiplier must be >= 1, got "
+                f"{self.latency_multiplier}"
+            )
+        if self.max_duplicates < 1:
+            raise ExecutorError(
+                f"speculation max_duplicates must be >= 1, got {self.max_duplicates}"
+            )
+
+
+class JobSpeculator:
+    """Drives one job's settle events, launching backups per the policy.
+
+    The executor registers each call with :meth:`register_primary`; the
+    speculator owns the call's *settle* event (what the call's
+    :class:`~repro.executor.futures.ResponseFuture` waits on) and
+    succeeds it with the first attempt that completes.  A call fails
+    only when every outstanding attempt for it has failed.
+    """
+
+    def __init__(self, executor: "FunctionExecutor", policy: SpeculationPolicy):
+        policy.validate()
+        self.executor = executor
+        self.sim = executor.sim
+        self.policy = policy
+        self._settles: dict[int, SimEvent] = {}
+        self._payloads: dict[int, dict] = {}
+        self._started_at: dict[int, float] = {}
+        self._outstanding: dict[int, int] = {}
+        self._backups_launched: dict[int, int] = {}
+        self._durations: list[float] = []
+        self._expected_calls: int | None = None
+        #: Backup attempts launched (visible to tests and reports).
+        self.speculative_launches = 0
+
+    # ------------------------------------------------------------------
+    # executor-facing API
+    # ------------------------------------------------------------------
+    def expect_calls(self, count: int) -> None:
+        """Declare the job size (the quantile trigger needs the total)."""
+        self._expected_calls = count
+
+    def register_primary(self, call_id: int, payload: dict) -> SimEvent:
+        """Launch the primary attempt; returns the call's settle event."""
+        settle = self.sim.event(name=f"speculate.settle.{call_id}")
+        self._settles[call_id] = settle
+        self._payloads[call_id] = payload
+        self._started_at[call_id] = self.sim.now
+        self._outstanding[call_id] = 0
+        self._backups_launched[call_id] = 0
+        self._launch_attempt(call_id)
+        return settle
+
+    # ------------------------------------------------------------------
+    # attempt plumbing
+    # ------------------------------------------------------------------
+    def _launch_attempt(self, call_id: int) -> None:
+        self._outstanding[call_id] += 1
+        attempt = self.sim.process(
+            self.executor._invoke_with_retries(self._payloads[call_id]),
+            name=f"speculate.attempt.{call_id}",
+        ).completion
+        attempt.add_callback(
+            lambda event, call_id=call_id: self._on_attempt_done(call_id, event)
+        )
+
+    def _on_attempt_done(self, call_id: int, event: SimEvent) -> None:
+        settle = self._settles[call_id]
+        self._outstanding[call_id] -= 1
+        if settle.triggered:
+            return  # a faster attempt already decided this call
+        if event.ok:
+            self._durations.append(self.sim.now - self._started_at[call_id])
+            settle.succeed(event.value)
+            self._maybe_speculate()
+        elif self._outstanding[call_id] == 0:
+            # Every attempt for this call has failed — so does the call.
+            settle.fail(event.exception)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # straggler detection
+    # ------------------------------------------------------------------
+    def _maybe_speculate(self) -> None:
+        if self._expected_calls is None:
+            return
+        threshold = max(1, int(self.policy.quantile * self._expected_calls))
+        if len(self._durations) < threshold:
+            return
+        median = statistics.median(self._durations)
+        deadline_age = self.policy.latency_multiplier * median
+        for call_id, settle in self._settles.items():
+            if settle.triggered:
+                continue
+            if self._backups_launched[call_id] >= self.policy.max_duplicates:
+                continue
+            fire_at = self._started_at[call_id] + deadline_age
+            delay = max(0.0, fire_at - self.sim.now)
+            # Claim the backup slot now so re-entry cannot double-launch.
+            self._backups_launched[call_id] += 1
+            self.sim.timeout(delay).add_callback(
+                lambda _event, call_id=call_id: self._fire_backup(call_id)
+            )
+
+    def _fire_backup(self, call_id: int) -> None:
+        if self._settles[call_id].triggered:
+            return  # finished while the backup timer was pending
+        self.speculative_launches += 1
+        self.executor.speculative_launches += 1
+        self.sim.timeline.record(
+            self.sim.now,
+            "executor",
+            "speculative_launch",
+            call_id=call_id,
+            job=self._payloads[call_id].get("status_key", ""),
+        )
+        self._launch_attempt(call_id)

@@ -1,0 +1,234 @@
+"""Standalone (VM-backed) executor — Lithops "standalone mode".
+
+Runs the same calls as :class:`~repro.executor.executor.FunctionExecutor`
+but inside a provisioned VM instead of serverless functions: calls
+contend for the instance's vCPUs, storage I/O flows through the VM NIC,
+and billing is per-second of instance lifetime rather than GB-seconds.
+
+Data passing is unchanged — inputs and outputs still travel through
+object storage — which is exactly the paper's hybrid configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+
+from repro.cloud.environment import Cloud
+from repro.cloud.storageview import BoundStorage
+from repro.cloud.vm.instance import VirtualMachine, VmContext
+from repro.errors import ExecutorError
+from repro.executor.executor import CpuModel, _runtime_handler, next_executor_id
+from repro.executor.futures import ResponseFuture
+from repro.executor.job import JobRecord
+from repro.sim import SimEvent
+from repro.storage import paths
+from repro.storage.api import Storage
+from repro.storage.serializer import serialize
+
+
+class VmWorkerContext:
+    """Adapter giving VM tasks the function-context surface.
+
+    Sim-aware user functions (generator functions taking ``(ctx, data)``)
+    run unmodified on either substrate because both contexts expose
+    ``storage``, ``compute``, ``compute_bytes``, ``sleep``, ``rng``,
+    ``sim`` and ``logical_scale``.
+    """
+
+    def __init__(self, vm_context: VmContext, activation_id: str):
+        self._vm = vm_context
+        self.sim = vm_context.sim
+        self.storage = vm_context.storage
+        self.logical_scale = vm_context.logical_scale
+        self.activation_id = activation_id
+        self.cpu_share = 1.0
+        self.memory_mb = vm_context.vm.instance_type.memory_gb * 1024
+
+    def compute(self, cpu_seconds: float) -> SimEvent:
+        return self._vm.compute(cpu_seconds)
+
+    def compute_bytes(self, real_bytes: float, throughput_bps: float) -> SimEvent:
+        return self._vm.compute_bytes(real_bytes, throughput_bps)
+
+    def sleep(self, seconds: float) -> SimEvent:
+        return self._vm.sleep(seconds)
+
+    def rng(self, name: str):
+        return self.sim.rng.stream(f"vm:{self.activation_id}:{name}")
+
+
+class StandaloneExecutor:
+    """Map/call API executed inside one provisioned VM."""
+
+    def __init__(
+        self,
+        cloud: Cloud,
+        instance_type: str = "bx2-8x32",
+        bucket: str = "lithops-staging",
+    ):
+        self.cloud = cloud
+        self.sim = cloud.sim
+        self.instance_type = instance_type
+        self.bucket = bucket
+        cloud.store.ensure_bucket(bucket)
+        self.executor_id = next_executor_id(cloud, "vmexec")
+        self._job_ids = itertools.count(0)
+        self._call_ids = itertools.count(0)
+        self.jobs: list[JobRecord] = []
+        self.vm: VirtualMachine | None = None
+        self.storage = Storage(
+            self.sim,
+            BoundStorage(cloud.store, None),
+            name=f"{self.executor_id}.driver",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> SimEvent:
+        """Provision the backing VM; event → the running VM."""
+        if self.vm is not None:
+            raise ExecutorError("standalone executor already started")
+        provision = self.cloud.vms.provision(self.instance_type)
+
+        def remember(event: SimEvent) -> None:
+            if event.ok:
+                self.vm = t.cast(VirtualMachine, event.value)
+
+        provision.add_callback(remember)
+        return provision
+
+    def shutdown(self) -> None:
+        """Terminate the backing VM (idempotent for convenience)."""
+        if self.vm is not None and self.vm.state != "terminated":
+            self.vm.terminate()
+
+    def _require_vm(self) -> VirtualMachine:
+        if self.vm is None or self.vm.state != "running":
+            raise ExecutorError(
+                "standalone executor has no running VM; yield start() first"
+            )
+        return self.vm
+
+    # ------------------------------------------------------------------
+    # submission API (mirrors FunctionExecutor)
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        func: t.Callable,
+        iterdata: t.Iterable[object],
+        cpu_model: CpuModel | None = None,
+    ) -> SimEvent:
+        """Submit one VM call per element; event → list of futures."""
+        return self.sim.process(
+            self._submit_job(func, list(iterdata), cpu_model, single=False),
+            name=f"{self.executor_id}.map",
+        ).completion
+
+    def call_async(
+        self, func: t.Callable, data: object, cpu_model: CpuModel | None = None
+    ) -> SimEvent:
+        """Submit one VM call; event → a single future."""
+        return self.sim.process(
+            self._submit_job(func, [data], cpu_model, single=True),
+            name=f"{self.executor_id}.call_async",
+        ).completion
+
+    def get_result(self, futures) -> SimEvent:
+        """Same contract as :meth:`FunctionExecutor.get_result`."""
+        single = isinstance(futures, ResponseFuture)
+        future_list = [futures] if single else list(futures)
+        return self.sim.process(
+            self._get_result(future_list, single),
+            name=f"{self.executor_id}.get_result",
+        ).completion
+
+    def _get_result(self, futures: list[ResponseFuture], single: bool) -> t.Generator:
+        from repro.storage.serializer import deserialize
+
+        for future in futures:
+            try:
+                yield future.done_event
+            except Exception:  # noqa: BLE001 - surfaced below in order
+                pass
+        for future in futures:
+            if future.error is not None:
+                raise future.error
+        results = []
+        for future in futures:
+            if not future.result_ready:
+                bucket, key = future.output_ref
+                blob = yield self.storage.get_object(bucket, key)
+                future._store_result(deserialize(blob))
+            results.append(future.result)
+        return results[0] if single else results
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _submit_job(
+        self,
+        func: t.Callable,
+        iterdata: list[object],
+        cpu_model: CpuModel | None,
+        single: bool,
+    ) -> t.Generator:
+        if not iterdata:
+            raise ExecutorError("map over empty iterdata")
+        vm = self._require_vm()
+        job_id = f"V{next(self._job_ids):03d}"
+        record = JobRecord(
+            job_id=job_id,
+            function_name=getattr(func, "__name__", "<callable>"),
+            call_count=len(iterdata),
+            submitted_at=self.sim.now,
+        )
+        self.jobs.append(record)
+
+        func_key = f"{paths.job_prefix(self.executor_id, job_id)}/function.pickle"
+        yield self.storage.put_object(
+            self.bucket, func_key, serialize((func, cpu_model))
+        )
+
+        futures = []
+        for call_id, data in enumerate(iterdata):
+            input_key = paths.call_input_key(self.executor_id, job_id, call_id)
+            output_key = paths.call_output_key(self.executor_id, job_id, call_id)
+            status_key = paths.call_status_key(self.executor_id, job_id, call_id)
+            input_blob = serialize(data)
+            yield self.storage.put_object(self.bucket, input_key, input_blob)
+            invocation = {
+                "bucket": self.bucket,
+                "func_key": func_key,
+                "input_key": input_key,
+                "output_key": output_key,
+                "status_key": status_key,
+            }
+            activation_id = f"{self.executor_id}-call-{next(self._call_ids)}"
+
+            def call_task(
+                vm_context: VmContext,
+                payload: dict = invocation,
+                act: str = activation_id,
+            ) -> t.Generator:
+                adapter = VmWorkerContext(vm_context, act)
+                result = yield from _runtime_handler(adapter, payload)
+                return result
+
+            done_event = vm.run(call_task, name=f"call-{call_id}")
+            future = ResponseFuture(
+                call_id=call_id,
+                job_id=job_id,
+                executor_id=self.executor_id,
+                done_event=done_event,
+                output_ref=(self.bucket, output_key),
+            )
+            future.stats.submitted_at = self.sim.now
+            future.stats.input_bytes = len(input_blob)
+            done_event.add_callback(
+                lambda _event, f=future: setattr(f.stats, "finished_at", self.sim.now)
+            )
+            futures.append(future)
+            record.futures.append(future)
+        return futures[0] if single else futures

@@ -1,0 +1,131 @@
+"""Command-line entry point for the experiment regenerators.
+
+Usage::
+
+    repro-experiments table1 [--scale 256] [--seed 2021]
+    repro-experiments figure1
+    repro-experiments sweep-workers
+    repro-experiments sweep-size
+    repro-experiments sweep-storage
+    repro-experiments sweep-startup
+    repro-experiments sweep-codec
+    repro-experiments sweep-memory
+    repro-experiments sweep-exchange
+    repro-experiments sweep-faults
+    repro-experiments sweep-speculation
+    repro-experiments sweep-tuner
+    repro-experiments sweep-multicloud
+    repro-experiments exchange
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.calibration import ExperimentConfig
+from repro.experiments import sweeps
+from repro.experiments.figure1 import render_figure1
+from repro.experiments.format import format_rows
+from repro.experiments.table1 import regenerate_table1
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(logical_scale=args.scale, seed=args.seed)
+
+
+def _print_rows(title: str, rows: list[dict]) -> None:
+    if not rows:
+        print(f"{title}: no rows")
+        return
+    headers = list(rows[0].keys())
+    print(format_rows(headers, [[row[h] for h in headers] for row in rows], title))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables/figures and the ablation sweeps.",
+    )
+    parser.add_argument("--scale", type=float, default=256.0,
+                        help="logical-to-real byte scale (default 256)")
+    parser.add_argument("--seed", type=int, default=2021)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in (
+        "table1",
+        "figure1",
+        "sweep-workers",
+        "sweep-size",
+        "sweep-storage",
+        "sweep-startup",
+        "sweep-codec",
+        "sweep-memory",
+        "sweep-io",
+        "sweep-exchange",
+        "sweep-faults",
+        "sweep-speculation",
+        "sweep-tuner",
+        "sweep-multicloud",
+        "exchange",
+    ):
+        sub.add_parser(name)
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        result = regenerate_table1(logical_scale=args.scale, seed=args.seed)
+        print(result.to_table())
+        print()
+        print(result.serverless.workflow.tracker.render())
+        print()
+        print(result.vm.workflow.tracker.render())
+    elif args.command == "figure1":
+        print(render_figure1())
+    elif args.command == "sweep-workers":
+        _print_rows("S1: shuffle worker-count sweep", sweeps.sweep_workers(_config(args)))
+    elif args.command == "sweep-size":
+        _print_rows("S2: data-size scaling", sweeps.sweep_size(_config(args)))
+    elif args.command == "sweep-storage":
+        _print_rows(
+            "S3: object-store ops/s sensitivity", sweeps.sweep_storage_ops(_config(args))
+        )
+    elif args.command == "sweep-startup":
+        _print_rows("S4: startup-time sensitivity", sweeps.sweep_startup(_config(args)))
+    elif args.command == "sweep-codec":
+        _print_rows("S5: codec ratio vs gzip", sweeps.sweep_codec(seed=args.seed))
+    elif args.command == "sweep-memory":
+        _print_rows("S6: function-memory sweep", sweeps.sweep_memory(_config(args)))
+    elif args.command == "sweep-io":
+        _print_rows(
+            "S7: write-combining ablation", sweeps.sweep_io_ablation(_config(args))
+        )
+    elif args.command == "sweep-exchange":
+        _print_rows(
+            "S8: exchange-substrate worker sweep",
+            sweeps.sweep_exchange(_config(args)),
+        )
+    elif args.command == "sweep-faults":
+        _print_rows(
+            "S9a: crash-rate overhead", sweeps.sweep_fault_rate(_config(args))
+        )
+    elif args.command == "sweep-speculation":
+        _print_rows(
+            "S9b: straggler mitigation", sweeps.sweep_speculation(_config(args))
+        )
+    elif args.command == "sweep-tuner":
+        _print_rows(
+            "S10: on-the-fly tuning vs static calibration",
+            sweeps.sweep_tuner(_config(args)),
+        )
+    elif args.command == "sweep-multicloud":
+        _print_rows(
+            "S11: multi-cloud portability", sweeps.sweep_multicloud(_config(args))
+        )
+    elif args.command == "exchange":
+        from repro.core.experiment import run_exchange_comparison
+
+        print(run_exchange_comparison(_config(args)).to_table())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

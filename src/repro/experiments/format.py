@@ -1,0 +1,38 @@
+"""Tiny table formatter shared by the experiment regenerators."""
+
+from __future__ import annotations
+
+import typing as t
+
+
+def format_rows(
+    headers: list[str],
+    rows: list[t.Sequence[t.Any]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table (right-aligned numbers, left-aligned text)."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                f"{value:.4g}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rendered))
+        if rendered
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+
+    def fmt(cells: t.Sequence[str], pad: str = " ") -> str:
+        return "  ".join(cell.rjust(width, pad) for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt(headers))
+    out.append("  ".join("-" * width for width in widths))
+    out.extend(fmt(row) for row in rendered)
+    return "\n".join(out)

@@ -1,0 +1,34 @@
+"""Table 1 regenerator (thin wrapper over :mod:`repro.core.experiment`)."""
+
+from __future__ import annotations
+
+from repro.core.calibration import ExperimentConfig
+from repro.core.experiment import Table1Result, run_table1
+
+
+def regenerate_table1(
+    logical_scale: float = 256.0,
+    seed: int = 2021,
+    parallelism: int = 8,
+    verify: bool = False,
+) -> Table1Result:
+    """Run both configurations with the calibrated defaults."""
+    config = ExperimentConfig(
+        logical_scale=logical_scale, seed=seed, parallelism=parallelism
+    )
+    return run_table1(config, verify=verify)
+
+
+def main() -> None:  # pragma: no cover - CLI shim
+    result = regenerate_table1()
+    print(result.to_table())
+    print()
+    print("Per-stage breakdown (purely serverless):")
+    print(result.serverless.workflow.tracker.render())
+    print()
+    print("Per-stage breakdown (VM-supported):")
+    print(result.vm.workflow.tracker.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,41 @@
+"""METHCOMP genomics workload: BED data, synthetic methylomes, codec."""
+
+from repro.methcomp.bed import (
+    CHROM_RANK,
+    CHROMOSOMES,
+    MethylationRecord,
+    bed_sort_key,
+    is_sorted,
+    parse_buffer,
+    parse_line,
+    serialize_record,
+    serialize_records,
+)
+from repro.methcomp.datagen import (
+    APPROX_LINE_BYTES,
+    MethylomeGenerator,
+    MethylomeProfile,
+    estimate_record_count,
+    upload_dataset,
+)
+from repro.methcomp.pipeline import bed_record_codec, decode_worker, encode_worker
+
+__all__ = [
+    "APPROX_LINE_BYTES",
+    "CHROMOSOMES",
+    "CHROM_RANK",
+    "MethylationRecord",
+    "MethylomeGenerator",
+    "MethylomeProfile",
+    "bed_record_codec",
+    "bed_sort_key",
+    "decode_worker",
+    "encode_worker",
+    "estimate_record_count",
+    "is_sorted",
+    "parse_buffer",
+    "parse_line",
+    "serialize_record",
+    "serialize_records",
+    "upload_dataset",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.methcomp`` entry point."""
+
+import sys
+
+from repro.methcomp.cli import main
+
+sys.exit(main())

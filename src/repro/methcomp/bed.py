@@ -1,0 +1,148 @@
+"""WGBS methylation records in ENCODE bedMethyl format.
+
+The paper's workload is ENCFF988BSW, a whole-genome bisulfite sequencing
+(WGBS) methylation annotation in BED format.  A bedMethyl line has the
+eleven tab-separated columns of the UCSC/ENCODE convention::
+
+    chrom  start  end  name  score  strand  thickStart  thickEnd
+    itemRgb  coverage  pct_meth
+
+Columns 4 and 7-9 are *derived*: ``name`` is always ``"."``,
+``thickStart``/``thickEnd`` repeat the interval, ``itemRgb`` encodes the
+methylation bucket, and ``score`` is coverage capped at 1000.  A
+format-aware compressor (METHCOMP) stores them in zero bits — a generic
+one (gzip) cannot, which is a large part of METHCOMP's advantage.
+
+We keep the canonical serialization in one place so the codec can be
+exactly lossless at record level: ``parse_line(serialize(record)) ==
+record`` and vice versa.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CodecError
+
+#: Chromosomes in genomic sort order (hg38 primary assembly).
+CHROMOSOMES: tuple[str, ...] = tuple(
+    [f"chr{i}" for i in range(1, 23)] + ["chrX", "chrY", "chrM"]
+)
+
+#: chrom name → rank used by the genomic sort key.
+CHROM_RANK: dict[str, int] = {name: rank for rank, name in enumerate(CHROMOSOMES)}
+
+#: itemRgb colors used by ENCODE tracks: green = methylated, red = not.
+COLOR_METHYLATED = "0,255,0"
+COLOR_UNMETHYLATED = "255,0,0"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MethylationRecord:
+    """One CpG site measurement."""
+
+    chrom: str
+    start: int
+    end: int
+    strand: str  # "+" or "-"
+    coverage: int  # number of reads covering the site
+    pct_meth: int  # methylation percentage, 0..100
+
+    def __post_init__(self):
+        if self.chrom not in CHROM_RANK:
+            raise CodecError(f"unknown chromosome: {self.chrom!r}")
+        if self.start < 0 or self.end < self.start:
+            raise CodecError(f"bad interval: [{self.start}, {self.end})")
+        if self.strand not in ("+", "-"):
+            raise CodecError(f"bad strand: {self.strand!r}")
+        if self.coverage < 0:
+            raise CodecError(f"bad coverage: {self.coverage}")
+        if not 0 <= self.pct_meth <= 100:
+            raise CodecError(f"bad methylation percent: {self.pct_meth}")
+
+    @property
+    def score(self) -> int:
+        """BED score column: coverage capped at 1000 (ENCODE convention)."""
+        return min(1000, self.coverage)
+
+    @property
+    def color(self) -> str:
+        """Track color derived from methylation level."""
+        return COLOR_METHYLATED if self.pct_meth >= 50 else COLOR_UNMETHYLATED
+
+    def sort_key(self) -> tuple[int, int]:
+        """Genomic order: chromosome rank, then start position."""
+        return (CHROM_RANK[self.chrom], self.start)
+
+
+def serialize_record(record: MethylationRecord) -> bytes:
+    """Canonical 11-column bedMethyl line (without trailing newline)."""
+    return (
+        f"{record.chrom}\t{record.start}\t{record.end}\t.\t{record.score}\t"
+        f"{record.strand}\t{record.start}\t{record.end}\t{record.color}\t"
+        f"{record.coverage}\t{record.pct_meth}"
+    ).encode("ascii")
+
+
+def parse_line(line: bytes) -> MethylationRecord:
+    """Parse one bedMethyl line, validating the derived columns."""
+    fields = line.rstrip(b"\n").split(b"\t")
+    if len(fields) != 11:
+        raise CodecError(
+            f"bedMethyl line must have 11 columns, got {len(fields)}: {line!r}"
+        )
+    try:
+        record = MethylationRecord(
+            chrom=fields[0].decode("ascii"),
+            start=int(fields[1]),
+            end=int(fields[2]),
+            strand=fields[5].decode("ascii"),
+            coverage=int(fields[9]),
+            pct_meth=int(fields[10]),
+        )
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"malformed bedMethyl line: {line!r}") from exc
+    if fields[3] != b".":
+        raise CodecError(f"unsupported name column: {fields[3]!r}")
+    if int(fields[4]) != record.score:
+        raise CodecError("score column does not match capped coverage")
+    if int(fields[6]) != record.start or int(fields[7]) != record.end:
+        raise CodecError("thickStart/thickEnd do not repeat the interval")
+    if fields[8].decode("ascii") != record.color:
+        raise CodecError("itemRgb does not match the methylation bucket")
+    return record
+
+
+def bed_sort_key(line: bytes) -> tuple[int, int]:
+    """Fast genomic sort key straight from a serialized line.
+
+    Used as the shuffle codec's key function: avoids building a full
+    record object per comparison.  Must stay consistent with
+    :meth:`MethylationRecord.sort_key`.
+    """
+    chrom_end = line.find(b"\t")
+    start_end = line.find(b"\t", chrom_end + 1)
+    chrom = line[:chrom_end].decode("ascii")
+    rank = CHROM_RANK.get(chrom)
+    if rank is None:
+        raise CodecError(f"unknown chromosome in line: {line!r}")
+    return (rank, int(line[chrom_end + 1 : start_end]))
+
+
+def parse_buffer(buffer: bytes) -> list[MethylationRecord]:
+    """Parse a newline-terminated buffer of bedMethyl lines."""
+    if not buffer:
+        return []
+    return [parse_line(line) for line in buffer.split(b"\n") if line]
+
+
+def serialize_records(records: list[MethylationRecord]) -> bytes:
+    """Serialize records as newline-terminated bedMethyl lines."""
+    return b"".join(serialize_record(record) + b"\n" for record in records)
+
+
+def is_sorted(records: list[MethylationRecord]) -> bool:
+    """Whether records are in genomic order."""
+    return all(
+        a.sort_key() <= b.sort_key() for a, b in zip(records, records[1:])
+    )

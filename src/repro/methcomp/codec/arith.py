@@ -1,0 +1,166 @@
+"""Static arithmetic coding over a small alphabet (CACM-87 style).
+
+Used for the methylation-percentage column: levels are heavily bimodal,
+so a per-block frequency table plus an arithmetic coder gets close to
+the empirical entropy.  The table travels in the block header, keeping
+encoder and decoder trivially consistent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+from repro.methcomp.codec.bitio import BitReader, BitWriter, read_varint, write_varint
+
+_PRECISION = 32
+_FULL = (1 << _PRECISION) - 1
+_HALF = 1 << (_PRECISION - 1)
+_QUARTER = 1 << (_PRECISION - 2)
+_THREE_QUARTERS = _HALF + _QUARTER
+#: Total frequency must stay well below the quarter range.
+_MAX_TOTAL = 1 << (_PRECISION - 4)
+
+
+class FrequencyTable:
+    """Static symbol frequencies with cumulative lookup."""
+
+    def __init__(self, counts: list[int]):
+        if not counts or all(count == 0 for count in counts):
+            raise CodecError("frequency table needs at least one nonzero count")
+        if any(count < 0 for count in counts):
+            raise CodecError("negative symbol count")
+        self.counts = list(counts)
+        self.cumulative = [0]
+        for count in self.counts:
+            self.cumulative.append(self.cumulative[-1] + count)
+        self.total = self.cumulative[-1]
+        if self.total > _MAX_TOTAL:
+            raise CodecError(
+                f"total frequency {self.total} exceeds coder precision; "
+                "split the block"
+            )
+
+    @classmethod
+    def from_symbols(cls, symbols: list[int], alphabet_size: int) -> "FrequencyTable":
+        counts = [0] * alphabet_size
+        for symbol in symbols:
+            counts[symbol] += 1
+        return cls(counts)
+
+    def range_of(self, symbol: int) -> tuple[int, int]:
+        low, high = self.cumulative[symbol], self.cumulative[symbol + 1]
+        if low == high:
+            raise CodecError(f"symbol {symbol} has zero frequency")
+        return low, high
+
+    def symbol_at(self, scaled: int) -> int:
+        """Binary search: which symbol owns cumulative position ``scaled``."""
+        low, high = 0, len(self.counts)
+        while low + 1 < high:
+            mid = (low + high) // 2
+            if self.cumulative[mid] <= scaled:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        write_varint(out, len(self.counts))
+        for count in self.counts:
+            write_varint(out, count)
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes, offset: int) -> tuple["FrequencyTable", int]:
+        size, offset = read_varint(data, offset)
+        counts = []
+        for _ in range(size):
+            count, offset = read_varint(data, offset)
+            counts.append(count)
+        return cls(counts), offset
+
+
+def arithmetic_encode(symbols: list[int], table: FrequencyTable) -> bytes:
+    """Encode ``symbols`` under the static ``table``."""
+    writer = BitWriter()
+    low, high = 0, _FULL
+    pending = 0
+
+    def emit(bit: int) -> None:
+        nonlocal pending
+        writer.write_bit(bit)
+        for _ in range(pending):
+            writer.write_bit(1 - bit)
+        pending = 0
+
+    for symbol in symbols:
+        cum_low, cum_high = table.range_of(symbol)
+        span = high - low + 1
+        high = low + (span * cum_high) // table.total - 1
+        low = low + (span * cum_low) // table.total
+        while True:
+            if high < _HALF:
+                emit(0)
+            elif low >= _HALF:
+                emit(1)
+                low -= _HALF
+                high -= _HALF
+            elif low >= _QUARTER and high < _THREE_QUARTERS:
+                pending += 1
+                low -= _QUARTER
+                high -= _QUARTER
+            else:
+                break
+            low = low * 2
+            high = high * 2 + 1
+    # Flush: disambiguate the final interval.
+    pending += 1
+    emit(0 if low < _QUARTER else 1)
+    return writer.getvalue()
+
+
+def arithmetic_decode(data: bytes, count: int, table: FrequencyTable) -> list[int]:
+    """Decode ``count`` symbols (mirror of :func:`arithmetic_encode`)."""
+    reader = BitReader(data)
+    total_bits = len(data) * 8
+
+    bits_consumed = 0
+
+    def next_bit() -> int:
+        nonlocal bits_consumed
+        bits_consumed += 1
+        if bits_consumed <= total_bits:
+            return reader.read_bit()
+        return 0  # zero-padding past the stream end
+
+    low, high = 0, _FULL
+    code = 0
+    for _ in range(_PRECISION):
+        code = (code << 1) | next_bit()
+
+    symbols = []
+    for _ in range(count):
+        span = high - low + 1
+        scaled = ((code - low + 1) * table.total - 1) // span
+        symbol = table.symbol_at(scaled)
+        symbols.append(symbol)
+        cum_low, cum_high = table.range_of(symbol)
+        high = low + (span * cum_high) // table.total - 1
+        low = low + (span * cum_low) // table.total
+        while True:
+            if high < _HALF:
+                pass
+            elif low >= _HALF:
+                low -= _HALF
+                high -= _HALF
+                code -= _HALF
+            elif low >= _QUARTER and high < _THREE_QUARTERS:
+                low -= _QUARTER
+                high -= _QUARTER
+                code -= _QUARTER
+            else:
+                break
+            low = low * 2
+            high = high * 2 + 1
+            code = (code << 1) | next_bit()
+    return symbols

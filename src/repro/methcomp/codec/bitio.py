@@ -1,0 +1,117 @@
+"""Bit-level and varint I/O used by the METHCOMP codec."""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._out.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Write ``count`` bits of ``value``, most significant first."""
+        if count < 0:
+            raise CodecError(f"negative bit count: {count}")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, quotient: int) -> None:
+        """``quotient`` one-bits followed by a terminating zero."""
+        for _ in range(quotient):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padded to a byte boundary) and return the bytes."""
+        out = bytearray(self._out)
+        if self._nbits:
+            out.append(self._acc << (8 - self._nbits))
+        return bytes(out)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._out) * 8 + self._nbits
+
+
+class BitReader:
+    """MSB-first bit reader over a bytes object."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise CodecError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, count: int) -> int:
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self, limit: int = 1 << 20) -> int:
+        """Count one-bits until the terminating zero."""
+        count = 0
+        while self.read_bit():
+            count += 1
+            if count > limit:
+                raise CodecError("runaway unary code (corrupt stream?)")
+        return count
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise CodecError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise CodecError("varint too long (corrupt stream?)")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map signed to unsigned: 0,-1,1,-2,2 → 0,1,2,3,4."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) if value % 2 == 0 else -((value + 1) >> 1)

@@ -1,0 +1,89 @@
+"""Adaptive Golomb-Rice coding (LOCO-I / JPEG-LS style).
+
+Rice codes are optimal for geometrically distributed non-negative
+integers — exactly the shape of CpG position deltas and read-coverage
+values.  The adaptive variant tracks the running mean per *context* and
+derives the Rice parameter ``k`` from it, so encoder and decoder stay in
+lockstep without signalling ``k`` explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+from repro.methcomp.codec.bitio import BitReader, BitWriter
+
+#: Unary quotients longer than this escape to a fixed-width raw code.
+_ESCAPE_QUOTIENT = 24
+#: Raw escape width (bits) — covers any value the pipeline produces.
+_ESCAPE_BITS = 40
+#: Halve the adaptation counters at this many samples (forgetting).
+_RESET_THRESHOLD = 256
+
+
+class RiceContext:
+    """Adaptive state for one coding context."""
+
+    __slots__ = ("accumulated", "count")
+
+    def __init__(self, initial_mean: float = 4.0):
+        self.accumulated = max(1, int(initial_mean))
+        self.count = 1
+
+    def parameter(self) -> int:
+        """Current Rice parameter: smallest k with count·2^k ≥ accumulated."""
+        k = 0
+        while (self.count << k) < self.accumulated and k < 32:
+            k += 1
+        return k
+
+    def update(self, value: int) -> None:
+        self.accumulated += value
+        self.count += 1
+        if self.count >= _RESET_THRESHOLD:
+            self.accumulated >>= 1
+            self.count >>= 1
+
+
+def rice_encode(writer: BitWriter, value: int, context: RiceContext) -> None:
+    """Encode one non-negative integer under ``context``."""
+    if value < 0:
+        raise CodecError(f"Rice coder requires non-negative values, got {value}")
+    k = context.parameter()
+    quotient = value >> k
+    if quotient < _ESCAPE_QUOTIENT:
+        writer.write_unary(quotient)
+        writer.write_bits(value & ((1 << k) - 1), k)
+    else:
+        if value >= (1 << _ESCAPE_BITS):
+            raise CodecError(f"value {value} exceeds escape width")
+        writer.write_unary(_ESCAPE_QUOTIENT)
+        writer.write_bits(value, _ESCAPE_BITS)
+    context.update(value)
+
+
+def rice_decode(reader: BitReader, context: RiceContext) -> int:
+    """Decode one integer under ``context`` (mirror of :func:`rice_encode`)."""
+    k = context.parameter()
+    quotient = reader.read_unary(limit=_ESCAPE_QUOTIENT + 1)
+    if quotient < _ESCAPE_QUOTIENT:
+        value = (quotient << k) | reader.read_bits(k)
+    else:
+        value = reader.read_bits(_ESCAPE_BITS)
+    context.update(value)
+    return value
+
+
+def rice_encode_block(values: list[int], initial_mean: float = 4.0) -> bytes:
+    """Encode a list of integers with one adaptive context."""
+    writer = BitWriter()
+    context = RiceContext(initial_mean)
+    for value in values:
+        rice_encode(writer, value, context)
+    return writer.getvalue()
+
+
+def rice_decode_block(data: bytes, count: int, initial_mean: float = 4.0) -> list[int]:
+    """Decode ``count`` integers encoded by :func:`rice_encode_block`."""
+    reader = BitReader(data)
+    context = RiceContext(initial_mean)
+    return [rice_decode(reader, context) for _ in range(count)]

@@ -1,0 +1,233 @@
+"""Synthetic whole-genome bisulfite-sequencing (WGBS) methylome generator.
+
+Substitute for ENCFF988BSW (the paper's 3.5 GB input), which we cannot
+download.  The generator reproduces the statistical structure METHCOMP's
+compression gain comes from:
+
+* **CpG positions** cluster: long stretches of ~100 bp spacing broken by
+  dense CpG islands — so position *deltas* are small and highly skewed;
+* **methylation levels** are bimodal: most sites are either heavily
+  methylated (~90 %) or nearly unmethylated (~5 %) — so an adaptive
+  entropy coder squeezes the ``pct_meth`` column hard;
+* **coverage** follows an overdispersed (negative-binomial-like) count
+  distribution around a sequencing depth of ~25x.
+
+Records are emitted *shuffled* (deterministically): a raw pipeline input
+is not in genomic order, which is exactly why the paper's first stage is
+a sort.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing as t
+
+from repro.methcomp.bed import CHROMOSOMES, MethylationRecord, serialize_records
+
+#: Relative chromosome lengths (hg38-proportioned, arbitrary units).
+_CHROM_WEIGHTS: dict[str, float] = {
+    **{f"chr{i}": 25.0 - i for i in range(1, 23)},
+    "chrX": 16.0,
+    "chrY": 6.0,
+    "chrM": 0.2,
+}
+
+
+@dataclasses.dataclass(slots=True)
+class MethylomeProfile:
+    """Tunable statistics of the synthetic methylome."""
+
+    #: Mean gap between CpG sites outside islands (bp).
+    mean_gap: float = 110.0
+    #: Mean gap inside CpG islands (bp).
+    island_gap: float = 9.0
+    #: Probability that a site starts a CpG island.
+    island_start_prob: float = 0.004
+    #: Mean number of sites in an island once started.
+    island_length: float = 40.0
+    #: Probability a site is in the "methylated" mode.
+    methylated_fraction: float = 0.72
+    #: Beta parameters of the methylated mode (high levels).
+    methylated_beta: tuple[float, float] = (12.0, 1.6)
+    #: Beta parameters of the unmethylated mode (low levels).
+    unmethylated_beta: tuple[float, float] = (1.4, 14.0)
+    #: Mean read depth.  Coverage is locally smooth: sequencing reads
+    #: span ~150 bp, so neighbouring CpG sites share reads and depth
+    #: follows an AR(1) process along the genome rather than being iid.
+    coverage_mean: float = 18.0
+    #: AR(1) persistence of coverage between neighbouring sites.
+    coverage_persistence: float = 0.92
+    #: Std-dev of the AR(1) coverage innovation.
+    coverage_innovation: float = 1.8
+    #: Probability of staying in the current methylation domain per site.
+    #: Real methylomes are organised in long domains of consistent
+    #: methylation; persistence creates them.
+    domain_persistence: float = 0.995
+    #: Std-dev of per-site methylation noise around the domain level.
+    domain_meth_jitter: float = 3.0
+    #: Probability a CpG site is observed on *both* strands.  Bisulfite
+    #: sequencing reads the C of a CpG on the + strand and the G's
+    #: complement on the - strand one base over, so real bedMethyl files
+    #: are dominated by (+ at p, - at p+1) record pairs with correlated
+    #: coverage and methylation — structure the codec exploits.
+    pair_fraction: float = 0.85
+    #: Std-dev of the coverage difference within a strand pair.
+    pair_coverage_jitter: float = 1.5
+    #: Std-dev of the methylation-percent difference within a pair.
+    pair_meth_jitter: float = 2.0
+
+
+#: Average serialized 11-column bedMethyl line length (bytes).
+APPROX_LINE_BYTES = 62
+
+
+def _clamp_pct(value: float) -> int:
+    return min(100, max(0, round(value)))
+
+
+def estimate_record_count(target_bytes: int) -> int:
+    """Roughly how many records serialize to ``target_bytes``."""
+    return max(1, target_bytes // APPROX_LINE_BYTES)
+
+
+class MethylomeGenerator:
+    """Deterministic generator of synthetic bedMethyl records."""
+
+    def __init__(self, seed: int = 0, profile: MethylomeProfile | None = None):
+        self.profile = profile if profile is not None else MethylomeProfile()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def records(self, count: int) -> list[MethylationRecord]:
+        """Generate ``count`` records in genomic order."""
+        profile = self.profile
+        rng = self._rng
+        weights = [_CHROM_WEIGHTS[chrom] for chrom in CHROMOSOMES]
+        total_weight = sum(weights)
+        allocations = [
+            max(0, round(count * weight / total_weight)) for weight in weights
+        ]
+        # Fix rounding drift so the total is exact.
+        drift = count - sum(allocations)
+        allocations[0] += drift
+
+        out: list[MethylationRecord] = []
+        for chrom, allocation in zip(CHROMOSOMES, allocations):
+            position = rng.randrange(10_000, 50_000)
+            island_remaining = 0
+            emitted = 0
+            coverage_level = profile.coverage_mean
+            domain_methylated = rng.random() < profile.methylated_fraction
+            domain_level = self._domain_level(rng, domain_methylated)
+            while emitted < allocation:
+                if island_remaining > 0:
+                    island_remaining -= 1
+                    gap = 2 + int(rng.expovariate(1.0 / profile.island_gap))
+                else:
+                    if rng.random() < profile.island_start_prob:
+                        island_remaining = 1 + int(
+                            rng.expovariate(1.0 / profile.island_length)
+                        )
+                    gap = 2 + int(rng.expovariate(1.0 / profile.mean_gap))
+                position += gap
+
+                # Methylation domains: persist, occasionally switch mode.
+                if rng.random() > profile.domain_persistence:
+                    domain_methylated = rng.random() < profile.methylated_fraction
+                    domain_level = self._domain_level(rng, domain_methylated)
+                pct = _clamp_pct(
+                    domain_level + rng.gauss(0.0, profile.domain_meth_jitter)
+                )
+
+                # Locally smooth coverage (AR(1) around the mean depth).
+                coverage_level = (
+                    profile.coverage_mean
+                    + profile.coverage_persistence
+                    * (coverage_level - profile.coverage_mean)
+                    + rng.gauss(0.0, profile.coverage_innovation)
+                )
+                coverage = max(1, round(coverage_level))
+
+                out.append(
+                    MethylationRecord(
+                        chrom=chrom,
+                        start=position,
+                        end=position + 2,  # CpG dinucleotide
+                        strand="+",
+                        coverage=coverage,
+                        pct_meth=pct,
+                    )
+                )
+                emitted += 1
+                if emitted < allocation and rng.random() < profile.pair_fraction:
+                    # Complementary-strand observation of the same CpG.
+                    paired_coverage = max(
+                        1,
+                        coverage
+                        + round(rng.gauss(0.0, profile.pair_coverage_jitter)),
+                    )
+                    paired_pct = _clamp_pct(
+                        pct + rng.gauss(0.0, profile.pair_meth_jitter)
+                    )
+                    out.append(
+                        MethylationRecord(
+                            chrom=chrom,
+                            start=position + 1,
+                            end=position + 3,
+                            strand="-",
+                            coverage=paired_coverage,
+                            pct_meth=paired_pct,
+                        )
+                    )
+                    emitted += 1
+        return out
+
+    def _domain_level(self, rng: random.Random, methylated: bool) -> float:
+        profile = self.profile
+        alpha, beta = (
+            profile.methylated_beta if methylated else profile.unmethylated_beta
+        )
+        return 100.0 * rng.betavariate(alpha, beta)
+
+    # ------------------------------------------------------------------
+    def shuffled_records(self, count: int) -> list[MethylationRecord]:
+        """Generate ``count`` records in scrambled (pipeline-input) order."""
+        records = self.records(count)
+        self._rng.shuffle(records)
+        return records
+
+    def generate_bed(self, count: int, sorted_output: bool = False) -> bytes:
+        """Serialized bedMethyl payload of ``count`` records."""
+        records = self.records(count) if sorted_output else self.shuffled_records(count)
+        return serialize_records(records)
+
+    def generate_bed_bytes(
+        self, target_bytes: int, sorted_output: bool = False
+    ) -> bytes:
+        """Payload of approximately ``target_bytes`` serialized bytes."""
+        return self.generate_bed(
+            estimate_record_count(target_bytes), sorted_output=sorted_output
+        )
+
+
+def upload_dataset(
+    cloud,
+    bucket: str,
+    key: str,
+    real_bytes: int,
+    seed: int = 0,
+    profile: MethylomeProfile | None = None,
+    sorted_output: bool = False,
+) -> t.Generator:
+    """Simulation process: generate and PUT a dataset; returns metadata.
+
+    ``real_bytes`` is the *real* payload size; with a scaled cloud
+    profile the logical size seen by the performance model is
+    ``real_bytes * logical_scale``.
+    """
+    generator = MethylomeGenerator(seed=seed, profile=profile)
+    payload = generator.generate_bed_bytes(real_bytes, sorted_output=sorted_output)
+    cloud.store.ensure_bucket(bucket)
+    meta = yield cloud.store.put(bucket, key, payload)
+    return meta

@@ -1,0 +1,73 @@
+"""Worker-side stages of the METHCOMP serverless pipeline.
+
+The pipeline the paper ports to serverless has two stages:
+
+1. **sort** — genomic ordering of the raw bedMethyl file (all-to-all;
+   provided by :mod:`repro.shuffle` or by a VM task, depending on the
+   configuration under study);
+2. **encode** — embarrassingly parallel compression of the sorted
+   partitions with the METHCOMP codec.
+
+This module supplies the encode/verify stage functions (sim-aware
+executor functions doing *real* compression on real bytes) plus the BED
+record codec used by the shuffle.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.methcomp.bed import bed_sort_key, parse_buffer, serialize_records
+from repro.methcomp.codec.methcodec import (
+    DECODE_THROUGHPUT_BPS,
+    ENCODE_THROUGHPUT_BPS,
+    compress_records,
+    decompress_records,
+)
+from repro.shuffle.records import LineRecordCodec
+
+
+def bed_record_codec() -> LineRecordCodec:
+    """Shuffle codec for bedMethyl lines, keyed by genomic position."""
+    return LineRecordCodec(key_fn=bed_sort_key)
+
+
+def encode_worker(ctx, task: dict) -> t.Generator:
+    """Compress one sorted partition with the METHCOMP codec.
+
+    Task fields: ``bucket, key`` (sorted input run), ``out_bucket,
+    out_key`` (compressed output).  Returns size metadata used for the
+    stage report.  Real records are parsed and really compressed; the
+    CPU charge models a native-speed encoder over the logical bytes.
+    """
+    raw = yield ctx.storage.get(task["bucket"], task["key"])
+    records = parse_buffer(raw)
+    compressed = compress_records(records)
+    throughput = task.get("throughput_bps", ENCODE_THROUGHPUT_BPS)
+    yield ctx.compute_bytes(len(raw), throughput)
+    yield ctx.storage.put(task["out_bucket"], task["out_key"], compressed)
+    return {
+        "records": len(records),
+        "raw_bytes": len(raw),
+        "compressed_bytes": len(compressed),
+        "out_key": task["out_key"],
+    }
+
+
+def decode_worker(ctx, task: dict) -> t.Generator:
+    """Decompress one METHCOMP block back to bedMethyl text (verification).
+
+    Task fields: ``bucket, key`` (compressed block), ``out_bucket,
+    out_key`` (restored text).
+    """
+    compressed = yield ctx.storage.get(task["bucket"], task["key"])
+    records = decompress_records(compressed)
+    restored = serialize_records(records)
+    throughput = task.get("throughput_bps", DECODE_THROUGHPUT_BPS)
+    yield ctx.compute_bytes(len(restored), throughput)
+    yield ctx.storage.put(task["out_bucket"], task["out_key"], restored)
+    return {
+        "records": len(records),
+        "restored_bytes": len(restored),
+        "out_key": task["out_key"],
+    }

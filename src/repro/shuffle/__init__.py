@@ -1,0 +1,83 @@
+"""Primula-like shuffle/sort (and GroupBy) through object storage.
+
+Also hosts the cache-mediated shuffle variant
+(:class:`CacheShuffleSort`), which exchanges intermediate partitions
+through the in-memory key-value store instead.
+"""
+
+from repro.shuffle.cacheoperator import CacheShuffleReport, CacheShuffleSort
+from repro.shuffle.cacheplanner import (
+    CacheShuffleCostModel,
+    plan_cache_shuffle,
+    predict_cache_shuffle_time,
+    required_cache_nodes,
+)
+from repro.shuffle.cachestages import (
+    cache_partition_key,
+    cache_shuffle_mapper,
+    cache_shuffle_reducer,
+)
+from repro.shuffle.groupby import (
+    AggregateFn,
+    GroupByResult,
+    GroupKeyCodec,
+    ShuffleGroupBy,
+    shuffle_group_reducer,
+)
+from repro.shuffle.operator import ShuffleResult, ShuffleSort, SortedRun
+from repro.shuffle.orderby import (
+    OrderByResult,
+    ReversedKey,
+    ShuffleOrderBy,
+)
+from repro.shuffle.planner import (
+    PlanPoint,
+    ShuffleCostModel,
+    ShufflePlan,
+    plan_shuffle,
+    predict_shuffle_time,
+)
+from repro.shuffle.records import FixedWidthCodec, LineRecordCodec, RecordCodec
+from repro.shuffle.sampler import (
+    choose_boundaries,
+    partition_index,
+    reservoir_sample,
+)
+from repro.shuffle.stages import shuffle_mapper, shuffle_reducer, shuffle_sampler
+
+__all__ = [
+    "AggregateFn",
+    "CacheShuffleCostModel",
+    "CacheShuffleReport",
+    "CacheShuffleSort",
+    "cache_partition_key",
+    "cache_shuffle_mapper",
+    "cache_shuffle_reducer",
+    "plan_cache_shuffle",
+    "predict_cache_shuffle_time",
+    "required_cache_nodes",
+    "FixedWidthCodec",
+    "GroupByResult",
+    "GroupKeyCodec",
+    "LineRecordCodec",
+    "OrderByResult",
+    "PlanPoint",
+    "RecordCodec",
+    "ReversedKey",
+    "ShuffleCostModel",
+    "ShuffleGroupBy",
+    "ShuffleOrderBy",
+    "ShufflePlan",
+    "ShuffleResult",
+    "ShuffleSort",
+    "SortedRun",
+    "shuffle_group_reducer",
+    "choose_boundaries",
+    "partition_index",
+    "plan_shuffle",
+    "predict_shuffle_time",
+    "reservoir_sample",
+    "shuffle_mapper",
+    "shuffle_reducer",
+    "shuffle_sampler",
+]

@@ -1,0 +1,221 @@
+"""Online (probe-based) shuffle tuning — Primula's "on the fly" planner.
+
+The analytic planner in :mod:`repro.shuffle.planner` is only as good as
+its calibration constants.  Primula's practical contribution is picking
+the worker count *at runtime*: before a shuffle, it measures what the
+substrate actually delivers and plans on those numbers instead of
+yesterday's.
+
+:class:`OnlineTuner` reproduces that loop:
+
+1. **probe** — one ordinary cloud function performs a handful of small
+   PUT/GETs (request latency), one large PUT/GET (effective per-
+   connection bandwidth, instance NIC included) and reports its own
+   startup delay;
+2. **fit** — the measurements replace the corresponding constants in a
+   copy of the region profile (the ops/s ceiling is not probeable
+   without flooding the store, so it stays a prior — as in Primula,
+   which reacts to throttling during execution instead);
+3. **plan** — the standard analytic planner runs on the fitted profile.
+
+Benchmark S10 measures the payoff: when the region misbehaves (slow
+NICs, inflated latency), the statically calibrated planner picks a poor
+worker count while the tuner stays near the oracle.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import statistics
+import typing as t
+
+from repro.cloud.profiles import LatencyModel
+from repro.errors import ShuffleError
+from repro.shuffle.planner import ShuffleCostModel, ShufflePlan, plan_shuffle
+from repro.sim import SimEvent
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ProbeReport:
+    """What one probe invocation measured (virtual seconds / bytes-per-s)."""
+
+    read_latency_s: float
+    write_latency_s: float
+    connection_bandwidth_bps: float
+    startup_s: float
+    duration_s: float
+    requests: int
+
+    def describe(self) -> str:
+        return (
+            f"probe: read {self.read_latency_s * 1000:.1f} ms, write "
+            f"{self.write_latency_s * 1000:.1f} ms, "
+            f"{self.connection_bandwidth_bps / 1e6:.1f} MB/s, startup "
+            f"{self.startup_s:.2f} s ({self.requests} requests in "
+            f"{self.duration_s:.2f} s)"
+        )
+
+
+def probe_worker(ctx, task: dict) -> t.Generator:
+    """Measure the storage substrate from inside a function instance.
+
+    Task fields: ``bucket, prefix, requests, small_bytes, large_bytes``.
+    Returns raw samples; the driver aggregates (medians are robust to a
+    single slow request, which is the norm, not the exception).
+    """
+    started_at = ctx.sim.now
+    bucket = task["bucket"]
+    prefix = task["prefix"]
+    requests = task["requests"]
+    # Small objects carry logical_size=real so latency probes stay
+    # latency-dominated even on scaled-down experiment clouds.
+    small = b"\x5a" * task["small_bytes"]
+    write_samples = []
+    for index in range(requests):
+        before = ctx.sim.now
+        yield ctx.storage.put(
+            bucket, f"{prefix}/lat{index}", small, logical_size=len(small)
+        )
+        write_samples.append(ctx.sim.now - before)
+    read_samples = []
+    for index in range(requests):
+        before = ctx.sim.now
+        yield ctx.storage.get(bucket, f"{prefix}/lat{index}")
+        read_samples.append(ctx.sim.now - before)
+
+    large = bytes(task["large_bytes"])
+    before = ctx.sim.now
+    yield ctx.storage.put(bucket, f"{prefix}/bw", large)
+    write_duration = ctx.sim.now - before
+    before = ctx.sim.now
+    yield ctx.storage.get(bucket, f"{prefix}/bw")
+    read_duration = ctx.sim.now - before
+
+    for index in range(requests):
+        yield ctx.storage.delete(bucket, f"{prefix}/lat{index}")
+    yield ctx.storage.delete(bucket, f"{prefix}/bw")
+
+    return {
+        "started_at": started_at,
+        "write_samples": write_samples,
+        "read_samples": read_samples,
+        "large_logical": len(large) * ctx.logical_scale,
+        "large_write_s": write_duration,
+        "large_read_s": read_duration,
+    }
+
+
+class OnlineTuner:
+    """Probe the substrate, fit the profile, plan the shuffle."""
+
+    def __init__(
+        self,
+        executor,
+        requests: int = 6,
+        small_bytes: int = 1024,
+        large_mb: float = 16.0,
+    ):
+        if requests < 2:
+            raise ShuffleError(f"probe needs >= 2 requests, got {requests}")
+        self.executor = executor
+        self.sim = executor.sim
+        self.requests = requests
+        self.small_bytes = small_bytes
+        self.large_mb = large_mb
+
+    # ------------------------------------------------------------------
+    def probe(self, bucket: str, prefix: str = "primula-probe") -> SimEvent:
+        """Run one probe invocation; event → :class:`ProbeReport`."""
+        return self.sim.process(
+            self._probe(bucket, prefix), name="tuner.probe"
+        ).completion
+
+    def _probe(self, bucket: str, prefix: str) -> t.Generator:
+        started = self.sim.now
+        scale = self.executor.cloud.logical_scale
+        # The probe's large object is a *logical* size: the measurement
+        # must exercise the same logical transfer a real probe would.
+        large_real = max(1, int(self.large_mb * (1 << 20) / scale))
+        task = {
+            "bucket": bucket,
+            "prefix": prefix,
+            "requests": self.requests,
+            "small_bytes": self.small_bytes,
+            "large_bytes": large_real,
+        }
+        future = yield self.executor.call_async(probe_worker, task)
+        raw = yield self.executor.get_result(future)
+
+        read_latency = statistics.median(raw["read_samples"])
+        write_latency = statistics.median(raw["write_samples"])
+        transfer_write = max(1e-9, raw["large_write_s"] - write_latency)
+        transfer_read = max(1e-9, raw["large_read_s"] - read_latency)
+        bandwidth = raw["large_logical"] / max(transfer_write, transfer_read)
+        return ProbeReport(
+            read_latency_s=read_latency,
+            write_latency_s=write_latency,
+            connection_bandwidth_bps=bandwidth,
+            startup_s=raw["started_at"] - started,
+            duration_s=self.sim.now - started,
+            requests=2 * self.requests + 2,
+        )
+
+    # ------------------------------------------------------------------
+    def fitted_profile(self, report: ProbeReport):
+        """A copy of the region profile with measured constants swapped in."""
+        profile = copy.deepcopy(self.executor.cloud.profile)
+        profile.objectstore.read_latency = LatencyModel(report.read_latency_s, 0.0)
+        profile.objectstore.write_latency = LatencyModel(report.write_latency_s, 0.0)
+        profile.faas.instance_bandwidth = report.connection_bandwidth_bps
+        # Startup lands in one term that is constant in W; fold the whole
+        # measured delay into the cold start for honest predictions.
+        profile.faas.invoke_overhead = LatencyModel(0.0, 0.0)
+        profile.faas.cold_start = LatencyModel(max(0.0, report.startup_s), 0.0)
+        return profile
+
+    def plan(
+        self,
+        logical_bytes: float,
+        report: ProbeReport,
+        cost: ShuffleCostModel | None = None,
+        max_workers: int = 256,
+        candidates: t.Sequence[int] | None = None,
+    ) -> ShufflePlan:
+        """Plan the shuffle on the probed (fitted) profile."""
+        return plan_shuffle(
+            logical_bytes,
+            self.fitted_profile(report),
+            cost,
+            max_workers=max_workers,
+            candidates=candidates,
+        )
+
+    def tune(
+        self,
+        bucket: str,
+        logical_bytes: float,
+        cost: ShuffleCostModel | None = None,
+        max_workers: int = 256,
+        candidates: t.Sequence[int] | None = None,
+    ) -> SimEvent:
+        """Probe then plan in one step; event → ``(report, plan)``."""
+        return self.sim.process(
+            self._tune(bucket, logical_bytes, cost, max_workers, candidates),
+            name="tuner.tune",
+        ).completion
+
+    def _tune(
+        self,
+        bucket: str,
+        logical_bytes: float,
+        cost: ShuffleCostModel | None,
+        max_workers: int,
+        candidates: t.Sequence[int] | None,
+    ) -> t.Generator:
+        report = yield self.probe(bucket)
+        plan = self.plan(
+            logical_bytes, report, cost, max_workers=max_workers,
+            candidates=candidates,
+        )
+        return report, plan

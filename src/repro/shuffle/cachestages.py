@@ -1,0 +1,104 @@
+"""Worker-side stages of the cache-mediated shuffle.
+
+Same three-phase layout as the object-storage shuffle
+(:mod:`repro.shuffle.stages`), but the all-to-all traffic rides the
+in-memory key-value store:
+
+* sampling is unchanged (the input lives in object storage either way);
+* :func:`cache_shuffle_mapper` partitions its split and MSETs one cache
+  value per reducer — W values per mapper, pipelined per cache node;
+* :func:`cache_shuffle_reducer` MGETs its W partitions in one batch,
+  sorts, and writes the run to object storage (the encode stage reads
+  runs from COS regardless of how the shuffle moved its bytes).
+
+Task payloads carry the cache *cluster id*; workers resolve it through
+their :meth:`~repro.cloud.faas.context.FunctionContext.kv` accessor.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.shuffle.records import RecordCodec
+from repro.shuffle.sampler import partition_index
+
+
+def cache_partition_key(prefix: str, mapper_id: int, reducer_id: int) -> str:
+    """Cache key of mapper ``mapper_id``'s segment for reducer ``reducer_id``."""
+    return f"{prefix}/m{mapper_id:05d}.r{reducer_id:05d}"
+
+
+def cache_shuffle_mapper(ctx, task: dict) -> t.Generator:
+    """Partition one record-aligned split into cache values.
+
+    Task fields: ``bucket, key, start, end, object_size, peek_bytes,
+    boundaries, codec, cluster_id, cache_prefix, mapper_id,
+    partition_throughput``.
+    """
+    codec: RecordCodec = task["codec"]
+    start, end = task["start"], task["end"]
+    object_size = task["object_size"]
+    window_end = min(object_size, end + task["peek_bytes"])
+    raw = yield ctx.storage.get_range(task["bucket"], task["key"], start, window_end)
+    base, tail = raw[: end - start], raw[end - start :]
+    owned = codec.extract_split(
+        base,
+        tail,
+        is_first=(start == 0),
+        at_end=(end >= object_size),
+        global_start=start,
+    )
+
+    boundaries = task["boundaries"]
+    partitions: list[list[bytes]] = [[] for _ in range(len(boundaries) + 1)]
+    records = codec.split(owned)
+    for record in records:
+        partitions[partition_index(codec.key(record), boundaries)].append(record)
+    yield ctx.compute_bytes(len(owned), task["partition_throughput"])
+
+    client = ctx.kv(task["cluster_id"])
+    mapper_id = task["mapper_id"]
+    items = [
+        (
+            cache_partition_key(task["cache_prefix"], mapper_id, reducer_id),
+            codec.join(bucket_records),
+        )
+        for reducer_id, bucket_records in enumerate(partitions)
+    ]
+    yield client.mset(items)
+    return {
+        "records": len(records),
+        "bytes": sum(len(data) for _key, data in items),
+        "partition_sizes": [len(data) for _key, data in items],
+    }
+
+
+def cache_shuffle_reducer(ctx, task: dict) -> t.Generator:
+    """Fetch one partition from every mapper via the cache, sort, write.
+
+    Task fields: ``cluster_id, cache_prefix, reducer_id, mappers,
+    out_bucket, output_key, codec, sort_throughput, cleanup``.
+    """
+    codec: RecordCodec = task["codec"]
+    client = ctx.kv(task["cluster_id"])
+    reducer_id = task["reducer_id"]
+    keys = [
+        cache_partition_key(task["cache_prefix"], mapper_id, reducer_id)
+        for mapper_id in range(task["mappers"])
+    ]
+    segments = yield client.mget(keys)
+    if task.get("cleanup", False):
+        for key in keys:
+            yield client.delete(key)
+
+    buffer = b"".join(segments)
+    records = codec.split(buffer)
+    yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
+    records.sort(key=codec.key)
+    output = codec.join(records)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    return {
+        "records": len(records),
+        "bytes": len(output),
+        "output_key": task["output_key"],
+    }

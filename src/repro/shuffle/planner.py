@@ -1,0 +1,164 @@
+"""Analytic planner: the optimal number of shuffle functions.
+
+This is the heart of the Primula reimplementation and of the paper's
+thesis: "object storage performs well **when the appropriate number of
+functions is used** in I/O-bound stages".
+
+The planner models end-to-end shuffle time as a function of the worker
+count ``W`` (we use ``W`` mappers and ``W`` reducers, Primula's default
+square layout) and picks the minimizing ``W``:
+
+* **too few functions** — each worker moves ``S/W`` bytes through its
+  own NIC: bandwidth-starved, compute-starved;
+* **too many functions** — the all-to-all phase issues ``W²`` requests:
+  per-request latency and the object store's ops/s ceiling dominate,
+  plus every extra worker pays a cold start.
+
+The model's terms (per phase, seconds):
+
+==============  =====================================================
+startup         invoke overhead + cold start (parallel across workers)
+map read        ``max(S / (W·b), S / A)`` — instance NIC vs aggregate
+partition CPU   ``(S/W) / partition_throughput``
+map write       same bandwidth law as read, + one PUT latency
+reduce fetch    ``max(ceil(W/K)·L_r + (S/W)/b, W²/Q)`` — K-way batched
+                range-GETs per reducer, floored by the ops/s ceiling Q
+sort CPU        ``(S/W) / sort_throughput``
+reduce write    bandwidth law + one PUT latency
+driver          ``3·W·(L_w + L_r)`` — the orchestrator uploads one
+                payload and fetches one result per call, serially, for
+                each of the three phases (Lithops driver behaviour)
+==============  =====================================================
+
+The planned curve is itself an experiment artifact: benchmark S1 sweeps
+the *simulated* shuffle over ``W`` and checks it reproduces this
+U-shape with a compatible minimizer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.cloud.profiles import CloudProfile
+from repro.errors import ShuffleError
+
+
+@dataclasses.dataclass(slots=True)
+class ShuffleCostModel:
+    """Workload-side constants of the shuffle cost model."""
+
+    #: Full-core throughput of the partitioning pass (bytes/s).
+    partition_throughput: float = 180e6
+    #: Full-core throughput of the reduce-side sort (bytes/s).
+    sort_throughput: float = 90e6
+    #: Concurrent range-GETs per reducer (latency hiding).
+    fetch_parallelism: int = 4
+    #: Primula's write-combining I/O optimization: each mapper writes one
+    #: combined object (W PUTs per map phase) instead of one object per
+    #: partition (W² PUTs).  Disable to measure the naive all-to-all the
+    #: paper warns about.
+    write_combining: bool = True
+    #: Peek window appended to splits for record alignment (bytes).
+    peek_bytes: int = 64 * 1024
+    #: Bytes each sampler reads for boundary estimation.
+    sample_bytes: int = 256 * 1024
+    #: Number of key samples kept per sampler.
+    sample_keys: int = 512
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PlanPoint:
+    """Predicted shuffle timing at one worker count."""
+
+    workers: int
+    total_s: float
+    breakdown: dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ShufflePlan:
+    """Planner output: chosen worker count plus the full predicted curve."""
+
+    workers: int
+    predicted_s: float
+    curve: tuple[PlanPoint, ...]
+
+    def point(self, workers: int) -> PlanPoint:
+        for candidate in self.curve:
+            if candidate.workers == workers:
+                return candidate
+        raise ShuffleError(f"no plan point for {workers} workers")
+
+
+def predict_shuffle_time(
+    logical_bytes: float,
+    workers: int,
+    profile: CloudProfile,
+    cost: ShuffleCostModel,
+) -> PlanPoint:
+    """Evaluate the analytic model at one worker count."""
+    if workers < 1:
+        raise ShuffleError(f"workers must be >= 1, got {workers}")
+    size = float(logical_bytes)
+    store = profile.objectstore
+    faas = profile.faas
+    instance_bw = min(faas.instance_bandwidth, store.per_connection_bandwidth)
+    aggregate_bw = store.aggregate_bandwidth
+    per_worker = size / workers
+
+    startup = faas.invoke_overhead.mean + faas.cold_start.mean
+    bandwidth_bound = max(per_worker / instance_bw, size / aggregate_bw)
+
+    map_read = bandwidth_bound + store.read_latency.mean
+    partition_cpu = per_worker / cost.partition_throughput
+    map_write = bandwidth_bound + store.write_latency.mean
+
+    batches = -(-workers // max(1, cost.fetch_parallelism))  # ceil division
+    fetch_latency = batches * store.read_latency.mean
+    fetch_transfer = bandwidth_bound
+    ops_floor = (workers * workers) / store.ops_per_second
+    reduce_fetch = max(fetch_latency + fetch_transfer, ops_floor)
+
+    sort_cpu = per_worker / cost.sort_throughput
+    reduce_write = bandwidth_bound + store.write_latency.mean
+    driver = 3.0 * workers * (store.write_latency.mean + store.read_latency.mean)
+
+    breakdown = {
+        "startup": startup,
+        "map_read": map_read,
+        "partition_cpu": partition_cpu,
+        "map_write": map_write,
+        "reduce_fetch": reduce_fetch,
+        "sort_cpu": sort_cpu,
+        "reduce_write": reduce_write,
+        "driver": driver,
+    }
+    return PlanPoint(workers, sum(breakdown.values()), dict(breakdown))
+
+
+def plan_shuffle(
+    logical_bytes: float,
+    profile: CloudProfile,
+    cost: ShuffleCostModel | None = None,
+    max_workers: int = 256,
+    candidates: t.Sequence[int] | None = None,
+) -> ShufflePlan:
+    """Pick the worker count minimizing predicted shuffle time.
+
+    ``candidates`` defaults to every integer in ``[1, max_workers]``;
+    pass an explicit sequence (e.g. powers of two) to restrict the
+    search the way Primula's on-the-fly heuristic does.
+    """
+    if logical_bytes <= 0:
+        raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
+    cost = cost if cost is not None else ShuffleCostModel()
+    pool = list(candidates) if candidates is not None else list(range(1, max_workers + 1))
+    if not pool:
+        raise ShuffleError("empty candidate worker set")
+    curve = tuple(
+        predict_shuffle_time(logical_bytes, workers, profile, cost)
+        for workers in sorted(set(pool))
+    )
+    best = min(curve, key=lambda point: (point.total_s, point.workers))
+    return ShufflePlan(workers=best.workers, predicted_s=best.total_s, curve=curve)

@@ -1,0 +1,62 @@
+"""Key sampling and range-boundary selection for the shuffle.
+
+Primula partitions by *range* so reducer outputs concatenate into a
+globally sorted result.  Boundaries come from a cheap sampling pass:
+each sampler reads a small window of its input split, extracts record
+keys, and the driver picks quantiles over the pooled sample.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ShuffleError
+
+
+def reservoir_sample(items: t.Iterable[t.Any], capacity: int, rng) -> list[t.Any]:
+    """Classic reservoir sampling: ``capacity`` items, uniform over input."""
+    if capacity < 1:
+        raise ShuffleError(f"sample capacity must be >= 1, got {capacity}")
+    reservoir: list[t.Any] = []
+    for index, item in enumerate(items):
+        if index < capacity:
+            reservoir.append(item)
+        else:
+            slot = rng.randint(0, index)
+            if slot < capacity:
+                reservoir[slot] = item
+    return reservoir
+
+
+def choose_boundaries(sampled_keys: t.Sequence[t.Any], partitions: int) -> list[t.Any]:
+    """Pick ``partitions - 1`` split points from pooled sample keys.
+
+    Returns an ascending list of boundary keys; partition ``i`` holds the
+    records with ``boundary[i-1] <= key < boundary[i]``.  With fewer
+    distinct keys than partitions, some partitions simply end up empty —
+    correctness is preserved, parallelism degrades gracefully.
+    """
+    if partitions < 1:
+        raise ShuffleError(f"partitions must be >= 1, got {partitions}")
+    if partitions == 1:
+        return []
+    if not sampled_keys:
+        raise ShuffleError("cannot choose boundaries from an empty sample")
+    ordered = sorted(sampled_keys)
+    boundaries = []
+    for index in range(1, partitions):
+        position = (index * len(ordered)) // partitions
+        boundaries.append(ordered[position])
+    return boundaries
+
+
+def partition_index(key: t.Any, boundaries: t.Sequence[t.Any]) -> int:
+    """Which partition ``key`` belongs to (binary search over boundaries)."""
+    low, high = 0, len(boundaries)
+    while low < high:
+        mid = (low + high) // 2
+        if key < boundaries[mid]:
+            high = mid
+        else:
+            low = mid + 1
+    return low

@@ -1,0 +1,176 @@
+"""Worker-side stages of the object-storage shuffle.
+
+Three sim-aware functions executed through a
+:class:`~repro.executor.FunctionExecutor` (or the VM-backed standalone
+executor — they are substrate-portable):
+
+* :func:`shuffle_sampler` — reads a window of its split and returns a
+  key sample for boundary selection;
+* :func:`shuffle_mapper` — reads its record-aligned split, partitions
+  records by range, and writes **one combined object** (all partitions
+  concatenated, plus an offset table returned to the driver).  This is
+  the write-combining I/O optimization: ``W`` PUTs per map phase instead
+  of ``W²``;
+* :func:`shuffle_reducer` — range-GETs its segment from every mapper
+  output (batched for latency hiding), sorts the records, and writes one
+  sorted run.
+
+All payloads are plain picklable dicts, so the stages ride the normal
+executor data path through object storage.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.shuffle.records import RecordCodec
+from repro.shuffle.sampler import partition_index, reservoir_sample
+
+
+def shuffle_sampler(ctx, task: dict) -> t.Generator:
+    """Sample record keys from one input split.
+
+    Task fields: ``bucket, key, start, end, object_size, sample_bytes,
+    sample_keys, codec, seed``.
+    """
+    codec: RecordCodec = task["codec"]
+    start = task["start"]
+    window_end = min(task["end"], start + task["sample_bytes"])
+    window = yield ctx.storage.get_range(task["bucket"], task["key"], start, window_end)
+    records = codec.sample_window(window, is_first=(start == 0), global_start=start)
+    keys = [codec.key(record) for record in records]
+    rng = ctx.rng(f"sampler-{task.get('sampler_id', 0)}")
+    sample = reservoir_sample(keys, task["sample_keys"], rng) if keys else []
+    return {"keys": sample, "records_seen": len(records)}
+
+
+def shuffle_mapper(ctx, task: dict) -> t.Generator:
+    """Partition one record-aligned split into range buckets.
+
+    Task fields: ``bucket, key, start, end, object_size, peek_bytes,
+    boundaries, codec, out_bucket, out_key, partition_throughput,
+    write_combining``.
+
+    With write-combining (Primula's optimization) the mapper PUTs one
+    combined object and returns the offset table ``offsets[r] =
+    (seg_start, seg_end)`` of reducer ``r``'s segment inside it.
+    Without it (the naive all-to-all the paper warns about) the mapper
+    PUTs one object per partition — ``W²`` PUTs per map phase overall —
+    and returns the per-partition key list instead.
+    """
+    codec: RecordCodec = task["codec"]
+    start, end = task["start"], task["end"]
+    object_size = task["object_size"]
+    window_end = min(object_size, end + task["peek_bytes"])
+    raw = yield ctx.storage.get_range(task["bucket"], task["key"], start, window_end)
+    base, tail = raw[: end - start], raw[end - start :]
+    owned = codec.extract_split(
+        base,
+        tail,
+        is_first=(start == 0),
+        at_end=(end >= object_size),
+        global_start=start,
+    )
+
+    boundaries = task["boundaries"]
+    partitions: list[list[bytes]] = [[] for _ in range(len(boundaries) + 1)]
+    records = codec.split(owned)
+    for record in records:
+        partitions[partition_index(codec.key(record), boundaries)].append(record)
+    yield ctx.compute_bytes(len(owned), task["partition_throughput"])
+
+    segments = [codec.join(bucket_records) for bucket_records in partitions]
+    partition_records = [len(bucket_records) for bucket_records in partitions]
+    if task.get("write_combining", True):
+        # One object holding every partition segment.
+        combined = b"".join(segments)
+        offsets: list[tuple[int, int]] = []
+        cursor = 0
+        for segment in segments:
+            offsets.append((cursor, cursor + len(segment)))
+            cursor += len(segment)
+        yield ctx.storage.put(task["out_bucket"], task["out_key"], combined)
+        return {
+            "offsets": offsets,
+            "records": len(records),
+            "partition_records": partition_records,
+            "bytes": len(combined),
+            "out_key": task["out_key"],
+        }
+
+    # Naive mode: one object per (mapper, partition) pair.
+    partition_keys = []
+    for reducer_id, segment in enumerate(segments):
+        partition_key = f"{task['out_key']}.p{reducer_id:05d}"
+        partition_keys.append(partition_key)
+        yield ctx.storage.put(task["out_bucket"], partition_key, segment)
+    return {
+        "partition_keys": partition_keys,
+        "records": len(records),
+        "partition_records": partition_records,
+        "bytes": sum(len(segment) for segment in segments),
+        "out_key": task["out_key"],
+    }
+
+
+def shuffle_reducer(ctx, task: dict) -> t.Generator:
+    """Fetch, sort and write one output partition.
+
+    Task fields: ``out_bucket, segments`` (list of ``(key, start, end)``
+    into mapper outputs; ``start``/``end`` of ``None`` means a whole
+    object, as produced by naive non-write-combined mappers),
+    ``output_key, codec, sort_throughput, fetch_parallelism``, and an
+    optional ``record_limit`` keeping only the first N sorted records
+    (top-k queries truncate their final partition this way).
+    """
+    codec: RecordCodec = task["codec"]
+    segments = [
+        (key, start, end)
+        for key, start, end in task["segments"]
+        if start is None or end > start
+    ]
+    parallelism = max(1, task["fetch_parallelism"])
+    # Split the instance NIC across the concurrent streams so batching
+    # hides request latency without inventing bandwidth.
+    fetch_storage = ctx.storage
+    if parallelism > 1 and ctx.storage.connection_bandwidth is not None:
+        fetch_storage = ctx.storage.bounded(
+            ctx.storage.connection_bandwidth / parallelism
+        )
+
+    chunks: dict[int, bytes] = {}
+
+    def fetch_one(index: int, key: str, seg_start, seg_end) -> t.Generator:
+        if seg_start is None:
+            chunks[index] = yield fetch_storage.get(task["out_bucket"], key)
+        else:
+            chunks[index] = yield fetch_storage.get_range(
+                task["out_bucket"], key, seg_start, seg_end
+            )
+
+    for batch_start in range(0, len(segments), parallelism):
+        batch = segments[batch_start : batch_start + parallelism]
+        processes = [
+            ctx.sim.process(
+                fetch_one(batch_start + offset, key, seg_start, seg_end),
+                name=f"reducer-fetch-{batch_start + offset}",
+            )
+            for offset, (key, seg_start, seg_end) in enumerate(batch)
+        ]
+        if processes:
+            yield ctx.sim.all_of([process.completion for process in processes])
+
+    buffer = b"".join(chunks[index] for index in sorted(chunks))
+    records = codec.split(buffer)
+    yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
+    records.sort(key=codec.key)
+    record_limit = task.get("record_limit")
+    if record_limit is not None:
+        records = records[:record_limit]
+    output = codec.join(records)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    return {
+        "records": len(records),
+        "bytes": len(output),
+        "output_key": task["output_key"],
+    }

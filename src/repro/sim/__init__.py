@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate under the whole library: the simulated
+cloud (object storage, FaaS, VMs) is built from :class:`Simulator`
+processes, events and resources.
+
+Public surface::
+
+    from repro.sim import Simulator, FOREVER
+    from repro.sim import SimEvent, Timeout, AllOf, AnyOf
+    from repro.sim import Process
+    from repro.sim import Resource, TokenBucket, Store
+    from repro.sim import FairShareLink
+"""
+
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.sim.kernel import FOREVER, Simulator
+from repro.sim.links import FairShareLink
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, TokenBucket
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.timeline import Timeline, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "FOREVER",
+    "FairShareLink",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimEvent",
+    "Simulator",
+    "Store",
+    "Timeline",
+    "Timeout",
+    "TokenBucket",
+    "TraceRecord",
+    "derive_seed",
+]

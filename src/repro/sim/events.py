@@ -1,0 +1,208 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+A :class:`SimEvent` is a one-shot occurrence in simulated time.  Processes
+(see :mod:`repro.sim.process`) wait on events by yielding them; the kernel
+resumes the process when the event triggers, delivering the event's value
+(or raising its exception inside the process).
+
+Events are intentionally tiny: the kernel is on the hot path of every
+simulated storage request, so we keep allocation and indirection low.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+#: Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class SimEvent:
+    """A one-shot event that callbacks and processes can wait on.
+
+    An event starts *pending*.  Exactly once, it either ``succeed(value)``s
+    or ``fail(exc)``s; afterwards it is *triggered* and its callbacks run
+    in registration order.  Late callbacks (added after triggering) run
+    immediately, which makes ``yield event`` race-free for processes.
+    """
+
+    __slots__ = ("sim", "name", "_value", "_exc", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value: object = _PENDING
+        self._exc: BaseException | None = None
+        self._callbacks: list[t.Callable[[SimEvent], None]] | None = []
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already succeeded or failed."""
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> object:
+        """The success value.  Raises if pending or failed."""
+        if self._exc is not None:
+            raise self._exc
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self.name!r} has not triggered yet")
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        """The failure exception, or ``None``."""
+        return self._exc
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: object = None) -> "SimEvent":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Trigger the event as failed with ``exc``.
+
+        Waiting processes will see ``exc`` raised at their ``yield``.
+        """
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("SimEvent.fail() requires an exception instance")
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    # ------------------------------------------------------------------
+    # waiting
+    # ------------------------------------------------------------------
+    def add_callback(self, callback: t.Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered, the callback runs immediately;
+        this keeps waiting race-free regardless of trigger ordering.
+        """
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self.ok else f"failed({self._exc!r})"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Timeout(SimEvent):
+    """An event that triggers after a fixed simulated delay.
+
+    Created through :meth:`repro.sim.kernel.Simulator.timeout`; scheduling
+    happens there so this class stays a plain value container.
+    """
+
+    __slots__ = ("delay", "_scheduled_value")
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        # Delivered by the kernel when the timeout comes due.
+        self._scheduled_value = value
+
+
+class ConditionError(SimulationError):
+    """A condition event (``AllOf``/``AnyOf``) was built incorrectly."""
+
+
+class AllOf(SimEvent):
+    """Triggers when *all* child events have triggered.
+
+    Succeeds with the list of child values in construction order.  If any
+    child fails, the condition fails immediately with that exception.
+    """
+
+    __slots__ = ("events", "_remaining", "_done")
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[SimEvent]):
+        super().__init__(sim, name=f"all_of({len(events)})")
+        self.events = list(events)
+        for event in self.events:
+            if not isinstance(event, SimEvent):
+                raise ConditionError(f"AllOf child is not a SimEvent: {event!r}")
+        self._remaining = len(self.events)
+        self._done = False
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: SimEvent) -> None:
+        if self._done:
+            return
+        if not event.ok:
+            self._done = True
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._done = True
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(SimEvent):
+    """Triggers when the *first* child event triggers.
+
+    Succeeds with ``(index, value)`` of the first triggering child, or
+    fails with its exception.  Remaining children keep running; callers
+    that need cancellation should interrupt the losing processes.
+    """
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, sim: "Simulator", events: t.Sequence[SimEvent]):
+        super().__init__(sim, name=f"any_of({len(events)})")
+        self.events = list(events)
+        if not self.events:
+            raise ConditionError("AnyOf requires at least one event")
+        self._done = False
+        for index, event in enumerate(self.events):
+            event.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> t.Callable[[SimEvent], None]:
+        def on_child(event: SimEvent) -> None:
+            if self._done:
+                return
+            self._done = True
+            if event.ok:
+                self.succeed((index, event.value))
+            else:
+                self.fail(event.exception)  # type: ignore[arg-type]
+
+        return on_child

@@ -1,0 +1,180 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Everything
+else in the library — object storage, FaaS platform, VMs, executors,
+pipelines — is built from processes scheduled on one ``Simulator``.
+
+Design notes
+------------
+
+* Virtual time is a ``float`` in seconds.  No component ever reads the
+  wall clock, which makes runs fully deterministic for a given seed.
+* The heap stores ``(time, seq, event)`` tuples; ``seq`` is a global
+  monotonically increasing tie-breaker so same-time events trigger in
+  scheduling order, deterministically.
+* Processes are plain Python generators driven by :class:`~repro.sim.process.Process`.
+  They interact with the kernel exclusively by yielding
+  :class:`~repro.sim.events.SimEvent` objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.sim.timeline import Timeline
+
+#: Value used for ``run(until=...)`` meaning "run until no events remain".
+FOREVER = float("inf")
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named RNG streams (see :class:`RngRegistry`).
+    trace:
+        When true, components record :class:`~repro.sim.timeline.TraceRecord`
+        entries on :attr:`timeline` (at a modest performance cost).
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, SimEvent]] = []
+        self._seq = 0
+        self._active_processes = 0
+        self.rng = RngRegistry(seed)
+        self.timeline = Timeline(enabled=trace)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # event construction
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending event owned by this simulator."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        event = Timeout(self, delay, value)
+        self._schedule(delay, event)
+        return event
+
+    def all_of(self, events: t.Sequence[SimEvent]) -> AllOf:
+        """Event that triggers when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: t.Sequence[SimEvent]) -> AnyOf:
+        """Event that triggers when the first event in ``events`` does."""
+        return AnyOf(self, events)
+
+    def _schedule(self, delay: float, event: SimEvent) -> None:
+        """Arrange for ``event`` to succeed ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def process(self, generator: t.Generator, name: str = "") -> Process:
+        """Start a new process driving ``generator``.
+
+        The generator may yield :class:`SimEvent` objects (including other
+        processes' completion events).  The value sent back into the
+        generator is the event's value; failed events raise inside it.
+        """
+        return Process(self, generator, name=name)
+
+    def _process_started(self) -> None:
+        self._active_processes += 1
+
+    def _process_finished(self) -> None:
+        self._active_processes -= 1
+
+    @property
+    def active_process_count(self) -> int:
+        """Number of started-but-not-finished processes."""
+        return self._active_processes
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Trigger the next scheduled event.  Returns False when idle."""
+        if not self._heap:
+            return False
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event heap went backwards in time")
+        self._now = time
+        if not event.triggered:
+            if isinstance(event, Timeout):
+                event.succeed(event._scheduled_value)
+            else:
+                event.succeed(None)
+        return True
+
+    def run(self, until: float | SimEvent = FOREVER) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``FOREVER`` (default) — run until the event heap drains;
+        * a ``float`` — run until virtual time reaches that instant;
+        * a :class:`SimEvent` — run until that event triggers, returning
+          its value (or raising its exception).
+        """
+        if isinstance(until, SimEvent):
+            return self._run_until_event(until)
+        deadline = float(until)
+        while self._heap:
+            next_time = self._heap[0][0]
+            if next_time > deadline:
+                self._now = min(deadline, next_time) if deadline != FOREVER else self._now
+                if deadline != FOREVER:
+                    self._now = deadline
+                return None
+            self.step()
+        if self._active_processes > 0:
+            raise DeadlockError(
+                f"simulation ran out of events with {self._active_processes} "
+                "process(es) still waiting — deadlock"
+            )
+        if deadline != FOREVER:
+            self._now = deadline
+        return None
+
+    def _run_until_event(self, event: SimEvent) -> object:
+        while not event.triggered:
+            if not self.step():
+                raise DeadlockError(
+                    f"simulation ran out of events before {event.name!r} triggered"
+                )
+        return event.value
+
+    def run_process(self, generator: t.Generator, name: str = "") -> object:
+        """Convenience: start ``generator`` as a process and run to its end."""
+        process = self.process(generator, name=name)
+        return self.run(until=process.completion)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now:.6f}s queued={len(self._heap)} "
+            f"active={self._active_processes}>"
+        )

@@ -1,0 +1,161 @@
+"""Generator-driven simulation processes.
+
+A *process* is a Python generator that yields
+:class:`~repro.sim.events.SimEvent` objects.  The :class:`Process` wrapper
+drives the generator: whenever the yielded event triggers, the event's
+value is sent back into the generator (or its exception is thrown in).
+
+Example
+-------
+::
+
+    def worker(sim, storage):
+        data = yield storage.get("bucket", "key")      # wait for I/O
+        yield sim.timeout(0.5)                          # simulated compute
+        yield storage.put("bucket", "out", data)
+        return len(data)                                # process result
+
+    process = sim.process(worker(sim, storage))
+    sim.run(until=process.completion)
+    print(process.result)
+
+Processes compose: ``yield other_process.completion`` waits for another
+process; ``yield from subroutine(...)`` inlines a sub-generator with no
+kernel involvement.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import Interrupted, SimulationError
+from repro.sim.events import SimEvent
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Process:
+    """Drives a generator as a concurrent simulated activity.
+
+    Attributes
+    ----------
+    completion:
+        A :class:`SimEvent` that triggers when the generator returns
+        (succeeding with its return value) or raises (failing with the
+        exception).  Waiting on a process means waiting on this event.
+    """
+
+    __slots__ = ("sim", "name", "generator", "completion", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: t.Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.generator = generator
+        self.completion = SimEvent(sim, name=f"{self.name}.completion")
+        self._waiting_on: SimEvent | None = None
+        sim._process_started()
+        # Start the process at the current instant, but via the event heap
+        # so that creation order == start order and the creator finishes
+        # its own current step first.  The kickoff event succeeds with
+        # ``None``, which primes the generator (first ``send(None)``).
+        kickoff = SimEvent(sim, name=f"{self.name}.start")
+        kickoff.add_callback(self._on_event)
+        self._waiting_on = kickoff
+        sim._schedule(0.0, kickoff)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the process has not yet finished."""
+        return not self.completion.triggered
+
+    @property
+    def result(self) -> object:
+        """Return value of the generator (raises if failed/unfinished)."""
+        return self.completion.value
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def _on_event(self, event: SimEvent) -> None:
+        """Resume the generator with the outcome of ``event``."""
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.exception)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+            self._finish_fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: object) -> None:
+        if isinstance(target, Process):
+            target = target.completion
+        if not isinstance(target, SimEvent):
+            self._finish_fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes may "
+                    "only yield SimEvent (or Process) objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _finish_ok(self, value: object) -> None:
+        self.sim._process_finished()
+        self.completion.succeed(value)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        # Failing the completion event preserves the exception: it reaches
+        # waiters immediately and later waiters via add_callback.
+        self.sim._process_finished()
+        self.completion.fail(exc)
+
+    # ------------------------------------------------------------------
+    # interruption (failure injection / cancellation)
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupted` into the process at its current wait.
+
+        No-op if the process already finished.  Interrupting a process
+        that is mid-step (not waiting) is a kernel-usage error.
+        """
+        if not self.alive:
+            return
+        if self._waiting_on is None:
+            raise SimulationError(
+                f"cannot interrupt process {self.name!r}: it is not waiting"
+            )
+        # Detach from the event we were waiting on by replacing our resume
+        # callback with a no-op marker, then resume with the interrupt.
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited._callbacks is not None and self._on_event in waited._callbacks:
+            waited._callbacks.remove(self._on_event)
+        try:
+            target = self.generator.throw(Interrupted(cause))
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001
+            self._finish_fail(exc)
+            return
+        self._wait_on(target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "finished"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,66 @@
+"""Structured tracing of simulation activity.
+
+Components append :class:`TraceRecord` entries to the simulator's
+:class:`Timeline`.  The workflow tracker, the experiment report and the
+tests all consume these records; nothing inside the kernel depends on
+them, so tracing can be disabled for speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the occurrence (seconds).
+    category:
+        Coarse grouping, e.g. ``"storage"``, ``"faas"``, ``"vm"``,
+        ``"stage"``.
+    name:
+        Event name within the category, e.g. ``"get"``, ``"cold_start"``.
+    fields:
+        Free-form payload (sizes, durations, keys, ...).
+    """
+
+    time: float
+    category: str
+    name: str
+    fields: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+
+class Timeline:
+    """Append-only trace of the simulation, filterable by category."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(self, time: float, category: str, name: str, **fields: t.Any) -> None:
+        """Append a record (no-op unless tracing is enabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, name, dict(fields)))
+
+    def filter(
+        self, category: str | None = None, name: str | None = None
+    ) -> list[TraceRecord]:
+        """Records matching the given category and/or name."""
+        return [
+            record
+            for record in self.records
+            if (category is None or record.category == category)
+            and (name is None or record.name == name)
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

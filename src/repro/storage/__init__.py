@@ -1,0 +1,20 @@
+"""Lithops-like storage client API over the simulated object store."""
+
+from repro.storage.api import RetryPolicy, Storage
+from repro.storage.serializer import (
+    chunk_bytes,
+    concat_chunks,
+    deserialize,
+    serialize,
+    serialized_size,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "Storage",
+    "chunk_bytes",
+    "concat_chunks",
+    "deserialize",
+    "serialize",
+    "serialized_size",
+]

@@ -1,0 +1,131 @@
+"""Lithops-like storage client with retry/backoff.
+
+:class:`Storage` wraps a (possibly bandwidth-bounded) object store with
+the conveniences analytics code wants: pickled objects, text helpers,
+and automatic backoff-and-retry on :class:`SlowDown` throttling errors —
+the behaviour real COS clients implement and the paper's shuffle relies
+on when the function count is mis-sized.
+
+All methods return :class:`~repro.sim.events.SimEvent`s; callers are
+simulation processes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cloud.retry import RETRYABLE_ERRORS, RetryPolicy
+from repro.cloud.storageview import BoundStorage
+from repro.errors import StorageError
+from repro.sim import SimEvent, Simulator
+from repro.storage.serializer import deserialize, serialize
+
+__all__ = ["RETRYABLE_ERRORS", "RetryPolicy", "Storage"]
+
+
+class Storage:
+    """High-level storage client for simulated analytics code."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend: BoundStorage,
+        retry: RetryPolicy | None = None,
+        name: str = "storage",
+    ):
+        self.sim = sim
+        self.backend = backend
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.name = name
+        self._rng = sim.rng.stream(f"{name}.backoff")
+        #: Number of SlowDown retries performed (visible to tests/reports).
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # retry plumbing
+    # ------------------------------------------------------------------
+    def _with_retry(self, make_event: t.Callable[[], SimEvent], label: str) -> SimEvent:
+        """Run ``make_event`` with backoff-and-retry on SlowDown."""
+        return self.sim.process(
+            self._retry_loop(make_event, label), name=f"{self.name}.{label}"
+        ).completion
+
+    def _retry_loop(self, make_event: t.Callable[[], SimEvent], label: str) -> t.Generator:
+        attempt = 1
+        while True:
+            try:
+                result = yield make_event()
+                return result
+            except RETRYABLE_ERRORS as exc:
+                if attempt >= self.retry.max_attempts:
+                    raise StorageError(
+                        f"{label}: still failing after "
+                        f"{self.retry.max_attempts} attempts ({exc})"
+                    )
+                self.retries += 1
+                yield self.sim.timeout(self.retry.delay(attempt, self._rng))
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # byte-level API
+    # ------------------------------------------------------------------
+    def put_object(
+        self, bucket: str, key: str, data: bytes, logical_size: float | None = None
+    ) -> SimEvent:
+        return self._with_retry(
+            lambda: self.backend.put(bucket, key, data, logical_size), f"put:{key}"
+        )
+
+    def get_object(self, bucket: str, key: str) -> SimEvent:
+        return self._with_retry(lambda: self.backend.get(bucket, key), f"get:{key}")
+
+    def get_object_range(self, bucket: str, key: str, start: int, end: int) -> SimEvent:
+        return self._with_retry(
+            lambda: self.backend.get_range(bucket, key, start, end),
+            f"get_range:{key}",
+        )
+
+    def head_object(self, bucket: str, key: str) -> SimEvent:
+        return self._with_retry(lambda: self.backend.head(bucket, key), f"head:{key}")
+
+    def list_keys(self, bucket: str, prefix: str = "") -> SimEvent:
+        return self._with_retry(
+            lambda: self.backend.list_keys(bucket, prefix), f"list:{prefix}"
+        )
+
+    def delete_object(self, bucket: str, key: str) -> SimEvent:
+        return self._with_retry(
+            lambda: self.backend.delete(bucket, key), f"delete:{key}"
+        )
+
+    # ------------------------------------------------------------------
+    # pickled-object API
+    # ------------------------------------------------------------------
+    def put_pickle(self, bucket: str, key: str, obj: object) -> SimEvent:
+        """Serialize ``obj`` and store it; event → object metadata."""
+        return self.put_object(bucket, key, serialize(obj))
+
+    def get_pickle(self, bucket: str, key: str) -> SimEvent:
+        """Fetch and deserialize an object; event → the Python value."""
+        return self.sim.process(
+            self._get_pickle(bucket, key), name=f"{self.name}.get_pickle:{key}"
+        ).completion
+
+    def _get_pickle(self, bucket: str, key: str) -> t.Generator:
+        data = yield self.get_object(bucket, key)
+        return deserialize(data)
+
+    # ------------------------------------------------------------------
+    # text helpers
+    # ------------------------------------------------------------------
+    def put_text(self, bucket: str, key: str, text: str) -> SimEvent:
+        return self.put_object(bucket, key, text.encode("utf-8"))
+
+    def get_text(self, bucket: str, key: str) -> SimEvent:
+        return self.sim.process(
+            self._get_text(bucket, key), name=f"{self.name}.get_text:{key}"
+        ).completion
+
+    def _get_text(self, bucket: str, key: str) -> t.Generator:
+        data = yield self.get_object(bucket, key)
+        return data.decode("utf-8")

@@ -1,0 +1,58 @@
+"""Serialization of call payloads and results.
+
+Lithops ships function arguments and results through object storage as
+pickled blobs; we do the same (with :mod:`cloudpickle` when available,
+falling back to the standard library for plain data).  Payload size is
+what the performance model charges, so serialization stays on the real
+byte path.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import typing as t
+
+try:  # cloudpickle serializes lambdas/closures, like Lithops uses
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - cloudpickle is expected offline
+    _cloudpickle = None
+
+from repro.errors import ExecutorError
+
+
+def serialize(obj: object) -> bytes:
+    """Pickle ``obj`` to bytes, preferring cloudpickle for functions."""
+    if _cloudpickle is not None:
+        return _cloudpickle.dumps(obj)
+    try:
+        return pickle.dumps(obj)
+    except Exception as exc:  # pragma: no cover - depends on payload
+        raise ExecutorError(f"cannot serialize object of type {type(obj)}") from exc
+
+
+def deserialize(data: bytes) -> object:
+    """Inverse of :func:`serialize`."""
+    return pickle.loads(data)  # noqa: S301 - trusted, in-process data
+
+
+def serialized_size(obj: object) -> int:
+    """Size in bytes of the serialized form (without keeping it)."""
+    return len(serialize(obj))
+
+
+def chunk_bytes(data: bytes, chunk_size: int) -> t.Iterator[bytes]:
+    """Split ``data`` into chunks of at most ``chunk_size`` bytes."""
+    if chunk_size <= 0:
+        raise ExecutorError(f"chunk_size must be positive, got {chunk_size}")
+    view = memoryview(data)
+    for start in range(0, len(view), chunk_size):
+        yield bytes(view[start : start + chunk_size])
+
+
+def concat_chunks(chunks: t.Iterable[bytes]) -> bytes:
+    """Reassemble chunks produced by :func:`chunk_bytes`."""
+    buffer = io.BytesIO()
+    for chunk in chunks:
+        buffer.write(chunk)
+    return buffer.getvalue()

@@ -1,0 +1,207 @@
+"""ASCII Gantt charts of simulated pipeline executions.
+
+The paper demos an IPython job-tracking interface showing workflow
+progress in real time.  :mod:`repro.workflows.tracker` covers the
+numbers; this module covers the *picture*: where the time went, drawn
+from the simulation timeline —
+
+* one bar per function activation (cold starts marked), so a stage's
+  fan-out, stragglers and speculation duplicates are visible at a
+  glance;
+* one bar per VM and per cache cluster, making the hybrid pipeline's
+  provisioning penalty impossible to miss;
+* one bar per workflow stage (from the tracker), giving the chart its
+  coarse structure.
+
+Requires the simulator to run with ``trace=True`` (timeline recording is
+off by default for speed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.sim.timeline import Timeline
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workflows.tracker import JobTracker
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GanttSpan:
+    """One horizontal bar on the chart."""
+
+    label: str
+    start: float
+    end: float
+    kind: str  # "stage" | "function" | "function-cold" | "vm" | "cache"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+#: Bar glyph per span kind (cold activations render distinctly).
+_GLYPHS = {
+    "stage": "=",
+    "function": "#",
+    "function-cold": "#",
+    "vm": "%",
+    "cache": "~",
+}
+
+
+def spans_from_timeline(timeline: Timeline) -> list[GanttSpan]:
+    """Extract activation/VM/cache spans from a traced simulation."""
+    spans: list[GanttSpan] = []
+
+    starts: dict[str, tuple[float, bool]] = {}
+    for record in timeline.filter("faas", "activation_start"):
+        starts[record.fields["activation"]] = (record.time, record.fields["cold"])
+    for record in timeline.filter("faas", "activation_end"):
+        activation = record.fields["activation"]
+        if activation not in starts:
+            continue  # end without a start: started before tracing began
+        start, cold = starts.pop(activation)
+        spans.append(
+            GanttSpan(
+                label=f"{record.fields['function']}.{activation}",
+                start=start,
+                end=record.time,
+                kind="function-cold" if cold else "function",
+            )
+        )
+
+    vm_starts = {
+        record.fields["vm"]: record.time
+        for record in timeline.filter("vm", "provision")
+    }
+    for record in timeline.filter("vm", "terminate"):
+        vm_id = record.fields["vm"]
+        if vm_id in vm_starts:
+            spans.append(
+                GanttSpan(
+                    label=f"{vm_id} ({record.fields.get('type', '?')})",
+                    start=vm_starts.pop(vm_id),
+                    end=record.time,
+                    kind="vm",
+                )
+            )
+
+    cache_starts = {
+        record.fields["cluster"]: record.time
+        for record in timeline.filter("memstore", "provision")
+    }
+    for record in timeline.filter("memstore", "terminate"):
+        cluster = record.fields["cluster"]
+        start = cache_starts.pop(cluster, None)
+        if start is not None:
+            spans.append(
+                GanttSpan(
+                    label=f"{cluster} ({record.fields.get('type', '?')})",
+                    start=start,
+                    end=record.time,
+                    kind="cache",
+                )
+            )
+
+    spans.sort(key=lambda span: (span.start, span.end, span.label))
+    return spans
+
+
+def spans_from_tracker(tracker: "JobTracker") -> list[GanttSpan]:
+    """One span per finished workflow stage."""
+    spans = []
+    for report in tracker.reports.values():
+        if report.started_at is None or report.finished_at is None:
+            continue
+        spans.append(
+            GanttSpan(
+                label=f"[{report.name}]",
+                start=report.started_at,
+                end=report.finished_at,
+                kind="stage",
+            )
+        )
+    spans.sort(key=lambda span: (span.start, span.end, span.label))
+    return spans
+
+
+def render_gantt(
+    spans: t.Sequence[GanttSpan],
+    width: int = 64,
+    label_width: int = 28,
+    max_rows: int = 48,
+    title: str | None = None,
+) -> str:
+    """Draw spans as fixed-width ASCII rows on a shared time axis.
+
+    When there are more spans than ``max_rows``, the busiest middle is
+    elided (the first and last rows are the interesting ones: startup
+    structure and stragglers).
+    """
+    if not spans:
+        return "(no spans to draw)"
+    t0 = min(span.start for span in spans)
+    t1 = max(span.end for span in spans)
+    extent = max(t1 - t0, 1e-9)
+
+    def column(time: float) -> int:
+        return int((time - t0) / extent * (width - 1))
+
+    rows: list[str] = []
+    if title:
+        rows.append(title)
+    rows.append(f"{'':<{label_width}} t={t0:.2f}s{'':<{width - 18}}t={t1:.2f}s")
+    rows.append(f"{'':<{label_width}} {'-' * width}")
+
+    visible = list(spans)
+    elided = 0
+    if len(visible) > max_rows:
+        head = max_rows // 2
+        tail = max_rows - head
+        elided = len(visible) - head - tail
+        visible = visible[:head] + visible[-tail:]
+        elide_at = head
+    for index, span in enumerate(visible):
+        if elided and index == elide_at:
+            rows.append(
+                f"{'':<{label_width}} ... {elided} more spans elided ..."
+            )
+        first = column(span.start)
+        last = max(column(span.end), first)  # at least one cell
+        glyph = _GLYPHS.get(span.kind, "#")
+        bar = " " * first + glyph * (last - first + 1)
+        label = span.label
+        if len(label) > label_width:
+            # Keep the tail: for activations the distinguishing part is
+            # the call id at the end, not the runtime-name prefix.
+            label = "…" + label[-(label_width - 1):]
+        marker = "*" if span.kind == "function-cold" else " "
+        rows.append(f"{label:<{label_width}}{marker}{bar:<{width}}")
+    rows.append(f"{'':<{label_width}} {'-' * width}")
+    rows.append(
+        f"{'':<{label_width}} {len(spans)} spans; = stage, # function "
+        "(* = cold start), % vm, ~ cache"
+    )
+    return "\n".join(rows)
+
+
+def workflow_gantt(
+    tracker: "JobTracker",
+    timeline: Timeline,
+    width: int = 64,
+    max_rows: int = 48,
+) -> str:
+    """Stage bars interleaved with the activations/VMs/caches they ran."""
+    spans = sorted(
+        spans_from_tracker(tracker) + spans_from_timeline(timeline),
+        key=lambda span: (span.start, span.kind != "stage", span.end),
+    )
+    return render_gantt(
+        spans,
+        width=width,
+        max_rows=max_rows,
+        title=f"Workflow timeline: {tracker.workflow_name}",
+    )

@@ -1,0 +1,115 @@
+"""Job tracking with per-stage cost breakdown.
+
+The paper's demo includes "a IPython interface for job tracking in real
+time, which displays the workflow progress and breaks the cost down at
+each stage".  This is the headless equivalent: the engine feeds the
+tracker stage events; the tracker renders progress tables and exposes
+the same numbers programmatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass(slots=True)
+class StageReport:
+    """Execution record of one stage."""
+
+    name: str
+    kind: str
+    status: str = "pending"  # pending | running | done | failed
+    started_at: float | None = None
+    finished_at: float | None = None
+    cost_usd: float = 0.0
+    detail: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class JobTracker:
+    """Collects stage progress and renders it for humans."""
+
+    def __init__(self, workflow_name: str):
+        self.workflow_name = workflow_name
+        self.reports: dict[str, StageReport] = {}
+        self._order: list[str] = []
+        self.log: list[str] = []
+
+    # ------------------------------------------------------------------
+    # engine-facing API
+    # ------------------------------------------------------------------
+    def stage_registered(self, name: str, kind: str) -> None:
+        self.reports[name] = StageReport(name=name, kind=kind)
+        self._order.append(name)
+
+    def stage_started(self, name: str, time: float) -> None:
+        report = self.reports[name]
+        report.status = "running"
+        report.started_at = time
+        self.log.append(f"[{time:10.2f}s] {name}: started")
+
+    def stage_finished(
+        self,
+        name: str,
+        time: float,
+        cost_usd: float,
+        detail: dict[str, t.Any] | None = None,
+    ) -> None:
+        report = self.reports[name]
+        report.status = "done"
+        report.finished_at = time
+        report.cost_usd = cost_usd
+        if detail:
+            report.detail.update(detail)
+        self.log.append(
+            f"[{time:10.2f}s] {name}: done "
+            f"({report.duration_s:.2f}s, ${cost_usd:.6f})"
+        )
+
+    def stage_failed(self, name: str, time: float, error: BaseException) -> None:
+        report = self.reports[name]
+        report.status = "failed"
+        report.finished_at = time
+        self.log.append(f"[{time:10.2f}s] {name}: FAILED ({error!r})")
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(report.cost_usd for report in self.reports.values())
+
+    @property
+    def done(self) -> bool:
+        return all(report.status == "done" for report in self.reports.values())
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Stage name → dollars, in execution order."""
+        return {name: self.reports[name].cost_usd for name in self._order}
+
+    def render(self) -> str:
+        """Progress table, one row per stage."""
+        rows = [
+            f"Workflow: {self.workflow_name}",
+            f"{'stage':<22} {'kind':<18} {'status':<8} "
+            f"{'duration':>10} {'cost ($)':>12}",
+            "-" * 74,
+        ]
+        for name in self._order:
+            report = self.reports[name]
+            duration = (
+                f"{report.duration_s:.2f}s" if report.duration_s is not None else "-"
+            )
+            rows.append(
+                f"{report.name:<22} {report.kind:<18} {report.status:<8} "
+                f"{duration:>10} {report.cost_usd:>12.6f}"
+            )
+        rows.append("-" * 74)
+        rows.append(f"{'TOTAL':<50} {self.total_cost_usd:>23.6f}")
+        return "\n".join(rows)

@@ -1,0 +1,101 @@
+"""Tests for the AWS provider profile and multi-cloud configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.cloud import (
+    M5_CATALOG,
+    PROVIDER_PROFILES,
+    Cloud,
+    aws_us_east,
+    ibm_us_east,
+    profile_named,
+)
+from repro.core import ExperimentConfig, PURE_SERVERLESS, run_pipeline
+from repro.errors import ConfigError
+
+
+class TestAwsProfile:
+    def test_validates(self):
+        aws_us_east().validate()
+
+    def test_region_name(self):
+        assert aws_us_east().region == "aws-us-east-1"
+
+    def test_lambda_characteristics(self):
+        profile = aws_us_east()
+        ibm = ibm_us_east()
+        # Faster cold starts, finer billing, higher request ceiling.
+        assert profile.faas.cold_start.mean < ibm.faas.cold_start.mean
+        assert profile.faas.billing_granularity_s < ibm.faas.billing_granularity_s
+        assert profile.objectstore.ops_per_second > ibm.objectstore.ops_per_second
+
+    def test_m5_catalog_has_paper_equivalent(self):
+        instance = M5_CATALOG["m5.2xlarge"]
+        assert instance.vcpus == 8
+        assert instance.memory_gb == 32
+        # Same hourly price as the paper's bx2-8x32.
+        assert instance.hourly_usd == pytest.approx(0.384)
+
+    def test_deterministic_mode_zeroes_jitter(self):
+        profile = aws_us_east(deterministic=True)
+        assert profile.faas.cold_start.sigma == 0.0
+        assert profile.objectstore.read_latency.sigma == 0.0
+        assert profile.memstore.provision.sigma == 0.0
+
+    def test_elasticache_catalog_present(self):
+        assert "cache.r5.large" in aws_us_east().memstore.catalog
+
+    def test_cloud_builds_on_aws_profile(self):
+        cloud = Cloud.fresh(seed=1, profile=aws_us_east(deterministic=True))
+        assert cloud.profile.region == "aws-us-east-1"
+        assert "m5.2xlarge" in cloud.vms.profile.catalog
+
+
+class TestProfileRegistry:
+    def test_known_providers(self):
+        assert set(PROVIDER_PROFILES) == {"ibm-us-east", "aws-us-east"}
+
+    def test_profile_named_dispatch(self):
+        assert profile_named("aws-us-east").region == "aws-us-east-1"
+        assert profile_named("ibm-us-east").region == "us-east"
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ConfigError, match="unknown provider"):
+            profile_named("gcp-us-central")
+
+    def test_profile_named_forwards_scale(self):
+        assert profile_named("aws-us-east", logical_scale=64.0).logical_scale == 64.0
+
+
+class TestProviderConfig:
+    def test_default_provider_is_the_papers(self):
+        config = ExperimentConfig()
+        assert config.provider == "ibm-us-east"
+        assert config.resolved_vm_instance_type == "bx2-8x32"
+
+    def test_aws_provider_resolves_equivalent_vm(self):
+        config = ExperimentConfig(provider="aws-us-east")
+        assert config.resolved_vm_instance_type == "m5.2xlarge"
+
+    def test_explicit_vm_type_wins(self):
+        config = ExperimentConfig(provider="aws-us-east",
+                                  vm_instance_type="m5.4xlarge")
+        assert config.resolved_vm_instance_type == "m5.4xlarge"
+
+    def test_make_profile_uses_provider(self):
+        config = ExperimentConfig(provider="aws-us-east")
+        assert config.make_profile().region == "aws-us-east-1"
+
+    def test_unknown_provider_fails_at_profile_time(self):
+        config = ExperimentConfig(provider="nimbus-west")
+        with pytest.raises(ConfigError):
+            config.make_profile()
+
+    def test_serverless_pipeline_runs_on_aws(self):
+        config = ExperimentConfig(logical_scale=8192.0, parallelism=2,
+                                  provider="aws-us-east")
+        run = run_pipeline(config, PURE_SERVERLESS)
+        assert run.latency_s > 0
+        assert run.workflow.artifacts["encode"]["ratio"] > 5.0

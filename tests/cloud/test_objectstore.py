@@ -1,0 +1,376 @@
+"""Unit tests for the simulated object store."""
+
+import dataclasses
+
+import pytest
+
+from repro.cloud import Cloud, MB
+from repro.cloud.objectstore import (
+    BucketAlreadyExists,
+    InvalidRange,
+    MultipartError,
+    NoSuchBucket,
+    NoSuchKey,
+    SlowDown,
+)
+from repro.cloud.profiles import ibm_us_east
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=3, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("bucket")
+    return cloud
+
+
+def run(cloud, generator):
+    return cloud.sim.run_process(generator)
+
+
+class TestBuckets:
+    def test_create_and_exists(self, cloud):
+        cloud.store.create_bucket("fresh")
+        assert cloud.store.bucket_exists("fresh")
+
+    def test_duplicate_create_raises(self, cloud):
+        with pytest.raises(BucketAlreadyExists):
+            cloud.store.create_bucket("bucket")
+
+    def test_ensure_bucket_is_idempotent(self, cloud):
+        cloud.store.ensure_bucket("bucket")
+        cloud.store.ensure_bucket("bucket")
+        assert cloud.store.bucket_exists("bucket")
+
+    def test_missing_bucket_raises(self, cloud):
+        def scenario():
+            yield cloud.store.put("nope", "k", b"x")
+
+        with pytest.raises(NoSuchBucket):
+            run(cloud, scenario())
+
+
+class TestPutGet:
+    def test_roundtrip_preserves_bytes(self, cloud):
+        payload = bytes(range(256)) * 100
+
+        def scenario():
+            yield cloud.store.put("bucket", "key", payload)
+            return (yield cloud.store.get("bucket", "key"))
+
+        assert run(cloud, scenario()) == payload
+
+    def test_get_missing_key_raises(self, cloud):
+        def scenario():
+            yield cloud.store.get("bucket", "missing")
+
+        with pytest.raises(NoSuchKey):
+            run(cloud, scenario())
+
+    def test_overwrite_replaces_content(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "key", b"old")
+            yield cloud.store.put("bucket", "key", b"new")
+            return (yield cloud.store.get("bucket", "key"))
+
+        assert run(cloud, scenario()) == b"new"
+
+    def test_put_returns_metadata(self, cloud):
+        def scenario():
+            return (yield cloud.store.put("bucket", "key", b"abc"))
+
+        meta = run(cloud, scenario())
+        assert meta.size == 3
+        assert meta.bucket == "bucket"
+        assert meta.key == "key"
+        assert meta.etag  # non-empty content hash
+
+    def test_transfer_time_scales_with_size(self, cloud):
+        profile = cloud.profile.objectstore
+        small, large = 1 * MB, 10 * MB
+
+        def timed_put(n):
+            start = cloud.sim.now
+            yield cloud.store.put("bucket", f"k{n}", b"x" * n)
+            return cloud.sim.now - start
+
+        t_small = run(cloud, timed_put(small))
+        t_large = run(cloud, timed_put(large))
+        expected_delta = (large - small) / profile.per_connection_bandwidth
+        assert t_large - t_small == pytest.approx(expected_delta, rel=1e-6)
+
+    def test_empty_object_allowed(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "empty", b"")
+            return (yield cloud.store.get("bucket", "empty"))
+
+        assert run(cloud, scenario()) == b""
+
+
+class TestRangeReads:
+    def test_range_returns_slice(self, cloud):
+        payload = bytes(range(100))
+
+        def scenario():
+            yield cloud.store.put("bucket", "key", payload)
+            return (yield cloud.store.get_range("bucket", "key", 10, 20))
+
+        assert run(cloud, scenario()) == payload[10:20]
+
+    def test_range_past_end_truncates(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "key", b"0123456789")
+            return (yield cloud.store.get_range("bucket", "key", 5, 100))
+
+        assert run(cloud, scenario()) == b"56789"
+
+    def test_invalid_range_raises(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "key", b"0123456789")
+            yield cloud.store.get_range("bucket", "key", 8, 2)
+
+        with pytest.raises(InvalidRange):
+            run(cloud, scenario())
+
+    def test_negative_start_raises(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "key", b"0123456789")
+            yield cloud.store.get_range("bucket", "key", -1, 5)
+
+        with pytest.raises(InvalidRange):
+            run(cloud, scenario())
+
+
+class TestListHeadDelete:
+    def test_list_filters_by_prefix_sorted(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "a/2", b"x")
+            yield cloud.store.put("bucket", "a/1", b"x")
+            yield cloud.store.put("bucket", "b/1", b"x")
+            return (yield cloud.store.list_keys("bucket", prefix="a/"))
+
+        assert run(cloud, scenario()) == ["a/1", "a/2"]
+
+    def test_head_returns_metadata_without_transfer(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "key", b"x" * MB)
+            before = cloud.store.stats.bytes_out
+            meta = yield cloud.store.head("bucket", "key")
+            return meta, cloud.store.stats.bytes_out - before
+
+        meta, delta_out = run(cloud, scenario())
+        assert meta.size == MB
+        assert delta_out == 0
+
+    def test_head_missing_raises(self, cloud):
+        def scenario():
+            yield cloud.store.head("bucket", "missing")
+
+        with pytest.raises(NoSuchKey):
+            run(cloud, scenario())
+
+    def test_delete_removes_object(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "key", b"x")
+            yield cloud.store.delete("bucket", "key")
+            yield cloud.store.get("bucket", "key")
+
+        with pytest.raises(NoSuchKey):
+            run(cloud, scenario())
+
+    def test_delete_is_idempotent(self, cloud):
+        def scenario():
+            yield cloud.store.delete("bucket", "never-existed")
+            return "ok"
+
+        assert run(cloud, scenario()) == "ok"
+
+
+class TestMultipart:
+    def test_parts_concatenate_in_number_order(self, cloud):
+        def scenario():
+            upload_id = yield cloud.store.create_multipart_upload("bucket", "big")
+            yield cloud.store.upload_part(upload_id, 2, b"world")
+            yield cloud.store.upload_part(upload_id, 1, b"hello ")
+            yield cloud.store.complete_multipart_upload(upload_id)
+            return (yield cloud.store.get("bucket", "big"))
+
+        assert run(cloud, scenario()) == b"hello world"
+
+    def test_unknown_upload_rejected(self, cloud):
+        def scenario():
+            yield cloud.store.upload_part("mpu-999", 1, b"x")
+
+        with pytest.raises(MultipartError):
+            run(cloud, scenario())
+
+    def test_complete_twice_rejected(self, cloud):
+        def scenario():
+            upload_id = yield cloud.store.create_multipart_upload("bucket", "k")
+            yield cloud.store.upload_part(upload_id, 1, b"x")
+            yield cloud.store.complete_multipart_upload(upload_id)
+            yield cloud.store.complete_multipart_upload(upload_id)
+
+        with pytest.raises(MultipartError):
+            run(cloud, scenario())
+
+    def test_empty_complete_rejected(self, cloud):
+        def scenario():
+            upload_id = yield cloud.store.create_multipart_upload("bucket", "k")
+            yield cloud.store.complete_multipart_upload(upload_id)
+
+        with pytest.raises(MultipartError):
+            run(cloud, scenario())
+
+
+class TestRateLimiting:
+    def test_ops_rate_caps_small_request_throughput(self):
+        profile = ibm_us_east(deterministic=True)
+        profile.objectstore.ops_per_second = 100.0
+        profile.objectstore.ops_burst = 1.0
+        profile.objectstore.read_latency.mean = 0.0
+        profile.objectstore.write_latency.mean = 0.0
+        profile.objectstore.slowdown_after_s = None
+        cloud = Cloud.fresh(seed=3, profile=profile)
+        cloud.store.ensure_bucket("bucket")
+        done_times = []
+
+        def worker(index):
+            yield cloud.store.put("bucket", f"k{index}", b"x")
+            done_times.append(cloud.sim.now)
+
+        for index in range(200):
+            cloud.sim.process(worker(index))
+        cloud.sim.run()
+        duration = max(done_times) - min(done_times)
+        measured_rate = (len(done_times) - 1) / duration
+        assert measured_rate == pytest.approx(100.0, rel=0.05)
+
+    def test_slowdown_raised_when_backlog_exceeds_threshold(self):
+        profile = ibm_us_east(deterministic=True)
+        profile.objectstore.ops_per_second = 10.0
+        profile.objectstore.ops_burst = 1.0
+        profile.objectstore.slowdown_after_s = 1.0
+        cloud = Cloud.fresh(seed=3, profile=profile)
+        cloud.store.ensure_bucket("bucket")
+        outcomes = {"ok": 0, "slow": 0}
+
+        def worker(index):
+            try:
+                yield cloud.store.put("bucket", f"k{index}", b"x")
+                outcomes["ok"] += 1
+            except SlowDown:
+                outcomes["slow"] += 1
+
+        for index in range(100):
+            cloud.sim.process(worker(index))
+        cloud.sim.run()
+        assert outcomes["slow"] > 0
+        assert outcomes["ok"] >= 10  # the burst plus the first waiters
+        assert cloud.store.stats.slowdowns == outcomes["slow"]
+
+
+class TestAggregateBandwidth:
+    def test_parallel_readers_share_aggregate_pipe(self):
+        profile = ibm_us_east(deterministic=True)
+        profile.objectstore.read_latency.mean = 0.0
+        profile.objectstore.write_latency.mean = 0.0
+        profile.objectstore.per_connection_bandwidth = 100 * MB
+        profile.objectstore.aggregate_bandwidth = 200 * MB
+        cloud = Cloud.fresh(seed=3, profile=profile)
+        cloud.store.ensure_bucket("bucket")
+        payload = b"x" * (100 * MB)
+
+        def scenario():
+            yield cloud.store.put("bucket", "k", payload)
+            start = cloud.sim.now
+            events = [cloud.store.get("bucket", "k") for _ in range(4)]
+            yield cloud.sim.all_of(events)
+            return cloud.sim.now - start
+
+        elapsed = run(cloud, scenario())
+        # 4 readers of 100 MB through a 200 MB/s aggregate: 400/200 = 2 s.
+        assert elapsed == pytest.approx(2.0, rel=0.01)
+
+    def test_connection_cap_binds_single_reader(self):
+        profile = ibm_us_east(deterministic=True)
+        profile.objectstore.read_latency.mean = 0.0
+        profile.objectstore.write_latency.mean = 0.0
+        profile.objectstore.per_connection_bandwidth = 50 * MB
+        profile.objectstore.aggregate_bandwidth = 200 * MB
+        cloud = Cloud.fresh(seed=3, profile=profile)
+        cloud.store.ensure_bucket("bucket")
+
+        def scenario():
+            yield cloud.store.put("bucket", "k", b"x" * (100 * MB))
+            start = cloud.sim.now
+            yield cloud.store.get("bucket", "k")
+            return cloud.sim.now - start
+
+        elapsed = run(cloud, scenario())
+        assert elapsed == pytest.approx(2.0, rel=0.01)  # 100 MB at 50 MB/s
+
+
+class TestLogicalScale:
+    def test_logical_scale_multiplies_transfer_time(self):
+        base = ibm_us_east(deterministic=True)
+        base.objectstore.read_latency.mean = 0.0
+        base.objectstore.write_latency.mean = 0.0
+        scaled = dataclasses.replace(base, logical_scale=100.0)
+        results = {}
+        for label, profile in (("base", base), ("scaled", scaled)):
+            cloud = Cloud.fresh(seed=3, profile=profile)
+            cloud.store.ensure_bucket("bucket")
+
+            def scenario():
+                start = cloud.sim.now
+                yield cloud.store.put("bucket", "k", b"x" * MB)
+                return cloud.sim.now - start
+
+            results[label] = cloud.sim.run_process(scenario())
+        assert results["scaled"] == pytest.approx(results["base"] * 100.0, rel=1e-6)
+
+    def test_request_counts_unaffected_by_scale(self):
+        profile = ibm_us_east(deterministic=True, logical_scale=50.0)
+        cloud = Cloud.fresh(seed=3, profile=profile)
+        cloud.store.ensure_bucket("bucket")
+
+        def scenario():
+            yield cloud.store.put("bucket", "k", b"x" * 1000)
+            yield cloud.store.get("bucket", "k")
+
+        cloud.sim.run_process(scenario())
+        assert cloud.store.stats.puts == 1
+        assert cloud.store.stats.gets == 1
+        assert cloud.store.stats.bytes_in == pytest.approx(50.0 * 1000)
+
+
+class TestBilling:
+    def test_requests_charged_by_class(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "k", b"x")  # class A
+            yield cloud.store.get("bucket", "k")  # class B
+            yield cloud.store.list_keys("bucket")  # class A
+
+        run(cloud, scenario())
+        by_item = cloud.meter.total_by_item()
+        profile = cloud.profile.objectstore
+        assert by_item[("objectstore", "class_a_request")] == pytest.approx(
+            2 * profile.class_a_price_usd
+        )
+        assert by_item[("objectstore", "class_b_request")] == pytest.approx(
+            1 * profile.class_b_price_usd
+        )
+
+    def test_volume_billing_accrues_over_time(self, cloud):
+        def scenario():
+            yield cloud.store.put("bucket", "k", b"x" * (100 * MB))
+            yield cloud.sim.timeout(3600.0)  # hold for one hour
+
+        run(cloud, scenario())
+        cloud.store.finalize_billing()
+        volume_lines = [
+            line for line in cloud.meter.lines if line.item == "storage_gb_hour"
+        ]
+        assert len(volume_lines) == 1
+        expected_gb_hours = (100 * MB) / (1024**3) * 1.0
+        assert volume_lines[0].quantity == pytest.approx(expected_gb_hours, rel=0.01)

@@ -1,0 +1,75 @@
+"""Tests for bandwidth-bounded storage views."""
+
+import pytest
+
+from repro.cloud import Cloud, MB
+from repro.cloud.profiles import ibm_us_east
+from repro.cloud.storageview import BoundStorage
+
+
+@pytest.fixture
+def cloud():
+    profile = ibm_us_east(deterministic=True)
+    profile.objectstore.read_latency.mean = 0.0
+    profile.objectstore.write_latency.mean = 0.0
+    cloud = Cloud.fresh(seed=47, profile=profile)
+    cloud.store.ensure_bucket("b")
+    return cloud
+
+
+class TestBoundStorage:
+    def test_unbounded_view_uses_store_connection_cap(self, cloud):
+        view = BoundStorage(cloud.store, None)
+        per_connection = cloud.profile.objectstore.per_connection_bandwidth
+
+        def scenario():
+            yield view.put("b", "k", b"x" * (10 * MB))
+            start = cloud.sim.now
+            yield view.get("b", "k")
+            return cloud.sim.now - start
+
+        elapsed = cloud.sim.run_process(scenario())
+        assert elapsed == pytest.approx(10 * MB / per_connection, rel=0.01)
+
+    def test_bound_caps_transfer_rate(self, cloud):
+        view = BoundStorage(cloud.store, 5 * MB)
+
+        def scenario():
+            yield view.put("b", "k", b"x" * (10 * MB))
+            start = cloud.sim.now
+            yield view.get("b", "k")
+            return cloud.sim.now - start
+
+        elapsed = cloud.sim.run_process(scenario())
+        assert elapsed == pytest.approx(2.0, rel=0.01)  # 10 MB at 5 MB/s
+
+    def test_bounded_never_exceeds_parent(self, cloud):
+        parent = BoundStorage(cloud.store, 5 * MB)
+        child = parent.bounded(50 * MB)  # request looser: must stay at 5
+        assert child.connection_bandwidth == 5 * MB
+
+    def test_bounded_tightens(self, cloud):
+        parent = BoundStorage(cloud.store, 20 * MB)
+        child = parent.bounded(5 * MB)
+        assert child.connection_bandwidth == 5 * MB
+
+    def test_bounded_from_unbounded(self, cloud):
+        parent = BoundStorage(cloud.store, None)
+        child = parent.bounded(7 * MB)
+        assert child.connection_bandwidth == 7 * MB
+
+    def test_raw_exposes_store(self, cloud):
+        view = BoundStorage(cloud.store, None)
+        assert view.raw is cloud.store
+
+    def test_multipart_through_view(self, cloud):
+        view = BoundStorage(cloud.store, 10 * MB)
+
+        def scenario():
+            upload_id = yield view.create_multipart_upload("b", "big")
+            yield view.upload_part(upload_id, 1, b"part1-")
+            yield view.upload_part(upload_id, 2, b"part2")
+            yield view.complete_multipart_upload(upload_id)
+            return (yield view.get("b", "big"))
+
+        assert cloud.sim.run_process(scenario()) == b"part1-part2"

@@ -1,0 +1,159 @@
+"""Unit tests for the METHCOMP stage-kind implementations."""
+
+import pytest
+
+from repro.cloud.environment import Cloud
+from repro.core import ExperimentConfig
+from repro.core.experiment import stage_input
+from repro.errors import WorkflowError
+from repro.sim import Simulator
+from repro.workflows import StageSpec, WorkflowDag, WorkflowEngine, registered_kinds
+
+
+CONFIG = ExperimentConfig(size_gb=0.25, logical_scale=4096.0)
+
+
+def fresh_cloud():
+    return Cloud(Simulator(seed=19), CONFIG.make_profile())
+
+
+def run_dag(cloud, stages):
+    engine = WorkflowEngine(cloud, WorkflowDag("t", stages, bucket="pipeline"))
+    engine.workload = CONFIG.workload
+    return engine.execute()
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        kinds = registered_kinds()
+        for kind in (
+            "methylome_dataset",
+            "dataset_ref",
+            "shuffle_sort",
+            "vm_sort",
+            "methcomp_encode",
+            "methcomp_verify",
+        ):
+            assert kind in kinds
+
+    def test_reregistration_is_idempotent(self):
+        from repro.core import register_builtin_stage_kinds
+
+        register_builtin_stage_kinds()
+        register_builtin_stage_kinds()  # must not raise
+
+
+class TestDatasetStages:
+    def test_methylome_dataset_generates_and_uploads(self):
+        cloud = fresh_cloud()
+        result = run_dag(
+            cloud,
+            [
+                StageSpec(
+                    "gen",
+                    "methylome_dataset",
+                    params={"size_gb": 0.05, "seed": 2, "key": "gen.bed"},
+                )
+            ],
+        )
+        artifact = result.artifacts["gen"]
+        assert artifact["records"] > 0
+        assert cloud.store.peek("pipeline", "gen.bed")
+
+    def test_dataset_size_scales_with_param(self):
+        cloud = fresh_cloud()
+        result = run_dag(
+            cloud,
+            [
+                StageSpec("small", "methylome_dataset",
+                          params={"size_gb": 0.02, "key": "s.bed"}),
+                StageSpec("large", "methylome_dataset",
+                          params={"size_gb": 0.08, "key": "l.bed"}),
+            ],
+        )
+        assert (
+            result.artifacts["large"]["real_bytes"]
+            > 2 * result.artifacts["small"]["real_bytes"]
+        )
+
+    def test_dataset_ref_requires_key(self):
+        cloud = fresh_cloud()
+        with pytest.raises(WorkflowError, match="requires parameter"):
+            run_dag(cloud, [StageSpec("ref", "dataset_ref")])
+
+    def test_dataset_ref_reports_logical_size(self):
+        cloud = fresh_cloud()
+        stage_input(cloud, CONFIG, "pipeline", "input/methylome.bed")
+        result = run_dag(
+            cloud,
+            [StageSpec("ref", "dataset_ref", params={"key": "input/methylome.bed"})],
+        )
+        artifact = result.artifacts["ref"]
+        assert artifact["logical_bytes"] == pytest.approx(
+            artifact["real_bytes"] * CONFIG.logical_scale
+        )
+
+
+class TestSortStages:
+    def test_shuffle_sort_requires_single_upstream(self):
+        cloud = fresh_cloud()
+        stage_input(cloud, CONFIG, "pipeline", "input/methylome.bed")
+        stages = [
+            StageSpec("a", "dataset_ref", params={"key": "input/methylome.bed"}),
+            StageSpec("b", "dataset_ref", params={"key": "input/methylome.bed"}),
+            StageSpec("sort", "shuffle_sort", after=("a", "b"), params={"workers": 2}),
+        ]
+        with pytest.raises(WorkflowError, match="exactly one upstream"):
+            run_dag(cloud, stages)
+
+    def test_vm_sort_produces_requested_partitions(self):
+        cloud = fresh_cloud()
+        stage_input(cloud, CONFIG, "pipeline", "input/methylome.bed")
+        result = run_dag(
+            cloud,
+            [
+                StageSpec("ref", "dataset_ref", params={"key": "input/methylome.bed"}),
+                StageSpec(
+                    "sort",
+                    "vm_sort",
+                    after=("ref",),
+                    params={"partitions": 3, "instance_type": "bx2-4x16"},
+                ),
+            ],
+        )
+        assert len(result.artifacts["sort"]["runs"]) == 3
+        assert result.artifacts["sort"]["vm_type"] == "bx2-4x16"
+
+    def test_vm_sort_terminates_instance(self):
+        cloud = fresh_cloud()
+        stage_input(cloud, CONFIG, "pipeline", "input/methylome.bed")
+        run_dag(
+            cloud,
+            [
+                StageSpec("ref", "dataset_ref", params={"key": "input/methylome.bed"}),
+                StageSpec("sort", "vm_sort", after=("ref",), params={"partitions": 2}),
+            ],
+        )
+        assert all(vm.state == "terminated" for vm in cloud.vms.instances)
+
+    def test_vm_sort_runs_are_sorted_and_complete(self):
+        from repro.methcomp.bed import bed_sort_key
+
+        cloud = fresh_cloud()
+        stage_input(cloud, CONFIG, "pipeline", "input/methylome.bed")
+        result = run_dag(
+            cloud,
+            [
+                StageSpec("ref", "dataset_ref", params={"key": "input/methylome.bed"}),
+                StageSpec("sort", "vm_sort", after=("ref",), params={"partitions": 4}),
+            ],
+        )
+        merged = b"".join(
+            cloud.store.peek(run["bucket"], run["key"])
+            for run in result.artifacts["sort"]["runs"]
+        )
+        lines = merged.split(b"\n")[:-1]
+        keys = [bed_sort_key(line) for line in lines]
+        assert keys == sorted(keys)
+        original = cloud.store.peek("pipeline", "input/methylome.bed")
+        assert len(merged) == len(original)

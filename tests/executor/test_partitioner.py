@@ -1,0 +1,125 @@
+"""Unit and property tests for input partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExecutorError
+from repro.executor import (
+    align_start_to_record,
+    chunk_ranges,
+    extend_end_to_record,
+    split_range,
+)
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        ranges = split_range("b", "k", 100, 4)
+        assert [(r.start, r.end) for r in ranges] == [
+            (0, 25),
+            (25, 50),
+            (50, 75),
+            (75, 100),
+        ]
+
+    def test_uneven_split_spreads_remainder(self):
+        ranges = split_range("b", "k", 10, 3)
+        assert [(r.start, r.end) for r in ranges] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ExecutorError):
+            split_range("b", "k", 10, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ExecutorError):
+            split_range("b", "k", -1, 2)
+
+    @given(size=st.integers(0, 10_000), parts=st.integers(1, 64))
+    def test_property_covers_exactly_once(self, size, parts):
+        ranges = split_range("b", "k", size, parts)
+        assert len(ranges) == parts
+        assert ranges[0].start == 0
+        assert ranges[-1].end == size
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.end == right.start
+
+    @given(size=st.integers(0, 10_000), parts=st.integers(1, 64))
+    def test_property_sizes_balanced(self, size, parts):
+        ranges = split_range("b", "k", size, parts)
+        sizes = [r.size for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkRanges:
+    def test_exact_multiple(self):
+        ranges = chunk_ranges("b", "k", 100, 25)
+        assert len(ranges) == 4
+        assert all(r.size == 25 for r in ranges)
+
+    def test_last_chunk_short(self):
+        ranges = chunk_ranges("b", "k", 10, 4)
+        assert [(r.start, r.end) for r in ranges] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_empty_object_single_empty_range(self):
+        ranges = chunk_ranges("b", "k", 0, 10)
+        assert len(ranges) == 1
+        assert ranges[0].size == 0
+
+    @given(size=st.integers(1, 10_000), chunk=st.integers(1, 500))
+    def test_property_contiguous_cover(self, size, chunk):
+        ranges = chunk_ranges("b", "k", size, chunk)
+        assert ranges[0].start == 0
+        assert ranges[-1].end == size
+        assert all(r.size <= chunk for r in ranges)
+
+
+class TestRecordAlignment:
+    def test_first_split_starts_at_zero(self):
+        assert align_start_to_record(b"abc\ndef\n", is_first=True) == 0
+
+    def test_later_split_skips_torn_record(self):
+        assert align_start_to_record(b"torn\nfull\n", is_first=False) == 5
+
+    def test_no_delimiter_means_whole_window_skipped(self):
+        assert align_start_to_record(b"no-newline-here", is_first=False) == 15
+
+    def test_extend_consumes_through_next_delimiter(self):
+        assert extend_end_to_record(b"tail\nnext\n", at_object_end=False) == 5
+
+    def test_extend_at_object_end_takes_all(self):
+        assert extend_end_to_record(b"last-record", at_object_end=True) == 11
+
+    def test_extend_without_delimiter_raises(self):
+        with pytest.raises(ExecutorError):
+            extend_end_to_record(b"never-ends", at_object_end=False)
+
+    @given(
+        records=st.lists(
+            st.binary(min_size=1, max_size=20).filter(lambda b: b"\n" not in b),
+            min_size=2,
+            max_size=20,
+        ),
+        split_count=st.integers(2, 6),
+    )
+    def test_property_splits_reassemble_all_records(self, records, split_count):
+        """Records recovered across aligned splits equal the original set."""
+        payload = b"".join(record + b"\n" for record in records)
+        size = len(payload)
+        boundaries = [size * i // split_count for i in range(split_count + 1)]
+        recovered = []
+        for index in range(split_count):
+            start, end = boundaries[index], boundaries[index + 1]
+            if start == end:
+                continue
+            window = payload[start:]
+            skip = align_start_to_record(window, is_first=(start == 0))
+            record_start = start + skip
+            tail = payload[end:]
+            extend = extend_end_to_record(tail, at_object_end=(end == size))
+            record_end = end + extend
+            if record_start >= record_end:
+                continue
+            segment = payload[record_start:record_end]
+            recovered.extend(segment.split(b"\n")[:-1])
+        assert recovered == records

@@ -1,0 +1,174 @@
+"""Tests for speculative execution (straggler backup tasks)."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ExecutorError
+from repro.executor import FunctionExecutor, SpeculationPolicy
+
+
+def double(x):
+    return x * 2
+
+
+def poison(x):
+    if x == 13:
+        raise ValueError("unlucky input")
+    return x
+
+
+def run_map(cloud, executor, func, data, **map_kwargs):
+    def driver():
+        futures = yield executor.map(func, data, **map_kwargs)
+        return (yield executor.get_result(futures))
+
+    return cloud.sim.run_process(driver())
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        SpeculationPolicy().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quantile": 0.0},
+            {"quantile": 1.0},
+            {"latency_multiplier": 0.9},
+            {"max_duplicates": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ExecutorError):
+            SpeculationPolicy(**kwargs).validate()
+
+    def test_invalid_policy_rejected_at_map_time(self):
+        cloud = Cloud.fresh(seed=1, profile=ibm_us_east(deterministic=True))
+        executor = FunctionExecutor(cloud)
+        with pytest.raises(ExecutorError):
+            run_map(
+                cloud, executor, double, [1, 2],
+                speculation=SpeculationPolicy(quantile=2.0),
+            )
+
+
+class TestCorrectness:
+    def test_results_identical_with_and_without_speculation(self):
+        data = list(range(30))
+        outcomes = []
+        for policy in (None, SpeculationPolicy()):
+            cloud = Cloud.fresh(seed=17)
+            executor = FunctionExecutor(cloud, speculation=policy)
+            outcomes.append(
+                run_map(cloud, executor, double, data,
+                        cpu_model=lambda x: 2.0)
+            )
+        assert outcomes[0] == outcomes[1] == [x * 2 for x in data]
+
+    def test_no_backups_in_a_deterministic_world(self):
+        cloud = Cloud.fresh(seed=17, profile=ibm_us_east(deterministic=True))
+        executor = FunctionExecutor(cloud, speculation=SpeculationPolicy())
+        results = run_map(cloud, executor, double, list(range(16)),
+                          cpu_model=lambda x: 2.0)
+        assert results == [x * 2 for x in range(16)]
+        assert executor.speculative_launches == 0
+
+    def test_application_errors_surface_and_are_not_speculated(self):
+        cloud = Cloud.fresh(seed=17, profile=ibm_us_east(deterministic=True))
+        executor = FunctionExecutor(cloud, speculation=SpeculationPolicy())
+        with pytest.raises(ValueError, match="unlucky"):
+            run_map(cloud, executor, poison, list(range(16)))
+        assert executor.speculative_launches == 0
+
+    def test_crash_retries_compose_with_speculation(self):
+        cloud = Cloud.fresh(seed=5)
+        cloud.faas.crash_probability = 0.25
+        cloud.faas.crash_latest_s = 6.0
+        executor = FunctionExecutor(cloud, speculation=SpeculationPolicy())
+        data = list(range(40))
+        results = run_map(cloud, executor, double, data,
+                          cpu_model=lambda x: 8.0)
+        assert results == [x * 2 for x in data]
+        assert cloud.faas.stats.crashes > 0
+
+    def test_map_level_policy_overrides_executor_default(self):
+        cloud = Cloud.fresh(seed=5)
+        executor = FunctionExecutor(cloud)  # no default policy
+        assert executor.speculation is None
+        results = run_map(
+            cloud, executor, double, list(range(8)),
+            speculation=SpeculationPolicy(),
+        )
+        assert results == [x * 2 for x in range(8)]
+
+
+class TestStragglerMitigation:
+    @staticmethod
+    def _heavy_tail_profile():
+        profile = ibm_us_east()
+        profile.faas.cold_start.mean = 1.5
+        profile.faas.cold_start.sigma = 1.4
+        return profile
+
+    def test_backups_launch_under_heavy_tail(self):
+        cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+        executor = FunctionExecutor(
+            cloud,
+            speculation=SpeculationPolicy(quantile=0.7, latency_multiplier=1.3),
+        )
+        results = run_map(cloud, executor, double, list(range(48)),
+                          cpu_model=lambda x: 5.0)
+        assert results == [x * 2 for x in range(48)]
+        assert executor.speculative_launches > 0
+
+    def test_speculation_does_not_slow_the_job(self):
+        latencies = {}
+        for label, policy in (
+            ("plain", None),
+            ("speculative",
+             SpeculationPolicy(quantile=0.7, latency_multiplier=1.3)),
+        ):
+            cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+            executor = FunctionExecutor(cloud, speculation=policy)
+            run_map(cloud, executor, double, list(range(48)),
+                    cpu_model=lambda x: 5.0)
+            latencies[label] = cloud.sim.now
+        assert latencies["speculative"] <= latencies["plain"] * 1.01
+
+    def test_duplicates_cost_extra_invocations(self):
+        cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+        executor = FunctionExecutor(
+            cloud,
+            speculation=SpeculationPolicy(quantile=0.7, latency_multiplier=1.3),
+        )
+        run_map(cloud, executor, double, list(range(48)),
+                cpu_model=lambda x: 5.0)
+        # invocations = samplers-free map of 48 + the backups
+        assert (
+            cloud.faas.stats.invocations
+            == 48 + executor.speculative_launches
+        )
+
+    def test_max_duplicates_bounds_backups_per_call(self):
+        cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+        policy = SpeculationPolicy(
+            quantile=0.5, latency_multiplier=1.0, max_duplicates=2
+        )
+        executor = FunctionExecutor(cloud, speculation=policy)
+        run_map(cloud, executor, double, list(range(24)),
+                cpu_model=lambda x: 5.0)
+        assert executor.speculative_launches <= 2 * 24
+
+    def test_counter_accumulates_across_jobs(self):
+        cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+        executor = FunctionExecutor(
+            cloud,
+            speculation=SpeculationPolicy(quantile=0.7, latency_multiplier=1.3),
+        )
+        run_map(cloud, executor, double, list(range(48)),
+                cpu_model=lambda x: 5.0)
+        first = executor.speculative_launches
+        run_map(cloud, executor, double, list(range(48)),
+                cpu_model=lambda x: 5.0)
+        assert executor.speculative_launches >= first

@@ -1,0 +1,178 @@
+"""Tests for the VM-backed standalone executor."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ExecutorError
+from repro.executor import FunctionExecutor, StandaloneExecutor
+
+
+@pytest.fixture
+def cloud():
+    return Cloud.fresh(seed=13, profile=ibm_us_east(deterministic=True))
+
+
+def square(x):
+    return x * x
+
+
+class TestLifecycle:
+    def test_map_before_start_rejected(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.map(square, [1])
+
+        with pytest.raises(ExecutorError):
+            cloud.sim.run_process(driver())
+
+    def test_double_start_rejected(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.start()
+            executor.start()
+
+        with pytest.raises(ExecutorError):
+            cloud.sim.run_process(driver())
+
+    def test_shutdown_terminates_vm(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.start()
+            executor.shutdown()
+            return executor.vm.state
+
+        assert cloud.sim.run_process(driver()) == "terminated"
+
+    def test_shutdown_is_idempotent(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.start()
+            executor.shutdown()
+            executor.shutdown()
+
+        cloud.sim.run_process(driver())  # must not raise
+
+
+class TestExecution:
+    def test_map_results_in_order(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.start()
+            futures = yield executor.map(square, [1, 2, 3])
+            results = yield executor.get_result(futures)
+            executor.shutdown()
+            return results
+
+        assert cloud.sim.run_process(driver()) == [1, 4, 9]
+
+    def test_includes_vm_boot_latency(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.start()
+            futures = yield executor.map(square, [1])
+            yield executor.get_result(futures)
+            executor.shutdown()
+            return cloud.sim.now
+
+        elapsed = cloud.sim.run_process(driver())
+        assert elapsed >= cloud.profile.vm.boot.mean
+
+    def test_vcpus_bound_compute_parallelism(self, cloud):
+        executor = StandaloneExecutor(cloud, instance_type="bx2-2x8")
+
+        def driver():
+            yield executor.start()
+            start = cloud.sim.now
+            futures = yield executor.map(
+                square, list(range(4)), cpu_model=lambda x: 10.0
+            )
+            yield executor.get_result(futures)
+            executor.shutdown()
+            return cloud.sim.now - start
+
+        elapsed = cloud.sim.run_process(driver())
+        # 4 calls x 10 s on 2 vCPUs: at least two serial rounds.
+        assert elapsed >= 20.0
+
+    def test_sim_aware_function_runs_on_vm(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def probe(ctx, x):
+            yield ctx.compute(0.1)
+            return (x, ctx.memory_mb)
+
+        def driver():
+            yield executor.start()
+            future = yield executor.call_async(probe, 9)
+            result = yield executor.get_result(future)
+            executor.shutdown()
+            return result
+
+        value, memory_mb = cloud.sim.run_process(driver())
+        assert value == 9
+        assert memory_mb == 32 * 1024  # bx2-8x32
+
+    def test_error_propagates(self, cloud):
+        executor = StandaloneExecutor(cloud)
+
+        def bad(x):
+            raise ValueError("vm call failed")
+
+        def driver():
+            yield executor.start()
+            futures = yield executor.map(bad, [1])
+            try:
+                yield executor.get_result(futures)
+            finally:
+                executor.shutdown()
+
+        with pytest.raises(ValueError, match="vm call failed"):
+            cloud.sim.run_process(driver())
+
+
+class TestCostShape:
+    def test_vm_billing_dominates_over_faas(self, cloud):
+        """The standalone executor bills VM seconds, not GB-seconds."""
+        executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield executor.start()
+            futures = yield executor.map(square, [1, 2])
+            yield executor.get_result(futures)
+            executor.shutdown()
+
+        cloud.sim.run_process(driver())
+        totals = cloud.meter.total_by_service()
+        assert totals.get("vm", 0.0) > 0.0
+        assert totals.get("faas", 0.0) == 0.0
+
+    def test_same_code_runs_on_both_substrates(self, cloud):
+        """A sim-aware function is substrate-portable (Lithops parity)."""
+
+        def portable(ctx, x):
+            yield ctx.compute(0.05)
+            yield ctx.storage.put("lithops-staging", f"out/{x}", bytes([x]))
+            return x * 10
+
+        faas_executor = FunctionExecutor(cloud)
+        vm_executor = StandaloneExecutor(cloud)
+
+        def driver():
+            yield vm_executor.start()
+            faas_futures = yield faas_executor.map(portable, [1, 2])
+            vm_futures = yield vm_executor.map(portable, [3, 4])
+            faas_results = yield faas_executor.get_result(faas_futures)
+            vm_results = yield vm_executor.get_result(vm_futures)
+            vm_executor.shutdown()
+            return faas_results, vm_results
+
+        faas_results, vm_results = cloud.sim.run_process(driver())
+        assert faas_results == [10, 20]
+        assert vm_results == [30, 40]

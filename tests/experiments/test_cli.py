@@ -1,0 +1,59 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_figure1_runs(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Purely serverless" in out
+
+    def test_sweep_codec_runs(self, capsys):
+        assert main(["--seed", "3", "sweep-codec"]) == 0
+        out = capsys.readouterr().out
+        assert "methcomp_ratio" in out
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep-everything"])
+
+    def test_scale_flag_parsed(self, capsys):
+        # Tiny smoke run of the heaviest command with a huge scale so it
+        # finishes fast.
+        assert main(["--scale", "16384", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "purely-serverless" in out
+        assert "Paper" in out
+
+    def test_exchange_runs(self, capsys):
+        assert main(["--scale", "16384", "exchange"]) == 0
+        out = capsys.readouterr().out
+        assert "cache-supported" in out
+
+    def test_sweep_multicloud_runs(self, capsys):
+        assert main(["--scale", "16384", "sweep-multicloud"]) == 0
+        out = capsys.readouterr().out
+        assert "aws-us-east" in out
+
+    def test_every_documented_subcommand_is_registered(self):
+        """The module docstring's usage block matches the parser."""
+        import re
+
+        import repro.experiments.cli as cli_module
+
+        documented = set(
+            re.findall(r"repro-experiments ([a-z0-9-]+)", cli_module.__doc__)
+        )
+        source = open(cli_module.__file__, encoding="utf-8").read()
+        registered = set(re.findall(r'"((?:sweep-)?[a-z0-9]+)",\n', source))
+        assert documented <= registered | {"table1", "figure1", "exchange"}
+        # And every documented command is dispatched somewhere.
+        for name in documented:
+            assert f'"{name}"' in source, name

@@ -1,0 +1,102 @@
+"""Tests for the extension sweeps S8-S11 (small configurations).
+
+The benchmarks run the full-size versions; these exercise the same code
+paths at tiny scale so failures localize quickly.
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.experiments import (
+    sweep_exchange,
+    sweep_exchange_pipelines,
+    sweep_fault_rate,
+    sweep_multicloud,
+    sweep_speculation,
+    sweep_tuner,
+)
+
+TINY = ExperimentConfig(size_gb=0.5, logical_scale=8192.0)
+
+
+class TestSweepExchange:
+    def test_rows_cover_both_strategies(self):
+        rows = sweep_exchange(TINY, worker_counts=(2, 4))
+        assert len(rows) == 4
+        strategies = {(row["workers"], row["strategy"]) for row in rows}
+        assert strategies == {
+            (2, "objectstore"), (2, "cache"),
+            (4, "objectstore"), (4, "cache"),
+        }
+
+    def test_cache_issues_fewer_storage_requests(self):
+        rows = sweep_exchange(TINY, worker_counts=(8,))
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert (
+            by_strategy["cache"]["storage_requests"]
+            < by_strategy["objectstore"]["storage_requests"]
+        )
+
+    def test_pipeline_variant_rows(self):
+        rows = sweep_exchange_pipelines(TINY, sizes_gb=(0.5,))
+        assert len(rows) == 3
+        assert {row["variant"] for row in rows} == {
+            "purely-serverless", "vm-supported", "cache-supported",
+        }
+        assert all(row["latency_s"] > 0 for row in rows)
+
+
+class TestSweepFaults:
+    def test_crash_free_baseline_has_no_crashes(self):
+        rows = sweep_fault_rate(TINY, crash_rates=(0.0,), calls=6,
+                                call_cpu_s=2.0)
+        assert rows[0]["crashes"] == 0
+        assert rows[0]["invocations"] == 6
+
+    def test_crashes_inflate_invocations(self):
+        rows = sweep_fault_rate(TINY, crash_rates=(0.0, 0.4), calls=8,
+                                call_cpu_s=4.0)
+        healthy, crashy = rows
+        assert crashy["crashes"] > 0
+        assert crashy["invocations"] == 8 + crashy["crashes"]
+        assert crashy["cost_usd"] > healthy["cost_usd"]
+
+
+class TestSweepSpeculation:
+    def test_rows_cover_both_modes(self):
+        rows = sweep_speculation(TINY, calls=12, call_cpu_s=2.0)
+        assert [row["speculation"] for row in rows] == ["off", "on"]
+        off, on = rows
+        assert off["backup_tasks"] == 0
+        assert on["invocations"] >= off["invocations"]
+
+
+class TestSweepTuner:
+    def test_single_scenario_regret_fields(self):
+        def slow_nic(profile):
+            profile.faas.instance_bandwidth = 8e6
+
+        rows = sweep_tuner(
+            TINY,
+            worker_candidates=(4, 8),
+            scenarios={"slow-nic": slow_nic},
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["oracle_pick"] in (4, 8)
+        assert row["static_regret"] >= 1.0
+        assert row["tuned_regret"] > 0
+        assert row["probe_s"] > 0
+
+
+class TestSweepMulticloud:
+    def test_conclusion_holds_on_both_providers(self):
+        rows = sweep_multicloud(TINY)
+        assert [row["provider"] for row in rows] == [
+            "ibm-us-east", "aws-us-east",
+        ]
+        for row in rows:
+            assert row["speedup"] > 1.0, row["provider"]
+            assert row["serverless_cost_usd"] > 0
+        assert rows[0]["vm_type"] == "bx2-8x32"
+        assert rows[1]["vm_type"] == "m5.2xlarge"

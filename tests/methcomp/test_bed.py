@@ -1,0 +1,149 @@
+"""Tests for the bedMethyl record format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.methcomp import (
+    CHROMOSOMES,
+    MethylationRecord,
+    bed_sort_key,
+    is_sorted,
+    parse_buffer,
+    parse_line,
+    serialize_record,
+    serialize_records,
+)
+
+
+def record_strategy():
+    return st.tuples(
+        st.sampled_from(CHROMOSOMES),
+        st.integers(0, 10**9),
+        st.sampled_from(["+", "-"]),
+        st.integers(0, 5000),
+        st.integers(0, 100),
+    ).map(
+        lambda raw: MethylationRecord(
+            chrom=raw[0],
+            start=raw[1],
+            end=raw[1] + 2,
+            strand=raw[2],
+            coverage=raw[3],
+            pct_meth=raw[4],
+        )
+    )
+
+
+class TestRecordValidation:
+    def test_valid_record(self):
+        record = MethylationRecord("chr1", 100, 102, "+", 25, 80)
+        assert record.score == 25
+        assert record.color == "0,255,0"
+
+    def test_unknown_chromosome_rejected(self):
+        with pytest.raises(CodecError):
+            MethylationRecord("chr99", 0, 2, "+", 1, 0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(CodecError):
+            MethylationRecord("chr1", 10, 5, "+", 1, 0)
+
+    def test_bad_strand_rejected(self):
+        with pytest.raises(CodecError):
+            MethylationRecord("chr1", 0, 2, "*", 1, 0)
+
+    def test_pct_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            MethylationRecord("chr1", 0, 2, "+", 1, 101)
+
+    def test_score_caps_at_1000(self):
+        record = MethylationRecord("chr1", 0, 2, "+", 4000, 50)
+        assert record.score == 1000
+
+    def test_color_buckets(self):
+        assert MethylationRecord("chr1", 0, 2, "+", 1, 49).color == "255,0,0"
+        assert MethylationRecord("chr1", 0, 2, "+", 1, 50).color == "0,255,0"
+
+
+class TestSerialization:
+    def test_line_has_eleven_columns(self):
+        record = MethylationRecord("chr2", 1234, 1236, "-", 30, 75)
+        line = serialize_record(record)
+        assert line.count(b"\t") == 10
+
+    def test_parse_inverts_serialize(self):
+        record = MethylationRecord("chrX", 999, 1001, "-", 42, 3)
+        assert parse_line(serialize_record(record)) == record
+
+    def test_parse_accepts_trailing_newline(self):
+        record = MethylationRecord("chr1", 5, 7, "+", 1, 0)
+        assert parse_line(serialize_record(record) + b"\n") == record
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(CodecError):
+            parse_line(b"chr1\t1\t3")
+
+    def test_tampered_thick_columns_rejected(self):
+        record = MethylationRecord("chr1", 5, 7, "+", 1, 0)
+        fields = serialize_record(record).split(b"\t")
+        fields[6] = b"999"
+        with pytest.raises(CodecError):
+            parse_line(b"\t".join(fields))
+
+    def test_tampered_color_rejected(self):
+        record = MethylationRecord("chr1", 5, 7, "+", 1, 80)
+        fields = serialize_record(record).split(b"\t")
+        fields[8] = b"255,0,0"
+        with pytest.raises(CodecError):
+            parse_line(b"\t".join(fields))
+
+    def test_buffer_roundtrip(self):
+        records = [
+            MethylationRecord("chr1", 10, 12, "+", 5, 90),
+            MethylationRecord("chr1", 11, 13, "-", 6, 88),
+        ]
+        assert parse_buffer(serialize_records(records)) == records
+
+    @given(record=record_strategy())
+    def test_property_line_roundtrip(self, record):
+        assert parse_line(serialize_record(record)) == record
+
+
+class TestSortKey:
+    def test_chromosome_order(self):
+        early = MethylationRecord("chr2", 999999, 1000001, "+", 1, 0)
+        late = MethylationRecord("chr10", 5, 7, "+", 1, 0)
+        assert early.sort_key() < late.sort_key()  # chr2 < chr10 genomically
+
+    def test_line_key_matches_record_key(self):
+        record = MethylationRecord("chr7", 424242, 424244, "-", 9, 55)
+        assert bed_sort_key(serialize_record(record)) == record.sort_key()
+
+    def test_unknown_chrom_in_line_rejected(self):
+        with pytest.raises(CodecError):
+            bed_sort_key(b"chrZZ\t1\t3\t.\t1\t+\t1\t3\t255,0,0\t1\t0")
+
+    def test_is_sorted(self):
+        sorted_records = [
+            MethylationRecord("chr1", 1, 3, "+", 1, 0),
+            MethylationRecord("chr1", 5, 7, "+", 1, 0),
+            MethylationRecord("chr2", 0, 2, "+", 1, 0),
+        ]
+        assert is_sorted(sorted_records)
+        assert not is_sorted(list(reversed(sorted_records)))
+
+    @given(records=st.lists(record_strategy(), min_size=2, max_size=50))
+    def test_property_sorting_by_line_key_equals_record_sort(self, records):
+        lines = [serialize_record(record) for record in records]
+        by_line = sorted(lines, key=bed_sort_key)
+        by_record = [
+            serialize_record(record)
+            for record in sorted(records, key=lambda r: r.sort_key())
+        ]
+        # Same multiset and same key sequence (ties may permute freely).
+        assert sorted(by_line) == sorted(by_record)
+        assert [bed_sort_key(l) for l in by_line] == [
+            bed_sort_key(l) for l in by_record
+        ]

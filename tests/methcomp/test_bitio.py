@@ -1,0 +1,105 @@
+"""Tests for bit-level I/O, varints and zigzag."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.methcomp.codec import (
+    BitReader,
+    BitWriter,
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestBitIO:
+    def test_single_bits_roundtrip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    def test_write_bits_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b0001, 4)
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_unary_roundtrip(self):
+        writer = BitWriter()
+        for value in (0, 3, 7, 1):
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_unary() for _ in range(4)] == [0, 3, 7, 1]
+
+    def test_reading_past_end_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(CodecError):
+            reader.read_bit()
+
+    def test_bit_length_tracks_partial_bytes(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.bit_length == 3
+        assert len(writer.getvalue()) == 1  # zero-padded
+
+    @given(st.lists(st.integers(0, 1), max_size=200))
+    def test_property_bit_roundtrip(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+
+class TestVarint:
+    def test_known_encodings(self):
+        out = bytearray()
+        write_varint(out, 0)
+        assert bytes(out) == b"\x00"
+        out = bytearray()
+        write_varint(out, 300)
+        assert bytes(out) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            write_varint(bytearray(), -1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CodecError):
+            read_varint(b"\x80", 0)
+
+    @given(st.integers(0, 2**62))
+    def test_property_roundtrip(self, value):
+        out = bytearray()
+        write_varint(out, value)
+        decoded, offset = read_varint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    @given(st.lists(st.integers(0, 2**40), max_size=50))
+    def test_property_sequence_roundtrip(self, values):
+        out = bytearray()
+        for value in values:
+            write_varint(out, value)
+        data = bytes(out)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = read_varint(data, offset)
+            decoded.append(value)
+        assert decoded == values
+
+
+class TestZigzag:
+    def test_known_mapping(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_property_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value

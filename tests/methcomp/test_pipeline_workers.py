@@ -1,0 +1,99 @@
+"""Tests for the encode/decode pipeline workers on the simulated cloud."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.executor import FunctionExecutor
+from repro.methcomp import (
+    MethylomeGenerator,
+    decode_worker,
+    encode_worker,
+    serialize_records,
+)
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=41, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("data")
+    return cloud
+
+
+@pytest.fixture
+def sorted_run(cloud):
+    records = MethylomeGenerator(seed=4).records(8000)
+    payload = serialize_records(records)
+
+    def upload():
+        yield cloud.store.put("data", "run.bed", payload)
+
+    cloud.sim.run_process(upload())
+    return payload
+
+
+class TestEncodeWorker:
+    def test_encode_roundtrip_through_storage(self, cloud, sorted_run):
+        executor = FunctionExecutor(cloud)
+
+        def driver():
+            futures = yield executor.map(
+                encode_worker,
+                [
+                    {
+                        "bucket": "data",
+                        "key": "run.bed",
+                        "out_bucket": "data",
+                        "out_key": "run.mcmp",
+                    }
+                ],
+            )
+            encode_stats = (yield executor.get_result(futures))[0]
+            futures = yield executor.map(
+                decode_worker,
+                [
+                    {
+                        "bucket": "data",
+                        "key": "run.mcmp",
+                        "out_bucket": "data",
+                        "out_key": "restored.bed",
+                    }
+                ],
+            )
+            decode_stats = (yield executor.get_result(futures))[0]
+            return encode_stats, decode_stats
+
+        encode_stats, decode_stats = cloud.sim.run_process(driver())
+        assert encode_stats["records"] == 8000
+        assert decode_stats["records"] == 8000
+        assert encode_stats["compressed_bytes"] < encode_stats["raw_bytes"] / 10
+        assert cloud.store.peek("data", "restored.bed") == sorted_run
+
+    def test_encode_charges_modeled_cpu(self, cloud, sorted_run):
+        executor = FunctionExecutor(cloud)
+
+        def run_with_throughput(throughput):
+            start = cloud.sim.now
+
+            def driver():
+                futures = yield executor.map(
+                    encode_worker,
+                    [
+                        {
+                            "bucket": "data",
+                            "key": "run.bed",
+                            "out_bucket": "data",
+                            "out_key": f"run-{throughput}.mcmp",
+                            "throughput_bps": throughput,
+                        }
+                    ],
+                )
+                yield executor.get_result(futures)
+
+            cloud.sim.run_process(driver())
+            return cloud.sim.now - start
+
+        run_with_throughput(2e9)  # warm the container (cold start paid here)
+        fast = run_with_throughput(1e9)
+        slow = run_with_throughput(1e5)
+        assert slow > fast + 1.0  # ~5 s of modeled CPU at 100 kB/s

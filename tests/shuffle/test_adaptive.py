@@ -1,0 +1,160 @@
+"""Tests for the online (probe-based) shuffle tuner."""
+
+import pytest
+
+from repro.cloud import Cloud, MB
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ShuffleError
+from repro.executor import FunctionExecutor
+from repro.shuffle.adaptive import OnlineTuner, ProbeReport
+from repro.shuffle.planner import plan_shuffle
+from repro.sim import Simulator
+
+CANDIDATES = (4, 8, 16, 32, 64, 128)
+
+
+def make_cloud(mutate=None, logical_scale=1024.0):
+    profile = ibm_us_east(logical_scale=logical_scale, deterministic=True)
+    if mutate is not None:
+        mutate(profile)
+    cloud = Cloud(Simulator(seed=3), profile)
+    cloud.store.ensure_bucket("bucket")
+    return cloud
+
+
+def run_probe(cloud, **tuner_kwargs):
+    executor = FunctionExecutor(cloud, bucket="bucket")
+    tuner = OnlineTuner(executor, **tuner_kwargs)
+
+    def driver():
+        return (yield tuner.probe("bucket"))
+
+    return tuner, cloud.sim.run_process(driver())
+
+
+class TestProbe:
+    def test_measures_request_latencies(self):
+        cloud = make_cloud()
+        _tuner, report = run_probe(cloud)
+        assert report.read_latency_s == pytest.approx(
+            cloud.profile.objectstore.read_latency.mean, rel=0.05
+        )
+        assert report.write_latency_s == pytest.approx(
+            cloud.profile.objectstore.write_latency.mean, rel=0.05
+        )
+
+    def test_measures_effective_bandwidth(self):
+        cloud = make_cloud()
+        _tuner, report = run_probe(cloud)
+        expected = min(
+            cloud.profile.faas.instance_bandwidth,
+            cloud.profile.objectstore.per_connection_bandwidth,
+        )
+        assert report.connection_bandwidth_bps == pytest.approx(expected, rel=0.1)
+
+    def test_detects_degraded_nic(self):
+        def throttle(profile):
+            profile.faas.instance_bandwidth = 8 * MB
+
+        cloud = make_cloud(mutate=throttle)
+        _tuner, report = run_probe(cloud)
+        assert report.connection_bandwidth_bps == pytest.approx(8 * MB, rel=0.1)
+
+    def test_detects_inflated_latency(self):
+        def slow(profile):
+            profile.objectstore.read_latency.mean = 0.25
+
+        cloud = make_cloud(mutate=slow)
+        _tuner, report = run_probe(cloud)
+        assert report.read_latency_s == pytest.approx(0.25, rel=0.05)
+
+    def test_probe_counts_its_requests(self):
+        cloud = make_cloud()
+        _tuner, report = run_probe(cloud, requests=4)
+        assert report.requests == 2 * 4 + 2
+
+    def test_probe_cleans_up_its_objects(self):
+        cloud = make_cloud()
+        run_probe(cloud)
+        def listing():
+            return (yield cloud.store.list_keys("bucket", "primula-probe"))
+
+        assert cloud.sim.run_process(listing()) == []
+
+    def test_probe_reports_startup(self):
+        cloud = make_cloud()
+        _tuner, report = run_probe(cloud)
+        faas = cloud.profile.faas
+        assert report.startup_s >= faas.cold_start.mean * 0.5
+        assert report.duration_s > report.startup_s
+
+    def test_describe_is_human_readable(self):
+        report = ProbeReport(0.025, 0.045, 44e6, 0.9, 3.2, 14)
+        text = report.describe()
+        assert "25.0 ms" in text
+        assert "44.0 MB/s" in text
+
+    def test_too_few_requests_rejected(self):
+        cloud = make_cloud()
+        executor = FunctionExecutor(cloud, bucket="bucket")
+        with pytest.raises(ShuffleError):
+            OnlineTuner(executor, requests=1)
+
+
+class TestFittingAndPlanning:
+    def test_fitted_profile_does_not_mutate_original(self):
+        cloud = make_cloud()
+        tuner, report = run_probe(cloud)
+        before = cloud.profile.faas.instance_bandwidth
+        fitted = tuner.fitted_profile(report)
+        assert cloud.profile.faas.instance_bandwidth == before
+        assert fitted is not cloud.profile
+
+    def test_fitted_profile_carries_measurements(self):
+        cloud = make_cloud()
+        tuner, report = run_probe(cloud)
+        fitted = tuner.fitted_profile(report)
+        assert fitted.objectstore.read_latency.mean == report.read_latency_s
+        assert fitted.faas.instance_bandwidth == report.connection_bandwidth_bps
+        assert fitted.objectstore.read_latency.sigma == 0.0
+
+    def test_degraded_nic_shifts_plan_to_more_workers(self):
+        def throttle(profile):
+            profile.faas.instance_bandwidth = 8 * MB
+
+        cloud = make_cloud(mutate=throttle)
+        tuner, report = run_probe(cloud)
+        size = 3.5 * (1 << 30)
+        tuned = tuner.plan(size, report, candidates=CANDIDATES)
+        static = plan_shuffle(
+            size, ibm_us_east(deterministic=True), candidates=CANDIDATES
+        )
+        # Less bandwidth per function → spread over more functions.
+        assert tuned.workers > static.workers
+
+    def test_tune_returns_report_and_plan(self):
+        cloud = make_cloud()
+        executor = FunctionExecutor(cloud, bucket="bucket")
+        tuner = OnlineTuner(executor)
+
+        def driver():
+            return (
+                yield tuner.tune("bucket", 3.5 * (1 << 30),
+                                 candidates=CANDIDATES)
+            )
+
+        report, plan = cloud.sim.run_process(driver())
+        assert isinstance(report, ProbeReport)
+        assert plan.workers in CANDIDATES
+
+    def test_calibrated_region_matches_static_plan(self):
+        """On a healthy region the tuner must agree with the calibration
+        (the probe should not invent a different world)."""
+        cloud = make_cloud()
+        tuner, report = run_probe(cloud)
+        size = 3.5 * (1 << 30)
+        tuned = tuner.plan(size, report, candidates=CANDIDATES)
+        static = plan_shuffle(
+            size, ibm_us_east(deterministic=True), candidates=CANDIDATES
+        )
+        assert tuned.workers == static.workers

@@ -1,0 +1,270 @@
+"""Tests for the cache-mediated shuffle: operator, planner, workers."""
+
+import random
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ShuffleError
+from repro.executor import FunctionExecutor
+from repro.shuffle import (
+    CacheShuffleCostModel,
+    CacheShuffleSort,
+    FixedWidthCodec,
+    cache_partition_key,
+    plan_cache_shuffle,
+    predict_cache_shuffle_time,
+    required_cache_nodes,
+)
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=31, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("data")
+    return cloud
+
+
+@pytest.fixture
+def executor(cloud):
+    return FunctionExecutor(cloud)
+
+
+@pytest.fixture
+def cluster(cloud):
+    return cloud.cache.provision_ready("cache.r5.large", nodes=2)
+
+
+def make_fixed_payload(count, seed=7, record_size=16):
+    rng = random.Random(seed)
+    return b"".join(
+        rng.getrandbits(64).to_bytes(8, "big") + bytes(record_size - 8)
+        for _ in range(count)
+    )
+
+
+def sort_and_collect(cloud, executor, cluster, codec, payload, **kwargs):
+    op = CacheShuffleSort(executor, codec, cluster)
+
+    def driver():
+        yield cloud.store.put("data", "input.bin", payload)
+        return (yield op.sort("data", "input.bin", **kwargs))
+
+    result = cloud.sim.run_process(driver())
+    merged = b"".join(cloud.store.peek("data", run.key) for run in result.runs)
+    return op, result, merged
+
+
+class TestCacheSort:
+    def test_output_globally_sorted(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(5000)
+        _op, result, merged = sort_and_collect(
+            cloud, executor, cluster, codec, payload, workers=4
+        )
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+        assert result.total_records == 5000
+
+    def test_no_bytes_lost(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(3000)
+        _op, _result, merged = sort_and_collect(
+            cloud, executor, cluster, codec, payload, workers=3
+        )
+        assert len(merged) == len(payload)
+        assert sorted(codec.split(merged)) == sorted(codec.split(payload))
+
+    def test_single_worker_degenerate_case(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(400)
+        _op, result, merged = sort_and_collect(
+            cloud, executor, cluster, codec, payload, workers=1
+        )
+        assert result.workers == 1
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+
+    def test_report_counts_cache_traffic(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(2000)
+        op, result, _merged = sort_and_collect(
+            cloud, executor, cluster, codec, payload, workers=4
+        )
+        # W mappers x W partitions each, then W reducers reading W each.
+        assert op.report.cache_sets == 16
+        assert op.report.cache_gets == 16
+        assert op.report.nodes == 2
+        assert 0 < op.report.peak_fill_fraction < 1
+
+    def test_intermediates_stay_in_cache_not_cos(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(2000)
+        sort_and_collect(cloud, executor, cluster, codec, payload, workers=4)
+        # No combined/partition shuffle objects must exist in COS — only
+        # the executor's job state, the input and the sorted runs.
+        def listing():
+            return (yield cloud.store.list_keys("data", ""))
+
+        keys = cloud.sim.run_process(listing())
+        assert not [key for key in keys if "/shuffle/" in key]
+        assert [key for key in keys if "/sorted/" in key]
+
+    def test_cleanup_deletes_partitions(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(1000)
+        cost = CacheShuffleCostModel(cleanup=True)
+        op = CacheShuffleSort(executor, codec, cluster, cost=cost)
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (yield op.sort("data", "input.bin", workers=3))
+
+        cloud.sim.run_process(driver())
+        assert cluster.key_count == 0
+
+    def test_without_cleanup_partitions_remain(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(1000)
+        sort_and_collect(cloud, executor, cluster, codec, payload, workers=3)
+        assert cluster.key_count == 9
+
+    def test_empty_object_rejected(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        op = CacheShuffleSort(executor, codec, cluster)
+
+        def driver():
+            yield cloud.store.put("data", "empty.bin", b"")
+            return (yield op.sort("data", "empty.bin", workers=2))
+
+        with pytest.raises(ShuffleError, match="empty"):
+            cloud.sim.run_process(driver())
+
+    def test_data_exceeding_cluster_capacity_rejected(self, executor):
+        profile = ibm_us_east(logical_scale=1e9, deterministic=True)
+        cloud = Cloud.fresh(seed=31, profile=profile)
+        cloud.store.ensure_bucket("data")
+        executor = FunctionExecutor(cloud)
+        cluster = cloud.cache.provision_ready("cache.r5.large", nodes=1)
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        op = CacheShuffleSort(executor, codec, cluster)
+        payload = make_fixed_payload(2000)  # 32 KB real = 32 TB logical
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (yield op.sort("data", "input.bin", workers=2))
+
+        with pytest.raises(ShuffleError, match="capacity"):
+            cloud.sim.run_process(driver())
+
+    def test_terminated_cluster_rejected(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        cluster.terminate()
+        op = CacheShuffleSort(executor, codec, cluster)
+        payload = make_fixed_payload(100)
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (yield op.sort("data", "input.bin", workers=2))
+
+        from repro.cloud.memstore import ClusterNotRunning
+
+        with pytest.raises(ClusterNotRunning):
+            cloud.sim.run_process(driver())
+
+    def test_planner_used_when_workers_not_pinned(self, cloud, executor, cluster):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(2000)
+        _op, result, merged = sort_and_collect(
+            cloud, executor, cluster, codec, payload, max_workers=16
+        )
+        assert result.planned is not None
+        assert result.workers == result.planned.workers
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+
+
+class TestCachePlanner:
+    def test_predict_rejects_bad_inputs(self):
+        profile = ibm_us_east()
+        node_type = profile.memstore.catalog["cache.r5.large"]
+        cost = CacheShuffleCostModel()
+        with pytest.raises(ShuffleError):
+            predict_cache_shuffle_time(1e9, 0, profile, node_type, 1, cost)
+        with pytest.raises(ShuffleError):
+            predict_cache_shuffle_time(1e9, 4, profile, node_type, 0, cost)
+
+    def test_plan_rejects_unknown_node_type(self):
+        with pytest.raises(ShuffleError, match="unknown cache node type"):
+            plan_cache_shuffle(1e9, ibm_us_east(), "cache.r9.mega", 1)
+
+    def test_breakdown_sums_to_total(self):
+        profile = ibm_us_east()
+        node_type = profile.memstore.catalog["cache.r5.large"]
+        point = predict_cache_shuffle_time(
+            3.5e9, 16, profile, node_type, 2, CacheShuffleCostModel()
+        )
+        assert point.total_s == pytest.approx(sum(point.breakdown.values()))
+
+    def test_cache_flatter_than_cos_at_high_worker_counts(self):
+        """The substrate difference the model must capture: the cache's
+        W² request floor is ~30x lower than object storage's."""
+        from repro.shuffle import ShuffleCostModel, predict_shuffle_time
+
+        profile = ibm_us_east()
+        node_type = profile.memstore.catalog["cache.r5.large"]
+        size = 3.5e9
+        cos_lo = predict_shuffle_time(size, 16, profile, ShuffleCostModel())
+        cos_hi = predict_shuffle_time(size, 128, profile, ShuffleCostModel())
+        cache_lo = predict_cache_shuffle_time(
+            size, 16, profile, node_type, 2, CacheShuffleCostModel()
+        )
+        cache_hi = predict_cache_shuffle_time(
+            size, 128, profile, node_type, 2, CacheShuffleCostModel()
+        )
+        cos_penalty = cos_hi.total_s / cos_lo.total_s
+        cache_penalty = cache_hi.total_s / cache_lo.total_s
+        assert cache_penalty < cos_penalty
+
+    def test_more_nodes_raise_ops_floor_capacity(self):
+        profile = ibm_us_east()
+        node_type = profile.memstore.catalog["cache.r5.large"]
+        one = predict_cache_shuffle_time(
+            3.5e9, 256, profile, node_type, 1, CacheShuffleCostModel()
+        )
+        four = predict_cache_shuffle_time(
+            3.5e9, 256, profile, node_type, 4, CacheShuffleCostModel()
+        )
+        assert four.total_s <= one.total_s
+
+    def test_required_cache_nodes_scales_with_data(self):
+        profile = ibm_us_east()
+        small = required_cache_nodes(1e9, profile, "cache.r5.large")
+        large = required_cache_nodes(50e9, profile, "cache.r5.large")
+        assert small == 1
+        assert large > small
+        # Capacity actually suffices, headroom included.
+        node = profile.memstore.catalog["cache.r5.large"]
+        usable = node.memory_gb * (1 << 30) * profile.memstore.usable_memory_fraction
+        assert large * usable >= 50e9
+
+    def test_required_cache_nodes_validates(self):
+        profile = ibm_us_east()
+        with pytest.raises(ShuffleError):
+            required_cache_nodes(0, profile, "cache.r5.large")
+        with pytest.raises(ShuffleError):
+            required_cache_nodes(1e9, profile, "cache.r5.large", headroom=0.5)
+        with pytest.raises(ShuffleError):
+            required_cache_nodes(1e9, profile, "cache.r9.mega")
+
+
+class TestPartitionKeys:
+    def test_key_layout_is_unique_and_prefixed(self):
+        keys = {
+            cache_partition_key("sort", m, r)
+            for m in range(8)
+            for r in range(8)
+        }
+        assert len(keys) == 64
+        assert all(key.startswith("sort/") for key in keys)

@@ -1,0 +1,171 @@
+"""Tests for the GroupBy operator."""
+
+import random
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ShuffleError
+from repro.executor import FunctionExecutor
+from repro.methcomp import MethylomeGenerator, serialize_records
+from repro.shuffle import FixedWidthCodec, LineRecordCodec, ShuffleGroupBy
+
+
+# -- top-level (picklable) key and aggregation functions -----------------
+
+def first_byte_key(record: bytes) -> int:
+    return record[0]
+
+
+def count_aggregate(group_key, records):
+    """One output record per group: key byte + big-endian count."""
+    return [bytes([group_key]) + len(records).to_bytes(7, "big") + bytes(8)]
+
+
+def identity_aggregate(group_key, records):
+    return records
+
+
+def chrom_of_line(line: bytes) -> bytes:
+    return line.split(b"\t", 1)[0]
+
+
+def chrom_count_aggregate(chrom, records):
+    # Line records carry their trailing newline through the codec.
+    return [chrom + b"\t" + str(len(records)).encode() + b"\n"]
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=43, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("data")
+    return cloud
+
+
+def make_payload(count, distinct_keys=10, seed=5):
+    rng = random.Random(seed)
+    return b"".join(
+        bytes([rng.randrange(distinct_keys)]) + bytes(15) for _ in range(count)
+    )
+
+
+class TestGroupByFixedWidth:
+    def test_counts_per_group_are_exact(self, cloud):
+        payload = make_payload(4000, distinct_keys=10)
+        expected = {}
+        for start in range(0, len(payload), 16):
+            expected[payload[start]] = expected.get(payload[start], 0) + 1
+
+        executor = FunctionExecutor(cloud)
+        codec = FixedWidthCodec(record_size=16, key_bytes=1)
+        operator = ShuffleGroupBy(executor, codec, first_byte_key)
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (
+                yield operator.group_by(
+                    "data", "input.bin", count_aggregate, workers=4
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        assert result.total_groups == 10
+        assert result.records_in == 4000
+
+        merged = b"".join(
+            cloud.store.peek("data", out["output_key"]) for out in result.outputs
+        )
+        counts = {
+            merged[start]: int.from_bytes(merged[start + 1 : start + 8], "big")
+            for start in range(0, len(merged), 16)
+        }
+        assert counts == expected
+
+    def test_groups_never_split_across_reducers(self, cloud):
+        """Each group key appears in exactly one reducer output."""
+        payload = make_payload(3000, distinct_keys=24)
+        executor = FunctionExecutor(cloud)
+        codec = FixedWidthCodec(record_size=16, key_bytes=1)
+        operator = ShuffleGroupBy(executor, codec, first_byte_key)
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (
+                yield operator.group_by(
+                    "data", "input.bin", count_aggregate, workers=6
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        seen: dict[int, int] = {}
+        for reducer_index, out in enumerate(result.outputs):
+            data = cloud.store.peek("data", out["output_key"])
+            for start in range(0, len(data), 16):
+                key = data[start]
+                assert key not in seen, f"group {key} split across reducers"
+                seen[key] = reducer_index
+        assert len(seen) == result.total_groups
+
+    def test_identity_aggregate_preserves_records(self, cloud):
+        payload = make_payload(2000, distinct_keys=5)
+        executor = FunctionExecutor(cloud)
+        codec = FixedWidthCodec(record_size=16, key_bytes=1)
+        operator = ShuffleGroupBy(executor, codec, first_byte_key)
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (
+                yield operator.group_by(
+                    "data", "input.bin", identity_aggregate, workers=3
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        assert result.records_out == result.records_in == 2000
+
+    def test_empty_object_rejected(self, cloud):
+        executor = FunctionExecutor(cloud)
+        codec = FixedWidthCodec(record_size=16, key_bytes=1)
+        operator = ShuffleGroupBy(executor, codec, first_byte_key)
+
+        def driver():
+            yield cloud.store.put("data", "empty.bin", b"")
+            yield operator.group_by("data", "empty.bin", count_aggregate, workers=2)
+
+        with pytest.raises(ShuffleError):
+            cloud.sim.run_process(driver())
+
+
+class TestGroupByGenomics:
+    def test_per_chromosome_record_counts(self, cloud):
+        """Domain scenario: records per chromosome via serverless GroupBy."""
+        records = MethylomeGenerator(seed=6).shuffled_records(6000)
+        payload = serialize_records(records)
+        expected = {}
+        for record in records:
+            expected[record.chrom.encode()] = expected.get(record.chrom.encode(), 0) + 1
+
+        executor = FunctionExecutor(cloud)
+        codec = LineRecordCodec(key_fn=chrom_of_line)
+        operator = ShuffleGroupBy(executor, codec, chrom_of_line)
+
+        def driver():
+            yield cloud.store.put("data", "methylome.bed", payload)
+            return (
+                yield operator.group_by(
+                    "data", "methylome.bed", chrom_count_aggregate, workers=4
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        merged = b"".join(
+            cloud.store.peek("data", out["output_key"]) for out in result.outputs
+        )
+        counts = {}
+        for line in merged.split(b"\n"):
+            if line:
+                chrom, count = line.split(b"\t")
+                counts[chrom] = int(count)
+        assert counts == expected
+        assert result.total_groups == len(expected)

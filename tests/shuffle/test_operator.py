@@ -1,0 +1,217 @@
+"""Integration tests: the full shuffle/sort on the simulated cloud."""
+
+import random
+
+import pytest
+
+from repro.cloud import Cloud, MB
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ShuffleError
+from repro.executor import FunctionExecutor
+from repro.shuffle import (
+    FixedWidthCodec,
+    LineRecordCodec,
+    ShuffleCostModel,
+    ShuffleSort,
+)
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=23, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("data")
+    return cloud
+
+
+@pytest.fixture
+def executor(cloud):
+    return FunctionExecutor(cloud)
+
+
+def make_fixed_payload(count, seed=7, record_size=16):
+    rng = random.Random(seed)
+    return b"".join(
+        rng.getrandbits(64).to_bytes(8, "big") + bytes(record_size - 8)
+        for _ in range(count)
+    )
+
+
+def sort_and_collect(cloud, executor, codec, payload, **kwargs):
+    op = ShuffleSort(executor, codec)
+
+    def driver():
+        yield cloud.store.put("data", "input.bin", payload)
+        return (yield op.sort("data", "input.bin", **kwargs))
+
+    result = cloud.sim.run_process(driver())
+    merged = b"".join(cloud.store.peek("data", run.key) for run in result.runs)
+    return result, merged
+
+
+class TestFixedWidthSort:
+    def test_output_globally_sorted(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(5000)
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=4)
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+        assert result.total_records == 5000
+
+    def test_no_bytes_lost(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(3000)
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=3)
+        assert len(merged) == len(payload)
+        assert sorted(codec.split(merged)) == sorted(codec.split(payload))
+
+    def test_single_worker_degenerate_case(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(500)
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=1)
+        assert result.workers == 1
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+
+    def test_more_workers_than_distinct_keys(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = b"".join(
+            (index % 3).to_bytes(8, "big") + bytes(8) for index in range(300)
+        )
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=8)
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+        assert result.total_records == 300
+
+    def test_duplicate_keys_preserved(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = b"".join(
+            (7).to_bytes(8, "big") + index.to_bytes(8, "big") for index in range(100)
+        )
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=4)
+        assert result.total_records == 100
+        assert len(merged) == len(payload)
+
+
+class TestLineSort:
+    def test_text_records_sorted_by_key(self, cloud, executor):
+        codec = LineRecordCodec(key_fn=lambda record: record)
+        rng = random.Random(11)
+        lines = [
+            ("%08d-payload" % rng.randrange(10**8)).encode() for _ in range(2000)
+        ]
+        payload = b"".join(line + b"\n" for line in lines)
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=4)
+        out_lines = merged.split(b"\n")[:-1]
+        assert out_lines == sorted(lines)
+        assert result.total_records == 2000
+
+    def test_variable_length_records(self, cloud, executor):
+        codec = LineRecordCodec(key_fn=lambda record: record)
+        rng = random.Random(13)
+        lines = [
+            bytes([rng.randrange(97, 123)]) * rng.randrange(1, 40)
+            for _ in range(1500)
+        ]
+        payload = b"".join(line + b"\n" for line in lines)
+        result, merged = sort_and_collect(cloud, executor, codec, payload, workers=5)
+        assert merged.split(b"\n")[:-1] == sorted(lines)
+
+
+class TestPlannerIntegration:
+    def test_auto_worker_selection_used(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(2000)
+        result, merged = sort_and_collect(
+            cloud, executor, codec, payload, max_workers=16
+        )
+        assert result.planned is not None
+        assert result.workers == result.planned.workers
+        assert 1 <= result.workers <= 16
+        keys = [codec.key(record) for record in codec.split(merged)]
+        assert keys == sorted(keys)
+
+    def test_pinned_workers_bypass_planner(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(1000)
+        result, _merged = sort_and_collect(cloud, executor, codec, payload, workers=6)
+        assert result.planned is None
+        assert result.workers == 6
+
+    def test_empty_object_rejected(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        op = ShuffleSort(executor, codec)
+
+        def driver():
+            yield cloud.store.put("data", "empty.bin", b"")
+            yield op.sort("data", "empty.bin", workers=2)
+
+        with pytest.raises(ShuffleError):
+            cloud.sim.run_process(driver())
+
+
+class TestWriteCombiningTraffic:
+    def test_map_phase_writes_one_object_per_mapper(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(2000)
+        workers = 4
+        before = cloud.store.stats.puts
+        sort_and_collect(cloud, executor, codec, payload, workers=workers)
+        shuffle_objects = [
+            key
+            for key in cloud.sim.run_process(
+                iter_keys(cloud, "data", "shuffle-out/shuffle/")
+            )
+        ]
+        # Write-combining: W combined map outputs, not W*W partitions.
+        assert len(shuffle_objects) == workers
+
+    def test_reducers_use_range_reads(self, cloud, executor):
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(2000)
+        sort_and_collect(cloud, executor, codec, payload, workers=4)
+        # 4 reducers x 4 mappers = 16 range GETs at least must have happened.
+        assert cloud.store.stats.gets >= 16
+
+
+def iter_keys(cloud, bucket, prefix):
+    keys = yield cloud.store.list_keys(bucket, prefix)
+    return keys
+
+
+class TestDeterminism:
+    def test_same_seed_same_timings(self):
+        def run_once():
+            cloud = Cloud.fresh(seed=99, profile=ibm_us_east())
+            cloud.store.ensure_bucket("data")
+            executor = FunctionExecutor(cloud)
+            codec = FixedWidthCodec(record_size=16, key_bytes=8)
+            payload = make_fixed_payload(1500)
+            op = ShuffleSort(executor, codec)
+
+            def driver():
+                yield cloud.store.put("data", "input.bin", payload)
+                return (yield op.sort("data", "input.bin", workers=4))
+
+            result = cloud.sim.run_process(driver())
+            return result.duration_s, cloud.meter.total_usd
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+    def test_different_seeds_differ_in_timing(self):
+        def run_once(seed):
+            cloud = Cloud.fresh(seed=seed, profile=ibm_us_east())
+            cloud.store.ensure_bucket("data")
+            executor = FunctionExecutor(cloud)
+            codec = FixedWidthCodec(record_size=16, key_bytes=8)
+            payload = make_fixed_payload(800)
+            op = ShuffleSort(executor, codec)
+
+            def driver():
+                yield cloud.store.put("data", "input.bin", payload)
+                return (yield op.sort("data", "input.bin", workers=2))
+
+            return cloud.sim.run_process(driver()).duration_s
+
+        assert run_once(1) != run_once(2)

@@ -1,0 +1,167 @@
+"""Tests for the OrderBy/top-k operator and its limit pushdown."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ShuffleError
+from repro.executor import FunctionExecutor
+from repro.shuffle import FixedWidthCodec, ReversedKey, ShuffleOrderBy
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=9, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("data")
+    return cloud
+
+
+@pytest.fixture
+def executor(cloud):
+    return FunctionExecutor(cloud, bucket="data")
+
+
+CODEC = FixedWidthCodec(record_size=16, key_bytes=8)
+
+
+def make_payload(count, seed=1):
+    rng = random.Random(seed)
+    return b"".join(
+        rng.getrandbits(64).to_bytes(8, "big") + bytes(8) for _ in range(count)
+    )
+
+
+def run_order(cloud, executor, payload, **kwargs):
+    descending = kwargs.pop("descending", False)
+    operator = ShuffleOrderBy(executor, CODEC, descending=descending)
+
+    def driver():
+        yield cloud.store.put("data", "in.bin", payload)
+        return (yield operator.order("data", "in.bin", **kwargs))
+
+    result = cloud.sim.run_process(driver())
+    merged = b"".join(cloud.store.peek("data", run.key) for run in result.runs)
+    keys = [CODEC.key(record) for record in CODEC.split(merged)]
+    return result, keys
+
+
+class TestOrdering:
+    def test_ascending_full_order(self, cloud, executor):
+        payload = make_payload(3000)
+        result, keys = run_order(cloud, executor, payload, workers=6)
+        want = sorted(CODEC.key(r) for r in CODEC.split(payload))
+        assert keys == want
+        assert result.emitted_records == result.input_records == 3000
+        assert result.pruned_partitions == 0
+
+    def test_descending_full_order(self, cloud, executor):
+        payload = make_payload(3000)
+        _result, keys = run_order(
+            cloud, executor, payload, workers=6, descending=True
+        )
+        want = sorted(
+            (CODEC.key(r) for r in CODEC.split(payload)), reverse=True
+        )
+        assert keys == want
+
+    def test_top_k_matches_global_ranking(self, cloud, executor):
+        payload = make_payload(3000)
+        _result, keys = run_order(
+            cloud, executor, payload, workers=8, descending=True, limit=50
+        )
+        want = sorted(
+            (CODEC.key(r) for r in CODEC.split(payload)), reverse=True
+        )[:50]
+        assert keys == want
+
+    def test_limit_one(self, cloud, executor):
+        payload = make_payload(500)
+        result, keys = run_order(cloud, executor, payload, workers=4, limit=1)
+        assert keys == [min(CODEC.key(r) for r in CODEC.split(payload))]
+        assert result.emitted_records == 1
+
+    def test_limit_beyond_input_emits_everything(self, cloud, executor):
+        payload = make_payload(400)
+        result, keys = run_order(
+            cloud, executor, payload, workers=4, limit=10_000
+        )
+        assert result.emitted_records == 400
+        assert result.pruned_partitions == 0
+        assert keys == sorted(CODEC.key(r) for r in CODEC.split(payload))
+
+
+class TestLimitPushdown:
+    def test_small_limit_prunes_most_partitions(self, cloud, executor):
+        payload = make_payload(4000)
+        result, _keys = run_order(
+            cloud, executor, payload, workers=8, limit=20
+        )
+        assert result.pruned_partitions >= 6
+        assert len(result.runs) == 8 - result.pruned_partitions
+
+    def test_pruning_skips_reduce_work(self):
+        """The pruned query must issue fewer storage requests."""
+        requests = {}
+        for label, limit in (("full", None), ("topk", 20)):
+            cloud = Cloud.fresh(seed=9, profile=ibm_us_east(deterministic=True))
+            cloud.store.ensure_bucket("data")
+            executor = FunctionExecutor(cloud, bucket="data")
+            run_order(cloud, executor, make_payload(4000), workers=8,
+                      limit=limit)
+            requests[label] = cloud.store.stats.total_requests
+        assert requests["topk"] < requests["full"]
+
+    def test_invalid_limit_rejected(self, cloud, executor):
+        operator = ShuffleOrderBy(executor, CODEC)
+        with pytest.raises(ShuffleError):
+            operator.order("data", "in.bin", limit=0)
+
+    def test_empty_object_rejected(self, cloud, executor):
+        operator = ShuffleOrderBy(executor, CODEC)
+
+        def driver():
+            yield cloud.store.put("data", "empty.bin", b"")
+            return (yield operator.order("data", "empty.bin"))
+
+        with pytest.raises(ShuffleError, match="empty"):
+            cloud.sim.run_process(driver())
+
+    def test_top_k_convenience_equals_order_with_limit(self, cloud, executor):
+        payload = make_payload(1000)
+        operator = ShuffleOrderBy(executor, CODEC, descending=True)
+
+        def driver():
+            yield cloud.store.put("data", "in.bin", payload)
+            return (yield operator.top_k("data", "in.bin", k=10, workers=4))
+
+        result = cloud.sim.run_process(driver())
+        assert result.emitted_records == 10
+
+
+class TestReversedKey:
+    def test_comparisons_are_reversed(self):
+        assert ReversedKey(5) < ReversedKey(3)
+        assert ReversedKey(3) > ReversedKey(5)
+        assert ReversedKey(4) == ReversedKey(4)
+
+    def test_total_ordering_sorts_descending(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        ranked = sorted(values, key=ReversedKey)
+        assert ranked == sorted(values, reverse=True)
+
+    def test_hash_consistency(self):
+        assert hash(ReversedKey("x")) == hash(ReversedKey("x"))
+        assert ReversedKey("x") != ReversedKey("y")
+
+    def test_pickle_roundtrip(self):
+        key = ReversedKey((2, "chr1"))
+        clone = pickle.loads(pickle.dumps(key))
+        assert clone == key
+        assert clone.inner == (2, "chr1")
+
+    def test_works_with_tuple_keys(self):
+        a, b = ReversedKey((1, 2)), ReversedKey((1, 3))
+        assert b < a

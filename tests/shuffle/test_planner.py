@@ -1,0 +1,88 @@
+"""Tests for the analytic shuffle planner."""
+
+import pytest
+
+from repro.cloud import GB, MB
+from repro.cloud.profiles import ibm_us_east
+from repro.errors import ShuffleError
+from repro.shuffle import ShuffleCostModel, plan_shuffle, predict_shuffle_time
+
+
+@pytest.fixture
+def profile():
+    return ibm_us_east()
+
+
+class TestPredict:
+    def test_breakdown_sums_to_total(self, profile):
+        point = predict_shuffle_time(1 * GB, 8, profile, ShuffleCostModel())
+        assert point.total_s == pytest.approx(sum(point.breakdown.values()))
+
+    def test_invalid_workers_rejected(self, profile):
+        with pytest.raises(ShuffleError):
+            predict_shuffle_time(1 * GB, 0, profile, ShuffleCostModel())
+
+    def test_bandwidth_phase_shrinks_with_workers(self, profile):
+        cost = ShuffleCostModel()
+        few = predict_shuffle_time(1 * GB, 2, profile, cost)
+        many = predict_shuffle_time(1 * GB, 32, profile, cost)
+        assert many.breakdown["map_read"] < few.breakdown["map_read"]
+
+    def test_request_phase_grows_with_workers(self, profile):
+        cost = ShuffleCostModel()
+        few = predict_shuffle_time(1 * GB, 8, profile, cost)
+        many = predict_shuffle_time(1 * GB, 200, profile, cost)
+        assert many.breakdown["reduce_fetch"] > few.breakdown["reduce_fetch"]
+
+
+class TestPlan:
+    def test_interior_optimum_for_paper_size(self, profile):
+        """At 3.5 GB the optimum is strictly inside (1, max): the paper's
+        'appropriate number of functions' exists."""
+        plan = plan_shuffle(3.5 * GB, profile, max_workers=256)
+        assert 1 < plan.workers < 256
+
+    def test_curve_is_u_shaped_around_optimum(self, profile):
+        plan = plan_shuffle(3.5 * GB, profile, max_workers=256)
+        by_workers = {point.workers: point.total_s for point in plan.curve}
+        best = plan.workers
+        assert by_workers[1] > by_workers[best]
+        assert by_workers[256] > by_workers[best]
+
+    def test_bigger_data_wants_more_workers(self, profile):
+        small = plan_shuffle(256 * MB, profile, max_workers=256)
+        large = plan_shuffle(14 * GB, profile, max_workers=256)
+        assert large.workers > small.workers
+
+    def test_candidates_restrict_search(self, profile):
+        plan = plan_shuffle(3.5 * GB, profile, candidates=[2, 8, 32])
+        assert plan.workers in (2, 8, 32)
+
+    def test_empty_candidates_rejected(self, profile):
+        with pytest.raises(ShuffleError):
+            plan_shuffle(1 * GB, profile, candidates=[])
+
+    def test_nonpositive_size_rejected(self, profile):
+        with pytest.raises(ShuffleError):
+            plan_shuffle(0, profile)
+
+    def test_point_lookup(self, profile):
+        plan = plan_shuffle(1 * GB, profile, candidates=[4, 8])
+        assert plan.point(4).workers == 4
+        with pytest.raises(ShuffleError):
+            plan.point(5)
+
+    def test_slower_store_ops_shift_optimum_down(self, profile):
+        """With a lower ops/s ceiling, the W² term bites earlier, so the
+        optimal worker count must not increase."""
+        fast = plan_shuffle(3.5 * GB, profile, max_workers=256)
+        slow_profile = ibm_us_east()
+        slow_profile.objectstore.ops_per_second = 300.0
+        slow = plan_shuffle(3.5 * GB, slow_profile, max_workers=256)
+        assert slow.workers <= fast.workers
+
+    def test_prediction_deterministic(self, profile):
+        a = plan_shuffle(2 * GB, profile, max_workers=128)
+        b = plan_shuffle(2 * GB, profile, max_workers=128)
+        assert a.workers == b.workers
+        assert a.predicted_s == b.predicted_s

@@ -1,0 +1,192 @@
+"""Unit and property tests for record codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ShuffleError
+from repro.shuffle import FixedWidthCodec, LineRecordCodec
+
+
+def line_codec():
+    return LineRecordCodec(key_fn=lambda record: record)
+
+
+class TestLineRecordCodec:
+    def test_split_join_roundtrip(self):
+        codec = line_codec()
+        buffer = b"b\na\nc\n"
+        records = codec.split(buffer)
+        assert records == [b"b\n", b"a\n", b"c\n"]
+        assert codec.join(records) == buffer
+
+    def test_split_requires_trailing_newline(self):
+        with pytest.raises(ShuffleError):
+            line_codec().split(b"torn-record")
+
+    def test_split_empty_buffer(self):
+        assert line_codec().split(b"") == []
+
+    def test_key_strips_newline(self):
+        codec = LineRecordCodec(key_fn=lambda record: record.decode())
+        assert codec.key(b"hello\n") == "hello"
+
+    def test_extract_split_first(self):
+        codec = line_codec()
+        owned = codec.extract_split(
+            b"aa\nbb\ncc", b"c-end\nddd\n", is_first=True, at_end=False, global_start=0
+        )
+        assert owned == b"aa\nbb\ncc" + b"c-end\n"
+
+    def test_extract_split_middle_skips_torn_head(self):
+        codec = line_codec()
+        owned = codec.extract_split(
+            b"torn\nfull\npart", b"ial\nnext\n", is_first=False, at_end=False,
+            global_start=100,
+        )
+        assert owned == b"full\npartial\n"
+
+    def test_extract_split_at_end_takes_tail(self):
+        codec = line_codec()
+        owned = codec.extract_split(
+            b"torn\nlast\n", b"", is_first=False, at_end=True, global_start=50
+        )
+        assert owned == b"last\n"
+
+    def test_extract_split_swallowed_by_previous(self):
+        codec = line_codec()
+        owned = codec.extract_split(
+            b"no-newline-at-all", b"tail\n", is_first=False, at_end=False,
+            global_start=10,
+        )
+        assert owned == b""
+
+    def test_peek_window_too_small_raises(self):
+        codec = line_codec()
+        with pytest.raises(ShuffleError):
+            codec.extract_split(
+                b"a\nbbb", b"no-newline", is_first=True, at_end=False, global_start=0
+            )
+
+    def test_sample_window_drops_torn_edges(self):
+        codec = line_codec()
+        records = codec.sample_window(
+            b"torn\nfull1\nfull2\npartia", is_first=False, global_start=10
+        )
+        assert records == [b"full1\n", b"full2\n"]
+
+    def test_sample_window_first_keeps_head(self):
+        codec = line_codec()
+        records = codec.sample_window(b"full0\nfull1\npar", is_first=True, global_start=0)
+        assert records == [b"full0\n", b"full1\n"]
+
+    @given(
+        records=st.lists(
+            st.binary(min_size=1, max_size=12).filter(lambda b: b"\n" not in b),
+            min_size=1,
+            max_size=40,
+        ),
+        parts=st.integers(1, 8),
+    )
+    def test_property_splits_preserve_all_records(self, records, parts):
+        codec = line_codec()
+        payload = codec.join(r + b"\n" for r in records)
+        size = len(payload)
+        boundaries = [size * i // parts for i in range(parts + 1)]
+        recovered = []
+        for index in range(parts):
+            start, end = boundaries[index], boundaries[index + 1]
+            if start == end:
+                continue
+            base = payload[start:end]
+            tail = payload[end:]
+            owned = codec.extract_split(
+                base,
+                tail,
+                is_first=(start == 0),
+                at_end=(end == size),
+                global_start=start,
+            )
+            recovered.extend(codec.split(owned))
+        assert codec.join(recovered) == payload
+
+
+class TestFixedWidthCodec:
+    def test_split_join_roundtrip(self):
+        codec = FixedWidthCodec(record_size=4, key_bytes=2)
+        buffer = b"aaaabbbbcccc"
+        records = codec.split(buffer)
+        assert records == [b"aaaa", b"bbbb", b"cccc"]
+        assert codec.join(records) == buffer
+
+    def test_split_rejects_misaligned_buffer(self):
+        with pytest.raises(ShuffleError):
+            FixedWidthCodec(4).split(b"aaaabb")
+
+    def test_key_is_big_endian_prefix(self):
+        codec = FixedWidthCodec(record_size=4, key_bytes=2)
+        assert codec.key(b"\x01\x02xx") == 0x0102
+
+    def test_invalid_construction(self):
+        with pytest.raises(ShuffleError):
+            FixedWidthCodec(0)
+        with pytest.raises(ShuffleError):
+            FixedWidthCodec(4, key_bytes=5)
+
+    def test_extract_split_aligns_to_record_grid(self):
+        codec = FixedWidthCodec(record_size=4)
+        # Split [6, 14) of a stream of 4-byte records: the record at 4-7
+        # belongs to the previous split, the first owned record starts at
+        # 8, and the record at 12-15 needs 2 peek bytes beyond the split.
+        base = b"67" + b"89ab" + b"cd"  # bytes at positions 6..13
+        tail = b"ef"  # bytes at positions 14..15
+        owned = codec.extract_split(
+            base, tail, is_first=False, at_end=False, global_start=6
+        )
+        assert owned == b"89ab" + b"cdef"
+
+    def test_extract_split_exact_alignment_needs_no_tail(self):
+        codec = FixedWidthCodec(record_size=4)
+        owned = codec.extract_split(
+            b"aaaabbbb", b"ignored", is_first=True, at_end=False, global_start=0
+        )
+        assert owned == b"aaaabbbb"
+
+    def test_torn_object_end_raises(self):
+        codec = FixedWidthCodec(record_size=4)
+        with pytest.raises(ShuffleError):
+            codec.extract_split(b"aaaab", b"", is_first=True, at_end=True, global_start=0)
+
+    def test_sample_window_truncates(self):
+        codec = FixedWidthCodec(record_size=4)
+        records = codec.sample_window(b"xaaaabbbbcc", is_first=False, global_start=3)
+        assert records == [b"aaaa", b"bbbb"]
+
+    @given(
+        count=st.integers(1, 50),
+        parts=st.integers(1, 8),
+        record_size=st.integers(2, 9),
+    )
+    def test_property_splits_preserve_all_records(self, count, parts, record_size):
+        codec = FixedWidthCodec(record_size=record_size, key_bytes=1)
+        payload = bytes(
+            (index * 7 + offset) % 256
+            for index in range(count)
+            for offset in range(record_size)
+        )
+        size = len(payload)
+        boundaries = [size * i // parts for i in range(parts + 1)]
+        recovered = []
+        for index in range(parts):
+            start, end = boundaries[index], boundaries[index + 1]
+            if start == end:
+                continue
+            owned = codec.extract_split(
+                payload[start:end],
+                payload[end:],
+                is_first=(start == 0),
+                at_end=(end == size),
+                global_start=start,
+            )
+            recovered.extend(codec.split(owned))
+        assert codec.join(recovered) == payload

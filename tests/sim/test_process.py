@@ -1,0 +1,235 @@
+"""Unit tests for generator-driven processes."""
+
+import pytest
+
+from repro.errors import DeadlockError, Interrupted, SimulationError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+class TestProcessBasics:
+    def test_process_runs_to_completion(self, sim):
+        log = []
+
+        def worker():
+            log.append(("start", sim.now))
+            yield sim.timeout(1.0)
+            log.append(("middle", sim.now))
+            yield sim.timeout(2.0)
+            log.append(("end", sim.now))
+            return "result"
+
+        process = sim.process(worker())
+        value = sim.run(until=process.completion)
+        assert value == "result"
+        assert log == [("start", 0.0), ("middle", 1.0), ("end", 3.0)]
+
+    def test_result_property(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            return 99
+
+        process = sim.process(worker())
+        sim.run()
+        assert process.result == 99
+        assert not process.alive
+
+    def test_requires_generator(self, sim):
+        def not_a_generator():
+            return 1
+
+        with pytest.raises(SimulationError):
+            sim.process(not_a_generator())  # type: ignore[arg-type]
+
+    def test_yield_of_non_event_fails_process(self, sim):
+        def worker():
+            yield 42
+
+        process = sim.process(worker())
+        sim.run()
+        assert process.completion.triggered
+        assert isinstance(process.completion.exception, SimulationError)
+
+    def test_timeout_value_passed_into_generator(self, sim):
+        def worker():
+            value = yield sim.timeout(1.0, value="payload")
+            return value
+
+        process = sim.process(worker())
+        assert sim.run(until=process.completion) == "payload"
+
+
+class TestProcessComposition:
+    def test_wait_for_another_process(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            child_process = sim.process(child())
+            value = yield child_process.completion
+            return ("parent saw", value)
+
+        process = sim.process(parent())
+        assert sim.run(until=process.completion) == ("parent saw", "child-result")
+
+    def test_yielding_process_object_waits_for_it(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            return 5
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        process = sim.process(parent())
+        assert sim.run(until=process.completion) == 10
+
+    def test_yield_from_subgenerator(self, sim):
+        def subroutine():
+            yield sim.timeout(1.0)
+            return "sub"
+
+        def worker():
+            value = yield from subroutine()
+            yield sim.timeout(1.0)
+            return value + "!"
+
+        process = sim.process(worker())
+        assert sim.run(until=process.completion) == "sub!"
+        assert sim.now == pytest.approx(2.0)
+
+    def test_parallel_processes_interleave(self, sim):
+        log = []
+
+        def worker(tag, delay):
+            yield sim.timeout(delay)
+            log.append((tag, sim.now))
+
+        sim.process(worker("slow", 3.0))
+        sim.process(worker("fast", 1.0))
+        sim.run()
+        assert log == [("fast", 1.0), ("slow", 3.0)]
+
+    def test_all_of_over_process_completions(self, sim):
+        def worker(delay, value):
+            yield sim.timeout(delay)
+            return value
+
+        processes = [sim.process(worker(d, d * 10)) for d in (3.0, 1.0, 2.0)]
+        gathered = sim.all_of([p.completion for p in processes])
+        assert sim.run(until=gathered) == [30.0, 10.0, 20.0]
+
+
+class TestProcessFailure:
+    def test_exception_fails_completion(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            raise RuntimeError("kaput")
+
+        process = sim.process(worker())
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run(until=process.completion)
+
+    def test_failed_event_raises_inside_process(self, sim):
+        failing = sim.event("failing")
+
+        def worker():
+            try:
+                yield failing
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = sim.process(worker())
+        sim.timeout(1.0).add_callback(lambda _e: failing.fail(ValueError("inner")))
+        assert sim.run(until=process.completion) == "caught inner"
+
+
+class TestInterrupt:
+    def test_interrupt_raises_interrupted(self, sim):
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted as interrupt:
+                return ("interrupted", interrupt.cause)
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            process.interrupt(cause="hurry up")
+
+        sim.process(interrupter())
+        assert sim.run(until=process.completion) == ("interrupted", "hurry up")
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            return "ok"
+
+        process = sim.process(worker())
+        sim.run()
+        process.interrupt()  # must not raise
+        assert process.result == "ok"
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def worker():
+            yield sim.timeout(100.0)
+
+        process = sim.process(worker())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            process.interrupt()
+
+        sim.process(interrupter())
+        with pytest.raises(Interrupted):
+            sim.run(until=process.completion)
+
+
+class TestRunSemantics:
+    def test_run_until_time_stops_clock_there(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=5.0)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_run_until_event_returns_its_value(self, sim):
+        timeout = sim.timeout(2.0, value="v")
+        assert sim.run(until=timeout) == "v"
+        assert sim.now == pytest.approx(2.0)
+
+    def test_deadlock_detected(self, sim):
+        def stuck():
+            yield sim.event("never-triggers")
+
+        sim.process(stuck())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_run_until_untriggerable_event_deadlocks(self, sim):
+        lonely = sim.event("lonely")
+        with pytest.raises(DeadlockError):
+            sim.run(until=lonely)
+
+    def test_run_process_convenience(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+            return "done"
+
+        assert sim.run_process(worker()) == "done"
+
+    def test_active_process_count_tracks_lifecycle(self, sim):
+        def worker():
+            yield sim.timeout(1.0)
+
+        assert sim.active_process_count == 0
+        sim.process(worker())
+        sim.process(worker())
+        assert sim.active_process_count == 2
+        sim.run()
+        assert sim.active_process_count == 0

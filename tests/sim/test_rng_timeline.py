@@ -1,0 +1,129 @@
+"""Tests for RNG streams, the timeline trace and simulator determinism."""
+
+import pytest
+
+from repro.sim import RngRegistry, Simulator, Timeline, derive_seed
+
+
+class TestRngRegistry:
+    def test_streams_are_cached(self):
+        registry = RngRegistry(7)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_independent(self):
+        registry = RngRegistry(7)
+        a_values = [registry.stream("a").random() for _ in range(5)]
+        registry2 = RngRegistry(7)
+        _ = [registry2.stream("b").random() for _ in range(100)]  # drain b
+        a_values_again = [registry2.stream("a").random() for _ in range(5)]
+        assert a_values == a_values_again  # a is unaffected by b's draws
+
+    def test_same_seed_same_sequences(self):
+        first = [RngRegistry(1).stream("x").random() for _ in range(3)]
+        second = [RngRegistry(1).stream("x").random() for _ in range(3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "component") == derive_seed(42, "component")
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_fork_is_independent(self):
+        registry = RngRegistry(7)
+        fork = registry.fork("child")
+        assert fork.stream("x").random() != registry.stream("x").random()
+
+    def test_contains(self):
+        registry = RngRegistry(7)
+        assert "x" not in registry
+        registry.stream("x")
+        assert "x" in registry
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        sim = Simulator(seed=1)
+        sim.timeline.record(0.0, "storage", "get", key="k")
+        assert len(sim.timeline) == 0
+
+    def test_enabled_records(self):
+        sim = Simulator(seed=1, trace=True)
+        sim.timeline.record(1.5, "storage", "get", key="k", size=10)
+        assert len(sim.timeline) == 1
+        record = sim.timeline.records[0]
+        assert record.time == 1.5
+        assert record.fields["size"] == 10
+
+    def test_filter_by_category_and_name(self):
+        timeline = Timeline(enabled=True)
+        timeline.record(0.0, "storage", "get")
+        timeline.record(1.0, "storage", "put")
+        timeline.record(2.0, "faas", "cold_start")
+        assert len(timeline.filter(category="storage")) == 2
+        assert len(timeline.filter(category="storage", name="put")) == 1
+        assert len(timeline.filter(name="cold_start")) == 1
+
+    def test_clear(self):
+        timeline = Timeline(enabled=True)
+        timeline.record(0.0, "a", "b")
+        timeline.clear()
+        assert len(timeline) == 0
+
+    def test_cloud_traces_when_enabled(self):
+        from repro.cloud import Cloud
+        from repro.cloud.profiles import ibm_us_east
+
+        cloud = Cloud.fresh(seed=1, profile=ibm_us_east(deterministic=True), trace=True)
+        cloud.store.ensure_bucket("b")
+
+        def scenario():
+            yield cloud.store.put("b", "k", b"x")
+            yield cloud.store.get("b", "k")
+
+        cloud.sim.run_process(scenario())
+        assert cloud.sim.timeline.filter(category="storage", name="put")
+        assert cloud.sim.timeline.filter(category="storage", name="get")
+
+
+class TestSimulatorDeterminism:
+    def test_full_stack_repeatability(self):
+        """Two identical cloud scenarios produce identical traces."""
+
+        def run_once():
+            from repro.cloud import Cloud
+
+            cloud = Cloud.fresh(seed=123)
+            cloud.store.ensure_bucket("b")
+            times = []
+
+            def worker(index):
+                yield cloud.store.put("b", f"k{index}", bytes(100 * index))
+                yield cloud.store.get("b", f"k{index}")
+                times.append(cloud.sim.now)
+
+            for index in range(10):
+                cloud.sim.process(worker(index))
+            cloud.sim.run()
+            return times
+
+        assert run_once() == run_once()
+
+    def test_jittered_latencies_still_deterministic(self):
+        from repro.cloud import Cloud
+        from repro.cloud.profiles import ibm_us_east
+
+        def run_once():
+            cloud = Cloud.fresh(seed=55, profile=ibm_us_east())  # jitter on
+
+            def fn(ctx, x):
+                yield ctx.compute(0.1)
+                return x
+
+            cloud.faas.register("fn", fn)
+            events = [cloud.faas.invoke("fn", i) for i in range(5)]
+            cloud.sim.run(until=cloud.sim.all_of(events))
+            return cloud.sim.now
+
+        assert run_once() == run_once()

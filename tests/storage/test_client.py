@@ -1,0 +1,157 @@
+"""Tests for the retrying storage client and serializer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.cloud.storageview import BoundStorage
+from repro.errors import StorageError
+from repro.storage import Storage, chunk_bytes, concat_chunks, deserialize, serialize
+from repro.storage.api import RetryPolicy
+
+
+@pytest.fixture
+def cloud():
+    cloud = Cloud.fresh(seed=17, profile=ibm_us_east(deterministic=True))
+    cloud.store.ensure_bucket("bucket")
+    return cloud
+
+
+@pytest.fixture
+def client(cloud):
+    return Storage(cloud.sim, BoundStorage(cloud.store, None))
+
+
+class TestBasicOps:
+    def test_put_get_roundtrip(self, cloud, client):
+        def scenario():
+            yield client.put_object("bucket", "k", b"payload")
+            return (yield client.get_object("bucket", "k"))
+
+        assert cloud.sim.run_process(scenario()) == b"payload"
+
+    def test_pickle_roundtrip(self, cloud, client):
+        value = {"nested": [1, 2, (3, 4)], "name": "pipeline"}
+
+        def scenario():
+            yield client.put_pickle("bucket", "k", value)
+            return (yield client.get_pickle("bucket", "k"))
+
+        assert cloud.sim.run_process(scenario()) == value
+
+    def test_text_roundtrip(self, cloud, client):
+        def scenario():
+            yield client.put_text("bucket", "k", "héllo wörld")
+            return (yield client.get_text("bucket", "k"))
+
+        assert cloud.sim.run_process(scenario()) == "héllo wörld"
+
+    def test_range_read(self, cloud, client):
+        def scenario():
+            yield client.put_object("bucket", "k", b"0123456789")
+            return (yield client.get_object_range("bucket", "k", 2, 6))
+
+        assert cloud.sim.run_process(scenario()) == b"2345"
+
+    def test_list_and_delete(self, cloud, client):
+        def scenario():
+            yield client.put_object("bucket", "a/1", b"x")
+            yield client.put_object("bucket", "a/2", b"x")
+            yield client.delete_object("bucket", "a/1")
+            return (yield client.list_keys("bucket", "a/"))
+
+        assert cloud.sim.run_process(scenario()) == ["a/2"]
+
+
+class TestRetry:
+    def _throttled_cloud(self):
+        profile = ibm_us_east(deterministic=True)
+        profile.objectstore.ops_per_second = 50.0
+        profile.objectstore.ops_burst = 5.0
+        profile.objectstore.slowdown_after_s = 0.2
+        cloud = Cloud.fresh(seed=17, profile=profile)
+        cloud.store.ensure_bucket("bucket")
+        return cloud
+
+    def test_slowdown_retried_transparently(self):
+        cloud = self._throttled_cloud()
+        client = Storage(cloud.sim, BoundStorage(cloud.store, None))
+        outcomes = []
+
+        def worker(index):
+            yield client.put_object("bucket", f"k{index}", b"x")
+            outcomes.append(index)
+
+        for index in range(120):
+            cloud.sim.process(worker(index))
+        cloud.sim.run()
+        assert len(outcomes) == 120  # every request eventually lands
+        assert client.retries > 0  # and some were throttled + retried
+
+    def test_retries_exhausted_raises_storage_error(self):
+        cloud = self._throttled_cloud()
+        policy = RetryPolicy(max_attempts=1)
+        client = Storage(cloud.sim, BoundStorage(cloud.store, None), retry=policy)
+        failures = []
+
+        def worker(index):
+            try:
+                yield client.put_object("bucket", f"k{index}", b"x")
+            except StorageError:
+                failures.append(index)
+
+        for index in range(120):
+            cloud.sim.process(worker(index))
+        cloud.sim.run()
+        assert failures  # with a single attempt, throttling surfaces
+
+    def test_backoff_delays_grow(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=60.0, multiplier=2.0)
+
+        class FakeRng:
+            def uniform(self, low, high):
+                return high  # deterministic: always the ceiling
+
+        rng = FakeRng()
+        delays = [policy.delay(attempt, rng) for attempt in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 8.0]
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=5.0, multiplier=10.0)
+
+        class FakeRng:
+            def uniform(self, low, high):
+                return high
+
+        assert policy.delay(5, FakeRng()) == 5.0
+
+
+class TestSerializer:
+    def test_roundtrip_plain_data(self):
+        value = {"a": [1, 2, 3], "b": b"bytes"}
+        assert deserialize(serialize(value)) == value
+
+    def test_roundtrip_lambda(self):
+        fn = deserialize(serialize(lambda x: x + 1))
+        assert fn(41) == 42
+
+    def test_roundtrip_closure(self):
+        offset = 100
+
+        def add_offset(x):
+            return x + offset
+
+        fn = deserialize(serialize(add_offset))
+        assert fn(1) == 101
+
+    @given(st.binary(max_size=10_000), st.integers(1, 1_000))
+    def test_chunk_concat_roundtrip(self, data, chunk_size):
+        chunks = list(chunk_bytes(data, chunk_size))
+        assert concat_chunks(chunks) == data
+        assert all(len(chunk) <= chunk_size for chunk in chunks)
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(Exception):
+            list(chunk_bytes(b"xx", 0))

@@ -1,0 +1,84 @@
+"""Declarative (JSON) pipelines exercising the new stage kinds end to end."""
+
+import json
+
+import pytest
+
+from repro.cloud.environment import Cloud
+from repro.core import ExperimentConfig, stage_input
+from repro.sim import Simulator
+from repro.workflows import WorkflowEngine, parse_spec, render_dag
+
+
+def build_cloud(scale=4096.0):
+    config = ExperimentConfig(logical_scale=scale)
+    cloud = Cloud(Simulator(seed=config.seed), config.make_profile())
+    stage_input(cloud, config, "pipeline", "input/methylome.bed")
+    return cloud
+
+
+CACHE_WORKFLOW = {
+    "name": "methcomp-cache-json",
+    "bucket": "pipeline",
+    "stages": [
+        {
+            "name": "ingest",
+            "kind": "dataset_ref",
+            "params": {"key": "input/methylome.bed"},
+        },
+        {
+            "name": "sort",
+            "kind": "cache_sort",
+            "after": ["ingest"],
+            "params": {"workers": 4, "nodes": 1, "cleanup": True},
+        },
+        {
+            "name": "encode",
+            "kind": "methcomp_encode",
+            "after": ["sort"],
+        },
+        {
+            "name": "verify",
+            "kind": "methcomp_verify",
+            "after": ["encode"],
+        },
+    ],
+}
+
+
+class TestCacheSortFromJson:
+    def test_full_pipeline_runs_and_verifies(self):
+        cloud = build_cloud()
+        dag = parse_spec(json.dumps(CACHE_WORKFLOW))
+        result = WorkflowEngine(cloud, dag).execute()
+        assert result.artifacts["verify"]["verified"] is True
+        assert result.artifacts["sort"]["cache_nodes"] == 1
+        # cleanup=True: the cluster drained before termination.
+        cluster = next(iter(cloud.cache.clusters.values()))
+        assert cluster.key_count == 0
+        assert cluster.state == "terminated"
+
+    def test_cost_breakdown_includes_cache_stage(self):
+        cloud = build_cloud()
+        dag = parse_spec(json.dumps(CACHE_WORKFLOW))
+        result = WorkflowEngine(cloud, dag).execute()
+        breakdown = result.tracker.cost_breakdown()
+        assert breakdown["sort"] > 0
+        # The sort stage's bill carries the cache node-seconds.
+        memstore_lines = cloud.meter.filtered(service="memstore", stage="sort")
+        assert memstore_lines
+
+    def test_render_annotates_cache_substrate(self):
+        dag = parse_spec(json.dumps(CACHE_WORKFLOW))
+        text = render_dag(dag, title="cache pipeline")
+        assert "cloud functions + cache cluster" in text
+
+    def test_unknown_stage_kind_fails_fast(self):
+        cloud = build_cloud()
+        broken = dict(CACHE_WORKFLOW, stages=[
+            {"name": "sort", "kind": "quantum_sort"},
+        ])
+        from repro.errors import WorkflowError
+
+        with pytest.raises(WorkflowError, match="quantum_sort"):
+            WorkflowEngine(cloud, parse_spec(json.dumps(broken)))

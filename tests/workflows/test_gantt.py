@@ -1,0 +1,193 @@
+"""Tests for the ASCII Gantt renderer and its span extraction."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.profiles import ibm_us_east
+from repro.executor import FunctionExecutor
+from repro.sim import Simulator
+from repro.workflows.gantt import (
+    GanttSpan,
+    render_gantt,
+    spans_from_timeline,
+    spans_from_tracker,
+    workflow_gantt,
+)
+from repro.workflows.tracker import JobTracker
+
+
+def traced_cloud(seed=4):
+    return Cloud(
+        Simulator(seed=seed, trace=True), ibm_us_east(deterministic=True)
+    )
+
+
+def run_small_map(cloud, calls=4):
+    executor = FunctionExecutor(cloud)
+
+    def work(x):
+        return x + 1
+
+    def driver():
+        futures = yield executor.map(work, list(range(calls)),
+                                     cpu_model=lambda _x: 1.0)
+        return (yield executor.get_result(futures))
+
+    return cloud.sim.run_process(driver())
+
+
+class TestSpanExtraction:
+    def test_one_span_per_activation(self):
+        cloud = traced_cloud()
+        run_small_map(cloud, calls=5)
+        spans = spans_from_timeline(cloud.sim.timeline)
+        function_spans = [s for s in spans if s.kind.startswith("function")]
+        assert len(function_spans) == 5
+
+    def test_cold_starts_flagged(self):
+        cloud = traced_cloud()
+        executor = FunctionExecutor(cloud)
+
+        def work(x):
+            return x + 1
+
+        def driver():
+            # Two consecutive jobs on one executor: the second reuses the
+            # first's warm containers.
+            for _round in range(2):
+                futures = yield executor.map(work, [1, 2, 3],
+                                             cpu_model=lambda _x: 1.0)
+                yield executor.get_result(futures)
+
+        cloud.sim.run_process(driver())
+        spans = spans_from_timeline(cloud.sim.timeline)
+        cold = [s for s in spans if s.kind == "function-cold"]
+        warm = [s for s in spans if s.kind == "function"]
+        assert len(cold) == 3
+        assert len(warm) == 3
+
+    def test_spans_ordered_by_start(self):
+        cloud = traced_cloud()
+        run_small_map(cloud, calls=6)
+        spans = spans_from_timeline(cloud.sim.timeline)
+        starts = [span.start for span in spans]
+        assert starts == sorted(starts)
+
+    def test_vm_spans(self):
+        cloud = traced_cloud()
+
+        def scenario():
+            vm = yield cloud.vms.provision("bx2-8x32")
+
+            def task(ctx):
+                yield ctx.compute(5.0)
+
+            yield vm.run(task)
+            vm.terminate()
+
+        cloud.sim.run_process(scenario())
+        spans = spans_from_timeline(cloud.sim.timeline)
+        vm_spans = [s for s in spans if s.kind == "vm"]
+        assert len(vm_spans) == 1
+        assert "bx2-8x32" in vm_spans[0].label
+        assert vm_spans[0].duration > 5.0  # boot + task
+
+    def test_cache_spans(self):
+        cloud = traced_cloud()
+
+        def scenario():
+            cluster = yield cloud.cache.provision("cache.r5.large")
+            yield cloud.sim.timeout(10.0)
+            cluster.terminate()
+
+        cloud.sim.run_process(scenario())
+        spans = spans_from_timeline(cloud.sim.timeline)
+        cache_spans = [s for s in spans if s.kind == "cache"]
+        assert len(cache_spans) == 1
+        # The span covers what is billed: creation delay plus usage.
+        expected = cloud.profile.memstore.provision.mean + 10.0
+        assert cache_spans[0].duration == pytest.approx(expected)
+
+    def test_tracing_disabled_yields_no_spans(self):
+        cloud = Cloud.fresh(seed=4, profile=ibm_us_east(deterministic=True))
+        run_small_map(cloud)
+        assert spans_from_timeline(cloud.sim.timeline) == []
+
+    def test_tracker_spans(self):
+        tracker = JobTracker("wf")
+        tracker.stage_registered("a", "kind")
+        tracker.stage_registered("b", "kind")
+        tracker.stage_started("a", 0.0)
+        tracker.stage_finished("a", 5.0, 0.01)
+        tracker.stage_started("b", 5.0)
+        # stage b never finishes: it must not produce a span
+        spans = spans_from_tracker(tracker)
+        assert [span.label for span in spans] == ["[a]"]
+        assert spans[0].duration == 5.0
+
+
+class TestRendering:
+    def test_empty_input(self):
+        assert "no spans" in render_gantt([])
+
+    def test_bars_scale_with_duration(self):
+        spans = [
+            GanttSpan("short", 0.0, 1.0, "function"),
+            GanttSpan("long", 0.0, 10.0, "function"),
+        ]
+        text = render_gantt(spans, width=50)
+        short_row = next(line for line in text.splitlines() if "short" in line)
+        long_row = next(line for line in text.splitlines() if "long" in line)
+        assert long_row.count("#") > short_row.count("#") * 5
+
+    def test_cold_start_marker(self):
+        spans = [GanttSpan("fn.act-1", 0.0, 2.0, "function-cold")]
+        text = render_gantt(spans)
+        assert "*" in next(
+            line for line in text.splitlines() if "fn.act-1" in line
+        )
+
+    def test_row_elision(self):
+        spans = [
+            GanttSpan(f"fn.act-{index}", float(index), float(index + 1),
+                      "function")
+            for index in range(100)
+        ]
+        text = render_gantt(spans, max_rows=10)
+        assert "more spans elided" in text
+        assert "90" in text  # 100 spans, 10 rows kept
+
+    def test_long_labels_keep_their_tail(self):
+        spans = [
+            GanttSpan("averyveryverylongruntime-name.act-42", 0.0, 1.0,
+                      "function")
+        ]
+        text = render_gantt(spans, label_width=16)
+        assert "act-42" in text
+
+    def test_instant_span_still_visible(self):
+        spans = [
+            GanttSpan("instant", 5.0, 5.0, "stage"),
+            GanttSpan("context", 0.0, 10.0, "stage"),
+        ]
+        text = render_gantt(spans)
+        instant_row = next(
+            line for line in text.splitlines() if "instant" in line
+        )
+        assert "=" in instant_row
+
+
+class TestWorkflowGantt:
+    def test_end_to_end_chart(self):
+        from repro.core import ExperimentConfig, PURE_SERVERLESS, run_pipeline
+
+        config = ExperimentConfig(logical_scale=8192.0, parallelism=2)
+        cloud = Cloud(
+            Simulator(seed=config.seed, trace=True), config.make_profile()
+        )
+        run = run_pipeline(config, PURE_SERVERLESS, cloud=cloud)
+        text = workflow_gantt(run.workflow.tracker, cloud.sim.timeline)
+        assert "[sort]" in text
+        assert "[encode]" in text
+        assert "#" in text
+        assert "Workflow timeline: purely-serverless" in text

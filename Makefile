@@ -1,0 +1,22 @@
+# Developer entry points.  The repo is import-ready with PYTHONPATH=src
+# (no editable install needed in the offline environment).
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
+
+.PHONY: test collect bench verify
+
+# Tier-1 suite (must stay green).
+test:
+	$(PYTEST) -x -q
+
+# Collection-regression smoke: fails fast when test modules collide or
+# an import breaks, without running anything.
+collect:
+	$(PYTEST) --collect-only -q tests benchmarks > /dev/null && echo "collection OK"
+
+# Full benchmark harness (regenerates benchmarks/results/*.txt).
+bench:
+	$(PYTEST) benchmarks/ -q
+
+verify: collect test

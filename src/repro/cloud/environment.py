@@ -38,14 +38,6 @@ class Cloud:
             self.meter,
             logical_scale=self.profile.logical_scale,
         )
-        self.faas = FaasPlatform(
-            sim,
-            self.profile.faas,
-            self.store,
-            self.meter,
-            logical_scale=self.profile.logical_scale,
-            memstore=self.cache,
-        )
         self.vms = VmService(
             sim,
             self.profile.vm,
@@ -53,6 +45,15 @@ class Cloud:
             self.meter,
             logical_scale=self.profile.logical_scale,
             memstore=self.cache,
+        )
+        self.faas = FaasPlatform(
+            sim,
+            self.profile.faas,
+            self.store,
+            self.meter,
+            logical_scale=self.profile.logical_scale,
+            memstore=self.cache,
+            vms=self.vms,
         )
 
     @property

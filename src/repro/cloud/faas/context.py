@@ -99,3 +99,21 @@ class FunctionContext:
         return cluster.client(
             connection_bandwidth=self._platform.profile.instance_bandwidth
         )
+
+    def relay(self, relay_id: str):
+        """Partition-relay client for ``relay_id``, bounded by this NIC.
+
+        Worker payloads carry relay *ids* (plain strings survive
+        pickling), resolved through the region's VM service — the relay
+        is just software on a provisioned VM.  Raises
+        :class:`~repro.errors.FaasError` when the region has no VM
+        service attached.
+        """
+        if self._platform.vms is None:
+            from repro.errors import FaasError
+
+            raise FaasError("this region has no VM service attached")
+        relay = self._platform.vms.relay(relay_id)
+        return relay.client(
+            connection_bandwidth=self._platform.profile.instance_bandwidth
+        )

@@ -80,6 +80,7 @@ class FaasPlatform:
         logical_scale: float = 1.0,
         name: str = "faas",
         memstore=None,
+        vms=None,
     ):
         self.sim = sim
         self.profile = profile
@@ -90,6 +91,9 @@ class FaasPlatform:
         #: Optional cache service for function-side key-value exchange
         #: (set by :class:`~repro.cloud.environment.Cloud`).
         self.memstore = memstore
+        #: Optional VM service, used to resolve partition relays for
+        #: function-side PUSH/PULL exchange (set by ``Cloud``).
+        self.vms = vms
         self._functions: dict[str, FunctionDef] = {}
         self._concurrency = Resource(
             sim, capacity=profile.account_concurrency, name=f"{name}.concurrency"

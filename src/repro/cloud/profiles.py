@@ -172,6 +172,32 @@ class VmProfile:
     catalog: dict[str, InstanceType] = dataclasses.field(
         default_factory=lambda: dict(BX2_CATALOG)
     )
+    #: Request latency of the in-memory partition relay software a VM can
+    #: host (one in-VPC TCP round trip plus dispatch; functions and the
+    #: relay share a zone, so this sits between the cache's sub-ms and
+    #: the object store's tens of ms).
+    relay_request_latency: LatencyModel = dataclasses.field(
+        default_factory=lambda: LatencyModel(0.0005, 0.25)
+    )
+    #: Sustained request rate of one relay server (requests/s).  A
+    #: single-purpose in-memory server saturates its NIC long before its
+    #: request loop, so this is generously above the cache's per-node
+    #: ceiling.
+    relay_ops_per_second: float = 150_000.0
+    #: Burst allowance (requests) above the sustained relay rate.
+    relay_ops_burst: float = 50_000.0
+    #: Fraction of instance memory the relay may fill with partitions
+    #: (the rest is OS + runtime overhead).
+    relay_usable_memory_fraction: float = 0.85
+
+    def relay_usable_bytes(self, instance_type: InstanceType) -> float:
+        """Logical bytes of partitions a relay on ``instance_type`` holds.
+
+        The single source of this formula: the runtime capacity
+        (:class:`~repro.cloud.vm.relay.PartitionRelay`) and the planner
+        feasibility checks must never disagree on it.
+        """
+        return instance_type.memory_gb * GB * self.relay_usable_memory_fraction
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -282,6 +308,17 @@ class CloudProfile:
             raise ConfigError("faas.account_concurrency must be >= 1")
         if not self.vm.catalog:
             raise ConfigError("vm.catalog must not be empty")
+        if self.vm.relay_ops_per_second <= 0:
+            raise ConfigError("vm.relay_ops_per_second must be positive")
+        if self.vm.relay_ops_burst < 1:
+            raise ConfigError(
+                "vm.relay_ops_burst must be >= 1 (single requests must "
+                "fit the burst bucket)"
+            )
+        if not 0 < self.vm.relay_usable_memory_fraction <= 1:
+            raise ConfigError(
+                "vm.relay_usable_memory_fraction must be in (0, 1]"
+            )
         if self.memstore.ops_per_node <= 0:
             raise ConfigError("memstore.ops_per_node must be positive")
         if not 0 < self.memstore.usable_memory_fraction <= 1:
@@ -410,6 +447,7 @@ def _zero_jitter(profile: CloudProfile) -> None:
         profile.faas.warm_start,
         profile.faas.invoke_overhead,
         profile.vm.boot,
+        profile.vm.relay_request_latency,
         profile.memstore.read_latency,
         profile.memstore.write_latency,
         profile.memstore.provision,

@@ -1,14 +1,36 @@
 """Simulated virtual server instances (IBM VPC VSI-like)."""
 
-from repro.cloud.vm.errors import UnknownInstanceType, VmAlreadyTerminated, VmNotRunning
+from repro.cloud.vm.errors import (
+    RelayCapacityExceeded,
+    RelayKeyMissing,
+    UnknownInstanceType,
+    UnknownRelay,
+    VmAlreadyTerminated,
+    VmNotRunning,
+)
 from repro.cloud.vm.instance import VirtualMachine, VmContext, VmService, VmTask
+from repro.cloud.vm.relay import (
+    PartitionRelay,
+    RelayClient,
+    RelayStats,
+    provision_relay,
+    relay_ready,
+)
 
 __all__ = [
+    "PartitionRelay",
+    "RelayCapacityExceeded",
+    "RelayClient",
+    "RelayKeyMissing",
+    "RelayStats",
     "UnknownInstanceType",
+    "UnknownRelay",
     "VirtualMachine",
     "VmAlreadyTerminated",
     "VmContext",
     "VmNotRunning",
     "VmService",
     "VmTask",
+    "provision_relay",
+    "relay_ready",
 ]

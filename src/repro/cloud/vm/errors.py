@@ -30,3 +30,37 @@ class VmAlreadyTerminated(VmError):
     def __init__(self, vm_id: str):
         super().__init__(f"VM {vm_id} already terminated")
         self.vm_id = vm_id
+
+
+class UnknownRelay(VmError):
+    """A worker referenced a relay id the region has never provisioned."""
+
+    def __init__(self, relay_id: str):
+        super().__init__(f"unknown partition relay: {relay_id!r}")
+        self.relay_id = relay_id
+
+
+class RelayKeyMissing(VmError):
+    """A PULL asked for a partition that was never pushed (or consumed)."""
+
+    def __init__(self, key: str):
+        super().__init__(f"relay has no partition {key!r}")
+        self.key = key
+
+
+class RelayCapacityExceeded(VmError):
+    """One partition alone is larger than the relay VM's usable memory.
+
+    Oversubscription by *many* partitions is handled with backpressure
+    (pushes wait for readers to consume); a single value that can never
+    fit is a hard error.
+    """
+
+    def __init__(self, relay_id: str, logical: float, capacity: float):
+        super().__init__(
+            f"relay {relay_id}: payload of {logical:.0f} logical bytes "
+            f"can never fit usable memory ({capacity:.0f} bytes)"
+        )
+        self.relay_id = relay_id
+        self.logical = logical
+        self.capacity = capacity

@@ -25,6 +25,7 @@ from repro.cloud.retry import RetryPolicy
 from repro.cloud.storageview import BoundStorage
 from repro.cloud.vm.errors import (
     UnknownInstanceType,
+    UnknownRelay,
     VmAlreadyTerminated,
     VmNotRunning,
 )
@@ -143,6 +144,13 @@ class VmContext:
             connection_bandwidth=self.vm.instance_type.nic_bandwidth
         )
 
+    def relay(self, relay_id: str):
+        """Partition-relay client for ``relay_id`` (NIC-capped)."""
+        relay = self.vm.service.relay(relay_id)
+        return relay.client(
+            connection_bandwidth=self.vm.instance_type.nic_bandwidth
+        )
+
 
 class VirtualMachine:
     """One provisioned instance."""
@@ -225,6 +233,9 @@ class VmService:
         self._ids = itertools.count(1)
         self._rng = sim.rng.stream(f"{name}.boot")
         self.instances: list[VirtualMachine] = []
+        #: Partition relays hosted on this service's VMs, by relay id
+        #: (registered by :mod:`repro.cloud.vm.relay`).
+        self.relays: dict[str, object] = {}
 
     def instance_type(self, type_name: str) -> InstanceType:
         try:
@@ -240,6 +251,27 @@ class VmService:
         return self.sim.process(
             self._boot(vm), name=f"{self.name}.boot.{vm.vm_id}"
         ).completion
+
+    def provision_ready(self, type_name: str) -> VirtualMachine:
+        """An instance that is already running (pre-provisioned, warm mode).
+
+        Billing still starts now: the instance accrues seconds from this
+        call until :meth:`VirtualMachine.terminate` — the same contract
+        as :meth:`~repro.cloud.memstore.service.MemStoreService.provision_ready`.
+        """
+        instance_type = self.instance_type(type_name)
+        vm = VirtualMachine(self, f"vm-{next(self._ids)}", instance_type)
+        vm.state = "running"
+        vm.ready_at = self.sim.now
+        self.instances.append(vm)
+        return vm
+
+    def relay(self, relay_id: str):
+        """Resolve a relay id (as carried inside worker payloads)."""
+        try:
+            return self.relays[relay_id]
+        except KeyError:
+            raise UnknownRelay(relay_id) from None
 
     def _boot(self, vm: VirtualMachine) -> t.Generator:
         boot_time = self.profile.boot.sample(self._rng)

@@ -1,0 +1,500 @@
+"""In-memory partition relay hosted on a provisioned VM.
+
+The third data-exchange substrate of the comparison: a plain virtual
+server instance running a small in-memory rendezvous server.  Mappers
+PUSH their partitions to it over the network, reducers PULL their range
+— intermediate data never touches object storage and never pays the
+cache service's per-node pricing; what it pays instead is exactly what
+the paper's hybrid pipeline pays (Table 1): **provisioning latency**
+before the relay accepts traffic and **per-second VM billing** from
+provision to terminate.
+
+Modeling choices:
+
+* **single fat node** — the relay is scale-up, not scale-out: one VM,
+  one NIC.  All concurrent PUSH/PULL flows share the instance NIC via
+  max-min fair sharing, so the relay's bandwidth ceiling is the
+  instance's line rate (pick a bigger flavour to raise it);
+* **near-LAN request latency** — one in-VPC TCP round trip per request
+  batch (``VmProfile.relay_request_latency``), far below object-storage
+  first-byte latency;
+* **bounded memory with backpressure** — partitions live in instance
+  memory.  A PUSH that does not fit *waits* until readers consume space
+  (the TCP-flow-control behaviour of a real relay), instead of failing
+  like the cache's ``noeviction`` mode; only a partition that can never
+  fit raises :class:`~repro.cloud.vm.errors.RelayCapacityExceeded`;
+* **per-second billing** — the relay's cost *is* its VM's cost
+  (instance seconds + boot volume), billed on terminate.
+
+Workers resolve relays by id through their contexts
+(:meth:`~repro.cloud.faas.context.FunctionContext.relay`), mirroring the
+cache's ``ctx.kv`` accessor.
+
+Known limitation — orphaned transfers under crash injection and
+speculation: the FaaS platform kills a crashed activation's *body*
+process, but a relay transfer that body already spawned keeps draining.
+A retried mapper racing its orphaned predecessor can transiently
+double-reserve its batch (hanging a relay with less than one spare
+batch of free memory), and a losing speculative mapper's replacing
+MPUSH opens a brief absence window for its keys.  Auto-sized relays
+(1.3x headroom) and the default no-speculation executor are safe;
+attempt-scoped cancellation is the proper fix and belongs to the FaaS
+platform layer (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as t
+
+from repro.cloud.vm.errors import RelayCapacityExceeded, RelayKeyMissing
+from repro.cloud.vm.instance import VirtualMachine, VmService
+from repro.errors import SimulationError
+from repro.sim import FairShareLink, SimEvent, TokenBucket
+
+
+@dataclasses.dataclass(slots=True)
+class _Entry:
+    """One resident partition: real payload plus its logical size."""
+
+    data: bytes
+    logical: float
+
+
+class RelayStats:
+    """Per-relay counters exposed for planners, reports and tests."""
+
+    def __init__(self) -> None:
+        self.pushes = 0
+        self.pulls = 0
+        self.deletes = 0
+        self.misses = 0
+        self.backpressure_waits = 0
+        self.bytes_in = 0.0  # logical bytes pushed (stored)
+        self.bytes_out = 0.0  # logical bytes served to pullers
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(vars(self))
+
+
+class PartitionRelay:
+    """One relay server: bounded in-memory store + NIC + request models."""
+
+    def __init__(self, service: VmService, vm: VirtualMachine):
+        self.service = service
+        self.sim = service.sim
+        self.vm = vm
+        self.relay_id = f"relay-{vm.vm_id}"
+        profile = service.profile
+        #: Logical bytes of partitions the relay may hold at once.
+        self.capacity_bytes = profile.relay_usable_bytes(vm.instance_type)
+        self.used_logical = 0.0
+        self.peak_used_logical = 0.0
+        self._entries: dict[str, _Entry] = {}
+        #: FIFO of pushes waiting for space: ``(logical, event)``.
+        self._waiters: collections.deque[tuple[float, SimEvent]] = collections.deque()
+        self.ops = TokenBucket(
+            self.sim,
+            rate=profile.relay_ops_per_second,
+            capacity=profile.relay_ops_burst,
+            name=f"{self.relay_id}.ops",
+        )
+        #: The instance NIC; every PUSH and PULL flow contends here.
+        self.link = FairShareLink(
+            self.sim, capacity=vm.instance_type.nic_bandwidth, name=f"{self.relay_id}.nic"
+        )
+        self.stats = RelayStats()
+        self._rng = self.sim.rng.stream(f"{self.relay_id}.request")
+        service.relays[self.relay_id] = self
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self.vm.state
+
+    def ensure_running(self) -> None:
+        self.vm.ensure_running()
+
+    def client(self, connection_bandwidth: float | None = None) -> "RelayClient":
+        """A request client, optionally capped by the caller's NIC."""
+        return RelayClient(self, connection_bandwidth)
+
+    def terminate(self) -> None:
+        """Stop the relay and bill its VM's lifetime.
+
+        Drops the resident partitions (the VM's memory is gone) and
+        deregisters the relay id, so stale worker payloads resolve to
+        :class:`~repro.cloud.vm.errors.UnknownRelay` instead of a dead
+        relay and long-lived regions don't accumulate dead payloads.
+        """
+        resident = len(self._entries)
+        self.vm.terminate()
+        self._entries.clear()
+        self.used_logical = 0.0
+        self.service.relays.pop(self.relay_id, None)
+        self.sim.timeline.record(
+            self.sim.now, "relay", "terminate", relay=self.relay_id,
+            type=self.vm.instance_type.name, resident_keys=resident,
+        )
+
+    # ------------------------------------------------------------------
+    # memory admission (backpressure)
+    # ------------------------------------------------------------------
+    def _admit(self, logical: float) -> SimEvent:
+        """Reserve ``logical`` bytes; the event triggers once they fit."""
+        if logical > self.capacity_bytes:
+            raise RelayCapacityExceeded(self.relay_id, logical, self.capacity_bytes)
+        event = SimEvent(self.sim, name=f"{self.relay_id}.admit({logical:g}B)")
+        if not self._waiters and self.used_logical + logical <= self.capacity_bytes:
+            self._reserve(logical)
+            event.succeed()
+        else:
+            self.stats.backpressure_waits += 1
+            self._waiters.append((logical, event))
+        return event
+
+    def _reserve(self, logical: float) -> None:
+        self.used_logical += logical
+        self.peak_used_logical = max(self.peak_used_logical, self.used_logical)
+
+    def _release(self, logical: float) -> None:
+        self.used_logical -= logical
+        while self._waiters:
+            pending, event = self._waiters[0]
+            if self.used_logical + pending > self.capacity_bytes:
+                break
+            self._waiters.popleft()
+            self._reserve(pending)
+            event.succeed()
+
+    # ------------------------------------------------------------------
+    # bookkeeping (synchronous; the client pays latency/bandwidth)
+    # ------------------------------------------------------------------
+    def _evict_existing(self, keys: t.Iterable[str]) -> None:
+        """Drop current entries for ``keys``, releasing their memory.
+
+        Called *before* a replacing PUSH admits its payload: admitting
+        the full new size while the old entry's reservation is still
+        held would demand old+new bytes at once and deadlock a
+        re-pushed (retried/speculative) mapper against a full relay.
+        The key is briefly absent during the replacing transfer — the
+        single-copy semantics of a real in-memory rendezvous.
+        """
+        released = 0.0
+        for key in keys:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                released += previous.logical
+        if released > 0:
+            self._release(released)
+
+    def _store(self, key: str, data: bytes, logical: float) -> None:
+        previous = self._entries.pop(key, None)
+        self._entries[key] = _Entry(bytes(data), logical)
+        self.stats.pushes += 1
+        self.stats.bytes_in += logical
+        if previous is not None:
+            # A concurrent push stored this key mid-transfer; its
+            # reservation is superseded by ours.
+            self._release(previous.logical)
+
+    def _lookup(self, key: str) -> _Entry:
+        """Resolve ``key`` or raise, counting the miss.  No pull stats:
+        those are recorded only once the transfer actually happened."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            raise RelayKeyMissing(key)
+        return entry
+
+    def _record_pulls(self, count: int, logical: float) -> None:
+        self.stats.pulls += count
+        self.stats.bytes_out += logical
+
+    def _remove(self, key: str) -> bool:
+        entry = self._entries.pop(key, None)
+        self.stats.deletes += 1
+        if entry is None:
+            return False
+        self._release(entry.logical)
+        return True
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Reserved capacity as a fraction of usable memory (0..1)."""
+        return self.used_logical / self.capacity_bytes
+
+    @property
+    def peak_fill_fraction(self) -> float:
+        return self.peak_used_logical / self.capacity_bytes
+
+    def reset_peak(self) -> None:
+        """Restart peak tracking from the current fill (per-run peaks)."""
+        self.peak_used_logical = self.used_logical
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PartitionRelay {self.relay_id} {self.vm.instance_type.name} "
+            f"{self.state} keys={self.key_count} fill={self.fill_fraction:.1%}>"
+        )
+
+
+class RelayClient:
+    """Request interface to one relay; all methods return SimEvents.
+
+    ``connection_bandwidth`` caps this client's transfer rate (the
+    caller's NIC); ``None`` means only the relay's own NIC bounds it.
+    Batched MPUSH/MPULL pay *one* request latency for the whole batch —
+    there is a single server, so pipelining is even cheaper than the
+    cache's one-latency-per-node-touched.
+    """
+
+    def __init__(self, relay: PartitionRelay, connection_bandwidth: float | None):
+        self.relay = relay
+        self.sim = relay.sim
+        self.connection_bandwidth = connection_bandwidth
+        self._profile = relay.service.profile
+        self._scale = relay.service.logical_scale
+
+    # ------------------------------------------------------------------
+    # single-key operations
+    # ------------------------------------------------------------------
+    def push(self, key: str, data: bytes, logical_size: float | None = None) -> SimEvent:
+        """Store ``key``; event → ``None``.  Waits under backpressure."""
+        return self._spawn(self._push_op(key, data, logical_size), f"push:{key}")
+
+    def pull(self, key: str, consume: bool = False) -> SimEvent:
+        """Fetch ``key``; event → ``bytes``.  ``consume`` frees its memory."""
+        return self._spawn(self._pull_op(key, consume), f"pull:{key}")
+
+    def delete(self, key: str) -> SimEvent:
+        """Remove ``key``; event → whether it existed."""
+        return self._spawn(self._delete_op(key), f"delete:{key}")
+
+    # ------------------------------------------------------------------
+    # batched (pipelined) operations
+    # ------------------------------------------------------------------
+    def mpush(
+        self,
+        items: t.Sequence[tuple[str, bytes]],
+        logical_sizes: t.Sequence[float] | None = None,
+    ) -> SimEvent:
+        """Store many keys over one connection; event → ``None``."""
+        return self._spawn(self._mpush_op(list(items), logical_sizes), "mpush")
+
+    def mpull(self, keys: t.Sequence[str], consume: bool = False) -> SimEvent:
+        """Fetch many keys over one connection; event → payload list.
+
+        Payloads come back in input-key order.  Fails with
+        :class:`~repro.cloud.vm.errors.RelayKeyMissing` naming the first
+        absent key — before anything is consumed, so a failed batch
+        neither loses data nor leaks reserved memory.
+        """
+        return self._spawn(self._mpull_op(list(keys), consume), "mpull")
+
+    def mdelete(self, keys: t.Sequence[str]) -> SimEvent:
+        """Remove many keys over one connection; event → count removed."""
+        return self._spawn(self._mdelete_op(list(keys)), "mdelete")
+
+    def _spawn(self, generator: t.Generator, label: str) -> SimEvent:
+        return self.sim.process(
+            generator, name=f"{self.relay.relay_id}.{label}"
+        ).completion
+
+    # ------------------------------------------------------------------
+    # operation bodies
+    # ------------------------------------------------------------------
+    def _logical(self, data: bytes, logical_size: float | None) -> float:
+        if logical_size is not None:
+            return logical_size
+        return len(data) * self._scale
+
+    def _latency(self) -> float:
+        return self._profile.relay_request_latency.sample(self.relay._rng)
+
+    def _flow_cap(self) -> float | None:
+        return self.connection_bandwidth
+
+    def _transfer(self, logical: float) -> SimEvent:
+        return self.relay.link.transfer(logical, self._flow_cap())
+
+    def _push_op(
+        self, key: str, data: bytes, logical_size: float | None
+    ) -> t.Generator:
+        self.relay.ensure_running()
+        yield self.relay.ops.consume(1.0)
+        yield self.sim.timeout(self._latency())
+        logical = self._logical(data, logical_size)
+        # Fail before evicting: a rejected push must leave the key's
+        # previous value (if any) intact.
+        if logical > self.relay.capacity_bytes:
+            raise RelayCapacityExceeded(
+                self.relay.relay_id, logical, self.relay.capacity_bytes
+            )
+        self.relay._evict_existing([key])
+        yield self.relay._admit(logical)
+        if logical > 0:
+            yield self._transfer(logical)
+        self.relay._store(key, data, logical)
+        return None
+
+    def _pull_op(self, key: str, consume: bool) -> t.Generator:
+        self.relay.ensure_running()
+        yield self.relay.ops.consume(1.0)
+        yield self.sim.timeout(self._latency())
+        entry = self.relay._lookup(key)
+        if entry.logical > 0:
+            yield self._transfer(entry.logical)
+        self.relay._record_pulls(1, entry.logical)
+        if consume:
+            removed = self.relay._entries.pop(key, None)
+            if removed is not None:
+                self.relay._release(removed.logical)
+        return entry.data
+
+    def _delete_op(self, key: str) -> t.Generator:
+        self.relay.ensure_running()
+        yield self.relay.ops.consume(1.0)
+        yield self.sim.timeout(self._latency())
+        return self.relay._remove(key)
+
+    def _mpush_op(
+        self,
+        items: list[tuple[str, bytes]],
+        logical_sizes: t.Sequence[float] | None,
+    ) -> t.Generator:
+        self.relay.ensure_running()
+        if not items:
+            return None
+        if logical_sizes is not None and len(logical_sizes) != len(items):
+            raise SimulationError("mpush: logical_sizes length does not match items")
+        yield from self._consume_ops(float(len(items)))
+        yield self.sim.timeout(self._latency())
+        logicals = [
+            logical_sizes[index]
+            if logical_sizes is not None
+            else self._logical(data, None)
+            for index, (_key, data) in enumerate(items)
+        ]
+        # Admit the batch as a whole, then stream it through one flow.
+        # Atomic admission is deliberate: two concurrent MPUSHes that
+        # reserved item-by-item could each hold half their batch and
+        # deadlock waiting for the other.  The price is that a batch
+        # larger than usable memory is a hard RelayCapacityExceeded
+        # (from _admit) even when its items would fit one at a time —
+        # push those individually instead.  Entries being replaced are
+        # evicted first so a re-pushed batch never demands old+new
+        # bytes at once (the retried-mapper case) — but only after the
+        # batch is known to fit, so a rejected MPUSH is side-effect-free.
+        total = sum(logicals)
+        if total > self.relay.capacity_bytes:
+            raise RelayCapacityExceeded(
+                self.relay.relay_id, total, self.relay.capacity_bytes
+            )
+        self.relay._evict_existing([key for key, _data in items])
+        yield self.relay._admit(total)
+        if total > 0:
+            yield self._transfer(total)
+        for (key, data), logical in zip(items, logicals):
+            self.relay._store(key, data, logical)
+        self.sim.timeline.record(
+            self.sim.now, "relay", "mpush",
+            relay=self.relay.relay_id, keys=len(items), logical=total,
+        )
+        return None
+
+    def _mpull_op(self, keys: list[str], consume: bool) -> t.Generator:
+        self.relay.ensure_running()
+        if not keys:
+            return []
+        yield from self._consume_ops(float(len(keys)))
+        yield self.sim.timeout(self._latency())
+        # Non-destructive lookups first: a missing key mid-batch must
+        # fail the whole MPULL without having consumed (or counted as
+        # served, or leaked the reservation of) the keys before it.
+        entries = [self.relay._lookup(key) for key in keys]
+        total = sum(entry.logical for entry in entries)
+        if total > 0:
+            yield self._transfer(total)
+        # bytes_out counts logical bytes *served* (duplicate keys in the
+        # batch transfer — and count — once per occurrence).
+        self.relay._record_pulls(len(keys), total)
+        if consume:
+            released = 0.0
+            for key in keys:
+                removed = self.relay._entries.pop(key, None)
+                if removed is not None:  # duplicates in the batch pop once
+                    released += removed.logical
+            self.relay._release(released)
+        self.sim.timeline.record(
+            self.sim.now, "relay", "mpull",
+            relay=self.relay.relay_id, keys=len(keys), logical=total,
+        )
+        return [entry.data for entry in entries]
+
+    def _mdelete_op(self, keys: list[str]) -> t.Generator:
+        self.relay.ensure_running()
+        if not keys:
+            return 0
+        yield from self._consume_ops(float(len(keys)))
+        yield self.sim.timeout(self._latency())
+        removed = sum(1 for key in keys if self.relay._remove(key))
+        self.sim.timeline.record(
+            self.sim.now, "relay", "mdelete",
+            relay=self.relay.relay_id, keys=len(keys), removed=removed,
+        )
+        return removed
+
+    def _consume_ops(self, amount: float) -> t.Generator:
+        """Take ``amount`` rate-limit tokens, in bucket-sized chunks."""
+        remaining = amount
+        while remaining > 0:
+            take = min(remaining, self.relay.ops.capacity)
+            yield self.relay.ops.consume(take)
+            remaining -= take
+
+
+# ----------------------------------------------------------------------
+# lifecycle helpers
+# ----------------------------------------------------------------------
+def provision_relay(vms: VmService, type_name: str) -> SimEvent:
+    """Provision a relay VM on the clock; event → running :class:`PartitionRelay`.
+
+    Pays the full VM boot latency before the relay accepts traffic —
+    the Table 1 provisioning penalty of anything VM-backed.
+    """
+    return vms.sim.process(
+        _provision(vms, type_name), name=f"{vms.name}.relay.provision"
+    ).completion
+
+
+def _provision(vms: VmService, type_name: str) -> t.Generator:
+    vm = yield vms.provision(type_name)
+    relay = PartitionRelay(vms, vm)
+    vms.sim.timeline.record(
+        vms.sim.now, "relay", "provision", relay=relay.relay_id, type=type_name,
+    )
+    return relay
+
+
+def relay_ready(vms: VmService, type_name: str) -> PartitionRelay:
+    """A relay that is already running (pre-provisioned, warm mode).
+
+    Billing still starts now: the VM accrues instance-seconds from this
+    call until :meth:`PartitionRelay.terminate`.
+    """
+    vm = vms.provision_ready(type_name)
+    relay = PartitionRelay(vms, vm)
+    vms.sim.timeline.record(
+        vms.sim.now, "relay", "provision", relay=relay.relay_id, type=type_name,
+        warm=True,
+    )
+    return relay

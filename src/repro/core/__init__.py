@@ -22,12 +22,14 @@ from repro.core.pipelines import (
     ENCODE_STAGE,
     INGEST_STAGE,
     PURE_SERVERLESS,
+    RELAY_SUPPORTED,
     SORT_STAGE,
     VERIFY_STAGE,
     VM_SUPPORTED,
     cache_supported_pipeline,
     pipeline_for,
     pure_serverless_pipeline,
+    relay_supported_pipeline,
     vm_supported_pipeline,
 )
 from repro.core.stages import register_builtin_stage_kinds
@@ -40,6 +42,7 @@ __all__ = [
     "INGEST_STAGE",
     "PURE_SERVERLESS",
     "PipelineRun",
+    "RELAY_SUPPORTED",
     "SORT_STAGE",
     "Table1Result",
     "VERIFY_STAGE",
@@ -49,6 +52,7 @@ __all__ = [
     "pipeline_for",
     "pure_serverless_pipeline",
     "register_builtin_stage_kinds",
+    "relay_supported_pipeline",
     "run_exchange_comparison",
     "run_pipeline",
     "run_table1",

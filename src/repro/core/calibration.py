@@ -26,6 +26,7 @@ import typing as t
 from repro.cloud.profiles import GB, CloudProfile, ibm_us_east, profile_named
 from repro.shuffle.cacheplanner import CacheShuffleCostModel
 from repro.shuffle.planner import ShuffleCostModel
+from repro.shuffle.relayplanner import RelayShuffleCostModel
 
 
 @dataclasses.dataclass(slots=True)
@@ -58,6 +59,12 @@ class WorkloadParams:
 
     def cache_shuffle_cost_model(self) -> CacheShuffleCostModel:
         return CacheShuffleCostModel(
+            partition_throughput=self.partition_throughput,
+            sort_throughput=self.sort_throughput,
+        )
+
+    def relay_shuffle_cost_model(self) -> RelayShuffleCostModel:
+        return RelayShuffleCostModel(
             partition_throughput=self.partition_throughput,
             sort_throughput=self.sort_throughput,
         )
@@ -96,6 +103,15 @@ class ExperimentConfig:
     #: ``"warm"`` uses a pre-provisioned cluster (billing still covers
     #: the run); ``"cold"`` pays cluster creation on the clock.
     cache_provisioning: str = "warm"
+    #: Relay VM flavour for the relay-supported variant (supplementary
+    #: experiment S8's third substrate); ``None`` reuses the hybrid
+    #: pipeline's VM flavour — the same machine Table 1 provisions,
+    #: repurposed as an in-memory rendezvous.
+    relay_instance_type: str | None = None
+    #: ``"warm"`` uses a pre-provisioned relay VM (billing still covers
+    #: the run); ``"cold"`` pays VM boot on the clock (Table 1's
+    #: provisioning penalty).
+    relay_provisioning: str = "warm"
     workload: WorkloadParams = dataclasses.field(default_factory=WorkloadParams)
     #: Optional hook mutating the profile after calibration (sweeps use
     #: this to perturb a single knob, e.g. the cold-start time).
@@ -122,6 +138,13 @@ class ExperimentConfig:
         if self.vm_instance_type is not None:
             return self.vm_instance_type
         return self._DEFAULT_VM_TYPES[self.provider]
+
+    @property
+    def resolved_relay_instance_type(self) -> str:
+        """The configured relay flavour, or the hybrid pipeline's VM."""
+        if self.relay_instance_type is not None:
+            return self.relay_instance_type
+        return self.resolved_vm_instance_type
 
     def make_profile(self) -> CloudProfile:
         """The calibrated cloud profile for this experiment.

@@ -21,6 +21,7 @@ from repro.core.calibration import ExperimentConfig
 from repro.core.pipelines import (
     CACHE_SUPPORTED,
     PURE_SERVERLESS,
+    RELAY_SUPPORTED,
     VM_SUPPORTED,
     pipeline_for,
 )
@@ -174,21 +175,23 @@ def run_table1(config: ExperimentConfig | None = None, verify: bool = False) -> 
 
 @dataclasses.dataclass(slots=True)
 class ExchangeComparison:
-    """All three data-exchange strategies, side by side (experiment S8).
+    """All four data-exchange strategies, side by side (experiment S8).
 
-    Extends the paper's two-way Table 1 with the cache alternative it
-    names but does not measure: the in-memory store wins the latency of
-    the all-to-all but pays provisioned node-hours for it, while object
-    storage stays the cheapest always-on option.
+    Extends the paper's two-way Table 1 with the two provisioned
+    alternatives it names but does not measure: the in-memory cache
+    cluster and the VM-hosted partition relay both win the latency of
+    the all-to-all but pay provisioned node/instance-hours for it,
+    while object storage stays the cheapest always-on option.
     """
 
     serverless: PipelineRun
     vm: PipelineRun
     cache: PipelineRun
+    relay: PipelineRun
     config: ExperimentConfig
 
     def runs(self) -> list[PipelineRun]:
-        return [self.serverless, self.vm, self.cache]
+        return [self.serverless, self.vm, self.cache, self.relay]
 
     def to_table(self) -> str:
         lines = [
@@ -213,11 +216,12 @@ class ExchangeComparison:
 def run_exchange_comparison(
     config: ExperimentConfig | None = None, verify: bool = False
 ) -> ExchangeComparison:
-    """Run all three strategies on fresh regions (experiment S8)."""
+    """Run all four strategies on fresh regions (experiment S8)."""
     config = config if config is not None else ExperimentConfig()
     return ExchangeComparison(
         serverless=run_pipeline(config, PURE_SERVERLESS, verify=verify),
         vm=run_pipeline(config, VM_SUPPORTED, verify=verify),
         cache=run_pipeline(config, CACHE_SUPPORTED, verify=verify),
+        relay=run_pipeline(config, RELAY_SUPPORTED, verify=verify),
         config=config,
     )

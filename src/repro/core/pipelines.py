@@ -1,4 +1,4 @@
-"""The METHCOMP pipeline incarnations (paper Figure 1, plus one).
+"""The METHCOMP pipeline incarnations (paper Figure 1, plus two).
 
 * **Configuration B — purely serverless**: sort via the Primula shuffle
   through object storage, encode with cloud functions.
@@ -7,6 +7,10 @@
 * **Configuration C — cache-supported** (supplementary, experiment S8):
   sort with cloud functions exchanging partitions through an in-memory
   cache cluster — the ElastiCache alternative the paper names.
+* **Configuration D — relay-supported** (supplementary, experiment S8):
+  sort with cloud functions exchanging partitions through an in-memory
+  relay hosted on a provisioned VM — the VM-driven exchange of the
+  title, with functions doing the compute.
 
 All take their input from a pre-staged object (``dataset_ref``), as in
 the paper's demo where ENCFF988BSW already sits in COS, and all write
@@ -27,6 +31,7 @@ VERIFY_STAGE = "verify"
 PURE_SERVERLESS = "purely-serverless"
 VM_SUPPORTED = "vm-supported"
 CACHE_SUPPORTED = "cache-supported"
+RELAY_SUPPORTED = "relay-supported"
 
 
 def pure_serverless_pipeline(
@@ -147,12 +152,54 @@ def cache_supported_pipeline(
     return WorkflowDag(CACHE_SUPPORTED, stages, bucket=bucket)
 
 
+def relay_supported_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Configuration D: VM-relay-mediated sort, then encode with functions."""
+    workers = None if config.auto_workers else config.parallelism
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "relay_sort",
+            after=(INGEST_STAGE,),
+            params={
+                "workers": workers,
+                "memory_mb": config.function_memory_mb,
+                "max_workers": 256,
+                "instance_type": config.resolved_relay_instance_type,
+                "provisioning": config.relay_provisioning,
+            },
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(RELAY_SUPPORTED, stages, bucket=bucket)
+
+
 def pipeline_for(variant: str, config: ExperimentConfig, **kwargs) -> WorkflowDag:
     """Build any incarnation by name."""
     builders = {
         PURE_SERVERLESS: pure_serverless_pipeline,
         VM_SUPPORTED: vm_supported_pipeline,
         CACHE_SUPPORTED: cache_supported_pipeline,
+        RELAY_SUPPORTED: relay_supported_pipeline,
     }
     try:
         builder = builders[variant]

@@ -13,6 +13,10 @@ Table 1 experiment) compose:
 ``cache_sort``         sort with serverless functions exchanging via an
                        in-memory cache cluster — configuration **C**
                        (the ElastiCache alternative, experiment S8)
+``relay_sort``         sort with serverless functions exchanging via an
+                       in-memory relay on a provisioned VM —
+                       configuration **D** (experiment S8's third
+                       substrate)
 ``methcomp_encode``    embarrassingly parallel METHCOMP compression of
                        the sorted runs with cloud functions
 ``methcomp_verify``    decompress and check record conservation
@@ -33,9 +37,12 @@ from repro.executor.executor import FunctionExecutor
 from repro.methcomp.bed import bed_sort_key
 from repro.methcomp.datagen import MethylomeGenerator
 from repro.methcomp.pipeline import bed_record_codec, decode_worker, encode_worker
+from repro.cloud.vm.relay import provision_relay, relay_ready
 from repro.shuffle.cacheoperator import CacheShuffleSort
 from repro.shuffle.cacheplanner import required_cache_nodes
 from repro.shuffle.operator import ShuffleSort
+from repro.shuffle.relay import RelayShuffleSort
+from repro.shuffle.relayplanner import required_relay_instance
 from repro.storage import paths
 from repro.workflows.engine import StageContext, register_stage_kind
 
@@ -230,6 +237,75 @@ def cache_sort(context: StageContext, inputs: dict) -> t.Generator:
     }
 
 
+def relay_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Configuration D: serverless sort exchanging via a VM relay.
+
+    Params: ``workers`` (pin the count; omit to let the relay planner
+    choose), ``memory_mb``, ``samplers``, ``max_workers``,
+    ``instance_type`` (omit to auto-size the smallest flavour that
+    holds the data), ``provisioning`` (``"warm"`` pre-provisioned or
+    ``"cold"`` pays VM boot on the clock), ``consume`` (default False —
+    opt-in reducer-side deletion for crash-free runs; the relay VM is
+    terminated at stage end either way, reclaiming everything).
+
+    The relay VM lives exactly as long as the stage; its instance-
+    seconds are billed into the stage's cost either way.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    instance_type = context.param("instance_type")
+    if not instance_type:
+        instance_type = required_relay_instance(
+            upstream["logical_bytes"], context.cloud.profile
+        )
+    provisioning = context.param("provisioning", "warm")
+    if provisioning == "cold":
+        relay = yield provision_relay(context.cloud.vms, instance_type)
+    elif provisioning == "warm":
+        relay = relay_ready(context.cloud.vms, instance_type)
+    else:
+        raise WorkflowError(
+            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
+            f"'cold', got {provisioning!r}"
+        )
+    cost = workload.relay_shuffle_cost_model()
+    cost.consume = bool(context.param("consume", False))
+    operator = RelayShuffleSort(executor, bed_record_codec(), relay, cost=cost)
+    try:
+        result = yield operator.sort(
+            upstream["bucket"],
+            upstream["key"],
+            out_bucket=context.bucket,
+            out_prefix=f"{context.spec.name}",
+            workers=context.param("workers"),
+            samplers=int(context.param("samplers", 8)),
+            max_workers=int(context.param("max_workers", 256)),
+        )
+    finally:
+        if relay.state == "running":
+            relay.terminate()
+    return {
+        "runs": [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "records": run.records,
+                "bytes": run.size_bytes,
+            }
+            for run in result.runs
+        ],
+        "workers": result.workers,
+        "records": result.total_records,
+        "duration_s": result.duration_s,
+        "planned_workers": result.planned.workers if result.planned else None,
+        "relay_instance_type": operator.report.instance_type,
+        "relay_peak_fill": operator.report.peak_fill_fraction,
+        "relay_backpressure_waits": operator.report.backpressure_waits,
+    }
+
+
 def vm_sort(context: StageContext, inputs: dict) -> t.Generator:
     """Configuration A: sort inside a large-memory VM.
 
@@ -409,6 +485,7 @@ def register_builtin_stage_kinds() -> None:
         "dataset_ref": dataset_ref,
         "shuffle_sort": shuffle_sort,
         "cache_sort": cache_sort,
+        "relay_sort": relay_sort,
         "vm_sort": vm_sort,
         "methcomp_encode": methcomp_encode,
         "methcomp_verify": methcomp_verify,

@@ -11,12 +11,19 @@ data-exchange comparison against the in-memory cache alternative.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import typing as t
 
 from repro.cloud.environment import Cloud
 from repro.core.calibration import ExperimentConfig
 from repro.core.experiment import run_pipeline, stage_input
-from repro.core.pipelines import CACHE_SUPPORTED, PURE_SERVERLESS, VM_SUPPORTED
+from repro.cloud.vm.relay import relay_ready
+from repro.core.pipelines import (
+    CACHE_SUPPORTED,
+    PURE_SERVERLESS,
+    RELAY_SUPPORTED,
+    VM_SUPPORTED,
+)
 from repro.executor.executor import FunctionExecutor
 from repro.methcomp.codec import compression_ratio, gzip_ratio
 from repro.methcomp.datagen import MethylomeGenerator
@@ -25,6 +32,8 @@ from repro.shuffle.cacheoperator import CacheShuffleSort
 from repro.shuffle.cacheplanner import required_cache_nodes
 from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import plan_shuffle
+from repro.shuffle.adaptive import EXCHANGE_SUBSTRATES
+from repro.shuffle.relay import RelayShuffleSort
 from repro.sim import Simulator
 
 
@@ -198,44 +207,61 @@ def sweep_io_ablation(
 
 
 # ----------------------------------------------------------------------
-# S8: data-exchange strategy comparison (object storage vs cache)
+# S8: data-exchange strategy comparison (object storage vs cache vs relay)
 # ----------------------------------------------------------------------
 def sweep_exchange(
     config: ExperimentConfig | None = None,
     worker_counts: t.Sequence[int] = (4, 8, 16, 32, 64),
+    strategies: t.Sequence[str] = EXCHANGE_SUBSTRATES,
 ) -> list[dict]:
-    """Sort latency/cost of the COS and cache substrates vs worker count.
+    """Sort latency/cost of the three exchange substrates vs worker count.
 
-    The contrast the model predicts: the object-storage shuffle
+    The contrast the models predict: the object-storage shuffle
     deteriorates at high worker counts (its W² range-GETs hit per-request
-    latency and the account ops/s ceiling) while the cache substrate's
-    batched sub-millisecond requests keep it nearly flat — at the price
-    of provisioned node-hours the COS rows never pay.
+    latency and the account ops/s ceiling) while the cache's and the VM
+    relay's batched sub-millisecond requests keep them nearly flat — at
+    the price of provisioned node/instance-hours the COS rows never pay.
+    Every row also carries a digest of the concatenated sorted runs so
+    callers can assert the substrates produced identical artifacts.
     """
     base = config if config is not None else ExperimentConfig()
+    for strategy in strategies:
+        if strategy not in EXCHANGE_SUBSTRATES:
+            raise ValueError(
+                f"unknown exchange strategy {strategy!r}; expected a "
+                f"subset of {EXCHANGE_SUBSTRATES}"
+            )
     profile = base.make_profile()
     nodes = required_cache_nodes(base.logical_bytes, profile, base.cache_node_type)
+    relay_type = base.resolved_relay_instance_type
     rows = []
     for workers in worker_counts:
-        for strategy in ("objectstore", "cache"):
+        for strategy in strategies:
             cloud = _fresh_cloud(base)
             stage_input(cloud, base, "pipeline", "input/methylome.bed")
             executor = FunctionExecutor(
                 cloud, runtime_memory_mb=base.function_memory_mb, bucket="pipeline"
             )
             marker = cloud.meter.snapshot()
+            provisioned = None
             if strategy == "objectstore":
                 operator = ShuffleSort(
                     executor, bed_record_codec(),
                     cost=base.workload.shuffle_cost_model(),
                 )
-            else:
-                cluster = cloud.cache.provision_ready(
+            elif strategy == "cache":
+                provisioned = cloud.cache.provision_ready(
                     base.cache_node_type, nodes=nodes
                 )
                 operator = CacheShuffleSort(
-                    executor, bed_record_codec(), cluster,
+                    executor, bed_record_codec(), provisioned,
                     cost=base.workload.cache_shuffle_cost_model(),
+                )
+            else:
+                provisioned = relay_ready(cloud.vms, relay_type)
+                operator = RelayShuffleSort(
+                    executor, bed_record_codec(), provisioned,
+                    cost=base.workload.relay_shuffle_cost_model(),
                 )
 
             def driver():
@@ -246,8 +272,11 @@ def sweep_exchange(
                 )
 
             result = cloud.sim.run_process(driver())
-            if strategy == "cache":
-                cluster.terminate()
+            if provisioned is not None:
+                provisioned.terminate()
+            digest = hashlib.sha256()
+            for run in result.runs:
+                digest.update(cloud.store.peek(run.bucket, run.key))
             rows.append(
                 {
                     "workers": workers,
@@ -255,6 +284,7 @@ def sweep_exchange(
                     "sort_latency_s": result.duration_s,
                     "sort_cost_usd": cloud.meter.since(marker).total_usd,
                     "storage_requests": cloud.store.stats.total_requests,
+                    "output_digest": digest.hexdigest()[:16],
                 }
             )
     return rows
@@ -264,12 +294,13 @@ def sweep_exchange_pipelines(
     config: ExperimentConfig | None = None,
     sizes_gb: t.Sequence[float] = (1.0, 3.5, 7.0),
 ) -> list[dict]:
-    """End-to-end three-way pipeline comparison across input sizes."""
+    """End-to-end four-way pipeline comparison across input sizes."""
     base = config if config is not None else ExperimentConfig()
     rows = []
     for size_gb in sizes_gb:
         cfg = dataclasses.replace(base, size_gb=size_gb)
-        for variant in (PURE_SERVERLESS, VM_SUPPORTED, CACHE_SUPPORTED):
+        for variant in (PURE_SERVERLESS, VM_SUPPORTED, CACHE_SUPPORTED,
+                        RELAY_SUPPORTED):
             run = run_pipeline(cfg, variant)
             rows.append(
                 {

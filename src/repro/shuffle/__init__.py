@@ -1,11 +1,27 @@
-"""Primula-like shuffle/sort (and GroupBy) through object storage.
+"""Primula-like shuffle/sort (and GroupBy) over pluggable substrates.
 
-Also hosts the cache-mediated shuffle variant
-(:class:`CacheShuffleSort`), which exchanges intermediate partitions
-through the in-memory key-value store instead.
+The generic :class:`ShuffleSort` drives one
+:class:`~repro.shuffle.exchange.ExchangeBackend`; three substrates ship:
+object storage (the paper's serverless default), an in-memory cache
+cluster (:class:`CacheShuffleSort`) and a VM-hosted partition relay
+(:class:`RelayShuffleSort`).  :func:`choose_exchange_substrate` picks
+between them analytically.
 """
 
-from repro.shuffle.cacheoperator import CacheShuffleReport, CacheShuffleSort
+from repro.shuffle.adaptive import (
+    EXCHANGE_SUBSTRATES,
+    OnlineTuner,
+    ProbeReport,
+    SubstrateDecision,
+    SubstrateEstimate,
+    choose_exchange_substrate,
+    fit_profile,
+)
+from repro.shuffle.cacheoperator import (
+    CacheExchange,
+    CacheShuffleReport,
+    CacheShuffleSort,
+)
 from repro.shuffle.cacheplanner import (
     CacheShuffleCostModel,
     plan_cache_shuffle,
@@ -24,6 +40,7 @@ from repro.shuffle.groupby import (
     ShuffleGroupBy,
     shuffle_group_reducer,
 )
+from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
 from repro.shuffle.operator import ShuffleResult, ShuffleSort, SortedRun
 from repro.shuffle.orderby import (
     OrderByResult,
@@ -38,6 +55,22 @@ from repro.shuffle.planner import (
     predict_shuffle_time,
 )
 from repro.shuffle.records import FixedWidthCodec, LineRecordCodec, RecordCodec
+from repro.shuffle.relay import (
+    RelayExchange,
+    RelayShuffleReport,
+    RelayShuffleSort,
+    relay_partition_key,
+    relay_shuffle_mapper,
+    relay_shuffle_reducer,
+)
+from repro.shuffle.relayplanner import (
+    RelayShuffleCostModel,
+    plan_relay_shuffle,
+    predict_relay_shuffle_time,
+    relay_usable_bytes,
+    required_relay_instance,
+    resolve_relay_instance,
+)
 from repro.shuffle.sampler import (
     choose_boundaries,
     partition_index,
@@ -47,9 +80,31 @@ from repro.shuffle.stages import shuffle_mapper, shuffle_reducer, shuffle_sample
 
 __all__ = [
     "AggregateFn",
+    "CacheExchange",
     "CacheShuffleCostModel",
     "CacheShuffleReport",
     "CacheShuffleSort",
+    "EXCHANGE_SUBSTRATES",
+    "ExchangeBackend",
+    "ObjectStoreExchange",
+    "OnlineTuner",
+    "ProbeReport",
+    "RelayExchange",
+    "RelayShuffleCostModel",
+    "RelayShuffleReport",
+    "RelayShuffleSort",
+    "SubstrateDecision",
+    "SubstrateEstimate",
+    "choose_exchange_substrate",
+    "fit_profile",
+    "plan_relay_shuffle",
+    "predict_relay_shuffle_time",
+    "relay_partition_key",
+    "relay_shuffle_mapper",
+    "relay_shuffle_reducer",
+    "relay_usable_bytes",
+    "required_relay_instance",
+    "resolve_relay_instance",
     "cache_partition_key",
     "cache_shuffle_mapper",
     "cache_shuffle_reducer",

@@ -30,9 +30,28 @@ import dataclasses
 import statistics
 import typing as t
 
-from repro.cloud.profiles import LatencyModel
+from repro.cloud.profiles import CloudProfile, LatencyModel
 from repro.errors import ShuffleError
-from repro.shuffle.planner import ShuffleCostModel, ShufflePlan, plan_shuffle
+from repro.shuffle.cacheplanner import (
+    CacheShuffleCostModel,
+    plan_cache_shuffle,
+    predict_cache_shuffle_time,
+    required_cache_nodes,
+)
+from repro.shuffle.planner import (
+    ShuffleCostModel,
+    ShufflePlan,
+    plan_shuffle,
+    predict_shuffle_time,
+)
+from repro.shuffle.relayplanner import (
+    RelayShuffleCostModel,
+    plan_relay_shuffle,
+    predict_relay_shuffle_time,
+    relay_usable_bytes,
+    required_relay_instance,
+    resolve_relay_instance,
+)
 from repro.sim import SimEvent
 
 
@@ -164,15 +183,7 @@ class OnlineTuner:
     # ------------------------------------------------------------------
     def fitted_profile(self, report: ProbeReport):
         """A copy of the region profile with measured constants swapped in."""
-        profile = copy.deepcopy(self.executor.cloud.profile)
-        profile.objectstore.read_latency = LatencyModel(report.read_latency_s, 0.0)
-        profile.objectstore.write_latency = LatencyModel(report.write_latency_s, 0.0)
-        profile.faas.instance_bandwidth = report.connection_bandwidth_bps
-        # Startup lands in one term that is constant in W; fold the whole
-        # measured delay into the cold start for honest predictions.
-        profile.faas.invoke_overhead = LatencyModel(0.0, 0.0)
-        profile.faas.cold_start = LatencyModel(max(0.0, report.startup_s), 0.0)
-        return profile
+        return fit_profile(self.executor.cloud.profile, report)
 
     def plan(
         self,
@@ -219,3 +230,220 @@ class OnlineTuner:
             candidates=candidates,
         )
         return report, plan
+
+
+def fit_profile(profile: CloudProfile, report: ProbeReport) -> CloudProfile:
+    """A copy of ``profile`` with the probe's measurements swapped in."""
+    fitted = copy.deepcopy(profile)
+    fitted.objectstore.read_latency = LatencyModel(report.read_latency_s, 0.0)
+    fitted.objectstore.write_latency = LatencyModel(report.write_latency_s, 0.0)
+    fitted.faas.instance_bandwidth = report.connection_bandwidth_bps
+    # Startup lands in one term that is constant in W; fold the whole
+    # measured delay into the cold start for honest predictions.
+    fitted.faas.invoke_overhead = LatencyModel(0.0, 0.0)
+    fitted.faas.cold_start = LatencyModel(max(0.0, report.startup_s), 0.0)
+    return fitted
+
+
+# ----------------------------------------------------------------------
+# adaptive exchange-substrate selection
+# ----------------------------------------------------------------------
+#: Substrate names in tie-breaking order (cheapest infrastructure first).
+EXCHANGE_SUBSTRATES = ("objectstore", "cache", "relay")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SubstrateEstimate:
+    """One substrate's predicted execution, priced."""
+
+    substrate: str
+    workers: int
+    predicted_s: float
+    provisioned_usd: float
+    score_usd: float
+    feasible: bool
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SubstrateDecision:
+    """Outcome of :func:`choose_exchange_substrate`."""
+
+    chosen: SubstrateEstimate
+    estimates: tuple[SubstrateEstimate, ...]
+
+    @property
+    def substrate(self) -> str:
+        return self.chosen.substrate
+
+    def describe(self) -> str:
+        lines = []
+        for estimate in self.estimates:
+            marker = "->" if estimate.substrate == self.chosen.substrate else "  "
+            if not estimate.feasible:
+                lines.append(f"{marker} {estimate.substrate:<12} infeasible"
+                             f" ({estimate.detail})")
+                continue
+            lines.append(
+                f"{marker} {estimate.substrate:<12} W={estimate.workers:<4d}"
+                f" {estimate.predicted_s:8.2f} s"
+                f"  +${estimate.provisioned_usd:.4f} infra"
+                f"  score ${estimate.score_usd:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def choose_exchange_substrate(
+    logical_bytes: float,
+    profile: CloudProfile,
+    workers: int | None = None,
+    *,
+    report: ProbeReport | None = None,
+    cache_node_type: str = "cache.r5.large",
+    relay_instance_type: str | None = None,
+    time_value_usd_per_hour: float = 1.0,
+    max_workers: int = 256,
+) -> SubstrateDecision:
+    """Pick the exchange substrate for one shuffle, analytically.
+
+    Evaluates all three substrates' cost models — on the *probed*
+    profile when an :class:`OnlineTuner` ``report`` is given, mirroring
+    Primula's plan-on-what-you-measured loop — and minimizes a single
+    monetized score::
+
+        score = predicted_s * time_value_usd_per_hour / 3600
+              + provisioned_infrastructure_usd
+
+    ``workers=None`` lets each substrate plan its own optimal count
+    (they genuinely differ: the cache and relay tolerate far more
+    functions than object storage); a pinned count compares all three
+    at that count, the shape of benchmark S8.
+
+    The provisioned term is what object storage never pays: cache
+    node-seconds (for a cluster sized by
+    :func:`~repro.shuffle.cacheplanner.required_cache_nodes`) or relay
+    VM-seconds + boot volume (instance sized by
+    :func:`~repro.shuffle.relayplanner.required_relay_instance` unless
+    pinned), each over the predicted duration with the provider's
+    minimum billed window — the always-on economics the paper credits
+    object storage for avoiding.  Substrates assume warm (pre-
+    provisioned) infrastructure, as the experiments do.  A substrate
+    whose capacity cannot hold the shuffle (no fitting relay flavour)
+    is reported infeasible and never chosen.
+
+    ``time_value_usd_per_hour=0`` degenerates to pure cost minimization
+    (object storage always wins); large values buy latency with
+    provisioned hardware.
+    """
+    if logical_bytes <= 0:
+        raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
+    if time_value_usd_per_hour < 0:
+        raise ShuffleError(
+            f"time_value_usd_per_hour must be >= 0, got {time_value_usd_per_hour}"
+        )
+    if report is not None:
+        profile = fit_profile(profile, report)
+    time_value_per_s = time_value_usd_per_hour / 3600.0
+
+    estimates: list[SubstrateEstimate] = []
+
+    def add(substrate: str, workers_used: int, predicted_s: float,
+            provisioned_usd: float) -> None:
+        estimates.append(
+            SubstrateEstimate(
+                substrate=substrate,
+                workers=workers_used,
+                predicted_s=predicted_s,
+                provisioned_usd=provisioned_usd,
+                score_usd=predicted_s * time_value_per_s + provisioned_usd,
+                feasible=True,
+            )
+        )
+
+    def add_infeasible(substrate: str, detail: str) -> None:
+        estimates.append(
+            SubstrateEstimate(
+                substrate=substrate, workers=0, predicted_s=float("inf"),
+                provisioned_usd=float("inf"), score_usd=float("inf"),
+                feasible=False, detail=detail,
+            )
+        )
+
+    # --- object storage: pay-as-you-go, no provisioned term -----------
+    if workers is None:
+        plan = plan_shuffle(
+            logical_bytes, profile, ShuffleCostModel(), max_workers=max_workers
+        )
+        cos_workers, cos_s = plan.workers, plan.predicted_s
+    else:
+        point = predict_shuffle_time(
+            logical_bytes, workers, profile, ShuffleCostModel()
+        )
+        cos_workers, cos_s = workers, point.total_s
+    add("objectstore", cos_workers, cos_s, 0.0)
+
+    # --- cache cluster: node-seconds over the predicted duration ------
+    nodes = required_cache_nodes(logical_bytes, profile, cache_node_type)
+    node_type = profile.memstore.catalog[cache_node_type]
+    cache_cost = CacheShuffleCostModel()
+    if workers is None:
+        plan = plan_cache_shuffle(
+            logical_bytes, profile, cache_node_type, nodes, cache_cost,
+            max_workers=max_workers,
+        )
+        cache_workers, cache_s = plan.workers, plan.predicted_s
+    else:
+        point = predict_cache_shuffle_time(
+            logical_bytes, workers, profile, node_type, nodes, cache_cost
+        )
+        cache_workers, cache_s = workers, point.total_s
+    billed = max(cache_s, profile.memstore.minimum_billed_s)
+    add("cache", cache_workers, cache_s, nodes * node_type.per_second_usd * billed)
+
+    # --- VM relay: instance-seconds + volume, scale-up feasibility ----
+    if relay_instance_type is not None:
+        # An explicitly pinned flavour that does not exist is a caller
+        # configuration error, not infeasibility — surface it.
+        instance_type = resolve_relay_instance(profile, relay_instance_type)
+        relay_type_name: str | None = relay_instance_type
+        usable = relay_usable_bytes(profile, instance_type)
+        if logical_bytes > usable:
+            # A real flavour that cannot hold the shuffle is genuine
+            # infeasibility (RelayExchange.validate would reject it).
+            relay_type_name = None
+            add_infeasible(
+                "relay",
+                f"{logical_bytes:.0f} logical bytes exceed "
+                f"{instance_type.name}'s usable relay memory "
+                f"({usable:.0f} bytes) — the relay substrate is "
+                "scale-up only",
+            )
+    else:
+        try:
+            relay_type_name = required_relay_instance(logical_bytes, profile)
+            instance_type = resolve_relay_instance(profile, relay_type_name)
+        except ShuffleError as exc:
+            relay_type_name = None
+            add_infeasible("relay", str(exc))
+    if relay_type_name is not None:
+        relay_cost = RelayShuffleCostModel()
+        if workers is None:
+            plan = plan_relay_shuffle(
+                logical_bytes, profile, relay_type_name, relay_cost,
+                max_workers=max_workers,
+            )
+            relay_workers, relay_s = plan.workers, plan.predicted_s
+        else:
+            point = predict_relay_shuffle_time(
+                logical_bytes, workers, profile, instance_type, relay_cost
+            )
+            relay_workers, relay_s = workers, point.total_s
+        billed = max(relay_s, profile.vm.minimum_billed_s)
+        infra = billed * instance_type.per_second_usd + (
+            profile.vm.boot_volume_gb * (billed / 3600.0) * profile.vm.volume_gb_hour_usd
+        )
+        add("relay", relay_workers, relay_s, infra)
+
+    feasible = [estimate for estimate in estimates if estimate.feasible]
+    chosen = min(feasible, key=lambda estimate: estimate.score_usd)
+    return SubstrateDecision(chosen=chosen, estimates=tuple(estimates))

@@ -1,28 +1,27 @@
 """High-level cache-mediated shuffle/sort operator.
 
-:class:`CacheShuffleSort` mirrors :class:`~repro.shuffle.operator.ShuffleSort`
-but routes the all-to-all through a provisioned in-memory key-value
-cluster (the ElastiCache-style alternative the paper mentions).  Input
-splits are read from object storage and sorted runs are written back to
-it, so the operator is a drop-in replacement inside the pipelines: only
-the intermediate-data substrate changes.
+:class:`CacheShuffleSort` is the generic
+:class:`~repro.shuffle.operator.ShuffleSort` driving a
+:class:`CacheExchange`: the all-to-all rides a provisioned in-memory
+key-value cluster (the ElastiCache-style alternative the paper
+mentions).  Input splits are read from object storage and sorted runs
+are written back to it, so the operator is a drop-in replacement inside
+the pipelines: only the intermediate-data substrate changes.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import typing as t
 
 from repro.cloud.memstore.service import MemStoreCluster
+from repro.cloud.profiles import CloudProfile
 from repro.errors import ShuffleError
 from repro.shuffle.cacheplanner import CacheShuffleCostModel, plan_cache_shuffle
 from repro.shuffle.cachestages import cache_shuffle_mapper, cache_shuffle_reducer
-from repro.shuffle.operator import ShuffleResult, SortedRun, _sample_window_bytes, _split
+from repro.shuffle.exchange import ExchangeBackend
+from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import ShufflePlan
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.sampler import choose_boundaries
-from repro.shuffle.stages import shuffle_sampler
-from repro.sim import SimEvent
 from repro.storage import paths
 
 
@@ -39,7 +38,99 @@ class CacheShuffleReport:
     evictions: int
 
 
-class CacheShuffleSort:
+class CacheExchange(ExchangeBackend):
+    """Exchange partitions through a provisioned in-memory cache cluster."""
+
+    name = "cache"
+    process_label = "cacheshuffle"
+    default_out_prefix = "cache-shuffle"
+
+    def __init__(self, cluster: MemStoreCluster, cost: CacheShuffleCostModel | None = None):
+        self.cluster = cluster
+        self.cost = cost if cost is not None else CacheShuffleCostModel()
+        self._peak_fill = 0.0
+        self._stats_baseline: dict[str, float] = {}
+
+    def validate(self, logical_size: float) -> None:
+        self.cluster.ensure_running()
+        if logical_size > self.cluster.capacity_bytes:
+            raise ShuffleError(
+                f"shuffle data ({logical_size:.0f} logical bytes) exceeds "
+                f"cluster capacity ({self.cluster.capacity_bytes:.0f}); "
+                "provision more or larger cache nodes"
+            )
+        # The cluster may be reused across sorts (its lifecycle belongs
+        # to the caller); report per-sort deltas, not lifetime totals.
+        self._stats_baseline = self.cluster.stats_totals()
+
+    def plan(
+        self, logical_size: float, profile: CloudProfile, max_workers: int
+    ) -> ShufflePlan:
+        return plan_cache_shuffle(
+            logical_size,
+            profile,
+            self.cluster.node_type.name,
+            len(self.cluster.nodes),
+            self.cost,
+            max_workers=max_workers,
+        )
+
+    def mapper_stage(self):
+        return cache_shuffle_mapper
+
+    def reducer_stage(self):
+        return cache_shuffle_reducer
+
+    def mapper_task(
+        self, base: dict, mapper_id: int, out_bucket: str, out_prefix: str
+    ) -> dict:
+        base.update(
+            cluster_id=self.cluster.cluster_id,
+            cache_prefix=out_prefix,
+            mapper_id=mapper_id,
+        )
+        return base
+
+    def reducer_task(
+        self,
+        reducer_id: int,
+        workers: int,
+        map_tasks: list[dict],
+        map_results: list[dict],
+        out_bucket: str,
+        out_prefix: str,
+        codec: RecordCodec,
+    ) -> dict:
+        return {
+            "cluster_id": self.cluster.cluster_id,
+            "cache_prefix": out_prefix,
+            "reducer_id": reducer_id,
+            "mappers": workers,
+            "out_bucket": out_bucket,
+            "output_key": paths.shuffle_output_key(out_prefix, reducer_id),
+            "codec": codec,
+            "sort_throughput": self.cost.sort_throughput,
+            "cleanup": self.cost.cleanup,
+        }
+
+    def on_map_done(self, map_results: list[dict]) -> None:
+        self._peak_fill = max(node.fill_fraction for node in self.cluster.nodes)
+
+    def report(self) -> CacheShuffleReport:
+        totals = self.cluster.stats_totals()
+        baseline = self._stats_baseline
+        return CacheShuffleReport(
+            cluster_id=self.cluster.cluster_id,
+            nodes=len(self.cluster.nodes),
+            node_type=self.cluster.node_type.name,
+            peak_fill_fraction=self._peak_fill,
+            cache_sets=int(totals["sets"] - baseline.get("sets", 0)),
+            cache_gets=int(totals["gets"] - baseline.get("gets", 0)),
+            evictions=int(totals["evictions"] - baseline.get("evictions", 0)),
+        )
+
+
+class CacheShuffleSort(ShuffleSort):
     """Sort a storage object with W functions exchanging via a cache.
 
     Parameters
@@ -65,181 +156,5 @@ class CacheShuffleSort:
         cluster: MemStoreCluster,
         cost: CacheShuffleCostModel | None = None,
     ):
-        self.executor = executor
-        self.sim = executor.sim
-        self.codec = codec
+        super().__init__(executor, codec, backend=CacheExchange(cluster, cost))
         self.cluster = cluster
-        self.cost = cost if cost is not None else CacheShuffleCostModel()
-
-    # ------------------------------------------------------------------
-    def sort(
-        self,
-        bucket: str,
-        key: str,
-        out_bucket: str | None = None,
-        out_prefix: str = "cache-shuffle",
-        workers: int | None = None,
-        samplers: int = 8,
-        max_workers: int = 256,
-    ) -> SimEvent:
-        """Sort ``bucket/key``; event → :class:`ShuffleResult`.
-
-        With ``workers=None`` the cache-shuffle planner picks the count.
-        The report attached to the result (``result.planned``) is the
-        planner curve when planning ran, else ``None``.
-        """
-        return self.sim.process(
-            self._sort(
-                bucket,
-                key,
-                out_bucket if out_bucket is not None else bucket,
-                out_prefix,
-                workers,
-                samplers,
-                max_workers,
-            ),
-            name=f"cacheshuffle.sort:{key}",
-        ).completion
-
-    # ------------------------------------------------------------------
-    def _sort(
-        self,
-        bucket: str,
-        key: str,
-        out_bucket: str,
-        out_prefix: str,
-        pinned_workers: int | None,
-        samplers: int,
-        max_workers: int,
-    ) -> t.Generator:
-        started_at = self.sim.now
-        self.cluster.ensure_running()
-        meta = yield self.executor.storage.head_object(bucket, key)
-        real_size = meta.size
-        logical_size = meta.logical_size
-        if real_size == 0:
-            raise ShuffleError(f"cannot shuffle empty object {bucket}/{key}")
-        if logical_size > self.cluster.capacity_bytes:
-            raise ShuffleError(
-                f"shuffle data ({logical_size:.0f} logical bytes) exceeds "
-                f"cluster capacity ({self.cluster.capacity_bytes:.0f}); "
-                "provision more or larger cache nodes"
-            )
-
-        # --- plan ------------------------------------------------------
-        plan: ShufflePlan | None = None
-        if pinned_workers is not None:
-            workers = pinned_workers
-        else:
-            plan = plan_cache_shuffle(
-                logical_size,
-                self.executor.cloud.profile,
-                self.cluster.node_type.name,
-                len(self.cluster.nodes),
-                self.cost,
-                max_workers=max_workers,
-            )
-            workers = plan.workers
-        if workers < 1:
-            raise ShuffleError(f"workers must be >= 1, got {workers}")
-
-        # --- sample (identical to the COS shuffle) -----------------------
-        sampler_count = max(1, min(samplers, workers))
-        sample_splits = _split(real_size, sampler_count)
-        window = _sample_window_bytes(real_size, sampler_count, self.cost.sample_bytes)
-        sample_tasks = [
-            {
-                "bucket": bucket,
-                "key": key,
-                "start": start,
-                "end": end,
-                "object_size": real_size,
-                "sample_bytes": window,
-                "sample_keys": self.cost.sample_keys,
-                "codec": self.codec,
-                "sampler_id": index,
-            }
-            for index, (start, end) in enumerate(sample_splits)
-        ]
-        sample_futures = yield self.executor.map(shuffle_sampler, sample_tasks)
-        sample_results = yield self.executor.get_result(sample_futures)
-        pooled_keys = [k for result in sample_results for k in result["keys"]]
-        if not pooled_keys:
-            raise ShuffleError(f"sampling found no records in {bucket}/{key}")
-        boundaries = choose_boundaries(pooled_keys, workers)
-
-        # --- map: partitions into the cache ------------------------------
-        map_splits = _split(real_size, workers)
-        map_tasks = [
-            {
-                "bucket": bucket,
-                "key": key,
-                "start": start,
-                "end": end,
-                "object_size": real_size,
-                "peek_bytes": self.cost.peek_bytes,
-                "boundaries": boundaries,
-                "codec": self.codec,
-                "cluster_id": self.cluster.cluster_id,
-                "cache_prefix": out_prefix,
-                "mapper_id": mapper_id,
-                "partition_throughput": self.cost.partition_throughput,
-            }
-            for mapper_id, (start, end) in enumerate(map_splits)
-        ]
-        map_futures = yield self.executor.map(cache_shuffle_mapper, map_tasks)
-        map_results = yield self.executor.get_result(map_futures)
-        peak_fill = max(node.fill_fraction for node in self.cluster.nodes)
-
-        # --- reduce: MGET from the cache, runs to object storage ---------
-        reduce_tasks = [
-            {
-                "cluster_id": self.cluster.cluster_id,
-                "cache_prefix": out_prefix,
-                "reducer_id": reducer_id,
-                "mappers": workers,
-                "out_bucket": out_bucket,
-                "output_key": paths.shuffle_output_key(out_prefix, reducer_id),
-                "codec": self.codec,
-                "sort_throughput": self.cost.sort_throughput,
-                "cleanup": self.cost.cleanup,
-            }
-            for reducer_id in range(workers)
-        ]
-        reduce_futures = yield self.executor.map(cache_shuffle_reducer, reduce_tasks)
-        reduce_results = yield self.executor.get_result(reduce_futures)
-
-        runs = tuple(
-            SortedRun(
-                bucket=out_bucket,
-                key=result["output_key"],
-                records=result["records"],
-                size_bytes=result["bytes"],
-            )
-            for result in reduce_results
-        )
-        total_records = sum(run.records for run in runs)
-        mapped_records = sum(result["records"] for result in map_results)
-        if total_records != mapped_records:
-            raise ShuffleError(
-                f"shuffle lost records: mapped {mapped_records}, "
-                f"reduced {total_records}"
-            )
-        totals = self.cluster.stats_totals()
-        self.report = CacheShuffleReport(
-            cluster_id=self.cluster.cluster_id,
-            nodes=len(self.cluster.nodes),
-            node_type=self.cluster.node_type.name,
-            peak_fill_fraction=peak_fill,
-            cache_sets=int(totals["sets"]),
-            cache_gets=int(totals["gets"]),
-            evictions=int(totals["evictions"]),
-        )
-        return ShuffleResult(
-            runs=runs,
-            workers=workers,
-            planned=plan,
-            boundaries=tuple(boundaries),
-            total_records=total_records,
-            duration_s=self.sim.now - started_at,
-        )

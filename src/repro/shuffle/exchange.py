@@ -1,0 +1,169 @@
+"""The unified exchange-substrate interface of the shuffle operator.
+
+The paper's headline comparison is *where the all-to-all happens*:
+object storage, an in-memory cache cluster, or a VM relay.  Everything
+else about the shuffle — sampling, range partitioning, the map/reduce
+orchestration, the sorted-run artifact — is substrate-independent, so
+the generic :class:`~repro.shuffle.operator.ShuffleSort` drives one
+:class:`ExchangeBackend` and the substrates differ only in:
+
+* **feasibility** (:meth:`ExchangeBackend.validate`) — provisioned
+  substrates have finite memory; object storage does not;
+* **planning** (:meth:`ExchangeBackend.plan`) — each substrate has its
+  own analytic cost model picking the worker count;
+* **worker stages and task payloads** — how a mapper publishes its
+  partitions and how a reducer collects its range;
+* **reporting** (:meth:`ExchangeBackend.report`) — substrate-specific
+  execution metadata (cache fill, relay backpressure, ...).
+
+Backends: :class:`ObjectStoreExchange` (here),
+:class:`~repro.shuffle.cacheoperator.CacheExchange` and
+:class:`~repro.shuffle.relay.RelayExchange`.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as t
+
+from repro.cloud.profiles import CloudProfile
+from repro.shuffle.planner import ShuffleCostModel, ShufflePlan, plan_shuffle
+from repro.shuffle.records import RecordCodec
+from repro.shuffle.stages import shuffle_mapper, shuffle_reducer
+from repro.storage import paths
+
+
+class ExchangeBackend(abc.ABC):
+    """One intermediate-data substrate, as seen by the shuffle operator.
+
+    The operator calls ``validate`` → ``plan`` → ``mapper_task``\\* →
+    ``on_map_done`` → ``reducer_task``\\* → ``report`` over each sort; a
+    backend may serve several sequential sorts (a reused operator), so
+    per-sort bookkeeping (stat baselines, peaks) belongs in
+    ``validate``.  The ``cost`` attribute must expose the shared
+    workload constants (``peek_bytes``, ``sample_bytes``,
+    ``sample_keys``, ``partition_throughput``, ``sort_throughput``).
+    """
+
+    #: Substrate name as it appears in sweeps and reports.
+    name: t.ClassVar[str]
+    #: Prefix of the operator's simulation process names.
+    process_label: t.ClassVar[str]
+    #: Default output prefix of :meth:`ShuffleSort.sort`.
+    default_out_prefix: t.ClassVar[str]
+
+    cost: t.Any
+
+    def validate(self, logical_size: float) -> None:
+        """Raise :class:`~repro.errors.ShuffleError` when the shuffle
+        cannot fit this substrate; no-op by default."""
+
+    @abc.abstractmethod
+    def plan(
+        self, logical_size: float, profile: CloudProfile, max_workers: int
+    ) -> ShufflePlan:
+        """Pick the worker count with this substrate's cost model."""
+
+    @abc.abstractmethod
+    def mapper_stage(self) -> t.Callable:
+        """The sim-aware generator function run by every mapper."""
+
+    @abc.abstractmethod
+    def reducer_stage(self) -> t.Callable:
+        """The sim-aware generator function run by every reducer."""
+
+    @abc.abstractmethod
+    def mapper_task(
+        self, base: dict, mapper_id: int, out_bucket: str, out_prefix: str
+    ) -> dict:
+        """Complete one mapper payload from the substrate-neutral base."""
+
+    @abc.abstractmethod
+    def reducer_task(
+        self,
+        reducer_id: int,
+        workers: int,
+        map_tasks: list[dict],
+        map_results: list[dict],
+        out_bucket: str,
+        out_prefix: str,
+        codec: RecordCodec,
+    ) -> dict:
+        """Build one reducer payload (may consult the map results)."""
+
+    def on_map_done(self, map_results: list[dict]) -> None:
+        """Hook between the map and reduce waves (e.g. record peak fill)."""
+
+    def report(self) -> t.Any:
+        """Substrate-specific execution metadata, or ``None``."""
+        return None
+
+
+class ObjectStoreExchange(ExchangeBackend):
+    """The paper's serverless default: all-to-all through object storage.
+
+    Mappers write (write-combined) partition objects, reducers range-GET
+    their segments — pay-as-you-go requests, no provisioned capacity,
+    but per-request latency and the account ops/s ceiling at high worker
+    counts.
+    """
+
+    name = "objectstore"
+    process_label = "shuffle"
+    default_out_prefix = "shuffle-out"
+
+    def __init__(self, cost: ShuffleCostModel | None = None):
+        self.cost = cost if cost is not None else ShuffleCostModel()
+
+    def plan(
+        self, logical_size: float, profile: CloudProfile, max_workers: int
+    ) -> ShufflePlan:
+        return plan_shuffle(logical_size, profile, self.cost, max_workers=max_workers)
+
+    def mapper_stage(self) -> t.Callable:
+        return shuffle_mapper
+
+    def reducer_stage(self) -> t.Callable:
+        return shuffle_reducer
+
+    def mapper_task(
+        self, base: dict, mapper_id: int, out_bucket: str, out_prefix: str
+    ) -> dict:
+        base.update(
+            out_bucket=out_bucket,
+            out_key=paths.shuffle_map_output_key(out_prefix, mapper_id),
+            write_combining=self.cost.write_combining,
+        )
+        return base
+
+    def reducer_task(
+        self,
+        reducer_id: int,
+        workers: int,
+        map_tasks: list[dict],
+        map_results: list[dict],
+        out_bucket: str,
+        out_prefix: str,
+        codec: RecordCodec,
+    ) -> dict:
+        if self.cost.write_combining:
+            segments = [
+                (
+                    map_tasks[mapper_id]["out_key"],
+                    *map_results[mapper_id]["offsets"][reducer_id],
+                )
+                for mapper_id in range(workers)
+            ]
+        else:
+            segments = [
+                (map_results[mapper_id]["partition_keys"][reducer_id], None, None)
+                for mapper_id in range(workers)
+            ]
+        return {
+            "out_bucket": out_bucket,
+            "segments": segments,
+            "output_key": paths.shuffle_output_key(out_prefix, reducer_id),
+            "codec": codec,
+            "sort_throughput": self.cost.sort_throughput,
+            "fetch_parallelism": self.cost.fetch_parallelism,
+        }

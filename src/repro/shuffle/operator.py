@@ -2,21 +2,25 @@
 
 :class:`ShuffleSort` sorts one big object-storage object into ``W``
 range-partitioned sorted runs whose concatenation (in partition order)
-is globally sorted.  All intermediate data flows through object storage;
-there is no function-to-function communication, exactly as in the paper.
+is globally sorted.  Where the intermediate data flows is delegated to
+an :class:`~repro.shuffle.exchange.ExchangeBackend` — by default the
+paper's object-storage substrate (no function-to-function
+communication); the cache and VM-relay substrates plug into the same
+orchestration (see :mod:`repro.shuffle.cacheoperator` and
+:mod:`repro.shuffle.relay`).
 
 Phases (each an executor map job, sharing warm containers):
 
 1. **sample** — a handful of samplers read small windows and pool record
    keys; the driver picks range boundaries;
 2. **map** — ``W`` mappers read record-aligned splits, partition by
-   range, and write one combined object each (write-combining);
-3. **reduce** — ``W`` reducers range-GET their segment from every mapper
-   output, sort, and write one run each.
+   range, and publish their partitions through the exchange substrate;
+3. **reduce** — ``W`` reducers collect their range from every mapper,
+   sort, and write one run each to object storage.
 
-The worker count is chosen by the analytic planner
-(:func:`~repro.shuffle.planner.plan_shuffle`) unless pinned by the
-caller — this is Primula's "optimal number of functions on the fly".
+The worker count is chosen by the substrate's analytic planner unless
+pinned by the caller — this is Primula's "optimal number of functions
+on the fly".
 """
 
 from __future__ import annotations
@@ -25,12 +29,12 @@ import dataclasses
 import typing as t
 
 from repro.errors import ShuffleError
-from repro.shuffle.planner import ShuffleCostModel, ShufflePlan, plan_shuffle
+from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
+from repro.shuffle.planner import ShuffleCostModel, ShufflePlan
 from repro.shuffle.records import RecordCodec
 from repro.shuffle.sampler import choose_boundaries
-from repro.shuffle.stages import shuffle_mapper, shuffle_reducer, shuffle_sampler
+from repro.shuffle.stages import shuffle_sampler
 from repro.sim import SimEvent
-from repro.storage import paths
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -60,7 +64,7 @@ class ShuffleResult:
 
 
 class ShuffleSort:
-    """Sort a storage object through object storage with W functions.
+    """Sort a storage object with W functions over one exchange substrate.
 
     Parameters
     ----------
@@ -70,7 +74,13 @@ class ShuffleSort:
     codec:
         Record format of the input object.
     cost:
-        Cost-model constants; also control sampling and fetch batching.
+        Cost-model constants for the default object-storage substrate;
+        also control sampling and fetch batching.  Mutually exclusive
+        with ``backend`` (a backend carries its own cost model).
+    backend:
+        The :class:`~repro.shuffle.exchange.ExchangeBackend` carrying
+        the intermediate data; defaults to the paper's object-storage
+        substrate.
     """
 
     def __init__(
@@ -78,11 +88,21 @@ class ShuffleSort:
         executor,
         codec: RecordCodec,
         cost: ShuffleCostModel | None = None,
+        backend: ExchangeBackend | None = None,
     ):
+        if cost is not None and backend is not None:
+            raise ShuffleError(
+                "pass either cost or backend, not both: a backend carries "
+                "its own cost model and the cost argument would be ignored"
+            )
         self.executor = executor
         self.sim = executor.sim
         self.codec = codec
-        self.cost = cost if cost is not None else ShuffleCostModel()
+        self.backend = backend if backend is not None else ObjectStoreExchange(cost)
+        self.cost = self.backend.cost
+        #: Substrate-specific execution metadata of the last sort
+        #: (``None`` for the object-storage substrate).
+        self.report = None
 
     # ------------------------------------------------------------------
     def sort(
@@ -90,7 +110,7 @@ class ShuffleSort:
         bucket: str,
         key: str,
         out_bucket: str | None = None,
-        out_prefix: str = "shuffle-out",
+        out_prefix: str | None = None,
         workers: int | None = None,
         samplers: int = 8,
         max_workers: int = 256,
@@ -101,12 +121,12 @@ class ShuffleSort:
                 bucket,
                 key,
                 out_bucket if out_bucket is not None else bucket,
-                out_prefix,
+                out_prefix if out_prefix is not None else self.backend.default_out_prefix,
                 workers,
                 samplers,
                 max_workers,
             ),
-            name=f"shuffle.sort:{key}",
+            name=f"{self.backend.process_label}.sort:{key}",
         ).completion
 
     # ------------------------------------------------------------------
@@ -126,17 +146,15 @@ class ShuffleSort:
         logical_size = meta.logical_size
         if real_size == 0:
             raise ShuffleError(f"cannot shuffle empty object {bucket}/{key}")
+        self.backend.validate(logical_size)
 
         # --- plan ------------------------------------------------------
         plan: ShufflePlan | None = None
         if pinned_workers is not None:
             workers = pinned_workers
         else:
-            plan = plan_shuffle(
-                logical_size,
-                self.executor.cloud.profile,
-                self.cost,
-                max_workers=max_workers,
+            plan = self.backend.plan(
+                logical_size, self.executor.cloud.profile, max_workers
             )
             workers = plan.workers
         if workers < 1:
@@ -170,52 +188,44 @@ class ShuffleSort:
         # --- map ---------------------------------------------------------
         map_splits = _split(real_size, workers)
         map_tasks = [
-            {
-                "bucket": bucket,
-                "key": key,
-                "start": start,
-                "end": end,
-                "object_size": real_size,
-                "peek_bytes": self.cost.peek_bytes,
-                "boundaries": boundaries,
-                "codec": self.codec,
-                "out_bucket": out_bucket,
-                "out_key": paths.shuffle_map_output_key(out_prefix, mapper_id),
-                "partition_throughput": self.cost.partition_throughput,
-                "write_combining": self.cost.write_combining,
-            }
+            self.backend.mapper_task(
+                {
+                    "bucket": bucket,
+                    "key": key,
+                    "start": start,
+                    "end": end,
+                    "object_size": real_size,
+                    "peek_bytes": self.cost.peek_bytes,
+                    "boundaries": boundaries,
+                    "codec": self.codec,
+                    "partition_throughput": self.cost.partition_throughput,
+                },
+                mapper_id,
+                out_bucket,
+                out_prefix,
+            )
             for mapper_id, (start, end) in enumerate(map_splits)
         ]
-        map_futures = yield self.executor.map(shuffle_mapper, map_tasks)
+        map_futures = yield self.executor.map(self.backend.mapper_stage(), map_tasks)
         map_results = yield self.executor.get_result(map_futures)
+        self.backend.on_map_done(map_results)
 
         # --- reduce --------------------------------------------------------
-        reduce_tasks = []
-        for reducer_id in range(workers):
-            if self.cost.write_combining:
-                segments = [
-                    (
-                        map_tasks[mapper_id]["out_key"],
-                        *map_results[mapper_id]["offsets"][reducer_id],
-                    )
-                    for mapper_id in range(workers)
-                ]
-            else:
-                segments = [
-                    (map_results[mapper_id]["partition_keys"][reducer_id], None, None)
-                    for mapper_id in range(workers)
-                ]
-            reduce_tasks.append(
-                {
-                    "out_bucket": out_bucket,
-                    "segments": segments,
-                    "output_key": paths.shuffle_output_key(out_prefix, reducer_id),
-                    "codec": self.codec,
-                    "sort_throughput": self.cost.sort_throughput,
-                    "fetch_parallelism": self.cost.fetch_parallelism,
-                }
+        reduce_tasks = [
+            self.backend.reducer_task(
+                reducer_id,
+                workers,
+                map_tasks,
+                map_results,
+                out_bucket,
+                out_prefix,
+                self.codec,
             )
-        reduce_futures = yield self.executor.map(shuffle_reducer, reduce_tasks)
+            for reducer_id in range(workers)
+        ]
+        reduce_futures = yield self.executor.map(
+            self.backend.reducer_stage(), reduce_tasks
+        )
         reduce_results = yield self.executor.get_result(reduce_futures)
 
         runs = tuple(
@@ -234,6 +244,7 @@ class ShuffleSort:
                 f"shuffle lost records: mapped {mapped_records}, "
                 f"reduced {total_records}"
             )
+        self.report = self.backend.report()
         return ShuffleResult(
             runs=runs,
             workers=workers,

@@ -1,0 +1,247 @@
+"""Worker stages and operator for the VM-relay shuffle.
+
+The third incarnation of the exchange: mappers PUSH their partitions to
+an in-memory rendezvous hosted on one provisioned VM
+(:class:`~repro.cloud.vm.relay.PartitionRelay`), reducers PULL their
+range; the relay is per-run scratch, reclaimed when its VM terminates
+(reducer-side deletion is an opt-in, ``consume``, for crash-free runs).  Sampling and the sorted-run artifact are identical
+to the other substrates; what this one trades is the cache's scale-out
+aggregate for a single fat NIC, and object storage's pay-as-you-go
+requests for Table 1's provisioned-VM economics (boot latency +
+per-second billing).
+
+Task payloads carry the *relay id*; workers resolve it through their
+:meth:`~repro.cloud.faas.context.FunctionContext.relay` accessor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.cloud.profiles import CloudProfile
+from repro.cloud.vm.relay import PartitionRelay
+from repro.errors import ShuffleError
+from repro.shuffle.exchange import ExchangeBackend
+from repro.shuffle.operator import ShuffleSort
+from repro.shuffle.planner import ShufflePlan
+from repro.shuffle.records import RecordCodec
+from repro.shuffle.relayplanner import RelayShuffleCostModel, plan_relay_shuffle
+from repro.shuffle.sampler import partition_index
+from repro.storage import paths
+
+
+def relay_partition_key(prefix: str, mapper_id: int, reducer_id: int) -> str:
+    """Relay key of mapper ``mapper_id``'s segment for reducer ``reducer_id``."""
+    return f"{prefix}/m{mapper_id:05d}.r{reducer_id:05d}"
+
+
+def relay_shuffle_mapper(ctx, task: dict) -> t.Generator:
+    """Partition one record-aligned split and PUSH it to the relay.
+
+    Task fields: ``bucket, key, start, end, object_size, peek_bytes,
+    boundaries, codec, relay_id, relay_prefix, mapper_id,
+    partition_throughput``.
+    """
+    codec: RecordCodec = task["codec"]
+    start, end = task["start"], task["end"]
+    object_size = task["object_size"]
+    window_end = min(object_size, end + task["peek_bytes"])
+    raw = yield ctx.storage.get_range(task["bucket"], task["key"], start, window_end)
+    base, tail = raw[: end - start], raw[end - start :]
+    owned = codec.extract_split(
+        base,
+        tail,
+        is_first=(start == 0),
+        at_end=(end >= object_size),
+        global_start=start,
+    )
+
+    boundaries = task["boundaries"]
+    partitions: list[list[bytes]] = [[] for _ in range(len(boundaries) + 1)]
+    records = codec.split(owned)
+    for record in records:
+        partitions[partition_index(codec.key(record), boundaries)].append(record)
+    yield ctx.compute_bytes(len(owned), task["partition_throughput"])
+
+    client = ctx.relay(task["relay_id"])
+    mapper_id = task["mapper_id"]
+    items = [
+        (
+            relay_partition_key(task["relay_prefix"], mapper_id, reducer_id),
+            codec.join(bucket_records),
+        )
+        for reducer_id, bucket_records in enumerate(partitions)
+    ]
+    yield client.mpush(items)
+    return {
+        "records": len(records),
+        "bytes": sum(len(data) for _key, data in items),
+        "partition_sizes": [len(data) for _key, data in items],
+    }
+
+
+def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
+    """PULL one partition from every mapper via the relay, sort, write.
+
+    Task fields: ``relay_id, relay_prefix, reducer_id, mappers,
+    out_bucket, output_key, codec, sort_throughput, consume``.
+
+    With ``consume`` the reducer deletes its relay partitions after its
+    sorted run is written.  Note this is still not crash-safe: an
+    attempt killed *after* the delete is re-invoked by the executor and
+    finds its partitions gone, so ``consume`` is an opt-in for
+    crash-free runs (exactly like the cache reducer's ``cleanup``).
+    """
+    codec: RecordCodec = task["codec"]
+    client = ctx.relay(task["relay_id"])
+    reducer_id = task["reducer_id"]
+    keys = [
+        relay_partition_key(task["relay_prefix"], mapper_id, reducer_id)
+        for mapper_id in range(task["mappers"])
+    ]
+    segments = yield client.mpull(keys)
+
+    buffer = b"".join(segments)
+    records = codec.split(buffer)
+    yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
+    records.sort(key=codec.key)
+    output = codec.join(records)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    if task.get("consume", False):
+        yield client.mdelete(keys)
+    return {
+        "records": len(records),
+        "bytes": len(output),
+        "output_key": task["output_key"],
+    }
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RelayShuffleReport:
+    """Extra execution metadata specific to the relay substrate."""
+
+    relay_id: str
+    instance_type: str
+    peak_fill_fraction: float
+    pushes: int
+    pulls: int
+    backpressure_waits: int
+
+
+class RelayExchange(ExchangeBackend):
+    """Exchange partitions through a VM-hosted in-memory relay."""
+
+    name = "relay"
+    process_label = "relayshuffle"
+    default_out_prefix = "relay-shuffle"
+
+    def __init__(self, relay: PartitionRelay, cost: RelayShuffleCostModel | None = None):
+        self.relay = relay
+        self.cost = cost if cost is not None else RelayShuffleCostModel()
+        self._stats_baseline: dict[str, float] = {}
+
+    def validate(self, logical_size: float) -> None:
+        self.relay.ensure_running()
+        if logical_size > self.relay.capacity_bytes:
+            raise ShuffleError(
+                f"shuffle data ({logical_size:.0f} logical bytes) exceeds "
+                f"relay capacity ({self.relay.capacity_bytes:.0f}); "
+                "provision a larger instance — the relay is scale-up only"
+            )
+        # The relay may be reused across sorts (its lifecycle belongs to
+        # the caller); report per-sort deltas, not lifetime totals.
+        self._stats_baseline = self.relay.stats.as_dict()
+        self.relay.reset_peak()
+
+    def plan(
+        self, logical_size: float, profile: CloudProfile, max_workers: int
+    ) -> ShufflePlan:
+        return plan_relay_shuffle(
+            logical_size,
+            profile,
+            self.relay.vm.instance_type.name,
+            self.cost,
+            max_workers=max_workers,
+        )
+
+    def mapper_stage(self):
+        return relay_shuffle_mapper
+
+    def reducer_stage(self):
+        return relay_shuffle_reducer
+
+    def mapper_task(
+        self, base: dict, mapper_id: int, out_bucket: str, out_prefix: str
+    ) -> dict:
+        base.update(
+            relay_id=self.relay.relay_id,
+            relay_prefix=out_prefix,
+            mapper_id=mapper_id,
+        )
+        return base
+
+    def reducer_task(
+        self,
+        reducer_id: int,
+        workers: int,
+        map_tasks: list[dict],
+        map_results: list[dict],
+        out_bucket: str,
+        out_prefix: str,
+        codec: RecordCodec,
+    ) -> dict:
+        return {
+            "relay_id": self.relay.relay_id,
+            "relay_prefix": out_prefix,
+            "reducer_id": reducer_id,
+            "mappers": workers,
+            "out_bucket": out_bucket,
+            "output_key": paths.shuffle_output_key(out_prefix, reducer_id),
+            "codec": codec,
+            "sort_throughput": self.cost.sort_throughput,
+            "consume": self.cost.consume,
+        }
+
+    def report(self) -> RelayShuffleReport:
+        baseline = self._stats_baseline
+        totals = self.relay.stats.as_dict()
+        return RelayShuffleReport(
+            relay_id=self.relay.relay_id,
+            instance_type=self.relay.vm.instance_type.name,
+            peak_fill_fraction=self.relay.peak_fill_fraction,
+            pushes=int(totals["pushes"] - baseline.get("pushes", 0)),
+            pulls=int(totals["pulls"] - baseline.get("pulls", 0)),
+            backpressure_waits=int(
+                totals["backpressure_waits"] - baseline.get("backpressure_waits", 0)
+            ),
+        )
+
+
+class RelayShuffleSort(ShuffleSort):
+    """Sort a storage object with W functions exchanging via a VM relay.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.executor.FunctionExecutor`.
+    codec:
+        Record format of the input object.
+    relay:
+        A *running* :class:`~repro.cloud.vm.relay.PartitionRelay`.
+        Lifecycle (provision/terminate) belongs to the caller, exactly
+        as with the cache cluster: whether its VM-seconds are billed per
+        run or amortized is an experiment decision.
+    cost:
+        Cost-model constants; also control sampling and consumption.
+    """
+
+    def __init__(
+        self,
+        executor,
+        codec: RecordCodec,
+        relay: PartitionRelay,
+        cost: RelayShuffleCostModel | None = None,
+    ):
+        super().__init__(executor, codec, backend=RelayExchange(relay, cost))
+        self.relay = relay

@@ -1,0 +1,207 @@
+"""Analytic model of the VM-relay shuffle.
+
+Counterpart of :mod:`repro.shuffle.planner` (object storage) and
+:mod:`repro.shuffle.cacheplanner` (cache cluster) for the third
+data-exchange strategy: intermediate partitions rendezvous in the
+memory of one provisioned VM.  The input split read and the final
+sorted-run write still go through object storage, so those terms are
+shared with the other models.
+
+What changes is the all-to-all itself:
+
+* request latency is a single in-VPC round trip, *batched* — a mapper's
+  MPUSH and a reducer's MPULL pay one latency for their whole batch
+  (one server, one connection), even cheaper than the cache's
+  one-per-node-touched;
+* the ops/s ceiling of a single-purpose in-memory server is far above
+  the object-storage account's, so the W² request floor nearly
+  vanishes;
+* bandwidth is bounded by **one instance NIC** crossed twice (every
+  byte goes in on the map wave and out on the reduce wave) — the
+  scale-up ceiling that distinguishes the relay from the cache's
+  scale-out aggregate;
+* capacity is one instance's memory: a hard feasibility constraint
+  (:func:`required_relay_instance` picks the smallest flavour that
+  fits).
+
+The model therefore predicts the flattest right flank of the three at
+high worker counts, but the earliest bandwidth ceiling and — in cold
+mode — the Table 1 provisioning penalty up front.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.cloud.profiles import CloudProfile, InstanceType
+from repro.errors import ShuffleError
+from repro.shuffle.planner import PlanPoint, ShufflePlan
+
+
+@dataclasses.dataclass(slots=True)
+class RelayShuffleCostModel:
+    """Workload-side constants of the relay-shuffle cost model."""
+
+    #: Full-core throughput of the partitioning pass (bytes/s).
+    partition_throughput: float = 180e6
+    #: Full-core throughput of the reduce-side sort (bytes/s).
+    sort_throughput: float = 90e6
+    #: Peek window appended to splits for record alignment (bytes).
+    peek_bytes: int = 64 * 1024
+    #: Bytes each sampler reads for boundary estimation.
+    sample_bytes: int = 256 * 1024
+    #: Number of key samples kept per sampler.
+    sample_keys: int = 512
+    #: Reducers delete their partitions after writing their sorted run,
+    #: freeing relay memory as the reduce wave drains.  Off by default
+    #: (mirroring the cache substrate's ``cleanup``): a reducer that
+    #: crashes *after* its delete is re-invoked by the executor and
+    #: finds its partitions gone, so only crash-free runs should opt in.
+    #: The relay is per-run scratch — terminating it reclaims everything.
+    consume: bool = False
+    #: Charge the VM boot latency into the plan (cold relay).  Warm
+    #: (pre-provisioned) relays leave it out, like the cache planner.
+    include_boot: bool = False
+
+
+def predict_relay_shuffle_time(
+    logical_bytes: float,
+    workers: int,
+    profile: CloudProfile,
+    instance_type: InstanceType,
+    cost: RelayShuffleCostModel,
+) -> PlanPoint:
+    """Evaluate the relay-shuffle analytic model at one worker count."""
+    if workers < 1:
+        raise ShuffleError(f"workers must be >= 1, got {workers}")
+    size = float(logical_bytes)
+    store = profile.objectstore
+    faas = profile.faas
+    vm = profile.vm
+    per_worker = size / workers
+    instance_bw = min(faas.instance_bandwidth, store.per_connection_bandwidth)
+    relay_conn_bw = min(faas.instance_bandwidth, instance_type.nic_bandwidth)
+    relay_nic = instance_type.nic_bandwidth
+
+    startup = faas.invoke_overhead.mean + faas.cold_start.mean
+    if cost.include_boot:
+        startup += vm.boot.mean
+
+    # Input split still comes from object storage.
+    map_read = (
+        max(per_worker / instance_bw, size / store.aggregate_bandwidth)
+        + store.read_latency.mean
+    )
+    partition_cpu = per_worker / cost.partition_throughput
+
+    # All-to-all through the relay: one MPUSH per mapper, one MPULL per
+    # reducer (one request latency each); every byte crosses the single
+    # instance NIC once per wave.
+    relay_transfer = max(per_worker / relay_conn_bw, size / relay_nic)
+    request = vm.relay_request_latency.mean
+    ops_floor = (workers * workers) / vm.relay_ops_per_second
+    map_write = max(request + relay_transfer, ops_floor)
+    reduce_fetch = max(request + relay_transfer, ops_floor)
+
+    sort_cpu = per_worker / cost.sort_throughput
+    # Sorted runs land back in object storage for the encode stage.
+    reduce_write = (
+        max(per_worker / instance_bw, size / store.aggregate_bandwidth)
+        + store.write_latency.mean
+    )
+    driver = 3.0 * workers * (store.write_latency.mean + store.read_latency.mean)
+
+    breakdown = {
+        "startup": startup,
+        "map_read": map_read,
+        "partition_cpu": partition_cpu,
+        "map_write": map_write,
+        "reduce_fetch": reduce_fetch,
+        "sort_cpu": sort_cpu,
+        "reduce_write": reduce_write,
+        "driver": driver,
+    }
+    return PlanPoint(workers, sum(breakdown.values()), dict(breakdown))
+
+
+def resolve_relay_instance(profile: CloudProfile, type_name: str) -> InstanceType:
+    """Look up a relay VM flavour, raising a helpful error when unknown."""
+    try:
+        return profile.vm.catalog[type_name]
+    except KeyError:
+        raise ShuffleError(
+            f"unknown relay instance type {type_name!r}; available: "
+            f"{sorted(profile.vm.catalog)}"
+        ) from None
+
+
+def relay_usable_bytes(profile: CloudProfile, instance_type: InstanceType) -> float:
+    """Logical bytes of partitions a relay on this flavour can hold.
+
+    Delegates to :meth:`~repro.cloud.profiles.VmProfile.relay_usable_bytes`
+    so planner feasibility and runtime capacity share one formula.
+    """
+    return profile.vm.relay_usable_bytes(instance_type)
+
+
+def plan_relay_shuffle(
+    logical_bytes: float,
+    profile: CloudProfile,
+    instance_type_name: str,
+    cost: RelayShuffleCostModel | None = None,
+    max_workers: int = 256,
+    candidates: t.Sequence[int] | None = None,
+) -> ShufflePlan:
+    """Pick the worker count minimizing predicted relay-shuffle time."""
+    if logical_bytes <= 0:
+        raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
+    cost = cost if cost is not None else RelayShuffleCostModel()
+    instance_type = resolve_relay_instance(profile, instance_type_name)
+    pool = (
+        list(candidates) if candidates is not None else list(range(1, max_workers + 1))
+    )
+    if not pool:
+        raise ShuffleError("empty candidate worker set")
+    curve = tuple(
+        predict_relay_shuffle_time(logical_bytes, workers, profile, instance_type, cost)
+        for workers in sorted(set(pool))
+    )
+    best = min(curve, key=lambda point: (point.total_s, point.workers))
+    return ShufflePlan(workers=best.workers, predicted_s=best.total_s, curve=curve)
+
+
+def required_relay_instance(
+    logical_bytes: float,
+    profile: CloudProfile,
+    headroom: float = 1.3,
+) -> str:
+    """Smallest catalog instance whose usable memory holds the shuffle data.
+
+    ``headroom`` leaves slack for partition imbalance.  The relay is
+    scale-up: when even the fattest flavour cannot hold the dataset the
+    substrate is infeasible and this raises — the qualitative limit the
+    comparison reports (the cache scales out, object storage is
+    unbounded).
+    """
+    if logical_bytes <= 0:
+        raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
+    if headroom < 1.0:
+        raise ShuffleError(f"headroom must be >= 1, got {headroom}")
+    needed = logical_bytes * headroom
+    fitting = [
+        instance
+        for instance in profile.vm.catalog.values()
+        if relay_usable_bytes(profile, instance) >= needed
+    ]
+    if not fitting:
+        largest = max(
+            profile.vm.catalog.values(), key=lambda instance: instance.memory_gb
+        )
+        raise ShuffleError(
+            f"no instance type holds {logical_bytes:.0f} logical bytes "
+            f"(x{headroom:.2f} headroom); largest is {largest.name} with "
+            f"{largest.memory_gb} GB — the relay substrate is scale-up only"
+        )
+    best = min(fitting, key=lambda instance: (instance.memory_gb, instance.name))
+    return best.name

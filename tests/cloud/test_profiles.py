@@ -85,6 +85,23 @@ class TestProfiles:
         with pytest.raises(ConfigError):
             profile.validate()
 
+    def test_bad_relay_knobs_rejected(self):
+        for mutate in (
+            lambda vm: setattr(vm, "relay_ops_per_second", 0.0),
+            lambda vm: setattr(vm, "relay_ops_burst", 0.5),
+            lambda vm: setattr(vm, "relay_usable_memory_fraction", 1.5),
+        ):
+            profile = ibm_us_east()
+            mutate(profile.vm)
+            with pytest.raises(ConfigError):
+                profile.validate()
+
+    def test_relay_usable_bytes_is_the_shared_capacity_formula(self):
+        profile = ibm_us_east()
+        instance = profile.vm.catalog["bx2-8x32"]
+        expected = 32 * (1 << 30) * profile.vm.relay_usable_memory_fraction
+        assert profile.vm.relay_usable_bytes(instance) == pytest.approx(expected)
+
     def test_experiment_profile_carries_calibration(self):
         from repro.core import ExperimentConfig
 

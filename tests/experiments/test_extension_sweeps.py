@@ -20,28 +20,42 @@ TINY = ExperimentConfig(size_gb=0.5, logical_scale=8192.0)
 
 
 class TestSweepExchange:
-    def test_rows_cover_both_strategies(self):
+    def test_rows_cover_all_strategies(self):
         rows = sweep_exchange(TINY, worker_counts=(2, 4))
-        assert len(rows) == 4
+        assert len(rows) == 6
         strategies = {(row["workers"], row["strategy"]) for row in rows}
         assert strategies == {
-            (2, "objectstore"), (2, "cache"),
-            (4, "objectstore"), (4, "cache"),
+            (2, "objectstore"), (2, "cache"), (2, "relay"),
+            (4, "objectstore"), (4, "cache"), (4, "relay"),
         }
 
-    def test_cache_issues_fewer_storage_requests(self):
+    def test_strategies_subset_respected(self):
+        rows = sweep_exchange(
+            TINY, worker_counts=(2,), strategies=("objectstore", "relay")
+        )
+        assert [row["strategy"] for row in rows] == ["objectstore", "relay"]
+        with pytest.raises(ValueError, match="unknown exchange strategy"):
+            sweep_exchange(TINY, worker_counts=(2,), strategies=("carrier-pigeon",))
+
+    def test_provisioned_substrates_issue_fewer_storage_requests(self):
         rows = sweep_exchange(TINY, worker_counts=(8,))
         by_strategy = {row["strategy"]: row for row in rows}
-        assert (
-            by_strategy["cache"]["storage_requests"]
-            < by_strategy["objectstore"]["storage_requests"]
-        )
+        for strategy in ("cache", "relay"):
+            assert (
+                by_strategy[strategy]["storage_requests"]
+                < by_strategy["objectstore"]["storage_requests"]
+            )
+
+    def test_substrates_emit_identical_artifacts(self):
+        rows = sweep_exchange(TINY, worker_counts=(3,))
+        assert len({row["output_digest"] for row in rows}) == 1
 
     def test_pipeline_variant_rows(self):
         rows = sweep_exchange_pipelines(TINY, sizes_gb=(0.5,))
-        assert len(rows) == 3
+        assert len(rows) == 4
         assert {row["variant"] for row in rows} == {
             "purely-serverless", "vm-supported", "cache-supported",
+            "relay-supported",
         }
         assert all(row["latency_s"] > 0 for row in rows)
 

@@ -1,12 +1,17 @@
-"""Tests for the online (probe-based) shuffle tuner."""
+"""Tests for the online (probe-based) shuffle tuner and the adaptive
+exchange-substrate selector."""
 
 import pytest
 
 from repro.cloud import Cloud, MB
-from repro.cloud.profiles import ibm_us_east
+from repro.cloud.profiles import GB, ibm_us_east
 from repro.errors import ShuffleError
 from repro.executor import FunctionExecutor
-from repro.shuffle.adaptive import OnlineTuner, ProbeReport
+from repro.shuffle.adaptive import (
+    OnlineTuner,
+    ProbeReport,
+    choose_exchange_substrate,
+)
 from repro.shuffle.planner import plan_shuffle
 from repro.sim import Simulator
 
@@ -158,3 +163,122 @@ class TestFittingAndPlanning:
             size, ibm_us_east(deterministic=True), candidates=CANDIDATES
         )
         assert tuned.workers == static.workers
+
+
+class TestSubstrateSelector:
+    PROFILE = ibm_us_east(deterministic=True)
+    SIZE = 3.5 * GB
+
+    def test_zero_time_value_always_picks_objectstore(self):
+        """With latency worth nothing, the only rational substrate is
+        the one without provisioned infrastructure."""
+        for workers in (8, 64, 256):
+            decision = choose_exchange_substrate(
+                self.SIZE, self.PROFILE, workers=workers,
+                time_value_usd_per_hour=0.0,
+            )
+            assert decision.substrate == "objectstore"
+            assert decision.chosen.provisioned_usd == 0.0
+
+    def test_high_worker_count_buys_provisioned_exchange(self):
+        """At W=256 the COS all-to-all degrades; once latency has value,
+        a provisioned substrate wins despite its infrastructure cost."""
+        decision = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=256, time_value_usd_per_hour=1.0
+        )
+        assert decision.substrate in ("cache", "relay")
+        assert decision.chosen.provisioned_usd > 0
+
+    def test_estimates_cover_all_substrates(self):
+        decision = choose_exchange_substrate(self.SIZE, self.PROFILE, workers=16)
+        assert [e.substrate for e in decision.estimates] == [
+            "objectstore", "cache", "relay",
+        ]
+        for estimate in decision.estimates:
+            assert estimate.feasible
+            assert estimate.predicted_s > 0
+
+    def test_auto_workers_lets_each_substrate_plan_its_own(self):
+        decision = choose_exchange_substrate(self.SIZE, self.PROFILE)
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert all(e.workers >= 1 for e in decision.estimates)
+        # Each substrate plans with its own cost model: the COS optimum
+        # genuinely differs from the provisioned substrates' (their W²
+        # request floor is far lower, so they tolerate more functions
+        # before the right flank bites).
+        assert by_name["objectstore"].workers != by_name["cache"].workers
+
+    def test_oversized_data_marks_relay_infeasible(self):
+        decision = choose_exchange_substrate(
+            1000 * GB, self.PROFILE, workers=64, time_value_usd_per_hour=50.0
+        )
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert not by_name["relay"].feasible
+        assert "scale-up" in by_name["relay"].detail
+        assert decision.substrate in ("objectstore", "cache")
+
+    def test_pinned_relay_instance_is_used(self):
+        pinned = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=64,
+            relay_instance_type="bx2-48x192",
+        )
+        auto = choose_exchange_substrate(self.SIZE, self.PROFILE, workers=64)
+        relay_pinned = [e for e in pinned.estimates if e.substrate == "relay"][0]
+        relay_auto = [e for e in auto.estimates if e.substrate == "relay"][0]
+        # The fat flavour's NIC makes the relay faster but costlier.
+        assert relay_pinned.predicted_s < relay_auto.predicted_s
+        assert relay_pinned.provisioned_usd > relay_auto.provisioned_usd
+
+    def test_probe_report_shifts_objectstore_estimate(self):
+        """A probed region with inflated COS latency must worsen the
+        object-storage estimate (the selector plans on measurements)."""
+        report = ProbeReport(
+            read_latency_s=0.30, write_latency_s=0.50,
+            connection_bandwidth_bps=44e6, startup_s=0.9,
+            duration_s=3.0, requests=14,
+        )
+        plain = choose_exchange_substrate(self.SIZE, self.PROFILE, workers=64)
+        probed = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=64, report=report
+        )
+        cos_plain = [e for e in plain.estimates if e.substrate == "objectstore"][0]
+        cos_probed = [e for e in probed.estimates if e.substrate == "objectstore"][0]
+        assert cos_probed.predicted_s > cos_plain.predicted_s
+
+    def test_describe_is_human_readable(self):
+        decision = choose_exchange_substrate(self.SIZE, self.PROFILE, workers=32)
+        text = decision.describe()
+        assert "->" in text
+        for substrate in ("objectstore", "cache", "relay"):
+            assert substrate in text
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ShuffleError):
+            choose_exchange_substrate(0, self.PROFILE)
+        with pytest.raises(ShuffleError):
+            choose_exchange_substrate(
+                self.SIZE, self.PROFILE, time_value_usd_per_hour=-1.0
+            )
+
+    def test_pinned_undersized_relay_instance_marked_infeasible(self):
+        """Pinning a real flavour that cannot hold the data must mark
+        the relay infeasible (never chosen), matching what
+        RelayExchange.validate would reject at run time."""
+        decision = choose_exchange_substrate(
+            1000 * GB, self.PROFILE, workers=64,
+            relay_instance_type="bx2-2x8",
+            time_value_usd_per_hour=1000.0,
+        )
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert not by_name["relay"].feasible
+        assert "bx2-2x8" in by_name["relay"].detail
+        assert decision.substrate in ("objectstore", "cache")
+
+    def test_typoed_pinned_relay_instance_raises(self):
+        """An explicitly pinned flavour that does not exist is a caller
+        error, not relay infeasibility."""
+        with pytest.raises(ShuffleError, match="unknown relay instance type"):
+            choose_exchange_substrate(
+                self.SIZE, self.PROFILE, workers=8,
+                relay_instance_type="bx2_48x192",  # typo: _ for -
+            )

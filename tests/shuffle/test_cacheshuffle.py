@@ -173,6 +173,27 @@ class TestCacheSort:
         with pytest.raises(ClusterNotRunning):
             cloud.sim.run_process(driver())
 
+    def test_reused_cluster_reports_per_sort_deltas(self, cloud, executor, cluster):
+        """A caller-owned cluster may serve several sorts; each report
+        must cover only its own sort, not cluster-lifetime totals."""
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        payload = make_fixed_payload(1000)
+        op = CacheShuffleSort(executor, codec, cluster)
+
+        def run_once(key, prefix):
+            def driver():
+                yield cloud.store.put("data", key, payload)
+                return (yield op.sort("data", key, out_prefix=prefix, workers=3))
+
+            cloud.sim.run_process(driver())
+            return op.report
+
+        first = run_once("in1.bin", "sort1")
+        second = run_once("in2.bin", "sort2")
+        assert first.cache_sets == 9  # 3 mappers x 3 partitions, per sort
+        assert second.cache_sets == 9
+        assert second.cache_gets == 9
+
     def test_planner_used_when_workers_not_pinned(self, cloud, executor, cluster):
         codec = FixedWidthCodec(record_size=16, key_bytes=8)
         payload = make_fixed_payload(2000)

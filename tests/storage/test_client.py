@@ -128,6 +128,101 @@ class TestRetry:
         assert policy.delay(5, FakeRng()) == 5.0
 
 
+class _FlakyBackend:
+    """Backend whose GETs fail with SlowDown a fixed number of times.
+
+    Stands in for a BoundStorage so ``Storage._retry_loop`` can be
+    exercised deterministically, without tuning a throttled store.
+    """
+
+    def __init__(self, sim, failures: int, payload: bytes = b"payload"):
+        self.sim = sim
+        self.failures = failures
+        self.payload = payload
+        self.calls = 0
+
+    def get(self, bucket, key):
+        from repro.cloud.objectstore.errors import SlowDown
+        from repro.sim import SimEvent
+
+        event = SimEvent(self.sim, name=f"flaky.get:{key}")
+        self.calls += 1
+        if self.calls <= self.failures:
+            event.fail(SlowDown(1.0))
+        else:
+            event.succeed(self.payload)
+        return event
+
+
+class TestRetryLoopExhaustion:
+    """Direct coverage of Storage._retry_loop bookkeeping."""
+
+    def _sim(self, seed=17):
+        from repro.sim import Simulator
+
+        return Simulator(seed=seed)
+
+    def test_retries_counter_counts_each_transient_failure(self):
+        sim = self._sim()
+        backend = _FlakyBackend(sim, failures=3)
+        client = Storage(sim, backend, retry=RetryPolicy(max_attempts=6))
+
+        def scenario():
+            return (yield client.get_object("bucket", "k"))
+
+        assert sim.run_process(scenario()) == b"payload"
+        assert backend.calls == 4  # 3 failures + the success
+        assert client.retries == 3
+
+    def test_max_attempts_surfaces_the_underlying_slowdown(self):
+        sim = self._sim()
+        backend = _FlakyBackend(sim, failures=10**9)
+        policy = RetryPolicy(max_attempts=4)
+        client = Storage(sim, backend, retry=policy)
+
+        def scenario():
+            return (yield client.get_object("bucket", "k"))
+
+        with pytest.raises(StorageError, match="after 4 attempts") as excinfo:
+            sim.run_process(scenario())
+        # The wrapped message names the throttling error it gave up on.
+        assert "request rate exceeded" in str(excinfo.value)
+        assert backend.calls == policy.max_attempts
+        assert client.retries == policy.max_attempts - 1
+
+    def test_backoff_draws_come_from_the_named_rng_stream(self):
+        """The exhaustion run's elapsed time must replay exactly from a
+        fresh ``<name>.backoff`` stream with the same root seed — the
+        retry loop draws from no other randomness source."""
+        policy = RetryPolicy(max_attempts=5)
+        sim = self._sim(seed=99)
+        backend = _FlakyBackend(sim, failures=10**9)
+        client = Storage(sim, backend, retry=policy, name="myclient")
+
+        def scenario():
+            try:
+                yield client.get_object("bucket", "k")
+            except StorageError:
+                pass
+
+        sim.run_process(scenario())
+
+        replay = self._sim(seed=99)
+        stream = replay.rng.stream("myclient.backoff")
+        expected = sum(
+            policy.delay(attempt, stream)
+            for attempt in range(1, policy.max_attempts)
+        )
+        assert sim.now == pytest.approx(expected)
+        # A different client name seeds a different stream.
+        other = self._sim(seed=99).rng.stream("otherclient.backoff")
+        different = sum(
+            policy.delay(attempt, other)
+            for attempt in range(1, policy.max_attempts)
+        )
+        assert different != pytest.approx(expected)
+
+
 class TestSerializer:
     def test_roundtrip_plain_data(self):
         value = {"a": [1, 2, 3], "b": b"bytes"}

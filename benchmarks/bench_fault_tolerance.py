@@ -4,13 +4,24 @@ Serverless fan-outs self-heal by re-invoking crashed calls and by
 launching backup tasks for stragglers.  Both mechanisms trade extra
 invocations (dollars) for reliability and tail latency; these rows
 quantify that trade on the simulated platform.
+
+S9c/S9d extend both mechanisms across the three exchange substrates:
+attempt-scoped cancellation (dead attempts' transfers aborted, their
+relay reservations reclaimed, losers of speculative races fenced) makes
+crash-retry and speculation safe on the stateful substrates too, at
+byte parity with the crash-free object-storage artifact.
 """
 
 import pytest
 
 from repro.core import ExperimentConfig
 from repro.experiments import format_rows
-from repro.experiments.sweeps import sweep_fault_rate, sweep_speculation
+from repro.experiments.sweeps import (
+    sweep_exchange_faults,
+    sweep_exchange_speculation,
+    sweep_fault_rate,
+    sweep_speculation,
+)
 
 
 def test_fault_rate_overhead(benchmark, record_result, bench_scale):
@@ -61,3 +72,63 @@ def test_speculation_ablation(benchmark, record_result, bench_scale):
     assert by_label["on"]["latency_s"] <= by_label["off"]["latency_s"] * 1.01
     # The mitigation is paid for in duplicate invocations.
     assert by_label["on"]["invocations"] > by_label["off"]["invocations"]
+
+
+def test_exchange_fault_sweep(benchmark, record_result, bench_scale):
+    """S9c: crash injection on all three substrates, relay included."""
+    config = ExperimentConfig(logical_scale=bench_scale)
+    rows = benchmark.pedantic(
+        lambda: sweep_exchange_faults(config),
+        rounds=1,
+        iterations=1,
+    )
+    headers = list(rows[0].keys())
+    record_result(
+        "s9c_exchange_faults",
+        format_rows(headers, [[row[h] for h in headers] for row in rows],
+                    title="S9c: crash injection by exchange substrate "
+                          "(byte parity asserted in-sweep)"),
+    )
+
+    # The injection bit on every substrate at the top rate...
+    top = max(row["crash_probability"] for row in rows)
+    for row in rows:
+        if row["crash_probability"] == top:
+            assert row["crashes"] > 0
+            assert row["invocations"] > 40  # retries actually happened
+    # ...every artifact digest is identical (the sweep asserts parity
+    # internally too)...
+    assert len({row["output_digest"] for row in rows}) == 1
+    # ...and the relay never leaks a byte of a dead attempt.
+    for row in rows:
+        if row["strategy"] == "relay":
+            assert row["residual_bytes"] == 0.0
+
+
+def test_exchange_speculation_sweep(benchmark, record_result, bench_scale):
+    """S9d: straggler mitigation is safe on every substrate."""
+    config = ExperimentConfig(logical_scale=bench_scale)
+    rows = benchmark.pedantic(
+        lambda: sweep_exchange_speculation(config),
+        rounds=1,
+        iterations=1,
+    )
+    headers = list(rows[0].keys())
+    record_result(
+        "s9d_exchange_speculation",
+        format_rows(headers, [[row[h] for h in headers] for row in rows],
+                    title="S9d: speculation by exchange substrate "
+                          "(identical digests asserted in-sweep)"),
+    )
+
+    by_key = {(row["strategy"], row["speculation"]): row for row in rows}
+    for strategy in ("objectstore", "cache", "relay"):
+        on, off = by_key[(strategy, "on")], by_key[(strategy, "off")]
+        # Backups fire and their losers are cancelled, not drained.
+        assert on["backup_tasks"] > 0
+        assert on["cancelled_attempts"] > 0
+        assert on["invocations"] > off["invocations"]
+        # A cancelled loser is billed only up to the kill: the total
+        # wasted GB-seconds stay a small fraction of the duplicates'
+        # would-be full cost.
+        assert on["cancelled_gb_s"] < on["backup_tasks"] * 60.0

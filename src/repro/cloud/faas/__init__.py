@@ -3,17 +3,26 @@
 from repro.cloud.faas.context import FunctionContext
 from repro.cloud.faas.errors import (
     FunctionAlreadyRegistered,
+    FunctionCancelled,
     FunctionCrashed,
     FunctionNotFound,
     FunctionTimeout,
     InvalidFunctionConfig,
 )
-from repro.cloud.faas.platform import FaasPlatform, FaasStats, FunctionDef, Handler
+from repro.cloud.faas.platform import (
+    ActivationHandle,
+    FaasPlatform,
+    FaasStats,
+    FunctionDef,
+    Handler,
+)
 
 __all__ = [
+    "ActivationHandle",
     "FaasPlatform",
     "FaasStats",
     "FunctionAlreadyRegistered",
+    "FunctionCancelled",
     "FunctionContext",
     "FunctionCrashed",
     "FunctionDef",

@@ -11,6 +11,19 @@ Handlers are generator functions with the signature::
 Everything a handler may legitimately touch goes through the context:
 storage (bandwidth-bounded by the instance NIC), modeled compute time
 (scaled by the memory-proportional CPU share), sleeps, and the RNG.
+
+The context is also the activation's **cancellation scope**.  Every
+activation is one *attempt* (``ctx.attempt_id``); sub-processes a
+handler spawns through its clients (relay MPUSH flows, cache requests)
+register here via :meth:`track`, and services register reclamation
+callbacks via :meth:`on_cancel`.  When the platform kills the
+activation — timeout, injected crash, or an explicit
+:meth:`~repro.cloud.faas.platform.FaasPlatform.cancel` (a lost
+speculative race) — it fires :meth:`cancel_resources`, which interrupts
+every tracked sub-process and runs every reclamation callback.  That is
+what makes crash-retry and speculation safe on stateful substrates: a
+dead attempt's transfers stop draining and its reservations are
+reclaimed instead of leaking.
 """
 
 from __future__ import annotations
@@ -23,6 +36,7 @@ from repro.sim import SimEvent, Simulator
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cloud.faas.platform import FaasPlatform
+    from repro.sim.process import Process
 
 
 class FunctionContext:
@@ -39,7 +53,14 @@ class FunctionContext:
         self.function_name = function_name
         self.memory_mb = memory_mb
         self.activation_id = activation_id
+        #: The attempt identity threaded through every stateful service
+        #: this activation touches.  Activation ids are globally unique,
+        #: so each retry/backup invocation is a distinct attempt.
+        self.attempt_id = activation_id
         self.sim: Simulator = platform.sim
+        self._cancelled = False
+        self._cancel_callbacks: list[t.Callable[[object], None]] = []
+        self._tracked: list["Process"] = []
         #: Storage client bounded by the function instance's NIC; retries
         #: transient 5xx-style failures like the real worker SDK does.
         self.storage = BoundStorage(
@@ -54,6 +75,54 @@ class FunctionContext:
         )
         #: Mirrors ``CloudProfile.logical_scale`` for workload cost models.
         self.logical_scale = platform.logical_scale
+
+    # ------------------------------------------------------------------
+    # attempt-scoped cancellation
+    # ------------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        """Whether this activation's resources have been torn down."""
+        return self._cancelled
+
+    def track(self, process: "Process") -> "Process":
+        """Register a sub-process this activation spawned.
+
+        Tracked processes are interrupted when the activation is killed,
+        so an orphaned transfer cannot keep draining after its owner is
+        gone.  Returns the process for call-site chaining.
+        """
+        self._tracked.append(process)
+        return process
+
+    def on_cancel(self, callback: t.Callable[[object], None]) -> None:
+        """Register a reclamation callback run when the activation dies.
+
+        Callbacks run *after* tracked sub-processes were interrupted (so
+        their local cleanup has already released what it could) and
+        receive the cancellation cause.  A callback registered after
+        cancellation runs immediately.
+        """
+        if self._cancelled:
+            callback("already cancelled")
+            return
+        self._cancel_callbacks.append(callback)
+
+    def cancel_resources(self, cause: object = None) -> None:
+        """Tear down everything this activation registered.  Idempotent.
+
+        Called by the platform on timeout, injected crash, and explicit
+        cancellation; never by handlers themselves.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        for process in self._tracked:
+            if process.interruptible:
+                process.interrupt(cause=cause)
+        self._tracked.clear()
+        callbacks, self._cancel_callbacks = self._cancel_callbacks, []
+        for callback in callbacks:
+            callback(cause)
 
     # ------------------------------------------------------------------
     # effects for handlers to yield
@@ -97,7 +166,8 @@ class FunctionContext:
             raise FaasError("this region has no memstore service attached")
         cluster = self._platform.memstore.cluster(cluster_id)
         return cluster.client(
-            connection_bandwidth=self._platform.profile.instance_bandwidth
+            connection_bandwidth=self._platform.profile.instance_bandwidth,
+            owner=self,
         )
 
     def relay(self, relay_id: str):
@@ -108,12 +178,22 @@ class FunctionContext:
         is just software on a provisioned VM.  Raises
         :class:`~repro.errors.FaasError` when the region has no VM
         service attached.
+
+        The client is bound to this activation's attempt: its requests
+        are attempt-tagged on the relay, its transfer processes are
+        tracked here, and when the activation dies the relay reclaims
+        the attempt's reservations and fences the attempt id out.
         """
         if self._platform.vms is None:
             from repro.errors import FaasError
 
             raise FaasError("this region has no VM service attached")
         relay = self._platform.vms.relay(relay_id)
+        self.on_cancel(
+            lambda cause, relay=relay: relay.cancel_attempt(self.attempt_id)
+        )
         return relay.client(
-            connection_bandwidth=self._platform.profile.instance_bandwidth
+            connection_bandwidth=self._platform.profile.instance_bandwidth,
+            attempt_id=self.attempt_id,
+            owner=self,
         )

@@ -38,5 +38,20 @@ class FunctionCrashed(FaasError):
         self.name = name
 
 
+class FunctionCancelled(FaasError):
+    """The invocation was cancelled through the platform's cancel API.
+
+    Distinct from :class:`FunctionCrashed` on purpose: a crash is the
+    platform's fault and retried by executors, while cancellation is a
+    deliberate caller decision (a speculative race was lost, a job was
+    torn down) and must never trigger a retry.
+    """
+
+    def __init__(self, name: str, reason: str = "cancelled"):
+        super().__init__(f"function {name!r} cancelled: {reason}")
+        self.name = name
+        self.reason = reason
+
+
 class InvalidFunctionConfig(FaasError):
     """A function was registered with nonsensical resources."""

@@ -11,7 +11,13 @@ Models the pieces that matter for the paper's end-to-end numbers:
 * **memory-proportional CPU** — a 1024 MB function gets half the CPU of
   a 2048 MB one, scaling every ``ctx.compute`` charge;
 * **GB-second billing** — duration rounded up to the billing
-  granularity, times allocated memory.
+  granularity, times allocated memory;
+* **attempt-scoped cancellation** — every activation is one *attempt*
+  (its activation id); :meth:`FaasPlatform.cancel` (or an injected
+  crash/timeout) kills the body *and* fires the context's cancellation
+  scope, interrupting the attempt's sub-processes and reclaiming every
+  resource it registered on stateful services.  Billing stops at the
+  kill, audited per activation in :attr:`FaasPlatform.billing_log`.
 
 Handlers run as simulation processes and may perform storage I/O through
 their :class:`~repro.cloud.faas.context.FunctionContext`.
@@ -28,6 +34,7 @@ from repro.cloud.billing import CostMeter
 from repro.cloud.faas.context import FunctionContext
 from repro.cloud.faas.errors import (
     FunctionAlreadyRegistered,
+    FunctionCancelled,
     FunctionCrashed,
     FunctionNotFound,
     FunctionTimeout,
@@ -51,6 +58,40 @@ class FunctionDef:
     timeout_s: float
 
 
+@dataclasses.dataclass(slots=True)
+class ActivationHandle:
+    """One launched activation: its completion event plus a cancel lever.
+
+    ``completion`` is exactly what :meth:`FaasPlatform.invoke` returns;
+    ``cancel`` asks the platform to kill the activation (the losing side
+    of a speculative race, a torn-down job).  Cancelling is idempotent
+    and returns whether the activation was still live enough to kill.
+    """
+
+    activation_id: str
+    completion: SimEvent
+    platform: "FaasPlatform"
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        return self.platform.cancel(self.activation_id, reason)
+
+    @property
+    def finished(self) -> bool:
+        return self.completion.triggered
+
+
+@dataclasses.dataclass(slots=True)
+class BilledActivation:
+    """One line of the platform's billing log (tests audit this)."""
+
+    activation_id: str
+    function: str
+    started_at: float
+    billed_s: float
+    gb_seconds: float
+    outcome: str  # ok | timeout | crash | cancelled | error
+
+
 class FaasStats:
     """Platform counters for reports and tests."""
 
@@ -61,6 +102,7 @@ class FaasStats:
         self.warm_starts = 0
         self.timeouts = 0
         self.crashes = 0
+        self.cancellations = 0
         self.errors = 0
         self.billed_gb_seconds = 0.0
 
@@ -110,6 +152,13 @@ class FaasPlatform:
         #: uniform(0, crash_latest_s) after execution starts.  Note the
         #: kill only materializes if the body has not finished by then.
         self.crash_latest_s = 5.0
+        #: Live activations by id: each maps to its cancel event, which
+        #: :meth:`cancel` fires to kill the activation wherever it is.
+        self._active: dict[str, SimEvent] = {}
+        #: One :class:`BilledActivation` per billed activation, in billing
+        #: order — the audit trail for "cancelled attempts are billed
+        #: once, and only up to the kill".
+        self.billing_log: list[BilledActivation] = []
         self.stats = FaasStats()
 
     # ------------------------------------------------------------------
@@ -155,23 +204,66 @@ class FaasPlatform:
         """Asynchronously invoke ``name``; the event carries the result.
 
         The event fails with the handler's exception, with
-        :class:`FunctionTimeout`, or with :class:`FunctionCrashed`.
+        :class:`FunctionTimeout`, with :class:`FunctionCrashed`, or with
+        :class:`FunctionCancelled`.
+        """
+        return self.launch(name, payload).completion
+
+    def launch(self, name: str, payload: object = None) -> ActivationHandle:
+        """Invoke ``name`` and return a cancellable activation handle.
+
+        Same semantics as :meth:`invoke`, plus the activation id (the
+        *attempt id* every stateful service sees) and a ``cancel``
+        lever.  Executors use this to fence out and reclaim the losing
+        attempts of speculative races.
         """
         definition = self.function(name)
         activation_id = f"act-{next(self._activation_ids)}"
+        cancel_event = SimEvent(self.sim, name=f"{activation_id}.cancel")
+        self._active[activation_id] = cancel_event
         process = self.sim.process(
-            self._activation(definition, payload, activation_id),
+            self._activation(definition, payload, activation_id, cancel_event),
             name=f"{self.name}.{name}.{activation_id}",
         )
-        return process.completion
+        return ActivationHandle(activation_id, process.completion, self)
+
+    def cancel(self, activation_id: str, reason: str = "cancelled") -> bool:
+        """Kill a live activation; its event fails with FunctionCancelled.
+
+        Cancellation is attempt-scoped: the activation's body is
+        interrupted *and* its context tears down every resource the
+        attempt registered (relay reservations are reclaimed, its
+        in-flight transfers stop, the attempt id is fenced).  Billing
+        stops at the kill.  Returns ``False`` when the activation has
+        already finished (or was never launched) — cancelling a done
+        attempt is a harmless no-op.
+        """
+        cancel_event = self._active.get(activation_id)
+        if cancel_event is None or cancel_event.triggered:
+            return False
+        cancel_event.succeed(reason)
+        return True
 
     def _activation(
-        self, definition: FunctionDef, payload: object, activation_id: str
+        self,
+        definition: FunctionDef,
+        payload: object,
+        activation_id: str,
+        cancel_event: SimEvent,
     ) -> t.Generator:
         self.stats.invocations += 1
-        yield self.sim.timeout(self.profile.invoke_overhead.sample(self._rng))
-        yield self._concurrency.acquire()
         try:
+            yield self.sim.timeout(self.profile.invoke_overhead.sample(self._rng))
+            yield self._concurrency.acquire()
+        except BaseException:
+            self._active.pop(activation_id, None)
+            raise
+        try:
+            if cancel_event.triggered:
+                # Cancelled while still queueing: nothing ran, nothing
+                # is billed, no container was consumed.
+                self.stats.cancellations += 1
+                raise FunctionCancelled(definition.name, str(cancel_event.value))
             started_cold = self._acquire_container(definition.name)
             if started_cold:
                 self.stats.cold_starts += 1
@@ -205,10 +297,28 @@ class FaasPlatform:
                 name=f"{definition.name}.body.{activation_id}",
             )
             crash_delay = self._maybe_crash_delay(definition)
+            outcome = "ok"
             try:
-                result = yield from self._race_body(definition, body, crash_delay)
+                result = yield from self._race_body(
+                    definition, body, crash_delay, cancel_event, context
+                )
+            except FunctionTimeout:
+                outcome = "timeout"
+                raise
+            except FunctionCancelled:
+                outcome = "cancelled"
+                raise
+            except FunctionCrashed:
+                outcome = "crash"
+                raise
+            except BaseException:
+                # Application errors also tear the attempt down: a failed
+                # attempt must not leave reservations behind either.
+                outcome = "error"
+                context.cancel_resources("handler error")
+                raise
             finally:
-                self._bill(definition, execution_start)
+                self._bill(definition, execution_start, activation_id, outcome)
                 self._release_container(definition.name)
                 self.sim.timeline.record(
                     self.sim.now,
@@ -221,6 +331,7 @@ class FaasPlatform:
             self.stats.completions += 1
             return result
         finally:
+            self._active.pop(activation_id, None)
             self._concurrency.release()
 
     def _maybe_crash_delay(self, definition: FunctionDef) -> float | None:
@@ -233,21 +344,44 @@ class FaasPlatform:
         return self._fault_rng.uniform(0.0, window)
 
     def _race_body(
-        self, definition: FunctionDef, body, crash_delay: float | None
+        self,
+        definition: FunctionDef,
+        body,
+        crash_delay: float | None,
+        cancel_event: SimEvent,
+        context: FunctionContext,
     ) -> t.Generator:
-        """Wait for the handler, its timeout, or an injected crash."""
+        """Wait for the handler, its timeout, a cancel, or an injected crash.
+
+        Every losing outcome kills the body *and* fires the context's
+        cancellation scope, so the attempt's sub-processes stop and its
+        registered resources are reclaimed before the caller learns of
+        the failure.
+        """
         contenders: list[SimEvent] = [body.completion]
         timeout_event = self.sim.timeout(definition.timeout_s)
         contenders.append(timeout_event)
+        cancel_index = len(contenders)
+        contenders.append(cancel_event)
         if crash_delay is not None:
             contenders.append(self.sim.timeout(crash_delay, value="crash"))
         winner_index, value = yield self.sim.any_of(contenders)
         if winner_index == 0:
             return value
-        body.interrupt(cause="killed by platform")
+        if winner_index == 1:
+            cause = "killed by platform: timeout"
+        elif winner_index == cancel_index:
+            cause = f"killed by platform: {cancel_event.value}"
+        else:
+            cause = "killed by platform: crash"
+        body.interrupt(cause=cause)
+        context.cancel_resources(cause)
         if winner_index == 1:
             self.stats.timeouts += 1
             raise FunctionTimeout(definition.name, definition.timeout_s)
+        if winner_index == cancel_index:
+            self.stats.cancellations += 1
+            raise FunctionCancelled(definition.name, str(cancel_event.value))
         self.stats.crashes += 1
         raise FunctionCrashed(definition.name)
 
@@ -275,7 +409,13 @@ class FaasPlatform:
     # ------------------------------------------------------------------
     # billing
     # ------------------------------------------------------------------
-    def _bill(self, definition: FunctionDef, execution_start: float) -> None:
+    def _bill(
+        self,
+        definition: FunctionDef,
+        execution_start: float,
+        activation_id: str,
+        outcome: str,
+    ) -> None:
         duration = self.sim.now - execution_start
         granularity = self.profile.billing_granularity_s
         billed_duration = max(
@@ -284,6 +424,16 @@ class FaasPlatform:
         )
         gb_seconds = billed_duration * (definition.memory_mb / 1024.0)
         self.stats.billed_gb_seconds += gb_seconds
+        self.billing_log.append(
+            BilledActivation(
+                activation_id=activation_id,
+                function=definition.name,
+                started_at=execution_start,
+                billed_s=billed_duration,
+                gb_seconds=gb_seconds,
+                outcome=outcome,
+            )
+        )
         self.meter.charge(
             self.sim.now,
             "faas",

@@ -192,9 +192,17 @@ class MemStoreCluster:
         index = zlib.crc32(key.encode("utf-8")) % len(self.nodes)
         return self.nodes[index]
 
-    def client(self, connection_bandwidth: float | None = None) -> "CacheClient":
-        """A request client, optionally capped by the caller's NIC."""
-        return CacheClient(self, connection_bandwidth)
+    def client(
+        self, connection_bandwidth: float | None = None, owner=None
+    ) -> "CacheClient":
+        """A request client, optionally capped by the caller's NIC.
+
+        ``owner`` (a :class:`~repro.cloud.faas.context.FunctionContext`)
+        makes the client's request processes attempt-scoped: they are
+        interrupted when the owning activation is killed, instead of
+        draining as orphans.
+        """
+        return CacheClient(self, connection_bandwidth, owner=owner)
 
     def terminate(self) -> None:
         """Stop the cluster and bill its node lifetimes."""
@@ -251,10 +259,17 @@ class CacheClient:
     streams they open concurrently.
     """
 
-    def __init__(self, cluster: MemStoreCluster, connection_bandwidth: float | None):
+    def __init__(
+        self,
+        cluster: MemStoreCluster,
+        connection_bandwidth: float | None,
+        owner=None,
+    ):
         self.cluster = cluster
         self.sim = cluster.sim
         self.connection_bandwidth = connection_bandwidth
+        #: Owning activation context (tracks request processes), if any.
+        self.owner = owner
         self._service = cluster.service
         self._profile = cluster.service.profile
         self._scale = cluster.service.logical_scale
@@ -303,9 +318,12 @@ class CacheClient:
         return self._spawn(self._mget_op(list(keys)), "mget")
 
     def _spawn(self, generator: t.Generator, label: str) -> SimEvent:
-        return self.sim.process(
+        process = self.sim.process(
             generator, name=f"{self.cluster.cluster_id}.{label}"
-        ).completion
+        )
+        if self.owner is not None:
+            self.owner.track(process)
+        return process.completion
 
     # ------------------------------------------------------------------
     # operation bodies
@@ -440,6 +458,9 @@ class CacheClient:
             )
             for node_index, members in groups.items()
         ]
+        if self.owner is not None:
+            for process in writers:
+                self.owner.track(process)
         yield self.sim.all_of([process.completion for process in writers])
         self.sim.timeline.record(
             self.sim.now, "memstore", "mset",
@@ -480,6 +501,9 @@ class CacheClient:
             )
             for node_index, members in groups.items()
         ]
+        if self.owner is not None:
+            for process in readers:
+                self.owner.track(process)
         yield self.sim.all_of([process.completion for process in readers])
         self.sim.timeline.record(
             self.sim.now, "memstore", "mget",

@@ -1,6 +1,7 @@
 """Simulated virtual server instances (IBM VPC VSI-like)."""
 
 from repro.cloud.vm.errors import (
+    RelayAttemptFenced,
     RelayCapacityExceeded,
     RelayKeyMissing,
     UnknownInstanceType,
@@ -19,6 +20,7 @@ from repro.cloud.vm.relay import (
 
 __all__ = [
     "PartitionRelay",
+    "RelayAttemptFenced",
     "RelayCapacityExceeded",
     "RelayClient",
     "RelayKeyMissing",

@@ -48,6 +48,25 @@ class RelayKeyMissing(VmError):
         self.key = key
 
 
+class RelayAttemptFenced(VmError):
+    """A request arrived from an activation attempt that was cancelled.
+
+    Once :meth:`~repro.cloud.vm.relay.PartitionRelay.cancel_attempt`
+    has reclaimed an attempt's resources, the attempt id is *fenced*:
+    any straggling request it issues afterwards (the zombie side of a
+    speculative race, or an orphaned retry predecessor) is rejected so
+    it can never clobber the winning attempt's partitions.
+    """
+
+    def __init__(self, relay_id: str, attempt_id: str):
+        super().__init__(
+            f"relay {relay_id}: attempt {attempt_id!r} was cancelled and is "
+            "fenced out"
+        )
+        self.relay_id = relay_id
+        self.attempt_id = attempt_id
+
+
 class RelayCapacityExceeded(VmError):
     """One partition alone is larger than the relay VM's usable memory.
 

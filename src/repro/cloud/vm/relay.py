@@ -30,16 +30,24 @@ Workers resolve relays by id through their contexts
 (:meth:`~repro.cloud.faas.context.FunctionContext.relay`), mirroring the
 cache's ``ctx.kv`` accessor.
 
-Known limitation — orphaned transfers under crash injection and
-speculation: the FaaS platform kills a crashed activation's *body*
-process, but a relay transfer that body already spawned keeps draining.
-A retried mapper racing its orphaned predecessor can transiently
-double-reserve its batch (hanging a relay with less than one spare
-batch of free memory), and a losing speculative mapper's replacing
-MPUSH opens a brief absence window for its keys.  Auto-sized relays
-(1.3x headroom) and the default no-speculation executor are safe;
-attempt-scoped cancellation is the proper fix and belongs to the FaaS
-platform layer (see ROADMAP).
+Fault handling — attempt-scoped transfers:
+
+Every request carries the issuing activation's *attempt id* and every
+in-flight PUSH holds an attempt-tagged :class:`_PushReservation`.  When
+the FaaS platform kills an activation (crash, timeout, lost speculative
+race) it calls :meth:`PartitionRelay.cancel_attempt`, which aborts the
+attempt's transfers mid-flow, releases every reserved-but-uncommitted
+byte immediately, and *fences* the attempt id so a straggling request
+from the zombie is rejected with
+:class:`~repro.cloud.vm.errors.RelayAttemptFenced`.  A replacing PUSH
+is an **atomic swap**: the old value stays resident and pullable for
+the whole transfer and is exchanged for the new one in a single step at
+commit — a concurrent reducer can never observe the key absent, and a
+cancelled replacement leaves the old value exactly as it was.  Memory
+admission credits the bytes of the entries being replaced, so a retried
+mapper re-pushing its batch never demands old+new bytes at once and
+cannot deadlock a full relay.  This is what makes crash-retry and
+speculation safe on the relay substrate.
 """
 
 from __future__ import annotations
@@ -48,7 +56,11 @@ import collections
 import dataclasses
 import typing as t
 
-from repro.cloud.vm.errors import RelayCapacityExceeded, RelayKeyMissing
+from repro.cloud.vm.errors import (
+    RelayAttemptFenced,
+    RelayCapacityExceeded,
+    RelayKeyMissing,
+)
 from repro.cloud.vm.instance import VirtualMachine, VmService
 from repro.errors import SimulationError
 from repro.sim import FairShareLink, SimEvent, TokenBucket
@@ -62,6 +74,61 @@ class _Entry:
     logical: float
 
 
+#: Lifecycle of a push reservation.  ``waiting`` → queued for memory;
+#: ``reserved`` → bytes admitted, transfer may be in flight;
+#: ``committed`` → entries swapped in (terminal); ``aborted`` → reclaimed
+#: (terminal).
+_WAITING, _RESERVED, _COMMITTED, _ABORTED = "waiting", "reserved", "committed", "aborted"
+
+
+class _PushReservation:
+    """One in-flight (M)PUSH: attempt-tagged memory custody until commit.
+
+    ``extra`` is what admission actually reserved on top of the *credit*
+    — the bytes of the resident entries the push replaces, which stay
+    readable until the atomic swap at commit.  ``absorbed`` collects the
+    bytes of replaced entries that a concurrent consume/delete removed
+    mid-transfer: their memory stays reserved here (the incoming payload
+    needs it anyway) instead of being released and re-granted.
+    """
+
+    __slots__ = (
+        "keys",
+        "resident_total",
+        "extra",
+        "absorbed",
+        "attempt",
+        "state",
+        "admission_event",
+        "transfer_event",
+    )
+
+    def __init__(
+        self,
+        keys: list[str],
+        resident_total: float,
+        extra: float,
+        attempt: str | None,
+        admission_event: SimEvent,
+    ):
+        self.keys = keys
+        self.resident_total = resident_total
+        self.extra = extra
+        self.absorbed = 0.0
+        self.attempt = attempt
+        self.state = _WAITING
+        self.admission_event = admission_event
+        self.transfer_event: SimEvent | None = None
+
+    @property
+    def held_bytes(self) -> float:
+        """Bytes of relay memory this reservation currently holds."""
+        held = self.absorbed
+        if self.state == _RESERVED:
+            held += self.extra
+        return held
+
+
 class RelayStats:
     """Per-relay counters exposed for planners, reports and tests."""
 
@@ -71,8 +138,11 @@ class RelayStats:
         self.deletes = 0
         self.misses = 0
         self.backpressure_waits = 0
+        self.cancelled_transfers = 0
+        self.fenced_requests = 0
         self.bytes_in = 0.0  # logical bytes pushed (stored)
         self.bytes_out = 0.0  # logical bytes served to pullers
+        self.reclaimed_bytes = 0.0  # logical bytes reclaimed from dead attempts
 
     def as_dict(self) -> dict[str, float]:
         return dict(vars(self))
@@ -92,8 +162,16 @@ class PartitionRelay:
         self.used_logical = 0.0
         self.peak_used_logical = 0.0
         self._entries: dict[str, _Entry] = {}
-        #: FIFO of pushes waiting for space: ``(logical, event)``.
-        self._waiters: collections.deque[tuple[float, SimEvent]] = collections.deque()
+        #: FIFO of pushes waiting for memory admission.
+        self._waiters: collections.deque[_PushReservation] = collections.deque()
+        #: Every live (waiting/reserved) push reservation.
+        self._reservations: set[_PushReservation] = set()
+        #: Live reservations per attempt id, for cancel-and-reclaim.
+        self._attempt_reservations: dict[str, set[_PushReservation]] = {}
+        #: The latest in-flight replacing push per key (atomic swap).
+        self._pending_swaps: dict[str, _PushReservation] = {}
+        #: Attempt ids whose requests are rejected (cancelled attempts).
+        self._fenced: set[str] = set()
         self.ops = TokenBucket(
             self.sim,
             rate=profile.relay_ops_per_second,
@@ -116,21 +194,39 @@ class PartitionRelay:
     def ensure_running(self) -> None:
         self.vm.ensure_running()
 
-    def client(self, connection_bandwidth: float | None = None) -> "RelayClient":
-        """A request client, optionally capped by the caller's NIC."""
-        return RelayClient(self, connection_bandwidth)
+    def client(
+        self,
+        connection_bandwidth: float | None = None,
+        attempt_id: str | None = None,
+        owner=None,
+    ) -> "RelayClient":
+        """A request client, optionally capped by the caller's NIC.
+
+        ``attempt_id`` tags every reservation the client takes so
+        :meth:`cancel_attempt` can reclaim them; ``owner`` (a
+        :class:`~repro.cloud.faas.context.FunctionContext`) additionally
+        tracks the client's request processes so a killed activation's
+        transfers are interrupted instead of draining as orphans.
+        Driver-side clients pass neither and are never fenced.
+        """
+        return RelayClient(self, connection_bandwidth, attempt_id, owner)
 
     def terminate(self) -> None:
         """Stop the relay and bill its VM's lifetime.
 
-        Drops the resident partitions (the VM's memory is gone) and
-        deregisters the relay id, so stale worker payloads resolve to
+        Drops the resident partitions (the VM's memory is gone), aborts
+        any in-flight reservations, and deregisters the relay id, so
+        stale worker payloads resolve to
         :class:`~repro.cloud.vm.errors.UnknownRelay` instead of a dead
         relay and long-lived regions don't accumulate dead payloads.
         """
         resident = len(self._entries)
         self.vm.terminate()
+        for reservation in list(self._reservations):
+            self._abort_push(reservation)
         self._entries.clear()
+        self._waiters.clear()
+        self._pending_swaps.clear()
         self.used_logical = 0.0
         self.service.relays.pop(self.relay_id, None)
         self.sim.timeline.record(
@@ -139,20 +235,206 @@ class PartitionRelay:
         )
 
     # ------------------------------------------------------------------
-    # memory admission (backpressure)
+    # attempt-scoped cancellation
     # ------------------------------------------------------------------
-    def _admit(self, logical: float) -> SimEvent:
-        """Reserve ``logical`` bytes; the event triggers once they fit."""
-        if logical > self.capacity_bytes:
-            raise RelayCapacityExceeded(self.relay_id, logical, self.capacity_bytes)
-        event = SimEvent(self.sim, name=f"{self.relay_id}.admit({logical:g}B)")
-        if not self._waiters and self.used_logical + logical <= self.capacity_bytes:
-            self._reserve(logical)
+    def cancel_attempt(self, attempt_id: str | None, fence: bool = True) -> float:
+        """Reclaim a dead attempt's reservations; returns bytes reclaimed.
+
+        Idempotent.  With ``fence`` (the default) the attempt id is also
+        fenced: any later request it issues fails with
+        :class:`~repro.cloud.vm.errors.RelayAttemptFenced`, so a zombie
+        attempt that somehow keeps running cannot clobber the partitions
+        of the attempt that replaced it.  Committed entries are *not*
+        touched — data the attempt finished publishing stays valid (the
+        exchange is idempotent by content).
+        """
+        if attempt_id is None:
+            return 0.0
+        if fence:
+            self._fenced.add(attempt_id)
+        reclaimed = 0.0
+        for reservation in list(self._attempt_reservations.get(attempt_id, ())):
+            reclaimed += self._abort_push(reservation)
+        if reclaimed > 0:
+            self.stats.reclaimed_bytes += reclaimed
+        self.sim.timeline.record(
+            self.sim.now, "relay", "cancel_attempt",
+            relay=self.relay_id, attempt=attempt_id, reclaimed=reclaimed,
+        )
+        return reclaimed
+
+    def is_fenced(self, attempt_id: str | None) -> bool:
+        return attempt_id is not None and attempt_id in self._fenced
+
+    def _check_fence(self, attempt_id: str | None) -> None:
+        if self.is_fenced(attempt_id):
+            self.stats.fenced_requests += 1
+            raise RelayAttemptFenced(self.relay_id, t.cast(str, attempt_id))
+
+    def residual_reservation_bytes(self, attempt_id: str | None = None) -> float:
+        """Bytes still held by in-flight reservations (one attempt or all).
+
+        Zero after a job has settled means no attempt leaked memory —
+        the invariant every chaos test asserts.
+        """
+        if attempt_id is not None:
+            reservations = self._attempt_reservations.get(attempt_id, set())
+        else:
+            reservations = self._reservations
+        return sum(reservation.held_bytes for reservation in reservations)
+
+    @property
+    def entry_bytes(self) -> float:
+        """Logical bytes of committed (resident) partitions."""
+        return sum(entry.logical for entry in self._entries.values())
+
+    def check_memory_accounting(self) -> None:
+        """Assert reserved memory == resident entries + in-flight holds.
+
+        Cheap enough for tests to call after every chaos run; a drift
+        means a cancellation path leaked or double-released.
+        """
+        expected = self.entry_bytes + self.residual_reservation_bytes()
+        if abs(self.used_logical - expected) > 1e-6:
+            raise SimulationError(
+                f"{self.relay_id}: memory accounting drifted — used "
+                f"{self.used_logical:.0f} != entries {self.entry_bytes:.0f} "
+                f"+ in-flight {self.residual_reservation_bytes():.0f}"
+            )
+
+    # ------------------------------------------------------------------
+    # memory admission (backpressure) and the atomic-swap push protocol
+    # ------------------------------------------------------------------
+    def _begin_push(
+        self, keys: list[str], resident_total: float, attempt: str | None
+    ) -> _PushReservation:
+        """Open a push: reserve ``resident_total`` minus the swap credit.
+
+        The credit is the bytes of resident entries under ``keys``: they
+        stay readable during the transfer and are exchanged atomically
+        at commit, so only the *growth* needs admission.  A same-size
+        re-push (the retried-mapper case) is admitted immediately even
+        on a full relay.
+
+        Re-checks the fence: an attempt cancelled while this push was
+        still parked upstream (token bucket, request latency) has no
+        reservation yet for :meth:`cancel_attempt` to abort, so the
+        fence must stop it here, before it takes custody of memory.
+        """
+        self._check_fence(attempt)
+        credit = sum(
+            entry.logical
+            for key in dict.fromkeys(keys)
+            if (entry := self._entries.get(key)) is not None
+        )
+        extra = max(0.0, resident_total - credit)
+        event = SimEvent(self.sim, name=f"{self.relay_id}.admit({extra:g}B)")
+        reservation = _PushReservation(keys, resident_total, extra, attempt, event)
+        self._reservations.add(reservation)
+        if attempt is not None:
+            self._attempt_reservations.setdefault(attempt, set()).add(reservation)
+        for key in keys:
+            self._pending_swaps[key] = reservation
+        if not self._waiters and self.used_logical + extra <= self.capacity_bytes:
+            self._reserve(extra)
+            reservation.state = _RESERVED
             event.succeed()
         else:
             self.stats.backpressure_waits += 1
-            self._waiters.append((logical, event))
-        return event
+            self._waiters.append(reservation)
+        return reservation
+
+    def _commit_push(
+        self,
+        reservation: _PushReservation,
+        items: t.Sequence[tuple[str, bytes]],
+        logicals: t.Sequence[float],
+    ) -> None:
+        """Atomically swap the pushed entries in and settle the books.
+
+        Runs synchronously (no yields) after the transfer completed:
+        readers observe either every old value or every new one, never a
+        gap.  The settlement ``delta`` reconciles what this reservation
+        holds (``extra`` + ``absorbed``) plus the entries it pops against
+        what the new entries need; concurrent same-key swaps (a fenced
+        race that slipped through) self-correct here because popped
+        entries are credited at their *actual* size.
+        """
+        if reservation.state != _RESERVED:
+            # Cancelled while the transfer drained (direct cancel_attempt
+            # without a process interrupt): the memory is already
+            # reclaimed, the data must not land.
+            raise RelayAttemptFenced(self.relay_id, reservation.attempt or "?")
+        resident: dict[str, tuple[bytes, float]] = {}
+        for (key, data), logical in zip(items, logicals):
+            resident[key] = (data, logical)  # duplicate keys: last wins
+        actual_old = 0.0
+        for key in resident:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                actual_old += previous.logical
+        for key, (data, logical) in resident.items():
+            self._entries[key] = _Entry(bytes(data), logical)
+        reservation.state = _COMMITTED
+        resident_total = sum(logical for _data, logical in resident.values())
+        delta = reservation.extra + reservation.absorbed + actual_old - resident_total
+        self._unregister(reservation)
+        self.stats.pushes += len(items)
+        self.stats.bytes_in += sum(logicals)
+        if delta > 0:
+            self._release(delta)
+        elif delta < 0:
+            self._reserve(-delta)
+
+    def _abort_push(self, reservation: _PushReservation) -> float:
+        """Reclaim an uncommitted push; returns the bytes released.
+
+        Idempotent; safe from both the op process's own unwind (it was
+        interrupted) and :meth:`cancel_attempt` (the process may already
+        be gone).  A still-queued admission is failed so a pusher that
+        was *not* interrupted unwinds instead of waiting forever.
+        """
+        if reservation.state in (_COMMITTED, _ABORTED):
+            return 0.0
+        was_waiting = reservation.state == _WAITING
+        reclaimed = reservation.held_bytes
+        reservation.state = _ABORTED
+        if reservation.transfer_event is not None:
+            transfer = reservation.transfer_event
+            reservation.transfer_event = None
+            self.link.abort(transfer)
+            if not transfer.triggered:
+                # A pusher that was not interrupted (direct cancel_attempt)
+                # is still waiting on this flow: fail it so the op unwinds
+                # instead of waiting forever on an aborted transfer.
+                transfer.fail(
+                    RelayAttemptFenced(self.relay_id, reservation.attempt or "?")
+                )
+        if was_waiting and not reservation.admission_event.triggered:
+            reservation.admission_event.fail(
+                RelayAttemptFenced(self.relay_id, reservation.attempt or "?")
+            )
+        self._unregister(reservation)
+        self.stats.cancelled_transfers += 1
+        if reclaimed > 0:
+            self._release(reclaimed)
+        elif was_waiting:
+            # Nothing to release, but the head of the admission queue
+            # may be this reservation: let followers move up.
+            self._drain_waiters()
+        return reclaimed
+
+    def _unregister(self, reservation: _PushReservation) -> None:
+        self._reservations.discard(reservation)
+        if reservation.attempt is not None:
+            attempt_set = self._attempt_reservations.get(reservation.attempt)
+            if attempt_set is not None:
+                attempt_set.discard(reservation)
+                if not attempt_set:
+                    del self._attempt_reservations[reservation.attempt]
+        for key in reservation.keys:
+            if self._pending_swaps.get(key) is reservation:
+                del self._pending_swaps[key]
 
     def _reserve(self, logical: float) -> None:
         self.used_logical += logical
@@ -160,44 +442,36 @@ class PartitionRelay:
 
     def _release(self, logical: float) -> None:
         self.used_logical -= logical
+        self._drain_waiters()
+
+    def _drain_waiters(self) -> None:
         while self._waiters:
-            pending, event = self._waiters[0]
-            if self.used_logical + pending > self.capacity_bytes:
+            head = self._waiters[0]
+            if head.state == _ABORTED:
+                self._waiters.popleft()
+                continue
+            if self.used_logical + head.extra > self.capacity_bytes:
                 break
             self._waiters.popleft()
-            self._reserve(pending)
-            event.succeed()
+            self._reserve(head.extra)
+            head.state = _RESERVED
+            head.admission_event.succeed()
 
     # ------------------------------------------------------------------
     # bookkeeping (synchronous; the client pays latency/bandwidth)
     # ------------------------------------------------------------------
-    def _evict_existing(self, keys: t.Iterable[str]) -> None:
-        """Drop current entries for ``keys``, releasing their memory.
+    def _entry_removed(self, key: str, logical: float) -> float:
+        """Bytes to release for a consumed/deleted entry.
 
-        Called *before* a replacing PUSH admits its payload: admitting
-        the full new size while the old entry's reservation is still
-        held would demand old+new bytes at once and deadlock a
-        re-pushed (retried/speculative) mapper against a full relay.
-        The key is briefly absent during the replacing transfer — the
-        single-copy semantics of a real in-memory rendezvous.
+        If a replacing push is in flight for ``key``, the bytes are
+        absorbed into its reservation instead (the incoming payload
+        needs them anyway) — released only if that push later aborts.
         """
-        released = 0.0
-        for key in keys:
-            previous = self._entries.pop(key, None)
-            if previous is not None:
-                released += previous.logical
-        if released > 0:
-            self._release(released)
-
-    def _store(self, key: str, data: bytes, logical: float) -> None:
-        previous = self._entries.pop(key, None)
-        self._entries[key] = _Entry(bytes(data), logical)
-        self.stats.pushes += 1
-        self.stats.bytes_in += logical
-        if previous is not None:
-            # A concurrent push stored this key mid-transfer; its
-            # reservation is superseded by ours.
-            self._release(previous.logical)
+        swap = self._pending_swaps.get(key)
+        if swap is not None and swap.state in (_WAITING, _RESERVED):
+            swap.absorbed += logical
+            return 0.0
+        return logical
 
     def _lookup(self, key: str) -> _Entry:
         """Resolve ``key`` or raise, counting the miss.  No pull stats:
@@ -212,12 +486,21 @@ class PartitionRelay:
         self.stats.pulls += count
         self.stats.bytes_out += logical
 
+    def _consume_entry(self, key: str) -> None:
+        removed = self._entries.pop(key, None)
+        if removed is not None:
+            release = self._entry_removed(key, removed.logical)
+            if release > 0:
+                self._release(release)
+
     def _remove(self, key: str) -> bool:
         entry = self._entries.pop(key, None)
         self.stats.deletes += 1
         if entry is None:
             return False
-        self._release(entry.logical)
+        release = self._entry_removed(key, entry.logical)
+        if release > 0:
+            self._release(release)
         return True
 
     # ------------------------------------------------------------------
@@ -255,12 +538,28 @@ class RelayClient:
     Batched MPUSH/MPULL pay *one* request latency for the whole batch —
     there is a single server, so pipelining is even cheaper than the
     cache's one-latency-per-node-touched.
+
+    A worker-side client is bound to its activation: requests are tagged
+    with ``attempt_id`` (reservations become reclaimable, fenced
+    attempts are rejected) and request processes register with ``owner``
+    so the platform's kill interrupts them mid-flight.  Every operation
+    body cleans up after an interrupt — queued tokens are withdrawn,
+    in-flight flows aborted, reservations released — so a killed attempt
+    leaves the relay exactly as if its request had never arrived.
     """
 
-    def __init__(self, relay: PartitionRelay, connection_bandwidth: float | None):
+    def __init__(
+        self,
+        relay: PartitionRelay,
+        connection_bandwidth: float | None,
+        attempt_id: str | None = None,
+        owner=None,
+    ):
         self.relay = relay
         self.sim = relay.sim
         self.connection_bandwidth = connection_bandwidth
+        self.attempt_id = attempt_id
+        self.owner = owner
         self._profile = relay.service.profile
         self._scale = relay.service.logical_scale
 
@@ -269,7 +568,10 @@ class RelayClient:
     # ------------------------------------------------------------------
     def push(self, key: str, data: bytes, logical_size: float | None = None) -> SimEvent:
         """Store ``key``; event → ``None``.  Waits under backpressure."""
-        return self._spawn(self._push_op(key, data, logical_size), f"push:{key}")
+        sizes = None if logical_size is None else [logical_size]
+        return self._spawn(
+            self._store_op([(key, data)], sizes, batched=False), f"push:{key}"
+        )
 
     def pull(self, key: str, consume: bool = False) -> SimEvent:
         """Fetch ``key``; event → ``bytes``.  ``consume`` frees its memory."""
@@ -288,7 +590,9 @@ class RelayClient:
         logical_sizes: t.Sequence[float] | None = None,
     ) -> SimEvent:
         """Store many keys over one connection; event → ``None``."""
-        return self._spawn(self._mpush_op(list(items), logical_sizes), "mpush")
+        return self._spawn(
+            self._store_op(list(items), logical_sizes, batched=True), "mpush"
+        )
 
     def mpull(self, keys: t.Sequence[str], consume: bool = False) -> SimEvent:
         """Fetch many keys over one connection; event → payload list.
@@ -305,9 +609,12 @@ class RelayClient:
         return self._spawn(self._mdelete_op(list(keys)), "mdelete")
 
     def _spawn(self, generator: t.Generator, label: str) -> SimEvent:
-        return self.sim.process(
+        process = self.sim.process(
             generator, name=f"{self.relay.relay_id}.{label}"
-        ).completion
+        )
+        if self.owner is not None:
+            self.owner.track(process)
+        return process.completion
 
     # ------------------------------------------------------------------
     # operation bodies
@@ -320,146 +627,184 @@ class RelayClient:
     def _latency(self) -> float:
         return self._profile.relay_request_latency.sample(self.relay._rng)
 
+    def _consume_ops(self, amount: float) -> t.Generator:
+        """Take ``amount`` rate-limit tokens, in bucket-sized chunks.
+
+        Withdraws the pending request from the bucket if the op is
+        interrupted mid-wait, so a dead attempt neither burns tokens nor
+        stalls the FIFO behind a ghost.
+        """
+        remaining = amount
+        while remaining > 0:
+            take = min(remaining, self.relay.ops.capacity)
+            pending = self.relay.ops.consume(take)
+            try:
+                yield pending
+            except BaseException:
+                self.relay.ops.cancel(pending)
+                raise
+            remaining -= take
+
     def _flow_cap(self) -> float | None:
         return self.connection_bandwidth
 
     def _transfer(self, logical: float) -> SimEvent:
         return self.relay.link.transfer(logical, self._flow_cap())
 
-    def _push_op(
-        self, key: str, data: bytes, logical_size: float | None
-    ) -> t.Generator:
-        self.relay.ensure_running()
-        yield self.relay.ops.consume(1.0)
-        yield self.sim.timeout(self._latency())
-        logical = self._logical(data, logical_size)
-        # Fail before evicting: a rejected push must leave the key's
-        # previous value (if any) intact.
-        if logical > self.relay.capacity_bytes:
-            raise RelayCapacityExceeded(
-                self.relay.relay_id, logical, self.relay.capacity_bytes
-            )
-        self.relay._evict_existing([key])
-        yield self.relay._admit(logical)
-        if logical > 0:
-            yield self._transfer(logical)
-        self.relay._store(key, data, logical)
-        return None
-
-    def _pull_op(self, key: str, consume: bool) -> t.Generator:
-        self.relay.ensure_running()
-        yield self.relay.ops.consume(1.0)
-        yield self.sim.timeout(self._latency())
-        entry = self.relay._lookup(key)
-        if entry.logical > 0:
-            yield self._transfer(entry.logical)
-        self.relay._record_pulls(1, entry.logical)
-        if consume:
-            removed = self.relay._entries.pop(key, None)
-            if removed is not None:
-                self.relay._release(removed.logical)
-        return entry.data
-
-    def _delete_op(self, key: str) -> t.Generator:
-        self.relay.ensure_running()
-        yield self.relay.ops.consume(1.0)
-        yield self.sim.timeout(self._latency())
-        return self.relay._remove(key)
-
-    def _mpush_op(
+    def _store_op(
         self,
         items: list[tuple[str, bytes]],
         logical_sizes: t.Sequence[float] | None,
+        batched: bool,
     ) -> t.Generator:
+        """Shared body of PUSH and MPUSH: admit → transfer → atomic swap.
+
+        The batch is admitted as a whole (two concurrent MPUSHes that
+        reserved item-by-item could each hold half their batch and
+        deadlock waiting for the other), with resident entries under the
+        same keys counted as credit — they stay pullable during the
+        transfer and are swapped out atomically at commit.  The price of
+        whole-batch admission is that a batch larger than usable memory
+        is a hard RelayCapacityExceeded even when its items would fit
+        one at a time — push those individually instead.  A rejected or
+        cancelled (M)PUSH is side-effect-free: previous values survive
+        untouched.
+        """
         self.relay.ensure_running()
+        self.relay._check_fence(self.attempt_id)
         if not items:
             return None
         if logical_sizes is not None and len(logical_sizes) != len(items):
-            raise SimulationError("mpush: logical_sizes length does not match items")
-        yield from self._consume_ops(float(len(items)))
-        yield self.sim.timeout(self._latency())
-        logicals = [
-            logical_sizes[index]
-            if logical_sizes is not None
-            else self._logical(data, None)
-            for index, (_key, data) in enumerate(items)
-        ]
-        # Admit the batch as a whole, then stream it through one flow.
-        # Atomic admission is deliberate: two concurrent MPUSHes that
-        # reserved item-by-item could each hold half their batch and
-        # deadlock waiting for the other.  The price is that a batch
-        # larger than usable memory is a hard RelayCapacityExceeded
-        # (from _admit) even when its items would fit one at a time —
-        # push those individually instead.  Entries being replaced are
-        # evicted first so a re-pushed batch never demands old+new
-        # bytes at once (the retried-mapper case) — but only after the
-        # batch is known to fit, so a rejected MPUSH is side-effect-free.
-        total = sum(logicals)
-        if total > self.relay.capacity_bytes:
-            raise RelayCapacityExceeded(
-                self.relay.relay_id, total, self.relay.capacity_bytes
+            raise SimulationError(
+                f"{'mpush' if batched else 'push'}: logical_sizes length "
+                "does not match items"
             )
-        self.relay._evict_existing([key for key, _data in items])
-        yield self.relay._admit(total)
-        if total > 0:
-            yield self._transfer(total)
-        for (key, data), logical in zip(items, logicals):
-            self.relay._store(key, data, logical)
-        self.sim.timeline.record(
-            self.sim.now, "relay", "mpush",
-            relay=self.relay.relay_id, keys=len(items), logical=total,
-        )
-        return None
+        reservation: _PushReservation | None = None
+        transfer: SimEvent | None = None
+        try:
+            yield from self._consume_ops(float(len(items)))
+            yield self.sim.timeout(self._latency())
+            logicals = [
+                logical_sizes[index]
+                if logical_sizes is not None
+                else self._logical(data, None)
+                for index, (_key, data) in enumerate(items)
+            ]
+            resident_total = sum(
+                {key: logical for (key, _d), logical in zip(items, logicals)}.values()
+            )
+            if resident_total > self.relay.capacity_bytes:
+                raise RelayCapacityExceeded(
+                    self.relay.relay_id, resident_total, self.relay.capacity_bytes
+                )
+            reservation = self.relay._begin_push(
+                [key for key, _data in items], resident_total, self.attempt_id
+            )
+            yield reservation.admission_event
+            total = sum(logicals)
+            if total > 0:
+                transfer = self._transfer(total)
+                reservation.transfer_event = transfer
+                yield transfer
+                reservation.transfer_event = None
+                transfer = None
+            self.relay._commit_push(reservation, items, logicals)
+            reservation = None
+            if batched:
+                self.sim.timeline.record(
+                    self.sim.now, "relay", "mpush",
+                    relay=self.relay.relay_id, keys=len(items), logical=total,
+                )
+            return None
+        except BaseException:
+            if transfer is not None:
+                self.relay.link.abort(transfer)
+            if reservation is not None:
+                self.relay._abort_push(reservation)
+            raise
+
+    def _pull_op(self, key: str, consume: bool) -> t.Generator:
+        self.relay.ensure_running()
+        self.relay._check_fence(self.attempt_id)
+        transfer: SimEvent | None = None
+        try:
+            yield from self._consume_ops(1.0)
+            yield self.sim.timeout(self._latency())
+            # Fence re-check: the attempt may have been cancelled while
+            # this request was parked upstream; a consuming pull from a
+            # zombie must not destroy the winner's partition.
+            self.relay._check_fence(self.attempt_id)
+            entry = self.relay._lookup(key)
+            if entry.logical > 0:
+                transfer = self._transfer(entry.logical)
+                yield transfer
+                transfer = None
+            self.relay._record_pulls(1, entry.logical)
+            if consume:
+                self.relay._consume_entry(key)
+            return entry.data
+        except BaseException:
+            if transfer is not None:
+                self.relay.link.abort(transfer)
+            raise
+
+    def _delete_op(self, key: str) -> t.Generator:
+        self.relay.ensure_running()
+        self.relay._check_fence(self.attempt_id)
+        yield from self._consume_ops(1.0)
+        yield self.sim.timeout(self._latency())
+        self.relay._check_fence(self.attempt_id)  # zombies must not delete
+        return self.relay._remove(key)
 
     def _mpull_op(self, keys: list[str], consume: bool) -> t.Generator:
         self.relay.ensure_running()
+        self.relay._check_fence(self.attempt_id)
         if not keys:
             return []
-        yield from self._consume_ops(float(len(keys)))
-        yield self.sim.timeout(self._latency())
-        # Non-destructive lookups first: a missing key mid-batch must
-        # fail the whole MPULL without having consumed (or counted as
-        # served, or leaked the reservation of) the keys before it.
-        entries = [self.relay._lookup(key) for key in keys]
-        total = sum(entry.logical for entry in entries)
-        if total > 0:
-            yield self._transfer(total)
-        # bytes_out counts logical bytes *served* (duplicate keys in the
-        # batch transfer — and count — once per occurrence).
-        self.relay._record_pulls(len(keys), total)
-        if consume:
-            released = 0.0
-            for key in keys:
-                removed = self.relay._entries.pop(key, None)
-                if removed is not None:  # duplicates in the batch pop once
-                    released += removed.logical
-            self.relay._release(released)
-        self.sim.timeline.record(
-            self.sim.now, "relay", "mpull",
-            relay=self.relay.relay_id, keys=len(keys), logical=total,
-        )
-        return [entry.data for entry in entries]
+        transfer: SimEvent | None = None
+        try:
+            yield from self._consume_ops(float(len(keys)))
+            yield self.sim.timeout(self._latency())
+            self.relay._check_fence(self.attempt_id)  # see _pull_op
+            # Non-destructive lookups first: a missing key mid-batch must
+            # fail the whole MPULL without having consumed (or counted as
+            # served, or leaked the reservation of) the keys before it.
+            entries = [self.relay._lookup(key) for key in keys]
+            total = sum(entry.logical for entry in entries)
+            if total > 0:
+                transfer = self._transfer(total)
+                yield transfer
+                transfer = None
+            # bytes_out counts logical bytes *served* (duplicate keys in the
+            # batch transfer — and count — once per occurrence).
+            self.relay._record_pulls(len(keys), total)
+            if consume:
+                for key in keys:  # duplicates in the batch pop once
+                    self.relay._consume_entry(key)
+            self.sim.timeline.record(
+                self.sim.now, "relay", "mpull",
+                relay=self.relay.relay_id, keys=len(keys), logical=total,
+            )
+            return [entry.data for entry in entries]
+        except BaseException:
+            if transfer is not None:
+                self.relay.link.abort(transfer)
+            raise
 
     def _mdelete_op(self, keys: list[str]) -> t.Generator:
         self.relay.ensure_running()
+        self.relay._check_fence(self.attempt_id)
         if not keys:
             return 0
         yield from self._consume_ops(float(len(keys)))
         yield self.sim.timeout(self._latency())
+        self.relay._check_fence(self.attempt_id)  # zombies must not delete
         removed = sum(1 for key in keys if self.relay._remove(key))
         self.sim.timeline.record(
             self.sim.now, "relay", "mdelete",
             relay=self.relay.relay_id, keys=len(keys), removed=removed,
         )
         return removed
-
-    def _consume_ops(self, amount: float) -> t.Generator:
-        """Take ``amount`` rate-limit tokens, in bucket-sized chunks."""
-        remaining = amount
-        while remaining > 0:
-            take = min(remaining, self.relay.ops.capacity)
-            yield self.relay.ops.consume(take)
-            remaining -= take
 
 
 # ----------------------------------------------------------------------

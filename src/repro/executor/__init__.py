@@ -8,7 +8,7 @@ from repro.executor.executor import (
 )
 from repro.executor.futures import CallState, CallStats, ResponseFuture
 from repro.executor.job import JobRecord
-from repro.executor.speculation import JobSpeculator, SpeculationPolicy
+from repro.executor.speculation import AttemptHandle, JobSpeculator, SpeculationPolicy
 from repro.executor.partitioner import (
     ByteRange,
     align_start_to_record,
@@ -21,6 +21,7 @@ from repro.executor.standalone import StandaloneExecutor, VmWorkerContext
 __all__ = [
     "ALL_COMPLETED",
     "ANY_COMPLETED",
+    "AttemptHandle",
     "ByteRange",
     "CallState",
     "CallStats",

@@ -35,7 +35,7 @@ from repro.cloud.storageview import BoundStorage
 from repro.errors import ExecutorError
 from repro.executor.futures import ResponseFuture
 from repro.executor.job import JobRecord
-from repro.executor.speculation import JobSpeculator, SpeculationPolicy
+from repro.executor.speculation import AttemptHandle, JobSpeculator, SpeculationPolicy
 from repro.sim import SimEvent
 from repro.storage import paths
 from repro.storage.api import Storage
@@ -318,20 +318,36 @@ class FunctionExecutor:
         self.sim.all_of([f.done_event for f in futures]).add_callback(mark_finished)
         return futures[0] if single else futures
 
-    def _invoke_with_retries(self, payload: dict) -> t.Generator:
+    def _invoke_with_retries(
+        self, payload: dict, handle: "AttemptHandle | None" = None
+    ) -> t.Generator:
         """Invoke once, re-invoking on infrastructure failures only.
 
         Crashes (:class:`FunctionCrashed`) are the platform's fault and
         retried up to ``self.retries`` times, Lithops-style.  Anything
-        the user function raised passes straight through.
+        the user function raised passes straight through — as does
+        :class:`FunctionCancelled`: a cancelled attempt (the losing side
+        of a speculative race) must never resurrect itself by retrying.
+
+        ``handle`` (owned by a :class:`~repro.executor.speculation.JobSpeculator`)
+        is kept pointed at the live activation so the speculator can
+        cancel this attempt wherever it currently is — including between
+        a crash and the relaunch.
         """
-        from repro.cloud.faas.errors import FunctionCrashed
+        from repro.cloud.faas.errors import FunctionCancelled, FunctionCrashed
 
         attempt = 0
         while True:
+            if handle is not None and handle.cancel_requested:
+                raise FunctionCancelled(self._runtime_name, "attempt cancelled")
+            activation = self.cloud.faas.launch(self._runtime_name, payload)
+            if handle is not None:
+                handle.activation_id = activation.activation_id
             try:
-                result = yield self.cloud.faas.invoke(self._runtime_name, payload)
+                result = yield activation.completion
                 return result
+            except FunctionCancelled:
+                raise
             except FunctionCrashed:
                 attempt += 1
                 if attempt > self.retries:

@@ -11,8 +11,14 @@ implements it callback-style on the simulation kernel (no polling
 process).  The executor exposes it through ``map(..., speculation=...)``.
 
 Duplicated attempts write to the same output key, so the winner is
-simply the first attempt to settle — the idempotence that makes backup
-tasks safe in the real Lithops data path too.
+simply the first attempt to settle.  Losing attempts are not left to
+drain: the moment a call settles, the speculator **cancels** every
+other outstanding attempt through the platform's attempt-scoped cancel
+(:meth:`~repro.cloud.faas.platform.FaasPlatform.cancel`), which stops
+their billing, interrupts their in-flight transfers, and fences them
+out of stateful substrates like the VM partition relay.  That is what
+makes speculation safe on *every* exchange substrate, not only the
+idempotent object-storage path.
 """
 
 from __future__ import annotations
@@ -26,6 +32,29 @@ from repro.sim import SimEvent
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.executor.executor import FunctionExecutor
+
+
+class AttemptHandle:
+    """Cancel lever for one retry-looped attempt of one call.
+
+    The executor's retry loop keeps ``activation_id`` pointed at the
+    attempt's *current* activation; :meth:`cancel` kills that activation
+    and latches ``cancel_requested`` so the loop cannot relaunch after a
+    crash that raced the cancellation.
+    """
+
+    __slots__ = ("executor", "activation_id", "cancel_requested")
+
+    def __init__(self, executor: "FunctionExecutor"):
+        self.executor = executor
+        self.activation_id: str | None = None
+        self.cancel_requested = False
+
+    def cancel(self, reason: str = "lost speculative race") -> bool:
+        self.cancel_requested = True
+        if self.activation_id is None:
+            return False
+        return self.executor.cloud.faas.cancel(self.activation_id, reason)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -85,10 +114,15 @@ class JobSpeculator:
         self._started_at: dict[int, float] = {}
         self._outstanding: dict[int, int] = {}
         self._backups_launched: dict[int, int] = {}
+        #: Live attempt handles per call; the losers are cancelled the
+        #: moment the call settles.
+        self._attempts: dict[int, list[AttemptHandle]] = {}
         self._durations: list[float] = []
         self._expected_calls: int | None = None
         #: Backup attempts launched (visible to tests and reports).
         self.speculative_launches = 0
+        #: Losing attempts cancelled after their call settled.
+        self.cancelled_losers = 0
 
     # ------------------------------------------------------------------
     # executor-facing API
@@ -105,6 +139,7 @@ class JobSpeculator:
         self._started_at[call_id] = self.sim.now
         self._outstanding[call_id] = 0
         self._backups_launched[call_id] = 0
+        self._attempts[call_id] = []
         self._launch_attempt(call_id)
         return settle
 
@@ -113,26 +148,52 @@ class JobSpeculator:
     # ------------------------------------------------------------------
     def _launch_attempt(self, call_id: int) -> None:
         self._outstanding[call_id] += 1
+        handle = AttemptHandle(self.executor)
+        self._attempts[call_id].append(handle)
         attempt = self.sim.process(
-            self.executor._invoke_with_retries(self._payloads[call_id]),
+            self.executor._invoke_with_retries(self._payloads[call_id], handle),
             name=f"speculate.attempt.{call_id}",
         ).completion
         attempt.add_callback(
-            lambda event, call_id=call_id: self._on_attempt_done(call_id, event)
+            lambda event, call_id=call_id, handle=handle: self._on_attempt_done(
+                call_id, handle, event
+            )
         )
 
-    def _on_attempt_done(self, call_id: int, event: SimEvent) -> None:
+    def _on_attempt_done(self, call_id: int, handle: AttemptHandle, event: SimEvent) -> None:
         settle = self._settles[call_id]
         self._outstanding[call_id] -= 1
+        attempts = self._attempts[call_id]
+        if handle in attempts:
+            attempts.remove(handle)
         if settle.triggered:
             return  # a faster attempt already decided this call
         if event.ok:
             self._durations.append(self.sim.now - self._started_at[call_id])
             settle.succeed(event.value)
+            self._cancel_losers(call_id)
             self._maybe_speculate()
         elif self._outstanding[call_id] == 0:
             # Every attempt for this call has failed — so does the call.
             settle.fail(event.exception)  # type: ignore[arg-type]
+
+    def _cancel_losers(self, call_id: int) -> None:
+        """Kill every attempt still running for a settled call.
+
+        The platform's attempt-scoped cancellation stops the loser's
+        billing clock and reclaims whatever it reserved on stateful
+        exchange substrates — losers no longer drain to completion.
+        """
+        for handle in list(self._attempts[call_id]):
+            handle.cancel()
+            self.cancelled_losers += 1
+            self.sim.timeline.record(
+                self.sim.now,
+                "executor",
+                "speculative_cancel",
+                call_id=call_id,
+                activation=handle.activation_id or "",
+            )
 
     # ------------------------------------------------------------------
     # straggler detection

@@ -11,7 +11,9 @@ from repro.experiments.format import format_rows
 from repro.experiments.sweeps import (
     sweep_codec,
     sweep_exchange,
+    sweep_exchange_faults,
     sweep_exchange_pipelines,
+    sweep_exchange_speculation,
     sweep_fault_rate,
     sweep_io_ablation,
     sweep_memory,
@@ -31,7 +33,9 @@ __all__ = [
     "render_figure1",
     "sweep_codec",
     "sweep_exchange",
+    "sweep_exchange_faults",
     "sweep_exchange_pipelines",
+    "sweep_exchange_speculation",
     "sweep_fault_rate",
     "sweep_io_ablation",
     "sweep_memory",

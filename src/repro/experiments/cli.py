@@ -13,6 +13,8 @@ Usage::
     repro-experiments sweep-exchange
     repro-experiments sweep-faults
     repro-experiments sweep-speculation
+    repro-experiments sweep-exchange-faults
+    repro-experiments sweep-exchange-speculation
     repro-experiments sweep-tuner
     repro-experiments sweep-multicloud
     repro-experiments exchange
@@ -64,6 +66,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-exchange",
         "sweep-faults",
         "sweep-speculation",
+        "sweep-exchange-faults",
+        "sweep-exchange-speculation",
         "sweep-tuner",
         "sweep-multicloud",
         "exchange",
@@ -110,6 +114,16 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "sweep-speculation":
         _print_rows(
             "S9b: straggler mitigation", sweeps.sweep_speculation(_config(args))
+        )
+    elif args.command == "sweep-exchange-faults":
+        _print_rows(
+            "S9c: crash injection by exchange substrate",
+            sweeps.sweep_exchange_faults(_config(args)),
+        )
+    elif args.command == "sweep-exchange-speculation":
+        _print_rows(
+            "S9d: speculation by exchange substrate",
+            sweeps.sweep_exchange_speculation(_config(args)),
         )
     elif args.command == "sweep-tuner":
         _print_rows(

@@ -25,6 +25,7 @@ from repro.core.pipelines import (
     VM_SUPPORTED,
 )
 from repro.executor.executor import FunctionExecutor
+from repro.executor.speculation import SpeculationPolicy
 from repro.methcomp.codec import compression_ratio, gzip_ratio
 from repro.methcomp.datagen import MethylomeGenerator
 from repro.methcomp.pipeline import bed_record_codec
@@ -317,6 +318,172 @@ def sweep_exchange_pipelines(
 # ----------------------------------------------------------------------
 # S9: fault injection and straggler mitigation
 # ----------------------------------------------------------------------
+def _exchange_operator(cloud: Cloud, config: ExperimentConfig, strategy: str,
+                       executor: FunctionExecutor):
+    """One shuffle operator + its provisioned substrate (or None)."""
+    if strategy == "objectstore":
+        return ShuffleSort(
+            executor, bed_record_codec(), cost=config.workload.shuffle_cost_model()
+        ), None
+    if strategy == "cache":
+        profile = config.make_profile()
+        nodes = required_cache_nodes(
+            config.logical_bytes, profile, config.cache_node_type
+        )
+        cluster = cloud.cache.provision_ready(config.cache_node_type, nodes=nodes)
+        return CacheShuffleSort(
+            executor, bed_record_codec(), cluster,
+            cost=config.workload.cache_shuffle_cost_model(),
+        ), cluster
+    relay = relay_ready(cloud.vms, config.resolved_relay_instance_type)
+    return RelayShuffleSort(
+        executor, bed_record_codec(), relay,
+        cost=config.workload.relay_shuffle_cost_model(),
+    ), relay
+
+
+def sweep_exchange_faults(
+    config: ExperimentConfig | None = None,
+    crash_rates: t.Sequence[float] = (0.0, 0.1, 0.25),
+    strategies: t.Sequence[str] = EXCHANGE_SUBSTRATES,
+    workers: int = 16,
+    retries: int = 6,
+) -> list[dict]:
+    """S9c: crash-injected shuffle on every exchange substrate.
+
+    Attempt-scoped cancellation makes crash-retry safe on the stateful
+    substrates too: a killed mapper's in-flight transfers are aborted
+    and its reservations reclaimed, so the retried attempt never races
+    an orphaned predecessor.  Every row carries the artifact digest —
+    the sweep itself asserts byte parity with the crash-free run — and
+    the relay rows additionally report residual reservations, asserted
+    zero.
+    """
+    base = config if config is not None else ExperimentConfig()
+    rows = []
+    baseline_digest: str | None = None
+    for rate in crash_rates:
+        for strategy in strategies:
+            cloud = _fresh_cloud(base)
+            stage_input(cloud, base, "pipeline", "input/methylome.bed")
+            cloud.faas.crash_probability = rate
+            executor = FunctionExecutor(
+                cloud, runtime_memory_mb=base.function_memory_mb,
+                bucket="pipeline", retries=retries,
+            )
+            operator, provisioned = _exchange_operator(
+                cloud, base, strategy, executor
+            )
+
+            def driver():
+                return (
+                    yield operator.sort(
+                        "pipeline", "input/methylome.bed", workers=workers
+                    )
+                )
+
+            result = cloud.sim.run_process(driver())
+            digest = hashlib.sha256()
+            for run in result.runs:
+                digest.update(cloud.store.peek(run.bucket, run.key))
+            digest = digest.hexdigest()[:16]
+            if baseline_digest is None:
+                baseline_digest = digest
+            # Self-healing must be lossless on every substrate.
+            assert digest == baseline_digest, (
+                f"{strategy} diverged at crash rate {rate}"
+            )
+            residual = 0.0
+            if strategy == "relay":
+                residual = provisioned.residual_reservation_bytes()
+                assert residual == 0.0, "relay leaked reservations"
+                provisioned.check_memory_accounting()
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "crash_probability": rate,
+                    "sort_latency_s": result.duration_s,
+                    "crashes": cloud.faas.stats.crashes,
+                    "invocations": cloud.faas.stats.invocations,
+                    "reclaimed_bytes": (
+                        provisioned.stats.reclaimed_bytes
+                        if strategy == "relay" else 0.0
+                    ),
+                    "residual_bytes": residual,
+                    "output_digest": digest,
+                }
+            )
+            if provisioned is not None:
+                provisioned.terminate()
+    return rows
+
+
+def sweep_exchange_speculation(
+    config: ExperimentConfig | None = None,
+    strategies: t.Sequence[str] = EXCHANGE_SUBSTRATES,
+    workers: int = 16,
+    cold_start_sigma: float = 1.4,
+) -> list[dict]:
+    """S9d: straggler mitigation per exchange substrate.
+
+    The speculator cancels losing attempts through the platform, so
+    backup tasks are safe on the provisioned substrates too: identical
+    digests with speculation on, cancelled losers billed only up to the
+    kill (``cancelled_gb_s`` is the leftover cost of losing attempts).
+    """
+    base = config if config is not None else ExperimentConfig()
+    policy = SpeculationPolicy(quantile=0.7, latency_multiplier=1.3)
+    rows = []
+    digests: set[str] = set()
+    for strategy in strategies:
+        for label, speculation in (("off", None), ("on", policy)):
+            profile = base.make_profile()
+            profile.faas.cold_start.mean = 1.5
+            profile.faas.cold_start.sigma = cold_start_sigma
+            cloud = Cloud(Simulator(seed=base.seed), profile)
+            stage_input(cloud, base, "pipeline", "input/methylome.bed")
+            executor = FunctionExecutor(
+                cloud, runtime_memory_mb=base.function_memory_mb,
+                bucket="pipeline", speculation=speculation,
+            )
+            operator, provisioned = _exchange_operator(
+                cloud, base, strategy, executor
+            )
+
+            def driver():
+                return (
+                    yield operator.sort(
+                        "pipeline", "input/methylome.bed", workers=workers
+                    )
+                )
+
+            result = cloud.sim.run_process(driver())
+            digest = hashlib.sha256()
+            for run in result.runs:
+                digest.update(cloud.store.peek(run.bucket, run.key))
+            digests.add(digest.hexdigest())
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "speculation": label,
+                    "sort_latency_s": result.duration_s,
+                    "backup_tasks": executor.speculative_launches,
+                    "cancelled_attempts": cloud.faas.stats.cancellations,
+                    "cancelled_gb_s": sum(
+                        line.gb_seconds
+                        for line in cloud.faas.billing_log
+                        if line.outcome == "cancelled"
+                    ),
+                    "invocations": cloud.faas.stats.invocations,
+                }
+            )
+            if provisioned is not None:
+                provisioned.terminate()
+    # Speculation must never change the artifact, on any substrate.
+    assert len(digests) == 1, "speculation changed the sorted artifact"
+    return rows
+
+
 def sweep_fault_rate(
     config: ExperimentConfig | None = None,
     crash_rates: t.Sequence[float] = (0.0, 0.05, 0.15, 0.3),

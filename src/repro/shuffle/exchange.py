@@ -16,6 +16,18 @@ the generic :class:`~repro.shuffle.operator.ShuffleSort` drives one
 * **reporting** (:meth:`ExchangeBackend.report`) — substrate-specific
   execution metadata (cache fill, relay backpressure, ...).
 
+Fault handling and speculation are substrate-independent by design:
+every worker talks to its substrate through clients bound to the
+activation's *attempt id*
+(:attr:`~repro.cloud.faas.context.FunctionContext.attempt_id`), so when
+the platform kills an attempt — crash, timeout, or a lost speculative
+race — the substrate reclaims that attempt's in-flight state and fences
+the attempt out.  Object storage is idempotent by content (a retried
+mapper overwrites the same keys); the cache and relay rely on the
+attempt-scoped cancellation above.  All three therefore support
+executor retries *and* speculative backup tasks
+(:attr:`ExchangeBackend.supports_speculation`).
+
 Backends: :class:`ObjectStoreExchange` (here),
 :class:`~repro.shuffle.cacheoperator.CacheExchange` and
 :class:`~repro.shuffle.relay.RelayExchange`.
@@ -51,6 +63,10 @@ class ExchangeBackend(abc.ABC):
     process_label: t.ClassVar[str]
     #: Default output prefix of :meth:`ShuffleSort.sort`.
     default_out_prefix: t.ClassVar[str]
+    #: Whether speculative backup tasks are safe on this substrate.
+    #: True for all built-ins since attempt-scoped cancellation fences
+    #: losing attempts out of stateful substrates.
+    supports_speculation: t.ClassVar[bool] = True
 
     cost: t.Any
 

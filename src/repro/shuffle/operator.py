@@ -141,6 +141,15 @@ class ShuffleSort:
         max_workers: int,
     ) -> t.Generator:
         started_at = self.sim.now
+        if (
+            getattr(self.executor, "speculation", None) is not None
+            and not self.backend.supports_speculation
+        ):
+            raise ShuffleError(
+                f"substrate {self.backend.name!r} does not support "
+                "speculative execution; disable the executor's speculation "
+                "policy for this sort"
+            )
         meta = yield self.executor.storage.head_object(bucket, key)
         real_size = meta.size
         logical_size = meta.logical_size

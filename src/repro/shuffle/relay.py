@@ -11,7 +11,16 @@ requests for Table 1's provisioned-VM economics (boot latency +
 per-second billing).
 
 Task payloads carry the *relay id*; workers resolve it through their
-:meth:`~repro.cloud.faas.context.FunctionContext.relay` accessor.
+:meth:`~repro.cloud.faas.context.FunctionContext.relay` accessor, which
+binds the client to the activation's **attempt id**.  That binding is
+what makes the substrate safe under fault handling: a crashed or
+cancelled mapper's in-flight MPUSH is aborted and its memory
+reservation reclaimed immediately (no orphaned transfer races its
+retried successor), a replacing MPUSH swaps old for new atomically (a
+concurrent reducer never observes a missing key), and the loser of a
+speculative race is fenced out of the relay entirely.  Retries and
+speculation are therefore supported on the relay exactly as on object
+storage.
 """
 
 from __future__ import annotations
@@ -88,10 +97,12 @@ def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
     out_bucket, output_key, codec, sort_throughput, consume``.
 
     With ``consume`` the reducer deletes its relay partitions after its
-    sorted run is written.  Note this is still not crash-safe: an
-    attempt killed *after* the delete is re-invoked by the executor and
-    finds its partitions gone, so ``consume`` is an opt-in for
-    crash-free runs (exactly like the cache reducer's ``cleanup``).
+    sorted run is written.  Cancellation makes the *transfer* side of
+    retries and speculation safe, but ``consume`` remains an opt-in for
+    crash-free runs (exactly like the cache reducer's ``cleanup``): an
+    attempt killed *after* its delete landed is re-invoked by the
+    executor and finds its partitions gone — deletion is destructive,
+    not idempotent.
     """
     codec: RecordCodec = task["codec"]
     client = ctx.relay(task["relay_id"])

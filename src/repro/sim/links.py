@@ -116,6 +116,26 @@ class FairShareLink:
         self._reschedule()
         return event
 
+    def abort(self, event: SimEvent) -> bool:
+        """Abort the in-flight transfer identified by its completion event.
+
+        The flow stops consuming link capacity immediately; its event is
+        left untriggered (the aborting caller is unwinding and nobody
+        else may wait on a transfer event).  Returns whether a flow was
+        actually removed — ``False`` means the transfer had already
+        completed (or never contended, e.g. zero-byte transfers).
+        """
+        for flow_id, flow in self._flows.items():
+            if flow.event is event:
+                self._advance()
+                # Bytes already drained stay delivered (they crossed the
+                # wire); only the undelivered remainder is cancelled.
+                del self._flows[flow_id]
+                self._rerate()
+                self._reschedule()
+                return True
+        return False
+
     def utilization(self) -> float:
         """Current aggregate rate as a fraction of capacity (0..1)."""
         if math.isinf(self.capacity):

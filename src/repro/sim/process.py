@@ -78,6 +78,15 @@ class Process:
         return not self.completion.triggered
 
     @property
+    def interruptible(self) -> bool:
+        """Whether the process is parked at a yield (interrupt is legal).
+
+        False once finished or while mid-step; cancellation scopes check
+        this instead of poking at kernel internals.
+        """
+        return self.alive and self._waiting_on is not None
+
+    @property
     def result(self) -> object:
         """Return value of the generator (raises if failed/unfinished)."""
         return self.completion.value

@@ -161,6 +161,21 @@ class TokenBucket:
                 self.sim.timeout(delay).add_callback(self._on_wake)
             return
 
+    def cancel(self, event: SimEvent) -> bool:
+        """Withdraw a pending ``consume`` request identified by its event.
+
+        Used by cancellation paths so an interrupted process's queued
+        request neither burns tokens nor stalls later FIFO waiters.
+        Returns whether the request was still queued (``False`` once the
+        tokens were already taken).
+        """
+        for index, (_amount, waiter) in enumerate(self._waiters):
+            if waiter is event:
+                del self._waiters[index]
+                self._pump()  # the head request may now be servable
+                return True
+        return False
+
     def _on_wake(self, _event: SimEvent) -> None:
         self._wake_pending = False
         self._pump()

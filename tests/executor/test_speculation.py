@@ -172,3 +172,63 @@ class TestStragglerMitigation:
         run_map(cloud, executor, double, list(range(48)),
                 cpu_model=lambda x: 5.0)
         assert executor.speculative_launches >= first
+
+
+class TestLoserCancellation:
+    """Losing attempts are killed, not drained (attempt-scoped cancel)."""
+
+    @staticmethod
+    def _heavy_tail_profile():
+        profile = ibm_us_east()
+        profile.faas.cold_start.mean = 1.5
+        profile.faas.cold_start.sigma = 1.4
+        return profile
+
+    def _speculative_run(self):
+        cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+        executor = FunctionExecutor(
+            cloud,
+            speculation=SpeculationPolicy(quantile=0.7, latency_multiplier=1.3),
+        )
+        results = run_map(cloud, executor, double, list(range(48)),
+                          cpu_model=lambda x: 5.0)
+        assert results == [x * 2 for x in range(48)]
+        return cloud, executor
+
+    def test_losers_are_cancelled_when_a_call_settles(self):
+        cloud, executor = self._speculative_run()
+        assert executor.speculative_launches > 0
+        # Every duplicated call resolves to one winner and cancelled
+        # losers; nothing drains to a redundant completion.
+        assert cloud.faas.stats.cancellations > 0
+        assert (
+            cloud.faas.stats.completions
+            + cloud.faas.stats.cancellations
+            == cloud.faas.stats.invocations
+        )
+
+    def test_cancelled_losers_stop_billing_at_the_kill(self):
+        cloud, _executor = self._speculative_run()
+        cancelled = [
+            line for line in cloud.faas.billing_log if line.outcome == "cancelled"
+        ]
+        completed = [
+            line for line in cloud.faas.billing_log if line.outcome == "ok"
+        ]
+        assert cancelled, "no loser was ever billed — nothing to audit"
+        # A loser is killed the moment its rival settles, so its billed
+        # window can never exceed the slowest completed call's.
+        assert max(c.billed_s for c in cancelled) <= max(
+            c.billed_s for c in completed
+        )
+        billed_ids = [line.activation_id for line in cloud.faas.billing_log]
+        assert len(billed_ids) == len(set(billed_ids))
+
+    def test_cancellation_does_not_change_results_or_order(self):
+        plain_cloud = Cloud.fresh(seed=11, profile=self._heavy_tail_profile())
+        plain = run_map(
+            plain_cloud, FunctionExecutor(plain_cloud), double, list(range(48)),
+            cpu_model=lambda x: 5.0,
+        )
+        spec_cloud, _executor = self._speculative_run()
+        assert plain == [x * 2 for x in range(48)]

@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults collect bench verify
+.PHONY: test test-faults collect bench bench-exchange verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
 # pinned seed matrix, then everything (which collects the chaos tests
@@ -16,13 +16,15 @@ CHAOS_SEEDS ?= 13,2021,77
 test: test-faults
 	$(PYTEST) -x -q
 
-# Chaos suite alone: crash-injected shuffles on all three exchange
-# substrates, speculation parity, and the attempt-cancellation units.
+# Chaos suite alone: crash-injected shuffles on all four exchange
+# substrates (sharded relay fleet included), speculation parity, and
+# the attempt-cancellation units.
 test-faults:
 	REPRO_CHAOS_SEEDS=$(CHAOS_SEEDS) $(PYTEST) -x -q \
 		tests/shuffle/test_chaos_faults.py \
 		tests/shuffle/test_speculation_parity.py \
 		tests/cloud/test_vm_relay_cancellation.py \
+		tests/cloud/test_vm_relay_fleet.py \
 		tests/cloud/test_faas_cancellation.py
 
 # Collection-regression smoke: fails fast when test modules collide or
@@ -33,5 +35,11 @@ collect:
 # Full benchmark harness (regenerates benchmarks/results/*.txt).
 bench:
 	$(PYTEST) benchmarks/ -q
+
+# Exchange benches only: regenerates just the S8/S8b results
+# (benchmarks/results/s8_*.txt and s8b_*.txt) — the four-way substrate
+# sweep, the shard-count sweep, and the pipeline comparison.
+bench-exchange:
+	$(PYTEST) benchmarks/bench_exchange.py -q
 
 verify: collect test

@@ -5,7 +5,7 @@ launching backup tasks for stragglers.  Both mechanisms trade extra
 invocations (dollars) for reliability and tail latency; these rows
 quantify that trade on the simulated platform.
 
-S9c/S9d extend both mechanisms across the three exchange substrates:
+S9c/S9d extend both mechanisms across the four exchange substrates:
 attempt-scoped cancellation (dead attempts' transfers aborted, their
 relay reservations reclaimed, losers of speculative races fenced) makes
 crash-retry and speculation safe on the stateful substrates too, at
@@ -75,7 +75,7 @@ def test_speculation_ablation(benchmark, record_result, bench_scale):
 
 
 def test_exchange_fault_sweep(benchmark, record_result, bench_scale):
-    """S9c: crash injection on all three substrates, relay included."""
+    """S9c: crash injection on all four substrates, relays included."""
     config = ExperimentConfig(logical_scale=bench_scale)
     rows = benchmark.pedantic(
         lambda: sweep_exchange_faults(config),
@@ -99,9 +99,9 @@ def test_exchange_fault_sweep(benchmark, record_result, bench_scale):
     # ...every artifact digest is identical (the sweep asserts parity
     # internally too)...
     assert len({row["output_digest"] for row in rows}) == 1
-    # ...and the relay never leaks a byte of a dead attempt.
+    # ...and neither relay flavour leaks a byte of a dead attempt.
     for row in rows:
-        if row["strategy"] == "relay":
+        if row["strategy"] in ("relay", "sharded-relay"):
             assert row["residual_bytes"] == 0.0
 
 
@@ -122,7 +122,7 @@ def test_exchange_speculation_sweep(benchmark, record_result, bench_scale):
     )
 
     by_key = {(row["strategy"], row["speculation"]): row for row in rows}
-    for strategy in ("objectstore", "cache", "relay"):
+    for strategy in ("objectstore", "cache", "relay", "sharded-relay"):
         on, off = by_key[(strategy, "on")], by_key[(strategy, "off")]
         # Backups fire and their losers are cancelled, not drained.
         assert on["backup_tasks"] > 0

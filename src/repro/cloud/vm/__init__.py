@@ -9,6 +9,12 @@ from repro.cloud.vm.errors import (
     VmAlreadyTerminated,
     VmNotRunning,
 )
+from repro.cloud.vm.fleet import (
+    RelayFleet,
+    RelayFleetClient,
+    fleet_ready,
+    provision_fleet,
+)
 from repro.cloud.vm.instance import VirtualMachine, VmContext, VmService, VmTask
 from repro.cloud.vm.relay import (
     PartitionRelay,
@@ -20,6 +26,10 @@ from repro.cloud.vm.relay import (
 
 __all__ = [
     "PartitionRelay",
+    "RelayFleet",
+    "RelayFleetClient",
+    "fleet_ready",
+    "provision_fleet",
     "RelayAttemptFenced",
     "RelayCapacityExceeded",
     "RelayClient",

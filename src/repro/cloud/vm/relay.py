@@ -191,6 +191,24 @@ class PartitionRelay:
     def state(self) -> str:
         return self.vm.state
 
+    @property
+    def instance_type(self):
+        return self.vm.instance_type
+
+    @property
+    def instance_type_name(self) -> str:
+        return self.vm.instance_type.name
+
+    @property
+    def shard_count(self) -> int:
+        """A single relay is a one-shard fleet to substrate-generic code."""
+        return 1
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently draining this relay's NIC."""
+        return self.link.active_flows
+
     def ensure_running(self) -> None:
         self.vm.ensure_running()
 
@@ -509,6 +527,15 @@ class PartitionRelay:
     @property
     def key_count(self) -> int:
         return len(self._entries)
+
+    def logical_size_of(self, key: str) -> float | None:
+        """Logical bytes of the resident entry under ``key`` (or None).
+
+        A cheap metadata peek for planners and the fleet client's
+        bandwidth weighting; does not count as a pull or a miss.
+        """
+        entry = self._entries.get(key)
+        return entry.logical if entry is not None else None
 
     @property
     def fill_fraction(self) -> float:

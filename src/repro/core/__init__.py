@@ -18,23 +18,28 @@ from repro.core.experiment import (
     stage_input,
 )
 from repro.core.pipelines import (
+    AUTO_SUPPORTED,
     CACHE_SUPPORTED,
     ENCODE_STAGE,
     INGEST_STAGE,
     PURE_SERVERLESS,
     RELAY_SUPPORTED,
+    SHARDED_RELAY_SUPPORTED,
     SORT_STAGE,
     VERIFY_STAGE,
     VM_SUPPORTED,
+    auto_supported_pipeline,
     cache_supported_pipeline,
     pipeline_for,
     pure_serverless_pipeline,
     relay_supported_pipeline,
+    sharded_relay_supported_pipeline,
     vm_supported_pipeline,
 )
 from repro.core.stages import register_builtin_stage_kinds
 
 __all__ = [
+    "AUTO_SUPPORTED",
     "CACHE_SUPPORTED",
     "ENCODE_STAGE",
     "ExchangeComparison",
@@ -43,16 +48,19 @@ __all__ = [
     "PURE_SERVERLESS",
     "PipelineRun",
     "RELAY_SUPPORTED",
+    "SHARDED_RELAY_SUPPORTED",
     "SORT_STAGE",
     "Table1Result",
     "VERIFY_STAGE",
     "VM_SUPPORTED",
     "WorkloadParams",
+    "auto_supported_pipeline",
     "cache_supported_pipeline",
     "pipeline_for",
     "pure_serverless_pipeline",
     "register_builtin_stage_kinds",
     "relay_supported_pipeline",
+    "sharded_relay_supported_pipeline",
     "run_exchange_comparison",
     "run_pipeline",
     "run_table1",

@@ -112,6 +112,12 @@ class ExperimentConfig:
     #: the run); ``"cold"`` pays VM boot on the clock (Table 1's
     #: provisioning penalty).
     relay_provisioning: str = "warm"
+    #: Shard count of the sharded-relay fleet (experiment S8b); each
+    #: shard is one ``resolved_relay_instance_type`` VM.
+    relay_shards: int = 2
+    #: Dollars one pipeline-hour of latency is worth to the adaptive
+    #: substrate selector (the ``auto_sort`` stage's trade-off knob).
+    time_value_usd_per_hour: float = 1.0
     workload: WorkloadParams = dataclasses.field(default_factory=WorkloadParams)
     #: Optional hook mutating the profile after calibration (sweeps use
     #: this to perturb a single knob, e.g. the cold-start time).

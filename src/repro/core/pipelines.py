@@ -11,6 +11,12 @@
   sort with cloud functions exchanging partitions through an in-memory
   relay hosted on a provisioned VM — the VM-driven exchange of the
   title, with functions doing the compute.
+* **Configuration E — sharded-relay-supported** (supplementary,
+  experiment S8b): the relay exchange sharded over N VMs, lifting the
+  single instance's NIC ceiling.
+* **Auto — adaptive substrate**: the sort stage picks its exchange
+  substrate at execution time via ``choose_exchange_substrate`` and
+  records the decision in the stage report.
 
 All take their input from a pre-staged object (``dataset_ref``), as in
 the paper's demo where ENCFF988BSW already sits in COS, and all write
@@ -32,6 +38,8 @@ PURE_SERVERLESS = "purely-serverless"
 VM_SUPPORTED = "vm-supported"
 CACHE_SUPPORTED = "cache-supported"
 RELAY_SUPPORTED = "relay-supported"
+SHARDED_RELAY_SUPPORTED = "sharded-relay-supported"
+AUTO_SUPPORTED = "auto-supported"
 
 
 def pure_serverless_pipeline(
@@ -193,6 +201,89 @@ def relay_supported_pipeline(
     return WorkflowDag(RELAY_SUPPORTED, stages, bucket=bucket)
 
 
+def sharded_relay_supported_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Configuration E: sharded-fleet-mediated sort, then encode."""
+    workers = None if config.auto_workers else config.parallelism
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "sharded_relay_sort",
+            after=(INGEST_STAGE,),
+            params={
+                "workers": workers,
+                "memory_mb": config.function_memory_mb,
+                "max_workers": 256,
+                "instance_type": config.resolved_relay_instance_type,
+                "shards": config.relay_shards,
+                "provisioning": config.relay_provisioning,
+            },
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(SHARDED_RELAY_SUPPORTED, stages, bucket=bucket)
+
+
+def auto_supported_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Adaptive incarnation: the sort picks its substrate at run time."""
+    workers = None if config.auto_workers else config.parallelism
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "auto_sort",
+            after=(INGEST_STAGE,),
+            params={
+                "workers": workers,
+                "memory_mb": config.function_memory_mb,
+                "max_workers": 256,
+                "time_value_usd_per_hour": config.time_value_usd_per_hour,
+                "cache_node_type": config.cache_node_type,
+            },
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(AUTO_SUPPORTED, stages, bucket=bucket)
+
+
 def pipeline_for(variant: str, config: ExperimentConfig, **kwargs) -> WorkflowDag:
     """Build any incarnation by name."""
     builders = {
@@ -200,6 +291,8 @@ def pipeline_for(variant: str, config: ExperimentConfig, **kwargs) -> WorkflowDa
         VM_SUPPORTED: vm_supported_pipeline,
         CACHE_SUPPORTED: cache_supported_pipeline,
         RELAY_SUPPORTED: relay_supported_pipeline,
+        SHARDED_RELAY_SUPPORTED: sharded_relay_supported_pipeline,
+        AUTO_SUPPORTED: auto_supported_pipeline,
     }
     try:
         builder = builders[variant]

@@ -17,6 +17,15 @@ Table 1 experiment) compose:
                        in-memory relay on a provisioned VM —
                        configuration **D** (experiment S8's third
                        substrate)
+``sharded_relay_sort`` sort with serverless functions exchanging via a
+                       sharded multi-relay fleet — configuration **E**
+                       (experiment S8b: lifts the single relay's NIC
+                       ceiling with N instances)
+``auto_sort``          adaptive sort: picks the exchange substrate at
+                       DAG-execution time with
+                       ``choose_exchange_substrate`` and dispatches to
+                       the chosen substrate's sort stage, recording the
+                       decision in the stage report
 ``methcomp_encode``    embarrassingly parallel METHCOMP compression of
                        the sorted runs with cloud functions
 ``methcomp_verify``    decompress and check record conservation
@@ -37,14 +46,19 @@ from repro.executor.executor import FunctionExecutor
 from repro.methcomp.bed import bed_sort_key
 from repro.methcomp.datagen import MethylomeGenerator
 from repro.methcomp.pipeline import bed_record_codec, decode_worker, encode_worker
+from repro.cloud.vm.fleet import fleet_ready, provision_fleet
 from repro.cloud.vm.relay import provision_relay, relay_ready
+from repro.shuffle.adaptive import choose_exchange_substrate
 from repro.shuffle.cacheoperator import CacheShuffleSort
 from repro.shuffle.cacheplanner import required_cache_nodes
 from repro.shuffle.operator import ShuffleSort
-from repro.shuffle.relay import RelayShuffleSort
-from repro.shuffle.relayplanner import required_relay_instance
+from repro.shuffle.relay import RelayShuffleSort, ShardedRelayShuffleSort
+from repro.shuffle.relayplanner import (
+    required_relay_fleet,
+    required_relay_instance,
+)
 from repro.storage import paths
-from repro.workflows.engine import StageContext, register_stage_kind
+from repro.workflows.engine import StageContext, register_stage_kind, stage_kind
 
 #: Engine-level cache of function executors, one per memory size, so
 #: consecutive stages share warm containers (Lithops runtime reuse).
@@ -306,6 +320,155 @@ def relay_sort(context: StageContext, inputs: dict) -> t.Generator:
     }
 
 
+def sharded_relay_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Configuration E: serverless sort via a sharded VM-relay fleet.
+
+    Params: ``workers`` (pin the count; omit to let the relay planner
+    choose), ``memory_mb``, ``samplers``, ``max_workers``, ``shards``
+    (default 2; ``0`` auto-sizes the fleet), ``instance_type`` (omit to
+    auto-size the cheapest flavour whose fleet holds the data),
+    ``provisioning`` (``"warm"`` pre-provisioned or ``"cold"`` pays the
+    parallel VM boots on the clock), ``consume``.
+
+    The fleet lives exactly as long as the stage; all N instances'
+    instance-seconds are billed into the stage's cost either way.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    instance_type = context.param("instance_type")
+    shards = int(context.param("shards", 2))
+    if shards < 1 or not instance_type:
+        auto_type, min_shards = required_relay_fleet(
+            upstream["logical_bytes"], context.cloud.profile,
+            instance_type_name=instance_type or None,
+        )
+        instance_type = instance_type or auto_type
+        shards = max(shards, min_shards) if shards >= 1 else min_shards
+    provisioning = context.param("provisioning", "warm")
+    if provisioning == "cold":
+        fleet = yield provision_fleet(context.cloud.vms, instance_type, shards)
+    elif provisioning == "warm":
+        fleet = fleet_ready(context.cloud.vms, instance_type, shards)
+    else:
+        raise WorkflowError(
+            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
+            f"'cold', got {provisioning!r}"
+        )
+    cost = workload.relay_shuffle_cost_model()
+    cost.consume = bool(context.param("consume", False))
+    operator = ShardedRelayShuffleSort(executor, bed_record_codec(), fleet, cost=cost)
+    try:
+        result = yield operator.sort(
+            upstream["bucket"],
+            upstream["key"],
+            out_bucket=context.bucket,
+            out_prefix=f"{context.spec.name}",
+            workers=context.param("workers"),
+            samplers=int(context.param("samplers", 8)),
+            max_workers=int(context.param("max_workers", 256)),
+        )
+    finally:
+        # Unconditional: fleet.terminate() is per-shard idempotent, and
+        # a partially-down fleet (state != "running") must still stop
+        # the surviving shards' billing clocks.
+        fleet.terminate()
+    return {
+        "runs": [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "records": run.records,
+                "bytes": run.size_bytes,
+            }
+            for run in result.runs
+        ],
+        "workers": result.workers,
+        "records": result.total_records,
+        "duration_s": result.duration_s,
+        "planned_workers": result.planned.workers if result.planned else None,
+        "relay_instance_type": operator.report.instance_type,
+        "relay_shards": operator.report.shards,
+        "relay_peak_fill": operator.report.peak_fill_fraction,
+        "relay_backpressure_waits": operator.report.backpressure_waits,
+    }
+
+
+#: Substrate name → stage kind executing that substrate's sort.
+_AUTO_SORT_DISPATCH: dict[str, str] = {
+    "objectstore": "shuffle_sort",
+    "cache": "cache_sort",
+    "relay": "relay_sort",
+    "sharded-relay": "sharded_relay_sort",
+}
+
+
+def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Adaptive sort: choose the exchange substrate at execution time.
+
+    Calls :func:`~repro.shuffle.adaptive.choose_exchange_substrate` on
+    the upstream dataset's logical size, then dispatches to the chosen
+    substrate's sort stage with the decision's configuration (worker
+    count, relay flavour, shard count) injected, so the stage executes
+    exactly what was priced.  The decision — every substrate's priced
+    estimate and the winner — is recorded in the stage artifact (and
+    thereby the tracker report and Gantt label).
+
+    Params: ``time_value_usd_per_hour`` (default 1.0 — the knob that
+    trades latency against provisioned infrastructure), ``workers``
+    (pin the count across all substrates; omit to let each plan its
+    own), ``substrates`` (restrict the candidates), ``max_relay_shards``
+    (default 8), ``cache_node_type``, ``instance_type`` (pin the relay
+    flavour), plus the usual ``memory_mb``/``samplers``/``max_workers``
+    passed through to the dispatched stage.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    substrates = context.param("substrates")
+    workload = _workload(context)
+    # Price with the same calibrated workload constants the dispatched
+    # stage will execute with — a decision made for a faster imaginary
+    # workload could pick the wrong substrate outright.
+    decision = choose_exchange_substrate(
+        upstream["logical_bytes"],
+        context.cloud.profile,
+        workers=context.param("workers"),
+        cache_node_type=context.param("cache_node_type", "cache.r5.large"),
+        relay_instance_type=context.param("instance_type") or None,
+        time_value_usd_per_hour=float(
+            context.param("time_value_usd_per_hour", 1.0)
+        ),
+        max_workers=int(context.param("max_workers", 256)),
+        max_relay_shards=int(context.param("max_relay_shards", 8)),
+        substrates=tuple(substrates) if substrates is not None else None,
+        shuffle_cost=workload.shuffle_cost_model(),
+        cache_cost=workload.cache_shuffle_cost_model(),
+        relay_cost=workload.relay_shuffle_cost_model(),
+    )
+    chosen = decision.chosen
+    impl = stage_kind(_AUTO_SORT_DISPATCH[chosen.substrate])
+    # Execute exactly the configuration the estimate priced.
+    context.params["workers"] = chosen.workers
+    if chosen.substrate == "cache":
+        context.params["node_type"] = chosen.instance_type
+        context.params["nodes"] = chosen.shards
+    elif chosen.substrate == "relay":
+        context.params["instance_type"] = chosen.instance_type
+    elif chosen.substrate == "sharded-relay":
+        context.params["instance_type"] = chosen.instance_type
+        context.params["shards"] = chosen.shards
+    artifact = yield from impl(context, inputs)
+    artifact.update(
+        substrate=chosen.substrate,
+        substrate_workers=chosen.workers,
+        substrate_predicted_s=chosen.predicted_s,
+        substrate_provisioned_usd=chosen.provisioned_usd,
+        substrate_score_usd=chosen.score_usd,
+        substrate_decision=decision.describe(),
+    )
+    return artifact
+
+
 def vm_sort(context: StageContext, inputs: dict) -> t.Generator:
     """Configuration A: sort inside a large-memory VM.
 
@@ -486,6 +649,8 @@ def register_builtin_stage_kinds() -> None:
         "shuffle_sort": shuffle_sort,
         "cache_sort": cache_sort,
         "relay_sort": relay_sort,
+        "sharded_relay_sort": sharded_relay_sort,
+        "auto_sort": auto_sort,
         "vm_sort": vm_sort,
         "methcomp_encode": methcomp_encode,
         "methcomp_verify": methcomp_verify,

@@ -18,6 +18,7 @@ from repro.experiments.sweeps import (
     sweep_io_ablation,
     sweep_memory,
     sweep_multicloud,
+    sweep_relay_shards,
     sweep_size,
     sweep_speculation,
     sweep_startup,
@@ -40,6 +41,7 @@ __all__ = [
     "sweep_io_ablation",
     "sweep_memory",
     "sweep_multicloud",
+    "sweep_relay_shards",
     "sweep_size",
     "sweep_speculation",
     "sweep_startup",

@@ -11,6 +11,7 @@ Usage::
     repro-experiments sweep-codec
     repro-experiments sweep-memory
     repro-experiments sweep-exchange
+    repro-experiments sweep-relay-shards
     repro-experiments sweep-faults
     repro-experiments sweep-speculation
     repro-experiments sweep-exchange-faults
@@ -64,6 +65,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-memory",
         "sweep-io",
         "sweep-exchange",
+        "sweep-relay-shards",
         "sweep-faults",
         "sweep-speculation",
         "sweep-exchange-faults",
@@ -106,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         _print_rows(
             "S8: exchange-substrate worker sweep",
             sweeps.sweep_exchange(_config(args)),
+        )
+    elif args.command == "sweep-relay-shards":
+        _print_rows(
+            "S8b: relay shard-count sweep",
+            sweeps.sweep_relay_shards(_config(args)),
         )
     elif args.command == "sweep-faults":
         _print_rows(

@@ -17,6 +17,7 @@ import typing as t
 from repro.cloud.environment import Cloud
 from repro.core.calibration import ExperimentConfig
 from repro.core.experiment import run_pipeline, stage_input
+from repro.cloud.vm.fleet import fleet_ready
 from repro.cloud.vm.relay import relay_ready
 from repro.core.pipelines import (
     CACHE_SUPPORTED,
@@ -34,7 +35,7 @@ from repro.shuffle.cacheplanner import required_cache_nodes
 from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import plan_shuffle
 from repro.shuffle.adaptive import EXCHANGE_SUBSTRATES
-from repro.shuffle.relay import RelayShuffleSort
+from repro.shuffle.relay import RelayShuffleSort, ShardedRelayShuffleSort
 from repro.sim import Simulator
 
 
@@ -208,22 +209,71 @@ def sweep_io_ablation(
 
 
 # ----------------------------------------------------------------------
-# S8: data-exchange strategy comparison (object storage vs cache vs relay)
+# S8: data-exchange strategy comparison (COS vs cache vs relay vs fleet)
 # ----------------------------------------------------------------------
+def _make_exchange_operator(
+    cloud: Cloud, config: ExperimentConfig, strategy: str,
+    executor: FunctionExecutor,
+):
+    """One shuffle operator + its provisioned substrate (or ``None``).
+
+    The single construction point for every substrate the sweeps
+    compare; the returned operator's uniform
+    :class:`~repro.shuffle.exchange.ExchangeReport` replaces the
+    per-substrate metadata the sweeps used to special-case.
+    """
+    if strategy == "objectstore":
+        return ShuffleSort(
+            executor, bed_record_codec(),
+            cost=config.workload.shuffle_cost_model(),
+        ), None
+    if strategy == "cache":
+        nodes = required_cache_nodes(
+            config.logical_bytes, cloud.profile, config.cache_node_type
+        )
+        cluster = cloud.cache.provision_ready(config.cache_node_type, nodes=nodes)
+        return CacheShuffleSort(
+            executor, bed_record_codec(), cluster,
+            cost=config.workload.cache_shuffle_cost_model(),
+        ), cluster
+    if strategy == "relay":
+        relay = relay_ready(cloud.vms, config.resolved_relay_instance_type)
+        return RelayShuffleSort(
+            executor, bed_record_codec(), relay,
+            cost=config.workload.relay_shuffle_cost_model(),
+        ), relay
+    if strategy == "sharded-relay":
+        fleet = fleet_ready(
+            cloud.vms, config.resolved_relay_instance_type,
+            shards=config.relay_shards,
+        )
+        return ShardedRelayShuffleSort(
+            executor, bed_record_codec(), fleet,
+            cost=config.workload.relay_shuffle_cost_model(),
+        ), fleet
+    raise ValueError(
+        f"unknown exchange strategy {strategy!r}; expected a subset of "
+        f"{EXCHANGE_SUBSTRATES}"
+    )
+
+
 def sweep_exchange(
     config: ExperimentConfig | None = None,
     worker_counts: t.Sequence[int] = (4, 8, 16, 32, 64),
     strategies: t.Sequence[str] = EXCHANGE_SUBSTRATES,
 ) -> list[dict]:
-    """Sort latency/cost of the three exchange substrates vs worker count.
+    """Sort latency/cost of the four exchange substrates vs worker count.
 
     The contrast the models predict: the object-storage shuffle
     deteriorates at high worker counts (its W² range-GETs hit per-request
     latency and the account ops/s ceiling) while the cache's and the VM
-    relay's batched sub-millisecond requests keep them nearly flat — at
-    the price of provisioned node/instance-hours the COS rows never pay.
-    Every row also carries a digest of the concatenated sorted runs so
-    callers can assert the substrates produced identical artifacts.
+    relays' batched sub-millisecond requests keep them nearly flat — at
+    the price of provisioned node/instance-hours the COS rows never pay;
+    past the worker count that saturates one instance NIC, the sharded
+    fleet pulls away from the single relay.  Every row also carries a
+    digest of the concatenated sorted runs so callers can assert the
+    substrates produced identical artifacts, plus the substrate's
+    uniform report fields (provisioned infrastructure dollars).
     """
     base = config if config is not None else ExperimentConfig()
     for strategy in strategies:
@@ -232,9 +282,6 @@ def sweep_exchange(
                 f"unknown exchange strategy {strategy!r}; expected a "
                 f"subset of {EXCHANGE_SUBSTRATES}"
             )
-    profile = base.make_profile()
-    nodes = required_cache_nodes(base.logical_bytes, profile, base.cache_node_type)
-    relay_type = base.resolved_relay_instance_type
     rows = []
     for workers in worker_counts:
         for strategy in strategies:
@@ -244,26 +291,9 @@ def sweep_exchange(
                 cloud, runtime_memory_mb=base.function_memory_mb, bucket="pipeline"
             )
             marker = cloud.meter.snapshot()
-            provisioned = None
-            if strategy == "objectstore":
-                operator = ShuffleSort(
-                    executor, bed_record_codec(),
-                    cost=base.workload.shuffle_cost_model(),
-                )
-            elif strategy == "cache":
-                provisioned = cloud.cache.provision_ready(
-                    base.cache_node_type, nodes=nodes
-                )
-                operator = CacheShuffleSort(
-                    executor, bed_record_codec(), provisioned,
-                    cost=base.workload.cache_shuffle_cost_model(),
-                )
-            else:
-                provisioned = relay_ready(cloud.vms, relay_type)
-                operator = RelayShuffleSort(
-                    executor, bed_record_codec(), provisioned,
-                    cost=base.workload.relay_shuffle_cost_model(),
-                )
+            operator, provisioned = _make_exchange_operator(
+                cloud, base, strategy, executor
+            )
 
             def driver():
                 return (
@@ -284,10 +314,82 @@ def sweep_exchange(
                     "strategy": strategy,
                     "sort_latency_s": result.duration_s,
                     "sort_cost_usd": cloud.meter.since(marker).total_usd,
+                    "provisioned_usd": operator.report.provisioned_usd,
                     "storage_requests": cloud.store.stats.total_requests,
                     "output_digest": digest.hexdigest()[:16],
                 }
             )
+    return rows
+
+
+def sweep_relay_shards(
+    config: ExperimentConfig | None = None,
+    shard_counts: t.Sequence[int] = (1, 2, 4),
+    workers: int = 64,
+) -> list[dict]:
+    """S8b: shard-count sweep at one (NIC-saturating) worker count.
+
+    At high W the aggregate demand of the workers' NICs exceeds one
+    relay instance's line rate; every added shard contributes another
+    instance NIC (and another billing clock).  The first row is an
+    object-storage baseline at the same worker count so callers can
+    assert byte parity across every fleet size.
+    """
+    base = config if config is not None else ExperimentConfig()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    for shards in shard_counts:
+        if shards < 1:
+            raise ValueError(f"shard counts must be >= 1, got {shards}")
+    rows = []
+
+    def run_one(strategy: str, shards: int) -> dict:
+        cfg = dataclasses.replace(base, relay_shards=max(1, shards))
+        cloud = _fresh_cloud(cfg)
+        stage_input(cloud, cfg, "pipeline", "input/methylome.bed")
+        executor = FunctionExecutor(
+            cloud, runtime_memory_mb=cfg.function_memory_mb, bucket="pipeline"
+        )
+        marker = cloud.meter.snapshot()
+        operator, provisioned = _make_exchange_operator(
+            cloud, cfg, strategy, executor
+        )
+
+        def driver():
+            return (
+                yield operator.sort(
+                    "pipeline", "input/methylome.bed", workers=workers
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        residual = 0.0
+        backpressure = 0
+        if provisioned is not None:
+            if hasattr(provisioned, "residual_reservation_bytes"):
+                residual = provisioned.residual_reservation_bytes()
+            provisioned.terminate()
+        report = operator.report
+        if strategy == "sharded-relay":
+            backpressure = report.backpressure_waits
+        digest = hashlib.sha256()
+        for run in result.runs:
+            digest.update(cloud.store.peek(run.bucket, run.key))
+        return {
+            "strategy": strategy,
+            "shards": shards,
+            "workers": workers,
+            "sort_latency_s": result.duration_s,
+            "sort_cost_usd": cloud.meter.since(marker).total_usd,
+            "provisioned_usd": report.provisioned_usd,
+            "backpressure_waits": backpressure,
+            "residual_bytes": residual,
+            "output_digest": digest.hexdigest()[:16],
+        }
+
+    rows.append(run_one("objectstore", 0))
+    for shards in shard_counts:
+        rows.append(run_one("sharded-relay", shards))
     return rows
 
 
@@ -318,30 +420,6 @@ def sweep_exchange_pipelines(
 # ----------------------------------------------------------------------
 # S9: fault injection and straggler mitigation
 # ----------------------------------------------------------------------
-def _exchange_operator(cloud: Cloud, config: ExperimentConfig, strategy: str,
-                       executor: FunctionExecutor):
-    """One shuffle operator + its provisioned substrate (or None)."""
-    if strategy == "objectstore":
-        return ShuffleSort(
-            executor, bed_record_codec(), cost=config.workload.shuffle_cost_model()
-        ), None
-    if strategy == "cache":
-        profile = config.make_profile()
-        nodes = required_cache_nodes(
-            config.logical_bytes, profile, config.cache_node_type
-        )
-        cluster = cloud.cache.provision_ready(config.cache_node_type, nodes=nodes)
-        return CacheShuffleSort(
-            executor, bed_record_codec(), cluster,
-            cost=config.workload.cache_shuffle_cost_model(),
-        ), cluster
-    relay = relay_ready(cloud.vms, config.resolved_relay_instance_type)
-    return RelayShuffleSort(
-        executor, bed_record_codec(), relay,
-        cost=config.workload.relay_shuffle_cost_model(),
-    ), relay
-
-
 def sweep_exchange_faults(
     config: ExperimentConfig | None = None,
     crash_rates: t.Sequence[float] = (0.0, 0.1, 0.25),
@@ -371,7 +449,7 @@ def sweep_exchange_faults(
                 cloud, runtime_memory_mb=base.function_memory_mb,
                 bucket="pipeline", retries=retries,
             )
-            operator, provisioned = _exchange_operator(
+            operator, provisioned = _make_exchange_operator(
                 cloud, base, strategy, executor
             )
 
@@ -394,10 +472,12 @@ def sweep_exchange_faults(
                 f"{strategy} diverged at crash rate {rate}"
             )
             residual = 0.0
-            if strategy == "relay":
+            reclaimed = 0.0
+            if strategy in ("relay", "sharded-relay"):
                 residual = provisioned.residual_reservation_bytes()
-                assert residual == 0.0, "relay leaked reservations"
+                assert residual == 0.0, f"{strategy} leaked reservations"
                 provisioned.check_memory_accounting()
+                reclaimed = provisioned.stats.reclaimed_bytes
             rows.append(
                 {
                     "strategy": strategy,
@@ -405,10 +485,7 @@ def sweep_exchange_faults(
                     "sort_latency_s": result.duration_s,
                     "crashes": cloud.faas.stats.crashes,
                     "invocations": cloud.faas.stats.invocations,
-                    "reclaimed_bytes": (
-                        provisioned.stats.reclaimed_bytes
-                        if strategy == "relay" else 0.0
-                    ),
+                    "reclaimed_bytes": reclaimed,
                     "residual_bytes": residual,
                     "output_digest": digest,
                 }
@@ -446,7 +523,7 @@ def sweep_exchange_speculation(
                 cloud, runtime_memory_mb=base.function_memory_mb,
                 bucket="pipeline", speculation=speculation,
             )
-            operator, provisioned = _exchange_operator(
+            operator, provisioned = _make_exchange_operator(
                 cloud, base, strategy, executor
             )
 

@@ -1,11 +1,12 @@
 """Primula-like shuffle/sort (and GroupBy) over pluggable substrates.
 
 The generic :class:`ShuffleSort` drives one
-:class:`~repro.shuffle.exchange.ExchangeBackend`; three substrates ship:
+:class:`~repro.shuffle.exchange.ExchangeBackend`; four substrates ship:
 object storage (the paper's serverless default), an in-memory cache
-cluster (:class:`CacheShuffleSort`) and a VM-hosted partition relay
-(:class:`RelayShuffleSort`).  :func:`choose_exchange_substrate` picks
-between them analytically.
+cluster (:class:`CacheShuffleSort`), a VM-hosted partition relay
+(:class:`RelayShuffleSort`) and a sharded multi-relay fleet
+(:class:`ShardedRelayShuffleSort`).  :func:`choose_exchange_substrate`
+picks between them analytically.
 """
 
 from repro.shuffle.adaptive import (
@@ -19,7 +20,6 @@ from repro.shuffle.adaptive import (
 )
 from repro.shuffle.cacheoperator import (
     CacheExchange,
-    CacheShuffleReport,
     CacheShuffleSort,
 )
 from repro.shuffle.cacheplanner import (
@@ -40,7 +40,11 @@ from repro.shuffle.groupby import (
     ShuffleGroupBy,
     shuffle_group_reducer,
 )
-from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
+from repro.shuffle.exchange import (
+    ExchangeBackend,
+    ExchangeReport,
+    ObjectStoreExchange,
+)
 from repro.shuffle.operator import ShuffleResult, ShuffleSort, SortedRun
 from repro.shuffle.orderby import (
     OrderByResult,
@@ -57,17 +61,20 @@ from repro.shuffle.planner import (
 from repro.shuffle.records import FixedWidthCodec, LineRecordCodec, RecordCodec
 from repro.shuffle.relay import (
     RelayExchange,
-    RelayShuffleReport,
     RelayShuffleSort,
+    ShardedRelayExchange,
+    ShardedRelayShuffleSort,
     relay_partition_key,
     relay_shuffle_mapper,
     relay_shuffle_reducer,
 )
 from repro.shuffle.relayplanner import (
     RelayShuffleCostModel,
+    RelayShufflePlan,
     plan_relay_shuffle,
     predict_relay_shuffle_time,
     relay_usable_bytes,
+    required_relay_fleet,
     required_relay_instance,
     resolve_relay_instance,
 )
@@ -82,17 +89,19 @@ __all__ = [
     "AggregateFn",
     "CacheExchange",
     "CacheShuffleCostModel",
-    "CacheShuffleReport",
     "CacheShuffleSort",
     "EXCHANGE_SUBSTRATES",
     "ExchangeBackend",
+    "ExchangeReport",
     "ObjectStoreExchange",
     "OnlineTuner",
     "ProbeReport",
     "RelayExchange",
     "RelayShuffleCostModel",
-    "RelayShuffleReport",
+    "RelayShufflePlan",
     "RelayShuffleSort",
+    "ShardedRelayExchange",
+    "ShardedRelayShuffleSort",
     "SubstrateDecision",
     "SubstrateEstimate",
     "choose_exchange_substrate",
@@ -103,6 +112,7 @@ __all__ = [
     "relay_shuffle_mapper",
     "relay_shuffle_reducer",
     "relay_usable_bytes",
+    "required_relay_fleet",
     "required_relay_instance",
     "resolve_relay_instance",
     "cache_partition_key",

@@ -49,6 +49,7 @@ from repro.shuffle.relayplanner import (
     plan_relay_shuffle,
     predict_relay_shuffle_time,
     relay_usable_bytes,
+    required_relay_fleet,
     required_relay_instance,
     resolve_relay_instance,
 )
@@ -248,8 +249,10 @@ def fit_profile(profile: CloudProfile, report: ProbeReport) -> CloudProfile:
 # ----------------------------------------------------------------------
 # adaptive exchange-substrate selection
 # ----------------------------------------------------------------------
-#: Substrate names in tie-breaking order (cheapest infrastructure first).
-EXCHANGE_SUBSTRATES = ("objectstore", "cache", "relay")
+#: Substrate names in tie-breaking order (simplest infrastructure
+#: first: pay-as-you-go storage, then scale-out cache, then one relay
+#: VM, then a relay fleet).
+EXCHANGE_SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -263,6 +266,10 @@ class SubstrateEstimate:
     score_usd: float
     feasible: bool
     detail: str = ""
+    #: Relay-family configuration (1 everywhere else).
+    shards: int = 1
+    #: Provisioned flavour backing the estimate ("" for objectstore).
+    instance_type: str = ""
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -281,14 +288,17 @@ class SubstrateDecision:
         for estimate in self.estimates:
             marker = "->" if estimate.substrate == self.chosen.substrate else "  "
             if not estimate.feasible:
-                lines.append(f"{marker} {estimate.substrate:<12} infeasible"
+                lines.append(f"{marker} {estimate.substrate:<13} infeasible"
                              f" ({estimate.detail})")
                 continue
+            config = ""
+            if estimate.instance_type:
+                config = f" [{estimate.shards}x{estimate.instance_type}]"
             lines.append(
-                f"{marker} {estimate.substrate:<12} W={estimate.workers:<4d}"
+                f"{marker} {estimate.substrate:<13} W={estimate.workers:<4d}"
                 f" {estimate.predicted_s:8.2f} s"
                 f"  +${estimate.provisioned_usd:.4f} infra"
-                f"  score ${estimate.score_usd:.4f}"
+                f"  score ${estimate.score_usd:.4f}{config}"
             )
         return "\n".join(lines)
 
@@ -303,10 +313,15 @@ def choose_exchange_substrate(
     relay_instance_type: str | None = None,
     time_value_usd_per_hour: float = 1.0,
     max_workers: int = 256,
+    max_relay_shards: int = 8,
+    substrates: t.Sequence[str] | None = None,
+    shuffle_cost: ShuffleCostModel | None = None,
+    cache_cost: CacheShuffleCostModel | None = None,
+    relay_cost: RelayShuffleCostModel | None = None,
 ) -> SubstrateDecision:
     """Pick the exchange substrate for one shuffle, analytically.
 
-    Evaluates all three substrates' cost models — on the *probed*
+    Evaluates every candidate substrate's cost model — on the *probed*
     profile when an :class:`OnlineTuner` ``report`` is given, mirroring
     Primula's plan-on-what-you-measured loop — and minimizes a single
     monetized score::
@@ -315,25 +330,41 @@ def choose_exchange_substrate(
               + provisioned_infrastructure_usd
 
     ``workers=None`` lets each substrate plan its own optimal count
-    (they genuinely differ: the cache and relay tolerate far more
-    functions than object storage); a pinned count compares all three
-    at that count, the shape of benchmark S8.
+    (they genuinely differ: the cache and relays tolerate far more
+    functions than object storage); a pinned count compares them all at
+    that count, the shape of benchmark S8.  ``substrates`` restricts
+    the candidates (default: all of :data:`EXCHANGE_SUBSTRATES`).
 
     The provisioned term is what object storage never pays: cache
     node-seconds (for a cluster sized by
-    :func:`~repro.shuffle.cacheplanner.required_cache_nodes`) or relay
+    :func:`~repro.shuffle.cacheplanner.required_cache_nodes`), relay
     VM-seconds + boot volume (instance sized by
     :func:`~repro.shuffle.relayplanner.required_relay_instance` unless
-    pinned), each over the predicted duration with the provider's
-    minimum billed window — the always-on economics the paper credits
-    object storage for avoiding.  Substrates assume warm (pre-
-    provisioned) infrastructure, as the experiments do.  A substrate
-    whose capacity cannot hold the shuffle (no fitting relay flavour)
-    is reported infeasible and never chosen.
+    pinned), or — for the sharded relay — N of those: the selector
+    prices every shard count up to ``max_relay_shards`` and keeps the
+    best-scoring fleet, which is how aggregate NIC bandwidth is traded
+    against N× provisioned cost.  Each is billed over the predicted
+    duration with the provider's minimum billed window — the always-on
+    economics the paper credits object storage for avoiding.
+    Substrates assume warm (pre-provisioned) infrastructure, as the
+    experiments do.  A substrate whose capacity cannot hold the shuffle
+    is reported infeasible and never chosen; if *every* candidate is
+    infeasible this raises :class:`~repro.errors.ShuffleError`.
+
+    Exact score ties break toward the earlier entry of
+    :data:`EXCHANGE_SUBSTRATES` — the simpler infrastructure wins when
+    the money says they are equal.
 
     ``time_value_usd_per_hour=0`` degenerates to pure cost minimization
     (object storage always wins); large values buy latency with
     provisioned hardware.
+
+    ``shuffle_cost``/``cache_cost``/``relay_cost`` supply the
+    workload-side throughput constants per substrate (defaults:
+    library-default cost models).  Callers that will *execute* the
+    chosen sort with calibrated workload parameters — the ``auto_sort``
+    stage does — must pass the same models here, or the decision is
+    priced for a different workload than the one that runs.
     """
     if logical_bytes <= 0:
         raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
@@ -341,6 +372,19 @@ def choose_exchange_substrate(
         raise ShuffleError(
             f"time_value_usd_per_hour must be >= 0, got {time_value_usd_per_hour}"
         )
+    if max_relay_shards < 1:
+        raise ShuffleError(
+            f"max_relay_shards must be >= 1, got {max_relay_shards}"
+        )
+    wanted = tuple(substrates) if substrates is not None else EXCHANGE_SUBSTRATES
+    for name in wanted:
+        if name not in EXCHANGE_SUBSTRATES:
+            raise ShuffleError(
+                f"unknown exchange substrate {name!r}; expected a subset "
+                f"of {EXCHANGE_SUBSTRATES}"
+            )
+    if not wanted:
+        raise ShuffleError("empty candidate substrate set")
     if report is not None:
         profile = fit_profile(profile, report)
     time_value_per_s = time_value_usd_per_hour / 3600.0
@@ -348,7 +392,8 @@ def choose_exchange_substrate(
     estimates: list[SubstrateEstimate] = []
 
     def add(substrate: str, workers_used: int, predicted_s: float,
-            provisioned_usd: float) -> None:
+            provisioned_usd: float, shards: int = 1,
+            instance_type: str = "") -> None:
         estimates.append(
             SubstrateEstimate(
                 substrate=substrate,
@@ -357,6 +402,8 @@ def choose_exchange_substrate(
                 provisioned_usd=provisioned_usd,
                 score_usd=predicted_s * time_value_per_s + provisioned_usd,
                 feasible=True,
+                shards=shards,
+                instance_type=instance_type,
             )
         )
 
@@ -369,81 +416,150 @@ def choose_exchange_substrate(
             )
         )
 
-    # --- object storage: pay-as-you-go, no provisioned term -----------
-    if workers is None:
-        plan = plan_shuffle(
-            logical_bytes, profile, ShuffleCostModel(), max_workers=max_workers
+    def relay_infra_usd(predicted_s: float, instance_type, shards: int) -> float:
+        billed = max(predicted_s, profile.vm.minimum_billed_s)
+        per_instance = billed * instance_type.per_second_usd + (
+            profile.vm.boot_volume_gb
+            * (billed / 3600.0)
+            * profile.vm.volume_gb_hour_usd
         )
-        cos_workers, cos_s = plan.workers, plan.predicted_s
-    else:
-        point = predict_shuffle_time(
-            logical_bytes, workers, profile, ShuffleCostModel()
-        )
-        cos_workers, cos_s = workers, point.total_s
-    add("objectstore", cos_workers, cos_s, 0.0)
+        return shards * per_instance
 
-    # --- cache cluster: node-seconds over the predicted duration ------
-    nodes = required_cache_nodes(logical_bytes, profile, cache_node_type)
-    node_type = profile.memstore.catalog[cache_node_type]
-    cache_cost = CacheShuffleCostModel()
-    if workers is None:
-        plan = plan_cache_shuffle(
-            logical_bytes, profile, cache_node_type, nodes, cache_cost,
-            max_workers=max_workers,
-        )
-        cache_workers, cache_s = plan.workers, plan.predicted_s
-    else:
-        point = predict_cache_shuffle_time(
-            logical_bytes, workers, profile, node_type, nodes, cache_cost
-        )
-        cache_workers, cache_s = workers, point.total_s
-    billed = max(cache_s, profile.memstore.minimum_billed_s)
-    add("cache", cache_workers, cache_s, nodes * node_type.per_second_usd * billed)
+    relay_cost = relay_cost if relay_cost is not None else RelayShuffleCostModel()
 
-    # --- VM relay: instance-seconds + volume, scale-up feasibility ----
-    if relay_instance_type is not None:
-        # An explicitly pinned flavour that does not exist is a caller
-        # configuration error, not infeasibility — surface it.
-        instance_type = resolve_relay_instance(profile, relay_instance_type)
-        relay_type_name: str | None = relay_instance_type
-        usable = relay_usable_bytes(profile, instance_type)
-        if logical_bytes > usable:
-            # A real flavour that cannot hold the shuffle is genuine
-            # infeasibility (RelayExchange.validate would reject it).
-            relay_type_name = None
-            add_infeasible(
-                "relay",
-                f"{logical_bytes:.0f} logical bytes exceed "
-                f"{instance_type.name}'s usable relay memory "
-                f"({usable:.0f} bytes) — the relay substrate is "
-                "scale-up only",
-            )
-    else:
-        try:
-            relay_type_name = required_relay_instance(logical_bytes, profile)
-            instance_type = resolve_relay_instance(profile, relay_type_name)
-        except ShuffleError as exc:
-            relay_type_name = None
-            add_infeasible("relay", str(exc))
-    if relay_type_name is not None:
-        relay_cost = RelayShuffleCostModel()
+    def relay_time(instance_type, shards: int) -> tuple[int, float]:
         if workers is None:
             plan = plan_relay_shuffle(
-                logical_bytes, profile, relay_type_name, relay_cost,
+                logical_bytes, profile, instance_type.name, relay_cost,
+                max_workers=max_workers, shards=shards,
+            )
+            return plan.workers, plan.predicted_s
+        point = predict_relay_shuffle_time(
+            logical_bytes, workers, profile, instance_type, relay_cost,
+            shards=shards,
+        )
+        return workers, point.total_s
+
+    # --- object storage: pay-as-you-go, no provisioned term -----------
+    if "objectstore" in wanted:
+        cos_cost = shuffle_cost if shuffle_cost is not None else ShuffleCostModel()
+        if workers is None:
+            plan = plan_shuffle(
+                logical_bytes, profile, cos_cost, max_workers=max_workers
+            )
+            cos_workers, cos_s = plan.workers, plan.predicted_s
+        else:
+            point = predict_shuffle_time(logical_bytes, workers, profile, cos_cost)
+            cos_workers, cos_s = workers, point.total_s
+        add("objectstore", cos_workers, cos_s, 0.0)
+
+    # --- cache cluster: node-seconds over the predicted duration ------
+    if "cache" in wanted:
+        nodes = required_cache_nodes(logical_bytes, profile, cache_node_type)
+        node_type = profile.memstore.catalog[cache_node_type]
+        cache_cost = cache_cost if cache_cost is not None else CacheShuffleCostModel()
+        if workers is None:
+            plan = plan_cache_shuffle(
+                logical_bytes, profile, cache_node_type, nodes, cache_cost,
                 max_workers=max_workers,
             )
-            relay_workers, relay_s = plan.workers, plan.predicted_s
+            cache_workers, cache_s = plan.workers, plan.predicted_s
         else:
-            point = predict_relay_shuffle_time(
-                logical_bytes, workers, profile, instance_type, relay_cost
+            point = predict_cache_shuffle_time(
+                logical_bytes, workers, profile, node_type, nodes, cache_cost
             )
-            relay_workers, relay_s = workers, point.total_s
-        billed = max(relay_s, profile.vm.minimum_billed_s)
-        infra = billed * instance_type.per_second_usd + (
-            profile.vm.boot_volume_gb * (billed / 3600.0) * profile.vm.volume_gb_hour_usd
+            cache_workers, cache_s = workers, point.total_s
+        billed = max(cache_s, profile.memstore.minimum_billed_s)
+        add(
+            "cache", cache_workers, cache_s,
+            nodes * node_type.per_second_usd * billed,
+            shards=nodes, instance_type=cache_node_type,
         )
-        add("relay", relay_workers, relay_s, infra)
+
+    # --- VM relay: instance-seconds + volume, scale-up feasibility ----
+    if "relay" in wanted:
+        if relay_instance_type is not None:
+            # An explicitly pinned flavour that does not exist is a caller
+            # configuration error, not infeasibility — surface it.
+            instance_type = resolve_relay_instance(profile, relay_instance_type)
+            relay_type_name: str | None = relay_instance_type
+            usable = relay_usable_bytes(profile, instance_type)
+            if logical_bytes > usable:
+                # A real flavour that cannot hold the shuffle is genuine
+                # infeasibility (RelayExchange.validate would reject it).
+                relay_type_name = None
+                add_infeasible(
+                    "relay",
+                    f"{logical_bytes:.0f} logical bytes exceed "
+                    f"{instance_type.name}'s usable relay memory "
+                    f"({usable:.0f} bytes) — the relay substrate is "
+                    "scale-up only",
+                )
+        else:
+            try:
+                relay_type_name = required_relay_instance(logical_bytes, profile)
+                instance_type = resolve_relay_instance(profile, relay_type_name)
+            except ShuffleError as exc:
+                relay_type_name = None
+                add_infeasible("relay", str(exc))
+        if relay_type_name is not None:
+            relay_workers, relay_s = relay_time(instance_type, shards=1)
+            add(
+                "relay", relay_workers, relay_s,
+                relay_infra_usd(relay_s, instance_type, shards=1),
+                shards=1, instance_type=instance_type.name,
+            )
+
+    # --- sharded relay fleet: best-scoring shard count ----------------
+    if "sharded-relay" in wanted:
+        if relay_instance_type is not None:
+            # Typoed pins are caller errors here too, not infeasibility.
+            resolve_relay_instance(profile, relay_instance_type)
+        try:
+            fleet_type_name, min_shards = required_relay_fleet(
+                logical_bytes, profile,
+                instance_type_name=relay_instance_type,
+                max_shards=max_relay_shards,
+            )
+        except ShuffleError as exc:
+            add_infeasible("sharded-relay", str(exc))
+        else:
+            fleet_instance = resolve_relay_instance(profile, fleet_type_name)
+            best: SubstrateEstimate | None = None
+            for shards in range(min_shards, max_relay_shards + 1):
+                fleet_workers, fleet_s = relay_time(fleet_instance, shards)
+                infra = relay_infra_usd(fleet_s, fleet_instance, shards)
+                candidate = SubstrateEstimate(
+                    substrate="sharded-relay",
+                    workers=fleet_workers,
+                    predicted_s=fleet_s,
+                    provisioned_usd=infra,
+                    score_usd=fleet_s * time_value_per_s + infra,
+                    feasible=True,
+                    shards=shards,
+                    instance_type=fleet_instance.name,
+                )
+                if best is None or (candidate.score_usd, candidate.shards) < (
+                    best.score_usd, best.shards
+                ):
+                    best = candidate
+            estimates.append(t.cast(SubstrateEstimate, best))
+
+    # Keep the estimates in the canonical tie-breaking order.
+    order = {name: index for index, name in enumerate(EXCHANGE_SUBSTRATES)}
+    estimates.sort(key=lambda estimate: order[estimate.substrate])
 
     feasible = [estimate for estimate in estimates if estimate.feasible]
-    chosen = min(feasible, key=lambda estimate: estimate.score_usd)
+    if not feasible:
+        details = "; ".join(
+            f"{estimate.substrate}: {estimate.detail}" for estimate in estimates
+        )
+        raise ShuffleError(
+            f"no feasible exchange substrate among {wanted} for "
+            f"{logical_bytes:.0f} logical bytes — {details}"
+        )
+    chosen = min(
+        feasible,
+        key=lambda estimate: (estimate.score_usd, order[estimate.substrate]),
+    )
     return SubstrateDecision(chosen=chosen, estimates=tuple(estimates))

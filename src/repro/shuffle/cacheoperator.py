@@ -11,8 +11,6 @@ the pipelines: only the intermediate-data substrate changes.
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.cloud.memstore.service import MemStoreCluster
 from repro.cloud.profiles import CloudProfile
 from repro.errors import ShuffleError
@@ -23,19 +21,6 @@ from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import ShufflePlan
 from repro.shuffle.records import RecordCodec
 from repro.storage import paths
-
-
-@dataclasses.dataclass(frozen=True, slots=True)
-class CacheShuffleReport:
-    """Extra execution metadata specific to the cache substrate."""
-
-    cluster_id: str
-    nodes: int
-    node_type: str
-    peak_fill_fraction: float
-    cache_sets: int
-    cache_gets: int
-    evictions: int
 
 
 class CacheExchange(ExchangeBackend):
@@ -116,18 +101,24 @@ class CacheExchange(ExchangeBackend):
     def on_map_done(self, map_results: list[dict]) -> None:
         self._peak_fill = max(node.fill_fraction for node in self.cluster.nodes)
 
-    def report(self) -> CacheShuffleReport:
+    def provisioned_rate_usd_per_s(self) -> float:
+        return len(self.cluster.nodes) * self.cluster.node_type.per_second_usd
+
+    def minimum_billed_s(self) -> float:
+        return self.cluster.service.profile.minimum_billed_s
+
+    def extra_report(self) -> dict:
         totals = self.cluster.stats_totals()
         baseline = self._stats_baseline
-        return CacheShuffleReport(
-            cluster_id=self.cluster.cluster_id,
-            nodes=len(self.cluster.nodes),
-            node_type=self.cluster.node_type.name,
-            peak_fill_fraction=self._peak_fill,
-            cache_sets=int(totals["sets"] - baseline.get("sets", 0)),
-            cache_gets=int(totals["gets"] - baseline.get("gets", 0)),
-            evictions=int(totals["evictions"] - baseline.get("evictions", 0)),
-        )
+        return {
+            "cluster_id": self.cluster.cluster_id,
+            "nodes": len(self.cluster.nodes),
+            "node_type": self.cluster.node_type.name,
+            "peak_fill_fraction": self._peak_fill,
+            "cache_sets": int(totals["sets"] - baseline.get("sets", 0)),
+            "cache_gets": int(totals["gets"] - baseline.get("gets", 0)),
+            "evictions": int(totals["evictions"] - baseline.get("evictions", 0)),
+        }
 
 
 class CacheShuffleSort(ShuffleSort):

@@ -13,8 +13,11 @@ the generic :class:`~repro.shuffle.operator.ShuffleSort` drives one
   own analytic cost model picking the worker count;
 * **worker stages and task payloads** — how a mapper publishes its
   partitions and how a reducer collects its range;
-* **reporting** (:meth:`ExchangeBackend.report`) — substrate-specific
-  execution metadata (cache fill, relay backpressure, ...).
+* **reporting** (:meth:`ExchangeBackend.report`) — every backend emits
+  one uniform :class:`ExchangeReport` carrying the substrate decision
+  inputs (predicted vs actual runtime, provisioned-infrastructure cost)
+  plus substrate-specific extras (cache fill, relay backpressure, ...)
+  reachable as plain attributes.
 
 Fault handling and speculation are substrate-independent by design:
 every worker talks to its substrate through clients bound to the
@@ -29,13 +32,15 @@ executor retries *and* speculative backup tasks
 (:attr:`ExchangeBackend.supports_speculation`).
 
 Backends: :class:`ObjectStoreExchange` (here),
-:class:`~repro.shuffle.cacheoperator.CacheExchange` and
-:class:`~repro.shuffle.relay.RelayExchange`.
+:class:`~repro.shuffle.cacheoperator.CacheExchange`,
+:class:`~repro.shuffle.relay.RelayExchange` and
+:class:`~repro.shuffle.relay.ShardedRelayExchange`.
 """
 
 from __future__ import annotations
 
 import abc
+import dataclasses
 import typing as t
 
 from repro.cloud.profiles import CloudProfile
@@ -43,6 +48,59 @@ from repro.shuffle.planner import ShuffleCostModel, ShufflePlan, plan_shuffle
 from repro.shuffle.records import RecordCodec
 from repro.shuffle.stages import shuffle_mapper, shuffle_reducer
 from repro.storage import paths
+
+
+@dataclasses.dataclass(frozen=True)
+class ExchangeReport:
+    """Uniform per-sort execution report, identical across substrates.
+
+    The common fields are exactly the inputs of the adaptive substrate
+    decision — what the planner predicted, what actually happened, and
+    what the provisioned infrastructure cost over the sort — so sweeps
+    and the workflow engine can compare substrates without
+    per-substrate special cases.  Substrate-specific metadata lives in
+    ``extra`` and is reachable as plain attributes
+    (``report.backpressure_waits``) for ergonomic call sites.
+    """
+
+    substrate: str
+    workers: int
+    #: Planner-predicted sort time; ``None`` when the caller pinned the
+    #: worker count (no plan was computed).
+    predicted_s: float | None
+    #: Measured wall-clock of the sort.
+    actual_s: float
+    #: Provisioned-infrastructure dollars over ``actual_s`` — with the
+    #: provider's minimum billed window applied, matching both what the
+    #: cost meter actually charges and how ``choose_exchange_substrate``
+    #: prices the same configuration; 0 for pay-as-you-go COS.
+    provisioned_usd: float
+    #: Substrate-specific metadata (fill fractions, request counters...).
+    extra: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> t.Any:
+        # Convenience passthrough: substrate extras read like fields.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self.__dict__["extra"][name]
+        except KeyError:
+            raise AttributeError(
+                f"{self.substrate!r} exchange report has no field {name!r}"
+            ) from None
+
+    def as_dict(self) -> dict[str, t.Any]:
+        """Common fields + extras, flattened (extras never shadow)."""
+        out: dict[str, t.Any] = {
+            "substrate": self.substrate,
+            "workers": self.workers,
+            "predicted_s": self.predicted_s,
+            "actual_s": self.actual_s,
+            "provisioned_usd": self.provisioned_usd,
+        }
+        for key, value in self.extra.items():
+            out.setdefault(key, value)
+        return out
 
 
 class ExchangeBackend(abc.ABC):
@@ -110,9 +168,33 @@ class ExchangeBackend(abc.ABC):
     def on_map_done(self, map_results: list[dict]) -> None:
         """Hook between the map and reduce waves (e.g. record peak fill)."""
 
-    def report(self) -> t.Any:
-        """Substrate-specific execution metadata, or ``None``."""
-        return None
+    def provisioned_rate_usd_per_s(self) -> float:
+        """Dollars per second of provisioned infrastructure (0 for COS)."""
+        return 0.0
+
+    def minimum_billed_s(self) -> float:
+        """The provider's minimum billed window for this substrate's
+        provisioned infrastructure (0 for pay-as-you-go)."""
+        return 0.0
+
+    def extra_report(self) -> dict[str, t.Any]:
+        """Substrate-specific additions to the uniform report."""
+        return {}
+
+    def report(
+        self, workers: int, plan: ShufflePlan | None, duration_s: float
+    ) -> ExchangeReport:
+        """The uniform per-sort report; backends customize via the
+        hooks above rather than overriding this."""
+        billed_s = max(duration_s, self.minimum_billed_s())
+        return ExchangeReport(
+            substrate=self.name,
+            workers=workers,
+            predicted_s=plan.predicted_s if plan is not None else None,
+            actual_s=duration_s,
+            provisioned_usd=self.provisioned_rate_usd_per_s() * billed_s,
+            extra=self.extra_report(),
+        )
 
 
 class ObjectStoreExchange(ExchangeBackend):

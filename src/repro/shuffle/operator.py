@@ -100,8 +100,8 @@ class ShuffleSort:
         self.codec = codec
         self.backend = backend if backend is not None else ObjectStoreExchange(cost)
         self.cost = self.backend.cost
-        #: Substrate-specific execution metadata of the last sort
-        #: (``None`` for the object-storage substrate).
+        #: Uniform :class:`~repro.shuffle.exchange.ExchangeReport` of the
+        #: last sort (``None`` until a sort completed).
         self.report = None
 
     # ------------------------------------------------------------------
@@ -253,7 +253,9 @@ class ShuffleSort:
                 f"shuffle lost records: mapped {mapped_records}, "
                 f"reduced {total_records}"
             )
-        self.report = self.backend.report()
+        self.report = self.backend.report(
+            workers, plan, self.sim.now - started_at
+        )
         return ShuffleResult(
             runs=runs,
             workers=workers,

@@ -1,14 +1,16 @@
-"""Worker stages and operator for the VM-relay shuffle.
+"""Worker stages and operators for the VM-relay shuffles.
 
-The third incarnation of the exchange: mappers PUSH their partitions to
-an in-memory rendezvous hosted on one provisioned VM
-(:class:`~repro.cloud.vm.relay.PartitionRelay`), reducers PULL their
-range; the relay is per-run scratch, reclaimed when its VM terminates
-(reducer-side deletion is an opt-in, ``consume``, for crash-free runs).  Sampling and the sorted-run artifact are identical
-to the other substrates; what this one trades is the cache's scale-out
-aggregate for a single fat NIC, and object storage's pay-as-you-go
-requests for Table 1's provisioned-VM economics (boot latency +
-per-second billing).
+Mappers PUSH their partitions to an in-memory rendezvous hosted on
+provisioned VMs, reducers PULL their range; the relay side is per-run
+scratch, reclaimed when its VMs terminate (reducer-side deletion is an
+opt-in, ``consume``, for crash-free runs).  Two flavours share
+everything but the hardware: the classic single relay
+(:class:`~repro.cloud.vm.relay.PartitionRelay` — one fat NIC, Table 1's
+provisioned-VM economics) and the sharded fleet
+(:class:`~repro.cloud.vm.fleet.RelayFleet` — N instances aggregating N
+NICs, for the worker counts and dataset sizes where one line rate
+caps the exchange).  Sampling and the sorted-run artifact are identical
+to the other substrates.
 
 Task payloads carry the *relay id*; workers resolve it through their
 :meth:`~repro.cloud.faas.context.FunctionContext.relay` accessor, which
@@ -25,17 +27,21 @@ storage.
 
 from __future__ import annotations
 
-import dataclasses
 import typing as t
 
 from repro.cloud.profiles import CloudProfile
+from repro.cloud.vm.fleet import RelayFleet
 from repro.cloud.vm.relay import PartitionRelay
 from repro.errors import ShuffleError
 from repro.shuffle.exchange import ExchangeBackend
 from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import ShufflePlan
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.relayplanner import RelayShuffleCostModel, plan_relay_shuffle
+from repro.shuffle.relayplanner import (
+    SHARD_IMBALANCE_HEADROOM,
+    RelayShuffleCostModel,
+    plan_relay_shuffle,
+)
 from repro.shuffle.sampler import partition_index
 from repro.storage import paths
 
@@ -128,38 +134,65 @@ def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
     }
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
-class RelayShuffleReport:
-    """Extra execution metadata specific to the relay substrate."""
-
-    relay_id: str
-    instance_type: str
-    peak_fill_fraction: float
-    pushes: int
-    pulls: int
-    backpressure_waits: int
-
-
 class RelayExchange(ExchangeBackend):
-    """Exchange partitions through a VM-hosted in-memory relay."""
+    """Exchange partitions through VM-hosted in-memory relays.
+
+    Accepts either a single :class:`~repro.cloud.vm.relay.PartitionRelay`
+    or a sharded :class:`~repro.cloud.vm.fleet.RelayFleet` — the two
+    expose the same façade (id-addressed clients, aggregate capacity,
+    fleet-wide cancellation), so the worker stages and task payloads are
+    shared verbatim; only the planner's shard count and the billing
+    multiplier differ.
+    """
 
     name = "relay"
     process_label = "relayshuffle"
     default_out_prefix = "relay-shuffle"
 
-    def __init__(self, relay: PartitionRelay, cost: RelayShuffleCostModel | None = None):
+    def __init__(
+        self,
+        relay: PartitionRelay | RelayFleet,
+        cost: RelayShuffleCostModel | None = None,
+    ):
         self.relay = relay
         self.cost = cost if cost is not None else RelayShuffleCostModel()
         self._stats_baseline: dict[str, float] = {}
+
+    @property
+    def shards(self) -> int:
+        return self.relay.shard_count
 
     def validate(self, logical_size: float) -> None:
         self.relay.ensure_running()
         if logical_size > self.relay.capacity_bytes:
             raise ShuffleError(
                 f"shuffle data ({logical_size:.0f} logical bytes) exceeds "
-                f"relay capacity ({self.relay.capacity_bytes:.0f}); "
-                "provision a larger instance — the relay is scale-up only"
+                f"relay capacity ({self.relay.capacity_bytes:.0f}) of "
+                f"{self.shards} x {self.relay.instance_type_name}; "
+                "provision a larger instance or more shards"
             )
+        if self.shards > 1:
+            # Admission is per shard, not aggregate: a key-hash split is
+            # never perfectly even, so a fleet that only *just* fits in
+            # total can still overflow (and backpressure-deadlock) its
+            # hottest shard.  Fail fast instead, budgeting the same
+            # imbalance margin required_relay_fleet sizes with.  This is
+            # a heuristic, not a guarantee: realized imbalance is
+            # unbounded for very small key grids (W=2 puts ~4 keys on
+            # the hash ring), where a hot shard can exceed the margin —
+            # a wider margin or more workers is the operator's lever.
+            per_shard = logical_size / self.shards
+            shard_capacity = min(
+                shard.capacity_bytes for shard in self.relay.shards
+            )
+            if per_shard * SHARD_IMBALANCE_HEADROOM > shard_capacity:
+                raise ShuffleError(
+                    f"shuffle data ({logical_size:.0f} logical bytes over "
+                    f"{self.shards} shards) leaves no imbalance headroom: "
+                    f"each shard holds {shard_capacity:.0f} bytes but may "
+                    f"receive up to ~{per_shard * SHARD_IMBALANCE_HEADROOM:.0f}"
+                    "; provision larger instances or more shards"
+                )
         # The relay may be reused across sorts (its lifecycle belongs to
         # the caller); report per-sort deltas, not lifetime totals.
         self._stats_baseline = self.relay.stats.as_dict()
@@ -171,9 +204,10 @@ class RelayExchange(ExchangeBackend):
         return plan_relay_shuffle(
             logical_size,
             profile,
-            self.relay.vm.instance_type.name,
+            self.relay.instance_type_name,
             self.cost,
             max_workers=max_workers,
+            shards=self.shards,
         )
 
     def mapper_stage(self):
@@ -214,19 +248,32 @@ class RelayExchange(ExchangeBackend):
             "consume": self.cost.consume,
         }
 
-    def report(self) -> RelayShuffleReport:
+    def provisioned_rate_usd_per_s(self) -> float:
+        profile = self.relay.service.profile
+        instance = self.relay.instance_type
+        volume_per_s = (
+            profile.boot_volume_gb * profile.volume_gb_hour_usd / 3600.0
+        )
+        return self.shards * (instance.per_second_usd + volume_per_s)
+
+    def minimum_billed_s(self) -> float:
+        return self.relay.service.profile.minimum_billed_s
+
+    def extra_report(self) -> dict:
         baseline = self._stats_baseline
         totals = self.relay.stats.as_dict()
-        return RelayShuffleReport(
-            relay_id=self.relay.relay_id,
-            instance_type=self.relay.vm.instance_type.name,
-            peak_fill_fraction=self.relay.peak_fill_fraction,
-            pushes=int(totals["pushes"] - baseline.get("pushes", 0)),
-            pulls=int(totals["pulls"] - baseline.get("pulls", 0)),
-            backpressure_waits=int(
-                totals["backpressure_waits"] - baseline.get("backpressure_waits", 0)
+        return {
+            "relay_id": self.relay.relay_id,
+            "instance_type": self.relay.instance_type_name,
+            "shards": self.shards,
+            "peak_fill_fraction": self.relay.peak_fill_fraction,
+            "pushes": int(totals["pushes"] - baseline.get("pushes", 0)),
+            "pulls": int(totals["pulls"] - baseline.get("pulls", 0)),
+            "backpressure_waits": int(
+                totals["backpressure_waits"]
+                - baseline.get("backpressure_waits", 0)
             ),
-        )
+        }
 
 
 class RelayShuffleSort(ShuffleSort):
@@ -256,3 +303,47 @@ class RelayShuffleSort(ShuffleSort):
     ):
         super().__init__(executor, codec, backend=RelayExchange(relay, cost))
         self.relay = relay
+
+
+class ShardedRelayExchange(RelayExchange):
+    """Exchange partitions through a sharded multi-relay fleet.
+
+    Same worker stages and payloads as :class:`RelayExchange` — the
+    fleet routes keys to shards underneath the shared relay-id
+    indirection — but planned and priced as N instances, and reported
+    as its own substrate so sweeps can contrast it with the single
+    relay's NIC ceiling.
+    """
+
+    name = "sharded-relay"
+    process_label = "fleetshuffle"
+    default_out_prefix = "fleet-shuffle"
+
+    def __init__(self, fleet: RelayFleet, cost: RelayShuffleCostModel | None = None):
+        if not isinstance(fleet, RelayFleet):
+            raise ShuffleError(
+                "ShardedRelayExchange needs a RelayFleet; wrap a single "
+                "relay in a one-shard fleet or use RelayExchange"
+            )
+        super().__init__(fleet, cost)
+        self.fleet = fleet
+
+
+class ShardedRelayShuffleSort(ShuffleSort):
+    """Sort with W functions exchanging via a sharded VM-relay fleet.
+
+    Parameters mirror :class:`RelayShuffleSort`, with a *running*
+    :class:`~repro.cloud.vm.fleet.RelayFleet` in place of the single
+    relay; the fleet's lifecycle (provision/terminate, and therefore N
+    instances' billing) belongs to the caller.
+    """
+
+    def __init__(
+        self,
+        executor,
+        codec: RecordCodec,
+        fleet: RelayFleet,
+        cost: RelayShuffleCostModel | None = None,
+    ):
+        super().__init__(executor, codec, backend=ShardedRelayExchange(fleet, cost))
+        self.fleet = fleet

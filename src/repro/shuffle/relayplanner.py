@@ -16,27 +16,45 @@ What changes is the all-to-all itself:
 * the ops/s ceiling of a single-purpose in-memory server is far above
   the object-storage account's, so the W² request floor nearly
   vanishes;
-* bandwidth is bounded by **one instance NIC** crossed twice (every
-  byte goes in on the map wave and out on the reduce wave) — the
-  scale-up ceiling that distinguishes the relay from the cache's
-  scale-out aggregate;
-* capacity is one instance's memory: a hard feasibility constraint
-  (:func:`required_relay_instance` picks the smallest flavour that
-  fits).
+* bandwidth is bounded by **the fleet's aggregate NIC** crossed twice
+  (every byte goes in on the map wave and out on the reduce wave).  A
+  single relay (``shards=1``) has the scale-up ceiling of one instance
+  line rate; a sharded fleet multiplies it by N, which is the whole
+  point of sharding — at the price of N instances' billing clocks;
+* capacity is the fleet's total memory: a hard feasibility constraint
+  (:func:`required_relay_instance` picks the smallest single flavour
+  that fits; :func:`required_relay_fleet` additionally sizes a shard
+  count when no single flavour does).
 
 The model therefore predicts the flattest right flank of the three at
-high worker counts, but the earliest bandwidth ceiling and — in cold
-mode — the Table 1 provisioning penalty up front.
+high worker counts, a bandwidth ceiling that moves with the shard
+count, and — in cold mode — the Table 1 provisioning penalty up front.
+
+The shard count is a genuine decision variable:
+:func:`plan_relay_shuffle` with ``shards=None`` searches worker count
+and shard count jointly, preferring the *smallest* fleet within a small
+tolerance of the best predicted time (more shards past the point where
+worker NICs dominate buy nothing but instance-hours; the monetized
+trade-off lives in
+:func:`~repro.shuffle.adaptive.choose_exchange_substrate`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as t
 
 from repro.cloud.profiles import CloudProfile, InstanceType
 from repro.errors import ShuffleError
 from repro.shuffle.planner import PlanPoint, ShufflePlan
+
+#: Slack multiplier between a fleet's mean per-shard load and what each
+#: shard must be able to hold: hash routing never splits perfectly, so
+#: sizing (:func:`required_relay_fleet`) and runtime admission
+#: (``RelayExchange.validate``) both budget this margin — they must
+#: agree, or a planner-sized fleet would be rejected at execution time.
+SHARD_IMBALANCE_HEADROOM = 1.3
 
 
 @dataclasses.dataclass(slots=True)
@@ -63,6 +81,10 @@ class RelayShuffleCostModel:
     #: Charge the VM boot latency into the plan (cold relay).  Warm
     #: (pre-provisioned) relays leave it out, like the cache planner.
     include_boot: bool = False
+    #: Shard counts within this fraction of the best predicted time
+    #: collapse to the smallest such fleet (diminishing-returns cutoff
+    #: of the ``shards=None`` search).
+    shard_convergence: float = 0.02
 
 
 def predict_relay_shuffle_time(
@@ -71,10 +93,19 @@ def predict_relay_shuffle_time(
     profile: CloudProfile,
     instance_type: InstanceType,
     cost: RelayShuffleCostModel,
+    shards: int = 1,
 ) -> PlanPoint:
-    """Evaluate the relay-shuffle analytic model at one worker count."""
+    """Evaluate the relay-shuffle analytic model at one worker count.
+
+    ``shards`` models a :class:`~repro.cloud.vm.fleet.RelayFleet` of N
+    identical instances: the all-to-all aggregates N instance NICs and
+    N request loops, while each worker stays bounded by its own NIC
+    (its fan-out sub-flows share the function's line rate).
+    """
     if workers < 1:
         raise ShuffleError(f"workers must be >= 1, got {workers}")
+    if shards < 1:
+        raise ShuffleError(f"shards must be >= 1, got {shards}")
     size = float(logical_bytes)
     store = profile.objectstore
     faas = profile.faas
@@ -82,7 +113,7 @@ def predict_relay_shuffle_time(
     per_worker = size / workers
     instance_bw = min(faas.instance_bandwidth, store.per_connection_bandwidth)
     relay_conn_bw = min(faas.instance_bandwidth, instance_type.nic_bandwidth)
-    relay_nic = instance_type.nic_bandwidth
+    relay_nic = instance_type.nic_bandwidth * shards
 
     startup = faas.invoke_overhead.mean + faas.cold_start.mean
     if cost.include_boot:
@@ -96,11 +127,13 @@ def predict_relay_shuffle_time(
     partition_cpu = per_worker / cost.partition_throughput
 
     # All-to-all through the relay: one MPUSH per mapper, one MPULL per
-    # reducer (one request latency each); every byte crosses the single
-    # instance NIC once per wave.
+    # reducer (the per-shard sub-batches fan out in parallel, so a batch
+    # costs one request latency regardless of shard count); every byte
+    # crosses the fleet's aggregate NIC once per wave, and the request
+    # load spreads over N independent token buckets.
     relay_transfer = max(per_worker / relay_conn_bw, size / relay_nic)
     request = vm.relay_request_latency.mean
-    ops_floor = (workers * workers) / vm.relay_ops_per_second
+    ops_floor = (workers * workers) / (shards * vm.relay_ops_per_second)
     map_write = max(request + relay_transfer, ops_floor)
     reduce_fetch = max(request + relay_transfer, ops_floor)
 
@@ -145,6 +178,14 @@ def relay_usable_bytes(profile: CloudProfile, instance_type: InstanceType) -> fl
     return profile.vm.relay_usable_bytes(instance_type)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class RelayShufflePlan(ShufflePlan):
+    """A :class:`ShufflePlan` that also fixes the fleet configuration."""
+
+    shards: int = 1
+    instance_type: str = ""
+
+
 def plan_relay_shuffle(
     logical_bytes: float,
     profile: CloudProfile,
@@ -152,8 +193,19 @@ def plan_relay_shuffle(
     cost: RelayShuffleCostModel | None = None,
     max_workers: int = 256,
     candidates: t.Sequence[int] | None = None,
-) -> ShufflePlan:
-    """Pick the worker count minimizing predicted relay-shuffle time."""
+    shards: int | None = 1,
+    min_shards: int = 1,
+    max_shards: int = 8,
+) -> RelayShufflePlan:
+    """Pick ``(workers, shards)`` minimizing predicted relay-shuffle time.
+
+    ``shards`` pins the fleet size (1 = the classic single relay);
+    ``shards=None`` searches ``min_shards..max_shards`` jointly with the
+    worker count and returns the *smallest* fleet whose best time is
+    within ``cost.shard_convergence`` of the global optimum — once the
+    worker NICs (not the fleet NIC) bound the exchange, extra shards
+    only cost money.
+    """
     if logical_bytes <= 0:
         raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
     cost = cost if cost is not None else RelayShuffleCostModel()
@@ -163,18 +215,49 @@ def plan_relay_shuffle(
     )
     if not pool:
         raise ShuffleError("empty candidate worker set")
-    curve = tuple(
-        predict_relay_shuffle_time(logical_bytes, workers, profile, instance_type, cost)
-        for workers in sorted(set(pool))
+    if shards is not None:
+        shard_pool = [shards]
+    else:
+        if not 1 <= min_shards <= max_shards:
+            raise ShuffleError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"{min_shards}..{max_shards}"
+            )
+        shard_pool = list(range(min_shards, max_shards + 1))
+
+    curves: dict[int, tuple[PlanPoint, ...]] = {
+        n: tuple(
+            predict_relay_shuffle_time(
+                logical_bytes, workers, profile, instance_type, cost, shards=n
+            )
+            for workers in sorted(set(pool))
+        )
+        for n in shard_pool
+    }
+    best_points = {
+        n: min(curve, key=lambda point: (point.total_s, point.workers))
+        for n, curve in curves.items()
+    }
+    optimum = min(point.total_s for point in best_points.values())
+    chosen_shards = min(
+        n
+        for n, point in best_points.items()
+        if point.total_s <= optimum * (1.0 + cost.shard_convergence)
     )
-    best = min(curve, key=lambda point: (point.total_s, point.workers))
-    return ShufflePlan(workers=best.workers, predicted_s=best.total_s, curve=curve)
+    best = best_points[chosen_shards]
+    return RelayShufflePlan(
+        workers=best.workers,
+        predicted_s=best.total_s,
+        curve=curves[chosen_shards],
+        shards=chosen_shards,
+        instance_type=instance_type.name,
+    )
 
 
 def required_relay_instance(
     logical_bytes: float,
     profile: CloudProfile,
-    headroom: float = 1.3,
+    headroom: float = SHARD_IMBALANCE_HEADROOM,
 ) -> str:
     """Smallest catalog instance whose usable memory holds the shuffle data.
 
@@ -205,3 +288,57 @@ def required_relay_instance(
         )
     best = min(fitting, key=lambda instance: (instance.memory_gb, instance.name))
     return best.name
+
+
+def required_relay_fleet(
+    logical_bytes: float,
+    profile: CloudProfile,
+    instance_type_name: str | None = None,
+    max_shards: int = 8,
+    headroom: float = SHARD_IMBALANCE_HEADROOM,
+) -> tuple[str, int]:
+    """Cheapest ``(instance_type, shards)`` whose fleet holds the data.
+
+    With ``instance_type_name`` pinned, returns the smallest shard count
+    (``<= max_shards``) of that flavour that fits; otherwise searches
+    the catalog for the fleet minimizing total instance-hours (then
+    shard count, then name).  Sharding is what makes datasets beyond
+    the fattest single flavour feasible on the relay substrate at all —
+    when even ``max_shards`` of the fattest flavour cannot hold the data
+    this raises, mirroring :func:`required_relay_instance`.
+    """
+    if logical_bytes <= 0:
+        raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
+    if headroom < 1.0:
+        raise ShuffleError(f"headroom must be >= 1, got {headroom}")
+    if max_shards < 1:
+        raise ShuffleError(f"max_shards must be >= 1, got {max_shards}")
+    needed = logical_bytes * headroom
+    if instance_type_name is not None:
+        instance = resolve_relay_instance(profile, instance_type_name)
+        usable = relay_usable_bytes(profile, instance)
+        shards = max(1, math.ceil(needed / usable))
+        if shards > max_shards:
+            raise ShuffleError(
+                f"{logical_bytes:.0f} logical bytes (x{headroom:.2f} headroom) "
+                f"need {shards} shards of {instance.name}, beyond the "
+                f"max_shards={max_shards} fleet limit"
+            )
+        return instance.name, shards
+    options: list[tuple[float, int, str]] = []
+    for instance in profile.vm.catalog.values():
+        usable = relay_usable_bytes(profile, instance)
+        shards = max(1, math.ceil(needed / usable))
+        if shards <= max_shards:
+            options.append((shards * instance.hourly_usd, shards, instance.name))
+    if not options:
+        largest = max(
+            profile.vm.catalog.values(), key=lambda instance: instance.memory_gb
+        )
+        raise ShuffleError(
+            f"no fleet of <= {max_shards} instances holds {logical_bytes:.0f} "
+            f"logical bytes (x{headroom:.2f} headroom); largest flavour is "
+            f"{largest.name} with {largest.memory_gb} GB"
+        )
+    _cost, shards, name = min(options)
+    return name, shards

@@ -111,14 +111,23 @@ def spans_from_timeline(timeline: Timeline) -> list[GanttSpan]:
 
 
 def spans_from_tracker(tracker: "JobTracker") -> list[GanttSpan]:
-    """One span per finished workflow stage."""
+    """One span per finished workflow stage.
+
+    A stage that recorded a substrate decision (the adaptive
+    ``auto_sort`` kind) carries the chosen substrate in its label, so
+    the Gantt chart shows *where* the exchange ran, not just when.
+    """
     spans = []
     for report in tracker.reports.values():
         if report.started_at is None or report.finished_at is None:
             continue
+        label = f"[{report.name}]"
+        substrate = report.detail.get("substrate")
+        if substrate:
+            label = f"[{report.name}→{substrate}]"
         spans.append(
             GanttSpan(
-                label=f"[{report.name}]",
+                label=label,
                 start=report.started_at,
                 end=report.finished_at,
                 kind="stage",

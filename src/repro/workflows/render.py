@@ -11,12 +11,19 @@ from __future__ import annotations
 
 from repro.workflows.dag import WorkflowDag
 
-#: stage kind → substrate label shown in the box.
+#: stage kind → substrate label shown in the box.  Every registered
+#: sort kind must have an entry here (regression-tested): a sort stage
+#: falling back to the generic "cloud" label hides exactly the
+#: substrate distinction Figure 1 exists to show.
 _SUBSTRATE_LABELS = {
     "methylome_dataset": "object storage",
+    "dataset_ref": "object storage",
     "shuffle_sort": "cloud functions",
     "vm_sort": "virtual machine",
     "cache_sort": "cloud functions + cache cluster",
+    "relay_sort": "cloud functions + VM relay",
+    "sharded_relay_sort": "cloud functions + VM relay fleet",
+    "auto_sort": "cloud functions + adaptive exchange substrate",
     "methcomp_encode": "cloud functions",
     "methcomp_verify": "cloud functions",
 }

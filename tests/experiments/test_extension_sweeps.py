@@ -22,11 +22,13 @@ TINY = ExperimentConfig(size_gb=0.5, logical_scale=8192.0)
 class TestSweepExchange:
     def test_rows_cover_all_strategies(self):
         rows = sweep_exchange(TINY, worker_counts=(2, 4))
-        assert len(rows) == 6
+        assert len(rows) == 8
         strategies = {(row["workers"], row["strategy"]) for row in rows}
         assert strategies == {
             (2, "objectstore"), (2, "cache"), (2, "relay"),
+            (2, "sharded-relay"),
             (4, "objectstore"), (4, "cache"), (4, "relay"),
+            (4, "sharded-relay"),
         }
 
     def test_strategies_subset_respected(self):
@@ -40,7 +42,7 @@ class TestSweepExchange:
     def test_provisioned_substrates_issue_fewer_storage_requests(self):
         rows = sweep_exchange(TINY, worker_counts=(8,))
         by_strategy = {row["strategy"]: row for row in rows}
-        for strategy in ("cache", "relay"):
+        for strategy in ("cache", "relay", "sharded-relay"):
             assert (
                 by_strategy[strategy]["storage_requests"]
                 < by_strategy["objectstore"]["storage_requests"]
@@ -50,6 +52,19 @@ class TestSweepExchange:
         rows = sweep_exchange(TINY, worker_counts=(3,))
         assert len({row["output_digest"] for row in rows}) == 1
 
+    def test_rows_carry_uniform_provisioned_cost(self):
+        """The uniform ExchangeReport replaces per-substrate metadata:
+        every row prices its provisioned infrastructure the same way."""
+        rows = sweep_exchange(TINY, worker_counts=(2,))
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert by_strategy["objectstore"]["provisioned_usd"] == 0.0
+        for strategy in ("cache", "relay", "sharded-relay"):
+            assert by_strategy[strategy]["provisioned_usd"] > 0.0
+        assert (
+            by_strategy["sharded-relay"]["provisioned_usd"]
+            > by_strategy["relay"]["provisioned_usd"]
+        )
+
     def test_pipeline_variant_rows(self):
         rows = sweep_exchange_pipelines(TINY, sizes_gb=(0.5,))
         assert len(rows) == 4
@@ -58,6 +73,22 @@ class TestSweepExchange:
             "relay-supported",
         }
         assert all(row["latency_s"] > 0 for row in rows)
+
+
+class TestSweepRelayShards:
+    def test_baseline_plus_one_row_per_fleet_size(self):
+        from repro.experiments import sweep_relay_shards
+
+        rows = sweep_relay_shards(TINY, shard_counts=(1, 2), workers=4)
+        assert [(row["strategy"], row["shards"]) for row in rows] == [
+            ("objectstore", 0), ("sharded-relay", 1), ("sharded-relay", 2),
+        ]
+        # Byte parity across the baseline and every fleet size.
+        assert len({row["output_digest"] for row in rows}) == 1
+        # N shards bill ~N instances' seconds.
+        assert rows[2]["provisioned_usd"] > rows[1]["provisioned_usd"]
+        for row in rows[1:]:
+            assert row["residual_bytes"] == 0.0
 
 
 class TestSweepFaults:

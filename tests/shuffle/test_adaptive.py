@@ -186,13 +186,13 @@ class TestSubstrateSelector:
         decision = choose_exchange_substrate(
             self.SIZE, self.PROFILE, workers=256, time_value_usd_per_hour=1.0
         )
-        assert decision.substrate in ("cache", "relay")
+        assert decision.substrate in ("cache", "relay", "sharded-relay")
         assert decision.chosen.provisioned_usd > 0
 
     def test_estimates_cover_all_substrates(self):
         decision = choose_exchange_substrate(self.SIZE, self.PROFILE, workers=16)
         assert [e.substrate for e in decision.estimates] == [
-            "objectstore", "cache", "relay",
+            "objectstore", "cache", "relay", "sharded-relay",
         ]
         for estimate in decision.estimates:
             assert estimate.feasible
@@ -215,7 +215,49 @@ class TestSubstrateSelector:
         by_name = {e.substrate: e for e in decision.estimates}
         assert not by_name["relay"].feasible
         assert "scale-up" in by_name["relay"].detail
-        assert decision.substrate in ("objectstore", "cache")
+        assert decision.substrate in ("objectstore", "cache", "sharded-relay")
+
+    def test_sharding_extends_relay_feasibility(self):
+        """Data beyond the fattest single flavour is exactly what the
+        fleet exists for: the single relay is infeasible, the sharded
+        one is not."""
+        decision = choose_exchange_substrate(1000 * GB, self.PROFILE, workers=64)
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert not by_name["relay"].feasible
+        assert by_name["sharded-relay"].feasible
+        assert by_name["sharded-relay"].shards > 1
+
+    def test_sharding_beats_single_relay_at_saturating_worker_counts(self):
+        """Once W worker NICs outrun one instance NIC and latency is
+        worth real money, the fleet's aggregate bandwidth must make its
+        estimate strictly faster (at strictly higher provisioned
+        cost)."""
+        decision = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=256,
+            relay_instance_type="bx2-8x32",
+            time_value_usd_per_hour=50.0,
+        )
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert by_name["sharded-relay"].shards > 1
+        assert (
+            by_name["sharded-relay"].predicted_s < by_name["relay"].predicted_s
+        )
+        assert (
+            by_name["sharded-relay"].provisioned_usd
+            > by_name["relay"].provisioned_usd
+        )
+
+    def test_cheap_latency_keeps_the_fleet_at_one_shard(self):
+        """The same configuration with latency worth almost nothing must
+        not buy extra shards: the fleet search is monetized, not
+        time-greedy."""
+        decision = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=256,
+            relay_instance_type="bx2-8x32",
+            time_value_usd_per_hour=0.01,
+        )
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert by_name["sharded-relay"].shards == 1
 
     def test_pinned_relay_instance_is_used(self):
         pinned = choose_exchange_substrate(
@@ -249,7 +291,7 @@ class TestSubstrateSelector:
         decision = choose_exchange_substrate(self.SIZE, self.PROFILE, workers=32)
         text = decision.describe()
         assert "->" in text
-        for substrate in ("objectstore", "cache", "relay"):
+        for substrate in ("objectstore", "cache", "relay", "sharded-relay"):
             assert substrate in text
 
     def test_bad_inputs_rejected(self):
@@ -259,6 +301,71 @@ class TestSubstrateSelector:
             choose_exchange_substrate(
                 self.SIZE, self.PROFILE, time_value_usd_per_hour=-1.0
             )
+        with pytest.raises(ShuffleError, match="unknown exchange substrate"):
+            choose_exchange_substrate(
+                self.SIZE, self.PROFILE, substrates=("carrier-pigeon",)
+            )
+        with pytest.raises(ShuffleError, match="empty candidate substrate"):
+            choose_exchange_substrate(self.SIZE, self.PROFILE, substrates=())
+        with pytest.raises(ShuffleError, match="max_relay_shards"):
+            choose_exchange_substrate(
+                self.SIZE, self.PROFILE, max_relay_shards=0
+            )
+
+    def test_substrate_filter_restricts_candidates(self):
+        decision = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=16,
+            substrates=("cache", "objectstore"),
+        )
+        assert [e.substrate for e in decision.estimates] == [
+            "objectstore", "cache",
+        ]
+
+    def test_all_substrates_infeasible_raises(self):
+        """When every candidate is infeasible there is nothing sane to
+        return — the caller must hear about it loudly."""
+        with pytest.raises(ShuffleError, match="no feasible exchange substrate"):
+            choose_exchange_substrate(
+                1000 * GB, self.PROFILE, workers=8,
+                substrates=("relay",),
+            )
+        with pytest.raises(ShuffleError, match="no feasible exchange substrate"):
+            choose_exchange_substrate(
+                100_000 * GB, self.PROFILE, workers=8,
+                substrates=("relay", "sharded-relay"),
+            )
+
+    def test_equal_scores_break_toward_simpler_substrate(self):
+        """A one-shard fleet prices identically to the single relay;
+        the tie must go to the earlier (simpler) substrate, never
+        nondeterministically."""
+        decision = choose_exchange_substrate(
+            self.SIZE, self.PROFILE, workers=16,
+            substrates=("relay", "sharded-relay"),
+            max_relay_shards=1,
+        )
+        by_name = {e.substrate: e for e in decision.estimates}
+        assert (
+            by_name["relay"].score_usd == by_name["sharded-relay"].score_usd
+        )
+        assert decision.substrate == "relay"
+
+    def test_feasibility_is_monotone_in_workers(self):
+        """More workers must never flip a feasible substrate to
+        infeasible: feasibility is a memory question, not a parallelism
+        one."""
+        baseline = None
+        for workers in (1, 4, 16, 64, 256):
+            decision = choose_exchange_substrate(
+                self.SIZE, self.PROFILE, workers=workers
+            )
+            feasibility = {
+                e.substrate: e.feasible for e in decision.estimates
+            }
+            assert all(feasibility.values())
+            if baseline is None:
+                baseline = feasibility
+            assert feasibility == baseline
 
     def test_pinned_undersized_relay_instance_marked_infeasible(self):
         """Pinning a real flavour that cannot hold the data must mark

@@ -1,12 +1,13 @@
 """Chaos harness: crash mappers/reducers mid-transfer on every substrate.
 
-Parameterized fault injection over the three exchange substrates: the
-platform kills activations at injected rates (often mid-MPUSH/MPULL on
-the stateful substrates), the executor re-invokes them, and the final
-sorted artifact must still be byte-identical to a crash-free
-object-storage run — plus the relay must report **zero** residual
-reservations once the job settles, proving no dead attempt leaked
-memory.
+Parameterized fault injection over the four exchange substrates
+(object storage, cache cluster, single VM relay, sharded relay fleet):
+the platform kills activations at injected rates (often mid-MPUSH/MPULL
+on the stateful substrates), the executor re-invokes them, and the
+final sorted artifact must still be byte-identical to a crash-free
+object-storage run — plus the relay (every shard of it, for the fleet)
+must report **zero** residual reservations once the job settles,
+proving no dead attempt leaked memory.
 
 The seed matrix is fixed for reproducibility and can be widened via the
 ``REPRO_CHAOS_SEEDS`` environment variable (comma-separated ints), which
@@ -20,16 +21,18 @@ import pytest
 
 from repro.cloud import Cloud
 from repro.cloud.profiles import ibm_us_east
+from repro.cloud.vm.fleet import fleet_ready
 from repro.cloud.vm.relay import relay_ready
 from repro.executor import FunctionExecutor
 from repro.shuffle import (
     CacheShuffleSort,
     FixedWidthCodec,
     RelayShuffleSort,
+    ShardedRelayShuffleSort,
     ShuffleSort,
 )
 
-SUBSTRATES = ("objectstore", "cache", "relay")
+SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
 
 #: Fixed default seed matrix; override with REPRO_CHAOS_SEEDS=1,2,3.
 CHAOS_SEEDS = tuple(
@@ -69,6 +72,9 @@ def run_chaos_sort(substrate, payload, seed, crash_rate, retries=6):
     elif substrate == "cache":
         cluster = cloud.cache.provision_ready("cache.r5.large", nodes=2)
         operator = CacheShuffleSort(executor, codec, cluster)
+    elif substrate == "sharded-relay":
+        relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
+        operator = ShardedRelayShuffleSort(executor, codec, relay)
     else:
         relay = relay_ready(cloud.vms, "bx2-8x32")
         operator = RelayShuffleSort(executor, codec, relay)
@@ -117,9 +123,10 @@ class TestChaosParity:
         if relay is not None:
             # Zero leaked relay memory: every reservation a dead attempt
             # held was reclaimed, every surviving byte is a committed
-            # partition, and no orphaned flow is still draining the NIC.
+            # partition, and no orphaned flow is still draining any NIC
+            # (the fleet aggregates these checks across its shards).
             assert relay.residual_reservation_bytes() == 0.0
-            assert relay.link.active_flows == 0
+            assert relay.active_flows == 0
             assert relay.used_logical == pytest.approx(relay.entry_bytes)
             relay.check_memory_accounting()
 
@@ -168,5 +175,31 @@ class TestChaosAccounting:
         with pytest.raises(Exception):
             cloud.sim.run_process(driver())
         assert relay.residual_reservation_bytes() == 0.0
-        assert relay.link.active_flows == 0
+        assert relay.active_flows == 0
         relay.check_memory_accounting()
+
+    def test_retry_exhaustion_still_reclaims_the_fleet(self):
+        """Same invariant, shard by shard: a failed job must leave zero
+        residual reservations on every member of the fleet."""
+        seed = CHAOS_SEEDS[0]
+        payload = make_payload(600, seed)
+        cloud = Cloud.fresh(seed=seed, profile=ibm_us_east(deterministic=True))
+        cloud.store.ensure_bucket("data")
+        cloud.faas.crash_probability = 0.95
+        cloud.faas.crash_latest_s = 2.0
+        executor = FunctionExecutor(cloud, retries=1)
+        codec = FixedWidthCodec(record_size=16, key_bytes=8)
+        fleet = fleet_ready(cloud.vms, "bx2-8x32", shards=3)
+        operator = ShardedRelayShuffleSort(executor, codec, fleet)
+
+        def driver():
+            yield cloud.store.put("data", "input.bin", payload)
+            return (yield operator.sort("data", "input.bin", workers=WORKERS))
+
+        with pytest.raises(Exception):
+            cloud.sim.run_process(driver())
+        assert fleet.residual_reservation_bytes() == 0.0
+        assert fleet.active_flows == 0
+        fleet.check_memory_accounting()
+        for shard in fleet.shards:
+            assert shard.residual_reservation_bytes() == 0.0

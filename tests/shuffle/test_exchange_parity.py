@@ -1,7 +1,8 @@
 """Cross-substrate parity: the exchange moves bytes, never changes them.
 
-For seeded random inputs, all three substrates (object storage, cache
-cluster, VM relay) must produce byte-identical sorted runs — only
+For seeded random inputs, all four substrates (object storage, cache
+cluster, VM relay, sharded relay fleet) must produce byte-identical
+sorted runs — only
 latency and cost may differ.  This is the invariant the S8 comparison
 rests on: if the substrates disagreed on the artifact, their latency
 numbers would not be comparable.
@@ -15,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.cloud import Cloud
 from repro.cloud.profiles import ibm_us_east
+from repro.cloud.vm.fleet import fleet_ready
 from repro.cloud.vm.relay import relay_ready
 from repro.executor import FunctionExecutor
 from repro.shuffle import (
@@ -22,10 +24,11 @@ from repro.shuffle import (
     FixedWidthCodec,
     LineRecordCodec,
     RelayShuffleSort,
+    ShardedRelayShuffleSort,
     ShuffleSort,
 )
 
-SUBSTRATES = ("objectstore", "cache", "relay")
+SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
 
 
 def make_fixed_payload(count, seed, record_size=16):
@@ -54,6 +57,9 @@ def run_substrate(substrate, codec, payload, workers, seed):
     elif substrate == "cache":
         cluster = cloud.cache.provision_ready("cache.r5.large", nodes=2)
         operator = CacheShuffleSort(executor, codec, cluster)
+    elif substrate == "sharded-relay":
+        fleet = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
+        operator = ShardedRelayShuffleSort(executor, codec, fleet)
     else:
         relay = relay_ready(cloud.vms, "bx2-8x32")
         operator = RelayShuffleSort(executor, codec, relay)
@@ -99,7 +105,7 @@ class TestExchangeParity:
         keys = [codec.key(record) for record in codec.split(merged)]
         assert keys == sorted(keys)
         assert baseline.total_records == count
-        for substrate in ("cache", "relay"):
+        for substrate in ("cache", "relay", "sharded-relay"):
             runs, result = per_substrate[substrate]
             # Same partitioning, same per-run payloads, byte for byte.
             assert runs == baseline_runs, f"{substrate} diverged"
@@ -116,6 +122,7 @@ class TestExchangeParity:
         }
         assert outputs["cache"] == outputs["objectstore"]
         assert outputs["relay"] == outputs["objectstore"]
+        assert outputs["sharded-relay"] == outputs["objectstore"]
 
     def test_relay_shuffle_survives_injected_crashes(self):
         """Retried/speculative attempts must find their relay partitions
@@ -181,7 +188,10 @@ class TestExchangeParity:
             )
             runs[substrate] = substrate_runs
             durations[substrate] = result.duration_s
-        assert runs["objectstore"] == runs["cache"] == runs["relay"]
+        assert (
+            runs["objectstore"] == runs["cache"] == runs["relay"]
+            == runs["sharded-relay"]
+        )
         # Substrate timings genuinely differ (they model different
         # hardware) — parity is about bytes, not clocks.
         assert len(set(durations.values())) > 1

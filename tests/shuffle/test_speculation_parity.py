@@ -5,8 +5,9 @@ object-storage path — a losing speculative mapper kept draining into
 the cache/relay and could race the winner.  With attempt-scoped
 cancellation the speculator kills losers the moment a call settles, so
 the same seeded job with ``speculation=`` enabled must produce
-identical output digests on objectstore, cache and relay — and
-cancelled attempts must be billed exactly once, only up to the kill.
+identical output digests on objectstore, cache, relay and the sharded
+relay fleet — and cancelled attempts must be billed exactly once, only
+up to the kill.
 """
 
 import hashlib
@@ -16,16 +17,18 @@ import pytest
 
 from repro.cloud import Cloud
 from repro.cloud.profiles import ibm_us_east
+from repro.cloud.vm.fleet import fleet_ready
 from repro.cloud.vm.relay import relay_ready
 from repro.executor import FunctionExecutor, SpeculationPolicy
 from repro.shuffle import (
     CacheShuffleSort,
     FixedWidthCodec,
     RelayShuffleSort,
+    ShardedRelayShuffleSort,
     ShuffleSort,
 )
 
-SUBSTRATES = ("objectstore", "cache", "relay")
+SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
 SEED = 11
 RECORDS = 3000
 WORKERS = 4
@@ -63,6 +66,9 @@ def run_speculative_sort(substrate, payload, crash_rate=0.0):
     elif substrate == "cache":
         cluster = cloud.cache.provision_ready("cache.r5.large", nodes=2)
         operator = CacheShuffleSort(executor, codec, cluster)
+    elif substrate == "sharded-relay":
+        relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
+        operator = ShardedRelayShuffleSort(executor, codec, relay)
     else:
         relay = relay_ready(cloud.vms, "bx2-8x32")
         operator = RelayShuffleSort(executor, codec, relay)
@@ -125,11 +131,12 @@ class TestSpeculationParity:
                 assert line.billed_s <= max(completed) + 1e-9
 
     def test_relay_reports_zero_residual_after_speculation(self, speculative_runs):
-        _digest, _ex, _cloud, relay = speculative_runs["relay"]
-        assert relay.residual_reservation_bytes() == 0.0
-        assert relay.link.active_flows == 0
-        assert relay.used_logical == pytest.approx(relay.entry_bytes)
-        relay.check_memory_accounting()
+        for substrate in ("relay", "sharded-relay"):
+            _digest, _ex, _cloud, relay = speculative_runs[substrate]
+            assert relay.residual_reservation_bytes() == 0.0
+            assert relay.active_flows == 0
+            assert relay.used_logical == pytest.approx(relay.entry_bytes)
+            relay.check_memory_accounting()
 
     def test_speculation_composes_with_crash_injection_on_relay(self):
         """The acceptance scenario: crashes + retries + speculation on

@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults collect bench bench-exchange verify
+.PHONY: test test-faults collect bench bench-exchange bench-streaming verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
 # pinned seed matrix, then everything (which collects the chaos tests
@@ -38,8 +38,17 @@ bench:
 
 # Exchange benches only: regenerates just the S8/S8b results
 # (benchmarks/results/s8_*.txt and s8b_*.txt) — the four-way substrate
-# sweep, the shard-count sweep, and the pipeline comparison.
+# sweep, the shard-count sweep, and the pipeline comparison.  The
+# streaming-vs-staged companion (S10, s10_streaming.txt) is its own
+# target below: `make bench-streaming`.
 bench-exchange:
 	$(PYTEST) benchmarks/bench_exchange.py -q
+
+# Streaming bench only: regenerates just the S10 result
+# (benchmarks/results/s10_streaming.txt) — staged vs streaming
+# execution on three substrates, with byte-parity, strict-win and
+# backpressure assertions.
+bench-streaming:
+	$(PYTEST) benchmarks/bench_streaming.py -q
 
 verify: collect test

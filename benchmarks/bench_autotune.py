@@ -1,4 +1,4 @@
-"""Benchmark S10: on-the-fly tuning vs static calibration vs oracle.
+"""Benchmark S10a: on-the-fly tuning vs static calibration vs oracle.
 
 Primula picks "the optimal number of functions for a given shuffle data
 size on the fly".  This bench shows why *on the fly* matters: when the
@@ -27,7 +27,7 @@ def test_autotune_sweep(benchmark, record_result, tuner_rows):
     record_result(
         "s10_autotune",
         format_rows(headers, [[row[h] for h in headers] for row in rows],
-                    title="S10: planner regret by region scenario (3.5 GB)"),
+                    title="S10a: planner regret by region scenario (3.5 GB)"),
     )
 
     by_scenario = {row["scenario"]: row for row in rows}

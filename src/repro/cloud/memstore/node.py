@@ -25,7 +25,7 @@ from repro.cloud.profiles import (
     CacheNodeType,
     MemStoreProfile,
 )
-from repro.sim import FairShareLink, Simulator, TokenBucket
+from repro.sim import FairShareLink, KeyedWatch, SimEvent, Simulator, TokenBucket
 
 
 @dataclasses.dataclass(slots=True)
@@ -46,6 +46,9 @@ class CacheNodeStats:
         self.misses = 0
         self.evictions = 0
         self.oom_errors = 0
+        #: GETs that arrived before their key and parked on the set
+        #: notification (the streaming shuffle's rendezvous reads).
+        self.rendezvous_waits = 0
         self.bytes_in = 0.0  # logical bytes written
         self.bytes_out = 0.0  # logical bytes read
 
@@ -83,6 +86,18 @@ class CacheNode:
         self.link = FairShareLink(
             sim, capacity=node_type.nic_bandwidth, name=f"{node_id}.nic"
         )
+        #: Set-notification watchers: readers parked until a key lands.
+        self._watchers = KeyedWatch(sim, name=f"{node_id}.watch")
+        #: Tombstones of LRU-evicted keys: a rendezvous read that arrives
+        #: after the eviction must fail (the value is gone and committed
+        #: stream chunks are never re-published), not park forever.
+        #: Cleared when the key is stored again.  Deliberately
+        #: *unbounded*: a rotation cap would let a late reader park on a
+        #: long-ago-evicted key and hang silently, and the set is
+        #: anyway bounded by the run's total evictions (a few dozen
+        #: bytes each in a run-scoped simulation) — correctness over
+        #: memory here.
+        self._evicted_keys: set[str] = set()
         self.stats = CacheNodeStats()
 
     # ------------------------------------------------------------------
@@ -114,16 +129,43 @@ class CacheNode:
                     self.node_id, self.used_logical + logical, self.capacity_bytes
                 )
             assert self.profile.eviction_policy == ALLKEYS_LRU
-            _victim_key, victim = self._entries.popitem(last=False)
+            victim_key, victim = self._entries.popitem(last=False)
             self.used_logical -= victim.logical
             evicted += 1
+            self._evicted_keys.add(victim_key)
 
         self._entries[key] = _Entry(bytes(data), logical)
+        self._evicted_keys.discard(key)
         self.used_logical += logical
         self.stats.sets += 1
         self.stats.bytes_in += logical
         self.stats.evictions += evicted
+        self._watchers.notify(key)
         return evicted
+
+    # ------------------------------------------------------------------
+    # set notification (the streaming shuffle's rendezvous reads)
+    # ------------------------------------------------------------------
+    def watch(self, key: str) -> SimEvent:
+        """An event that succeeds the next time ``key`` is stored."""
+        return self._watchers.watch(key)
+
+    def was_evicted(self, key: str) -> bool:
+        """Whether ``key`` was LRU-evicted and not stored since.
+
+        A rendezvous read checks this before parking: parking on an
+        evicted key would hang forever where a plain GET raises
+        :class:`~repro.cloud.memstore.errors.CacheKeyMissing`.
+        """
+        return key in self._evicted_keys
+
+    def unwatch(self, key: str, event: SimEvent) -> None:
+        """Drop a watcher (an interrupted reader cleans up after itself)."""
+        self._watchers.unwatch(key, event)
+
+    def fail_watchers(self, exc: BaseException) -> None:
+        """Fail every parked watcher (the cluster is going away)."""
+        self._watchers.fail_all(lambda _key: exc)
 
     def fetch(self, key: str) -> _Entry | None:
         """Look up ``key``, refreshing its LRU position.  None on miss."""

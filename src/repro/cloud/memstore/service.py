@@ -210,6 +210,10 @@ class MemStoreCluster:
             raise ClusterAlreadyTerminated(self.cluster_id)
         self.state = "terminated"
         self.terminated_at = self.sim.now
+        # Rendezvous readers still parked on unset keys would wait
+        # forever on a dead cluster; fail them like a dropped connection.
+        for node in self.nodes:
+            node.fail_watchers(ClusterNotRunning(self.cluster_id, "terminated"))
         self.service._bill_cluster(self)
         self.sim.timeline.record(
             self.sim.now,
@@ -284,6 +288,16 @@ class CacheClient:
     def get(self, key: str) -> SimEvent:
         """Fetch ``key``; event → ``bytes``.  Fails with CacheKeyMissing."""
         return self._spawn(self._get_op(key), f"get:{key}")
+
+    def get_wait(self, key: str) -> SimEvent:
+        """Fetch ``key``, *waiting* until it is stored; event → ``bytes``.
+
+        The memstore-notification read of the streaming shuffle: where
+        :meth:`get` fails an absent key with :class:`CacheKeyMissing`,
+        this parks the reader on the owning node's set notification and
+        transfers the value once a writer publishes it.
+        """
+        return self._spawn(self._get_wait_op(key), f"get_wait:{key}")
 
     def delete(self, key: str) -> SimEvent:
         """Remove ``key``; event → whether it existed."""
@@ -383,6 +397,45 @@ class CacheClient:
             yield node.link.transfer(entry.logical, self._flow_cap())
         self.sim.timeline.record(
             self.sim.now, "memstore", "get",
+            cluster=self.cluster.cluster_id, key=key, logical=entry.logical,
+        )
+        return entry.data
+
+    def _get_wait_op(self, key: str) -> t.Generator:
+        self.cluster.ensure_running()
+        node = self.cluster.node_for(key)
+        yield node.ops.consume(1.0)
+        yield self.sim.timeout(
+            self._profile.read_latency.sample(self._service._rng_read)
+        )
+        waited = False
+        while True:
+            # contains() is stats-free: a rendezvous read that arrives
+            # early is a counted *wait*, not a phantom cache miss per
+            # park/wake re-check.
+            if node.contains(key):
+                entry = node.fetch(key)
+                if entry is not None:
+                    break
+            if node.was_evicted(key):
+                # The value existed and was LRU-evicted: it is gone for
+                # good (committed stream chunks are never re-published).
+                # Parking would hang the reader forever; fail like the
+                # staged path's plain GET does.
+                raise CacheKeyMissing(key)
+            if not waited:
+                waited = True
+                node.stats.rendezvous_waits += 1
+            watcher = node.watch(key)
+            try:
+                yield watcher
+            except BaseException:
+                node.unwatch(key, watcher)
+                raise
+        if entry.logical > 0:
+            yield node.link.transfer(entry.logical, self._flow_cap())
+        self.sim.timeline.record(
+            self.sim.now, "memstore", "get_wait",
             cluster=self.cluster.cluster_id, key=key, logical=entry.logical,
         )
         return entry.data

@@ -244,6 +244,10 @@ class RelayFleetClient:
     def pull(self, key: str, consume: bool = False) -> SimEvent:
         return self._shard_client(self.fleet.shard_for_key(key)).pull(key, consume)
 
+    def pull_wait(self, key: str) -> SimEvent:
+        """Rendezvous read: wait on the owning shard until ``key`` commits."""
+        return self._shard_client(self.fleet.shard_for_key(key)).pull_wait(key)
+
     def delete(self, key: str) -> SimEvent:
         return self._shard_client(self.fleet.shard_for_key(key)).delete(key)
 

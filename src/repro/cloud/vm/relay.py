@@ -60,10 +60,11 @@ from repro.cloud.vm.errors import (
     RelayAttemptFenced,
     RelayCapacityExceeded,
     RelayKeyMissing,
+    VmNotRunning,
 )
 from repro.cloud.vm.instance import VirtualMachine, VmService
 from repro.errors import SimulationError
-from repro.sim import FairShareLink, SimEvent, TokenBucket
+from repro.sim import FairShareLink, KeyedWatch, SimEvent, TokenBucket
 
 
 @dataclasses.dataclass(slots=True)
@@ -138,6 +139,9 @@ class RelayStats:
         self.deletes = 0
         self.misses = 0
         self.backpressure_waits = 0
+        #: PULLs that arrived before their key and parked on the commit
+        #: notification (the streaming shuffle's rendezvous reads).
+        self.rendezvous_waits = 0
         self.cancelled_transfers = 0
         self.fenced_requests = 0
         self.bytes_in = 0.0  # logical bytes pushed (stored)
@@ -170,6 +174,8 @@ class PartitionRelay:
         self._attempt_reservations: dict[str, set[_PushReservation]] = {}
         #: The latest in-flight replacing push per key (atomic swap).
         self._pending_swaps: dict[str, _PushReservation] = {}
+        #: Rendezvous watchers: pullers parked until a key commits.
+        self._key_watchers = KeyedWatch(self.sim, name=f"{self.relay_id}.watch")
         #: Attempt ids whose requests are rejected (cancelled attempts).
         self._fenced: set[str] = set()
         self.ops = TokenBucket(
@@ -242,6 +248,14 @@ class PartitionRelay:
         self.vm.terminate()
         for reservation in list(self._reservations):
             self._abort_push(reservation)
+        # Rendezvous readers still parked on unpublished keys would wait
+        # forever on a dead server; fail them with the same
+        # infrastructure-level error every other operation on a dead
+        # relay raises (not a data-level "key missing": the key may well
+        # have been about to arrive).
+        self._key_watchers.fail_all(
+            lambda _key: VmNotRunning(self.vm.vm_id, self.vm.state)
+        )
         self._entries.clear()
         self._waiters.clear()
         self._pending_swaps.clear()
@@ -403,6 +417,21 @@ class PartitionRelay:
             self._release(delta)
         elif delta < 0:
             self._reserve(-delta)
+        for key in resident:
+            self._notify_key(key)
+
+    # ------------------------------------------------------------------
+    # rendezvous (blocking pulls for the streaming exchange)
+    # ------------------------------------------------------------------
+    def _watch_key(self, key: str) -> SimEvent:
+        """An event that succeeds the next time ``key`` commits."""
+        return self._key_watchers.watch(key)
+
+    def _unwatch_key(self, key: str, event: SimEvent) -> None:
+        self._key_watchers.unwatch(key, event)
+
+    def _notify_key(self, key: str) -> None:
+        self._key_watchers.notify(key)
 
     def _abort_push(self, reservation: _PushReservation) -> float:
         """Reclaim an uncommitted push; returns the bytes released.
@@ -604,6 +633,19 @@ class RelayClient:
         """Fetch ``key``; event → ``bytes``.  ``consume`` frees its memory."""
         return self._spawn(self._pull_op(key, consume), f"pull:{key}")
 
+    def pull_wait(self, key: str) -> SimEvent:
+        """Fetch ``key``, *waiting* until it is published; event → ``bytes``.
+
+        The relay's natural rendezvous semantics: where :meth:`pull`
+        fails an absent key with
+        :class:`~repro.cloud.vm.errors.RelayKeyMissing`, this parks the
+        reader on the key's commit notification — the primitive the
+        streaming shuffle's reducers use to consume partitions while
+        mappers are still producing.  Never consumes (a rendezvous read
+        must stay idempotent under crash-retry and speculation).
+        """
+        return self._spawn(self._pull_wait_op(key), f"pull_wait:{key}")
+
     def delete(self, key: str) -> SimEvent:
         """Remove ``key``; event → whether it existed."""
         return self._spawn(self._delete_op(key), f"delete:{key}")
@@ -769,6 +811,43 @@ class RelayClient:
             self.relay._record_pulls(1, entry.logical)
             if consume:
                 self.relay._consume_entry(key)
+            return entry.data
+        except BaseException:
+            if transfer is not None:
+                self.relay.link.abort(transfer)
+            raise
+
+    def _pull_wait_op(self, key: str) -> t.Generator:
+        self.relay.ensure_running()
+        self.relay._check_fence(self.attempt_id)
+        transfer: SimEvent | None = None
+        try:
+            yield from self._consume_ops(1.0)
+            yield self.sim.timeout(self._latency())
+            self.relay._check_fence(self.attempt_id)
+            waited = False
+            while True:
+                entry = self.relay._entries.get(key)
+                if entry is not None:
+                    break
+                if not waited:
+                    waited = True
+                    self.relay.stats.rendezvous_waits += 1
+                watcher = self.relay._watch_key(key)
+                try:
+                    yield watcher
+                except BaseException:
+                    self.relay._unwatch_key(key, watcher)
+                    raise
+                # The attempt may have been fenced while parked; a zombie
+                # must not read (and bill transfer time for) the winner's
+                # data.
+                self.relay._check_fence(self.attempt_id)
+            if entry.logical > 0:
+                transfer = self._transfer(entry.logical)
+                yield transfer
+                transfer = None
+            self.relay._record_pulls(1, entry.logical)
             return entry.data
         except BaseException:
             if transfer is not None:

@@ -26,6 +26,7 @@ from repro.core.pipelines import (
     RELAY_SUPPORTED,
     SHARDED_RELAY_SUPPORTED,
     SORT_STAGE,
+    STREAMING_SUPPORTED,
     VERIFY_STAGE,
     VM_SUPPORTED,
     auto_supported_pipeline,
@@ -34,6 +35,7 @@ from repro.core.pipelines import (
     pure_serverless_pipeline,
     relay_supported_pipeline,
     sharded_relay_supported_pipeline,
+    streaming_supported_pipeline,
     vm_supported_pipeline,
 )
 from repro.core.stages import register_builtin_stage_kinds
@@ -50,6 +52,7 @@ __all__ = [
     "RELAY_SUPPORTED",
     "SHARDED_RELAY_SUPPORTED",
     "SORT_STAGE",
+    "STREAMING_SUPPORTED",
     "Table1Result",
     "VERIFY_STAGE",
     "VM_SUPPORTED",
@@ -61,6 +64,7 @@ __all__ = [
     "register_builtin_stage_kinds",
     "relay_supported_pipeline",
     "sharded_relay_supported_pipeline",
+    "streaming_supported_pipeline",
     "run_exchange_comparison",
     "run_pipeline",
     "run_table1",

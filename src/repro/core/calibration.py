@@ -118,6 +118,16 @@ class ExperimentConfig:
     #: Dollars one pipeline-hour of latency is worth to the adaptive
     #: substrate selector (the ``auto_sort`` stage's trade-off knob).
     time_value_usd_per_hour: float = 1.0
+    #: Exchange substrate of the streaming-supported pipeline
+    #: (experiment S10); the relay's rendezvous pulls are the natural
+    #: fit, but any of the four substrates streams.
+    stream_substrate: str = "relay"
+    #: Logical MB per mapper chunk of the streaming sort (the
+    #: pipelining grain: smaller overlaps more, pays more requests).
+    stream_chunk_mb: float = 32.0
+    #: Reducer-side buffer bound (logical MB) on fetched-but-unsorted
+    #: chunks; ``0`` disables backpressure.
+    stream_buffer_mb: float = 256.0
     workload: WorkloadParams = dataclasses.field(default_factory=WorkloadParams)
     #: Optional hook mutating the profile after calibration (sweeps use
     #: this to perturb a single knob, e.g. the cold-start time).

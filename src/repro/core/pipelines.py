@@ -14,6 +14,11 @@
 * **Configuration E — sharded-relay-supported** (supplementary,
   experiment S8b): the relay exchange sharded over N VMs, lifting the
   single instance's NIC ceiling.
+* **Streaming — pipelined waves** (experiment S10): the sort's reduce
+  wave launches concurrently with its map wave on any substrate
+  (``ExperimentConfig.stream_substrate``); reducers consume partitions
+  while mappers are still producing, behind bounded backpressure
+  buffers.
 * **Auto — adaptive substrate**: the sort stage picks its exchange
   substrate at execution time via ``choose_exchange_substrate`` and
   records the decision in the stage report.
@@ -39,6 +44,7 @@ VM_SUPPORTED = "vm-supported"
 CACHE_SUPPORTED = "cache-supported"
 RELAY_SUPPORTED = "relay-supported"
 SHARDED_RELAY_SUPPORTED = "sharded-relay-supported"
+STREAMING_SUPPORTED = "streaming-supported"
 AUTO_SUPPORTED = "auto-supported"
 
 
@@ -243,6 +249,72 @@ def sharded_relay_supported_pipeline(
     return WorkflowDag(SHARDED_RELAY_SUPPORTED, stages, bucket=bucket)
 
 
+def streaming_supported_pipeline(
+    config: ExperimentConfig,
+    input_key: str = "input/methylome.bed",
+    bucket: str = "pipeline",
+    verify: bool = False,
+) -> WorkflowDag:
+    """Streaming incarnation: pipelined map→reduce sort, then encode.
+
+    The sort runs on ``config.stream_substrate`` with the reduce wave
+    overlapping the map wave; chunk grain and reducer buffer bound come
+    from ``config.stream_chunk_mb`` / ``config.stream_buffer_mb``.
+    """
+    workers = None if config.auto_workers else config.parallelism
+    substrate = config.stream_substrate
+    sort_params: dict = {
+        "substrate": substrate,
+        "workers": workers,
+        "memory_mb": config.function_memory_mb,
+        "max_workers": 256,
+        "chunk_mb": config.stream_chunk_mb,
+        "buffer_mb": config.stream_buffer_mb,
+    }
+    if substrate == "cache":
+        sort_params.update(
+            node_type=config.cache_node_type,
+            nodes=config.cache_nodes,
+            provisioning=config.cache_provisioning,
+        )
+    elif substrate == "relay":
+        sort_params.update(
+            instance_type=config.resolved_relay_instance_type,
+            provisioning=config.relay_provisioning,
+        )
+    elif substrate == "sharded-relay":
+        sort_params.update(
+            instance_type=config.resolved_relay_instance_type,
+            shards=config.relay_shards,
+            provisioning=config.relay_provisioning,
+        )
+    stages = [
+        StageSpec(INGEST_STAGE, "dataset_ref", params={"key": input_key}),
+        StageSpec(
+            SORT_STAGE,
+            "streaming_sort",
+            after=(INGEST_STAGE,),
+            params=sort_params,
+        ),
+        StageSpec(
+            ENCODE_STAGE,
+            "methcomp_encode",
+            after=(SORT_STAGE,),
+            params={"memory_mb": config.function_memory_mb},
+        ),
+    ]
+    if verify:
+        stages.append(
+            StageSpec(
+                VERIFY_STAGE,
+                "methcomp_verify",
+                after=(ENCODE_STAGE,),
+                params={"memory_mb": config.function_memory_mb},
+            )
+        )
+    return WorkflowDag(STREAMING_SUPPORTED, stages, bucket=bucket)
+
+
 def auto_supported_pipeline(
     config: ExperimentConfig,
     input_key: str = "input/methylome.bed",
@@ -292,6 +364,7 @@ def pipeline_for(variant: str, config: ExperimentConfig, **kwargs) -> WorkflowDa
         CACHE_SUPPORTED: cache_supported_pipeline,
         RELAY_SUPPORTED: relay_supported_pipeline,
         SHARDED_RELAY_SUPPORTED: sharded_relay_supported_pipeline,
+        STREAMING_SUPPORTED: streaming_supported_pipeline,
         AUTO_SUPPORTED: auto_supported_pipeline,
     }
     try:

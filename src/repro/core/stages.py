@@ -25,7 +25,13 @@ Table 1 experiment) compose:
                        DAG-execution time with
                        ``choose_exchange_substrate`` and dispatches to
                        the chosen substrate's sort stage, recording the
-                       decision in the stage report
+                       decision in the stage report; with
+                       ``modes=("staged", "streaming")`` the execution
+                       mode is a decision variable too
+``streaming_sort``     pipelined sort on any substrate: the reduce wave
+                       launches concurrently with the map wave and
+                       reducers consume partitions while mappers are
+                       still producing (experiment S10)
 ``methcomp_encode``    embarrassingly parallel METHCOMP compression of
                        the sorted runs with cloud functions
 ``methcomp_verify``    decompress and check record conservation
@@ -56,6 +62,11 @@ from repro.shuffle.relay import RelayShuffleSort, ShardedRelayShuffleSort
 from repro.shuffle.relayplanner import (
     required_relay_fleet,
     required_relay_instance,
+)
+from repro.shuffle.streaming import (
+    STREAMING_BACKENDS,
+    StreamConfig,
+    StreamingShuffleSort,
 )
 from repro.storage import paths
 from repro.workflows.engine import StageContext, register_stage_kind, stage_kind
@@ -92,6 +103,84 @@ def _single_input(inputs: dict[str, t.Any], stage: str) -> t.Any:
             f"got {sorted(inputs)}"
         )
     return next(iter(inputs.values()))
+
+
+# ----------------------------------------------------------------------
+# provisioned-substrate lifecycle (shared by staged and streaming sorts)
+# ----------------------------------------------------------------------
+def _validated_provisioning(context: StageContext) -> str:
+    provisioning = context.param("provisioning", "warm")
+    if provisioning not in ("warm", "cold"):
+        raise WorkflowError(
+            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
+            f"'cold', got {provisioning!r}"
+        )
+    return provisioning
+
+
+def _provision_cache_cluster(context: StageContext, logical_bytes) -> t.Generator:
+    """Size and provision the stage's cache cluster (params:
+    ``node_type``, ``nodes`` — 0 sizes to fit — and ``provisioning``)."""
+    node_type = context.param("node_type", "cache.r5.large")
+    nodes = int(context.param("nodes", 0))
+    if nodes < 1:
+        nodes = required_cache_nodes(
+            logical_bytes, context.cloud.profile, node_type
+        )
+    if _validated_provisioning(context) == "cold":
+        cluster = yield context.cloud.cache.provision(node_type, nodes)
+    else:
+        cluster = context.cloud.cache.provision_ready(node_type, nodes)
+    return cluster
+
+
+def _provision_relay_vm(context: StageContext, logical_bytes) -> t.Generator:
+    """Size and provision the stage's relay VM (params:
+    ``instance_type`` — omit to auto-size — and ``provisioning``)."""
+    instance_type = context.param("instance_type")
+    if not instance_type:
+        instance_type = required_relay_instance(
+            logical_bytes, context.cloud.profile
+        )
+    if _validated_provisioning(context) == "cold":
+        relay = yield provision_relay(context.cloud.vms, instance_type)
+    else:
+        relay = relay_ready(context.cloud.vms, instance_type)
+    return relay
+
+
+def _provision_relay_shards(context: StageContext, logical_bytes) -> t.Generator:
+    """Size and provision the stage's relay fleet (params:
+    ``instance_type``, ``shards`` — 0 auto-sizes — and ``provisioning``)."""
+    instance_type = context.param("instance_type")
+    shards = int(context.param("shards", 2))
+    if shards < 1 or not instance_type:
+        auto_type, min_shards = required_relay_fleet(
+            logical_bytes, context.cloud.profile,
+            instance_type_name=instance_type or None,
+        )
+        instance_type = instance_type or auto_type
+        shards = max(shards, min_shards) if shards >= 1 else min_shards
+    if _validated_provisioning(context) == "cold":
+        fleet = yield provision_fleet(context.cloud.vms, instance_type, shards)
+    else:
+        fleet = fleet_ready(context.cloud.vms, instance_type, shards)
+    return fleet
+
+
+def _release_substrate(provisioned, fleet: bool = False) -> None:
+    """Stop a stage-scoped substrate's billing clocks (idempotent).
+
+    Fleets terminate unconditionally: per-shard termination is
+    idempotent, and a partially-down fleet must still stop the
+    surviving shards' clocks.
+    """
+    if provisioned is None:
+        return
+    if fleet:
+        provisioned.terminate()
+    elif provisioned.state == "running":
+        provisioned.terminate()
 
 
 # ----------------------------------------------------------------------
@@ -199,22 +288,9 @@ def cache_sort(context: StageContext, inputs: dict) -> t.Generator:
     memory_mb = int(context.param("memory_mb", 2048))
     executor = _function_executor(context, memory_mb)
     workload = _workload(context)
-    node_type = context.param("node_type", "cache.r5.large")
-    nodes = int(context.param("nodes", 0))
-    if nodes < 1:
-        nodes = required_cache_nodes(
-            upstream["logical_bytes"], context.cloud.profile, node_type
-        )
-    provisioning = context.param("provisioning", "warm")
-    if provisioning == "cold":
-        cluster = yield context.cloud.cache.provision(node_type, nodes)
-    elif provisioning == "warm":
-        cluster = context.cloud.cache.provision_ready(node_type, nodes)
-    else:
-        raise WorkflowError(
-            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
-            f"'cold', got {provisioning!r}"
-        )
+    cluster = yield from _provision_cache_cluster(
+        context, upstream["logical_bytes"]
+    )
     cost = workload.cache_shuffle_cost_model()
     cost.cleanup = bool(context.param("cleanup", False))
     operator = CacheShuffleSort(executor, bed_record_codec(), cluster, cost=cost)
@@ -229,8 +305,7 @@ def cache_sort(context: StageContext, inputs: dict) -> t.Generator:
             max_workers=int(context.param("max_workers", 256)),
         )
     finally:
-        if cluster.state == "running":
-            cluster.terminate()
+        _release_substrate(cluster)
     return {
         "runs": [
             {
@@ -269,21 +344,7 @@ def relay_sort(context: StageContext, inputs: dict) -> t.Generator:
     memory_mb = int(context.param("memory_mb", 2048))
     executor = _function_executor(context, memory_mb)
     workload = _workload(context)
-    instance_type = context.param("instance_type")
-    if not instance_type:
-        instance_type = required_relay_instance(
-            upstream["logical_bytes"], context.cloud.profile
-        )
-    provisioning = context.param("provisioning", "warm")
-    if provisioning == "cold":
-        relay = yield provision_relay(context.cloud.vms, instance_type)
-    elif provisioning == "warm":
-        relay = relay_ready(context.cloud.vms, instance_type)
-    else:
-        raise WorkflowError(
-            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
-            f"'cold', got {provisioning!r}"
-        )
+    relay = yield from _provision_relay_vm(context, upstream["logical_bytes"])
     cost = workload.relay_shuffle_cost_model()
     cost.consume = bool(context.param("consume", False))
     operator = RelayShuffleSort(executor, bed_record_codec(), relay, cost=cost)
@@ -298,8 +359,7 @@ def relay_sort(context: StageContext, inputs: dict) -> t.Generator:
             max_workers=int(context.param("max_workers", 256)),
         )
     finally:
-        if relay.state == "running":
-            relay.terminate()
+        _release_substrate(relay)
     return {
         "runs": [
             {
@@ -337,25 +397,9 @@ def sharded_relay_sort(context: StageContext, inputs: dict) -> t.Generator:
     memory_mb = int(context.param("memory_mb", 2048))
     executor = _function_executor(context, memory_mb)
     workload = _workload(context)
-    instance_type = context.param("instance_type")
-    shards = int(context.param("shards", 2))
-    if shards < 1 or not instance_type:
-        auto_type, min_shards = required_relay_fleet(
-            upstream["logical_bytes"], context.cloud.profile,
-            instance_type_name=instance_type or None,
-        )
-        instance_type = instance_type or auto_type
-        shards = max(shards, min_shards) if shards >= 1 else min_shards
-    provisioning = context.param("provisioning", "warm")
-    if provisioning == "cold":
-        fleet = yield provision_fleet(context.cloud.vms, instance_type, shards)
-    elif provisioning == "warm":
-        fleet = fleet_ready(context.cloud.vms, instance_type, shards)
-    else:
-        raise WorkflowError(
-            f"stage {context.spec.name!r}: provisioning must be 'warm' or "
-            f"'cold', got {provisioning!r}"
-        )
+    fleet = yield from _provision_relay_shards(
+        context, upstream["logical_bytes"]
+    )
     cost = workload.relay_shuffle_cost_model()
     cost.consume = bool(context.param("consume", False))
     operator = ShardedRelayShuffleSort(executor, bed_record_codec(), fleet, cost=cost)
@@ -370,10 +414,7 @@ def sharded_relay_sort(context: StageContext, inputs: dict) -> t.Generator:
             max_workers=int(context.param("max_workers", 256)),
         )
     finally:
-        # Unconditional: fleet.terminate() is per-shard idempotent, and
-        # a partially-down fleet (state != "running") must still stop
-        # the surviving shards' billing clocks.
-        fleet.terminate()
+        _release_substrate(fleet, fleet=True)
     return {
         "runs": [
             {
@@ -392,6 +433,109 @@ def sharded_relay_sort(context: StageContext, inputs: dict) -> t.Generator:
         "relay_shards": operator.report.shards,
         "relay_peak_fill": operator.report.peak_fill_fraction,
         "relay_backpressure_waits": operator.report.backpressure_waits,
+    }
+
+
+def streaming_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Pipelined sort: the reduce wave overlaps the map wave.
+
+    Runs :class:`~repro.shuffle.streaming.StreamingShuffleSort` on any
+    of the four exchange substrates — reducers subscribe to their
+    partition through the substrate's readiness protocol (manifest
+    polling on COS, set notification on the cache, rendezvous pulls on
+    the relays) and consume chunks while mappers are still producing,
+    behind bounded buffers that exert backpressure.
+
+    Params: ``substrate`` (``objectstore`` default, or ``cache`` /
+    ``relay`` / ``sharded-relay``), ``chunk_mb`` (logical chunk grain,
+    default 32), ``buffer_mb`` (reducer buffer bound, default 256; 0
+    disables backpressure), ``poll_interval`` (COS manifest polls,
+    default 0.2 s), plus the chosen substrate's usual provisioning
+    params (``node_type``/``nodes``, ``instance_type``, ``shards``,
+    ``provisioning``) and the generic
+    ``workers``/``memory_mb``/``samplers``/``max_workers``.
+
+    The artifact carries the streaming observables next to the usual
+    sort fields: measured map/reduce ``overlap_s``, the reducer
+    buffers' high watermark, and the summed backpressure waits.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    substrate = context.param("substrate", "objectstore")
+    if substrate not in STREAMING_BACKENDS:
+        raise WorkflowError(
+            f"stage {context.spec.name!r}: unknown substrate {substrate!r}; "
+            f"expected one of {sorted(STREAMING_BACKENDS)}"
+        )
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    buffer_mb = float(context.param("buffer_mb", 256.0))
+    stream = StreamConfig(
+        chunk_bytes=float(context.param("chunk_mb", 32.0)) * (1 << 20),
+        buffer_bytes=buffer_mb * (1 << 20) if buffer_mb > 0 else None,
+        poll_interval_s=float(context.param("poll_interval", 0.2)),
+    )
+    _validated_provisioning(context)  # fail fast before provisioning
+
+    provisioned = None
+    if substrate == "objectstore":
+        backend = STREAMING_BACKENDS[substrate](
+            cost=workload.shuffle_cost_model(), stream=stream
+        )
+    elif substrate == "cache":
+        provisioned = yield from _provision_cache_cluster(
+            context, upstream["logical_bytes"]
+        )
+        backend = STREAMING_BACKENDS[substrate](
+            provisioned, cost=workload.cache_shuffle_cost_model(), stream=stream
+        )
+    else:
+        if substrate == "relay":
+            provisioned = yield from _provision_relay_vm(
+                context, upstream["logical_bytes"]
+            )
+        else:  # sharded-relay
+            provisioned = yield from _provision_relay_shards(
+                context, upstream["logical_bytes"]
+            )
+        backend = STREAMING_BACKENDS[substrate](
+            provisioned, cost=workload.relay_shuffle_cost_model(), stream=stream
+        )
+
+    operator = StreamingShuffleSort(executor, bed_record_codec(), backend=backend)
+    try:
+        result = yield operator.sort(
+            upstream["bucket"],
+            upstream["key"],
+            out_bucket=context.bucket,
+            out_prefix=f"{context.spec.name}",
+            workers=context.param("workers"),
+            samplers=int(context.param("samplers", 8)),
+            max_workers=int(context.param("max_workers", 256)),
+        )
+    finally:
+        _release_substrate(provisioned, fleet=substrate == "sharded-relay")
+    report = operator.report
+    return {
+        "runs": [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "records": run.records,
+                "bytes": run.size_bytes,
+            }
+            for run in result.runs
+        ],
+        "workers": result.workers,
+        "records": result.total_records,
+        "duration_s": result.duration_s,
+        "planned_workers": result.planned.workers if result.planned else None,
+        "substrate": substrate,
+        "mode": report.mode,
+        "overlap_s": report.overlap_s,
+        "buffer_high_watermark_bytes": report.buffer_high_watermark_bytes,
+        "buffer_backpressure_waits": report.buffer_backpressure_waits,
+        "stream_chunks": report.stream_chunks,
     }
 
 
@@ -418,13 +562,21 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
     Params: ``time_value_usd_per_hour`` (default 1.0 — the knob that
     trades latency against provisioned infrastructure), ``workers``
     (pin the count across all substrates; omit to let each plan its
-    own), ``substrates`` (restrict the candidates), ``max_relay_shards``
-    (default 8), ``cache_node_type``, ``instance_type`` (pin the relay
-    flavour), plus the usual ``memory_mb``/``samplers``/``max_workers``
-    passed through to the dispatched stage.
+    own), ``substrates`` (restrict the candidates), ``modes``
+    (``("staged",)`` by default; add ``"streaming"`` to price the
+    pipelined execution mode as a second decision variable — a
+    streaming winner dispatches to ``streaming_sort``),
+    ``stream_chunk_mb``/``stream_buffer_mb`` (the streaming grain and
+    reducer buffer bound, used both for pricing and execution),
+    ``max_relay_shards`` (default 8), ``cache_node_type``,
+    ``instance_type`` (pin the relay flavour), plus the usual
+    ``memory_mb``/``samplers``/``max_workers`` passed through to the
+    dispatched stage.
     """
     upstream = _single_input(inputs, context.spec.name)
     substrates = context.param("substrates")
+    modes = context.param("modes")
+    stream_chunk_mb = float(context.param("stream_chunk_mb", 32.0))
     workload = _workload(context)
     # Price with the same calibrated workload constants the dispatched
     # stage will execute with — a decision made for a faster imaginary
@@ -441,14 +593,24 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
         max_workers=int(context.param("max_workers", 256)),
         max_relay_shards=int(context.param("max_relay_shards", 8)),
         substrates=tuple(substrates) if substrates is not None else None,
+        modes=tuple(modes) if modes is not None else ("staged",),
+        stream_chunk_bytes=stream_chunk_mb * (1 << 20),
         shuffle_cost=workload.shuffle_cost_model(),
         cache_cost=workload.cache_shuffle_cost_model(),
         relay_cost=workload.relay_shuffle_cost_model(),
     )
     chosen = decision.chosen
-    impl = stage_kind(_AUTO_SORT_DISPATCH[chosen.substrate])
     # Execute exactly the configuration the estimate priced.
     context.params["workers"] = chosen.workers
+    if chosen.mode == "streaming":
+        impl = stage_kind("streaming_sort")
+        context.params["substrate"] = chosen.substrate
+        context.params["chunk_mb"] = stream_chunk_mb
+        context.params["buffer_mb"] = float(
+            context.param("stream_buffer_mb", 256.0)
+        )
+    else:
+        impl = stage_kind(_AUTO_SORT_DISPATCH[chosen.substrate])
     if chosen.substrate == "cache":
         context.params["node_type"] = chosen.instance_type
         context.params["nodes"] = chosen.shards
@@ -460,6 +622,7 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
     artifact = yield from impl(context, inputs)
     artifact.update(
         substrate=chosen.substrate,
+        substrate_mode=chosen.mode,
         substrate_workers=chosen.workers,
         substrate_predicted_s=chosen.predicted_s,
         substrate_provisioned_usd=chosen.provisioned_usd,
@@ -650,6 +813,7 @@ def register_builtin_stage_kinds() -> None:
         "cache_sort": cache_sort,
         "relay_sort": relay_sort,
         "sharded_relay_sort": sharded_relay_sort,
+        "streaming_sort": streaming_sort,
         "auto_sort": auto_sort,
         "vm_sort": vm_sort,
         "methcomp_encode": methcomp_encode,

@@ -23,6 +23,7 @@ from repro.experiments.sweeps import (
     sweep_speculation,
     sweep_startup,
     sweep_storage_ops,
+    sweep_streaming,
     sweep_tuner,
     sweep_workers,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "sweep_speculation",
     "sweep_startup",
     "sweep_storage_ops",
+    "sweep_streaming",
     "sweep_tuner",
     "sweep_workers",
 ]

@@ -12,6 +12,7 @@ Usage::
     repro-experiments sweep-memory
     repro-experiments sweep-exchange
     repro-experiments sweep-relay-shards
+    repro-experiments sweep-streaming
     repro-experiments sweep-faults
     repro-experiments sweep-speculation
     repro-experiments sweep-exchange-faults
@@ -66,6 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-io",
         "sweep-exchange",
         "sweep-relay-shards",
+        "sweep-streaming",
         "sweep-faults",
         "sweep-speculation",
         "sweep-exchange-faults",
@@ -114,6 +116,11 @@ def main(argv: list[str] | None = None) -> int:
             "S8b: relay shard-count sweep",
             sweeps.sweep_relay_shards(_config(args)),
         )
+    elif args.command == "sweep-streaming":
+        _print_rows(
+            "S10: streaming vs staged exchange",
+            sweeps.sweep_streaming(_config(args)),
+        )
     elif args.command == "sweep-faults":
         _print_rows(
             "S9a: crash-rate overhead", sweeps.sweep_fault_rate(_config(args))
@@ -134,7 +141,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.command == "sweep-tuner":
         _print_rows(
-            "S10: on-the-fly tuning vs static calibration",
+            "S10a: on-the-fly tuning vs static calibration",
             sweeps.sweep_tuner(_config(args)),
         )
     elif args.command == "sweep-multicloud":

@@ -36,6 +36,11 @@ from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import plan_shuffle
 from repro.shuffle.adaptive import EXCHANGE_SUBSTRATES
 from repro.shuffle.relay import RelayShuffleSort, ShardedRelayShuffleSort
+from repro.shuffle.streaming import (
+    STREAMING_BACKENDS,
+    StreamConfig,
+    StreamingShuffleSort,
+)
 from repro.sim import Simulator
 
 
@@ -213,44 +218,57 @@ def sweep_io_ablation(
 # ----------------------------------------------------------------------
 def _make_exchange_operator(
     cloud: Cloud, config: ExperimentConfig, strategy: str,
-    executor: FunctionExecutor,
+    executor: FunctionExecutor, stream: StreamConfig | None = None,
 ):
     """One shuffle operator + its provisioned substrate (or ``None``).
 
     The single construction point for every substrate the sweeps
-    compare; the returned operator's uniform
+    compare — in either execution mode: pass a
+    :class:`~repro.shuffle.streaming.StreamConfig` to get the
+    substrate's streaming twin over the same provisioned resource.
+    The returned operator's uniform
     :class:`~repro.shuffle.exchange.ExchangeReport` replaces the
     per-substrate metadata the sweeps used to special-case.
     """
+    codec = bed_record_codec()
+
+    def wrap(staged_class, cost, provisioned):
+        if stream is None:
+            if provisioned is None:
+                return staged_class(executor, codec, cost=cost), None
+            return staged_class(executor, codec, provisioned, cost=cost), provisioned
+        if provisioned is None:
+            backend = STREAMING_BACKENDS[strategy](cost=cost, stream=stream)
+        else:
+            backend = STREAMING_BACKENDS[strategy](
+                provisioned, cost=cost, stream=stream
+            )
+        return StreamingShuffleSort(executor, codec, backend=backend), provisioned
+
     if strategy == "objectstore":
-        return ShuffleSort(
-            executor, bed_record_codec(),
-            cost=config.workload.shuffle_cost_model(),
-        ), None
+        return wrap(ShuffleSort, config.workload.shuffle_cost_model(), None)
     if strategy == "cache":
         nodes = required_cache_nodes(
             config.logical_bytes, cloud.profile, config.cache_node_type
         )
         cluster = cloud.cache.provision_ready(config.cache_node_type, nodes=nodes)
-        return CacheShuffleSort(
-            executor, bed_record_codec(), cluster,
-            cost=config.workload.cache_shuffle_cost_model(),
-        ), cluster
+        return wrap(
+            CacheShuffleSort, config.workload.cache_shuffle_cost_model(), cluster
+        )
     if strategy == "relay":
         relay = relay_ready(cloud.vms, config.resolved_relay_instance_type)
-        return RelayShuffleSort(
-            executor, bed_record_codec(), relay,
-            cost=config.workload.relay_shuffle_cost_model(),
-        ), relay
+        return wrap(
+            RelayShuffleSort, config.workload.relay_shuffle_cost_model(), relay
+        )
     if strategy == "sharded-relay":
         fleet = fleet_ready(
             cloud.vms, config.resolved_relay_instance_type,
             shards=config.relay_shards,
         )
-        return ShardedRelayShuffleSort(
-            executor, bed_record_codec(), fleet,
-            cost=config.workload.relay_shuffle_cost_model(),
-        ), fleet
+        return wrap(
+            ShardedRelayShuffleSort, config.workload.relay_shuffle_cost_model(),
+            fleet,
+        )
     raise ValueError(
         f"unknown exchange strategy {strategy!r}; expected a subset of "
         f"{EXCHANGE_SUBSTRATES}"
@@ -390,6 +408,95 @@ def sweep_relay_shards(
     rows.append(run_one("objectstore", 0))
     for shards in shard_counts:
         rows.append(run_one("sharded-relay", shards))
+    return rows
+
+
+def sweep_streaming(
+    config: ExperimentConfig | None = None,
+    strategies: t.Sequence[str] = ("objectstore", "cache", "relay"),
+    workers: int = 16,
+    chunk_mb: float = 32.0,
+    buffer_mb: float = 256.0,
+    bounded_buffer_mb: float = 4.0,
+) -> list[dict]:
+    """S10: staged vs streaming execution per exchange substrate.
+
+    For each substrate the sweep runs the same seeded sort three ways —
+    staged (the wave barrier), streaming with an ample reducer buffer,
+    and streaming with the buffer bounded *below* what the map wave can
+    deliver (``bounded_buffer_mb``), which forces the reducers to exert
+    backpressure.  Every row carries the output digest (byte parity
+    across all nine runs is the point: only *when* bytes move changes,
+    never the bytes), the measured map/reduce wall-clock overlap, the
+    reducer-buffer high watermark and the summed backpressure waits.
+    """
+    base = config if config is not None else ExperimentConfig()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    for strategy in strategies:
+        if strategy not in EXCHANGE_SUBSTRATES:
+            raise ValueError(
+                f"unknown exchange strategy {strategy!r}; expected a "
+                f"subset of {EXCHANGE_SUBSTRATES}"
+            )
+    rows = []
+
+    def run_one(strategy: str, mode: str, buffer_cap_mb: float) -> dict:
+        cloud = _fresh_cloud(base)
+        stage_input(cloud, base, "pipeline", "input/methylome.bed")
+        executor = FunctionExecutor(
+            cloud, runtime_memory_mb=base.function_memory_mb, bucket="pipeline"
+        )
+        marker = cloud.meter.snapshot()
+        stream = None
+        if mode != "staged":
+            stream = StreamConfig(
+                chunk_bytes=chunk_mb * (1 << 20),
+                buffer_bytes=buffer_cap_mb * (1 << 20)
+                if buffer_cap_mb > 0 else None,
+            )
+        operator, provisioned = _make_exchange_operator(
+            cloud, base, strategy, executor, stream=stream
+        )
+
+        def driver():
+            return (
+                yield operator.sort(
+                    "pipeline", "input/methylome.bed", workers=workers
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        residual = 0.0
+        if provisioned is not None:
+            if hasattr(provisioned, "residual_reservation_bytes"):
+                residual = provisioned.residual_reservation_bytes()
+            provisioned.terminate()
+        report = operator.report
+        digest = hashlib.sha256()
+        for run in result.runs:
+            digest.update(cloud.store.peek(run.bucket, run.key))
+        return {
+            "strategy": strategy,
+            "mode": mode,
+            "buffer_mb": buffer_cap_mb if mode != "staged" else 0.0,
+            "workers": workers,
+            "sort_latency_s": result.duration_s,
+            "overlap_s": report.overlap_s,
+            "backpressure_waits": report.extra.get(
+                "buffer_backpressure_waits", 0
+            ),
+            "buffer_hwm_mb": report.buffer_high_watermark_bytes / (1 << 20),
+            "sort_cost_usd": cloud.meter.since(marker).total_usd,
+            "provisioned_usd": report.provisioned_usd,
+            "residual_bytes": residual,
+            "output_digest": digest.hexdigest()[:16],
+        }
+
+    for strategy in strategies:
+        rows.append(run_one(strategy, "staged", 0.0))
+        rows.append(run_one(strategy, "streaming", buffer_mb))
+        rows.append(run_one(strategy, "streaming-bounded", bounded_buffer_mb))
     return rows
 
 

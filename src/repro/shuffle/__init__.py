@@ -5,11 +5,15 @@ The generic :class:`ShuffleSort` drives one
 object storage (the paper's serverless default), an in-memory cache
 cluster (:class:`CacheShuffleSort`), a VM-hosted partition relay
 (:class:`RelayShuffleSort`) and a sharded multi-relay fleet
-(:class:`ShardedRelayShuffleSort`).  :func:`choose_exchange_substrate`
-picks between them analytically.
+(:class:`ShardedRelayShuffleSort`).  Each substrate also runs in a
+pipelined *streaming* mode (:class:`StreamingShuffleSort` over the
+:mod:`repro.shuffle.streaming` backends), where the reduce wave
+overlaps the map wave.  :func:`choose_exchange_substrate` picks
+substrate — and execution mode — analytically.
 """
 
 from repro.shuffle.adaptive import (
+    EXCHANGE_MODES,
     EXCHANGE_SUBSTRATES,
     OnlineTuner,
     ProbeReport,
@@ -17,6 +21,8 @@ from repro.shuffle.adaptive import (
     SubstrateEstimate,
     choose_exchange_substrate,
     fit_profile,
+    streaming_chunk_count,
+    streaming_chunk_overhead_s,
 )
 from repro.shuffle.cacheoperator import (
     CacheExchange,
@@ -57,6 +63,7 @@ from repro.shuffle.planner import (
     ShufflePlan,
     plan_shuffle,
     predict_shuffle_time,
+    predict_streaming_shuffle_time,
 )
 from repro.shuffle.records import FixedWidthCodec, LineRecordCodec, RecordCodec
 from repro.shuffle.relay import (
@@ -83,6 +90,17 @@ from repro.shuffle.sampler import (
     partition_index,
     reservoir_sample,
 )
+from repro.shuffle.streaming import (
+    STREAMING_BACKENDS,
+    StreamConfig,
+    StreamingCacheExchange,
+    StreamingObjectStoreExchange,
+    StreamingRelayExchange,
+    StreamingShardedRelayExchange,
+    StreamingShuffleSort,
+    streaming_shuffle_mapper,
+    streaming_shuffle_reducer,
+)
 from repro.shuffle.stages import shuffle_mapper, shuffle_reducer, shuffle_sampler
 
 __all__ = [
@@ -90,7 +108,15 @@ __all__ = [
     "CacheExchange",
     "CacheShuffleCostModel",
     "CacheShuffleSort",
+    "EXCHANGE_MODES",
     "EXCHANGE_SUBSTRATES",
+    "STREAMING_BACKENDS",
+    "StreamConfig",
+    "StreamingCacheExchange",
+    "StreamingObjectStoreExchange",
+    "StreamingRelayExchange",
+    "StreamingShardedRelayExchange",
+    "StreamingShuffleSort",
     "ExchangeBackend",
     "ExchangeReport",
     "ObjectStoreExchange",
@@ -141,8 +167,13 @@ __all__ = [
     "partition_index",
     "plan_shuffle",
     "predict_shuffle_time",
+    "predict_streaming_shuffle_time",
     "reservoir_sample",
     "shuffle_mapper",
     "shuffle_reducer",
     "shuffle_sampler",
+    "streaming_chunk_count",
+    "streaming_chunk_overhead_s",
+    "streaming_shuffle_mapper",
+    "streaming_shuffle_reducer",
 ]

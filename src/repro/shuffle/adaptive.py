@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import math
 import statistics
 import typing as t
 
@@ -39,10 +40,12 @@ from repro.shuffle.cacheplanner import (
     required_cache_nodes,
 )
 from repro.shuffle.planner import (
+    PlanPoint,
     ShuffleCostModel,
     ShufflePlan,
     plan_shuffle,
     predict_shuffle_time,
+    predict_streaming_shuffle_time,
 )
 from repro.shuffle.relayplanner import (
     RelayShuffleCostModel,
@@ -254,6 +257,40 @@ def fit_profile(profile: CloudProfile, report: ProbeReport) -> CloudProfile:
 #: VM, then a relay fleet).
 EXCHANGE_SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
 
+#: Execution modes in tie-breaking order (the staged barrier is the
+#: simpler machine; streaming must *win* to be chosen).
+EXCHANGE_MODES = ("staged", "streaming")
+
+
+def streaming_chunk_count(
+    logical_bytes: float, workers: int, chunk_bytes: float
+) -> int:
+    """Chunks per mapper at one worker count (the pipelining grain)."""
+    if chunk_bytes <= 0:
+        raise ShuffleError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    return max(1, math.ceil((logical_bytes / max(1, workers)) / chunk_bytes))
+
+
+def streaming_chunk_overhead_s(profile: CloudProfile, substrate: str) -> float:
+    """Per-chunk request overhead of the readiness protocol.
+
+    What the streaming mode pays per chunk that staging never does: one
+    manifest PUT + one discovery GET on object storage, one notification
+    read + one extra write round trip on the cache, two relay round
+    trips on the relay family.  Multiplied by the chunk count in
+    :func:`~repro.shuffle.planner.predict_streaming_shuffle_time`, this
+    is the term that keeps infinitely fine chunking from winning.
+    """
+    if substrate == "objectstore":
+        store = profile.objectstore
+        return store.write_latency.mean + store.read_latency.mean
+    if substrate == "cache":
+        memstore = profile.memstore
+        return memstore.write_latency.mean + memstore.read_latency.mean
+    if substrate in ("relay", "sharded-relay"):
+        return 2.0 * profile.vm.relay_request_latency.mean
+    raise ShuffleError(f"unknown exchange substrate {substrate!r}")
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class SubstrateEstimate:
@@ -270,6 +307,8 @@ class SubstrateEstimate:
     shards: int = 1
     #: Provisioned flavour backing the estimate ("" for objectstore).
     instance_type: str = ""
+    #: Execution mode this estimate prices ("staged" or "streaming").
+    mode: str = "staged"
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -286,7 +325,7 @@ class SubstrateDecision:
     def describe(self) -> str:
         lines = []
         for estimate in self.estimates:
-            marker = "->" if estimate.substrate == self.chosen.substrate else "  "
+            marker = "->" if estimate is self.chosen else "  "
             if not estimate.feasible:
                 lines.append(f"{marker} {estimate.substrate:<13} infeasible"
                              f" ({estimate.detail})")
@@ -294,6 +333,8 @@ class SubstrateDecision:
             config = ""
             if estimate.instance_type:
                 config = f" [{estimate.shards}x{estimate.instance_type}]"
+            if estimate.mode != "staged":
+                config += f" [{estimate.mode}]"
             lines.append(
                 f"{marker} {estimate.substrate:<13} W={estimate.workers:<4d}"
                 f" {estimate.predicted_s:8.2f} s"
@@ -315,6 +356,8 @@ def choose_exchange_substrate(
     max_workers: int = 256,
     max_relay_shards: int = 8,
     substrates: t.Sequence[str] | None = None,
+    modes: t.Sequence[str] = ("staged",),
+    stream_chunk_bytes: float = 32 * (1 << 20),
     shuffle_cost: ShuffleCostModel | None = None,
     cache_cost: CacheShuffleCostModel | None = None,
     relay_cost: RelayShuffleCostModel | None = None,
@@ -334,6 +377,17 @@ def choose_exchange_substrate(
     functions than object storage); a pinned count compares them all at
     that count, the shape of benchmark S8.  ``substrates`` restricts
     the candidates (default: all of :data:`EXCHANGE_SUBSTRATES`).
+
+    ``modes`` makes the *execution mode* a decision variable alongside
+    the substrate: with ``("staged", "streaming")`` every substrate is
+    additionally priced in the pipelined streaming mode
+    (:func:`~repro.shuffle.planner.predict_streaming_shuffle_time` over
+    ``stream_chunk_bytes``-sized chunks, charged the substrate's
+    per-chunk readiness overhead via
+    :func:`streaming_chunk_overhead_s`), and the winner may be e.g.
+    "relay, streaming".  With ``workers=None`` each mode picks its own
+    optimal worker count from the same curve.  Exact ties break staged
+    before streaming (the simpler machine).
 
     The provisioned term is what object storage never pays: cache
     node-seconds (for a cluster sized by
@@ -385,27 +439,20 @@ def choose_exchange_substrate(
             )
     if not wanted:
         raise ShuffleError("empty candidate substrate set")
+    wanted_modes = tuple(modes)
+    for mode in wanted_modes:
+        if mode not in EXCHANGE_MODES:
+            raise ShuffleError(
+                f"unknown execution mode {mode!r}; expected a subset of "
+                f"{EXCHANGE_MODES}"
+            )
+    if not wanted_modes:
+        raise ShuffleError("empty candidate mode set")
     if report is not None:
         profile = fit_profile(profile, report)
     time_value_per_s = time_value_usd_per_hour / 3600.0
 
     estimates: list[SubstrateEstimate] = []
-
-    def add(substrate: str, workers_used: int, predicted_s: float,
-            provisioned_usd: float, shards: int = 1,
-            instance_type: str = "") -> None:
-        estimates.append(
-            SubstrateEstimate(
-                substrate=substrate,
-                workers=workers_used,
-                predicted_s=predicted_s,
-                provisioned_usd=provisioned_usd,
-                score_usd=predicted_s * time_value_per_s + provisioned_usd,
-                feasible=True,
-                shards=shards,
-                instance_type=instance_type,
-            )
-        )
 
     def add_infeasible(substrate: str, detail: str) -> None:
         estimates.append(
@@ -415,6 +462,66 @@ def choose_exchange_substrate(
                 feasible=False, detail=detail,
             )
         )
+
+    def mode_points(
+        substrate: str, staged_points: t.Sequence[PlanPoint], mode: str
+    ) -> list[PlanPoint]:
+        """The candidate curve of one execution mode (staged = as-is)."""
+        if mode == "staged":
+            return list(staged_points)
+        overhead = streaming_chunk_overhead_s(profile, substrate)
+        return [
+            predict_streaming_shuffle_time(
+                point,
+                streaming_chunk_count(
+                    logical_bytes, point.workers, stream_chunk_bytes
+                ),
+                overhead,
+            )
+            for point in staged_points
+        ]
+
+    def best_estimate(
+        substrate: str,
+        staged_points: t.Sequence[PlanPoint],
+        infra_usd_of: t.Callable[[float], float],
+        mode: str,
+        shards: int = 1,
+        instance_type: str = "",
+    ) -> SubstrateEstimate:
+        """The mode's best-scoring point of one substrate configuration."""
+        point = min(
+            mode_points(substrate, staged_points, mode),
+            key=lambda point: (point.total_s, point.workers),
+        )
+        infra = infra_usd_of(point.total_s)
+        return SubstrateEstimate(
+            substrate=substrate,
+            workers=point.workers,
+            predicted_s=point.total_s,
+            provisioned_usd=infra,
+            score_usd=point.total_s * time_value_per_s + infra,
+            feasible=True,
+            shards=shards,
+            instance_type=instance_type,
+            mode=mode,
+        )
+
+    def add_modes(
+        substrate: str,
+        staged_points: t.Sequence[PlanPoint],
+        infra_usd_of: t.Callable[[float], float],
+        shards: int = 1,
+        instance_type: str = "",
+    ) -> None:
+        for mode in EXCHANGE_MODES:
+            if mode in wanted_modes:
+                estimates.append(
+                    best_estimate(
+                        substrate, staged_points, infra_usd_of, mode,
+                        shards=shards, instance_type=instance_type,
+                    )
+                )
 
     def relay_infra_usd(predicted_s: float, instance_type, shards: int) -> float:
         billed = max(predicted_s, profile.vm.minimum_billed_s)
@@ -427,31 +534,35 @@ def choose_exchange_substrate(
 
     relay_cost = relay_cost if relay_cost is not None else RelayShuffleCostModel()
 
-    def relay_time(instance_type, shards: int) -> tuple[int, float]:
+    def relay_points(instance_type, shards: int) -> list[PlanPoint]:
         if workers is None:
-            plan = plan_relay_shuffle(
-                logical_bytes, profile, instance_type.name, relay_cost,
-                max_workers=max_workers, shards=shards,
+            return list(
+                plan_relay_shuffle(
+                    logical_bytes, profile, instance_type.name, relay_cost,
+                    max_workers=max_workers, shards=shards,
+                ).curve
             )
-            return plan.workers, plan.predicted_s
-        point = predict_relay_shuffle_time(
-            logical_bytes, workers, profile, instance_type, relay_cost,
-            shards=shards,
-        )
-        return workers, point.total_s
+        return [
+            predict_relay_shuffle_time(
+                logical_bytes, workers, profile, instance_type, relay_cost,
+                shards=shards,
+            )
+        ]
 
     # --- object storage: pay-as-you-go, no provisioned term -----------
     if "objectstore" in wanted:
         cos_cost = shuffle_cost if shuffle_cost is not None else ShuffleCostModel()
         if workers is None:
-            plan = plan_shuffle(
-                logical_bytes, profile, cos_cost, max_workers=max_workers
+            cos_points = list(
+                plan_shuffle(
+                    logical_bytes, profile, cos_cost, max_workers=max_workers
+                ).curve
             )
-            cos_workers, cos_s = plan.workers, plan.predicted_s
         else:
-            point = predict_shuffle_time(logical_bytes, workers, profile, cos_cost)
-            cos_workers, cos_s = workers, point.total_s
-        add("objectstore", cos_workers, cos_s, 0.0)
+            cos_points = [
+                predict_shuffle_time(logical_bytes, workers, profile, cos_cost)
+            ]
+        add_modes("objectstore", cos_points, lambda _s: 0.0)
 
     # --- cache cluster: node-seconds over the predicted duration ------
     if "cache" in wanted:
@@ -459,20 +570,25 @@ def choose_exchange_substrate(
         node_type = profile.memstore.catalog[cache_node_type]
         cache_cost = cache_cost if cache_cost is not None else CacheShuffleCostModel()
         if workers is None:
-            plan = plan_cache_shuffle(
-                logical_bytes, profile, cache_node_type, nodes, cache_cost,
-                max_workers=max_workers,
+            cache_points = list(
+                plan_cache_shuffle(
+                    logical_bytes, profile, cache_node_type, nodes, cache_cost,
+                    max_workers=max_workers,
+                ).curve
             )
-            cache_workers, cache_s = plan.workers, plan.predicted_s
         else:
-            point = predict_cache_shuffle_time(
-                logical_bytes, workers, profile, node_type, nodes, cache_cost
-            )
-            cache_workers, cache_s = workers, point.total_s
-        billed = max(cache_s, profile.memstore.minimum_billed_s)
-        add(
-            "cache", cache_workers, cache_s,
-            nodes * node_type.per_second_usd * billed,
+            cache_points = [
+                predict_cache_shuffle_time(
+                    logical_bytes, workers, profile, node_type, nodes, cache_cost
+                )
+            ]
+
+        def cache_infra(predicted_s: float) -> float:
+            billed = max(predicted_s, profile.memstore.minimum_billed_s)
+            return nodes * node_type.per_second_usd * billed
+
+        add_modes(
+            "cache", cache_points, cache_infra,
             shards=nodes, instance_type=cache_node_type,
         )
 
@@ -503,14 +619,14 @@ def choose_exchange_substrate(
                 relay_type_name = None
                 add_infeasible("relay", str(exc))
         if relay_type_name is not None:
-            relay_workers, relay_s = relay_time(instance_type, shards=1)
-            add(
-                "relay", relay_workers, relay_s,
-                relay_infra_usd(relay_s, instance_type, shards=1),
+            add_modes(
+                "relay",
+                relay_points(instance_type, shards=1),
+                lambda s: relay_infra_usd(s, instance_type, shards=1),
                 shards=1, instance_type=instance_type.name,
             )
 
-    # --- sharded relay fleet: best-scoring shard count ----------------
+    # --- sharded relay fleet: best-scoring shard count per mode -------
     if "sharded-relay" in wanted:
         if relay_instance_type is not None:
             # Typoed pins are caller errors here too, not infeasibility.
@@ -525,29 +641,41 @@ def choose_exchange_substrate(
             add_infeasible("sharded-relay", str(exc))
         else:
             fleet_instance = resolve_relay_instance(profile, fleet_type_name)
-            best: SubstrateEstimate | None = None
-            for shards in range(min_shards, max_relay_shards + 1):
-                fleet_workers, fleet_s = relay_time(fleet_instance, shards)
-                infra = relay_infra_usd(fleet_s, fleet_instance, shards)
-                candidate = SubstrateEstimate(
-                    substrate="sharded-relay",
-                    workers=fleet_workers,
-                    predicted_s=fleet_s,
-                    provisioned_usd=infra,
-                    score_usd=fleet_s * time_value_per_s + infra,
-                    feasible=True,
-                    shards=shards,
-                    instance_type=fleet_instance.name,
-                )
-                if best is None or (candidate.score_usd, candidate.shards) < (
-                    best.score_usd, best.shards
-                ):
-                    best = candidate
-            estimates.append(t.cast(SubstrateEstimate, best))
+            # One staged curve per shard count, shared across modes
+            # (mode_points derives the streaming curve from it).
+            shard_curves = {
+                shards: relay_points(fleet_instance, shards)
+                for shards in range(min_shards, max_relay_shards + 1)
+            }
+            for mode in EXCHANGE_MODES:
+                if mode not in wanted_modes:
+                    continue
+                best: SubstrateEstimate | None = None
+                for shards, points in shard_curves.items():
+                    candidate = best_estimate(
+                        "sharded-relay",
+                        points,
+                        lambda s, n=shards: relay_infra_usd(
+                            s, fleet_instance, n
+                        ),
+                        mode,
+                        shards=shards,
+                        instance_type=fleet_instance.name,
+                    )
+                    if best is None or (candidate.score_usd, candidate.shards) < (
+                        best.score_usd, best.shards
+                    ):
+                        best = candidate
+                estimates.append(t.cast(SubstrateEstimate, best))
 
     # Keep the estimates in the canonical tie-breaking order.
     order = {name: index for index, name in enumerate(EXCHANGE_SUBSTRATES)}
-    estimates.sort(key=lambda estimate: order[estimate.substrate])
+    mode_order = {name: index for index, name in enumerate(EXCHANGE_MODES)}
+    estimates.sort(
+        key=lambda estimate: (
+            order[estimate.substrate], mode_order.get(estimate.mode, 0)
+        )
+    )
 
     feasible = [estimate for estimate in estimates if estimate.feasible]
     if not feasible:
@@ -560,6 +688,10 @@ def choose_exchange_substrate(
         )
     chosen = min(
         feasible,
-        key=lambda estimate: (estimate.score_usd, order[estimate.substrate]),
+        key=lambda estimate: (
+            estimate.score_usd,
+            order[estimate.substrate],
+            mode_order.get(estimate.mode, 0),
+        ),
     )
     return SubstrateDecision(chosen=chosen, estimates=tuple(estimates))

@@ -34,7 +34,10 @@ executor retries *and* speculative backup tasks
 Backends: :class:`ObjectStoreExchange` (here),
 :class:`~repro.shuffle.cacheoperator.CacheExchange`,
 :class:`~repro.shuffle.relay.RelayExchange` and
-:class:`~repro.shuffle.relay.ShardedRelayExchange`.
+:class:`~repro.shuffle.relay.ShardedRelayExchange` — each with a
+pipelined *streaming* twin in :mod:`repro.shuffle.streaming`, where the
+reduce wave overlaps the map wave behind the substrate's per-partition
+readiness protocol.
 """
 
 from __future__ import annotations
@@ -75,6 +78,14 @@ class ExchangeReport:
     #: cost meter actually charges and how ``choose_exchange_substrate``
     #: prices the same configuration; 0 for pay-as-you-go COS.
     provisioned_usd: float
+    #: Wall-clock seconds the map and reduce waves ran concurrently — 0
+    #: for a staged sort (the reduce wave starts after the map barrier),
+    #: positive for the streaming execution mode.  Uniform so sweeps can
+    #: report the streaming benefit without per-mode special cases.
+    overlap_s: float = 0.0
+    #: Peak logical bytes parked in reducer-side stream buffers (0 for
+    #: staged sorts, which fetch everything in one batch).
+    buffer_high_watermark_bytes: float = 0.0
     #: Substrate-specific metadata (fill fractions, request counters...).
     extra: dict[str, t.Any] = dataclasses.field(default_factory=dict)
 
@@ -97,6 +108,8 @@ class ExchangeReport:
             "predicted_s": self.predicted_s,
             "actual_s": self.actual_s,
             "provisioned_usd": self.provisioned_usd,
+            "overlap_s": self.overlap_s,
+            "buffer_high_watermark_bytes": self.buffer_high_watermark_bytes,
         }
         for key, value in self.extra.items():
             out.setdefault(key, value)
@@ -117,6 +130,9 @@ class ExchangeBackend(abc.ABC):
 
     #: Substrate name as it appears in sweeps and reports.
     name: t.ClassVar[str]
+    #: Execution mode: "staged" (map barrier before the reduce wave) or
+    #: "streaming" (pipelined waves, see :mod:`repro.shuffle.streaming`).
+    mode: t.ClassVar[str] = "staged"
     #: Prefix of the operator's simulation process names.
     process_label: t.ClassVar[str]
     #: Default output prefix of :meth:`ShuffleSort.sort`.
@@ -182,18 +198,33 @@ class ExchangeBackend(abc.ABC):
         return {}
 
     def report(
-        self, workers: int, plan: ShufflePlan | None, duration_s: float
+        self,
+        workers: int,
+        plan: ShufflePlan | None,
+        duration_s: float,
+        overlap_s: float = 0.0,
+        buffer_high_watermark_bytes: float = 0.0,
+        extra: dict[str, t.Any] | None = None,
     ) -> ExchangeReport:
         """The uniform per-sort report; backends customize via the
-        hooks above rather than overriding this."""
+        hooks above rather than overriding this.  The operator passes
+        the wave-overlap and buffer observations it alone can measure
+        (zero for staged sorts); ``extra`` adds operator-side metadata
+        on top of :meth:`extra_report` (operator keys win)."""
         billed_s = max(duration_s, self.minimum_billed_s())
+        merged: dict[str, t.Any] = {"mode": self.mode}
+        merged.update(self.extra_report())
+        if extra:
+            merged.update(extra)
         return ExchangeReport(
             substrate=self.name,
             workers=workers,
             predicted_s=plan.predicted_s if plan is not None else None,
             actual_s=duration_s,
             provisioned_usd=self.provisioned_rate_usd_per_s() * billed_s,
-            extra=self.extra_report(),
+            overlap_s=overlap_s,
+            buffer_high_watermark_bytes=buffer_high_watermark_bytes,
+            extra=merged,
         )
 
 

@@ -130,17 +130,10 @@ class ShuffleSort:
         ).completion
 
     # ------------------------------------------------------------------
-    def _sort(
-        self,
-        bucket: str,
-        key: str,
-        out_bucket: str,
-        out_prefix: str,
-        pinned_workers: int | None,
-        samplers: int,
-        max_workers: int,
-    ) -> t.Generator:
-        started_at = self.sim.now
+    # shared phases (the staged and streaming operators both use these)
+    # ------------------------------------------------------------------
+    def _preflight(self, bucket: str, key: str) -> t.Generator:
+        """HEAD the input, check speculation support and substrate fit."""
         if (
             getattr(self.executor, "speculation", None) is not None
             and not self.backend.supports_speculation
@@ -151,13 +144,14 @@ class ShuffleSort:
                 "policy for this sort"
             )
         meta = yield self.executor.storage.head_object(bucket, key)
-        real_size = meta.size
-        logical_size = meta.logical_size
-        if real_size == 0:
+        if meta.size == 0:
             raise ShuffleError(f"cannot shuffle empty object {bucket}/{key}")
-        self.backend.validate(logical_size)
+        self.backend.validate(meta.logical_size)
+        return meta
 
-        # --- plan ------------------------------------------------------
+    def _plan_workers(
+        self, logical_size: float, pinned_workers: int | None, max_workers: int
+    ) -> tuple[ShufflePlan | None, int]:
         plan: ShufflePlan | None = None
         if pinned_workers is not None:
             workers = pinned_workers
@@ -168,8 +162,12 @@ class ShuffleSort:
             workers = plan.workers
         if workers < 1:
             raise ShuffleError(f"workers must be >= 1, got {workers}")
+        return plan, workers
 
-        # --- sample ------------------------------------------------------
+    def _sample(
+        self, bucket: str, key: str, real_size: int, workers: int, samplers: int
+    ) -> t.Generator:
+        """Run the sampler wave and pick the range boundaries."""
         sampler_count = max(1, min(samplers, workers))
         sample_splits = _split(real_size, sampler_count)
         window = _sample_window_bytes(real_size, sampler_count, self.cost.sample_bytes)
@@ -192,11 +190,19 @@ class ShuffleSort:
         pooled_keys = [k for result in sample_results for k in result["keys"]]
         if not pooled_keys:
             raise ShuffleError(f"sampling found no records in {bucket}/{key}")
-        boundaries = choose_boundaries(pooled_keys, workers)
+        return choose_boundaries(pooled_keys, workers)
 
-        # --- map ---------------------------------------------------------
-        map_splits = _split(real_size, workers)
-        map_tasks = [
+    def _map_tasks(
+        self,
+        bucket: str,
+        key: str,
+        real_size: int,
+        boundaries: t.Sequence[t.Any],
+        workers: int,
+        out_bucket: str,
+        out_prefix: str,
+    ) -> list[dict]:
+        return [
             self.backend.mapper_task(
                 {
                     "bucket": bucket,
@@ -213,30 +219,13 @@ class ShuffleSort:
                 out_bucket,
                 out_prefix,
             )
-            for mapper_id, (start, end) in enumerate(map_splits)
+            for mapper_id, (start, end) in enumerate(_split(real_size, workers))
         ]
-        map_futures = yield self.executor.map(self.backend.mapper_stage(), map_tasks)
-        map_results = yield self.executor.get_result(map_futures)
-        self.backend.on_map_done(map_results)
 
-        # --- reduce --------------------------------------------------------
-        reduce_tasks = [
-            self.backend.reducer_task(
-                reducer_id,
-                workers,
-                map_tasks,
-                map_results,
-                out_bucket,
-                out_prefix,
-                self.codec,
-            )
-            for reducer_id in range(workers)
-        ]
-        reduce_futures = yield self.executor.map(
-            self.backend.reducer_stage(), reduce_tasks
-        )
-        reduce_results = yield self.executor.get_result(reduce_futures)
-
+    def _collect_runs(
+        self, map_results: list[dict], reduce_results: list[dict], out_bucket: str
+    ) -> tuple[tuple[SortedRun, ...], int]:
+        """Assemble the sorted-run artifact, checking record conservation."""
         runs = tuple(
             SortedRun(
                 bucket=out_bucket,
@@ -253,6 +242,69 @@ class ShuffleSort:
                 f"shuffle lost records: mapped {mapped_records}, "
                 f"reduced {total_records}"
             )
+        return runs, total_records
+
+    def _record_wave(self, job: str, wave: str, edge: str) -> None:
+        """Timeline marker pairing into a Gantt wave span (traced runs)."""
+        self.sim.timeline.record(
+            self.sim.now, "shuffle", f"wave_{edge}", job=job, wave=wave
+        )
+
+    # ------------------------------------------------------------------
+    def _sort(
+        self,
+        bucket: str,
+        key: str,
+        out_bucket: str,
+        out_prefix: str,
+        pinned_workers: int | None,
+        samplers: int,
+        max_workers: int,
+    ) -> t.Generator:
+        started_at = self.sim.now
+        meta = yield from self._preflight(bucket, key)
+        real_size = meta.size
+        plan, workers = self._plan_workers(
+            meta.logical_size, pinned_workers, max_workers
+        )
+        boundaries = yield from self._sample(
+            bucket, key, real_size, workers, samplers
+        )
+        job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
+
+        # --- map ---------------------------------------------------------
+        map_tasks = self._map_tasks(
+            bucket, key, real_size, boundaries, workers, out_bucket, out_prefix
+        )
+        self._record_wave(job, "map", "start")
+        map_futures = yield self.executor.map(self.backend.mapper_stage(), map_tasks)
+        map_results = yield self.executor.get_result(map_futures)
+        self._record_wave(job, "map", "end")
+        self.backend.on_map_done(map_results)
+
+        # --- reduce --------------------------------------------------------
+        reduce_tasks = [
+            self.backend.reducer_task(
+                reducer_id,
+                workers,
+                map_tasks,
+                map_results,
+                out_bucket,
+                out_prefix,
+                self.codec,
+            )
+            for reducer_id in range(workers)
+        ]
+        self._record_wave(job, "reduce", "start")
+        reduce_futures = yield self.executor.map(
+            self.backend.reducer_stage(), reduce_tasks
+        )
+        reduce_results = yield self.executor.get_result(reduce_futures)
+        self._record_wave(job, "reduce", "end")
+
+        runs, total_records = self._collect_runs(
+            map_results, reduce_results, out_bucket
+        )
         self.report = self.backend.report(
             workers, plan, self.sim.now - started_at
         )

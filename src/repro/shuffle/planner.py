@@ -137,6 +137,55 @@ def predict_shuffle_time(
     return PlanPoint(workers, sum(breakdown.values()), dict(breakdown))
 
 
+def predict_streaming_shuffle_time(
+    staged: PlanPoint,
+    chunks: int,
+    per_chunk_overhead_s: float = 0.0,
+) -> PlanPoint:
+    """Overlap-aware completion time of the pipelined map→reduce exchange.
+
+    Transforms a *staged* prediction (any substrate's — all three
+    analytic models emit the same canonical breakdown keys) into the
+    streaming execution mode's: the producer side of the exchange
+    (partitioning + publishing) and the consumer side (fetching +
+    sorting) run as a two-stage pipeline over ``chunks`` chunks per
+    mapper, so the critical path is the slower side plus one chunk's
+    worth of the faster side (the pipeline fill/drain), instead of
+    their sum::
+
+        pipelined = max(P, C) + min(P, C) / chunks
+        P = partition_cpu + map_write
+        C = reduce_fetch + sort_cpu
+
+    ``per_chunk_overhead_s`` charges what staging never pays: the extra
+    per-chunk requests of the readiness protocol (manifest PUT/poll on
+    object storage, notification reads on cache/relay), linear in the
+    chunk count — which is why infinitely fine chunking does not win.
+    Input read, output write, startup and driver terms are unchanged;
+    with ``chunks == 1`` and zero overhead this degenerates to the
+    staged total.
+    """
+    if chunks < 1:
+        raise ShuffleError(f"chunks must be >= 1, got {chunks}")
+    if per_chunk_overhead_s < 0:
+        raise ShuffleError(
+            f"per_chunk_overhead_s must be >= 0, got {per_chunk_overhead_s}"
+        )
+    b = staged.breakdown
+    producer = b["partition_cpu"] + b["map_write"]
+    consumer = b["reduce_fetch"] + b["sort_cpu"]
+    breakdown = {
+        "startup": b["startup"],
+        "map_read": b["map_read"],
+        "pipelined_exchange": max(producer, consumer)
+        + min(producer, consumer) / chunks,
+        "chunk_overhead": chunks * per_chunk_overhead_s,
+        "reduce_write": b["reduce_write"],
+        "driver": b["driver"],
+    }
+    return PlanPoint(staged.workers, sum(breakdown.values()), breakdown)
+
+
 def plan_shuffle(
     logical_bytes: float,
     profile: CloudProfile,

@@ -16,6 +16,7 @@ Public surface::
 from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
 from repro.sim.kernel import FOREVER, Simulator
 from repro.sim.links import FairShareLink
+from repro.sim.notify import KeyedWatch
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store, TokenBucket
 from repro.sim.rng import RngRegistry, derive_seed
@@ -26,6 +27,7 @@ __all__ = [
     "AnyOf",
     "FOREVER",
     "FairShareLink",
+    "KeyedWatch",
     "Process",
     "Resource",
     "RngRegistry",

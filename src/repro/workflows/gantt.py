@@ -10,6 +10,9 @@ from the simulation timeline —
   glance;
 * one bar per VM and per cache cluster, making the hybrid pipeline's
   provisioning penalty impossible to miss;
+* one bar per shuffle *wave* (map / reduce), so the streaming mode's
+  wave overlap — and the staged mode's hard barrier — are visible
+  directly;
 * one bar per workflow stage (from the tracker), giving the chart its
   coarse structure.
 
@@ -35,7 +38,7 @@ class GanttSpan:
     label: str
     start: float
     end: float
-    kind: str  # "stage" | "function" | "function-cold" | "vm" | "cache"
+    kind: str  # "stage" | "function" | "function-cold" | "vm" | "cache" | "wave"
 
     @property
     def duration(self) -> float:
@@ -49,6 +52,7 @@ _GLYPHS = {
     "function-cold": "#",
     "vm": "%",
     "cache": "~",
+    "wave": "+",
 }
 
 
@@ -89,6 +93,23 @@ def spans_from_timeline(timeline: Timeline) -> list[GanttSpan]:
                 )
             )
 
+    wave_starts = {
+        (record.fields["job"], record.fields["wave"]): record.time
+        for record in timeline.filter("shuffle", "wave_start")
+    }
+    for record in timeline.filter("shuffle", "wave_end"):
+        wave_key = (record.fields["job"], record.fields["wave"])
+        start = wave_starts.pop(wave_key, None)
+        if start is not None:
+            spans.append(
+                GanttSpan(
+                    label=f"{wave_key[1]} wave [{wave_key[0]}]",
+                    start=start,
+                    end=record.time,
+                    kind="wave",
+                )
+            )
+
     cache_starts = {
         record.fields["cluster"]: record.time
         for record in timeline.filter("memstore", "provision")
@@ -125,6 +146,13 @@ def spans_from_tracker(tracker: "JobTracker") -> list[GanttSpan]:
         substrate = report.detail.get("substrate")
         if substrate:
             label = f"[{report.name}→{substrate}]"
+            # A streaming-mode sort names its mode too, so the chart
+            # says not just where the exchange ran but how.
+            mode = report.detail.get(
+                "substrate_mode", report.detail.get("mode")
+            )
+            if mode and mode != "staged":
+                label = f"[{report.name}→{substrate} {mode}]"
         spans.append(
             GanttSpan(
                 label=label,
@@ -192,7 +220,7 @@ def render_gantt(
     rows.append(f"{'':<{label_width}} {'-' * width}")
     rows.append(
         f"{'':<{label_width}} {len(spans)} spans; = stage, # function "
-        "(* = cold start), % vm, ~ cache"
+        "(* = cold start), % vm, ~ cache, + wave"
     )
     return "\n".join(rows)
 

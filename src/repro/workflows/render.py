@@ -23,6 +23,7 @@ _SUBSTRATE_LABELS = {
     "cache_sort": "cloud functions + cache cluster",
     "relay_sort": "cloud functions + VM relay",
     "sharded_relay_sort": "cloud functions + VM relay fleet",
+    "streaming_sort": "cloud functions + streaming exchange (pipelined waves)",
     "auto_sort": "cloud functions + adaptive exchange substrate",
     "methcomp_encode": "cloud functions",
     "methcomp_verify": "cloud functions",

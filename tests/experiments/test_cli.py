@@ -57,3 +57,10 @@ class TestCli:
         # And every documented command is dispatched somewhere.
         for name in documented:
             assert f'"{name}"' in source, name
+
+    def test_sweep_streaming_runs(self, capsys):
+        assert main(["--scale", "16384", "sweep-streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "S10: streaming vs staged exchange" in out
+        assert "overlap_s" in out
+        assert "backpressure_waits" in out

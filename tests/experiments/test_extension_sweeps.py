@@ -145,3 +145,42 @@ class TestSweepMulticloud:
             assert row["serverless_cost_usd"] > 0
         assert rows[0]["vm_type"] == "bx2-8x32"
         assert rows[1]["vm_type"] == "m5.2xlarge"
+
+
+class TestSweepStreaming:
+    def test_rows_cover_modes_and_hold_parity(self):
+        from repro.experiments import sweep_streaming
+
+        rows = sweep_streaming(
+            TINY, strategies=("objectstore", "relay"), workers=4,
+            chunk_mb=8.0, buffer_mb=64.0, bounded_buffer_mb=0.5,
+        )
+        assert len(rows) == 6
+        modes = {(row["strategy"], row["mode"]) for row in rows}
+        assert modes == {
+            ("objectstore", "staged"), ("objectstore", "streaming"),
+            ("objectstore", "streaming-bounded"),
+            ("relay", "staged"), ("relay", "streaming"),
+            ("relay", "streaming-bounded"),
+        }
+        # Byte parity across substrates *and* modes.
+        assert len({row["output_digest"] for row in rows}) == 1
+        by_key = {(row["strategy"], row["mode"]): row for row in rows}
+        for strategy in ("objectstore", "relay"):
+            assert by_key[(strategy, "streaming")]["overlap_s"] > 0.0
+            assert by_key[(strategy, "staged")]["overlap_s"] == 0.0
+        # The bounded run recorded backpressure on at least one substrate.
+        assert any(
+            row["backpressure_waits"] > 0
+            for row in rows if row["mode"] == "streaming-bounded"
+        )
+        # Relay rows settle with zero residual reservations.
+        assert all(row["residual_bytes"] == 0.0 for row in rows)
+
+    def test_rejects_bad_arguments(self):
+        from repro.experiments import sweep_streaming
+
+        with pytest.raises(ValueError, match="unknown exchange strategy"):
+            sweep_streaming(TINY, strategies=("carrier-pigeon",))
+        with pytest.raises(ValueError, match="workers"):
+            sweep_streaming(TINY, workers=0)

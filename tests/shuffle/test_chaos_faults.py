@@ -1,13 +1,16 @@
 """Chaos harness: crash mappers/reducers mid-transfer on every substrate.
 
 Parameterized fault injection over the four exchange substrates
-(object storage, cache cluster, single VM relay, sharded relay fleet):
-the platform kills activations at injected rates (often mid-MPUSH/MPULL
-on the stateful substrates), the executor re-invokes them, and the
-final sorted artifact must still be byte-identical to a crash-free
-object-storage run — plus the relay (every shard of it, for the fleet)
-must report **zero** residual reservations once the job settles,
-proving no dead attempt leaked memory.
+(object storage, cache cluster, single VM relay, sharded relay fleet)
+— in both execution modes, staged and streaming: the platform kills
+activations at injected rates (often mid-MPUSH/MPULL on the stateful
+substrates, and mid-*stream* on the streaming paths, where reducers are
+already consuming chunks the crashed mapper published), the executor
+re-invokes them, and the final sorted artifact must still be
+byte-identical to a crash-free object-storage run — plus the relay
+(every shard of it, for the fleet) must report **zero** residual
+reservations once the job settles, proving no dead attempt leaked
+memory.
 
 The seed matrix is fixed for reproducibility and can be widened via the
 ``REPRO_CHAOS_SEEDS`` environment variable (comma-separated ints), which
@@ -30,9 +33,23 @@ from repro.shuffle import (
     RelayShuffleSort,
     ShardedRelayShuffleSort,
     ShuffleSort,
+    StreamConfig,
+    StreamingCacheExchange,
+    StreamingObjectStoreExchange,
+    StreamingRelayExchange,
+    StreamingShardedRelayExchange,
+    StreamingShuffleSort,
 )
 
-SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
+SUBSTRATES = (
+    "objectstore", "cache", "relay", "sharded-relay",
+    "streaming-objectstore", "streaming-cache", "streaming-relay",
+)
+
+#: Mid-stream chaos wants several chunks per mapper (so kills land
+#: between publishes) and a bounded reducer buffer (so the backpressure
+#: path is exercised under crash-retry too).
+CHAOS_STREAM = dict(chunk_bytes=4096.0, buffer_bytes=8192.0, poll_interval_s=0.05)
 
 #: Fixed default seed matrix; override with REPRO_CHAOS_SEEDS=1,2,3.
 CHAOS_SEEDS = tuple(
@@ -67,6 +84,7 @@ def run_chaos_sort(substrate, payload, seed, crash_rate, retries=6):
     executor = FunctionExecutor(cloud, retries=retries)
     codec = FixedWidthCodec(record_size=16, key_bytes=8)
     relay = None
+    stream = StreamConfig(**CHAOS_STREAM)
     if substrate == "objectstore":
         operator = ShuffleSort(executor, codec)
     elif substrate == "cache":
@@ -75,6 +93,26 @@ def run_chaos_sort(substrate, payload, seed, crash_rate, retries=6):
     elif substrate == "sharded-relay":
         relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
         operator = ShardedRelayShuffleSort(executor, codec, relay)
+    elif substrate == "streaming-objectstore":
+        operator = StreamingShuffleSort(
+            executor, codec, backend=StreamingObjectStoreExchange(stream=stream)
+        )
+    elif substrate == "streaming-cache":
+        cluster = cloud.cache.provision_ready("cache.r5.large", nodes=2)
+        operator = StreamingShuffleSort(
+            executor, codec, backend=StreamingCacheExchange(cluster, stream=stream)
+        )
+    elif substrate == "streaming-relay":
+        relay = relay_ready(cloud.vms, "bx2-8x32")
+        operator = StreamingShuffleSort(
+            executor, codec, backend=StreamingRelayExchange(relay, stream=stream)
+        )
+    elif substrate == "streaming-sharded-relay":
+        relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
+        operator = StreamingShuffleSort(
+            executor, codec,
+            backend=StreamingShardedRelayExchange(relay, stream=stream),
+        )
     else:
         relay = relay_ready(cloud.vms, "bx2-8x32")
         operator = RelayShuffleSort(executor, codec, relay)
@@ -129,6 +167,26 @@ class TestChaosParity:
             assert relay.active_flows == 0
             assert relay.used_logical == pytest.approx(relay.entry_bytes)
             relay.check_memory_accounting()
+
+
+class TestStreamingFleetChaos:
+    def test_streaming_fleet_crash_retry_preserves_parity(self, baselines):
+        """The fleet flavour of the streaming path, once per seed matrix:
+        rendezvous pulls route across shards while mappers crash
+        mid-stream, and the artifact still matches the staged baseline
+        with zero residual reservations on every shard."""
+        seed = CHAOS_SEEDS[0]
+        payload = make_payload(RECORDS, seed)
+        runs, cloud, fleet = run_chaos_sort(
+            "streaming-sharded-relay", payload, seed, 0.3
+        )
+        assert cloud.faas.stats.crashes > 0
+        assert runs == baselines[seed]
+        assert fleet.residual_reservation_bytes() == 0.0
+        assert fleet.active_flows == 0
+        fleet.check_memory_accounting()
+        for shard in fleet.shards:
+            assert shard.residual_reservation_bytes() == 0.0
 
 
 class TestChaosAccounting:

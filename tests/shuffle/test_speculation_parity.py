@@ -26,9 +26,20 @@ from repro.shuffle import (
     RelayShuffleSort,
     ShardedRelayShuffleSort,
     ShuffleSort,
+    StreamConfig,
+    StreamingCacheExchange,
+    StreamingObjectStoreExchange,
+    StreamingRelayExchange,
+    StreamingShuffleSort,
 )
 
-SUBSTRATES = ("objectstore", "cache", "relay", "sharded-relay")
+#: Both execution modes: a losing speculative attempt must be fenced
+#: out of a *stream* it was mid-publish into just as cleanly as out of
+#: a staged batch.
+SUBSTRATES = (
+    "objectstore", "cache", "relay", "sharded-relay",
+    "streaming-objectstore", "streaming-cache", "streaming-relay",
+)
 SEED = 11
 RECORDS = 3000
 WORKERS = 4
@@ -61,6 +72,9 @@ def run_speculative_sort(substrate, payload, crash_rate=0.0):
     executor = FunctionExecutor(cloud, retries=6, speculation=POLICY)
     codec = FixedWidthCodec(record_size=16, key_bytes=8)
     relay = None
+    stream = StreamConfig(
+        chunk_bytes=4096.0, buffer_bytes=8192.0, poll_interval_s=0.05
+    )
     if substrate == "objectstore":
         operator = ShuffleSort(executor, codec)
     elif substrate == "cache":
@@ -69,6 +83,20 @@ def run_speculative_sort(substrate, payload, crash_rate=0.0):
     elif substrate == "sharded-relay":
         relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
         operator = ShardedRelayShuffleSort(executor, codec, relay)
+    elif substrate == "streaming-objectstore":
+        operator = StreamingShuffleSort(
+            executor, codec, backend=StreamingObjectStoreExchange(stream=stream)
+        )
+    elif substrate == "streaming-cache":
+        cluster = cloud.cache.provision_ready("cache.r5.large", nodes=2)
+        operator = StreamingShuffleSort(
+            executor, codec, backend=StreamingCacheExchange(cluster, stream=stream)
+        )
+    elif substrate == "streaming-relay":
+        relay = relay_ready(cloud.vms, "bx2-8x32")
+        operator = StreamingShuffleSort(
+            executor, codec, backend=StreamingRelayExchange(relay, stream=stream)
+        )
     else:
         relay = relay_ready(cloud.vms, "bx2-8x32")
         operator = RelayShuffleSort(executor, codec, relay)
@@ -131,7 +159,7 @@ class TestSpeculationParity:
                 assert line.billed_s <= max(completed) + 1e-9
 
     def test_relay_reports_zero_residual_after_speculation(self, speculative_runs):
-        for substrate in ("relay", "sharded-relay"):
+        for substrate in ("relay", "sharded-relay", "streaming-relay"):
             _digest, _ex, _cloud, relay = speculative_runs[substrate]
             assert relay.residual_reservation_bytes() == 0.0
             assert relay.active_flows == 0

@@ -12,6 +12,7 @@ from repro.core.pipelines import (
     auto_supported_pipeline,
     relay_supported_pipeline,
     sharded_relay_supported_pipeline,
+    streaming_supported_pipeline,
 )
 from repro.workflows.engine import registered_kinds
 from repro.workflows.render import render_dag, substrate_label
@@ -32,8 +33,8 @@ class TestSubstrateLabels:
     def test_every_builtin_kind_has_a_specific_label(self):
         builtin = (
             "methylome_dataset", "dataset_ref", "shuffle_sort", "cache_sort",
-            "relay_sort", "sharded_relay_sort", "auto_sort", "vm_sort",
-            "methcomp_encode", "methcomp_verify",
+            "relay_sort", "sharded_relay_sort", "streaming_sort", "auto_sort",
+            "vm_sort", "methcomp_encode", "methcomp_verify",
         )
         for kind in builtin:
             assert kind in registered_kinds()
@@ -50,6 +51,16 @@ class TestSubstrateLabels:
         assert "VM relay fleet" in sharded_art
         auto_art = render_dag(auto_supported_pipeline(config))
         assert "adaptive exchange substrate" in auto_art
+
+    def test_streaming_sort_renders_pipelined_waves(self):
+        assert (
+            substrate_label("streaming_sort")
+            == "cloud functions + streaming exchange (pipelined waves)"
+        )
+        art = render_dag(streaming_supported_pipeline(ExperimentConfig()))
+        assert "streaming exchange" in art
+        # The substrate the stream rides is visible in the stage params.
+        assert "substrate=relay" in art
 
     def test_unknown_kinds_still_fall_back(self):
         assert substrate_label("somebody-elses-kind") == FALLBACK

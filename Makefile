@@ -8,12 +8,13 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults collect bench bench-exchange bench-streaming verify
+.PHONY: test test-faults test-skew collect bench bench-exchange bench-streaming bench-skew verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
-# pinned seed matrix, then everything (which collects the chaos tests
-# again under their in-repo default seeds — identical by default).
-test: test-faults
+# pinned seed matrix, then the skew suite, then everything (which
+# collects both again under their in-repo defaults — identical by
+# default).
+test: test-faults test-skew
 	$(PYTEST) -x -q
 
 # Chaos suite alone: crash-injected shuffles on all four exchange
@@ -26,6 +27,15 @@ test-faults:
 		tests/cloud/test_vm_relay_cancellation.py \
 		tests/cloud/test_vm_relay_fleet.py \
 		tests/cloud/test_faas_cancellation.py
+
+# Skew suite alone: weighted-boundary/sampling properties, the Zipf
+# cross-substrate parity matrix, load-aware fleet routing, and the
+# skew-priced planners/selector.
+test-skew:
+	$(PYTEST) -x -q \
+		tests/shuffle/test_skew_sampler.py \
+		tests/shuffle/test_skew_parity.py \
+		tests/shuffle/test_skew_planner.py
 
 # Collection-regression smoke: fails fast when test modules collide or
 # an import breaks, without running anything.
@@ -50,5 +60,12 @@ bench-exchange:
 # backpressure assertions.
 bench-streaming:
 	$(PYTEST) benchmarks/bench_streaming.py -q
+
+# Skew bench only: regenerates just the S11 result
+# (benchmarks/results/s11_skew.txt) — CRC vs load-aware fleet routing
+# on a Zipf workload, with byte-parity, hot-shard, strict-win and
+# planner-tracking assertions.
+bench-skew:
+	$(PYTEST) benchmarks/bench_skew.py -q
 
 verify: collect test

@@ -90,12 +90,18 @@ def test_streaming_sweep(benchmark, record_result, streaming_rows):
         # Ample buffers never push back; bounded-below-throughput ones do.
         assert streaming["backpressure_waits"] == 0
         assert bounded["backpressure_waits"] > 0
-        # The buffers were genuinely exercised and the bounded run never
-        # exceeded the ample one (the gate admits in-flight fetchers
-        # concurrently, so the watermark may overshoot the bound by up
-        # to one segment per mapper — but never beyond the free-running
-        # high watermark).
-        assert 0.0 < bounded["buffer_hwm_mb"] <= streaming["buffer_hwm_mb"]
+        # The buffers were genuinely exercised, and the bounded
+        # watermark respects the admission gate's hard ceiling: the
+        # bound plus one in-flight segment per mapper (the gate admits
+        # concurrent fetchers that each add at most one ~chunk/W
+        # segment before re-checking).  Throttling realigns arrivals,
+        # so it may sit slightly above or below the free-running peak.
+        per_mapper_segment_mb = CHUNK_MB / WORKERS
+        assert (
+            0.0
+            < bounded["buffer_hwm_mb"]
+            <= BOUNDED_BUFFER_MB + WORKERS * per_mapper_segment_mb
+        )
         # Zero residual relay reservations once the job settled.
         assert staged["residual_bytes"] == 0.0
         assert streaming["residual_bytes"] == 0.0

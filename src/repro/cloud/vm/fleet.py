@@ -15,7 +15,11 @@ Design:
   via a stable hash (:meth:`RelayFleet.shard_for_key`, CRC-32 of the
   key bytes mod N); the same key always lands on the same shard, across
   mappers, reducers, retries and speculative attempts, so the exchange
-  rendezvous works without any directory service;
+  rendezvous works without any directory service.  A caller may install
+  a *router* (:meth:`RelayFleet.set_router`) that overrides the hash
+  for the keys it recognizes — the skew-aware exchange routes by
+  planned partition bytes this way, falling back to CRC for keys the
+  router does not claim;
 * **batched fan-out** — a fleet client splits each MPUSH/MPULL batch by
   shard and issues the per-shard sub-batches *in parallel*, one request
   latency each; the caller's NIC budget is divided across the
@@ -59,18 +63,43 @@ class RelayFleet:
         self.relay_id = (
             f"fleet-{self.shards[0].vm.vm_id}x{len(self.shards)}"
         )
+        #: Optional key → shard-index override (``None`` falls through
+        #: to CRC); install via :meth:`set_router`.
+        self.router: t.Callable[[str], int | None] | None = None
         service.relays[self.relay_id] = self
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    def set_router(self, router: t.Callable[[str], int | None] | None) -> None:
+        """Install (or clear, with ``None``) a load-aware routing override.
+
+        The router maps a key to a shard index, or ``None`` to fall back
+        to the CRC hash.  It MUST be a pure function of the key: the
+        rendezvous depends on writers, readers, retries and speculative
+        attempts all resolving a key to the same shard.  Install it
+        before any traffic of the exchange it routes (the skew-aware
+        sort does so right after boundary selection, before the map
+        wave), and only replace it between sorts.
+        """
+        self.router = router
+        self.sim.timeline.record(
+            self.sim.now, "relay",
+            "fleet_rebalance" if router is not None else "fleet_rebalance_clear",
+            fleet=self.relay_id, shards=len(self.shards),
+        )
+
     def shard_index_for_key(self, key: str) -> int:
-        """Stable shard index of ``key`` (CRC-32 mod N).
+        """Stable shard index of ``key`` (router override, else CRC-32 mod N).
 
         Deliberately *not* Python's randomized ``hash``: routing must be
         identical across runs, retries and speculative attempts or the
         rendezvous breaks.
         """
+        if self.router is not None:
+            index = self.router(key)
+            if index is not None:
+                return index % len(self.shards)
         return zlib.crc32(key.encode("utf-8")) % len(self.shards)
 
     def shard_for_key(self, key: str) -> PartitionRelay:

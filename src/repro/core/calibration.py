@@ -88,6 +88,16 @@ class ExperimentConfig:
     vm_instance_type: str | None = None
     #: Real bytes = logical / scale; request counts are scale-invariant.
     logical_scale: float = 256.0
+    #: Key distribution of the staged dataset: ``"uniform"`` (the
+    #: chromosome-weighted methylome, the historical baseline) or one of
+    #: the skewed laws in :data:`repro.shuffle.skew.KEY_DISTRIBUTIONS`
+    #: (``"zipf"``, ``"heavy-dup"``, ``"sorted-runs"``) — experiment
+    #: S11's hot-partition workloads.
+    key_distribution: str = "uniform"
+    #: Zipf exponent of the ``"zipf"`` distribution (hotter when larger).
+    zipf_s: float = 1.2
+    #: Distinct key values of the duplicate-heavy distributions.
+    skew_distinct_keys: int = 64
     #: Root seed for data generation and all latency jitter.
     seed: int = 2021
     #: Zero latency jitter (tests); experiments keep jitter on.

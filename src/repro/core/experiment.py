@@ -25,7 +25,7 @@ from repro.core.pipelines import (
     VM_SUPPORTED,
     pipeline_for,
 )
-from repro.methcomp.datagen import MethylomeGenerator
+from repro.methcomp.datagen import MethylomeGenerator, generate_skewed_bed_bytes
 from repro.sim import Simulator
 from repro.workflows.engine import WorkflowEngine, WorkflowResult
 
@@ -51,10 +51,29 @@ class PipelineRun:
         return self.workflow.artifacts["encode"]["ratio"]
 
 
+def dataset_payload(config: ExperimentConfig) -> bytes:
+    """The experiment's input payload under its configured key law.
+
+    ``key_distribution="uniform"`` is the historical chromosome-weighted
+    methylome; the skewed laws (``zipf``/``heavy-dup``/``sorted-runs``)
+    concentrate genomic keys so sort partitions — and therefore every
+    exchange substrate — see hot ranges (experiment S11).
+    """
+    if config.key_distribution == "uniform":
+        generator = MethylomeGenerator(seed=config.seed)
+        return generator.generate_bed_bytes(config.real_bytes, sorted_output=False)
+    return generate_skewed_bed_bytes(
+        config.real_bytes,
+        seed=config.seed,
+        distribution=config.key_distribution,
+        zipf_s=config.zipf_s,
+        distinct_keys=config.skew_distinct_keys,
+    )
+
+
 def stage_input(cloud: Cloud, config: ExperimentConfig, bucket: str, key: str) -> None:
     """Pre-stage the synthetic ENCFF988BSW-like dataset (off the clock)."""
-    generator = MethylomeGenerator(seed=config.seed)
-    payload = generator.generate_bed_bytes(config.real_bytes, sorted_output=False)
+    payload = dataset_payload(config)
     cloud.store.ensure_bucket(bucket)
 
     def upload() -> t.Generator:

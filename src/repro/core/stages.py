@@ -50,7 +50,7 @@ from repro.core.calibration import WorkloadParams
 from repro.errors import WorkflowError
 from repro.executor.executor import FunctionExecutor
 from repro.methcomp.bed import bed_sort_key
-from repro.methcomp.datagen import MethylomeGenerator
+from repro.methcomp.datagen import MethylomeGenerator, generate_skewed_bed_bytes
 from repro.methcomp.pipeline import bed_record_codec, decode_worker, encode_worker
 from repro.cloud.vm.fleet import fleet_ready, provision_fleet
 from repro.cloud.vm.relay import provision_relay, relay_ready
@@ -191,17 +191,31 @@ def methylome_dataset(context: StageContext, inputs: dict) -> t.Generator:
 
     Params: ``size_gb`` (logical; real bytes are divided by the cloud's
     ``logical_scale``), ``seed``, ``key``, ``sorted`` (default False —
-    raw pipeline input is unsorted, that is why the sort stage exists).
+    raw pipeline input is unsorted, that is why the sort stage exists),
+    ``distribution`` (``"uniform"`` default, or a skewed key law from
+    :data:`repro.shuffle.skew.KEY_DISTRIBUTIONS`: ``"zipf"``,
+    ``"heavy-dup"``, ``"sorted-runs"``) with its ``zipf_s`` /
+    ``distinct_keys`` knobs.
     """
     size_gb = float(context.param("size_gb", required=True))
     seed = int(context.param("seed", 0))
     key = context.param("key", "input/methylome.bed")
     scale = context.cloud.logical_scale
     real_bytes = max(1, int(size_gb * (1 << 30) / scale))
-    generator = MethylomeGenerator(seed=seed)
-    payload = generator.generate_bed_bytes(
-        real_bytes, sorted_output=bool(context.param("sorted", False))
-    )
+    distribution = context.param("distribution", "uniform")
+    if distribution == "uniform":
+        generator = MethylomeGenerator(seed=seed)
+        payload = generator.generate_bed_bytes(
+            real_bytes, sorted_output=bool(context.param("sorted", False))
+        )
+    else:
+        payload = generate_skewed_bed_bytes(
+            real_bytes,
+            seed=seed,
+            distribution=distribution,
+            zipf_s=float(context.param("zipf_s", 1.2)),
+            distinct_keys=int(context.param("distinct_keys", 64)),
+        )
     meta = yield context.cloud.store.put(context.bucket, key, payload)
     return {
         "bucket": context.bucket,
@@ -569,7 +583,11 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
     ``stream_chunk_mb``/``stream_buffer_mb`` (the streaming grain and
     reducer buffer bound, used both for pricing and execution),
     ``max_relay_shards`` (default 8), ``cache_node_type``,
-    ``instance_type`` (pin the relay flavour), plus the usual
+    ``instance_type`` (pin the relay flavour), ``partition_skew``
+    (expected max-over-mean partition bytes, default 1.0 — prices the
+    straggler reducer in every candidate model, so a skewed workload
+    may pick a different substrate/mode/configuration than a uniform
+    one of the same size), plus the usual
     ``memory_mb``/``samplers``/``max_workers`` passed through to the
     dispatched stage.
     """
@@ -595,6 +613,7 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
         substrates=tuple(substrates) if substrates is not None else None,
         modes=tuple(modes) if modes is not None else ("staged",),
         stream_chunk_bytes=stream_chunk_mb * (1 << 20),
+        partition_skew=float(context.param("partition_skew", 1.0)),
         shuffle_cost=workload.shuffle_cost_model(),
         cache_cost=workload.cache_shuffle_cost_model(),
         relay_cost=workload.relay_shuffle_cost_model(),

@@ -9,12 +9,17 @@ iterables:
 * :func:`chunk_ranges` — cut by target chunk size instead of count;
 * :func:`align_range_to_records` — extend/trim a byte range to record
   (newline) boundaries, given a peek window, so record-oriented mappers
-  can process a split without seeing torn lines.
+  can process a split without seeing torn lines;
+* :func:`assign_balanced` — deterministic longest-processing-time
+  placement of weighted items onto equal bins (the load-aware shard
+  routing of the relay fleet balances planned partition bytes with it).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import typing as t
 
 from repro.errors import ExecutorError
 
@@ -59,6 +64,32 @@ def chunk_ranges(bucket: str, key: str, size: int, chunk_size: int) -> list[Byte
     if not ranges:
         ranges.append(ByteRange(bucket, key, 0, 0))
     return ranges
+
+
+def assign_balanced(weights: t.Sequence[float], bins: int) -> list[int]:
+    """Assign weighted items to ``bins`` minimizing the heaviest bin (LPT).
+
+    Classic longest-processing-time greedy: items are placed heaviest
+    first onto the currently lightest bin.  Ties break by bin index and
+    then by item index, so the assignment is a pure function of the
+    inputs — callers that must route identically across processes,
+    retries and speculative attempts (the relay fleet's rebalance map)
+    can rely on it.  Returns one bin index per item, in input order.
+    """
+    if bins < 1:
+        raise ExecutorError(f"bins must be >= 1, got {bins}")
+    for weight in weights:
+        if weight < 0:
+            raise ExecutorError(f"weights must be >= 0, got {weight}")
+    assignment = [0] * len(weights)
+    loads = [(0.0, index) for index in range(bins)]
+    heapq.heapify(loads)
+    order = sorted(range(len(weights)), key=lambda item: (-weights[item], item))
+    for item in order:
+        load, bin_index = heapq.heappop(loads)
+        assignment[item] = bin_index
+        heapq.heappush(loads, (load + weights[item], bin_index))
+    return assignment
 
 
 def align_start_to_record(data: bytes, is_first: bool, delimiter: bytes = b"\n") -> int:

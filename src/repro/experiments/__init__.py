@@ -20,6 +20,7 @@ from repro.experiments.sweeps import (
     sweep_multicloud,
     sweep_relay_shards,
     sweep_size,
+    sweep_skew,
     sweep_speculation,
     sweep_startup,
     sweep_storage_ops,
@@ -44,6 +45,7 @@ __all__ = [
     "sweep_multicloud",
     "sweep_relay_shards",
     "sweep_size",
+    "sweep_skew",
     "sweep_speculation",
     "sweep_startup",
     "sweep_storage_ops",

@@ -13,6 +13,7 @@ Usage::
     repro-experiments sweep-exchange
     repro-experiments sweep-relay-shards
     repro-experiments sweep-streaming
+    repro-experiments sweep-skew
     repro-experiments sweep-faults
     repro-experiments sweep-speculation
     repro-experiments sweep-exchange-faults
@@ -68,6 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-exchange",
         "sweep-relay-shards",
         "sweep-streaming",
+        "sweep-skew",
         "sweep-faults",
         "sweep-speculation",
         "sweep-exchange-faults",
@@ -120,6 +122,11 @@ def main(argv: list[str] | None = None) -> int:
         _print_rows(
             "S10: streaming vs staged exchange",
             sweeps.sweep_streaming(_config(args)),
+        )
+    elif args.command == "sweep-skew":
+        _print_rows(
+            "S11: skew-aware shuffle (CRC vs rebalanced fleet routing)",
+            sweeps.sweep_skew(_config(args)),
         )
     elif args.command == "sweep-faults":
         _print_rows(

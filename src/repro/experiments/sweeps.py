@@ -500,6 +500,145 @@ def sweep_streaming(
     return rows
 
 
+def sweep_skew(
+    config: ExperimentConfig | None = None,
+    distributions: t.Sequence[str] = ("uniform", "zipf"),
+    workers: int = 12,
+    shards: int = 2,
+    zipf_s: float = 2.0,
+    distinct_keys: int = 4,
+    relay_instance_type: str = "bx2-2x8",
+    worker_nic_bps: float = 150e6,
+) -> list[dict]:
+    """S11: skew-aware shuffle — CRC vs load-aware fleet routing.
+
+    For each key distribution the sweep sorts the *same* seeded dataset
+    three ways: an object-storage baseline, the sharded relay fleet
+    with naive CRC-32 key routing (``rebalance=False``), and the fleet
+    with load-aware routing (the default — planned partition bytes
+    spread over the shards with a deterministic LPT assignment).  The
+    fleet uses small-NIC shards and the workers' NICs are raised via a
+    profile mutator so the *fleet side* is the exchange bottleneck —
+    the regime where routing imbalance costs wall clock.
+
+    Every row carries the output digest (routing moves bytes between
+    shards, never changes the artifact), the measured
+    ``partition_skew`` (max/mean reducer bytes — identical across rows
+    of one distribution), the post-map ``hot_shard_share`` (the
+    fraction of exchange bytes the hottest shard absorbed: ~1/shards
+    when balanced, well above it when CRC routing piles a Zipf
+    workload onto one shard), residual reservations (asserted zero by
+    the bench) and the skew-aware planner's prediction at the measured
+    skew, so the bench can check predicted-vs-actual tracking.
+    """
+    from repro.shuffle.relayplanner import (
+        predict_relay_shuffle_time,
+        resolve_relay_instance,
+    )
+    from repro.shuffle.skew import KEY_DISTRIBUTIONS
+
+    base = config if config is not None else ExperimentConfig()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    for distribution in distributions:
+        if distribution not in KEY_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown key distribution {distribution!r}; expected a "
+                f"subset of {KEY_DISTRIBUTIONS}"
+            )
+
+    def fat_workers(profile) -> None:
+        profile.faas.instance_bandwidth = worker_nic_bps
+
+    rows = []
+    for distribution in distributions:
+        cfg = dataclasses.replace(
+            base,
+            key_distribution=distribution,
+            zipf_s=zipf_s,
+            skew_distinct_keys=distinct_keys,
+            profile_mutator=fat_workers,
+        )
+
+        def run_one(strategy: str, routing: str) -> dict:
+            cloud = _fresh_cloud(cfg)
+            stage_input(cloud, cfg, "pipeline", "input/methylome.bed")
+            executor = FunctionExecutor(
+                cloud, runtime_memory_mb=cfg.function_memory_mb,
+                bucket="pipeline",
+            )
+            marker = cloud.meter.snapshot()
+            fleet = None
+            if strategy == "objectstore":
+                operator = ShuffleSort(
+                    executor, bed_record_codec(),
+                    cost=cfg.workload.shuffle_cost_model(),
+                )
+            else:
+                fleet = fleet_ready(
+                    cloud.vms, relay_instance_type, shards=shards
+                )
+                cost = cfg.workload.relay_shuffle_cost_model()
+                cost.rebalance = routing == "rebalanced"
+                operator = ShardedRelayShuffleSort(
+                    executor, bed_record_codec(), fleet, cost=cost
+                )
+
+            def driver():
+                return (
+                    yield operator.sort(
+                        "pipeline", "input/methylome.bed", workers=workers
+                    )
+                )
+
+            result = cloud.sim.run_process(driver())
+            report = operator.report
+            residual = 0.0
+            predicted_s = float("nan")
+            hot_share = 0.0
+            if fleet is not None:
+                residual = fleet.residual_reservation_bytes()
+                hot_share = report.hot_shard_share
+                # The skew-aware model, evaluated at the *measured*
+                # partition skew — what a planner that trusts its
+                # sampling pass would have predicted for this run.
+                predicted_s = predict_relay_shuffle_time(
+                    cfg.logical_bytes,
+                    workers,
+                    cloud.profile,
+                    resolve_relay_instance(cloud.profile, relay_instance_type),
+                    cfg.workload.relay_shuffle_cost_model(),
+                    shards=shards,
+                    skew=report.partition_skew,
+                ).total_s
+                fleet.terminate()
+            digest = hashlib.sha256()
+            for run in result.runs:
+                digest.update(cloud.store.peek(run.bucket, run.key))
+            return {
+                "distribution": distribution,
+                "strategy": strategy,
+                "routing": routing,
+                "workers": workers,
+                "shards": shards if fleet is not None else 0,
+                "sort_latency_s": result.duration_s,
+                "predicted_s": predicted_s,
+                "partition_skew": report.partition_skew,
+                "predicted_skew": report.predicted_partition_skew,
+                "hot_shard_share": hot_share,
+                "sort_cost_usd": cloud.meter.since(marker).total_usd,
+                "residual_bytes": residual,
+                "output_digest": digest.hexdigest()[:16],
+            }
+
+        rows.append(run_one("objectstore", "-"))
+        rows.append(run_one("sharded-relay", "crc"))
+        rows.append(run_one("sharded-relay", "rebalanced"))
+    return rows
+
+
 def sweep_exchange_pipelines(
     config: ExperimentConfig | None = None,
     sizes_gb: t.Sequence[float] = (1.0, 3.5, 7.0),

@@ -24,6 +24,7 @@ import random
 import typing as t
 
 from repro.methcomp.bed import CHROMOSOMES, MethylationRecord, serialize_records
+from repro.shuffle.skew import SkewSpec, skewed_keys
 
 #: Relative chromosome lengths (hg38-proportioned, arbitrary units).
 _CHROM_WEIGHTS: dict[str, float] = {
@@ -209,6 +210,66 @@ class MethylomeGenerator:
         return self.generate_bed(
             estimate_record_count(target_bytes), sorted_output=sorted_output
         )
+
+
+def generate_skewed_bed_bytes(
+    target_bytes: int,
+    seed: int = 0,
+    distribution: str = "zipf",
+    zipf_s: float = 1.2,
+    distinct_keys: int = 64,
+    run_length: int = 256,
+) -> bytes:
+    """A bedMethyl payload whose *genomic keys* follow a skewed law.
+
+    The uniform :class:`MethylomeGenerator` spreads records across the
+    genome in proportion to chromosome length, so range boundaries land
+    near-equal sort partitions.  This generator instead draws each
+    record's position from one of the skewed key distributions in
+    :mod:`repro.shuffle.skew` (``zipf`` popularity over a few hot loci,
+    ``heavy-dup`` duplicate sites, ``sorted-runs`` partially ordered
+    input, or ``uniform`` as the control) and maps the integer key
+    *monotonically* onto ``(chromosome, position)`` — so key-space skew
+    becomes genomic-range skew, exactly what the sort's samplers,
+    planners and the fleet's shard routing must survive.
+
+    Records stay valid bedMethyl (the full sort → encode → verify
+    pipeline runs unchanged); only where the records *sit* changes.
+    Emission order is shuffled except for ``sorted-runs``, whose runs
+    are the point.
+    """
+    count = estimate_record_count(target_bytes)
+    spec = SkewSpec(
+        distribution=distribution,
+        zipf_s=zipf_s,
+        distinct_keys=distinct_keys,
+        run_length=run_length,
+    )
+    rng = random.Random(seed)
+    keys = skewed_keys(count, spec, rng)
+    # Monotone key → (chromosome, position) map: chromosome rank is the
+    # key's high bits, the position its low bits (scaled into a
+    # realistic coordinate range), so integer-key order equals
+    # bed_sort_key order and the skew survives the mapping.
+    per_chrom = max(1, spec.key_space // len(CHROMOSOMES))
+    records = []
+    for key in keys:
+        chrom_rank = min(len(CHROMOSOMES) - 1, key // per_chrom)
+        offset = key - chrom_rank * per_chrom
+        position = 10_000 + (offset * 200_000_000) // per_chrom
+        records.append(
+            MethylationRecord(
+                chrom=CHROMOSOMES[chrom_rank],
+                start=position,
+                end=position + 2,
+                strand="+",
+                coverage=max(1, round(rng.gauss(18.0, 4.0))),
+                pct_meth=_clamp_pct(rng.gauss(72.0, 20.0)),
+            )
+        )
+    if distribution != "sorted-runs":
+        rng.shuffle(records)
+    return serialize_records(records)
 
 
 def upload_dataset(

@@ -67,10 +67,12 @@ from repro.shuffle.planner import (
 )
 from repro.shuffle.records import FixedWidthCodec, LineRecordCodec, RecordCodec
 from repro.shuffle.relay import (
+    PartitionLoadRouter,
     RelayExchange,
     RelayShuffleSort,
     ShardedRelayExchange,
     ShardedRelayShuffleSort,
+    build_rebalance_assignments,
     relay_partition_key,
     relay_shuffle_mapper,
     relay_shuffle_reducer,
@@ -87,8 +89,18 @@ from repro.shuffle.relayplanner import (
 )
 from repro.shuffle.sampler import (
     choose_boundaries,
+    choose_weighted_boundaries,
+    estimate_partition_weights,
     partition_index,
+    partition_skew_of,
     reservoir_sample,
+)
+from repro.shuffle.skew import (
+    KEY_DISTRIBUTIONS,
+    SkewSpec,
+    skewed_fixed_payload,
+    skewed_keys,
+    zipf_weights,
 )
 from repro.shuffle.streaming import (
     STREAMING_BACKENDS,
@@ -110,7 +122,9 @@ __all__ = [
     "CacheShuffleSort",
     "EXCHANGE_MODES",
     "EXCHANGE_SUBSTRATES",
+    "KEY_DISTRIBUTIONS",
     "STREAMING_BACKENDS",
+    "SkewSpec",
     "StreamConfig",
     "StreamingCacheExchange",
     "StreamingObjectStoreExchange",
@@ -121,6 +135,7 @@ __all__ = [
     "ExchangeReport",
     "ObjectStoreExchange",
     "OnlineTuner",
+    "PartitionLoadRouter",
     "ProbeReport",
     "RelayExchange",
     "RelayShuffleCostModel",
@@ -130,6 +145,7 @@ __all__ = [
     "ShardedRelayShuffleSort",
     "SubstrateDecision",
     "SubstrateEstimate",
+    "build_rebalance_assignments",
     "choose_exchange_substrate",
     "fit_profile",
     "plan_relay_shuffle",
@@ -164,11 +180,17 @@ __all__ = [
     "SortedRun",
     "shuffle_group_reducer",
     "choose_boundaries",
+    "choose_weighted_boundaries",
+    "estimate_partition_weights",
     "partition_index",
+    "partition_skew_of",
     "plan_shuffle",
     "predict_shuffle_time",
     "predict_streaming_shuffle_time",
     "reservoir_sample",
+    "skewed_fixed_payload",
+    "skewed_keys",
+    "zipf_weights",
     "shuffle_mapper",
     "shuffle_reducer",
     "shuffle_sampler",

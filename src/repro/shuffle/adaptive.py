@@ -317,6 +317,9 @@ class SubstrateDecision:
 
     chosen: SubstrateEstimate
     estimates: tuple[SubstrateEstimate, ...]
+    #: Max-over-mean partition bytes the estimates were priced with
+    #: (1.0 = balanced; the straggler term of every candidate model).
+    partition_skew: float = 1.0
 
     @property
     def substrate(self) -> str:
@@ -324,6 +327,8 @@ class SubstrateDecision:
 
     def describe(self) -> str:
         lines = []
+        if self.partition_skew > 1.0:
+            lines.append(f"priced at partition skew {self.partition_skew:.2f}x")
         for estimate in self.estimates:
             marker = "->" if estimate is self.chosen else "  "
             if not estimate.feasible:
@@ -358,6 +363,7 @@ def choose_exchange_substrate(
     substrates: t.Sequence[str] | None = None,
     modes: t.Sequence[str] = ("staged",),
     stream_chunk_bytes: float = 32 * (1 << 20),
+    partition_skew: float = 1.0,
     shuffle_cost: ShuffleCostModel | None = None,
     cache_cost: CacheShuffleCostModel | None = None,
     relay_cost: RelayShuffleCostModel | None = None,
@@ -413,6 +419,15 @@ def choose_exchange_substrate(
     (object storage always wins); large values buy latency with
     provisioned hardware.
 
+    ``partition_skew`` is the expected max-over-mean partition bytes of
+    the workload (1.0 = uniform keys).  Every candidate model prices
+    its straggler reducer with it, and because the substrates expose
+    different shares of their runtime to that reducer — the hot
+    reducer's fetch crosses a function NIC on object storage but an
+    in-VPC relay NIC on the relay family — a skewed workload can pick a
+    *different* substrate, mode, worker count or shard count than the
+    uniform workload of the same total bytes.
+
     ``shuffle_cost``/``cache_cost``/``relay_cost`` supply the
     workload-side throughput constants per substrate (defaults:
     library-default cost models).  Callers that will *execute* the
@@ -429,6 +444,10 @@ def choose_exchange_substrate(
     if max_relay_shards < 1:
         raise ShuffleError(
             f"max_relay_shards must be >= 1, got {max_relay_shards}"
+        )
+    if partition_skew < 1.0:
+        raise ShuffleError(
+            f"partition_skew must be >= 1 (max/mean), got {partition_skew}"
         )
     wanted = tuple(substrates) if substrates is not None else EXCHANGE_SUBSTRATES
     for name in wanted:
@@ -540,12 +559,13 @@ def choose_exchange_substrate(
                 plan_relay_shuffle(
                     logical_bytes, profile, instance_type.name, relay_cost,
                     max_workers=max_workers, shards=shards,
+                    skew=partition_skew,
                 ).curve
             )
         return [
             predict_relay_shuffle_time(
                 logical_bytes, workers, profile, instance_type, relay_cost,
-                shards=shards,
+                shards=shards, skew=partition_skew,
             )
         ]
 
@@ -555,12 +575,16 @@ def choose_exchange_substrate(
         if workers is None:
             cos_points = list(
                 plan_shuffle(
-                    logical_bytes, profile, cos_cost, max_workers=max_workers
+                    logical_bytes, profile, cos_cost, max_workers=max_workers,
+                    skew=partition_skew,
                 ).curve
             )
         else:
             cos_points = [
-                predict_shuffle_time(logical_bytes, workers, profile, cos_cost)
+                predict_shuffle_time(
+                    logical_bytes, workers, profile, cos_cost,
+                    skew=partition_skew,
+                )
             ]
         add_modes("objectstore", cos_points, lambda _s: 0.0)
 
@@ -573,13 +597,14 @@ def choose_exchange_substrate(
             cache_points = list(
                 plan_cache_shuffle(
                     logical_bytes, profile, cache_node_type, nodes, cache_cost,
-                    max_workers=max_workers,
+                    max_workers=max_workers, skew=partition_skew,
                 ).curve
             )
         else:
             cache_points = [
                 predict_cache_shuffle_time(
-                    logical_bytes, workers, profile, node_type, nodes, cache_cost
+                    logical_bytes, workers, profile, node_type, nodes,
+                    cache_cost, skew=partition_skew,
                 )
             ]
 
@@ -694,4 +719,6 @@ def choose_exchange_substrate(
             mode_order.get(estimate.mode, 0),
         ),
     )
-    return SubstrateDecision(chosen=chosen, estimates=tuple(estimates))
+    return SubstrateDecision(
+        chosen=chosen, estimates=tuple(estimates), partition_skew=partition_skew
+    )

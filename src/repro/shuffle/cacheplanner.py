@@ -46,6 +46,9 @@ class CacheShuffleCostModel:
     sample_keys: int = 512
     #: Delete partitions from the cache after the reduce reads them.
     cleanup: bool = False
+    #: Expected max-over-mean partition bytes (straggler-reducer term;
+    #: 1.0 = balanced key distribution).
+    expected_skew: float = 1.0
 
 
 def predict_cache_shuffle_time(
@@ -55,12 +58,22 @@ def predict_cache_shuffle_time(
     node_type: CacheNodeType,
     nodes: int,
     cost: CacheShuffleCostModel,
+    skew: float | None = None,
 ) -> PlanPoint:
-    """Evaluate the cache-shuffle analytic model at one worker count."""
+    """Evaluate the cache-shuffle analytic model at one worker count.
+
+    ``skew`` is the expected max-over-mean partition bytes (default:
+    ``cost.expected_skew``); the straggler reducer's fetch transfer,
+    sort CPU and output write scale by it (the map side reads byte-even
+    splits and is unaffected).
+    """
     if workers < 1:
         raise ShuffleError(f"workers must be >= 1, got {workers}")
     if nodes < 1:
         raise ShuffleError(f"nodes must be >= 1, got {nodes}")
+    skew = cost.expected_skew if skew is None else skew
+    if skew < 1.0:
+        raise ShuffleError(f"skew must be >= 1 (max/mean), got {skew}")
     size = float(logical_bytes)
     store = profile.objectstore
     faas = profile.faas
@@ -87,12 +100,15 @@ def predict_cache_shuffle_time(
     batch_latency_r = min(workers, nodes) * cache.read_latency.mean
     ops_floor = (workers * workers) / (nodes * cache.ops_per_node)
     map_write = max(batch_latency_w + cache_transfer, ops_floor)
-    reduce_fetch = max(batch_latency_r + cache_transfer, ops_floor)
+    straggler = per_worker * skew
+    reduce_fetch = max(
+        batch_latency_r + max(straggler / cache_bw, size / cluster_bw), ops_floor
+    )
 
-    sort_cpu = per_worker / cost.sort_throughput
+    sort_cpu = straggler / cost.sort_throughput
     # Sorted runs land back in object storage for the encode stage.
     reduce_write = (
-        max(per_worker / instance_bw, size / store.aggregate_bandwidth)
+        max(straggler / instance_bw, size / store.aggregate_bandwidth)
         + store.write_latency.mean
     )
     driver = 3.0 * workers * (store.write_latency.mean + store.read_latency.mean)
@@ -118,6 +134,7 @@ def plan_cache_shuffle(
     cost: CacheShuffleCostModel | None = None,
     max_workers: int = 256,
     candidates: t.Sequence[int] | None = None,
+    skew: float | None = None,
 ) -> ShufflePlan:
     """Pick the worker count minimizing predicted cache-shuffle time."""
     if logical_bytes <= 0:
@@ -137,7 +154,7 @@ def plan_cache_shuffle(
         raise ShuffleError("empty candidate worker set")
     curve = tuple(
         predict_cache_shuffle_time(
-            logical_bytes, workers, profile, node_type, nodes, cost
+            logical_bytes, workers, profile, node_type, nodes, cost, skew=skew
         )
         for workers in sorted(set(pool))
     )

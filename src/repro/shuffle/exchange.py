@@ -86,6 +86,12 @@ class ExchangeReport:
     #: Peak logical bytes parked in reducer-side stream buffers (0 for
     #: staged sorts, which fetch everything in one batch).
     buffer_high_watermark_bytes: float = 0.0
+    #: Max-over-mean reducer output bytes, measured on the sorted runs
+    #: (1.0 is perfectly balanced).  Uniform across substrates — the
+    #: same dataset and boundaries must report the same skew whichever
+    #: substrate carried the exchange — so sweeps can contrast the
+    #: skew-aware planner's straggler term with what actually happened.
+    partition_skew: float = 1.0
     #: Substrate-specific metadata (fill fractions, request counters...).
     extra: dict[str, t.Any] = dataclasses.field(default_factory=dict)
 
@@ -110,6 +116,7 @@ class ExchangeReport:
             "provisioned_usd": self.provisioned_usd,
             "overlap_s": self.overlap_s,
             "buffer_high_watermark_bytes": self.buffer_high_watermark_bytes,
+            "partition_skew": self.partition_skew,
         }
         for key, value in self.extra.items():
             out.setdefault(key, value)
@@ -181,6 +188,16 @@ class ExchangeBackend(abc.ABC):
     ) -> dict:
         """Build one reducer payload (may consult the map results)."""
 
+    def on_boundaries(
+        self, boundaries: t.Sequence[t.Any], predicted_partition_bytes: t.Sequence[float]
+    ) -> None:
+        """Hook after boundary selection, before any exchange traffic.
+
+        ``predicted_partition_bytes`` is the sample-based load estimate
+        per partition (logical bytes).  The sharded relay fleet uses it
+        to install load-aware shard routing; the default is a no-op.
+        """
+
     def on_map_done(self, map_results: list[dict]) -> None:
         """Hook between the map and reduce waves (e.g. record peak fill)."""
 
@@ -204,13 +221,15 @@ class ExchangeBackend(abc.ABC):
         duration_s: float,
         overlap_s: float = 0.0,
         buffer_high_watermark_bytes: float = 0.0,
+        partition_skew: float = 1.0,
         extra: dict[str, t.Any] | None = None,
     ) -> ExchangeReport:
         """The uniform per-sort report; backends customize via the
         hooks above rather than overriding this.  The operator passes
-        the wave-overlap and buffer observations it alone can measure
-        (zero for staged sorts); ``extra`` adds operator-side metadata
-        on top of :meth:`extra_report` (operator keys win)."""
+        the wave-overlap, buffer and partition-skew observations it
+        alone can measure (overlap/buffers are zero for staged sorts);
+        ``extra`` adds operator-side metadata on top of
+        :meth:`extra_report` (operator keys win)."""
         billed_s = max(duration_s, self.minimum_billed_s())
         merged: dict[str, t.Any] = {"mode": self.mode}
         merged.update(self.extra_report())
@@ -224,6 +243,7 @@ class ExchangeBackend(abc.ABC):
             provisioned_usd=self.provisioned_rate_usd_per_s() * billed_s,
             overlap_s=overlap_s,
             buffer_high_watermark_bytes=buffer_high_watermark_bytes,
+            partition_skew=partition_skew,
             extra=merged,
         )
 

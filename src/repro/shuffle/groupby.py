@@ -21,7 +21,7 @@ from repro.errors import ShuffleError
 from repro.shuffle.operator import _split
 from repro.shuffle.planner import ShuffleCostModel, plan_shuffle
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.sampler import choose_boundaries
+from repro.shuffle.sampler import choose_weighted_boundaries
 from repro.shuffle.stages import shuffle_mapper, shuffle_sampler
 from repro.sim import SimEvent
 from repro.storage import paths
@@ -229,7 +229,7 @@ class ShuffleGroupBy:
         pooled = [k for result in sample_results for k in result["keys"]]
         if not pooled:
             raise ShuffleError(f"sampling found no records in {bucket}/{key}")
-        boundaries = choose_boundaries(pooled, workers)
+        boundaries = choose_weighted_boundaries(pooled, workers)
 
         # --- map ---------------------------------------------------------
         map_tasks = [

@@ -32,7 +32,11 @@ from repro.errors import ShuffleError
 from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
 from repro.shuffle.planner import ShuffleCostModel, ShufflePlan
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.sampler import choose_boundaries
+from repro.shuffle.sampler import (
+    choose_weighted_boundaries,
+    estimate_partition_weights,
+    partition_skew_of,
+)
 from repro.shuffle.stages import shuffle_sampler
 from repro.sim import SimEvent
 
@@ -103,6 +107,10 @@ class ShuffleSort:
         #: Uniform :class:`~repro.shuffle.exchange.ExchangeReport` of the
         #: last sort (``None`` until a sort completed).
         self.report = None
+        #: Sample-based per-partition logical-byte estimate of the last
+        #: sort's load profile (set by the sampling pass; the skew
+        #: signal behind load-aware fleet routing and the reports).
+        self.predicted_partition_bytes: tuple[float, ...] = ()
 
     # ------------------------------------------------------------------
     def sort(
@@ -165,9 +173,26 @@ class ShuffleSort:
         return plan, workers
 
     def _sample(
-        self, bucket: str, key: str, real_size: int, workers: int, samplers: int
+        self,
+        bucket: str,
+        key: str,
+        real_size: int,
+        logical_size: float,
+        workers: int,
+        samplers: int,
     ) -> t.Generator:
-        """Run the sampler wave and pick the range boundaries."""
+        """Run the sampler wave, pick boundaries, estimate partition load.
+
+        Boundaries come from the duplicate-aware weighted mode
+        (:func:`~repro.shuffle.sampler.choose_weighted_boundaries`), so
+        heavy-duplicate and Zipf inputs degrade to "one hot key per
+        reducer" instead of collapsing whole key neighbourhoods onto
+        one.  The same pooled sample yields the per-partition
+        predicted-bytes profile, handed to the backend
+        (:meth:`~repro.shuffle.exchange.ExchangeBackend.on_boundaries`)
+        before any exchange traffic — the fleet rebalances its shard
+        routing on it.
+        """
         sampler_count = max(1, min(samplers, workers))
         sample_splits = _split(real_size, sampler_count)
         window = _sample_window_bytes(real_size, sampler_count, self.cost.sample_bytes)
@@ -190,7 +215,13 @@ class ShuffleSort:
         pooled_keys = [k for result in sample_results for k in result["keys"]]
         if not pooled_keys:
             raise ShuffleError(f"sampling found no records in {bucket}/{key}")
-        return choose_boundaries(pooled_keys, workers)
+        boundaries = choose_weighted_boundaries(pooled_keys, workers)
+        weights = estimate_partition_weights(pooled_keys, boundaries)
+        self.predicted_partition_bytes = tuple(
+            weight * logical_size for weight in weights
+        )
+        self.backend.on_boundaries(boundaries, self.predicted_partition_bytes)
+        return boundaries
 
     def _map_tasks(
         self,
@@ -268,7 +299,7 @@ class ShuffleSort:
             meta.logical_size, pinned_workers, max_workers
         )
         boundaries = yield from self._sample(
-            bucket, key, real_size, workers, samplers
+            bucket, key, real_size, meta.logical_size, workers, samplers
         )
         job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
 
@@ -306,7 +337,15 @@ class ShuffleSort:
             map_results, reduce_results, out_bucket
         )
         self.report = self.backend.report(
-            workers, plan, self.sim.now - started_at
+            workers,
+            plan,
+            self.sim.now - started_at,
+            partition_skew=partition_skew_of([run.size_bytes for run in runs]),
+            extra={
+                "predicted_partition_skew": partition_skew_of(
+                    self.predicted_partition_bytes
+                ),
+            },
         )
         return ShuffleResult(
             runs=runs,

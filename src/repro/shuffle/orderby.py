@@ -25,7 +25,7 @@ from repro.errors import ShuffleError
 from repro.shuffle.operator import SortedRun, _sample_window_bytes, _split
 from repro.shuffle.planner import ShuffleCostModel
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.sampler import choose_boundaries
+from repro.shuffle.sampler import choose_weighted_boundaries
 from repro.shuffle.stages import shuffle_mapper, shuffle_reducer, shuffle_sampler
 from repro.sim import SimEvent
 from repro.storage import paths
@@ -225,7 +225,7 @@ class ShuffleOrderBy:
         pooled_keys = [k for result in sample_results for k in result["keys"]]
         if not pooled_keys:
             raise ShuffleError(f"sampling found no records in {bucket}/{key}")
-        boundaries = choose_boundaries(pooled_keys, workers)
+        boundaries = choose_weighted_boundaries(pooled_keys, workers)
 
         # --- map ---------------------------------------------------------
         map_splits = _split(real_size, workers)

@@ -65,6 +65,9 @@ class ShuffleCostModel:
     sample_bytes: int = 256 * 1024
     #: Number of key samples kept per sampler.
     sample_keys: int = 512
+    #: Expected max-over-mean partition bytes (straggler-reducer term;
+    #: 1.0 = balanced key distribution).
+    expected_skew: float = 1.0
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -96,10 +99,21 @@ def predict_shuffle_time(
     workers: int,
     profile: CloudProfile,
     cost: ShuffleCostModel,
+    skew: float | None = None,
 ) -> PlanPoint:
-    """Evaluate the analytic model at one worker count."""
+    """Evaluate the analytic model at one worker count.
+
+    ``skew`` is the expected max-over-mean partition bytes (default:
+    ``cost.expected_skew``).  Input splits stay byte-even under any key
+    distribution, so the map side is unaffected; the reduce side is
+    paced by the straggler owning the hottest partition, whose fetch
+    transfer, sort CPU and output write scale by ``skew``.
+    """
     if workers < 1:
         raise ShuffleError(f"workers must be >= 1, got {workers}")
+    skew = cost.expected_skew if skew is None else skew
+    if skew < 1.0:
+        raise ShuffleError(f"skew must be >= 1 (max/mean), got {skew}")
     size = float(logical_bytes)
     store = profile.objectstore
     faas = profile.faas
@@ -116,12 +130,16 @@ def predict_shuffle_time(
 
     batches = -(-workers // max(1, cost.fetch_parallelism))  # ceil division
     fetch_latency = batches * store.read_latency.mean
-    fetch_transfer = bandwidth_bound
+    straggler = per_worker * skew
+    fetch_transfer = max(straggler / instance_bw, size / aggregate_bw)
     ops_floor = (workers * workers) / store.ops_per_second
     reduce_fetch = max(fetch_latency + fetch_transfer, ops_floor)
 
-    sort_cpu = per_worker / cost.sort_throughput
-    reduce_write = bandwidth_bound + store.write_latency.mean
+    sort_cpu = straggler / cost.sort_throughput
+    reduce_write = (
+        max(straggler / instance_bw, size / aggregate_bw)
+        + store.write_latency.mean
+    )
     driver = 3.0 * workers * (store.write_latency.mean + store.read_latency.mean)
 
     breakdown = {
@@ -192,12 +210,14 @@ def plan_shuffle(
     cost: ShuffleCostModel | None = None,
     max_workers: int = 256,
     candidates: t.Sequence[int] | None = None,
+    skew: float | None = None,
 ) -> ShufflePlan:
     """Pick the worker count minimizing predicted shuffle time.
 
     ``candidates`` defaults to every integer in ``[1, max_workers]``;
     pass an explicit sequence (e.g. powers of two) to restrict the
-    search the way Primula's on-the-fly heuristic does.
+    search the way Primula's on-the-fly heuristic does.  ``skew``
+    prices the straggler reducer (see :func:`predict_shuffle_time`).
     """
     if logical_bytes <= 0:
         raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
@@ -206,7 +226,7 @@ def plan_shuffle(
     if not pool:
         raise ShuffleError("empty candidate worker set")
     curve = tuple(
-        predict_shuffle_time(logical_bytes, workers, profile, cost)
+        predict_shuffle_time(logical_bytes, workers, profile, cost, skew=skew)
         for workers in sorted(set(pool))
     )
     best = min(curve, key=lambda point: (point.total_s, point.workers))

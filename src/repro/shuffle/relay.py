@@ -27,12 +27,14 @@ storage.
 
 from __future__ import annotations
 
+import re
 import typing as t
 
 from repro.cloud.profiles import CloudProfile
 from repro.cloud.vm.fleet import RelayFleet
 from repro.cloud.vm.relay import PartitionRelay
 from repro.errors import ShuffleError
+from repro.executor.partitioner import assign_balanced
 from repro.shuffle.exchange import ExchangeBackend
 from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import ShufflePlan
@@ -49,6 +51,81 @@ from repro.storage import paths
 def relay_partition_key(prefix: str, mapper_id: int, reducer_id: int) -> str:
     """Relay key of mapper ``mapper_id``'s segment for reducer ``reducer_id``."""
     return f"{prefix}/m{mapper_id:05d}.r{reducer_id:05d}"
+
+
+#: Shuffle-layout key token shared by the staged keys
+#: (``.../m00001.r00002``) and the streaming segment keys
+#: (``.../m00001.r00002.c00003``); header/EOS keys carry no ``.r`` and
+#: fall through to the fleet's CRC hash.  Anchored to the key *tail* so
+#: a caller-supplied out_prefix that happens to contain an ``m1.r2``
+#: substring cannot hijack the routing of every key under it.
+_RELAY_KEY_TOKEN = re.compile(r"m(\d+)\.r(\d+)(?:\.c\d+)?$")
+
+
+class PartitionLoadRouter:
+    """Routes shuffle relay keys to fleet shards by planned load.
+
+    ``assignments[mapper][reducer]`` is the shard index of that
+    (mapper, reducer) segment — a pure lookup, so routing stays
+    identical across mappers, reducers, retries and speculative
+    attempts (the rendezvous requirement).  Keys outside the matrix, or
+    without the shuffle's ``m.r`` token (stream headers), return
+    ``None`` and fall back to the fleet's CRC hash.
+    """
+
+    def __init__(self, assignments: t.Sequence[t.Sequence[int]]):
+        if not assignments:
+            raise ShuffleError("rebalance assignments must not be empty")
+        self.assignments: tuple[tuple[int, ...], ...] = tuple(
+            tuple(row) for row in assignments
+        )
+
+    def __call__(self, key: str) -> int | None:
+        match = _RELAY_KEY_TOKEN.search(key)
+        if match is None:
+            return None
+        mapper, reducer = int(match.group(1)), int(match.group(2))
+        if mapper >= len(self.assignments):
+            return None
+        row = self.assignments[mapper]
+        if reducer >= len(row):
+            return None
+        return row[reducer]
+
+
+def build_rebalance_assignments(
+    predicted_partition_bytes: t.Sequence[float], workers: int, shards: int
+) -> tuple[tuple[int, ...], ...]:
+    """LPT shard placement of every (mapper, reducer) segment.
+
+    Input splits are byte-even, so mapper ``i``'s segment for reducer
+    ``j`` is expected to carry ``predicted_partition_bytes[j] /
+    workers`` — a hot partition's segments are individually heavy but
+    *divisible across mappers*, which is exactly the freedom the
+    balanced assignment exploits: the W² weighted segments are placed
+    with :func:`~repro.executor.partitioner.assign_balanced`, spreading
+    the hot partition's traffic over every shard NIC instead of letting
+    the hash land it wherever.
+    """
+    if workers < 1:
+        raise ShuffleError(f"workers must be >= 1, got {workers}")
+    if shards < 1:
+        raise ShuffleError(f"shards must be >= 1, got {shards}")
+    if len(predicted_partition_bytes) != workers:
+        raise ShuffleError(
+            f"expected one predicted size per partition ({workers}), got "
+            f"{len(predicted_partition_bytes)}"
+        )
+    weights = [
+        predicted_partition_bytes[reducer] / workers
+        for _mapper in range(workers)
+        for reducer in range(workers)
+    ]
+    flat = assign_balanced(weights, shards)
+    return tuple(
+        tuple(flat[mapper * workers : (mapper + 1) * workers])
+        for mapper in range(workers)
+    )
 
 
 def relay_shuffle_mapper(ctx, task: dict) -> t.Generator:
@@ -164,6 +241,13 @@ class RelayExchange(ExchangeBackend):
 
     def validate(self, logical_size: float) -> None:
         self.relay.ensure_running()
+        if isinstance(self.relay, RelayFleet):
+            # Any relay exchange over a fleet starts from hash routing:
+            # a rebalance map a *previous* sort installed (possibly for
+            # a different worker grid and load profile) must never leak
+            # into this one.  ShardedRelayExchange re-installs its own
+            # map in on_boundaries, after sampling.
+            self.relay.set_router(None)
         if logical_size > self.relay.capacity_bytes:
             raise ShuffleError(
                 f"shuffle data ({logical_size:.0f} logical bytes) exceeds "
@@ -313,6 +397,17 @@ class ShardedRelayExchange(RelayExchange):
     indirection — but planned and priced as N instances, and reported
     as its own substrate so sweeps can contrast it with the single
     relay's NIC ceiling.
+
+    **Load-aware shard routing** (``cost.rebalance``, on by default):
+    once the sampling pass has estimated each partition's bytes, the
+    exchange installs a :class:`PartitionLoadRouter` on the fleet that
+    places every (mapper, reducer) segment with a deterministic LPT
+    assignment over those planned bytes, so a Zipf-hot partition's
+    traffic is spread across the shard NICs instead of landing wherever
+    CRC-32 happens to put it.  The assignment is recorded in the
+    uniform report (``rebalanced``, ``hot_shard_share``,
+    ``shard_bytes``) and kept on :attr:`rebalance_assignments` for
+    inspection.
     """
 
     name = "sharded-relay"
@@ -327,6 +422,52 @@ class ShardedRelayExchange(RelayExchange):
             )
         super().__init__(fleet, cost)
         self.fleet = fleet
+        #: ``assignments[mapper][reducer]`` of the last rebalanced sort
+        #: (``None`` while routing falls back to the CRC hash).
+        self.rebalance_assignments: tuple[tuple[int, ...], ...] | None = None
+        self._post_map_shard_bytes: tuple[float, ...] = ()
+
+    def validate(self, logical_size: float) -> None:
+        # Per-sort routing state: the base validate already cleared the
+        # fleet's router; no traffic flows before on_boundaries
+        # installs this sort's map, so the window is safe.
+        super().validate(logical_size)
+        self.rebalance_assignments = None
+        self._post_map_shard_bytes = ()
+
+    def on_boundaries(
+        self,
+        boundaries: t.Sequence[t.Any],
+        predicted_partition_bytes: t.Sequence[float],
+    ) -> None:
+        if not self.cost.rebalance or self.fleet.shard_count < 2:
+            return
+        workers = len(predicted_partition_bytes)
+        self.rebalance_assignments = build_rebalance_assignments(
+            predicted_partition_bytes, workers, self.fleet.shard_count
+        )
+        self.fleet.set_router(PartitionLoadRouter(self.rebalance_assignments))
+
+    def on_map_done(self, map_results: list[dict]) -> None:
+        # Post-map-wave shard fill: the direct observable of routing
+        # imbalance.  Every published partition byte is resident at
+        # this point in both modes: staged reducers have not started
+        # (consume-mode deletion happens in the reduce wave, after this
+        # snapshot), and streaming reducers read via the rendezvous
+        # pull_wait, which never consumes.
+        self._post_map_shard_bytes = tuple(
+            shard.entry_bytes for shard in self.fleet.shards
+        )
+
+    def extra_report(self) -> dict:
+        out = super().extra_report()
+        out["rebalanced"] = self.rebalance_assignments is not None
+        total = sum(self._post_map_shard_bytes)
+        out["hot_shard_share"] = (
+            max(self._post_map_shard_bytes) / total if total > 0 else 0.0
+        )
+        out["shard_bytes"] = self._post_map_shard_bytes
+        return out
 
 
 class ShardedRelayShuffleSort(ShuffleSort):

@@ -85,6 +85,15 @@ class RelayShuffleCostModel:
     #: collapse to the smallest such fleet (diminishing-returns cutoff
     #: of the ``shards=None`` search).
     shard_convergence: float = 0.02
+    #: Expected max-over-mean partition bytes (the straggler term's
+    #: default when the caller has no better estimate; 1.0 = balanced).
+    expected_skew: float = 1.0
+    #: Route fleet shards by planned partition bytes instead of raw
+    #: CRC (``ShardedRelayExchange``): the sampling pass's load profile
+    #: is balanced across shard NICs/memory with a deterministic LPT
+    #: assignment.  Disable to measure the naive hash routing S11
+    #: contrasts it with.
+    rebalance: bool = True
 
 
 def predict_relay_shuffle_time(
@@ -94,6 +103,7 @@ def predict_relay_shuffle_time(
     instance_type: InstanceType,
     cost: RelayShuffleCostModel,
     shards: int = 1,
+    skew: float | None = None,
 ) -> PlanPoint:
     """Evaluate the relay-shuffle analytic model at one worker count.
 
@@ -101,11 +111,23 @@ def predict_relay_shuffle_time(
     identical instances: the all-to-all aggregates N instance NICs and
     N request loops, while each worker stays bounded by its own NIC
     (its fan-out sub-flows share the function's line rate).
+
+    ``skew`` is the expected max-over-mean partition bytes (default:
+    ``cost.expected_skew``).  Input splits are byte-even whatever the
+    key distribution, so the map side is unaffected; the *reduce* side
+    is paced by the straggler that owns the hottest partition — its
+    fetch transfer, sort CPU and output write all scale by ``skew``.
+    The fleet NIC term stays aggregate: load-aware rebalancing (the
+    ``ShardedRelayExchange`` default) spreads the hot partition's
+    segments across shard NICs.
     """
     if workers < 1:
         raise ShuffleError(f"workers must be >= 1, got {workers}")
     if shards < 1:
         raise ShuffleError(f"shards must be >= 1, got {shards}")
+    skew = cost.expected_skew if skew is None else skew
+    if skew < 1.0:
+        raise ShuffleError(f"skew must be >= 1 (max/mean), got {skew}")
     size = float(logical_bytes)
     store = profile.objectstore
     faas = profile.faas
@@ -135,12 +157,15 @@ def predict_relay_shuffle_time(
     request = vm.relay_request_latency.mean
     ops_floor = (workers * workers) / (shards * vm.relay_ops_per_second)
     map_write = max(request + relay_transfer, ops_floor)
-    reduce_fetch = max(request + relay_transfer, ops_floor)
+    straggler = per_worker * skew
+    reduce_fetch = max(
+        request + max(straggler / relay_conn_bw, size / relay_nic), ops_floor
+    )
 
-    sort_cpu = per_worker / cost.sort_throughput
+    sort_cpu = straggler / cost.sort_throughput
     # Sorted runs land back in object storage for the encode stage.
     reduce_write = (
-        max(per_worker / instance_bw, size / store.aggregate_bandwidth)
+        max(straggler / instance_bw, size / store.aggregate_bandwidth)
         + store.write_latency.mean
     )
     driver = 3.0 * workers * (store.write_latency.mean + store.read_latency.mean)
@@ -196,6 +221,7 @@ def plan_relay_shuffle(
     shards: int | None = 1,
     min_shards: int = 1,
     max_shards: int = 8,
+    skew: float | None = None,
 ) -> RelayShufflePlan:
     """Pick ``(workers, shards)`` minimizing predicted relay-shuffle time.
 
@@ -204,7 +230,8 @@ def plan_relay_shuffle(
     worker count and returns the *smallest* fleet whose best time is
     within ``cost.shard_convergence`` of the global optimum — once the
     worker NICs (not the fleet NIC) bound the exchange, extra shards
-    only cost money.
+    only cost money.  ``skew`` prices the straggler reducer (see
+    :func:`predict_relay_shuffle_time`).
     """
     if logical_bytes <= 0:
         raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
@@ -228,7 +255,8 @@ def plan_relay_shuffle(
     curves: dict[int, tuple[PlanPoint, ...]] = {
         n: tuple(
             predict_relay_shuffle_time(
-                logical_bytes, workers, profile, instance_type, cost, shards=n
+                logical_bytes, workers, profile, instance_type, cost,
+                shards=n, skew=skew,
             )
             for workers in sorted(set(pool))
         )

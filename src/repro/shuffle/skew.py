@@ -1,0 +1,158 @@
+"""Skewed shuffle workloads: Zipf, heavy-duplicate and sorted-runs keys.
+
+Every sweep historically sorted uniform random keys, so range
+boundaries landed near-equal partitions and the fleet's hash routing
+never saw a hot shard.  Real pipelines are not so kind: key popularity
+is Zipf-ish, ETL inputs arrive in partially sorted runs, and duplicate
+keys are indivisible — a reducer owns *all* of a key's records, however
+hot the key.  This module is the single place the repository generates
+such workloads:
+
+* :class:`SkewSpec` — the distribution knobs, shared by the fixed-width
+  payload builders here, the bedMethyl dataset generator
+  (:func:`repro.methcomp.datagen.generate_skewed_bed_bytes`) and the
+  experiment harness (``ExperimentConfig.key_distribution``);
+* :func:`skewed_keys` — a deterministic stream of integer keys drawn
+  from the spec's distribution;
+* :func:`skewed_fixed_payload` — ready-to-shuffle fixed-width records
+  (``FixedWidthCodec(record_size=16, key_bytes=8)``) for the parity,
+  chaos and routing tests.
+
+Distributions (``KEY_DISTRIBUTIONS``):
+
+``uniform``
+    Independent keys uniform over the key space — the historical
+    baseline every other distribution is contrasted with.
+``zipf``
+    ``distinct_keys`` duplicate values whose frequencies follow a
+    Zipf(``zipf_s``) law over popularity rank.  The rank→key mapping is
+    a deterministic shuffle of evenly spread values, so the hot keys
+    land in different parts of the key space instead of piling up at
+    zero.  Duplicates are the point: a hot key's mass cannot be split
+    by better boundaries, so it stresses routing and the straggler
+    term, not just the sampler.
+``heavy-dup``
+    ``distinct_keys`` duplicate values with *uniform* frequencies —
+    boundary-duplication stress without rank skew.
+``sorted-runs``
+    Uniform keys pre-sorted in runs of ``run_length`` — the
+    partially-ordered input shape of incremental ETL.  Key mass is
+    uniform but each input split covers few ranges, so per-(mapper,
+    partition) segment sizes are extremely uneven.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+import typing as t
+
+from repro.errors import ShuffleError
+
+#: Key distributions understood by :func:`skewed_keys` (and everything
+#: built on it: dataset stages, ``ExperimentConfig``, the S11 sweep).
+KEY_DISTRIBUTIONS = ("uniform", "zipf", "heavy-dup", "sorted-runs")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SkewSpec:
+    """Knobs of a skewed key workload."""
+
+    #: One of :data:`KEY_DISTRIBUTIONS`.
+    distribution: str = "zipf"
+    #: Zipf exponent (``zipf`` only): frequency of rank ``r`` is
+    #: proportional to ``1 / r**zipf_s``.  Larger is hotter.
+    zipf_s: float = 1.2
+    #: Distinct key values of the duplicate-heavy distributions
+    #: (``zipf``/``heavy-dup``).
+    distinct_keys: int = 64
+    #: Ascending-run length of ``sorted-runs``.
+    run_length: int = 256
+    #: Keys are integers in ``[0, key_space)``.
+    key_space: int = 1 << 48
+
+    def validate(self) -> None:
+        if self.distribution not in KEY_DISTRIBUTIONS:
+            raise ShuffleError(
+                f"unknown key distribution {self.distribution!r}; expected "
+                f"one of {KEY_DISTRIBUTIONS}"
+            )
+        if self.zipf_s <= 0:
+            raise ShuffleError(f"zipf_s must be positive, got {self.zipf_s}")
+        if self.distinct_keys < 1:
+            raise ShuffleError(
+                f"distinct_keys must be >= 1, got {self.distinct_keys}"
+            )
+        if self.run_length < 1:
+            raise ShuffleError(f"run_length must be >= 1, got {self.run_length}")
+        if self.key_space < 1:
+            raise ShuffleError(f"key_space must be >= 1, got {self.key_space}")
+
+
+def zipf_weights(count: int, exponent: float) -> list[float]:
+    """Normalized Zipf frequencies for ranks ``1..count``."""
+    if count < 1:
+        raise ShuffleError(f"count must be >= 1, got {count}")
+    if exponent <= 0:
+        raise ShuffleError(f"exponent must be positive, got {exponent}")
+    raw = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def _spread_values(distinct: int, key_space: int, rng: random.Random) -> list[int]:
+    """``distinct`` evenly spread key values in rank order.
+
+    Values are spaced across the key space (so range boundaries can
+    separate them) and then deterministically shuffled, so popularity
+    rank is independent of key *order* — the hot key is somewhere in
+    the middle of the range, as in real data, not always the minimum.
+    """
+    step = max(1, key_space // distinct)
+    values = [(index * step + step // 2) % key_space for index in range(distinct)]
+    rng.shuffle(values)
+    return values
+
+
+def skewed_keys(count: int, spec: SkewSpec, rng: random.Random) -> list[int]:
+    """``count`` integer keys drawn from the spec's distribution."""
+    spec.validate()
+    if count < 0:
+        raise ShuffleError(f"count must be >= 0, got {count}")
+    if spec.distribution == "uniform":
+        return [rng.randrange(spec.key_space) for _ in range(count)]
+    if spec.distribution == "zipf":
+        values = _spread_values(spec.distinct_keys, spec.key_space, rng)
+        cumulative = list(
+            itertools.accumulate(zipf_weights(spec.distinct_keys, spec.zipf_s))
+        )
+        return rng.choices(values, cum_weights=cumulative, k=count)
+    if spec.distribution == "heavy-dup":
+        values = _spread_values(spec.distinct_keys, spec.key_space, rng)
+        return [values[rng.randrange(spec.distinct_keys)] for _ in range(count)]
+    # sorted-runs: uniform mass, locally ascending order.
+    keys = [rng.randrange(spec.key_space) for _ in range(count)]
+    for start in range(0, count, spec.run_length):
+        keys[start : start + spec.run_length] = sorted(
+            keys[start : start + spec.run_length]
+        )
+    return keys
+
+
+def skewed_fixed_payload(
+    count: int, spec: SkewSpec, seed: int, record_size: int = 16
+) -> bytes:
+    """A fixed-width record payload whose 8-byte keys follow ``spec``.
+
+    Shuffle-ready with ``FixedWidthCodec(record_size=16, key_bytes=8)``
+    — the synthetic payload shape the parity/chaos suites use, now with
+    a pluggable key distribution.
+    """
+    if record_size < 8:
+        raise ShuffleError(f"record_size must be >= 8, got {record_size}")
+    rng = random.Random(seed)
+    return b"".join(
+        key.to_bytes(8, "big") + bytes(record_size - 8)
+        for key in skewed_keys(count, spec, rng)
+    )

@@ -64,7 +64,7 @@ from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
 from repro.shuffle.operator import ShuffleResult, ShuffleSort
 from repro.shuffle.planner import ShufflePlan, predict_streaming_shuffle_time
 from repro.shuffle.relay import RelayExchange, ShardedRelayExchange
-from repro.shuffle.sampler import partition_index
+from repro.shuffle.sampler import partition_index, partition_skew_of
 from repro.shuffle.records import RecordCodec
 from repro.sim import SimEvent
 from repro.storage import paths
@@ -774,7 +774,7 @@ class StreamingShuffleSort(ShuffleSort):
             meta.logical_size, pinned_workers, max_workers
         )
         boundaries = yield from self._sample(
-            bucket, key, real_size, workers, samplers
+            bucket, key, real_size, meta.logical_size, workers, samplers
         )
         job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
 
@@ -832,7 +832,11 @@ class StreamingShuffleSort(ShuffleSort):
                 (result["buffer_high_watermark_bytes"] for result in reduce_results),
                 default=0.0,
             ),
+            partition_skew=partition_skew_of([run.size_bytes for run in runs]),
             extra={
+                "predicted_partition_skew": partition_skew_of(
+                    self.predicted_partition_bytes
+                ),
                 "buffer_backpressure_waits": sum(
                     result["buffer_waits"] for result in reduce_results
                 ),

@@ -64,3 +64,11 @@ class TestCli:
         assert "S10: streaming vs staged exchange" in out
         assert "overlap_s" in out
         assert "backpressure_waits" in out
+
+    def test_sweep_skew_runs(self, capsys):
+        assert main(["--scale", "16384", "sweep-skew"]) == 0
+        out = capsys.readouterr().out
+        assert "S11: skew-aware shuffle" in out
+        assert "partition_skew" in out
+        assert "hot_shard_share" in out
+        assert "rebalanced" in out

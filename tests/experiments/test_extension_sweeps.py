@@ -12,6 +12,7 @@ from repro.experiments import (
     sweep_exchange_pipelines,
     sweep_fault_rate,
     sweep_multicloud,
+    sweep_skew,
     sweep_speculation,
     sweep_tuner,
 )
@@ -145,6 +146,46 @@ class TestSweepMulticloud:
             assert row["serverless_cost_usd"] > 0
         assert rows[0]["vm_type"] == "bx2-8x32"
         assert rows[1]["vm_type"] == "m5.2xlarge"
+
+
+class TestSweepSkew:
+    def test_rows_cover_routings_and_hold_parity(self):
+        rows = sweep_skew(
+            TINY, distributions=("uniform", "zipf"), workers=4, shards=2
+        )
+        assert [(row["distribution"], row["routing"]) for row in rows] == [
+            ("uniform", "-"), ("uniform", "crc"), ("uniform", "rebalanced"),
+            ("zipf", "-"), ("zipf", "crc"), ("zipf", "rebalanced"),
+        ]
+        by_key = {(row["distribution"], row["routing"]): row for row in rows}
+        # Byte parity within each distribution, divergence across them.
+        for distribution in ("uniform", "zipf"):
+            digests = {
+                by_key[(distribution, routing)]["output_digest"]
+                for routing in ("-", "crc", "rebalanced")
+            }
+            assert len(digests) == 1, distribution
+        assert (
+            by_key[("uniform", "-")]["output_digest"]
+            != by_key[("zipf", "-")]["output_digest"]
+        )
+        # The Zipf rows measure real skew; the uniform rows do not.
+        assert by_key[("zipf", "-")]["partition_skew"] > 1.5
+        assert by_key[("uniform", "-")]["partition_skew"] < 1.5
+        # Fleet rows settle clean and carry the skew-aware prediction.
+        for row in rows:
+            if row["strategy"] == "sharded-relay":
+                assert row["residual_bytes"] == 0.0
+                assert row["predicted_s"] > 0
+                assert 0.0 < row["hot_shard_share"] <= 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="unknown key distribution"):
+            sweep_skew(TINY, distributions=("gaussian",))
+        with pytest.raises(ValueError, match="workers"):
+            sweep_skew(TINY, workers=0)
+        with pytest.raises(ValueError, match="shards"):
+            sweep_skew(TINY, shards=0)
 
 
 class TestSweepStreaming:

@@ -33,12 +33,14 @@ from repro.shuffle import (
     RelayShuffleSort,
     ShardedRelayShuffleSort,
     ShuffleSort,
+    SkewSpec,
     StreamConfig,
     StreamingCacheExchange,
     StreamingObjectStoreExchange,
     StreamingRelayExchange,
     StreamingShardedRelayExchange,
     StreamingShuffleSort,
+    skewed_fixed_payload,
 )
 
 SUBSTRATES = (
@@ -163,6 +165,62 @@ class TestChaosParity:
             # held was reclaimed, every surviving byte is a committed
             # partition, and no orphaned flow is still draining any NIC
             # (the fleet aggregates these checks across its shards).
+            assert relay.residual_reservation_bytes() == 0.0
+            assert relay.active_flows == 0
+            assert relay.used_logical == pytest.approx(relay.entry_bytes)
+            relay.check_memory_accounting()
+
+
+#: Zipf duplicate keys: one hot partition owns most of the bytes, so
+#: injected kills land mid-transfer of *large* segments, the hot
+#: partition's stream far exceeds the bounded reducer buffer
+#: (CHAOS_STREAM's 8 KiB vs tens of KiB of hot-partition data), and the
+#: fleet's rebalance map is live while attempts die and retry.
+SKEWED_SPEC = SkewSpec(distribution="zipf", zipf_s=1.5, distinct_keys=8)
+
+#: Staged + streaming substrates of the skewed matrix (the stateful
+#: ones, where routing and reservations can leak; the objectstore rows
+#: anchor the baseline).
+SKEWED_SUBSTRATES = (
+    "sharded-relay", "streaming-relay", "streaming-sharded-relay",
+    "streaming-cache",
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_baselines():
+    """Crash-free object-storage artifacts of the Zipf payloads."""
+    artifacts = {}
+    for seed in CHAOS_SEEDS:
+        payload = skewed_fixed_payload(RECORDS, SKEWED_SPEC, seed=seed)
+        runs, _cloud, _relay = run_chaos_sort("objectstore", payload, seed, 0.0)
+        artifacts[seed] = runs
+    return artifacts
+
+
+@pytest.mark.parametrize("seed", CHAOS_SEEDS)
+@pytest.mark.parametrize("substrate", SKEWED_SUBSTRATES)
+class TestSkewedChaosParity:
+    def test_skewed_crashes_preserve_parity_and_leak_nothing(
+        self, skewed_baselines, substrate, seed
+    ):
+        """Crash-retry under a hot partition: byte parity with the
+        crash-free baseline, zero residual reservations, and — on the
+        streaming rows — completion itself proves the bounded buffer
+        absorbed a hot-partition burst far beyond its size without
+        deadlocking."""
+        payload = skewed_fixed_payload(RECORDS, SKEWED_SPEC, seed=seed)
+        runs, cloud, relay = run_chaos_sort(substrate, payload, seed, 0.3)
+        assert cloud.faas.stats.crashes > 0, "no crash injected — raise the rate"
+        assert runs == skewed_baselines[seed], (
+            f"{substrate} diverged under crash injection on a Zipf "
+            f"workload (seed={seed})"
+        )
+        # The workload genuinely concentrated bytes: the hot partition
+        # holds several times its fair share.
+        sizes = [len(run) for run in runs]
+        assert max(sizes) > 1.8 * (sum(sizes) / len(sizes))
+        if relay is not None:
             assert relay.residual_reservation_bytes() == 0.0
             assert relay.active_flows == 0
             assert relay.used_logical == pytest.approx(relay.entry_bytes)

@@ -1,0 +1,173 @@
+"""Skew-priced planners and the adaptive selector (PR 5).
+
+Every substrate's analytic model gained a straggler term: the reduce
+side is paced by the reducer owning the hottest partition, whose fetch
+transfer, sort CPU and output write scale with the workload's
+max-over-mean partition bytes.  The acceptance case: the *same
+total-bytes* workload picks a different exchange configuration when its
+keys are Zipf instead of uniform.
+"""
+
+import pytest
+
+from repro.cloud.profiles import GB, ibm_us_east
+from repro.errors import ShuffleError
+from repro.shuffle import (
+    CacheShuffleCostModel,
+    RelayShuffleCostModel,
+    ShuffleCostModel,
+    choose_exchange_substrate,
+    plan_shuffle,
+    predict_shuffle_time,
+    predict_streaming_shuffle_time,
+)
+from repro.shuffle.cacheplanner import predict_cache_shuffle_time
+from repro.shuffle.relayplanner import (
+    plan_relay_shuffle,
+    predict_relay_shuffle_time,
+    resolve_relay_instance,
+)
+
+PROFILE = ibm_us_east(deterministic=True)
+SIZE = 3.5 * GB
+
+
+def predict_all(workers, skew):
+    """One PlanPoint per substrate model at the given skew."""
+    node_type = PROFILE.memstore.catalog["cache.r5.large"]
+    instance = resolve_relay_instance(PROFILE, "bx2-8x32")
+    return {
+        "objectstore": predict_shuffle_time(
+            SIZE, workers, PROFILE, ShuffleCostModel(), skew=skew
+        ),
+        "cache": predict_cache_shuffle_time(
+            SIZE, workers, PROFILE, node_type, 2, CacheShuffleCostModel(),
+            skew=skew,
+        ),
+        "relay": predict_relay_shuffle_time(
+            SIZE, workers, PROFILE, instance, RelayShuffleCostModel(),
+            skew=skew,
+        ),
+    }
+
+
+class TestStragglerTerm:
+    def test_skew_one_is_the_identity(self):
+        for substrate, point in predict_all(32, 1.0).items():
+            baseline = predict_all(32, None)[substrate]
+            assert point.total_s == pytest.approx(baseline.total_s), substrate
+
+    @pytest.mark.parametrize("workers", [8, 32, 128])
+    def test_predictions_increase_monotonically_with_skew(self, workers):
+        for substrate in ("objectstore", "cache", "relay"):
+            times = [
+                predict_all(workers, skew)[substrate].total_s
+                for skew in (1.0, 2.0, 4.0, 8.0)
+            ]
+            assert times == sorted(times), substrate
+            assert times[-1] > times[0], substrate
+
+    def test_skew_touches_only_the_reduce_side(self):
+        flat = predict_all(32, 1.0)["objectstore"].breakdown
+        hot = predict_all(32, 6.0)["objectstore"].breakdown
+        # Input splits stay byte-even: the map side must not move.
+        for term in ("startup", "map_read", "partition_cpu", "map_write",
+                     "driver"):
+            assert hot[term] == pytest.approx(flat[term]), term
+        for term in ("reduce_fetch", "sort_cpu", "reduce_write"):
+            assert hot[term] > flat[term], term
+
+    def test_cost_model_default_skew_is_used(self):
+        cost = ShuffleCostModel(expected_skew=4.0)
+        implicit = predict_shuffle_time(SIZE, 32, PROFILE, cost)
+        explicit = predict_shuffle_time(
+            SIZE, 32, PROFILE, ShuffleCostModel(), skew=4.0
+        )
+        assert implicit.total_s == pytest.approx(explicit.total_s)
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ShuffleError, match="skew"):
+            predict_shuffle_time(SIZE, 8, PROFILE, ShuffleCostModel(), skew=0.5)
+        with pytest.raises(ShuffleError, match="skew"):
+            predict_relay_shuffle_time(
+                SIZE, 8, PROFILE,
+                resolve_relay_instance(PROFILE, "bx2-8x32"),
+                RelayShuffleCostModel(), skew=0.0,
+            )
+
+    def test_streaming_transform_composes_with_skew(self):
+        """The pipelined transform consumes the skewed staged point: a
+        hotter consumer side grows the pipelined exchange term."""
+        flat = predict_streaming_shuffle_time(
+            predict_all(32, 1.0)["relay"], chunks=8
+        )
+        hot = predict_streaming_shuffle_time(
+            predict_all(32, 6.0)["relay"], chunks=8
+        )
+        assert hot.total_s > flat.total_s
+
+    def test_plan_shuffle_reoptimizes_workers_under_skew(self):
+        """Skew inflates per-worker reduce terms, so the U-curve's
+        minimum moves right: the planner buys more workers to shrink
+        the straggler's base."""
+        flat = plan_shuffle(SIZE, PROFILE, max_workers=128)
+        hot = plan_shuffle(SIZE, PROFILE, max_workers=128, skew=6.0)
+        assert hot.workers > flat.workers
+
+    def test_plan_relay_shuffle_threads_skew(self):
+        flat = plan_relay_shuffle(SIZE, PROFILE, "bx2-8x32", max_workers=64)
+        hot = plan_relay_shuffle(
+            SIZE, PROFILE, "bx2-8x32", max_workers=64, skew=6.0
+        )
+        assert hot.predicted_s > flat.predicted_s
+
+
+class TestSkewAwareSelector:
+    def test_decision_changes_between_uniform_and_skewed(self):
+        """The acceptance case: same bytes, same candidates, same time
+        value — only the key distribution differs, and the selector
+        changes its substrate.  At W=256 the uniform workload's
+        all-to-all is worth provisioned relay NICs; under 6x skew the
+        hot reducer (which no exchange hardware can shrink) dominates,
+        the fleet's latency edge collapses, and pay-as-you-go object
+        storage wins the monetized score."""
+        uniform = choose_exchange_substrate(
+            SIZE, PROFILE, workers=256, time_value_usd_per_hour=0.95
+        )
+        skewed = choose_exchange_substrate(
+            SIZE, PROFILE, workers=256, time_value_usd_per_hour=0.95,
+            partition_skew=6.0,
+        )
+        assert uniform.substrate == "sharded-relay"
+        assert skewed.substrate == "objectstore"
+        assert skewed.partition_skew == 6.0
+        assert "partition skew 6.00x" in skewed.describe()
+
+    def test_auto_worker_decision_changes_too(self):
+        """With per-substrate planning the skewed variant sizes a
+        different wave (more workers shrink the straggler's base)."""
+        uniform = choose_exchange_substrate(SIZE, PROFILE)
+        skewed = choose_exchange_substrate(SIZE, PROFILE, partition_skew=6.0)
+        assert skewed.chosen.workers > uniform.chosen.workers
+
+    def test_every_estimate_is_priced_at_the_skew(self):
+        decision = choose_exchange_substrate(
+            SIZE, PROFILE, workers=32, partition_skew=4.0
+        )
+        flat = choose_exchange_substrate(SIZE, PROFILE, workers=32)
+        for hot, cold in zip(decision.estimates, flat.estimates):
+            assert hot.predicted_s > cold.predicted_s, hot.substrate
+
+    def test_invalid_partition_skew_rejected(self):
+        with pytest.raises(ShuffleError, match="partition_skew"):
+            choose_exchange_substrate(SIZE, PROFILE, partition_skew=0.9)
+
+    def test_uniform_skew_default_matches_legacy_behaviour(self):
+        default = choose_exchange_substrate(SIZE, PROFILE, workers=64)
+        explicit = choose_exchange_substrate(
+            SIZE, PROFILE, workers=64, partition_skew=1.0
+        )
+        assert default.substrate == explicit.substrate
+        assert default.chosen.score_usd == pytest.approx(
+            explicit.chosen.score_usd
+        )

@@ -26,11 +26,13 @@ from repro.shuffle import (
     RelayShuffleSort,
     ShardedRelayShuffleSort,
     ShuffleSort,
+    SkewSpec,
     StreamConfig,
     StreamingCacheExchange,
     StreamingObjectStoreExchange,
     StreamingRelayExchange,
     StreamingShuffleSort,
+    skewed_fixed_payload,
 )
 
 #: Both execution modes: a losing speculative attempt must be fenced
@@ -178,6 +180,42 @@ class TestSpeculationParity:
         assert digest == base_digest
         assert relay.residual_reservation_bytes() == 0.0
         relay.check_memory_accounting()
+
+
+class TestSkewedSpeculationParity:
+    """Skewed-seed rows of the parity matrix: the hot partition's big
+    segments are exactly what a losing speculative attempt is most
+    likely to be caught mid-transfer of."""
+
+    SKEWED_SUBSTRATES = (
+        "objectstore", "sharded-relay", "streaming-relay", "streaming-cache",
+    )
+
+    @pytest.fixture(scope="class")
+    def skewed_runs(self):
+        payload = skewed_fixed_payload(
+            RECORDS, SkewSpec(distribution="zipf", zipf_s=1.5, distinct_keys=8),
+            seed=SEED,
+        )
+        return {
+            substrate: run_speculative_sort(substrate, payload)
+            for substrate in self.SKEWED_SUBSTRATES
+        }
+
+    def test_digests_identical_and_backups_fired(self, skewed_runs):
+        digests = set()
+        for substrate, (digest, executor, cloud, _relay) in skewed_runs.items():
+            digests.add(digest)
+            assert executor.speculative_launches > 0, substrate
+            assert cloud.faas.stats.cancellations > 0, substrate
+        assert len(digests) == 1, "skewed speculation diverged"
+
+    def test_zero_residual_reservations(self, skewed_runs):
+        for substrate in ("sharded-relay", "streaming-relay"):
+            _digest, _ex, _cloud, relay = skewed_runs[substrate]
+            assert relay.residual_reservation_bytes() == 0.0
+            assert relay.active_flows == 0
+            relay.check_memory_accounting()
 
 
 class TestLoserCancellation:

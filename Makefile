@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults test-skew collect bench bench-exchange bench-streaming bench-skew verify
+.PHONY: test test-faults test-skew collect bench bench-exchange bench-streaming bench-skew bench-online verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
 # pinned seed matrix, then the skew suite, then everything (which
@@ -67,5 +67,13 @@ bench-streaming:
 # planner-tracking assertions.
 bench-skew:
 	$(PYTEST) benchmarks/bench_skew.py -q
+
+# Online bench only: regenerates just the S12 result
+# (benchmarks/results/s12_online.txt) — mid-stream re-selection vs all
+# eight static decisions under a recovering storage brownout, with
+# strict-win, mid-stream-switch, byte-parity, chunk-reroute and
+# relay-fill assertions.
+bench-online:
+	$(PYTEST) benchmarks/bench_online.py -q
 
 verify: collect test

@@ -25,7 +25,7 @@ def test_autotune_sweep(benchmark, record_result, tuner_rows):
     rows = benchmark.pedantic(lambda: tuner_rows, rounds=1, iterations=1)
     headers = list(rows[0].keys())
     record_result(
-        "s10_autotune",
+        "s10a_autotune",
         format_rows(headers, [[row[h] for h in headers] for row in rows],
                     title="S10a: planner regret by region scenario (3.5 GB)"),
     )

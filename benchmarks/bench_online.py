@@ -1,0 +1,88 @@
+"""Benchmark S12: mid-stream re-selection vs every static decision.
+
+The S12 scenario is the one no pre-flight decision can win: an
+object-storage brownout in effect at launch that clears mid-run (after
+every static operator has committed its whole-split reads into it),
+plus a ``late-hot`` key distribution whose hot key hides in the
+stream's tail where pre-flight sampling cannot see it.  The online
+operator must strictly beat all eight static (substrate × mode)
+decisions on the planner's own score, with at least one mid-stream
+substrate switch, at byte parity — moving bytes differently must never
+change them.
+"""
+
+import pytest
+
+from repro.core import ExperimentConfig
+from repro.experiments import format_rows
+from repro.experiments.sweeps import sweep_online
+
+
+@pytest.fixture(scope="module")
+def online_rows(bench_scale):
+    config = ExperimentConfig(logical_scale=bench_scale)
+    return sweep_online(config)
+
+
+def test_online_sweep(benchmark, record_result, online_rows):
+    rows = benchmark.pedantic(lambda: online_rows, rounds=1, iterations=1)
+    timeline: list[str] = []
+    table_rows = []
+    for row in rows:
+        row = dict(row)
+        lines = row.pop("_timeline", None)
+        if lines and not timeline:
+            timeline = lines
+        table_rows.append(row)
+    headers = list(table_rows[0].keys())
+    text = format_rows(
+        headers,
+        [[row[h] for h in headers] for row in table_rows],
+        title="S12: online mid-stream re-selection vs static decisions (3.5 GB)",
+    )
+    text += "\n\nonline decision timeline:\n" + "\n".join(
+        f"  {line}" for line in timeline
+    )
+    record_result("s12_online", text)
+
+    online = next(
+        row for row in rows
+        if row["scenario"] == "shift" and row["strategy"] == "online"
+    )
+    statics = [row for row in rows if row["strategy"] != "online"]
+    assert len(statics) == 8  # 4 substrates x 2 modes
+
+    # Online strictly beats every static decision on the planner's score.
+    for static in statics:
+        assert online["score_usd"] < static["score_usd"], (
+            static["strategy"], static["mode"])
+
+    # ... and it did so by actually re-deciding mid-stream.
+    assert online["switches"] >= 1
+
+    # Byte parity: re-selection moves bytes, never changes them.
+    digests = {row["output_digest"] for row in rows}
+    assert len(digests) == 1, digests
+
+
+def test_online_reroute_row(online_rows):
+    reroute = next(
+        row for row in online_rows if row["scenario"] == "reroute"
+    )
+    # The late hot key must be absorbed by chunk-grain rerouting on the
+    # pinned sharded fleet...
+    assert reroute["reroutes"] >= 1
+    # ... without any shard ever exceeding its usable relay memory.
+    assert 0.0 < reroute["peak_fill"] <= 1.0
+    # The pinned-fleet run still reproduces the exact same output.
+    shift_online = online_rows[0]
+    assert reroute["output_digest"] == shift_online["output_digest"]
+
+
+def test_online_timeline_is_a_timeline(online_rows):
+    online = online_rows[0]
+    lines = online["_timeline"]
+    # One decision point per wave boundary, plus the initial decision.
+    assert len(lines) >= 3
+    assert "[initial]" in lines[0]
+    assert any("SWITCH" in line for line in lines)

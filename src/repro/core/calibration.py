@@ -91,8 +91,9 @@ class ExperimentConfig:
     #: Key distribution of the staged dataset: ``"uniform"`` (the
     #: chromosome-weighted methylome, the historical baseline) or one of
     #: the skewed laws in :data:`repro.shuffle.skew.KEY_DISTRIBUTIONS`
-    #: (``"zipf"``, ``"heavy-dup"``, ``"sorted-runs"``) — experiment
-    #: S11's hot-partition workloads.
+    #: (``"zipf"``, ``"heavy-dup"``, ``"sorted-runs"``, ``"late-hot"``)
+    #: — experiment S11's hot-partition workloads and S12's
+    #: mid-stream-emerging one.
     key_distribution: str = "uniform"
     #: Zipf exponent of the ``"zipf"`` distribution (hotter when larger).
     zipf_s: float = 1.2

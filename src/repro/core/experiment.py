@@ -55,9 +55,10 @@ def dataset_payload(config: ExperimentConfig) -> bytes:
     """The experiment's input payload under its configured key law.
 
     ``key_distribution="uniform"`` is the historical chromosome-weighted
-    methylome; the skewed laws (``zipf``/``heavy-dup``/``sorted-runs``)
-    concentrate genomic keys so sort partitions — and therefore every
-    exchange substrate — see hot ranges (experiment S11).
+    methylome; the skewed laws (``zipf``/``heavy-dup``/``sorted-runs``/
+    ``late-hot``) concentrate genomic keys so sort partitions — and
+    therefore every exchange substrate — see hot ranges (experiments
+    S11 and S12).
     """
     if config.key_distribution == "uniform":
         generator = MethylomeGenerator(seed=config.seed)

@@ -27,7 +27,14 @@ Table 1 experiment) compose:
                        the chosen substrate's sort stage, recording the
                        decision in the stage report; with
                        ``modes=("staged", "streaming")`` the execution
-                       mode is a decision variable too
+                       mode is a decision variable too, and with
+                       ``online=True`` the decision keeps being re-made
+                       *between chunks* of the running exchange
+``online_sort``        mid-stream adaptive sort: runs
+                       ``OnlineShuffleSort``, which re-fits calibration
+                       from observed chunk rates after every wave and
+                       may switch substrate/mode/workers mid-run,
+                       recording a decision timeline (experiment S12)
 ``streaming_sort``     pipelined sort on any substrate: the reduce wave
                        launches concurrently with the map wave and
                        reducers consume partitions while mappers are
@@ -57,6 +64,7 @@ from repro.cloud.vm.relay import provision_relay, relay_ready
 from repro.shuffle.adaptive import choose_exchange_substrate
 from repro.shuffle.cacheoperator import CacheShuffleSort
 from repro.shuffle.cacheplanner import required_cache_nodes
+from repro.shuffle.online import OnlineShuffleSort
 from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.relay import RelayShuffleSort, ShardedRelayShuffleSort
 from repro.shuffle.relayplanner import (
@@ -194,8 +202,8 @@ def methylome_dataset(context: StageContext, inputs: dict) -> t.Generator:
     raw pipeline input is unsorted, that is why the sort stage exists),
     ``distribution`` (``"uniform"`` default, or a skewed key law from
     :data:`repro.shuffle.skew.KEY_DISTRIBUTIONS`: ``"zipf"``,
-    ``"heavy-dup"``, ``"sorted-runs"``) with its ``zipf_s`` /
-    ``distinct_keys`` knobs.
+    ``"heavy-dup"``, ``"sorted-runs"``, ``"late-hot"``) with its
+    ``zipf_s`` / ``distinct_keys`` knobs.
     """
     size_gb = float(context.param("size_gb", required=True))
     seed = int(context.param("seed", 0))
@@ -591,6 +599,9 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
     ``memory_mb``/``samplers``/``max_workers`` passed through to the
     dispatched stage.
     """
+    if bool(context.param("online", False)):
+        impl = stage_kind("online_sort")
+        return (yield from impl(context, inputs))
     upstream = _single_input(inputs, context.spec.name)
     substrates = context.param("substrates")
     modes = context.param("modes")
@@ -647,8 +658,108 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
         substrate_provisioned_usd=chosen.provisioned_usd,
         substrate_score_usd=chosen.score_usd,
         substrate_decision=decision.describe(),
+        # One-point "timeline" so static and online artifacts share a
+        # shape (the online stage appends a point per re-selection).
+        substrate_timeline=[decision.describe()],
+        substrate_switches=0,
     )
     return artifact
+
+
+def online_sort(context: StageContext, inputs: dict) -> t.Generator:
+    """Mid-stream adaptive sort: re-select the substrate *between chunks*.
+
+    Runs :class:`~repro.shuffle.online.OnlineShuffleSort`: the exchange
+    substrate, execution mode and worker count are re-chosen after
+    every streaming wave from calibration refit on the waves' own
+    observed chunk publish rates, and the relay fleet's routing is
+    refined at chunk grain when a hot partition emerges mid-stream.
+
+    Params mirror ``auto_sort`` (``time_value_usd_per_hour``,
+    ``workers``, ``substrates``, ``modes`` — default
+    ``("staged", "streaming")`` here, the online loop's natural set —
+    ``stream_chunk_mb``/``stream_buffer_mb``, ``max_relay_shards``,
+    ``cache_node_type``, ``instance_type``, ``partition_skew``,
+    ``memory_mb``/``samplers``/``max_workers``) plus ``switch_margin``
+    (hysteresis fraction a candidate must undercut the running
+    configuration's refit score by; default 0.05).
+
+    The artifact records the whole decision timeline:
+    ``substrate_decision`` (the rendered timeline),
+    ``substrate_timeline`` (one entry per decision point),
+    ``substrate_switches`` and ``chunk_reroutes``.
+    """
+    upstream = _single_input(inputs, context.spec.name)
+    memory_mb = int(context.param("memory_mb", 2048))
+    executor = _function_executor(context, memory_mb)
+    workload = _workload(context)
+    substrates = context.param("substrates")
+    modes = context.param("modes")
+    buffer_mb = float(context.param("stream_buffer_mb", 256.0))
+    stream = StreamConfig(
+        chunk_bytes=float(context.param("stream_chunk_mb", 32.0)) * (1 << 20),
+        buffer_bytes=buffer_mb * (1 << 20) if buffer_mb > 0 else None,
+        poll_interval_s=float(context.param("poll_interval", 0.2)),
+    )
+    operator = OnlineShuffleSort(
+        executor,
+        bed_record_codec(),
+        stream=stream,
+        shuffle_cost=workload.shuffle_cost_model(),
+        cache_cost=workload.cache_shuffle_cost_model(),
+        relay_cost=workload.relay_shuffle_cost_model(),
+        time_value_usd_per_hour=float(
+            context.param("time_value_usd_per_hour", 1.0)
+        ),
+        substrates=tuple(substrates) if substrates is not None else None,
+        modes=tuple(modes) if modes is not None else ("staged", "streaming"),
+        cache_node_type=context.param("cache_node_type", "cache.r5.large"),
+        relay_instance_type=context.param("instance_type") or None,
+        max_relay_shards=int(context.param("max_relay_shards", 8)),
+        partition_skew=float(context.param("partition_skew", 1.0)),
+        switch_margin=float(context.param("switch_margin", 0.05)),
+    )
+    result = yield operator.sort(
+        upstream["bucket"],
+        upstream["key"],
+        out_bucket=context.bucket,
+        out_prefix=f"{context.spec.name}",
+        workers=context.param("workers"),
+        samplers=int(context.param("samplers", 8)),
+        max_workers=int(context.param("max_workers", 256)),
+    )
+    report = operator.report
+    timeline = operator.timeline
+    final = timeline.final.decision.chosen
+    return {
+        "runs": [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "records": run.records,
+                "bytes": run.size_bytes,
+            }
+            for run in result.runs
+        ],
+        "workers": result.workers,
+        "records": result.total_records,
+        "duration_s": result.duration_s,
+        "planned_workers": None,
+        "substrate": final.substrate,
+        "substrate_mode": "online",
+        "substrate_workers": final.workers,
+        "substrate_predicted_s": final.predicted_s,
+        "substrate_provisioned_usd": report.provisioned_usd,
+        "substrate_score_usd": final.score_usd,
+        "substrate_decision": timeline.describe(),
+        "substrate_timeline": [point.describe() for point in timeline],
+        "substrate_switches": timeline.switches,
+        "chunk_reroutes": operator.chunk_reroutes,
+        "overlap_s": report.overlap_s,
+        "buffer_high_watermark_bytes": report.buffer_high_watermark_bytes,
+        "buffer_backpressure_waits": report.buffer_backpressure_waits,
+        "stream_chunks": report.stream_chunks,
+    }
 
 
 def vm_sort(context: StageContext, inputs: dict) -> t.Generator:
@@ -834,6 +945,7 @@ def register_builtin_stage_kinds() -> None:
         "sharded_relay_sort": sharded_relay_sort,
         "streaming_sort": streaming_sort,
         "auto_sort": auto_sort,
+        "online_sort": online_sort,
         "vm_sort": vm_sort,
         "methcomp_encode": methcomp_encode,
         "methcomp_verify": methcomp_verify,

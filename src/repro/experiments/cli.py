@@ -14,6 +14,7 @@ Usage::
     repro-experiments sweep-relay-shards
     repro-experiments sweep-streaming
     repro-experiments sweep-skew
+    repro-experiments sweep-online
     repro-experiments sweep-faults
     repro-experiments sweep-speculation
     repro-experiments sweep-exchange-faults
@@ -70,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-relay-shards",
         "sweep-streaming",
         "sweep-skew",
+        "sweep-online",
         "sweep-faults",
         "sweep-speculation",
         "sweep-exchange-faults",
@@ -128,6 +130,20 @@ def main(argv: list[str] | None = None) -> int:
             "S11: skew-aware shuffle (CRC vs rebalanced fleet routing)",
             sweeps.sweep_skew(_config(args)),
         )
+    elif args.command == "sweep-online":
+        rows = sweeps.sweep_online(_config(args))
+        timeline: list[str] = []
+        for row in rows:
+            lines = row.pop("_timeline", None)
+            if lines and not timeline:
+                timeline = lines
+        _print_rows(
+            "S12: online mid-stream re-selection vs static decisions", rows
+        )
+        print()
+        print("online decision timeline:")
+        for line in timeline:
+            print(f"  {line}")
     elif args.command == "sweep-faults":
         _print_rows(
             "S9a: crash-rate overhead", sweeps.sweep_fault_rate(_config(args))

@@ -1001,6 +1001,189 @@ def sweep_tuner(
 
 
 # ----------------------------------------------------------------------
+# S12: online mid-stream re-selection vs every static decision
+# ----------------------------------------------------------------------
+def sweep_online(
+    config: ExperimentConfig | None = None,
+    workers: int = 8,
+    chunk_mb: float = 32.0,
+    time_value_usd_per_hour: float = 1.0,
+    shift_at_s: float = 60.0,
+    brownout_read_latency_s: float = 0.45,
+    brownout_write_latency_s: float = 0.45,
+    brownout_connection_bps: float = 2e6,
+    switch_margin: float = 0.05,
+) -> list[dict]:
+    """S12: mid-stream re-selection against the static decision grid.
+
+    The adversarial scenario no pre-flight decision can win: a
+    ``late-hot`` dataset (uniform head, hot key only in the stream's
+    tail — invisible to sampling) *plus* an object-storage **brownout**
+    (connection throttling + latency inflation) in effect at launch
+    that clears mid-run, after every static operator has already
+    committed its whole-split input reads at brownout bandwidth.  The
+    online operator's chunked map-side reads ride the brownout out one
+    chunk at a time, its initial decision avoids routing the exchange
+    through the throttled store, and the first post-recovery refit
+    switches it onto the store once that is the cheapest substrate
+    again.  The sweep sorts the same seeded dataset nine ways — the
+    online operator (free to re-decide between waves) and all eight
+    static (substrate × mode) decisions pinned at the same worker count
+    on identical clouds with the identical brownout + recovery — and
+    scores each run the way the planner does: ``latency × time-value +
+    provisioned infrastructure dollars``.
+
+    Every row carries the output digest (re-selection moves bytes,
+    never changes them: byte parity across all nine runs), the score,
+    and for the online row the decision-timeline summary
+    (``_timeline`` — a list of lines, popped by table formatters), the
+    switch count and the chunk-reroute count.  A final ``reroute`` row
+    restricts the online operator to the sharded fleet so the late hot
+    key must be absorbed by chunk-grain rerouting; its
+    ``peak_fill`` column (hottest shard's peak fill fraction of
+    ``relay_usable_bytes``) is asserted ``<= 1`` by the bench.
+    """
+    from repro.shuffle.online import OnlineShuffleSort
+
+    base = config if config is not None else ExperimentConfig()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    healthy_profile = base.make_profile()
+    healthy = {
+        "read_latency_s": healthy_profile.objectstore.read_latency.mean,
+        "write_latency_s": healthy_profile.objectstore.write_latency.mean,
+        "connection_bps": healthy_profile.objectstore.per_connection_bandwidth,
+    }
+
+    def brownout(profile) -> None:
+        """Launch-time COS brownout: throttled connections, fat latency."""
+        if base.profile_mutator is not None:
+            base.profile_mutator(profile)
+        profile.objectstore.read_latency.mean = brownout_read_latency_s
+        profile.objectstore.write_latency.mean = brownout_write_latency_s
+        profile.objectstore.per_connection_bandwidth = brownout_connection_bps
+
+    def small_relays(profile) -> None:
+        """Brownout plus relay VMs shrunk so the fleet must shard.
+
+        At this sweep's dataset size one stock relay VM swallows the
+        whole exchange, leaving nothing for chunk-grain rerouting to
+        balance; 1 GB instances force a multi-shard fleet.
+        """
+        brownout(profile)
+        profile.vm.catalog = {
+            name: dataclasses.replace(
+                spec, memory_gb=min(spec.memory_gb, 1.0)
+            )
+            for name, spec in profile.vm.catalog.items()
+        }
+
+    cfg = dataclasses.replace(
+        base, key_distribution="late-hot", profile_mutator=brownout
+    )
+    time_value = time_value_usd_per_hour
+    reroute_cfg = dataclasses.replace(cfg, profile_mutator=small_relays)
+
+    def shifted(cloud: Cloud):
+        """Mid-run recovery: the COS brownout clears at ``shift_at_s``."""
+
+        def proc():
+            yield cloud.sim.timeout(shift_at_s)
+            cloud.profile.objectstore.read_latency.mean = healthy[
+                "read_latency_s"
+            ]
+            cloud.profile.objectstore.write_latency.mean = healthy[
+                "write_latency_s"
+            ]
+            cloud.profile.objectstore.per_connection_bandwidth = healthy[
+                "connection_bps"
+            ]
+
+        return proc()
+
+    stream = StreamConfig(chunk_bytes=chunk_mb * (1 << 20))
+
+    def run_row(scenario: str, strategy: str, mode: str) -> dict:
+        row_cfg = reroute_cfg if scenario == "reroute" else cfg
+        cloud = _fresh_cloud(row_cfg)
+        stage_input(cloud, row_cfg, "pipeline", "input/methylome.bed")
+        executor = FunctionExecutor(
+            cloud, runtime_memory_mb=row_cfg.function_memory_mb, bucket="pipeline"
+        )
+        provisioned = None
+        if strategy == "online":
+            operator = OnlineShuffleSort(
+                executor,
+                bed_record_codec(),
+                stream=stream,
+                shuffle_cost=row_cfg.workload.shuffle_cost_model(),
+                cache_cost=row_cfg.workload.cache_shuffle_cost_model(),
+                relay_cost=row_cfg.workload.relay_shuffle_cost_model(),
+                time_value_usd_per_hour=time_value,
+                substrates=(
+                    ("sharded-relay",) if scenario == "reroute" else None
+                ),
+                modes=(
+                    ("streaming",) if scenario == "reroute"
+                    else ("staged", "streaming")
+                ),
+                switch_margin=switch_margin,
+            )
+        else:
+            operator, provisioned = _make_exchange_operator(
+                cloud, row_cfg, strategy, executor,
+                stream=stream if mode == "streaming" else None,
+            )
+
+        def driver():
+            cloud.sim.process(shifted(cloud), name="s12.shift")
+            return (
+                yield operator.sort(
+                    "pipeline", "input/methylome.bed", workers=workers
+                )
+            )
+
+        result = cloud.sim.run_process(driver())
+        if provisioned is not None:
+            provisioned.terminate()
+        report = operator.report
+        digest = hashlib.sha256()
+        for run in result.runs:
+            digest.update(cloud.store.peek(run.bucket, run.key))
+        score = (
+            result.duration_s * time_value / 3600.0 + report.provisioned_usd
+        )
+        row = {
+            "scenario": scenario,
+            "strategy": strategy,
+            "mode": mode,
+            "workers": workers,
+            "sort_latency_s": result.duration_s,
+            "provisioned_usd": report.provisioned_usd,
+            "score_usd": score,
+            "switches": 0,
+            "reroutes": 0,
+            "peak_fill": 0.0,
+            "output_digest": digest.hexdigest()[:16],
+        }
+        if strategy == "online":
+            row["switches"] = operator.timeline.switches
+            row["reroutes"] = operator.chunk_reroutes
+            row["peak_fill"] = report.extra.get("relay_peak_fill", 0.0)
+            row["_timeline"] = [
+                point.describe() for point in operator.timeline
+            ]
+        return row
+
+    rows = [run_row("shift", "online", "online")]
+    for strategy in EXCHANGE_SUBSTRATES:
+        for mode in ("staged", "streaming"):
+            rows.append(run_row("shift", strategy, mode))
+    rows.append(run_row("reroute", "online", "online"))
+    return rows
+
+
+# ----------------------------------------------------------------------
 # S11: multi-cloud portability (Lithops' multi-cloud story, ref [3])
 # ----------------------------------------------------------------------
 def sweep_multicloud(

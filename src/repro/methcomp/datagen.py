@@ -219,6 +219,8 @@ def generate_skewed_bed_bytes(
     zipf_s: float = 1.2,
     distinct_keys: int = 64,
     run_length: int = 256,
+    late_hot_fraction: float = 0.25,
+    late_hot_share: float = 0.8,
 ) -> bytes:
     """A bedMethyl payload whose *genomic keys* follow a skewed law.
 
@@ -235,8 +237,9 @@ def generate_skewed_bed_bytes(
 
     Records stay valid bedMethyl (the full sort → encode → verify
     pipeline runs unchanged); only where the records *sit* changes.
-    Emission order is shuffled except for ``sorted-runs``, whose runs
-    are the point.
+    Emission order is shuffled except for ``sorted-runs`` (whose runs
+    are the point) and ``late-hot`` (whose hot key must stay in the
+    stream's tail).
     """
     count = estimate_record_count(target_bytes)
     spec = SkewSpec(
@@ -244,6 +247,8 @@ def generate_skewed_bed_bytes(
         zipf_s=zipf_s,
         distinct_keys=distinct_keys,
         run_length=run_length,
+        late_hot_fraction=late_hot_fraction,
+        late_hot_share=late_hot_share,
     )
     rng = random.Random(seed)
     keys = skewed_keys(count, spec, rng)
@@ -267,7 +272,7 @@ def generate_skewed_bed_bytes(
                 pct_meth=_clamp_pct(rng.gauss(72.0, 20.0)),
             )
         )
-    if distribution != "sorted-runs":
+    if distribution not in ("sorted-runs", "late-hot"):
         rng.shuffle(records)
     return serialize_records(records)
 

@@ -15,12 +15,16 @@ substrate — and execution mode — analytically.
 from repro.shuffle.adaptive import (
     EXCHANGE_MODES,
     EXCHANGE_SUBSTRATES,
+    DecisionPoint,
+    DecisionTimeline,
     OnlineTuner,
     ProbeReport,
+    StreamRateSample,
     SubstrateDecision,
     SubstrateEstimate,
     choose_exchange_substrate,
     fit_profile,
+    fit_stream_profiles,
     streaming_chunk_count,
     streaming_chunk_overhead_s,
 )
@@ -51,6 +55,7 @@ from repro.shuffle.exchange import (
     ExchangeReport,
     ObjectStoreExchange,
 )
+from repro.shuffle.online import OnlineShuffleSort
 from repro.shuffle.operator import ShuffleResult, ShuffleSort, SortedRun
 from repro.shuffle.orderby import (
     OrderByResult,
@@ -134,7 +139,11 @@ __all__ = [
     "ExchangeBackend",
     "ExchangeReport",
     "ObjectStoreExchange",
+    "DecisionPoint",
+    "DecisionTimeline",
+    "OnlineShuffleSort",
     "OnlineTuner",
+    "StreamRateSample",
     "PartitionLoadRouter",
     "ProbeReport",
     "RelayExchange",
@@ -148,6 +157,7 @@ __all__ = [
     "build_rebalance_assignments",
     "choose_exchange_substrate",
     "fit_profile",
+    "fit_stream_profiles",
     "plan_relay_shuffle",
     "predict_relay_shuffle_time",
     "relay_partition_key",

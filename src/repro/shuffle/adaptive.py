@@ -18,9 +18,18 @@ yesterday's.
    which reacts to throttling during execution instead);
 3. **plan** — the standard analytic planner runs on the fitted profile.
 
-Benchmark S10 measures the payoff: when the region misbehaves (slow
+Benchmark S10a measures the payoff: when the region misbehaves (slow
 NICs, inflated latency), the statically calibrated planner picks a poor
 worker count while the tuner stays near the oracle.
+
+Version 2 extends the tuner from a pre-flight probe into a
+**mid-pipeline control loop**: the online sort
+(:class:`repro.shuffle.online.OnlineShuffleSort`) feeds *observed*
+chunk publish rates back through :func:`fit_stream_profiles` after
+every streaming wave and re-runs :func:`choose_exchange_substrate` on
+the remaining bytes, producing a :class:`DecisionTimeline` instead of a
+single up-front decision.  Benchmark S12 measures that payoff against
+every static decision under a mid-run rate shift.
 """
 
 from __future__ import annotations
@@ -349,6 +358,169 @@ class SubstrateDecision:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# OnlineTuner v2: mid-stream telemetry refit and the decision timeline
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, slots=True)
+class StreamRateSample:
+    """Observed publish telemetry of one streaming wave on one substrate.
+
+    Aggregated by the online sort from its wave mappers:
+    ``publish_s`` is the summed per-connection seconds spent inside
+    ``port.publish`` (which *includes* substrate admission and
+    backpressure waits — the `_StreamBuffer`/relay-side wait telemetry
+    folded straight into the observed rate), ``chunks`` the number of
+    publishes it covers, ``logical_bytes`` what they carried.
+    ``backpressure_waits`` carries the substrate's own wait counter for
+    the timeline detail.
+    """
+
+    substrate: str
+    logical_bytes: float
+    publish_s: float
+    chunks: int
+    backpressure_waits: int = 0
+    #: Relay-family flavour behind the sample ("" elsewhere) — its NIC
+    #: bounds the expected transfer time the refit subtracts.
+    instance_type: str = ""
+
+    @property
+    def per_chunk_s(self) -> float:
+        return self.publish_s / max(1, self.chunks)
+
+    @property
+    def chunk_logical_bytes(self) -> float:
+        return self.logical_bytes / max(1, self.chunks)
+
+
+def fit_stream_profiles(
+    profile: CloudProfile, samples: t.Iterable[StreamRateSample]
+) -> CloudProfile:
+    """A profile copy refit from observed mid-stream publish rates.
+
+    The streaming twin of :func:`fit_profile`: instead of a dedicated
+    probe invocation, the measurements are the chunk publishes the
+    pipeline performed *anyway*.  For each substrate's latest sample the
+    observed per-chunk, per-connection seconds are split into the
+    expected transfer time at the calibrated bandwidth and a residual;
+    the residual is attributed to the substrate's readiness-protocol
+    latency knobs (the same two round trips
+    :func:`streaming_chunk_overhead_s` charges), **never revising a
+    knob below its calibrated prior** — the refit reacts to observed
+    degradation monotonically and deterministically, so the decision
+    timeline of a seeded run is reproducible.
+    """
+    fitted = copy.deepcopy(profile)
+    for sample in samples:
+        if sample.chunks < 1 or sample.logical_bytes <= 0:
+            continue
+        faas_bw = fitted.faas.instance_bandwidth
+        if sample.substrate == "objectstore":
+            store = fitted.objectstore
+            conn_bw = min(faas_bw, store.per_connection_bandwidth)
+            transfer = sample.chunk_logical_bytes / conn_bw
+            # One data PUT + one manifest PUT per chunk.
+            residual = max(0.0, sample.per_chunk_s - transfer) / 2.0
+            store.write_latency = LatencyModel(
+                max(store.write_latency.mean, residual), 0.0
+            )
+            store.read_latency = LatencyModel(
+                max(store.read_latency.mean, residual), 0.0
+            )
+        elif sample.substrate == "cache":
+            memstore = fitted.memstore
+            conn_bw = min(faas_bw, memstore.per_connection_bandwidth)
+            transfer = sample.chunk_logical_bytes / conn_bw
+            residual = max(0.0, sample.per_chunk_s - transfer) / 2.0
+            memstore.write_latency = LatencyModel(
+                max(memstore.write_latency.mean, residual), 0.0
+            )
+            memstore.read_latency = LatencyModel(
+                max(memstore.read_latency.mean, residual), 0.0
+            )
+        elif sample.substrate in ("relay", "sharded-relay"):
+            conn_bw = faas_bw
+            if sample.instance_type:
+                instance = fitted.vm.catalog.get(sample.instance_type)
+                if instance is not None:
+                    conn_bw = min(faas_bw, instance.nic_bandwidth)
+            transfer = sample.chunk_logical_bytes / conn_bw
+            # The streaming overhead model charges two relay round trips
+            # per chunk.
+            residual = max(0.0, sample.per_chunk_s - transfer) / 2.0
+            fitted.vm.relay_request_latency = LatencyModel(
+                max(fitted.vm.relay_request_latency.mean, residual), 0.0
+            )
+        else:
+            raise ShuffleError(
+                f"unknown exchange substrate {sample.substrate!r}"
+            )
+    return fitted
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DecisionPoint:
+    """One entry of a :class:`DecisionTimeline`.
+
+    ``trigger`` is ``"initial"`` (the pre-flight selection), ``"wave"``
+    (a between-chunks re-selection from refit telemetry) or
+    ``"hot-partition"`` (a chunk-grain reroute of the relay fleet).
+    ``switched`` marks the points where the running configuration
+    actually changed.
+    """
+
+    wave: int
+    at_s: float
+    trigger: str
+    decision: SubstrateDecision
+    switched: bool
+    detail: str = ""
+
+    def describe(self) -> str:
+        head = f"wave {self.wave} @ {self.at_s:.2f}s [{self.trigger}]"
+        if self.switched:
+            head += " SWITCH"
+        if self.detail:
+            head += f" — {self.detail}"
+        return head + "\n" + self.decision.describe()
+
+
+class DecisionTimeline:
+    """Ordered record of every (re-)selection of one online sort.
+
+    What the engine records instead of a single
+    :class:`SubstrateDecision`: the initial selection, every
+    between-chunks re-selection, and every mid-stream hot-partition
+    reroute, in wave order.
+    """
+
+    def __init__(self) -> None:
+        self.points: list[DecisionPoint] = []
+
+    def append(self, point: DecisionPoint) -> None:
+        self.points.append(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> t.Iterator[DecisionPoint]:
+        return iter(self.points)
+
+    @property
+    def switches(self) -> int:
+        """Number of points that changed the running configuration."""
+        return sum(1 for point in self.points if point.switched)
+
+    @property
+    def final(self) -> DecisionPoint:
+        if not self.points:
+            raise ShuffleError("empty decision timeline")
+        return self.points[-1]
+
+    def describe(self) -> str:
+        return "\n\n".join(point.describe() for point in self.points)
+
+
 def choose_exchange_substrate(
     logical_bytes: float,
     profile: CloudProfile,
@@ -363,6 +535,7 @@ def choose_exchange_substrate(
     substrates: t.Sequence[str] | None = None,
     modes: t.Sequence[str] = ("staged",),
     stream_chunk_bytes: float = 32 * (1 << 20),
+    stream_chunked_input: bool = False,
     partition_skew: float = 1.0,
     shuffle_cost: ShuffleCostModel | None = None,
     cache_cost: CacheShuffleCostModel | None = None,
@@ -393,7 +566,10 @@ def choose_exchange_substrate(
     :func:`streaming_chunk_overhead_s`), and the winner may be e.g.
     "relay, streaming".  With ``workers=None`` each mode picks its own
     optimal worker count from the same curve.  Exact ties break staged
-    before streaming (the simpler machine).
+    before streaming (the simpler machine).  ``stream_chunked_input``
+    prices streaming candidates with chunked map-side *input* reads —
+    the online sort's execution shape, where the split read joins the
+    pipeline instead of serialising before it.
 
     The provisioned term is what object storage never pays: cache
     node-seconds (for a cluster sized by
@@ -496,6 +672,7 @@ def choose_exchange_substrate(
                     logical_bytes, point.workers, stream_chunk_bytes
                 ),
                 overhead,
+                chunked_input=stream_chunked_input,
             )
             for point in staged_points
         ]
@@ -590,7 +767,10 @@ def choose_exchange_substrate(
 
     # --- cache cluster: node-seconds over the predicted duration ------
     if "cache" in wanted:
-        nodes = required_cache_nodes(logical_bytes, profile, cache_node_type)
+        nodes = required_cache_nodes(
+            logical_bytes, profile, cache_node_type,
+            partition_skew=partition_skew,
+        )
         node_type = profile.memstore.catalog[cache_node_type]
         cache_cost = cache_cost if cache_cost is not None else CacheShuffleCostModel()
         if workers is None:
@@ -657,10 +837,16 @@ def choose_exchange_substrate(
             # Typoed pins are caller errors here too, not infeasibility.
             resolve_relay_instance(profile, relay_instance_type)
         try:
+            # Feasibility sizing prices the *hot shard* of the skewed
+            # workload; the default load-aware rebalancing of
+            # ``ShardedRelayExchange`` spreads it back out, so this is
+            # the safe (CRC-routed) lower bound on the fleet.
+            fleet_skew = 1.0 if relay_cost.rebalance else partition_skew
             fleet_type_name, min_shards = required_relay_fleet(
                 logical_bytes, profile,
                 instance_type_name=relay_instance_type,
                 max_shards=max_relay_shards,
+                partition_skew=fleet_skew,
             )
         except ShuffleError as exc:
             add_infeasible("sharded-relay", str(exc))

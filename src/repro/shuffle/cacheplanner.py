@@ -44,6 +44,9 @@ class CacheShuffleCostModel:
     sample_bytes: int = 256 * 1024
     #: Number of key samples kept per sampler.
     sample_keys: int = 512
+    #: Sampling windows per sampler, strided across its split (see
+    #: :class:`~repro.shuffle.planner.ShuffleCostModel.sample_strides`).
+    sample_strides: int = 4
     #: Delete partitions from the cache after the reduce reads them.
     cleanup: bool = False
     #: Expected max-over-mean partition bytes (straggler-reducer term;
@@ -167,6 +170,7 @@ def required_cache_nodes(
     profile: CloudProfile,
     node_type_name: str,
     headroom: float = 1.3,
+    partition_skew: float = 1.0,
 ) -> int:
     """Smallest node count whose usable memory holds the shuffle data.
 
@@ -175,11 +179,21 @@ def required_cache_nodes(
     hard feasibility constraint (unlike object storage, which is
     effectively unbounded — a qualitative difference the comparison
     reports).
+
+    ``partition_skew`` (max-over-mean partition bytes) sizes the cluster
+    so the *hottest node's* expected share — ``min(logical, skew *
+    logical / nodes)`` under hash slot routing — fits in one node's
+    usable memory, mirroring the relay planner's
+    :func:`~repro.shuffle.relayplanner.required_relay_fleet`.
     """
     if logical_bytes <= 0:
         raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
     if headroom < 1.0:
         raise ShuffleError(f"headroom must be >= 1, got {headroom}")
+    if partition_skew < 1.0:
+        raise ShuffleError(
+            f"partition_skew must be >= 1 (max/mean), got {partition_skew}"
+        )
     try:
         node_type = profile.memstore.catalog[node_type_name]
     except KeyError:
@@ -192,5 +206,7 @@ def required_cache_nodes(
         * (1 << 30)
         * profile.memstore.usable_memory_fraction
     )
-    needed = logical_bytes * headroom
+    if per_node >= logical_bytes * headroom:
+        return 1
+    needed = logical_bytes * headroom * partition_skew
     return max(1, -(-int(needed) // int(per_node)))

@@ -65,6 +65,12 @@ class ShuffleCostModel:
     sample_bytes: int = 256 * 1024
     #: Number of key samples kept per sampler.
     sample_keys: int = 512
+    #: Sampling windows per sampler, spread across its split.  A single
+    #: head-of-split window is biased on locally-sorted inputs
+    #: (``sorted-runs``): the head of each split over-represents low
+    #: keys, skewing :func:`~repro.shuffle.sampler.choose_weighted_boundaries`.
+    #: Strided windows restore uniform coverage at the same byte budget.
+    sample_strides: int = 4
     #: Expected max-over-mean partition bytes (straggler-reducer term;
     #: 1.0 = balanced key distribution).
     expected_skew: float = 1.0
@@ -159,6 +165,7 @@ def predict_streaming_shuffle_time(
     staged: PlanPoint,
     chunks: int,
     per_chunk_overhead_s: float = 0.0,
+    chunked_input: bool = False,
 ) -> PlanPoint:
     """Overlap-aware completion time of the pipelined map→reduce exchange.
 
@@ -182,6 +189,13 @@ def predict_streaming_shuffle_time(
     Input read, output write, startup and driver terms are unchanged;
     with ``chunks == 1`` and zero overhead this degenerates to the
     staged total.
+
+    ``chunked_input`` models the online sort's chunked map-side *input*
+    reads: the mapper range-GETs each chunk's sub-range just before
+    partitioning it, so the whole-split read joins the producer side of
+    the pipeline (``P = map_read + partition_cpu + map_write``) instead
+    of serialising before it — pipeline fill drops below ``map_read +
+    first chunk``.
     """
     if chunks < 1:
         raise ShuffleError(f"chunks must be >= 1, got {chunks}")
@@ -191,10 +205,14 @@ def predict_streaming_shuffle_time(
         )
     b = staged.breakdown
     producer = b["partition_cpu"] + b["map_write"]
+    serial_read = b["map_read"]
+    if chunked_input:
+        producer += serial_read
+        serial_read = 0.0
     consumer = b["reduce_fetch"] + b["sort_cpu"]
     breakdown = {
         "startup": b["startup"],
-        "map_read": b["map_read"],
+        "map_read": serial_read,
         "pipelined_exchange": max(producer, consumer)
         + min(producer, consumer) / chunks,
         "chunk_overhead": chunks * per_chunk_overhead_s,

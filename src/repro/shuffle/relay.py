@@ -58,8 +58,11 @@ def relay_partition_key(prefix: str, mapper_id: int, reducer_id: int) -> str:
 #: (``.../m00001.r00002.c00003``); header/EOS keys carry no ``.r`` and
 #: fall through to the fleet's CRC hash.  Anchored to the key *tail* so
 #: a caller-supplied out_prefix that happens to contain an ``m1.r2``
-#: substring cannot hijack the routing of every key under it.
-_RELAY_KEY_TOKEN = re.compile(r"m(\d+)\.r(\d+)(?:\.c\d+)?$")
+#: substring cannot hijack the routing of every key under it.  The
+#: chunk index is captured so :class:`PartitionLoadRouter` can route
+#: *individual streaming chunks* (chunk epochs) at finer grain than the
+#: (mapper, reducer) cell.
+_RELAY_KEY_TOKEN = re.compile(r"m(\d+)\.r(\d+)(?:\.c(\d+))?$")
 
 
 class PartitionLoadRouter:
@@ -71,26 +74,111 @@ class PartitionLoadRouter:
     attempts (the rendezvous requirement).  Keys outside the matrix, or
     without the shuffle's ``m.r`` token (stream headers), return
     ``None`` and fall back to the fleet's CRC hash.
+
+    **Chunk epochs** refine streaming routes mid-run: an epoch ``(start_chunk,
+    table)`` overrides the base table for every streaming key whose
+    chunk index is ``>= start_chunk`` (later epochs shadow earlier
+    ones).  Installing an epoch whose ``start_chunk`` has not been
+    published yet preserves the rendezvous invariant — keys already
+    written keep the routes they were written under, and every future
+    key (including its retries and speculative twins) is governed by
+    one immutable epoch table.  An epoch cell may be :data:`SPREAD`,
+    meaning no single shard should own that hot (mapper, reducer) cell:
+    its chunks fan out deterministically (``mapper + reducer + chunk``,
+    reduced modulo the fleet size by the caller) across every shard NIC.
     """
 
-    def __init__(self, assignments: t.Sequence[t.Sequence[int]]):
+    #: Sentinel shard index in an epoch table: spread this cell's
+    #: future chunks across the whole fleet instead of pinning them.
+    SPREAD = -1
+
+    def __init__(
+        self,
+        assignments: t.Sequence[t.Sequence[int]],
+        chunk_epochs: t.Sequence[
+            tuple[int, t.Sequence[t.Sequence[int]]]
+        ] = (),
+    ):
         if not assignments:
             raise ShuffleError("rebalance assignments must not be empty")
         self.assignments: tuple[tuple[int, ...], ...] = tuple(
             tuple(row) for row in assignments
         )
+        epochs: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+        previous = -1
+        for start_chunk, table in chunk_epochs:
+            start_chunk = int(start_chunk)
+            if start_chunk <= previous:
+                raise ShuffleError(
+                    "chunk epochs must have strictly increasing start "
+                    f"chunks, got {start_chunk} after {previous}"
+                )
+            if not table:
+                raise ShuffleError("chunk epoch table must not be empty")
+            previous = start_chunk
+            epochs.append(
+                (start_chunk, tuple(tuple(row) for row in table))
+            )
+        self.chunk_epochs: tuple[
+            tuple[int, tuple[tuple[int, ...], ...]], ...
+        ] = tuple(epochs)
+
+    def with_chunk_epoch(
+        self, start_chunk: int, assignments: t.Sequence[t.Sequence[int]]
+    ) -> "PartitionLoadRouter":
+        """A new router whose routes change from ``start_chunk`` onward.
+
+        The caller must guarantee no chunk ``>= start_chunk`` has been
+        published yet (install at a chunk boundary); the returned router
+        shares the base table and all earlier epochs, so already-written
+        keys keep their routes.
+        """
+        return PartitionLoadRouter(
+            self.assignments,
+            self.chunk_epochs + ((int(start_chunk), assignments),),
+        )
+
+    def _table_for(
+        self, chunk: int | None
+    ) -> tuple[tuple[int, ...], ...]:
+        if chunk is not None:
+            for start_chunk, table in reversed(self.chunk_epochs):
+                if chunk >= start_chunk:
+                    return table
+        return self.assignments
+
+    def cell(
+        self, mapper: int, reducer: int, chunk: int | None = None
+    ) -> int | None:
+        """The raw table cell governing ``(mapper, reducer)`` at ``chunk``.
+
+        Returns the shard index, :data:`SPREAD`, or ``None`` when the
+        indices fall outside the table — the load-projection hook the
+        online control loop uses to ask "where would the *next* chunks
+        of this cell go?" without formatting a relay key.
+        """
+        table = self._table_for(chunk)
+        if mapper >= len(table):
+            return None
+        row = table[mapper]
+        if reducer >= len(row):
+            return None
+        return row[reducer]
 
     def __call__(self, key: str) -> int | None:
         match = _RELAY_KEY_TOKEN.search(key)
         if match is None:
             return None
         mapper, reducer = int(match.group(1)), int(match.group(2))
-        if mapper >= len(self.assignments):
+        chunk = int(match.group(3)) if match.group(3) is not None else None
+        shard = self.cell(mapper, reducer, chunk)
+        if shard is None:
             return None
-        row = self.assignments[mapper]
-        if reducer >= len(row):
-            return None
-        return row[reducer]
+        if shard == self.SPREAD:
+            # Deterministic pure function of the key's own indices, so
+            # the spread keeps the rendezvous property.
+            return mapper + reducer + (chunk if chunk is not None else 0)
+        return shard
 
 
 def build_rebalance_assignments(
@@ -125,6 +213,60 @@ def build_rebalance_assignments(
     return tuple(
         tuple(flat[mapper * workers : (mapper + 1) * workers])
         for mapper in range(workers)
+    )
+
+
+def build_chunk_rebalance_assignments(
+    observed_cell_bytes: t.Sequence[t.Sequence[float]],
+    shards: int,
+    spread_fraction: float = 0.5,
+) -> tuple[tuple[int, ...], ...]:
+    """LPT shard placement of (mapper, reducer) cells from *observed* bytes.
+
+    Mid-stream counterpart of :func:`build_rebalance_assignments`:
+    instead of spreading a partition's predicted bytes evenly over
+    mappers, it places the cell-byte matrix actually observed so far
+    (``observed_cell_bytes[mapper][reducer]`` = logical bytes that
+    mapper published for that reducer).  A cell heavier than
+    ``spread_fraction`` of a fair shard share gets
+    :data:`PartitionLoadRouter.SPREAD` — pinning it anywhere would
+    recreate the hot shard, so its future chunks round-robin across the
+    fleet — and the remaining cells are LPT-balanced around it.  Meant
+    to be installed as a chunk epoch
+    (:meth:`PartitionLoadRouter.with_chunk_epoch`) when a hot partition
+    emerges mid-stream.
+    """
+    if shards < 1:
+        raise ShuffleError(f"shards must be >= 1, got {shards}")
+    rows = [list(row) for row in observed_cell_bytes]
+    if not rows or not rows[0]:
+        raise ShuffleError("observed cell bytes must not be empty")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ShuffleError("observed cell byte rows must have equal length")
+    total = sum(sum(row) for row in rows)
+    fair_share = total / shards
+    spread = [
+        [
+            shards > 1 and total > 0 and cell > spread_fraction * fair_share
+            for cell in row
+        ]
+        for row in rows
+    ]
+    weights = [
+        0.0 if spread[mapper][reducer] else rows[mapper][reducer]
+        for mapper in range(len(rows))
+        for reducer in range(width)
+    ]
+    flat = assign_balanced(weights, shards)
+    return tuple(
+        tuple(
+            PartitionLoadRouter.SPREAD
+            if spread[mapper][reducer]
+            else flat[mapper * width + reducer]
+            for reducer in range(width)
+        )
+        for mapper in range(len(rows))
     )
 
 
@@ -260,27 +402,46 @@ class RelayExchange(ExchangeBackend):
             # never perfectly even, so a fleet that only *just* fits in
             # total can still overflow (and backpressure-deadlock) its
             # hottest shard.  Fail fast instead, budgeting the same
-            # imbalance margin required_relay_fleet sizes with.  This is
-            # a heuristic, not a guarantee: realized imbalance is
-            # unbounded for very small key grids (W=2 puts ~4 keys on
-            # the hash ring), where a hot shard can exceed the margin —
-            # a wider margin or more workers is the operator's lever.
+            # imbalance margin required_relay_fleet sizes with — and,
+            # when load-aware rebalancing is off, the workload's
+            # expected partition skew on top (hash routing parks a hot
+            # partition entirely on one shard).  This is a heuristic,
+            # not a guarantee: realized imbalance is unbounded for very
+            # small key grids (W=2 puts ~4 keys on the hash ring),
+            # where a hot shard can exceed the margin — a wider margin
+            # or more workers is the operator's lever.
             per_shard = logical_size / self.shards
+            expected_hot = min(
+                float(logical_size), per_shard * self._shard_skew_budget()
+            )
             shard_capacity = min(
                 shard.capacity_bytes for shard in self.relay.shards
             )
-            if per_shard * SHARD_IMBALANCE_HEADROOM > shard_capacity:
+            if expected_hot * SHARD_IMBALANCE_HEADROOM > shard_capacity:
                 raise ShuffleError(
                     f"shuffle data ({logical_size:.0f} logical bytes over "
-                    f"{self.shards} shards) leaves no imbalance headroom: "
-                    f"each shard holds {shard_capacity:.0f} bytes but may "
-                    f"receive up to ~{per_shard * SHARD_IMBALANCE_HEADROOM:.0f}"
+                    f"{self.shards} shards, per-shard skew budget "
+                    f"{self._shard_skew_budget():.2f}) leaves no imbalance "
+                    f"headroom: each shard holds {shard_capacity:.0f} bytes "
+                    f"but may receive up to "
+                    f"~{expected_hot * SHARD_IMBALANCE_HEADROOM:.0f}"
                     "; provision larger instances or more shards"
                 )
         # The relay may be reused across sorts (its lifecycle belongs to
         # the caller); report per-sort deltas, not lifetime totals.
         self._stats_baseline = self.relay.stats.as_dict()
         self.relay.reset_peak()
+
+    def _shard_skew_budget(self) -> float:
+        """Max-over-mean factor each shard must budget at admission.
+
+        Without load-aware rebalancing, hash routing can park a hot
+        partition entirely on one shard, so admission budgets the
+        workload's expected partition skew — the runtime twin of
+        :func:`~repro.shuffle.relayplanner.required_relay_fleet`'s
+        skew-aware sizing.
+        """
+        return max(1.0, self.cost.expected_skew)
 
     def plan(
         self, logical_size: float, profile: CloudProfile, max_workers: int
@@ -426,6 +587,14 @@ class ShardedRelayExchange(RelayExchange):
         #: (``None`` while routing falls back to the CRC hash).
         self.rebalance_assignments: tuple[tuple[int, ...], ...] | None = None
         self._post_map_shard_bytes: tuple[float, ...] = ()
+
+    def _shard_skew_budget(self) -> float:
+        # Load-aware rebalancing spreads the hot partition's segments
+        # across shards, so a rebalanced fleet only budgets the hash
+        # imbalance margin; without it the base (skewed) budget applies.
+        if self.cost.rebalance and self.shards >= 2:
+            return 1.0
+        return super()._shard_skew_budget()
 
     def validate(self, logical_size: float) -> None:
         # Per-sort routing state: the base validate already cleared the

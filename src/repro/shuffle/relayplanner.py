@@ -71,6 +71,9 @@ class RelayShuffleCostModel:
     sample_bytes: int = 256 * 1024
     #: Number of key samples kept per sampler.
     sample_keys: int = 512
+    #: Sampling windows per sampler, strided across its split (see
+    #: :class:`~repro.shuffle.planner.ShuffleCostModel.sample_strides`).
+    sample_strides: int = 4
     #: Reducers delete their partitions after writing their sorted run,
     #: freeing relay memory as the reduce wave drains.  Off by default
     #: (mirroring the cache substrate's ``cleanup``): a reducer that
@@ -318,12 +321,46 @@ def required_relay_instance(
     return best.name
 
 
+def hot_shard_bytes(
+    logical_bytes: float, shards: int, partition_skew: float = 1.0
+) -> float:
+    """Expected logical bytes on the *hottest* shard of a fleet.
+
+    Hash routing only realises the mean ``logical / shards`` on balanced
+    keys: a partition skew of ``s`` (max-over-mean partition bytes)
+    concentrates up to ``s * logical / shards`` on the shard that owns
+    the hot partition, capped at the whole dataset (one shard can never
+    receive more than everything).  ``partition_skew=1.0`` reduces to
+    the mean — the pre-skew-aware sizing.
+    """
+    return min(float(logical_bytes), partition_skew * logical_bytes / shards)
+
+
+def _fleet_shards_for(
+    logical_bytes: float, usable: float, headroom: float, partition_skew: float
+) -> int:
+    """Smallest shard count whose hottest shard fits in ``usable``.
+
+    Feasibility is ``headroom * hot_shard_bytes(logical, n, skew) <=
+    usable``, which is monotone in ``n``: one shard suffices whenever the
+    whole dataset fits, otherwise the hot-shard term dictates
+    ``ceil(headroom * logical * skew / usable)`` — the skew-aware
+    generalisation of the old mean-based ``ceil(headroom * logical /
+    usable)`` that under-provisioned Zipf workloads when rebalancing is
+    off.
+    """
+    if usable >= headroom * logical_bytes:
+        return 1
+    return max(1, math.ceil(headroom * logical_bytes * partition_skew / usable))
+
+
 def required_relay_fleet(
     logical_bytes: float,
     profile: CloudProfile,
     instance_type_name: str | None = None,
     max_shards: int = 8,
     headroom: float = SHARD_IMBALANCE_HEADROOM,
+    partition_skew: float = 1.0,
 ) -> tuple[str, int]:
     """Cheapest ``(instance_type, shards)`` whose fleet holds the data.
 
@@ -334,6 +371,13 @@ def required_relay_fleet(
     the fattest single flavour feasible on the relay substrate at all —
     when even ``max_shards`` of the fattest flavour cannot hold the data
     this raises, mirroring :func:`required_relay_instance`.
+
+    ``partition_skew`` (max-over-mean partition bytes) sizes the fleet
+    so the *hot shard's* expected bytes — not the mean — fit in
+    :func:`relay_usable_bytes`: CRC routing parks a hot partition
+    entirely on one shard, so a Zipf workload needs roughly ``skew``
+    times the balanced shard count unless load-aware rebalancing spreads
+    it (in which case callers should keep the default of 1.0).
     """
     if logical_bytes <= 0:
         raise ShuffleError(f"logical_bytes must be positive, got {logical_bytes}")
@@ -341,22 +385,25 @@ def required_relay_fleet(
         raise ShuffleError(f"headroom must be >= 1, got {headroom}")
     if max_shards < 1:
         raise ShuffleError(f"max_shards must be >= 1, got {max_shards}")
-    needed = logical_bytes * headroom
+    if partition_skew < 1.0:
+        raise ShuffleError(
+            f"partition_skew must be >= 1 (max/mean), got {partition_skew}"
+        )
     if instance_type_name is not None:
         instance = resolve_relay_instance(profile, instance_type_name)
         usable = relay_usable_bytes(profile, instance)
-        shards = max(1, math.ceil(needed / usable))
+        shards = _fleet_shards_for(logical_bytes, usable, headroom, partition_skew)
         if shards > max_shards:
             raise ShuffleError(
-                f"{logical_bytes:.0f} logical bytes (x{headroom:.2f} headroom) "
-                f"need {shards} shards of {instance.name}, beyond the "
-                f"max_shards={max_shards} fleet limit"
+                f"{logical_bytes:.0f} logical bytes (x{headroom:.2f} headroom, "
+                f"partition skew {partition_skew:.2f}) need {shards} shards of "
+                f"{instance.name}, beyond the max_shards={max_shards} fleet limit"
             )
         return instance.name, shards
     options: list[tuple[float, int, str]] = []
     for instance in profile.vm.catalog.values():
         usable = relay_usable_bytes(profile, instance)
-        shards = max(1, math.ceil(needed / usable))
+        shards = _fleet_shards_for(logical_bytes, usable, headroom, partition_skew)
         if shards <= max_shards:
             options.append((shards * instance.hourly_usd, shards, instance.name))
     if not options:

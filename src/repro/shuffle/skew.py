@@ -39,6 +39,13 @@ Distributions (``KEY_DISTRIBUTIONS``):
     partially-ordered input shape of incremental ETL.  Key mass is
     uniform but each input split covers few ranges, so per-(mapper,
     partition) segment sizes are extremely uneven.
+``late-hot``
+    Uniform keys for the leading ``1 - late_hot_fraction`` of the
+    stream, then a single hot key claiming ``late_hot_share`` of the
+    tail.  Pre-flight samples (and even strided ones) see a uniform
+    workload; the hot partition only *emerges* mid-stream — the
+    adversarial input for online re-selection and chunk-grain
+    rerouting (Benchmark S12).
 """
 
 from __future__ import annotations
@@ -52,7 +59,7 @@ from repro.errors import ShuffleError
 
 #: Key distributions understood by :func:`skewed_keys` (and everything
 #: built on it: dataset stages, ``ExperimentConfig``, the S11 sweep).
-KEY_DISTRIBUTIONS = ("uniform", "zipf", "heavy-dup", "sorted-runs")
+KEY_DISTRIBUTIONS = ("uniform", "zipf", "heavy-dup", "sorted-runs", "late-hot")
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -69,6 +76,12 @@ class SkewSpec:
     distinct_keys: int = 64
     #: Ascending-run length of ``sorted-runs``.
     run_length: int = 256
+    #: Trailing fraction of the stream where ``late-hot``'s hot key
+    #: lives.  Everything before it is plain uniform.
+    late_hot_fraction: float = 0.25
+    #: Probability a tail record *is* the hot key (``late-hot`` only);
+    #: the rest of the tail stays uniform.
+    late_hot_share: float = 0.8
     #: Keys are integers in ``[0, key_space)``.
     key_space: int = 1 << 48
 
@@ -86,6 +99,15 @@ class SkewSpec:
             )
         if self.run_length < 1:
             raise ShuffleError(f"run_length must be >= 1, got {self.run_length}")
+        if not 0.0 < self.late_hot_fraction <= 1.0:
+            raise ShuffleError(
+                "late_hot_fraction must be in (0, 1], got "
+                f"{self.late_hot_fraction}"
+            )
+        if not 0.0 < self.late_hot_share <= 1.0:
+            raise ShuffleError(
+                f"late_hot_share must be in (0, 1], got {self.late_hot_share}"
+            )
         if self.key_space < 1:
             raise ShuffleError(f"key_space must be >= 1, got {self.key_space}")
 
@@ -131,6 +153,17 @@ def skewed_keys(count: int, spec: SkewSpec, rng: random.Random) -> list[int]:
     if spec.distribution == "heavy-dup":
         values = _spread_values(spec.distinct_keys, spec.key_space, rng)
         return [values[rng.randrange(spec.distinct_keys)] for _ in range(count)]
+    if spec.distribution == "late-hot":
+        hot_key = _spread_values(1, spec.key_space, rng)[0]
+        head = count - int(count * spec.late_hot_fraction)
+        keys = [rng.randrange(spec.key_space) for _ in range(head)]
+        keys.extend(
+            hot_key
+            if rng.random() < spec.late_hot_share
+            else rng.randrange(spec.key_space)
+            for _ in range(count - head)
+        )
+        return keys
     # sorted-runs: uniform mass, locally ascending order.
     keys = [rng.randrange(spec.key_space) for _ in range(count)]
     for start in range(0, count, spec.run_length):

@@ -27,17 +27,56 @@ from repro.shuffle.records import RecordCodec
 from repro.shuffle.sampler import partition_index, reservoir_sample
 
 
+def _sample_windows(
+    start: int, end: int, sample_bytes: int, strides: int
+) -> list[tuple[int, int]]:
+    """Byte windows of one sampler's split: ``strides`` spread slices.
+
+    The sampling budget is split over ``strides`` windows placed at the
+    starts of equal sub-spans of ``[start, end)`` — a single
+    head-of-split window (``strides=1``, the old behaviour) only ever
+    sees the *low-key head of each locally-ascending run* on
+    ``sorted-runs`` inputs, biasing the weighted boundaries; spreading
+    the same bytes restores uniform positional coverage.
+    """
+    span = end - start
+    if strides <= 1 or span <= sample_bytes:
+        return [(start, min(end, start + sample_bytes))]
+    per_window = max(1, sample_bytes // strides)
+    step, remainder = divmod(span, strides)
+    windows: list[tuple[int, int]] = []
+    cursor = start
+    for index in range(strides):
+        sub_end = cursor + step + (1 if index < remainder else 0)
+        window_end = min(sub_end, cursor + per_window)
+        if window_end > cursor:
+            windows.append((cursor, window_end))
+        cursor = sub_end
+    return windows
+
+
 def shuffle_sampler(ctx, task: dict) -> t.Generator:
     """Sample record keys from one input split.
 
     Task fields: ``bucket, key, start, end, object_size, sample_bytes,
-    sample_keys, codec, seed``.
+    sample_keys, codec, seed``, and optional ``sample_strides`` (number
+    of windows the sampling budget is spread over — see
+    :func:`_sample_windows`).
     """
     codec: RecordCodec = task["codec"]
-    start = task["start"]
-    window_end = min(task["end"], start + task["sample_bytes"])
-    window = yield ctx.storage.get_range(task["bucket"], task["key"], start, window_end)
-    records = codec.sample_window(window, is_first=(start == 0), global_start=start)
+    strides = max(1, int(task.get("sample_strides", 1)))
+    records: list[bytes] = []
+    for window_start, window_end in _sample_windows(
+        task["start"], task["end"], task["sample_bytes"], strides
+    ):
+        window = yield ctx.storage.get_range(
+            task["bucket"], task["key"], window_start, window_end
+        )
+        records.extend(
+            codec.sample_window(
+                window, is_first=(window_start == 0), global_start=window_start
+            )
+        )
     keys = [codec.key(record) for record in records]
     rng = ctx.rng(f"sampler-{task.get('sampler_id', 0)}")
     sample = reservoir_sample(keys, task["sample_keys"], rng) if keys else []

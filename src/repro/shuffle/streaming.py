@@ -212,6 +212,39 @@ class _ObjectStorePort:
             # nothing is being produced; reset on progress (new call).
             delay = min(delay * 1.5, self.poll_interval * 4)
 
+    def fetch_chunk(
+        self, mapper_id: int, reducer_id: int, chunk: int
+    ) -> t.Generator:
+        """The reducer's segment of a chunk *known to exist eventually*.
+
+        The online sort's reducers learn the exact chunk grid from a
+        control record before fetching, so unlike :meth:`next_chunk`
+        there is no EOS protocol — this simply polls the manifest until
+        the chunk is published (possibly by a mapper running waves
+        later) and range-GETs the segment.
+        """
+        delay = self.poll_interval
+        while True:
+            try:
+                raw = yield self.ctx.storage.get(
+                    self.bucket, stream_manifest_key(self.prefix, mapper_id, chunk)
+                )
+            except NoSuchKey:
+                yield self.ctx.sleep(delay)
+                delay = min(delay * 1.5, self.poll_interval * 4)
+                continue
+            start, end = deserialize(raw)[reducer_id]
+            if end <= start:
+                return b""
+            return (
+                yield self.ctx.storage.get_range(
+                    self.bucket,
+                    stream_chunk_object_key(self.prefix, mapper_id, chunk),
+                    start,
+                    end,
+                )
+            )
+
 
 class _NotifyPort:
     """Shared stream port over a notifying key-value rendezvous.
@@ -278,6 +311,21 @@ class _NotifyPort:
             self._headers[mapper_id] = count
         if chunk >= count:
             return None
+        return (
+            yield self._get_blocking(
+                stream_segment_key(self.prefix, mapper_id, reducer_id, chunk)
+            )
+        )
+
+    def fetch_chunk(
+        self, mapper_id: int, reducer_id: int, chunk: int
+    ) -> t.Generator:
+        """One known (mapper, reducer, chunk) segment, blocking.
+
+        Online-sort counterpart of :meth:`next_chunk`: the chunk grid is
+        known from the control record, so no header handshake — park on
+        the rendezvous read until the segment is published.
+        """
         return (
             yield self._get_blocking(
                 stream_segment_key(self.prefix, mapper_id, reducer_id, chunk)

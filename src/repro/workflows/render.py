@@ -25,6 +25,7 @@ _SUBSTRATE_LABELS = {
     "sharded_relay_sort": "cloud functions + VM relay fleet",
     "streaming_sort": "cloud functions + streaming exchange (pipelined waves)",
     "auto_sort": "cloud functions + adaptive exchange substrate",
+    "online_sort": "cloud functions + online re-selecting exchange",
     "methcomp_encode": "cloud functions",
     "methcomp_verify": "cloud functions",
 }

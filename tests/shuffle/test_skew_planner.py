@@ -8,7 +8,11 @@ total-bytes* workload picks a different exchange configuration when its
 keys are Zipf instead of uniform.
 """
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cloud.profiles import GB, ibm_us_east
 from repro.errors import ShuffleError
@@ -16,15 +20,24 @@ from repro.shuffle import (
     CacheShuffleCostModel,
     RelayShuffleCostModel,
     ShuffleCostModel,
+    SkewSpec,
     choose_exchange_substrate,
+    choose_weighted_boundaries,
+    estimate_partition_weights,
+    partition_skew_of,
     plan_shuffle,
     predict_shuffle_time,
     predict_streaming_shuffle_time,
+    skewed_keys,
 )
 from repro.shuffle.cacheplanner import predict_cache_shuffle_time
 from repro.shuffle.relayplanner import (
+    SHARD_IMBALANCE_HEADROOM,
+    hot_shard_bytes,
     plan_relay_shuffle,
     predict_relay_shuffle_time,
+    relay_usable_bytes,
+    required_relay_fleet,
     resolve_relay_instance,
 )
 
@@ -171,3 +184,122 @@ class TestSkewAwareSelector:
         assert default.chosen.score_usd == pytest.approx(
             explicit.chosen.score_usd
         )
+
+
+class TestSkewAwareFleetSizing:
+    """The skew-sizing bugfix (PR 6 satellite): ``required_relay_fleet``
+    sizes the fleet for the *hot shard's* expected bytes, not the mean.
+
+    The regression: CRC routing parks a hot partition entirely on one
+    shard, so the old mean-based ``ceil(headroom * logical / usable)``
+    under-provisions any Zipf workload whenever load-aware rebalancing
+    is off — the hot shard overflows its usable relay memory while the
+    planner believes the fleet fits.
+    """
+
+    INSTANCE = "bx2-8x32"
+
+    def usable(self):
+        return relay_usable_bytes(
+            PROFILE, resolve_relay_instance(PROFILE, self.INSTANCE)
+        )
+
+    def test_hot_shard_bytes_is_the_skewed_mean_capped_at_everything(self):
+        assert hot_shard_bytes(1000.0, 4) == pytest.approx(250.0)
+        assert hot_shard_bytes(1000.0, 4, 3.0) == pytest.approx(750.0)
+        # One shard can never receive more than the whole dataset.
+        assert hot_shard_bytes(1000.0, 2, 8.0) == pytest.approx(1000.0)
+        assert hot_shard_bytes(1000.0, 1, 5.0) == pytest.approx(1000.0)
+
+    def test_mean_based_sizing_under_provisions_a_zipf_workload(self):
+        """The pinned regression, with the skew *measured* from a Zipf
+        key stream the way the operator measures it (partition weights
+        at the planned boundaries) rather than assumed."""
+        keys = skewed_keys(
+            20_000,
+            SkewSpec(distribution="zipf", zipf_s=1.2, distinct_keys=64),
+            random.Random(5),
+        )
+        weights = estimate_partition_weights(
+            keys, choose_weighted_boundaries(keys, 16)
+        )
+        skew = partition_skew_of(weights)
+        assert skew > 1.5  # the workload genuinely concentrates mass
+
+        usable = self.usable()
+        logical = 3.0 * usable
+        _, lean = required_relay_fleet(
+            logical, PROFILE, self.INSTANCE, max_shards=64
+        )
+        _, sized = required_relay_fleet(
+            logical, PROFILE, self.INSTANCE, max_shards=64,
+            partition_skew=skew,
+        )
+        assert sized > lean
+        # The old mean-based fleet cannot hold its hot shard (this is
+        # the bug: rebalance=False leaves the hot partition where CRC
+        # routing put it)...
+        assert SHARD_IMBALANCE_HEADROOM * hot_shard_bytes(
+            logical, lean, skew
+        ) > usable
+        # ...while the skew-sized fleet can.
+        assert SHARD_IMBALANCE_HEADROOM * hot_shard_bytes(
+            logical, sized, skew
+        ) <= usable
+
+    def test_default_skew_matches_legacy_sizing(self):
+        logical = 2.5 * self.usable()
+        default = required_relay_fleet(logical, PROFILE, self.INSTANCE)
+        explicit = required_relay_fleet(
+            logical, PROFILE, self.INSTANCE, partition_skew=1.0
+        )
+        assert default == explicit
+
+    def test_invalid_partition_skew_rejected(self):
+        with pytest.raises(ShuffleError, match="partition_skew"):
+            required_relay_fleet(
+                GB, PROFILE, self.INSTANCE, partition_skew=0.5
+            )
+
+    @given(
+        mult=st.floats(0.1, 6.0),
+        skew=st.floats(1.0, 8.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pinned_fleet_hot_shard_always_fits(self, mult, skew):
+        """The chaos-matrix invariant: whatever the workload's measured
+        skew, a fleet the planner accepts never exceeds per-shard usable
+        relay bytes on its hottest shard (headroom included)."""
+        usable = self.usable()
+        logical = mult * usable
+        try:
+            _, shards = required_relay_fleet(
+                logical, PROFILE, self.INSTANCE, max_shards=64,
+                partition_skew=skew,
+            )
+        except ShuffleError:
+            return  # declared infeasible, not silently under-sized
+        assert SHARD_IMBALANCE_HEADROOM * hot_shard_bytes(
+            logical, shards, skew
+        ) <= usable * (1 + 1e-9)
+
+    @given(
+        logical_gb=st.floats(0.5, 400.0),
+        skew=st.floats(1.0, 8.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_catalog_search_hot_shard_always_fits(self, logical_gb, skew):
+        """Same invariant over the whole-catalog search path."""
+        logical = logical_gb * GB
+        try:
+            name, shards = required_relay_fleet(
+                logical, PROFILE, max_shards=8, partition_skew=skew
+            )
+        except ShuffleError:
+            return
+        usable = relay_usable_bytes(
+            PROFILE, resolve_relay_instance(PROFILE, name)
+        )
+        assert SHARD_IMBALANCE_HEADROOM * hot_shard_bytes(
+            logical, shards, skew
+        ) <= usable * (1 + 1e-9)

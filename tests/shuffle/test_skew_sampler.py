@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ExecutorError, ShuffleError
 from repro.executor.partitioner import assign_balanced
+from repro.shuffle.stages import _sample_windows
 from repro.shuffle import (
     SkewSpec,
     choose_boundaries,
@@ -243,6 +244,100 @@ class TestSkewedWorkloadGenerator:
         assert len(payload) == 100 * 16
         with pytest.raises(ShuffleError):
             skewed_fixed_payload(10, SkewSpec(), seed=5, record_size=4)
+
+
+class TestStridedSamplingWindows:
+    """The head-of-split sampling-window bugfix (PR 6 satellite).
+
+    A single head window per sampler split only ever sees the low-key
+    head of each locally-ascending run on ``sorted-runs`` inputs, so
+    every boundary lands in the bottom quantiles and the last partition
+    swallows most of the data.  Spreading the same sampling budget over
+    ``strides`` windows restores uniform positional coverage.
+    """
+
+    @given(
+        span=st.integers(1, 100_000),
+        start=st.integers(0, 50_000),
+        sample_bytes=st.integers(1, 20_000),
+        strides=st.integers(1, 16),
+    )
+    @settings(max_examples=200)
+    def test_windows_are_ordered_disjoint_and_budgeted(
+        self, span, start, sample_bytes, strides
+    ):
+        end = start + span
+        windows = _sample_windows(start, end, sample_bytes, strides)
+        assert windows
+        cursor = start
+        total = 0
+        for window_start, window_end in windows:
+            assert start <= window_start < window_end <= end
+            assert window_start >= cursor  # ordered, non-overlapping
+            cursor = window_end
+            total += window_end - window_start
+        # The budget is respected up to the 1-byte-per-window floor.
+        assert total <= max(sample_bytes, strides)
+
+    @given(
+        span=st.integers(1, 100_000),
+        start=st.integers(0, 50_000),
+        sample_bytes=st.integers(1, 20_000),
+    )
+    @settings(max_examples=100)
+    def test_one_stride_is_the_old_head_window(
+        self, span, start, sample_bytes
+    ):
+        end = start + span
+        assert _sample_windows(start, end, sample_bytes, 1) == [
+            (start, min(end, start + sample_bytes))
+        ]
+
+    def test_small_split_collapses_to_a_single_window(self):
+        # A split no larger than the budget needs no striding at all.
+        assert _sample_windows(0, 100, 200, 4) == [(0, 100)]
+
+    # -- the boundary-mass property the fix exists for -----------------
+    RECORD = 16
+    COUNT = 4096
+    RUN = 512
+    SAMPLERS = 8
+    PARTITIONS = 8
+    SAMPLE_BYTES = 64 * RECORD
+
+    def max_partition_share(self, keys, strides):
+        """Max partition mass share after sampling with ``strides``
+        windows per (run-aligned) sampler split — the sampler's byte
+        windows replayed over an in-memory key list."""
+        total = len(keys) * self.RECORD
+        per_split = total // self.SAMPLERS
+        sampled = []
+        for sampler in range(self.SAMPLERS):
+            start = sampler * per_split
+            for window_start, window_end in _sample_windows(
+                start, start + per_split, self.SAMPLE_BYTES, strides
+            ):
+                sampled.extend(
+                    keys[window_start // self.RECORD : window_end // self.RECORD]
+                )
+        boundaries = choose_weighted_boundaries(sampled, self.PARTITIONS)
+        buckets = spread(keys, boundaries)
+        return max(len(bucket) for bucket in buckets) / len(keys)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_strided_windows_fix_sorted_runs_boundary_bias(self, seed):
+        """On run-aligned splits the head window samples only each run's
+        lowest keys: boundaries collapse into the bottom quantiles and
+        one partition takes ~90% of the mass.  Four strides over the
+        *same* budget keep the heaviest partition near its fair share."""
+        spec = SkewSpec(distribution="sorted-runs", run_length=self.RUN)
+        keys = skewed_keys(self.COUNT, spec, random.Random(seed))
+        head_share = self.max_partition_share(keys, strides=1)
+        strided_share = self.max_partition_share(keys, strides=4)
+        assert strided_share <= head_share
+        assert head_share > 0.75  # the bias is catastrophic...
+        assert strided_share < 0.40  # ...and striding removes it
 
 
 class TestAssignBalanced:

@@ -8,13 +8,13 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults test-skew collect bench bench-exchange bench-streaming bench-skew bench-online verify
+.PHONY: test test-faults test-skew test-service collect bench bench-exchange bench-streaming bench-skew bench-online bench-service verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
-# pinned seed matrix, then the skew suite, then everything (which
-# collects both again under their in-repo defaults — identical by
-# default).
-test: test-faults test-skew
+# pinned seed matrix, then the skew suite, then the multi-tenant
+# service suite, then everything (which collects them again under
+# their in-repo defaults — identical by default).
+test: test-faults test-skew test-service
 	$(PYTEST) -x -q
 
 # Chaos suite alone: crash-injected shuffles on all four exchange
@@ -36,6 +36,16 @@ test-skew:
 		tests/shuffle/test_skew_sampler.py \
 		tests/shuffle/test_skew_parity.py \
 		tests/shuffle/test_skew_planner.py
+
+# Multi-tenant service suite alone: the shared ExchangeService
+# (fairness, tenant fencing, autoscaling, cost attribution) plus the
+# relay-level multi-tenant primitives it rests on (read-leases, scope
+# fencing, peak epochs, concurrent-sort parity).
+test-service:
+	$(PYTEST) -x -q \
+		tests/service/test_exchange_service.py \
+		tests/cloud/test_vm_relay_multitenant.py \
+		tests/shuffle/test_multitenant.py
 
 # Collection-regression smoke: fails fast when test modules collide or
 # an import breaks, without running anything.
@@ -75,5 +85,13 @@ bench-skew:
 # relay-fill assertions.
 bench-online:
 	$(PYTEST) benchmarks/bench_online.py -q
+
+# Service bench only: regenerates just the S13 result
+# (benchmarks/results/s13_service.txt) — one shared autoscaled
+# ExchangeService vs provision-per-job on an open-loop arrival
+# schedule, with strict cost win, p95, scale-up/down, byte-parity,
+# fairness and cost-attribution assertions.
+bench-service:
+	$(PYTEST) benchmarks/bench_service.py -q
 
 verify: collect test

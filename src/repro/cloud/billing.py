@@ -49,6 +49,10 @@ class CostMeter:
     def __init__(self) -> None:
         self.lines: list[CostLine] = []
         self._context_tags: dict[str, str] = {}
+        #: Per-key stack of shadowed values, so nested ``push_tag`` of the
+        #: same key restores the outer value on ``pop_tag`` instead of
+        #: dropping it (``None`` marks "key was unset before the push").
+        self._tag_stack: dict[str, list[str | None]] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -74,12 +78,32 @@ class CostMeter:
 
         Used by the workflow engine to attribute costs to pipeline stages
         without threading a stage label through every storage call.
+
+        Pushes nest: pushing a key that is already set shadows the outer
+        value, and the matching :meth:`pop_tag` *restores* it, so an
+        engine-level ``stage`` tag under a service-level ``tenant`` tag
+        never silently drops the outer attribution.
         """
+        self._tag_stack.setdefault(key, []).append(self._context_tags.get(key))
         self._context_tags[key] = value
 
     def pop_tag(self, key: str) -> None:
-        """Remove an ambient context tag set by :meth:`push_tag`."""
-        self._context_tags.pop(key, None)
+        """Undo the most recent :meth:`push_tag` of ``key``.
+
+        Restores the value the key had before that push (removing the key
+        if it was unset).  Popping a key that was never pushed is a no-op.
+        """
+        stack = self._tag_stack.get(key)
+        if not stack:
+            self._context_tags.pop(key, None)
+            return
+        previous = stack.pop()
+        if not stack:
+            del self._tag_stack[key]
+        if previous is None:
+            self._context_tags.pop(key, None)
+        else:
+            self._context_tags[key] = previous
 
     # ------------------------------------------------------------------
     # aggregation

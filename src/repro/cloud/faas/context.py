@@ -60,6 +60,7 @@ class FunctionContext:
         self.sim: Simulator = platform.sim
         self._cancelled = False
         self._cancel_callbacks: list[t.Callable[[object], None]] = []
+        self._commit_callbacks: list[t.Callable[[], None]] = []
         self._tracked: list["Process"] = []
         #: Storage client bounded by the function instance's NIC; retries
         #: transient 5xx-style failures like the real worker SDK does.
@@ -120,9 +121,34 @@ class FunctionContext:
             if process.interruptible:
                 process.interrupt(cause=cause)
         self._tracked.clear()
+        self._commit_callbacks.clear()
         callbacks, self._cancel_callbacks = self._cancel_callbacks, []
         for callback in callbacks:
             callback(cause)
+
+    def on_commit(self, callback: t.Callable[[], None]) -> None:
+        """Register a callback run when the activation *succeeds*.
+
+        The success-side twin of :meth:`on_cancel`: services use it to
+        finalize effects that must only become permanent once the handler
+        has returned — e.g. the relay's consume leases, whose destructive
+        reads are deferred until commit so a crashed reducer loses
+        nothing.  Commit callbacks never run on a cancelled activation.
+        """
+        self._commit_callbacks.append(callback)
+
+    def commit_resources(self) -> None:
+        """Finalize registered effects after handler success.  Idempotent.
+
+        Called by the platform exactly once, when the handler body
+        returned without error and the activation won its race against
+        timeout/crash/cancel; never by handlers themselves.
+        """
+        if self._cancelled:
+            return
+        callbacks, self._commit_callbacks = self._commit_callbacks, []
+        for callback in callbacks:
+            callback()
 
     # ------------------------------------------------------------------
     # effects for handlers to yield
@@ -170,7 +196,7 @@ class FunctionContext:
             owner=self,
         )
 
-    def relay(self, relay_id: str):
+    def relay(self, relay_id: str, scope: str | None = None):
         """Partition-relay client for ``relay_id``, bounded by this NIC.
 
         Worker payloads carry relay *ids* (plain strings survive
@@ -182,7 +208,10 @@ class FunctionContext:
         The client is bound to this activation's attempt: its requests
         are attempt-tagged on the relay, its transfer processes are
         tracked here, and when the activation dies the relay reclaims
-        the attempt's reservations and fences the attempt id out.
+        the attempt's reservations and fences the attempt id out; when
+        the activation *succeeds* the relay finalizes the attempt's
+        consume leases.  ``scope`` additionally labels the attempt with
+        a tenant/job scope for service-level ``cancel_scope`` fencing.
         """
         if self._platform.vms is None:
             from repro.errors import FaasError
@@ -192,8 +221,12 @@ class FunctionContext:
         self.on_cancel(
             lambda cause, relay=relay: relay.cancel_attempt(self.attempt_id)
         )
+        self.on_commit(
+            lambda relay=relay: relay.commit_attempt(self.attempt_id)
+        )
         return relay.client(
             connection_bandwidth=self._platform.profile.instance_bandwidth,
             attempt_id=self.attempt_id,
             owner=self,
+            scope=scope,
         )

@@ -56,6 +56,9 @@ class FunctionDef:
     handler: Handler
     memory_mb: int
     timeout_s: float
+    #: Extra billing tags stamped on every activation's gb-second charge
+    #: (e.g. ``tenant=...`` for a multi-tenant service's attribution).
+    billing_tags: dict[str, str] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass(slots=True)
@@ -170,6 +173,7 @@ class FaasPlatform:
         handler: Handler,
         memory_mb: int = 2048,
         timeout_s: float | None = None,
+        billing_tags: dict[str, str] | None = None,
     ) -> FunctionDef:
         """Register ``handler`` under ``name`` with the given resources."""
         if name in self._functions:
@@ -183,6 +187,7 @@ class FaasPlatform:
             handler=handler,
             memory_mb=memory_mb,
             timeout_s=timeout_s if timeout_s is not None else self.profile.default_timeout_s,
+            billing_tags=dict(billing_tags or {}),
         )
         self._functions[name] = definition
         self._warm_pools[name] = collections.deque()
@@ -328,6 +333,9 @@ class FaasPlatform:
                     activation=activation_id,
                     started=execution_start,
                 )
+            # The handler returned and won its race: finalize deferred
+            # effects (e.g. relay consume leases become real deletions).
+            context.commit_resources()
             self.stats.completions += 1
             return result
         finally:
@@ -441,4 +449,5 @@ class FaasPlatform:
             gb_seconds,
             gb_seconds * self.profile.gb_second_usd,
             function=definition.name,
+            **definition.billing_tags,
         )

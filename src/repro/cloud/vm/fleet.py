@@ -66,12 +66,20 @@ class RelayFleet:
         #: Optional key → shard-index override (``None`` falls through
         #: to CRC); install via :meth:`set_router`.
         self.router: t.Callable[[str], int | None] | None = None
+        #: Namespaced routers: key-prefix → router, so concurrent sorts
+        #: on a shared fleet each route their own key namespace without
+        #: clobbering each other's rebalanced routing.
+        self._routers: dict[str, t.Callable[[str], int | None]] = {}
         service.relays[self.relay_id] = self
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def set_router(self, router: t.Callable[[str], int | None] | None) -> None:
+    def set_router(
+        self,
+        router: t.Callable[[str], int | None] | None,
+        namespace: str | None = None,
+    ) -> None:
         """Install (or clear, with ``None``) a load-aware routing override.
 
         The router maps a key to a shard index, or ``None`` to fall back
@@ -80,13 +88,27 @@ class RelayFleet:
         attempts all resolving a key to the same shard.  Install it
         before any traffic of the exchange it routes (the skew-aware
         sort does so right after boundary selection, before the map
-        wave), and only replace it between sorts.
+        wave).
+
+        ``namespace`` scopes the router to one exchange's key prefix:
+        only keys starting with it consult this router, so any number of
+        concurrent sorts can each install their own rebalanced routing
+        on a shared fleet.  Without a namespace the router is the single
+        fleet-global override (the legacy single-job discipline — only
+        replace it between sorts).
         """
-        self.router = router
+        if namespace is not None:
+            if router is None:
+                self._routers.pop(namespace, None)
+            else:
+                self._routers[namespace] = router
+        else:
+            self.router = router
         self.sim.timeline.record(
             self.sim.now, "relay",
             "fleet_rebalance" if router is not None else "fleet_rebalance_clear",
             fleet=self.relay_id, shards=len(self.shards),
+            namespace=namespace or "(global)",
         )
 
     def shard_index_for_key(self, key: str) -> int:
@@ -94,8 +116,19 @@ class RelayFleet:
 
         Deliberately *not* Python's randomized ``hash``: routing must be
         identical across runs, retries and speculative attempts or the
-        rendezvous breaks.
+        rendezvous breaks.  Namespaced routers take precedence (longest
+        matching prefix wins), then the global router, then CRC.
         """
+        if self._routers:
+            best: t.Callable[[str], int | None] | None = None
+            best_length = -1
+            for namespace, router in self._routers.items():
+                if len(namespace) > best_length and key.startswith(namespace):
+                    best, best_length = router, len(namespace)
+            if best is not None:
+                index = best(key)
+                if index is not None:
+                    return index % len(self.shards)
         if self.router is not None:
             index = self.router(key)
             if index is not None:
@@ -173,6 +206,24 @@ class RelayFleet:
         for shard in self.shards:
             shard.reset_peak()
 
+    # Epoch-scoped peaks: a fleet epoch is one token per shard; the
+    # fleet-level peak is the hottest shard's epoch peak (imbalance
+    # shows up there, same as :attr:`peak_fill_fraction`).
+    def begin_peak_epoch(self) -> tuple[int, ...]:
+        return tuple(shard.begin_peak_epoch() for shard in self.shards)
+
+    def peak_fill_since(self, token: tuple[int, ...]) -> float:
+        return max(
+            shard.peak_fill_since(shard_token)
+            for shard, shard_token in zip(self.shards, token)
+        )
+
+    def end_peak_epoch(self, token: tuple[int, ...]) -> float:
+        return max(
+            shard.end_peak_epoch(shard_token)
+            for shard, shard_token in zip(self.shards, token)
+        )
+
     def ensure_running(self) -> None:
         for shard in self.shards:
             shard.ensure_running()
@@ -197,8 +248,19 @@ class RelayFleet:
             shard.cancel_attempt(attempt_id, fence=fence) for shard in self.shards
         )
 
+    def commit_attempt(self, attempt_id: str | None) -> int:
+        """Finalize consume leases on every shard; returns entries removed."""
+        return sum(shard.commit_attempt(attempt_id) for shard in self.shards)
+
+    def cancel_scope(self, scope: str, fence: bool = True) -> float:
+        """Reclaim and fence one tenant/job scope on every shard."""
+        return sum(shard.cancel_scope(scope, fence=fence) for shard in self.shards)
+
     def is_fenced(self, attempt_id: str | None) -> bool:
         return any(shard.is_fenced(attempt_id) for shard in self.shards)
+
+    def scope_fenced(self, scope: str) -> bool:
+        return any(shard.scope_fenced(scope) for shard in self.shards)
 
     def residual_reservation_bytes(self, attempt_id: str | None = None) -> float:
         return sum(
@@ -215,9 +277,16 @@ class RelayFleet:
         connection_bandwidth: float | None = None,
         attempt_id: str | None = None,
         owner=None,
+        scope: str | None = None,
     ) -> "RelayFleetClient":
-        """A fan-out client; same contract as :meth:`PartitionRelay.client`."""
-        return RelayFleetClient(self, connection_bandwidth, attempt_id, owner)
+        """A fan-out client; same contract as :meth:`PartitionRelay.client`.
+
+        ``scope`` is bound lazily, shard by shard, as the fan-out touches
+        them; :meth:`cancel_scope` fences the scope on *every* shard, so
+        a zombie of a cancelled scope is rejected even on shards it never
+        touched before the cancel.
+        """
+        return RelayFleetClient(self, connection_bandwidth, attempt_id, owner, scope)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -255,12 +324,14 @@ class RelayFleetClient:
         connection_bandwidth: float | None,
         attempt_id: str | None = None,
         owner=None,
+        scope: str | None = None,
     ):
         self.fleet = fleet
         self.sim = fleet.sim
         self.connection_bandwidth = connection_bandwidth
         self.attempt_id = attempt_id
         self.owner = owner
+        self.scope = scope
 
     # ------------------------------------------------------------------
     # single-key operations: route, then delegate
@@ -307,7 +378,7 @@ class RelayFleetClient:
 
     def _shard_client(self, shard: PartitionRelay, cap: float | None = None):
         bandwidth = cap if cap is not None else self.connection_bandwidth
-        return shard.client(bandwidth, self.attempt_id, self.owner)
+        return shard.client(bandwidth, self.attempt_id, self.owner, self.scope)
 
     def _group(self, keys: t.Sequence[str]) -> list[tuple[int, list[int]]]:
         """``[(shard_index, [positions...]), ...]`` in shard order."""

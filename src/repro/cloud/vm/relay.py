@@ -144,6 +144,12 @@ class RelayStats:
         self.rendezvous_waits = 0
         self.cancelled_transfers = 0
         self.fenced_requests = 0
+        #: Consuming reads granted as leases (entry retained until commit).
+        self.consume_leases = 0
+        #: Leased entries actually removed by a committing attempt.
+        self.lease_commits = 0
+        #: Leased entries reinstated because the attempt died/fenced.
+        self.lease_reinstatements = 0
         self.bytes_in = 0.0  # logical bytes pushed (stored)
         self.bytes_out = 0.0  # logical bytes served to pullers
         self.reclaimed_bytes = 0.0  # logical bytes reclaimed from dead attempts
@@ -178,6 +184,22 @@ class PartitionRelay:
         self._key_watchers = KeyedWatch(self.sim, name=f"{self.relay_id}.watch")
         #: Attempt ids whose requests are rejected (cancelled attempts).
         self._fenced: set[str] = set()
+        #: Consume leases: attempt id → keys it read destructively.  The
+        #: entries stay resident until the attempt *commits* (the FaaS
+        #: platform calls :meth:`commit_attempt` on handler success), so a
+        #: reducer that dies mid-consume loses nothing — its retry finds
+        #: every key exactly where it was.
+        self._attempt_consume_leases: dict[str, set[str]] = {}
+        #: Tenant/job scopes: every attempt may carry one scope label, so
+        #: a service can cancel *exactly* one tenant's attempts
+        #: (:meth:`cancel_scope`) without touching anyone else's.
+        self._attempt_scopes: dict[str, str] = {}
+        self._scope_attempts: dict[str, set[str]] = {}
+        self._fenced_scopes: set[str] = set()
+        #: Open peak-tracking epochs: token → max ``used_logical`` seen
+        #: since the epoch began (concurrent jobs each get their own).
+        self._peak_epochs: dict[int, float] = {}
+        self._peak_epoch_seq = 0
         self.ops = TokenBucket(
             self.sim,
             rate=profile.relay_ops_per_second,
@@ -223,6 +245,7 @@ class PartitionRelay:
         connection_bandwidth: float | None = None,
         attempt_id: str | None = None,
         owner=None,
+        scope: str | None = None,
     ) -> "RelayClient":
         """A request client, optionally capped by the caller's NIC.
 
@@ -232,7 +255,14 @@ class PartitionRelay:
         tracks the client's request processes so a killed activation's
         transfers are interrupted instead of draining as orphans.
         Driver-side clients pass neither and are never fenced.
+
+        ``scope`` labels the attempt with a tenant/job scope: a later
+        :meth:`cancel_scope` reclaims and fences exactly the attempts
+        bound under that label.  Binding into an already-cancelled scope
+        fences the attempt immediately (a zombie activation of a
+        cancelled job must not start fresh traffic).
         """
+        self._bind_scope(attempt_id, scope)
         return RelayClient(self, connection_bandwidth, attempt_id, owner)
 
     def terminate(self) -> None:
@@ -259,6 +289,8 @@ class PartitionRelay:
         self._entries.clear()
         self._waiters.clear()
         self._pending_swaps.clear()
+        self._attempt_consume_leases.clear()
+        self._peak_epochs.clear()
         self.used_logical = 0.0
         self.service.relays.pop(self.relay_id, None)
         self.sim.timeline.record(
@@ -289,11 +321,82 @@ class PartitionRelay:
             reclaimed += self._abort_push(reservation)
         if reclaimed > 0:
             self.stats.reclaimed_bytes += reclaimed
+        # Reinstate consume leases: the entries were never removed, so
+        # "reinstatement" is simply forgetting the dead attempt's claim —
+        # the retry will find every key resident.
+        leases = self._attempt_consume_leases.pop(attempt_id, None)
+        reinstated = len(leases) if leases else 0
+        if reinstated:
+            self.stats.lease_reinstatements += reinstated
         self.sim.timeline.record(
             self.sim.now, "relay", "cancel_attempt",
             relay=self.relay_id, attempt=attempt_id, reclaimed=reclaimed,
+            leases_reinstated=reinstated,
         )
         return reclaimed
+
+    def commit_attempt(self, attempt_id: str | None) -> int:
+        """Finalize an attempt's consume leases; returns entries removed.
+
+        Called by the FaaS platform when the activation's handler returns
+        successfully — only then do destructive reads actually destroy.
+        An entry leased by several attempts (speculation) is removed by
+        the first committer; later commits of the same key are no-ops.
+        """
+        if attempt_id is None:
+            return 0
+        leases = self._attempt_consume_leases.pop(attempt_id, None)
+        if not leases:
+            return 0
+        removed = 0
+        for key in leases:
+            if key in self._entries:
+                removed += 1
+            self._consume_entry(key)
+        self.stats.lease_commits += removed
+        self.sim.timeline.record(
+            self.sim.now, "relay", "commit_attempt",
+            relay=self.relay_id, attempt=attempt_id, consumed=removed,
+        )
+        return removed
+
+    # ------------------------------------------------------------------
+    # scope-level (tenant/job) cancellation
+    # ------------------------------------------------------------------
+    def _bind_scope(self, attempt_id: str | None, scope: str | None) -> None:
+        if attempt_id is None or scope is None:
+            return
+        self._attempt_scopes[attempt_id] = scope
+        self._scope_attempts.setdefault(scope, set()).add(attempt_id)
+        if scope in self._fenced_scopes:
+            self._fenced.add(attempt_id)
+
+    def cancel_scope(self, scope: str, fence: bool = True) -> float:
+        """Reclaim and fence every attempt bound under ``scope``.
+
+        The scope boundary is exact: only attempts that bound themselves
+        with this scope label are touched, so one tenant's cancel storm
+        can never reclaim another tenant's reservations or leases.  With
+        ``fence`` the scope itself stays fenced — attempts that bind
+        into it later are dead on arrival.
+        """
+        if fence:
+            self._fenced_scopes.add(scope)
+        reclaimed = 0.0
+        for attempt_id in sorted(self._scope_attempts.get(scope, ())):
+            reclaimed += self.cancel_attempt(attempt_id, fence=fence)
+        self.sim.timeline.record(
+            self.sim.now, "relay", "cancel_scope",
+            relay=self.relay_id, scope=scope, reclaimed=reclaimed,
+        )
+        return reclaimed
+
+    def scope_of(self, attempt_id: str | None) -> str | None:
+        return self._attempt_scopes.get(attempt_id) if attempt_id else None
+
+    def scope_fenced(self, scope: str) -> bool:
+        """Whether ``scope`` has been persistently fenced on this relay."""
+        return scope in self._fenced_scopes
 
     def is_fenced(self, attempt_id: str | None) -> bool:
         return attempt_id is not None and attempt_id in self._fenced
@@ -486,6 +589,10 @@ class PartitionRelay:
     def _reserve(self, logical: float) -> None:
         self.used_logical += logical
         self.peak_used_logical = max(self.peak_used_logical, self.used_logical)
+        if self._peak_epochs:
+            for token, peak in self._peak_epochs.items():
+                if self.used_logical > peak:
+                    self._peak_epochs[token] = self.used_logical
 
     def _release(self, logical: float) -> None:
         self.used_logical -= logical
@@ -540,6 +647,23 @@ class PartitionRelay:
             if release > 0:
                 self._release(release)
 
+    def _consume_or_lease(self, key: str, attempt_id: str | None) -> None:
+        """Destructive-read entry point for the pull paths.
+
+        Driver-side clients (no attempt id) consume immediately — there
+        is no retry to protect.  Worker attempts get a *lease* instead:
+        the entry stays resident and pullable until the attempt commits
+        (:meth:`commit_attempt`), so a crash or fence mid-consume
+        reinstates it for the retry by simply dropping the lease.
+        """
+        if attempt_id is None:
+            self._consume_entry(key)
+            return
+        leases = self._attempt_consume_leases.setdefault(attempt_id, set())
+        if key not in leases:
+            leases.add(key)
+            self.stats.consume_leases += 1
+
     def _remove(self, key: str) -> bool:
         entry = self._entries.pop(key, None)
         self.stats.deletes += 1
@@ -576,8 +700,44 @@ class PartitionRelay:
         return self.peak_used_logical / self.capacity_bytes
 
     def reset_peak(self) -> None:
-        """Restart peak tracking from the current fill (per-run peaks)."""
+        """Restart peak tracking from the current fill (per-run peaks).
+
+        Relay-global — a single-job convenience.  Concurrent jobs on a
+        shared relay must use the epoch API below instead, or one job's
+        reset clobbers another's high watermark.
+        """
         self.peak_used_logical = self.used_logical
+
+    # ------------------------------------------------------------------
+    # epoch-scoped peak tracking (concurrent jobs on a shared relay)
+    # ------------------------------------------------------------------
+    def begin_peak_epoch(self) -> int:
+        """Open a peak-tracking epoch; returns an opaque token.
+
+        Each open epoch tracks its own ``max(used_logical)`` from this
+        moment, so any number of concurrent jobs can measure their own
+        peaks without resetting each other.
+        """
+        self._peak_epoch_seq += 1
+        token = self._peak_epoch_seq
+        self._peak_epochs[token] = self.used_logical
+        return token
+
+    def peak_fill_since(self, token: int) -> float:
+        """Peak fill fraction observed since ``begin_peak_epoch(token)``."""
+        try:
+            peak = self._peak_epochs[token]
+        except KeyError:
+            raise SimulationError(
+                f"{self.relay_id}: unknown or closed peak epoch {token}"
+            ) from None
+        return peak / self.capacity_bytes
+
+    def end_peak_epoch(self, token: int) -> float:
+        """Close an epoch; returns its final peak fill fraction."""
+        peak = self.peak_fill_since(token)
+        del self._peak_epochs[token]
+        return peak
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -810,7 +970,7 @@ class RelayClient:
                 transfer = None
             self.relay._record_pulls(1, entry.logical)
             if consume:
-                self.relay._consume_entry(key)
+                self.relay._consume_or_lease(key, self.attempt_id)
             return entry.data
         except BaseException:
             if transfer is not None:
@@ -885,8 +1045,8 @@ class RelayClient:
             # batch transfer — and count — once per occurrence).
             self.relay._record_pulls(len(keys), total)
             if consume:
-                for key in keys:  # duplicates in the batch pop once
-                    self.relay._consume_entry(key)
+                for key in keys:  # duplicates in the batch lease/pop once
+                    self.relay._consume_or_lease(key, self.attempt_id)
             self.sim.timeline.record(
                 self.sim.now, "relay", "mpull",
                 relay=self.relay.relay_id, keys=len(keys), logical=total,

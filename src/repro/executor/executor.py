@@ -75,6 +75,10 @@ class FunctionExecutor:
         Memory size of the runtime used for all calls from this executor.
     bucket:
         Staging bucket for payloads/results (created if missing).
+    billing_tags:
+        Extra tags stamped on every gb-second charge this executor's
+        runtime incurs (e.g. ``{"tenant": ...}`` for per-tenant cost
+        attribution in a shared service).
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class FunctionExecutor:
         timeout_s: float | None = None,
         retries: int = 2,
         speculation: SpeculationPolicy | None = None,
+        billing_tags: dict[str, str] | None = None,
     ):
         self.cloud = cloud
         self.sim = cloud.sim
@@ -109,6 +114,7 @@ class FunctionExecutor:
             _runtime_handler,
             memory_mb=runtime_memory_mb,
             timeout_s=timeout_s,
+            billing_tags=billing_tags,
         )
         # Driver-side storage client (full per-connection speed).
         self.storage = Storage(

@@ -21,6 +21,7 @@ Usage::
     repro-experiments sweep-exchange-speculation
     repro-experiments sweep-tuner
     repro-experiments sweep-multicloud
+    repro-experiments sweep-service
     repro-experiments exchange
 """
 
@@ -78,6 +79,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep-exchange-speculation",
         "sweep-tuner",
         "sweep-multicloud",
+        "sweep-service",
         "exchange",
     ):
         sub.add_parser(name)
@@ -170,6 +172,11 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "sweep-multicloud":
         _print_rows(
             "S11: multi-cloud portability", sweeps.sweep_multicloud(_config(args))
+        )
+    elif args.command == "sweep-service":
+        _print_rows(
+            "S13: shared exchange service vs provision-per-job",
+            sweeps.sweep_service(_config(args)),
         )
     elif args.command == "exchange":
         from repro.core.experiment import run_exchange_comparison

@@ -35,7 +35,9 @@ from repro.shuffle.cacheplanner import required_cache_nodes
 from repro.shuffle.operator import ShuffleSort
 from repro.shuffle.planner import plan_shuffle
 from repro.shuffle.adaptive import EXCHANGE_SUBSTRATES
+from repro.errors import ShuffleError
 from repro.shuffle.relay import RelayShuffleSort, ShardedRelayShuffleSort
+from repro.shuffle.relayplanner import required_relay_fleet
 from repro.shuffle.streaming import (
     STREAMING_BACKENDS,
     StreamConfig,
@@ -1309,4 +1311,267 @@ def sweep_memory(
                 "cost_usd": run.cost_usd,
             }
         )
+    return rows
+
+# ----------------------------------------------------------------------
+# S13: multi-tenant exchange service vs provision-per-job
+# ----------------------------------------------------------------------
+#: Open-loop arrival schedule: (arrival_s, tenant, size fraction of the
+#: config dataset).  Three full-size jobs burst in the first seconds
+#: (demand the autoscaler must grow for), then two small tail jobs keep
+#: the service busy after the burst drains (demand it must shrink for).
+SERVICE_ARRIVALS: tuple[tuple[float, str, float], ...] = (
+    (0.0, "alice", 1.0),
+    (2.0, "bob", 1.0),
+    (4.0, "carol", 1.0),
+    (150.0, "bob", 0.4),
+    (180.0, "carol", 0.4),
+)
+
+
+def _p95(values: t.Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, int(-(-0.95 * len(ordered) // 1)) - 1)
+    return ordered[rank]
+
+
+def sweep_service(
+    config: ExperimentConfig | None = None,
+    arrivals: t.Sequence[tuple[float, str, float]] = SERVICE_ARRIVALS,
+    workers: int = 8,
+    max_shards: int = 4,
+    tenant_rate_per_s: float = 0.05,
+    tenant_burst: float = 2.0,
+) -> list[dict]:
+    """S13: one shared autoscaled exchange service vs a fleet per job.
+
+    The same open-loop arrival schedule — several tenants submitting
+    sort jobs at fixed times — is served two ways on identical clouds:
+
+    * ``service`` — one :class:`~repro.service.ExchangeService`: shared
+      admission queue with per-tenant token buckets, tenant-scoped
+      fencing, and a relay fleet resized from observed demand (a new
+      warm generation per resize, the old one draining its jobs);
+    * ``per-job`` — the deployment shape every earlier experiment used:
+      each arrival cold-provisions its own right-sized fleet, sorts,
+      and terminates it, paying a full VM boot and a private fleet's
+      instance-seconds per job.
+
+    Per-job rows (``kind="job"``) carry queue/boot wait, submit-to-done
+    latency and the output digest; ``kind="total"`` rows carry the
+    strategy's p95 latency, its dollar totals and the service's scale
+    event counts; ``kind="tenant"`` rows expose the service's
+    per-tenant attribution (functions exactly, fleet by byte-seconds)
+    whose sum the bench asserts equals the fleet total.
+    """
+    from repro.service import ExchangeService
+
+    base = config if config is not None else ExperimentConfig()
+    profile = base.make_profile()
+    # The flavour that holds one full-size job in a single shard; the
+    # service scales shard count, the baseline right-sizes per job.
+    instance_type, _ = required_relay_fleet(
+        base.logical_bytes, profile, max_shards=1
+    )
+
+    jobs = [
+        {
+            "job": f"j{index + 1}",
+            "tenant": tenant,
+            "arrival_s": arrival_s,
+            "key": f"input/j{index + 1}.bed",
+            "config": dataclasses.replace(
+                base,
+                size_gb=base.size_gb * fraction,
+                seed=base.seed + index + 1,
+            ),
+        }
+        for index, (arrival_s, tenant, fraction) in enumerate(arrivals)
+    ]
+
+    def stage_all(cloud: Cloud) -> None:
+        for job in jobs:
+            stage_input(cloud, job["config"], "pipeline", job["key"])
+
+    def digest_of(cloud: Cloud, result) -> str:
+        digest = hashlib.sha256()
+        for run in result.runs:
+            digest.update(cloud.store.peek(run.bucket, run.key))
+        return digest.hexdigest()[:16]
+
+    rows: list[dict] = []
+
+    def blank_row(**overrides) -> dict:
+        row = {
+            "strategy": "",
+            "kind": "job",
+            "job": "",
+            "tenant": "",
+            "arrival_s": 0.0,
+            "wait_s": 0.0,
+            "latency_s": 0.0,
+            "p95_latency_s": 0.0,
+            "faas_usd": 0.0,
+            "fleet_usd": 0.0,
+            "total_usd": 0.0,
+            "scale_ups": 0,
+            "scale_downs": 0,
+            "output_digest": "",
+        }
+        row.update(overrides)
+        return row
+
+    # -- shared service ------------------------------------------------
+    cloud = _fresh_cloud(base)
+    stage_all(cloud)
+    service = ExchangeService(
+        cloud,
+        bed_record_codec(),
+        instance_type=instance_type,
+        min_shards=1,
+        max_shards=max_shards,
+        tenant_rate_per_s=tenant_rate_per_s,
+        tenant_burst=tenant_burst,
+        memory_mb=base.function_memory_mb,
+        relay_cost=base.workload.relay_shuffle_cost_model(),
+    )
+
+    def service_driver():
+        service.start()
+        handles = []
+        now = 0.0
+        for job in jobs:
+            if job["arrival_s"] > now:
+                yield cloud.sim.timeout(job["arrival_s"] - now)
+                now = job["arrival_s"]
+            handles.append(
+                service.submit(
+                    job["tenant"],
+                    "pipeline",
+                    job["key"],
+                    job["config"].logical_bytes,
+                    workers=workers,
+                )
+            )
+        yield service.drain()
+        service.shutdown()
+        return handles
+
+    handles = cloud.sim.run_process(service_driver())
+    for job, handle in zip(jobs, handles):
+        if handle.state != "done":
+            raise ShuffleError(
+                f"service starved job {handle.job_id} "
+                f"({handle.tenant}): state={handle.state!r}"
+            )
+        rows.append(blank_row(
+            strategy="service",
+            job=job["job"],
+            tenant=job["tenant"],
+            arrival_s=job["arrival_s"],
+            wait_s=handle.queue_wait_s,
+            latency_s=handle.latency_s,
+            output_digest=handle.output_digest,
+        ))
+    costs = service.tenant_costs()
+    for tenant in sorted(costs):
+        rows.append(blank_row(
+            strategy="service", kind="tenant", tenant=tenant, **costs[tenant]
+        ))
+    fleet_usd = service.fleet_cost_usd()
+    faas_usd = sum(entry["faas_usd"] for entry in costs.values())
+    rows.append(blank_row(
+        strategy="service",
+        kind="total",
+        p95_latency_s=_p95([handle.latency_s for handle in handles]),
+        faas_usd=faas_usd,
+        fleet_usd=fleet_usd,
+        total_usd=faas_usd + fleet_usd,
+        scale_ups=sum(
+            1 for event in service.scale_events if event["direction"] == "up"
+        ),
+        scale_downs=sum(
+            1 for event in service.scale_events if event["direction"] == "down"
+        ),
+    ))
+
+    # -- provision-per-job baseline ------------------------------------
+    from repro.cloud.vm.fleet import provision_fleet
+
+    cloud = _fresh_cloud(base)
+    stage_all(cloud)
+    outcomes: dict[str, dict] = {}
+
+    def one_job(job: dict):
+        yield cloud.sim.timeout(job["arrival_s"])
+        fleet_type, shards = required_relay_fleet(
+            job["config"].logical_bytes,
+            cloud.profile,
+            instance_type_name=instance_type,
+            max_shards=max_shards,
+        )
+        fleet = yield provision_fleet(cloud.vms, fleet_type, shards)
+        boot_done = cloud.sim.now
+        executor = FunctionExecutor(
+            cloud,
+            runtime_memory_mb=base.function_memory_mb,
+            bucket="pipeline",
+            billing_tags={"tenant": job["tenant"], "job": job["job"]},
+        )
+        cost = dataclasses.replace(
+            base.workload.relay_shuffle_cost_model(), consume=True
+        )
+        operator = ShardedRelayShuffleSort(
+            executor, bed_record_codec(), fleet, cost=cost
+        )
+        result = yield operator.sort(
+            "pipeline", job["key"], out_prefix=job["job"], workers=workers
+        )
+        cloud.meter.push_tag("fleet", f"perjob-{job['job']}")
+        try:
+            fleet.terminate()
+        finally:
+            cloud.meter.pop_tag("fleet")
+        outcomes[job["job"]] = {
+            "wait_s": boot_done - job["arrival_s"],
+            "latency_s": cloud.sim.now - job["arrival_s"],
+            "output_digest": digest_of(cloud, result),
+        }
+
+    def perjob_driver():
+        procs = [
+            cloud.sim.process(one_job(job), name=f"perjob.{job['job']}")
+            for job in jobs
+        ]
+        yield cloud.sim.all_of([proc.completion for proc in procs])
+
+    cloud.sim.run_process(perjob_driver())
+    for job in jobs:
+        rows.append(blank_row(
+            strategy="per-job",
+            job=job["job"],
+            tenant=job["tenant"],
+            arrival_s=job["arrival_s"],
+            **outcomes[job["job"]],
+        ))
+    perjob_faas = sum(
+        line.usd for line in cloud.meter.filtered(service="faas")
+    )
+    perjob_fleet = sum(
+        line.usd
+        for line in cloud.meter.filtered(service="vm")
+        if dict(line.tags).get("fleet", "").startswith("perjob-")
+    )
+    rows.append(blank_row(
+        strategy="per-job",
+        kind="total",
+        p95_latency_s=_p95(
+            [outcomes[job["job"]]["latency_s"] for job in jobs]
+        ),
+        faas_usd=perjob_faas,
+        fleet_usd=perjob_fleet,
+        total_usd=perjob_faas + perjob_fleet,
+    ))
     return rows

@@ -1,0 +1,13 @@
+"""Long-running multi-tenant exchange service (driver-side control plane)."""
+
+from repro.service.exchange_service import (
+    ExchangeService,
+    JobHandle,
+    ServiceSaturated,
+)
+
+__all__ = [
+    "ExchangeService",
+    "JobHandle",
+    "ServiceSaturated",
+]

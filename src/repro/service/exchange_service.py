@@ -1,0 +1,707 @@
+"""Multi-tenant exchange service: many sorts, one autoscaled substrate.
+
+Every experiment so far provisions its exchange substrate *per job*: a
+sort shows up, a relay fleet boots (or a warm one is dedicated), the
+sort runs, the fleet dies.  That is how the paper's one-shot pipelines
+work, but it is not how a shared service would: per-job provisioning
+pays every fleet's minimum billed seconds, leaves instances idle
+between a tenant's jobs, and makes concurrent tenants trivially
+isolated only because nothing is ever shared.
+
+:class:`ExchangeService` is the opposite deployment shape — a
+long-running driver-side control plane that admits sort jobs from many
+tenants against **one shared, autoscaling relay fleet**:
+
+* **admission control** — a bounded FIFO queue with per-tenant
+  fair-share token buckets (the per-VM ``FairShareLink`` discipline,
+  lifted to the fleet): a noisy tenant's burst queues behind its own
+  refill rate while other tenants' jobs skip ahead, so no tenant can
+  starve another, and a full queue rejects at submit time
+  (:class:`ServiceSaturated`) instead of queueing unboundedly;
+* **tenant fencing** — each job runs under scope ``tenant/job-id``
+  stamped on every worker's relay client;
+  :meth:`ExchangeService.cancel_tenant` fences exactly those scopes
+  (:meth:`~repro.cloud.vm.relay.PartitionRelay.cancel_scope`), so a
+  tenant's cancel storm can never reclaim another tenant's
+  reservations;
+* **autoscaling** — the fleet is resized from observed demand (queued
+  plus running logical bytes, skew-aware) by
+  :func:`~repro.shuffle.adaptive.plan_fleet_scale`.  Scaling rotates
+  **generations**: a new warm fleet serves subsequently dispatched
+  jobs while the old one drains its running jobs and terminates —
+  rotating instead of mutating keeps every in-flight sort's key→shard
+  rendezvous stable.  Instances are billed per second from provision
+  to terminate, so right-sizing is directly visible in dollars;
+* **cost attribution** — every job's function invocations carry
+  ``tenant``/``job`` billing tags
+  (:class:`~repro.executor.FunctionExecutor` ``billing_tags``), fleet
+  generations tag their instance-second lines at terminate, and
+  :meth:`ExchangeService.tenant_costs` apportions each generation's
+  dollars over the tenants' byte-second usage of it — the sum over
+  tenants equals the fleet total to the cent.
+
+Jobs run in consume mode by default: reducers' pulls take crash-safe
+read-leases (reinstated if the attempt dies, applied at activation
+commit), so the shared fleet's memory self-reclaims between jobs
+without sacrificing retry correctness.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import typing as t
+
+from repro.cloud.environment import Cloud
+from repro.cloud.vm.fleet import RelayFleet, fleet_ready
+from repro.errors import ReproError, ShuffleError
+from repro.executor.executor import FunctionExecutor
+from repro.shuffle.adaptive import FleetScaleDecision, plan_fleet_scale
+from repro.shuffle.records import RecordCodec
+from repro.shuffle.relay import ShardedRelayShuffleSort
+from repro.shuffle.relayplanner import (
+    RelayShuffleCostModel,
+    SHARD_IMBALANCE_HEADROOM,
+    required_relay_fleet,
+)
+from repro.sim import SimEvent, TokenBucket
+
+
+class ServiceSaturated(ReproError):
+    """The service's admission queue is full; resubmit later."""
+
+
+@dataclasses.dataclass
+class JobHandle:
+    """One submitted sort job, observable through its whole lifecycle."""
+
+    job_id: str
+    tenant: str
+    bucket: str
+    key: str
+    logical_bytes: float
+    workers: int | None
+    out_bucket: str
+    #: ``queued`` → ``running`` → ``done`` | ``failed`` | ``cancelled``.
+    state: str
+    submitted_at: float
+    done: SimEvent
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: t.Any = None
+    error: BaseException | None = None
+    #: sha256 (truncated) over the sorted runs, for parity assertions.
+    output_digest: str | None = None
+    generation_id: int | None = None
+
+    @property
+    def scope(self) -> str:
+        """Fencing scope: tenant-qualified so cancels stay tenant-local."""
+        return f"{self.tenant}/{self.job_id}"
+
+    @property
+    def out_prefix(self) -> str:
+        """Key-prefix namespace of this job's exchange traffic."""
+        return f"svc/{self.job_id}"
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency_s(self) -> float | None:
+        """Submit-to-finish wall time (queue wait included)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+@dataclasses.dataclass
+class _Generation:
+    """One fleet incarnation; jobs pin the generation they started on."""
+
+    gen_id: int
+    fleet: RelayFleet
+    shards: int
+    provisioned_at: float
+    refs: int = 0
+    retired: bool = False
+    terminated_at: float | None = None
+    #: Per-tenant byte-seconds of fleet occupancy, for cost apportioning.
+    tenant_byte_s: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def tag(self) -> str:
+        return f"svc-gen-{self.gen_id}"
+
+
+class ExchangeService:
+    """Admit many tenants' sorts onto one shared autoscaling relay fleet.
+
+    Parameters
+    ----------
+    cloud:
+        The region everything runs in.
+    codec:
+        Record format of every submitted job's input object.
+    instance_type:
+        Relay VM flavour; ``None`` picks the catalog's cheapest flavour
+        able to hold ``expected_job_bytes`` (the flavour stays pinned —
+        shard count is the scaling axis).
+    expected_job_bytes:
+        Sizing hint used only to resolve ``instance_type`` when that is
+        ``None``.
+    min_shards, max_shards:
+        Fleet size bounds; the service starts at ``min_shards``.
+    queue_limit:
+        Admission bound — :meth:`submit` raises
+        :class:`ServiceSaturated` when this many jobs are queued.
+    tenant_rate_per_s, tenant_burst:
+        Per-tenant token-bucket refill rate (jobs/second) and burst
+        capacity: a tenant submitting faster than the refill rate
+        queues behind its own bucket while others skip ahead.
+    consume:
+        Run jobs in consume mode (crash-safe read-leases) so the shared
+        fleet's memory self-reclaims; on by default.
+    relay_cost:
+        Base cost model copied per job (``consume`` is overridden from
+        the flag above); also carries ``expected_skew``/``rebalance``.
+    partition_skew:
+        Max-over-mean partition bytes the autoscaler sizes for.
+    scale_down_margin:
+        Hysteresis of :func:`~repro.shuffle.adaptive.plan_fleet_scale`.
+    """
+
+    def __init__(
+        self,
+        cloud: Cloud,
+        codec: RecordCodec,
+        *,
+        instance_type: str | None = None,
+        expected_job_bytes: float = 256e6,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        queue_limit: int = 32,
+        tenant_rate_per_s: float = 0.05,
+        tenant_burst: float = 2.0,
+        memory_mb: int = 2048,
+        staging_bucket: str = "svc-staging",
+        consume: bool = True,
+        relay_cost: RelayShuffleCostModel | None = None,
+        partition_skew: float = 1.0,
+        scale_down_margin: float = 0.5,
+        samplers: int = 8,
+        max_workers: int = 256,
+    ):
+        if queue_limit < 1:
+            raise ShuffleError(f"queue_limit must be >= 1, got {queue_limit}")
+        if tenant_rate_per_s <= 0:
+            raise ShuffleError(
+                f"tenant_rate_per_s must be positive, got {tenant_rate_per_s}"
+            )
+        self.cloud = cloud
+        self.sim = cloud.sim
+        self.codec = codec
+        self.expected_job_bytes = expected_job_bytes
+        self.min_shards = min_shards
+        self.max_shards = max_shards
+        self.queue_limit = queue_limit
+        self.tenant_rate_per_s = tenant_rate_per_s
+        self.tenant_burst = tenant_burst
+        self.memory_mb = memory_mb
+        self.staging_bucket = staging_bucket
+        self.consume = consume
+        self.relay_cost = (
+            relay_cost if relay_cost is not None else RelayShuffleCostModel()
+        )
+        self.partition_skew = partition_skew
+        self.scale_down_margin = scale_down_margin
+        self.samplers = samplers
+        self.max_workers = max_workers
+        if instance_type is None:
+            instance_type, _shards = required_relay_fleet(
+                max(1.0, expected_job_bytes),
+                cloud.profile,
+                max_shards=max_shards,
+                partition_skew=partition_skew,
+            )
+        self.instance_type = instance_type
+
+        self._queue: collections.deque[JobHandle] = collections.deque()
+        self._running: dict[str, JobHandle] = {}
+        self._buckets: dict[str, t.Any] = {}
+        self._generations: list[_Generation] = []
+        self._current: _Generation | None = None
+        self._job_seq = 0
+        self._gen_seq = 0
+        self._started = False
+        self._stopped = False
+        self._wake_event: SimEvent | None = None
+        #: One dict per rotation: time, direction, shard counts, demand.
+        self.scale_events: list[dict] = []
+        #: All handles ever submitted, in submit order.
+        self.jobs: list[JobHandle] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Provision the initial fleet generation and start dispatching."""
+        if self._started:
+            raise ShuffleError("ExchangeService already started")
+        self._started = True
+        self._provision_generation(self.min_shards)
+        self.sim.process(self._dispatch_loop(), name="svc.dispatch")
+
+    def shutdown(self) -> None:
+        """Stop dispatching and terminate every live fleet generation.
+
+        Queued jobs are cancelled; running jobs should be drained first
+        (:meth:`drain`) — shutting down under them tears their substrate
+        away.
+        """
+        self._stopped = True
+        while self._queue:
+            self._finish(self._queue.popleft(), "cancelled")
+        for generation in self._generations:
+            if generation.terminated_at is None:
+                self._terminate_generation(generation)
+        self._wake()
+
+    def drain(self) -> SimEvent:
+        """Event that fires once every admitted job has left the system."""
+
+        def waiter() -> t.Generator:
+            while self._queue or self._running:
+                pending = [job.done for job in self._queue]
+                pending += [job.done for job in self._running.values()]
+                yield self.sim.any_of(pending)
+            return None
+
+        return self.sim.process(waiter(), name="svc.drain").completion
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        bucket: str,
+        key: str,
+        logical_bytes: float,
+        workers: int | None = None,
+        out_bucket: str | None = None,
+    ) -> JobHandle:
+        """Admit one sort job; returns its handle immediately.
+
+        ``logical_bytes`` is the tenant's declared exchange size (the
+        resource request every cluster scheduler asks for); the sort's
+        own preflight still validates the real object against the
+        fleet.  Raises :class:`ServiceSaturated` when the queue is
+        full, and :class:`~repro.errors.ShuffleError` when no fleet
+        within ``max_shards`` could ever hold the job.
+        """
+        if not self._started or self._stopped:
+            raise ShuffleError("ExchangeService is not running")
+        if logical_bytes <= 0:
+            raise ShuffleError(
+                f"logical_bytes must be positive, got {logical_bytes}"
+            )
+        if len(self._queue) >= self.queue_limit:
+            raise ServiceSaturated(
+                f"admission queue is full ({self.queue_limit} jobs); "
+                f"tenant {tenant!r} must resubmit later"
+            )
+        # Fail fast on jobs no feasible fleet holds (raises ShuffleError).
+        required_relay_fleet(
+            logical_bytes,
+            self.cloud.profile,
+            instance_type_name=self.instance_type,
+            max_shards=self.max_shards,
+            partition_skew=self.partition_skew,
+        )
+        self._job_seq += 1
+        job = JobHandle(
+            job_id=f"job-{self._job_seq}",
+            tenant=tenant,
+            bucket=bucket,
+            key=key,
+            logical_bytes=float(logical_bytes),
+            workers=workers,
+            out_bucket=out_bucket if out_bucket is not None else bucket,
+            state="queued",
+            submitted_at=self.sim.now,
+            done=SimEvent(self.sim, name=f"svc.job.{self._job_seq}.done"),
+        )
+        self.jobs.append(job)
+        self._queue.append(job)
+        self.sim.timeline.record(
+            self.sim.now, "service", "submit",
+            job=job.job_id, tenant=tenant, bytes=logical_bytes,
+            queue_depth=len(self._queue),
+        )
+        self._maybe_scale("submit")
+        self._wake()
+        return job
+
+    def cancel_tenant(self, tenant: str) -> dict:
+        """Cancel everything one tenant has in the system.
+
+        Queued jobs leave the queue unbilled; running jobs have their
+        scope fenced fleet-wide — every reservation those attempts hold
+        is reclaimed and their stragglers bounce off the fence — while
+        other tenants' jobs keep every byte they reserved.
+        """
+        cancelled_queued = [job for job in self._queue if job.tenant == tenant]
+        for job in cancelled_queued:
+            self._queue.remove(job)
+            self._finish(job, "cancelled")
+        reclaimed = 0.0
+        fenced = []
+        for job in list(self._running.values()):
+            if job.tenant != tenant:
+                continue
+            generation = self._generation_by_id(job.generation_id)
+            reclaimed += generation.fleet.cancel_scope(job.scope)
+            fenced.append(job.job_id)
+        self.sim.timeline.record(
+            self.sim.now, "service", "cancel_tenant",
+            tenant=tenant, queued=len(cancelled_queued),
+            running=len(fenced), reclaimed_bytes=reclaimed,
+        )
+        self._maybe_scale("cancel")
+        self._wake()
+        return {
+            "tenant": tenant,
+            "cancelled_queued": len(cancelled_queued),
+            "fenced_running": fenced,
+            "reclaimed_bytes": reclaimed,
+        }
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def current_shards(self) -> int:
+        return self._current.shards if self._current is not None else 0
+
+    def fleet_cost_usd(self) -> float:
+        """Total dollars of every generation's tagged instance lines."""
+        total = 0.0
+        for generation in self._generations:
+            total += sum(
+                line.usd
+                for line in self.cloud.meter.filtered(
+                    service="vm", fleet=generation.tag
+                )
+            )
+        return total
+
+    def tenant_costs(self) -> dict[str, dict[str, float]]:
+        """Per-tenant dollars: tagged function lines + fleet share.
+
+        The function (and per-invocation storage) side is exact — every
+        activation's gb-seconds carry the tenant's billing tag.  Each
+        fleet generation's instance dollars are apportioned over the
+        tenants' byte-seconds of occupancy on that generation; a
+        generation nobody used (pure idle capacity) is split evenly so
+        the sum over tenants always equals the fleet total.
+        """
+        tenants = sorted({job.tenant for job in self.jobs})
+        out = {
+            tenant: {"faas_usd": 0.0, "fleet_usd": 0.0, "total_usd": 0.0}
+            for tenant in tenants
+        }
+        for tenant in tenants:
+            out[tenant]["faas_usd"] = sum(
+                line.usd
+                for line in self.cloud.meter.filtered(tenant=tenant)
+            )
+        for generation in self._generations:
+            gen_usd = sum(
+                line.usd
+                for line in self.cloud.meter.filtered(
+                    service="vm", fleet=generation.tag
+                )
+            )
+            if gen_usd == 0.0:
+                continue
+            weights = generation.tenant_byte_s
+            total_weight = sum(weights.values())
+            if total_weight > 0:
+                for tenant, weight in weights.items():
+                    out.setdefault(
+                        tenant,
+                        {"faas_usd": 0.0, "fleet_usd": 0.0, "total_usd": 0.0},
+                    )
+                    out[tenant]["fleet_usd"] += gen_usd * weight / total_weight
+            elif tenants:
+                for tenant in tenants:
+                    out[tenant]["fleet_usd"] += gen_usd / len(tenants)
+        for entry in out.values():
+            entry["total_usd"] = entry["faas_usd"] + entry["fleet_usd"]
+        return out
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.sim,
+                rate=self.tenant_rate_per_s,
+                capacity=self.tenant_burst,
+                name=f"svc.tenant.{tenant}",
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def _admission_budget(self) -> float:
+        """Aggregate logical bytes the current generation safely admits."""
+        assert self._current is not None
+        capacity = self._current.fleet.capacity_bytes
+        margin = SHARD_IMBALANCE_HEADROOM * max(1.0, self.partition_skew)
+        return capacity / margin
+
+    def _inflight_bytes(self) -> float:
+        current = self._current
+        return sum(
+            job.logical_bytes
+            for job in self._running.values()
+            if current is not None and job.generation_id == current.gen_id
+        )
+
+    def _pick_dispatchable(self) -> JobHandle | None:
+        """First FIFO job whose tenant has a token and whose bytes fit.
+
+        Skip-ahead keeps a token-less tenant's backlog from head-of-line
+        blocking everyone else; FIFO among token-holders plus bounded
+        refill rates bound every tenant's wait.
+        """
+        budget = self._admission_budget() - self._inflight_bytes()
+        for job in self._queue:
+            # Tolerance mirrors TokenBucket._pump's: an analytically
+            # refilled bucket lands epsilon short of 1.0, and a strict
+            # check would spin on a zero-advance timeout.
+            if self._bucket_for(job.tenant).tokens < 1.0 - 1e-9:
+                continue
+            if self._running and job.logical_bytes > budget:
+                continue
+            return job
+        return None
+
+    def _dispatch_loop(self) -> t.Generator:
+        while not self._stopped:
+            job = self._pick_dispatchable()
+            if job is not None:
+                self._queue.remove(job)
+                yield self._bucket_for(job.tenant).consume(1.0)
+                generation = self._current
+                assert generation is not None
+                generation.refs += 1
+                job.generation_id = generation.gen_id
+                job.state = "running"
+                job.started_at = self.sim.now
+                self._running[job.job_id] = job
+                self.sim.process(
+                    self._run_job(job, generation),
+                    name=f"svc.{job.job_id}",
+                )
+                continue
+            waits = [self._wait_signal()]
+            delays = [
+                self._bucket_for(job.tenant).estimated_wait(1.0)
+                for job in self._queue
+            ]
+            positive = [delay for delay in delays if delay > 0]
+            if positive:
+                # Floor the nap: a sub-millisecond refill shortfall must
+                # still advance simulated time or the loop livelocks.
+                waits.append(self.sim.timeout(max(min(positive), 1e-3)))
+            yield self.sim.any_of(waits)
+
+    def _run_job(self, job: JobHandle, generation: _Generation) -> t.Generator:
+        executor = FunctionExecutor(
+            self.cloud,
+            runtime_memory_mb=self.memory_mb,
+            bucket=self.staging_bucket,
+            billing_tags={"tenant": job.tenant, "job": job.job_id},
+        )
+        cost = dataclasses.replace(self.relay_cost, consume=self.consume)
+        operator = ShardedRelayShuffleSort(
+            executor, self.codec, generation.fleet, cost=cost
+        )
+        operator.backend.tenant = job.scope
+        try:
+            result = yield operator.sort(
+                job.bucket,
+                job.key,
+                out_bucket=job.out_bucket,
+                out_prefix=job.out_prefix,
+                workers=job.workers,
+                samplers=self.samplers,
+                max_workers=self.max_workers,
+            )
+        except Exception as exc:
+            job.error = exc
+            state = (
+                "cancelled"
+                if generation.fleet.scope_fenced(job.scope)
+                else "failed"
+            )
+        else:
+            job.result = result
+            digest = hashlib.sha256()
+            for run in result.runs:
+                digest.update(self.cloud.store.peek(run.bucket, run.key))
+            job.output_digest = digest.hexdigest()[:16]
+            state = "done"
+        finally:
+            # A failed/cancelled sort never reached extra_report: retire
+            # its namespaced router and close its peak epoch so a
+            # long-lived fleet's per-job state stays bounded.
+            backend = operator.backend
+            if backend.rebalance_assignments is not None:
+                generation.fleet.set_router(None, namespace=job.out_prefix)
+            if backend._peak_token is not None:
+                try:
+                    generation.fleet.end_peak_epoch(backend._peak_token)
+                except Exception:
+                    pass
+                backend._peak_token = None
+            busy_s = self.sim.now - (job.started_at or self.sim.now)
+            generation.tenant_byte_s[job.tenant] = (
+                generation.tenant_byte_s.get(job.tenant, 0.0)
+                + job.logical_bytes * busy_s
+            )
+            del self._running[job.job_id]
+            generation.refs -= 1
+            self._retire_if_drained(generation)
+        self._finish(job, state)
+        self._maybe_scale("complete")
+        self._wake()
+
+    def _finish(self, job: JobHandle, state: str) -> None:
+        job.state = state
+        job.finished_at = self.sim.now
+        self.sim.timeline.record(
+            self.sim.now, "service", "job_" + state,
+            job=job.job_id, tenant=job.tenant,
+            latency_s=job.latency_s, queue_wait_s=job.queue_wait_s,
+        )
+        if not job.done.triggered:
+            job.done.succeed(job)
+
+    # ------------------------------------------------------------------
+    # autoscaling (fleet generations)
+    # ------------------------------------------------------------------
+    def _provision_generation(self, shards: int) -> _Generation:
+        fleet = fleet_ready(self.cloud.vms, self.instance_type, shards)
+        generation = _Generation(
+            gen_id=self._gen_seq,
+            fleet=fleet,
+            shards=shards,
+            provisioned_at=self.sim.now,
+        )
+        self._gen_seq += 1
+        self._generations.append(generation)
+        self._current = generation
+        return generation
+
+    def _terminate_generation(self, generation: _Generation) -> None:
+        if generation.terminated_at is not None:
+            return
+        generation.terminated_at = self.sim.now
+        # Tag the terminate-time instance lines with the generation, so
+        # fleet dollars are attributable straight off the meter.
+        self.cloud.meter.push_tag("fleet", generation.tag)
+        try:
+            generation.fleet.terminate()
+        finally:
+            self.cloud.meter.pop_tag("fleet")
+
+    def _retire_if_drained(self, generation: _Generation) -> None:
+        if (
+            generation.retired
+            and generation.refs == 0
+            and generation.terminated_at is None
+        ):
+            self._terminate_generation(generation)
+
+    def _demand_bytes(self) -> float:
+        return sum(job.logical_bytes for job in self._queue) + sum(
+            job.logical_bytes for job in self._running.values()
+        )
+
+    def _maybe_scale(self, trigger: str) -> None:
+        if self._stopped or self._current is None:
+            return
+        decision = plan_fleet_scale(
+            self._demand_bytes(),
+            self.cloud.profile,
+            self._current.shards,
+            self.instance_type,
+            min_shards=self.min_shards,
+            max_shards=self.max_shards,
+            partition_skew=self.partition_skew,
+            scale_down_margin=self.scale_down_margin,
+        )
+        if decision is None or decision.shards == self._current.shards:
+            return
+        self._rotate(decision, trigger)
+
+    def _rotate(self, decision: FleetScaleDecision, trigger: str) -> None:
+        old = self._current
+        assert old is not None
+        old.retired = True
+        generation = self._provision_generation(decision.shards)
+        self.scale_events.append(
+            {
+                "time": self.sim.now,
+                "direction": decision.direction,
+                "from_shards": old.shards,
+                "to_shards": decision.shards,
+                "trigger": trigger,
+                "queue_depth": len(self._queue),
+                "demand_bytes": self._demand_bytes(),
+                "reason": decision.reason,
+            }
+        )
+        self.sim.timeline.record(
+            self.sim.now, "service", "scale_" + decision.direction,
+            from_shards=old.shards, to_shards=decision.shards,
+            generation=generation.gen_id, trigger=trigger,
+        )
+        # An idle old generation terminates immediately; otherwise it
+        # drains its running jobs first (their shard rendezvous must
+        # stay stable) and terminates on the last job's exit.
+        self._retire_if_drained(old)
+
+    def _generation_by_id(self, gen_id: int | None) -> _Generation:
+        for generation in self._generations:
+            if generation.gen_id == gen_id:
+                return generation
+        raise ShuffleError(f"unknown fleet generation {gen_id!r}")
+
+    # ------------------------------------------------------------------
+    # dispatcher wake plumbing
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        if self._wake_event is not None and not self._wake_event.triggered:
+            self._wake_event.succeed(None)
+
+    def _wait_signal(self) -> SimEvent:
+        self._wake_event = SimEvent(self.sim, name="svc.wake")
+        return self._wake_event

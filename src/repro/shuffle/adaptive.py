@@ -58,6 +58,7 @@ from repro.shuffle.planner import (
 )
 from repro.shuffle.relayplanner import (
     RelayShuffleCostModel,
+    SHARD_IMBALANCE_HEADROOM,
     plan_relay_shuffle,
     predict_relay_shuffle_time,
     relay_usable_bytes,
@@ -908,3 +909,112 @@ def choose_exchange_substrate(
     return SubstrateDecision(
         chosen=chosen, estimates=tuple(estimates), partition_skew=partition_skew
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet autoscaling policy (the multi-tenant ExchangeService's brain)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, slots=True)
+class FleetScaleDecision:
+    """One autoscaling verdict for a shared relay fleet.
+
+    Attributes
+    ----------
+    instance_type:
+        Relay VM flavour of the target fleet (the policy keeps the
+        flavour pinned; shard count is the scaling axis).
+    shards:
+        Target shard count.
+    direction:
+        ``"up"`` or ``"down"`` relative to the current fleet.
+    reason:
+        Human-readable one-liner for the service's scale-event log.
+    """
+
+    instance_type: str
+    shards: int
+    direction: str
+    reason: str
+
+
+def plan_fleet_scale(
+    demand_bytes: float,
+    profile: CloudProfile,
+    current_shards: int,
+    instance_type_name: str,
+    *,
+    min_shards: int = 1,
+    max_shards: int = 8,
+    headroom: float = SHARD_IMBALANCE_HEADROOM,
+    partition_skew: float = 1.0,
+    scale_down_margin: float = 0.5,
+) -> FleetScaleDecision | None:
+    """Decide whether a shared relay fleet should change shard count.
+
+    ``demand_bytes`` is the observed load — the sum of logical exchange
+    bytes of every running *and queued* job (the service's queue depth
+    expressed in the unit the sizing model understands).  The target is
+    whatever :func:`~repro.shuffle.relayplanner.required_relay_fleet`
+    sizes for that demand with the given ``partition_skew``, clamped to
+    ``[min_shards, max_shards]``.
+
+    Scaling **up** happens as soon as the target exceeds the current
+    count — an undersized fleet backpressures every tenant.  Scaling
+    **down** is hysteretic: the fleet only shrinks when demand inflated
+    by ``scale_down_margin`` *still* fits the smaller count, so a
+    sawtooth arrival pattern near a sizing boundary does not thrash the
+    fleet through provision/terminate cycles (each of which strands a
+    generation's minimum billed seconds).
+
+    Returns ``None`` when the fleet should stay as it is.
+    """
+    if current_shards < 1:
+        raise ShuffleError(f"current_shards must be >= 1, got {current_shards}")
+    if not 1 <= min_shards <= max_shards:
+        raise ShuffleError(
+            f"need 1 <= min_shards <= max_shards, got "
+            f"{min_shards}..{max_shards}"
+        )
+    if scale_down_margin < 0.0:
+        raise ShuffleError(
+            f"scale_down_margin must be >= 0, got {scale_down_margin}"
+        )
+
+    def shards_for(load: float) -> int:
+        if load <= 0:
+            return min_shards
+        _name, shards = required_relay_fleet(
+            load,
+            profile,
+            instance_type_name=instance_type_name,
+            max_shards=max_shards,
+            headroom=headroom,
+            partition_skew=partition_skew,
+        )
+        return max(min_shards, shards)
+
+    target = shards_for(demand_bytes)
+    if target > current_shards:
+        return FleetScaleDecision(
+            instance_type=instance_type_name,
+            shards=target,
+            direction="up",
+            reason=(
+                f"demand {demand_bytes:.0f}B needs {target} shards "
+                f"(have {current_shards})"
+            ),
+        )
+    if target < current_shards:
+        # Hysteresis: only shrink if padded demand still fits the target.
+        padded = shards_for(demand_bytes * (1.0 + scale_down_margin))
+        if padded < current_shards:
+            return FleetScaleDecision(
+                instance_type=instance_type_name,
+                shards=padded,
+                direction="down",
+                reason=(
+                    f"demand {demand_bytes:.0f}B (+{scale_down_margin:.0%} "
+                    f"margin) fits {padded} shards (have {current_shards})"
+                ),
+            )
+    return None

@@ -151,6 +151,13 @@ class ExchangeBackend(abc.ABC):
 
     cost: t.Any
 
+    def begin_sort(self, out_bucket: str, out_prefix: str) -> None:
+        """Hook at sort start, before ``validate``, once the operator has
+        resolved the output namespace.  Backends that scope shared-
+        substrate state per exchange (the sharded fleet's router table is
+        keyed by the sort's key-prefix namespace) capture the prefix
+        here; the default is a no-op."""
+
     def validate(self, logical_size: float) -> None:
         """Raise :class:`~repro.errors.ShuffleError` when the shuffle
         cannot fit this substrate; no-op by default."""

@@ -294,6 +294,7 @@ class ShuffleSort:
         max_workers: int,
     ) -> t.Generator:
         started_at = self.sim.now
+        self.backend.begin_sort(out_bucket, out_prefix)
         meta = yield from self._preflight(bucket, key)
         real_size = meta.size
         plan, workers = self._plan_workers(

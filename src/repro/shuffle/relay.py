@@ -280,6 +280,7 @@ def relay_shuffle_mapper(ctx, task: dict) -> t.Generator:
     codec: RecordCodec = task["codec"]
     start, end = task["start"], task["end"]
     object_size = task["object_size"]
+    scope = task.get("relay_scope")
     window_end = min(object_size, end + task["peek_bytes"])
     raw = yield ctx.storage.get_range(task["bucket"], task["key"], start, window_end)
     base, tail = raw[: end - start], raw[end - start :]
@@ -298,7 +299,7 @@ def relay_shuffle_mapper(ctx, task: dict) -> t.Generator:
         partitions[partition_index(codec.key(record), boundaries)].append(record)
     yield ctx.compute_bytes(len(owned), task["partition_throughput"])
 
-    client = ctx.relay(task["relay_id"])
+    client = ctx.relay(task["relay_id"], scope=scope)
     mapper_id = task["mapper_id"]
     items = [
         (
@@ -321,22 +322,23 @@ def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
     Task fields: ``relay_id, relay_prefix, reducer_id, mappers,
     out_bucket, output_key, codec, sort_throughput, consume``.
 
-    With ``consume`` the reducer deletes its relay partitions after its
-    sorted run is written.  Cancellation makes the *transfer* side of
-    retries and speculation safe, but ``consume`` remains an opt-in for
-    crash-free runs (exactly like the cache reducer's ``cleanup``): an
-    attempt killed *after* its delete landed is re-invoked by the
-    executor and finds its partitions gone — deletion is destructive,
-    not idempotent.
+    With ``consume`` the reducer's partitions are reclaimed once its
+    sorted run is written — via **read-leases**: the consuming MPULL
+    grants the attempt a lease and the relay removes the entries only
+    when the activation *commits* (handler success).  An attempt killed
+    at any point before commit — even after the pull — simply drops its
+    lease, so the retry finds every partition resident.  Destructive
+    reads are therefore crash-safe, no longer an opt-in for crash-free
+    runs only.
     """
     codec: RecordCodec = task["codec"]
-    client = ctx.relay(task["relay_id"])
+    client = ctx.relay(task["relay_id"], scope=task.get("relay_scope"))
     reducer_id = task["reducer_id"]
     keys = [
         relay_partition_key(task["relay_prefix"], mapper_id, reducer_id)
         for mapper_id in range(task["mappers"])
     ]
-    segments = yield client.mpull(keys)
+    segments = yield client.mpull(keys, consume=task.get("consume", False))
 
     buffer = b"".join(segments)
     records = codec.split(buffer)
@@ -344,8 +346,6 @@ def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
     records.sort(key=codec.key)
     output = codec.join(records)
     yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
-    if task.get("consume", False):
-        yield client.mdelete(keys)
     return {
         "records": len(records),
         "bytes": len(output),
@@ -376,10 +376,24 @@ class RelayExchange(ExchangeBackend):
         self.relay = relay
         self.cost = cost if cost is not None else RelayShuffleCostModel()
         self._stats_baseline: dict[str, float] = {}
+        #: Tenant/job scope label stamped on every worker's relay client
+        #: (``None`` outside a multi-tenant service): the lever behind
+        #: :meth:`~repro.cloud.vm.relay.PartitionRelay.cancel_scope`.
+        self.tenant: str | None = None
+        #: This sort's key-prefix namespace (set by :meth:`begin_sort`);
+        #: scopes router installs and clears on a *shared* fleet.
+        self._namespace: str | None = None
+        #: Open peak-tracking epoch of the current sort (``None`` between
+        #: sorts); epoch-scoped so concurrent jobs on a shared relay
+        #: never reset each other's high watermark.
+        self._peak_token = None
 
     @property
     def shards(self) -> int:
         return self.relay.shard_count
+
+    def begin_sort(self, out_bucket: str, out_prefix: str) -> None:
+        self._namespace = out_prefix
 
     def validate(self, logical_size: float) -> None:
         self.relay.ensure_running()
@@ -388,8 +402,12 @@ class RelayExchange(ExchangeBackend):
             # a rebalance map a *previous* sort installed (possibly for
             # a different worker grid and load profile) must never leak
             # into this one.  ShardedRelayExchange re-installs its own
-            # map in on_boundaries, after sampling.
-            self.relay.set_router(None)
+            # map in on_boundaries, after sampling.  With a resolved
+            # namespace only *this sort's* routing is cleared — other
+            # exchanges running concurrently on a shared fleet keep
+            # theirs; without one (legacy single-job callers) the global
+            # router is cleared as before.
+            self.relay.set_router(None, namespace=self._namespace)
         if logical_size > self.relay.capacity_bytes:
             raise ShuffleError(
                 f"shuffle data ({logical_size:.0f} logical bytes) exceeds "
@@ -430,7 +448,12 @@ class RelayExchange(ExchangeBackend):
         # The relay may be reused across sorts (its lifecycle belongs to
         # the caller); report per-sort deltas, not lifetime totals.
         self._stats_baseline = self.relay.stats.as_dict()
-        self.relay.reset_peak()
+        # Epoch-scoped peak: each sort measures its own high watermark
+        # without resetting anyone else's (relay-global reset_peak would
+        # clobber concurrent jobs sharing this relay/fleet).
+        if self._peak_token is not None:
+            self.relay.end_peak_epoch(self._peak_token)
+        self._peak_token = self.relay.begin_peak_epoch()
 
     def _shard_skew_budget(self) -> float:
         """Max-over-mean factor each shard must budget at admission.
@@ -469,6 +492,8 @@ class RelayExchange(ExchangeBackend):
             relay_prefix=out_prefix,
             mapper_id=mapper_id,
         )
+        if self.tenant is not None:
+            base["relay_scope"] = self.tenant
         return base
 
     def reducer_task(
@@ -481,7 +506,7 @@ class RelayExchange(ExchangeBackend):
         out_prefix: str,
         codec: RecordCodec,
     ) -> dict:
-        return {
+        task = {
             "relay_id": self.relay.relay_id,
             "relay_prefix": out_prefix,
             "reducer_id": reducer_id,
@@ -492,6 +517,9 @@ class RelayExchange(ExchangeBackend):
             "sort_throughput": self.cost.sort_throughput,
             "consume": self.cost.consume,
         }
+        if self.tenant is not None:
+            task["relay_scope"] = self.tenant
+        return task
 
     def provisioned_rate_usd_per_s(self) -> float:
         profile = self.relay.service.profile
@@ -507,11 +535,16 @@ class RelayExchange(ExchangeBackend):
     def extra_report(self) -> dict:
         baseline = self._stats_baseline
         totals = self.relay.stats.as_dict()
+        if self._peak_token is not None:
+            peak_fill = self.relay.end_peak_epoch(self._peak_token)
+            self._peak_token = None
+        else:
+            peak_fill = self.relay.peak_fill_fraction
         return {
             "relay_id": self.relay.relay_id,
             "instance_type": self.relay.instance_type_name,
             "shards": self.shards,
-            "peak_fill_fraction": self.relay.peak_fill_fraction,
+            "peak_fill_fraction": peak_fill,
             "pushes": int(totals["pushes"] - baseline.get("pushes", 0)),
             "pulls": int(totals["pulls"] - baseline.get("pulls", 0)),
             "backpressure_waits": int(
@@ -615,7 +648,13 @@ class ShardedRelayExchange(RelayExchange):
         self.rebalance_assignments = build_rebalance_assignments(
             predicted_partition_bytes, workers, self.fleet.shard_count
         )
-        self.fleet.set_router(PartitionLoadRouter(self.rebalance_assignments))
+        # Namespaced under this sort's key prefix, so concurrent sorts
+        # on a shared fleet each keep their own rebalanced routing;
+        # legacy single-job callers (no begin_sort) install globally.
+        self.fleet.set_router(
+            PartitionLoadRouter(self.rebalance_assignments),
+            namespace=self._namespace,
+        )
 
     def on_map_done(self, map_results: list[dict]) -> None:
         # Post-map-wave shard fill: the direct observable of routing
@@ -636,6 +675,11 @@ class ShardedRelayExchange(RelayExchange):
             max(self._post_map_shard_bytes) / total if total > 0 else 0.0
         )
         out["shard_bytes"] = self._post_map_shard_bytes
+        if self._namespace is not None and self.rebalance_assignments is not None:
+            # The sort is over: retire its namespaced router so a
+            # long-running shared fleet's router table stays bounded.
+            # (Global routers are left for validate's legacy clear.)
+            self.fleet.set_router(None, namespace=self._namespace)
         return out
 
 

@@ -75,11 +75,15 @@ class RelayShuffleCostModel:
     #: :class:`~repro.shuffle.planner.ShuffleCostModel.sample_strides`).
     sample_strides: int = 4
     #: Reducers delete their partitions after writing their sorted run,
-    #: freeing relay memory as the reduce wave drains.  Off by default
-    #: (mirroring the cache substrate's ``cleanup``): a reducer that
-    #: crashes *after* its delete is re-invoked by the executor and
-    #: finds its partitions gone, so only crash-free runs should opt in.
-    #: The relay is per-run scratch — terminating it reclaims everything.
+    #: freeing relay memory as the reduce wave drains.  Crash-safe:
+    #: worker-attempt consuming pulls take *read-leases* that only
+    #: remove entries when the activation commits — a reducer that dies
+    #: mid-consume has its leases reinstated, so the retry finds every
+    #: partition intact (see
+    #: :meth:`~repro.cloud.vm.relay.PartitionRelay.commit_attempt`).
+    #: Off by default (mirroring the cache substrate's ``cleanup``);
+    #: long-lived shared fleets opt in so memory self-reclaims between
+    #: jobs instead of waiting for terminate.
     consume: bool = False
     #: Charge the VM boot latency into the plan (cold relay).  Warm
     #: (pre-provisioned) relays leave it out, like the cache planner.

@@ -353,7 +353,7 @@ class _RelayPort(_NotifyPort):
     """Rendezvous stream port over the VM relay (or sharded fleet)."""
 
     def _make_client(self, ctx, stream: dict):
-        return ctx.relay(stream["relay_id"])
+        return ctx.relay(stream["relay_id"], scope=stream.get("relay_scope"))
 
     def _put(self, key: str, data: bytes) -> SimEvent:
         return self.client.push(key, data, logical_size=len(data))
@@ -740,7 +740,10 @@ class StreamingRelayExchange(StreamingExchangeMixin, RelayExchange):
         self.stream = stream if stream is not None else StreamConfig()
 
     def _stream_route(self, out_bucket: str) -> dict:
-        return {"relay_id": self.relay.relay_id}
+        route = {"relay_id": self.relay.relay_id}
+        if self.tenant is not None:
+            route["relay_scope"] = self.tenant
+        return route
 
 
 class StreamingShardedRelayExchange(StreamingExchangeMixin, ShardedRelayExchange):
@@ -755,7 +758,10 @@ class StreamingShardedRelayExchange(StreamingExchangeMixin, ShardedRelayExchange
         self.stream = stream if stream is not None else StreamConfig()
 
     def _stream_route(self, out_bucket: str) -> dict:
-        return {"relay_id": self.relay.relay_id}
+        route = {"relay_id": self.relay.relay_id}
+        if self.tenant is not None:
+            route["relay_scope"] = self.tenant
+        return route
 
 
 #: Substrate name → streaming backend class (driver-side construction).
@@ -816,6 +822,7 @@ class StreamingShuffleSort(ShuffleSort):
         max_workers: int,
     ) -> t.Generator:
         started_at = self.sim.now
+        self.backend.begin_sort(out_bucket, out_prefix)
         meta = yield from self._preflight(bucket, key)
         real_size = meta.size
         plan, workers = self._plan_workers(

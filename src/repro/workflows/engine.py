@@ -90,9 +90,20 @@ class WorkflowResult:
 class WorkflowEngine:
     """Executes one DAG on one simulated cloud region."""
 
-    def __init__(self, cloud: Cloud, dag: WorkflowDag):
+    def __init__(
+        self,
+        cloud: Cloud,
+        dag: WorkflowDag,
+        meter_tags: dict[str, str] | None = None,
+    ):
         self.cloud = cloud
         self.dag = dag
+        #: Ambient attribution tags stamped on every cost line of the
+        #: whole run (tenant, experiment id, ...).  Pushed around the
+        #: workflow body, so a key reused by a stage — or by a nested
+        #: engine on the same region — shadows the outer value for its
+        #: duration and restores it afterwards.
+        self.meter_tags = dict(meter_tags or {})
         self.tracker = JobTracker(dag.name)
         for stage in dag.topological_order():
             stage_kind(stage.kind)  # fail fast on unknown kinds
@@ -111,6 +122,15 @@ class WorkflowEngine:
 
     # ------------------------------------------------------------------
     def _run(self) -> t.Generator:
+        for key, value in self.meter_tags.items():
+            self.cloud.meter.push_tag(key, value)
+        try:
+            return (yield from self._run_body())
+        finally:
+            for key in reversed(list(self.meter_tags)):
+                self.cloud.meter.pop_tag(key)
+
+    def _run_body(self) -> t.Generator:
         sim = self.cloud.sim
         started_at = sim.now
         self.cloud.store.ensure_bucket(self.dag.bucket)

@@ -66,3 +66,49 @@ class TestCostMeter:
         meter = CostMeter()
         meter.pop_tag("never-set")  # must not raise
         assert meter.total_usd == 0.0
+
+    def test_nested_push_restores_outer_value(self):
+        """Nested attribution: an inner push of the *same* key (a stage
+        inside a tenant-tagged workflow, a sub-stage inside a stage)
+        must shadow the outer value, and its pop must restore it — not
+        drop the key entirely."""
+        meter = CostMeter()
+        meter.push_tag("stage", "outer")
+        meter.push_tag("stage", "inner")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.10)
+        meter.pop_tag("stage")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.20)  # outer again
+        meter.pop_tag("stage")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.40)  # untagged
+        by_stage = meter.total_by_tag("stage")
+        assert by_stage["inner"] == pytest.approx(0.10)
+        assert by_stage["outer"] == pytest.approx(0.20)
+        assert by_stage["(untagged)"] == pytest.approx(0.40)
+
+    def test_nested_push_of_distinct_keys_is_independent(self):
+        meter = CostMeter()
+        meter.push_tag("tenant", "alice")
+        meter.push_tag("stage", "sort")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.10)
+        meter.pop_tag("stage")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.20)
+        meter.pop_tag("tenant")
+        tagged = meter.filtered(tenant="alice")
+        assert len(tagged) == 2
+        assert meter.total_by_tag("stage")["sort"] == pytest.approx(0.10)
+
+    def test_pop_after_deep_nesting_unwinds_in_order(self):
+        meter = CostMeter()
+        meter.push_tag("stage", "a")
+        meter.push_tag("stage", "b")
+        meter.push_tag("stage", "c")
+        meter.pop_tag("stage")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.1)
+        meter.pop_tag("stage")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.2)
+        meter.pop_tag("stage")
+        meter.charge(0.0, "faas", "gb_second", 1.0, 0.4)
+        by_stage = meter.total_by_tag("stage")
+        assert by_stage["b"] == pytest.approx(0.1)
+        assert by_stage["a"] == pytest.approx(0.2)
+        assert by_stage["(untagged)"] == pytest.approx(0.4)

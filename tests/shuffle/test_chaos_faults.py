@@ -30,6 +30,7 @@ from repro.executor import FunctionExecutor
 from repro.shuffle import (
     CacheShuffleSort,
     FixedWidthCodec,
+    RelayShuffleCostModel,
     RelayShuffleSort,
     ShardedRelayShuffleSort,
     ShuffleSort,
@@ -46,7 +47,13 @@ from repro.shuffle import (
 SUBSTRATES = (
     "objectstore", "cache", "relay", "sharded-relay",
     "streaming-objectstore", "streaming-cache", "streaming-relay",
+    "relay-consume", "sharded-relay-consume",
 )
+
+#: Rows whose reducers delete as they read — crashes land mid-consume,
+#: so the read-lease protocol (reinstate on death, remove at commit) is
+#: what byte parity and the empty-relay postcondition prove.
+CONSUME_SUBSTRATES = frozenset({"relay-consume", "sharded-relay-consume"})
 
 #: Mid-stream chaos wants several chunks per mapper (so kills land
 #: between publishes) and a bounded reducer buffer (so the backpressure
@@ -95,6 +102,16 @@ def run_chaos_sort(substrate, payload, seed, crash_rate, retries=6):
     elif substrate == "sharded-relay":
         relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
         operator = ShardedRelayShuffleSort(executor, codec, relay)
+    elif substrate == "relay-consume":
+        relay = relay_ready(cloud.vms, "bx2-8x32")
+        operator = RelayShuffleSort(
+            executor, codec, relay, cost=RelayShuffleCostModel(consume=True)
+        )
+    elif substrate == "sharded-relay-consume":
+        relay = fleet_ready(cloud.vms, "bx2-8x32", shards=2)
+        operator = ShardedRelayShuffleSort(
+            executor, codec, relay, cost=RelayShuffleCostModel(consume=True)
+        )
     elif substrate == "streaming-objectstore":
         operator = StreamingShuffleSort(
             executor, codec, backend=StreamingObjectStoreExchange(stream=stream)
@@ -169,6 +186,18 @@ class TestChaosParity:
             assert relay.active_flows == 0
             assert relay.used_logical == pytest.approx(relay.entry_bytes)
             relay.check_memory_accounting()
+
+        if substrate in CONSUME_SUBSTRATES:
+            # Consume mode under crashes: every committed reducer's
+            # leases removed its partitions (empty relay afterwards).
+            # A reducer killed mid-consume has its leases reinstated,
+            # which is what keeps the byte-parity assertion above alive
+            # — the pre-lease immediate delete would have lost those
+            # partitions for the retry.
+            stats = relay.stats.as_dict()
+            assert relay.key_count == 0
+            assert stats["consume_leases"] > 0
+            assert stats["lease_commits"] > 0
 
 
 #: Zipf duplicate keys: one hot partition owns most of the bytes, so

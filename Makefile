@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults test-skew test-service collect bench bench-exchange bench-streaming bench-skew bench-online bench-service verify
+.PHONY: test test-faults test-skew test-service collect bench bench-exchange bench-streaming bench-skew bench-online bench-service bench-kernels verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
 # pinned seed matrix, then the skew suite, then the multi-tenant
@@ -93,5 +93,14 @@ bench-online:
 # fairness and cost-attribution assertions.
 bench-service:
 	$(PYTEST) benchmarks/bench_service.py -q
+
+# Kernel bench only: regenerates the S14 result
+# (benchmarks/results/s14_kernels.txt) — scalar vs vectorized record
+# kernels at byte parity, with per-shape speedup floors — then holds
+# the harness wall-clock (results/bench_wallclock.json, written by
+# benchmarks/conftest.py) against the committed baseline.
+bench-kernels:
+	$(PYTEST) benchmarks/bench_kernels.py -q
+	python benchmarks/check_wallclock.py
 
 verify: collect test

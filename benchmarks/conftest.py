@@ -8,11 +8,62 @@ artifacts survive a plain ``pytest benchmarks/ --benchmark-only`` run.
 
 from __future__ import annotations
 
+import collections
+import json
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_DIR = pathlib.Path(__file__).parent
+
+#: Per-module wall-clock of the bench items that actually ran, written
+#: to ``results/bench_wallclock.json`` at session end so CI can hold the
+#: harness against the committed baseline (``check_wallclock.py``).
+_module_wallclock: dict[str, float] = collections.defaultdict(float)
+
+
+def _calibration_seconds() -> float:
+    """Wall-clock of a fixed pure-python busy loop.
+
+    A machine-speed yardstick stored next to the measured totals:
+    ``check_wallclock.py`` scales the baseline by the calibration ratio
+    so a slower CI runner is not mistaken for a code regression.
+    """
+    start = time.perf_counter()
+    total = 0
+    for value in range(2_000_000):
+        total += value
+    assert total > 0
+    return time.perf_counter() - start
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    start = time.perf_counter()
+    yield
+    path = pathlib.Path(str(item.fspath))
+    # This conftest is loaded whenever benchmarks/ is collected, but the
+    # hook then fires for *every* item in the run — only bench modules
+    # belong in the bench wall-clock.
+    if path.is_relative_to(BENCH_DIR):
+        _module_wallclock[path.stem] += time.perf_counter() - start
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if session.config.option.collectonly or not _module_wallclock:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    modules = {name: round(seconds, 4) for name, seconds in sorted(_module_wallclock.items())}
+    payload = {
+        "total_s": round(sum(_module_wallclock.values()), 4),
+        "modules": modules,
+        "calibration_s": round(_calibration_seconds(), 4),
+    }
+    (RESULTS_DIR / "bench_wallclock.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

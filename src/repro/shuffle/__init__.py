@@ -43,6 +43,22 @@ from repro.shuffle.cachestages import (
     cache_shuffle_mapper,
     cache_shuffle_reducer,
 )
+from repro.shuffle.kernels import (
+    DecimalFieldKeySpec,
+    KernelFallback,
+    KeySpec,
+    PartitionOutcome,
+    PrefixKeySpec,
+    ReversedKeySpec,
+    SortOutcome,
+    grouped_records,
+    kernel_report_extras,
+    kernels_enabled,
+    partition_buffer,
+    record_view,
+    sort_buffer,
+    window_keys,
+)
 from repro.shuffle.groupby import (
     AggregateFn,
     GroupByResult,
@@ -173,10 +189,24 @@ __all__ = [
     "plan_cache_shuffle",
     "predict_cache_shuffle_time",
     "required_cache_nodes",
+    "DecimalFieldKeySpec",
     "FixedWidthCodec",
     "GroupByResult",
     "GroupKeyCodec",
+    "KernelFallback",
+    "KeySpec",
     "LineRecordCodec",
+    "PartitionOutcome",
+    "PrefixKeySpec",
+    "ReversedKeySpec",
+    "SortOutcome",
+    "grouped_records",
+    "kernel_report_extras",
+    "kernels_enabled",
+    "partition_buffer",
+    "record_view",
+    "sort_buffer",
+    "window_keys",
     "OrderByResult",
     "PlanPoint",
     "RecordCodec",

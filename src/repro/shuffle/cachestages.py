@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import typing as t
 
+from repro.shuffle import kernels
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.sampler import partition_index
 
 
 def cache_partition_key(prefix: str, mapper_id: int, reducer_id: int) -> str:
@@ -49,11 +49,7 @@ def cache_shuffle_mapper(ctx, task: dict) -> t.Generator:
         global_start=start,
     )
 
-    boundaries = task["boundaries"]
-    partitions: list[list[bytes]] = [[] for _ in range(len(boundaries) + 1)]
-    records = codec.split(owned)
-    for record in records:
-        partitions[partition_index(codec.key(record), boundaries)].append(record)
+    outcome = kernels.partition_buffer(codec, owned, task["boundaries"])
     yield ctx.compute_bytes(len(owned), task["partition_throughput"])
 
     client = ctx.kv(task["cluster_id"])
@@ -61,15 +57,18 @@ def cache_shuffle_mapper(ctx, task: dict) -> t.Generator:
     items = [
         (
             cache_partition_key(task["cache_prefix"], mapper_id, reducer_id),
-            codec.join(bucket_records),
+            segment,
         )
-        for reducer_id, bucket_records in enumerate(partitions)
+        for reducer_id, segment in enumerate(outcome.segments())
     ]
     yield client.mset(items)
     return {
-        "records": len(records),
-        "bytes": sum(len(data) for _key, data in items),
-        "partition_sizes": [len(data) for _key, data in items],
+        "records": outcome.records,
+        "bytes": len(outcome.combined),
+        "partition_sizes": outcome.partition_sizes,
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }
 
 
@@ -92,13 +91,14 @@ def cache_shuffle_reducer(ctx, task: dict) -> t.Generator:
             yield client.delete(key)
 
     buffer = b"".join(segments)
-    records = codec.split(buffer)
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
-    records.sort(key=codec.key)
-    output = codec.join(records)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    outcome = kernels.sort_buffer(codec, buffer)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
     return {
-        "records": len(records),
-        "bytes": len(output),
+        "records": outcome.records,
+        "bytes": len(outcome.output),
         "output_key": task["output_key"],
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }

@@ -15,9 +15,11 @@ that group (any number, in the input codec's format).
 from __future__ import annotations
 
 import dataclasses
+import time
 import typing as t
 
 from repro.errors import ShuffleError
+from repro.shuffle import kernels
 from repro.shuffle.operator import _split
 from repro.shuffle.planner import ShuffleCostModel, plan_shuffle
 from repro.shuffle.records import RecordCodec
@@ -37,9 +39,17 @@ class GroupKeyCodec(RecordCodec):
     only the key changes, so the shuffle partitions by group.
     """
 
-    def __init__(self, base: RecordCodec, group_key_fn: t.Callable[[bytes], t.Any]):
+    def __init__(
+        self,
+        base: RecordCodec,
+        group_key_fn: t.Callable[[bytes], t.Any],
+        key_spec: kernels.KeySpec | None = None,
+    ):
         self.base = base
         self.group_key_fn = group_key_fn
+        #: Optional vectorized encoding of the *group* key (must compute
+        #: the same keys as ``group_key_fn`` on the full record).
+        self.key_spec = key_spec
 
     def split(self, buffer: bytes) -> list[bytes]:
         return self.base.split(buffer)
@@ -55,6 +65,15 @@ class GroupKeyCodec(RecordCodec):
 
     def sample_window(self, window, is_first, global_start):
         return self.base.sample_window(window, is_first, global_start)
+
+    def vector_layout(self, buffer: bytes):
+        return self.base.vector_layout(buffer)
+
+    def vector_spec(self) -> kernels.KeySpec | None:
+        return self.key_spec
+
+    def align_window(self, window, is_first, global_start):
+        return self.base.align_window(window, is_first, global_start)
 
 
 def shuffle_group_reducer(ctx, task: dict) -> t.Generator:
@@ -100,23 +119,25 @@ def shuffle_group_reducer(ctx, task: dict) -> t.Generator:
             yield ctx.sim.all_of([process.completion for process in processes])
 
     buffer = b"".join(chunks[index] for index in sorted(chunks))
-    records = codec.split(buffer)
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
 
-    groups: dict[t.Any, list[bytes]] = {}
-    for record in records:
-        groups.setdefault(codec.key(record), []).append(record)
+    kernel_started = time.perf_counter()
+    groups, records_in, kernel = kernels.grouped_records(codec, buffer)
     output_records: list[bytes] = []
-    for group_key in sorted(groups):
-        output_records.extend(aggregate_fn(group_key, groups[group_key]))
+    for group_key, group_records in groups:
+        output_records.extend(aggregate_fn(group_key, group_records))
     output = codec.join(output_records)
+    kernel_s = time.perf_counter() - kernel_started
     yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
     return {
         "groups": len(groups),
-        "records_in": len(records),
+        "records_in": records_in,
         "records_out": len(output_records),
         "bytes": len(output),
         "output_key": task["output_key"],
+        "kernel": kernel,
+        "kernel_records": records_in,
+        "kernel_s": kernel_s,
     }
 
 

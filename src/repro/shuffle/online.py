@@ -72,7 +72,8 @@ from repro.shuffle.relay import (
     build_rebalance_assignments,
 )
 from repro.shuffle.relayplanner import RelayShuffleCostModel
-from repro.shuffle.sampler import partition_index, partition_skew_of
+from repro.shuffle import kernels
+from repro.shuffle.sampler import partition_skew_of
 from repro.shuffle.streaming import StreamConfig, _make_port
 from repro.sim import SimEvent
 from repro.storage import paths
@@ -171,6 +172,8 @@ def online_wave_mapper(ctx, task: dict) -> t.Generator:
     published_logical = 0.0
     partition_bytes = [0.0] * parts
     cells: list[dict] = []
+    kernel_kinds: set[str] = set()
+    kernel_s = 0.0
     for unit in task["units"]:
         start, end = unit["start"], unit["end"]
         window_end = min(object_size, end + task["peek_bytes"])
@@ -187,15 +190,12 @@ def online_wave_mapper(ctx, task: dict) -> t.Generator:
             at_end=(end >= object_size),
             global_start=start,
         )
-        partitions: list[list[bytes]] = [[] for _ in range(parts)]
-        records = codec.split(owned)
-        for record in records:
-            partitions[partition_index(codec.key(record), boundaries)].append(
-                record
-            )
-        records_total += len(records)
+        outcome = kernels.partition_buffer(codec, owned, boundaries)
+        segments = outcome.segments()
+        records_total += outcome.records
+        kernel_kinds.add(outcome.kernel)
+        kernel_s += outcome.elapsed_s
         yield ctx.compute_bytes(len(owned), task["partition_throughput"])
-        segments = [codec.join(bucket_records) for bucket_records in partitions]
         cell_bytes = [len(segment) * ctx.logical_scale for segment in segments]
         before = ctx.sim.now
         yield from port.publish(unit["mapper_id"], unit["chunk"], segments)
@@ -207,6 +207,9 @@ def online_wave_mapper(ctx, task: dict) -> t.Generator:
             {"mapper": unit["mapper_id"], "chunk": unit["chunk"],
              "bytes": cell_bytes}
         )
+    kernel = "mixed" if len(kernel_kinds) > 1 else next(
+        iter(kernel_kinds), kernels.KERNEL_SCALAR
+    )
     return {
         "records": records_total,
         "units": len(task["units"]),
@@ -217,6 +220,9 @@ def online_wave_mapper(ctx, task: dict) -> t.Generator:
         "partition_bytes": partition_bytes,
         "cells": cells,
         "started_at": started_at,
+        "kernel": kernel,
+        "kernel_records": records_total,
+        "kernel_s": kernel_s,
     }
 
 
@@ -292,18 +298,19 @@ def online_stream_reducer(ctx, task: dict) -> t.Generator:
         for mapper_id in range(mappers)
         for chunk_index in range(chunk_counts[mapper_id])
     )
-    records = codec.split(payload)
-    records.sort(key=codec.key)
-    output = codec.join(records)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    outcome = kernels.sort_buffer(codec, payload)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
     return {
-        "records": len(records),
-        "bytes": len(output),
+        "records": outcome.records,
+        "bytes": len(outcome.output),
         "output_key": task["output_key"],
         "buffer_waits": buffer.waits,
         "buffer_wait_s": buffer.wait_s,
         "buffer_high_watermark_bytes": buffer.high_watermark,
         "started_at": started_at,
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }
 
 
@@ -723,10 +730,12 @@ class OnlineShuffleSort(ShuffleSort):
         map_exec_start = float("inf")
         published_logical = 0.0
         stream_chunks = 0
+        map_kernel_results: list[dict] = []
         wave = 0
         try:
             while True:
                 map_results = yield self.executor.get_result(map_futures)
+                map_kernel_results.extend(map_results)
                 mapped_records += sum(r["records"] for r in map_results)
                 stream_chunks += sum(r["chunks"] for r in map_results)
                 map_exec_start = min(
@@ -770,6 +779,7 @@ class OnlineShuffleSort(ShuffleSort):
                     )
                     wave = total_waves
                     map_results = yield self.executor.get_result(map_futures)
+                    map_kernel_results.extend(map_results)
                     mapped_records += sum(r["records"] for r in map_results)
                     stream_chunks += sum(r["chunks"] for r in map_results)
                     map_exec_start = min(
@@ -962,6 +972,9 @@ class OnlineShuffleSort(ShuffleSort):
                 ),
                 "relay_peak_fill": max(
                     (s.peak_fill for s in stints), default=0.0
+                ),
+                **kernels.kernel_report_extras(
+                    map_kernel_results, reduce_results
                 ),
             },
         )

@@ -29,6 +29,7 @@ import dataclasses
 import typing as t
 
 from repro.errors import ShuffleError
+from repro.shuffle import kernels
 from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
 from repro.shuffle.planner import ShuffleCostModel, ShufflePlan
 from repro.shuffle.records import RecordCodec
@@ -347,6 +348,7 @@ class ShuffleSort:
                 "predicted_partition_skew": partition_skew_of(
                     self.predicted_partition_bytes
                 ),
+                **kernels.kernel_report_extras(map_results, reduce_results),
             },
         )
         return ShuffleResult(

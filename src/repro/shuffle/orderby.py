@@ -22,6 +22,7 @@ import functools
 import typing as t
 
 from repro.errors import ShuffleError
+from repro.shuffle import kernels
 from repro.shuffle.operator import SortedRun, _sample_window_bytes, _split
 from repro.shuffle.planner import ShuffleCostModel
 from repro.shuffle.records import RecordCodec
@@ -84,6 +85,20 @@ class _DescendingCodec(RecordCodec):
 
     def sample_window(self, window, is_first, global_start):
         return self.inner.sample_window(window, is_first, global_start)
+
+    def vector_layout(self, buffer: bytes):
+        return self.inner.vector_layout(buffer)
+
+    def vector_spec(self) -> kernels.KeySpec | None:
+        inner_spec = self.inner.vector_spec()
+        if inner_spec is None:
+            return None
+        # Order-reversed encoding: descending sorts ride the ascending
+        # integer kernels unchanged.
+        return kernels.ReversedKeySpec(inner_spec)
+
+    def align_window(self, window, is_first, global_start):
+        return self.inner.align_window(window, is_first, global_start)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

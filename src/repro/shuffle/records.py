@@ -20,6 +20,7 @@ from __future__ import annotations
 import typing as t
 
 from repro.errors import ShuffleError
+from repro.shuffle import kernels
 
 
 class RecordCodec:
@@ -36,6 +37,40 @@ class RecordCodec:
     def key(self, record: bytes) -> t.Any:
         """The record's sort key (any comparable value)."""
         raise NotImplementedError
+
+    # -- vectorized fast-path hooks (optional) -------------------------
+    # A codec advertises the numpy kernels by describing its record
+    # layout and an order-preserving uint64 key encoding.  The defaults
+    # opt out, so custom codecs run the scalar path unchanged.
+
+    def supports_vectorized(self) -> bool:
+        """Whether this codec advertises the vectorized kernel layer."""
+        return self.vector_spec() is not None
+
+    def vector_layout(self, buffer: bytes):
+        """``(starts, ends)`` int64 offset arrays of every record in
+        ``buffer``, or ``None`` to use the scalar path.  Must validate
+        the buffer exactly like :meth:`split` (same errors)."""
+        return None
+
+    def vector_spec(self) -> kernels.KeySpec | None:
+        """The codec's key encoding, or ``None`` (scalar keys only)."""
+        return None
+
+    def align_window(
+        self, window: bytes, is_first: bool, global_start: int
+    ) -> bytes | None:
+        """``window`` trimmed to its complete records — the buffer whose
+        split equals :meth:`sample_window` — or ``None`` to opt out."""
+        return None
+
+    def as_arrays(self, buffer: bytes):
+        """``(keys ndarray, (starts, ends) offsets)`` of ``buffer``, or
+        ``None`` when the codec (or environment) is not vectorizable."""
+        view = kernels.record_view(self, buffer)
+        if view is None:
+            return None
+        return view.keys, (view.starts, view.ends)
 
     def extract_split(
         self,
@@ -63,11 +98,20 @@ class RecordCodec:
 class LineRecordCodec(RecordCodec):
     """Newline-delimited records; key extracted by a picklable callable.
 
-    ``key_fn`` receives the record *without* its trailing newline.
+    ``key_fn`` receives the record *without* its trailing newline.  An
+    optional ``key_spec`` — a :class:`~repro.shuffle.kernels.KeySpec`
+    computing the *same* keys as ``key_fn`` — opts the codec into the
+    vectorized kernels; without one, line records always take the
+    scalar path (``key_fn`` is opaque).
     """
 
-    def __init__(self, key_fn: t.Callable[[bytes], t.Any]):
+    def __init__(
+        self,
+        key_fn: t.Callable[[bytes], t.Any],
+        key_spec: kernels.KeySpec | None = None,
+    ):
         self.key_fn = key_fn
+        self.key_spec = key_spec
 
     def split(self, buffer: bytes) -> list[bytes]:
         if not buffer:
@@ -77,7 +121,17 @@ class LineRecordCodec(RecordCodec):
                 "line-record buffer does not end with a newline; "
                 "was the split record-aligned?"
             )
-        return [line + b"\n" for line in buffer.split(b"\n")[:-1]]
+        # One slice per record off the precomputed newline offsets —
+        # no second materialization re-appending the delimiter.
+        records = []
+        start = 0
+        find = buffer.find
+        while True:
+            newline = find(b"\n", start)
+            if newline < 0:
+                return records
+            records.append(buffer[start : newline + 1])
+            start = newline + 1
 
     def join(self, records: t.Iterable[bytes]) -> bytes:
         return b"".join(records)
@@ -120,6 +174,36 @@ class LineRecordCodec(RecordCodec):
         if not is_first and lines:
             lines = lines[1:]  # first line may be torn
         return [line + b"\n" for line in lines]
+
+    def vector_layout(self, buffer: bytes):
+        if kernels.np is None:
+            return None
+        if not buffer:
+            return kernels.line_layout(kernels.np.frombuffer(buffer, "u1"))
+        if not buffer.endswith(b"\n"):
+            raise ShuffleError(
+                "line-record buffer does not end with a newline; "
+                "was the split record-aligned?"
+            )
+        return kernels.line_layout(kernels.np.frombuffer(buffer, "u1"))
+
+    def vector_spec(self) -> kernels.KeySpec | None:
+        return self.key_spec
+
+    def align_window(
+        self, window: bytes, is_first: bool, global_start: int
+    ) -> bytes | None:
+        last_newline = window.rfind(b"\n")
+        if last_newline < 0:
+            return b""
+        if is_first:
+            start = 0
+        else:
+            first_newline = window.find(b"\n")
+            if first_newline == last_newline:
+                return b""  # only line is torn-prefix territory
+            start = first_newline + 1
+        return window[start : last_newline + 1]
 
 
 class FixedWidthCodec(RecordCodec):
@@ -184,3 +268,20 @@ class FixedWidthCodec(RecordCodec):
         usable = window[skip:]
         usable = usable[: len(usable) - (len(usable) % self.record_size)]
         return self.split(usable)
+
+    def vector_layout(self, buffer: bytes):
+        if kernels.np is None:
+            return None
+        return kernels.fixed_layout(len(buffer), self.record_size)
+
+    def vector_spec(self) -> kernels.KeySpec | None:
+        if self.key_bytes > 8:
+            return None  # key exceeds uint64; scalar path only
+        return kernels.PrefixKeySpec(self.key_bytes)
+
+    def align_window(
+        self, window: bytes, is_first: bool, global_start: int
+    ) -> bytes | None:
+        skip = self._first_record_offset(global_start)
+        usable = window[skip:]
+        return usable[: len(usable) - (len(usable) % self.record_size)]

@@ -44,7 +44,7 @@ from repro.shuffle.relayplanner import (
     RelayShuffleCostModel,
     plan_relay_shuffle,
 )
-from repro.shuffle.sampler import partition_index
+from repro.shuffle import kernels
 from repro.storage import paths
 
 
@@ -292,11 +292,7 @@ def relay_shuffle_mapper(ctx, task: dict) -> t.Generator:
         global_start=start,
     )
 
-    boundaries = task["boundaries"]
-    partitions: list[list[bytes]] = [[] for _ in range(len(boundaries) + 1)]
-    records = codec.split(owned)
-    for record in records:
-        partitions[partition_index(codec.key(record), boundaries)].append(record)
+    outcome = kernels.partition_buffer(codec, owned, task["boundaries"])
     yield ctx.compute_bytes(len(owned), task["partition_throughput"])
 
     client = ctx.relay(task["relay_id"], scope=scope)
@@ -304,15 +300,18 @@ def relay_shuffle_mapper(ctx, task: dict) -> t.Generator:
     items = [
         (
             relay_partition_key(task["relay_prefix"], mapper_id, reducer_id),
-            codec.join(bucket_records),
+            segment,
         )
-        for reducer_id, bucket_records in enumerate(partitions)
+        for reducer_id, segment in enumerate(outcome.segments())
     ]
     yield client.mpush(items)
     return {
-        "records": len(records),
-        "bytes": sum(len(data) for _key, data in items),
-        "partition_sizes": [len(data) for _key, data in items],
+        "records": outcome.records,
+        "bytes": len(outcome.combined),
+        "partition_sizes": outcome.partition_sizes,
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }
 
 
@@ -341,15 +340,16 @@ def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
     segments = yield client.mpull(keys, consume=task.get("consume", False))
 
     buffer = b"".join(segments)
-    records = codec.split(buffer)
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
-    records.sort(key=codec.key)
-    output = codec.join(records)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    outcome = kernels.sort_buffer(codec, buffer)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
     return {
-        "records": len(records),
-        "bytes": len(output),
+        "records": outcome.records,
+        "bytes": len(outcome.output),
         "output_key": task["output_key"],
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }
 
 

@@ -30,10 +30,12 @@ as predicted partition bytes.
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import typing as t
 
 from repro.errors import ShuffleError
+from repro.shuffle import kernels
 
 
 def reservoir_sample(items: t.Iterable[t.Any], capacity: int, rng) -> list[t.Any]:
@@ -150,9 +152,11 @@ def estimate_partition_weights(
     """
     if not sampled_keys:
         raise ShuffleError("cannot estimate partition weights from an empty sample")
-    counts = [0] * (len(boundaries) + 1)
-    for key in sampled_keys:
-        counts[partition_index(key, boundaries)] += 1
+    counts = kernels.partition_counts(sampled_keys, boundaries)
+    if counts is None:  # non-integer keys: count with the scalar search
+        counts = [0] * (len(boundaries) + 1)
+        for key in sampled_keys:
+            counts[partition_index(key, boundaries)] += 1
     total = len(sampled_keys)
     return [count / total for count in counts]
 
@@ -174,12 +178,12 @@ def partition_skew_of(sizes: t.Sequence[float]) -> float:
 
 
 def partition_index(key: t.Any, boundaries: t.Sequence[t.Any]) -> int:
-    """Which partition ``key`` belongs to (binary search over boundaries)."""
-    low, high = 0, len(boundaries)
-    while low < high:
-        mid = (low + high) // 2
-        if key < boundaries[mid]:
-            high = mid
-        else:
-            low = mid + 1
-    return low
+    """Which partition ``key`` belongs to.
+
+    ``bisect_right`` semantics: a key equal to ``boundaries[i]`` lands
+    in partition ``i + 1`` (partition ``i`` holds ``boundary[i-1] <=
+    key < boundary[i]``).  The C bisect compares with ``<`` exactly
+    like the hand-rolled binary search it replaced, so any totally
+    ordered key type works.
+    """
+    return bisect.bisect_right(boundaries, key)

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import typing as t
 
+from repro.shuffle import kernels
 from repro.shuffle.records import RecordCodec
-from repro.shuffle.sampler import partition_index, reservoir_sample
+from repro.shuffle.sampler import reservoir_sample
 
 
 def _sample_windows(
@@ -65,22 +66,25 @@ def shuffle_sampler(ctx, task: dict) -> t.Generator:
     """
     codec: RecordCodec = task["codec"]
     strides = max(1, int(task.get("sample_strides", 1)))
-    records: list[bytes] = []
+    keys: list = []
+    records_seen = 0
     for window_start, window_end in _sample_windows(
         task["start"], task["end"], task["sample_bytes"], strides
     ):
         window = yield ctx.storage.get_range(
             task["bucket"], task["key"], window_start, window_end
         )
-        records.extend(
-            codec.sample_window(
-                window, is_first=(window_start == 0), global_start=window_start
-            )
+        # Vectorized window decode when the codec supports it; the key
+        # list is identical either way, so the reservoir draws — and
+        # therefore the chosen boundaries — do not depend on the path.
+        window_keys, window_records, _kernel = kernels.window_keys(
+            codec, window, is_first=(window_start == 0), global_start=window_start
         )
-    keys = [codec.key(record) for record in records]
+        keys.extend(window_keys)
+        records_seen += window_records
     rng = ctx.rng(f"sampler-{task.get('sampler_id', 0)}")
     sample = reservoir_sample(keys, task["sample_keys"], rng) if keys else []
-    return {"keys": sample, "records_seen": len(records)}
+    return {"keys": sample, "records_seen": records_seen}
 
 
 def shuffle_mapper(ctx, task: dict) -> t.Generator:
@@ -111,44 +115,41 @@ def shuffle_mapper(ctx, task: dict) -> t.Generator:
         global_start=start,
     )
 
-    boundaries = task["boundaries"]
-    partitions: list[list[bytes]] = [[] for _ in range(len(boundaries) + 1)]
-    records = codec.split(owned)
-    for record in records:
-        partitions[partition_index(codec.key(record), boundaries)].append(record)
+    outcome = kernels.partition_buffer(codec, owned, task["boundaries"])
     yield ctx.compute_bytes(len(owned), task["partition_throughput"])
 
-    segments = [codec.join(bucket_records) for bucket_records in partitions]
-    partition_records = [len(bucket_records) for bucket_records in partitions]
     if task.get("write_combining", True):
-        # One object holding every partition segment.
-        combined = b"".join(segments)
-        offsets: list[tuple[int, int]] = []
-        cursor = 0
-        for segment in segments:
-            offsets.append((cursor, cursor + len(segment)))
-            cursor += len(segment)
-        yield ctx.storage.put(task["out_bucket"], task["out_key"], combined)
+        # One object holding every partition segment — the vectorized
+        # kernel's gathered buffer *is* this object (zero extra joins).
+        yield ctx.storage.put(task["out_bucket"], task["out_key"], outcome.combined)
         return {
-            "offsets": offsets,
-            "records": len(records),
-            "partition_records": partition_records,
-            "bytes": len(combined),
+            "offsets": outcome.offsets,
+            "records": outcome.records,
+            "partition_records": outcome.partition_records,
+            "bytes": len(outcome.combined),
             "out_key": task["out_key"],
+            "kernel": outcome.kernel,
+            "kernel_records": outcome.records,
+            "kernel_s": outcome.elapsed_s,
         }
 
     # Naive mode: one object per (mapper, partition) pair.
     partition_keys = []
-    for reducer_id, segment in enumerate(segments):
+    for reducer_id in range(len(outcome.offsets)):
         partition_key = f"{task['out_key']}.p{reducer_id:05d}"
         partition_keys.append(partition_key)
-        yield ctx.storage.put(task["out_bucket"], partition_key, segment)
+        yield ctx.storage.put(
+            task["out_bucket"], partition_key, outcome.segment(reducer_id)
+        )
     return {
         "partition_keys": partition_keys,
-        "records": len(records),
-        "partition_records": partition_records,
-        "bytes": sum(len(segment) for segment in segments),
+        "records": outcome.records,
+        "partition_records": outcome.partition_records,
+        "bytes": len(outcome.combined),
         "out_key": task["out_key"],
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }
 
 
@@ -200,16 +201,14 @@ def shuffle_reducer(ctx, task: dict) -> t.Generator:
             yield ctx.sim.all_of([process.completion for process in processes])
 
     buffer = b"".join(chunks[index] for index in sorted(chunks))
-    records = codec.split(buffer)
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
-    records.sort(key=codec.key)
-    record_limit = task.get("record_limit")
-    if record_limit is not None:
-        records = records[:record_limit]
-    output = codec.join(records)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    outcome = kernels.sort_buffer(codec, buffer, task.get("record_limit"))
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
     return {
-        "records": len(records),
-        "bytes": len(output),
+        "records": outcome.records,
+        "bytes": len(outcome.output),
         "output_key": task["output_key"],
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import time
 import typing as t
 
 from repro.cloud.objectstore.errors import NoSuchKey
@@ -64,6 +65,7 @@ from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
 from repro.shuffle.operator import ShuffleResult, ShuffleSort
 from repro.shuffle.planner import ShufflePlan, predict_streaming_shuffle_time
 from repro.shuffle.relay import RelayExchange, ShardedRelayExchange
+from repro.shuffle import kernels
 from repro.shuffle.sampler import partition_index, partition_skew_of
 from repro.shuffle.records import RecordCodec
 from repro.sim import SimEvent
@@ -407,50 +409,87 @@ def streaming_shuffle_mapper(ctx, task: dict) -> t.Generator:
         at_end=(end >= object_size),
         global_start=start,
     )
-    records = codec.split(owned)
-
     stream = task["stream"]
     chunk_real = max(1, int(stream["chunk_bytes"] / ctx.logical_scale))
-    chunks: list[list[bytes]] = []
-    current: list[bytes] = []
-    current_bytes = 0
-    for record in records:
-        current.append(record)
-        current_bytes += len(record)
-        if current_bytes >= chunk_real:
-            chunks.append(current)
-            current, current_bytes = [], 0
-    if current:
-        chunks.append(current)
-
-    port = _make_port(ctx, stream)
-    mapper_id = task["mapper_id"]
     boundaries = task["boundaries"]
     parts = len(boundaries) + 1
-    yield from port.announce(mapper_id, len(chunks))
-
+    port = _make_port(ctx, stream)
+    mapper_id = task["mapper_id"]
     partition_records = [0] * parts
     published_bytes = 0
-    for chunk_index, chunk_records in enumerate(chunks):
-        partitions: list[list[bytes]] = [[] for _ in range(parts)]
-        for record in chunk_records:
-            partitions[partition_index(codec.key(record), boundaries)].append(record)
-        yield ctx.compute_bytes(
-            sum(len(record) for record in chunk_records),
-            task["partition_throughput"],
-        )
-        segments = [codec.join(bucket_records) for bucket_records in partitions]
-        for reducer_id, bucket_records in enumerate(partitions):
-            partition_records[reducer_id] += len(bucket_records)
-        published_bytes += sum(len(segment) for segment in segments)
-        yield from port.publish(mapper_id, chunk_index, segments)
-    yield from port.finish(mapper_id, len(chunks))
+    kernel_s = time.perf_counter()
+
+    # Vectorized path: decode the split once, then partition each chunk
+    # span through the same RecordView — identical chunk cuts and
+    # per-chunk segments to the scalar greedy loop below.
+    view = kernels.record_view(codec, owned)
+    if view is not None and not view.can_partition(boundaries):
+        view = None
+    if view is not None:
+        kernel = kernels.KERNEL_VECTORIZED
+        spans = view.chunk_spans(chunk_real)
+        kernel_s = time.perf_counter() - kernel_s
+        total_records = view.count
+        total_chunks = len(spans)
+        yield from port.announce(mapper_id, total_chunks)
+        for chunk_index, (span_lo, span_hi) in enumerate(spans):
+            chunk_started = time.perf_counter()
+            outcome = view.partition(boundaries, span_lo, span_hi)
+            segments = outcome.segments()
+            kernel_s += time.perf_counter() - chunk_started
+            yield ctx.compute_bytes(
+                view.span_bytes(span_lo, span_hi), task["partition_throughput"]
+            )
+            for reducer_id, count in enumerate(outcome.partition_records):
+                partition_records[reducer_id] += count
+            published_bytes += len(outcome.combined)
+            yield from port.publish(mapper_id, chunk_index, segments)
+    else:
+        kernel = kernels.KERNEL_SCALAR
+        records = codec.split(owned)
+        chunks: list[list[bytes]] = []
+        current: list[bytes] = []
+        current_bytes = 0
+        for record in records:
+            current.append(record)
+            current_bytes += len(record)
+            if current_bytes >= chunk_real:
+                chunks.append(current)
+                current, current_bytes = [], 0
+        if current:
+            chunks.append(current)
+        kernel_s = time.perf_counter() - kernel_s
+        total_records = len(records)
+        total_chunks = len(chunks)
+        yield from port.announce(mapper_id, total_chunks)
+        for chunk_index, chunk_records in enumerate(chunks):
+            chunk_started = time.perf_counter()
+            partitions: list[list[bytes]] = [[] for _ in range(parts)]
+            for record in chunk_records:
+                partitions[
+                    partition_index(codec.key(record), boundaries)
+                ].append(record)
+            segments = [codec.join(bucket_records) for bucket_records in partitions]
+            kernel_s += time.perf_counter() - chunk_started
+            yield ctx.compute_bytes(
+                sum(len(record) for record in chunk_records),
+                task["partition_throughput"],
+            )
+            for reducer_id, bucket_records in enumerate(partitions):
+                partition_records[reducer_id] += len(bucket_records)
+            published_bytes += sum(len(segment) for segment in segments)
+            yield from port.publish(mapper_id, chunk_index, segments)
+
+    yield from port.finish(mapper_id, total_chunks)
     return {
-        "records": len(records),
+        "records": total_records,
         "bytes": published_bytes,
-        "chunks": len(chunks),
+        "chunks": total_chunks,
         "partition_records": partition_records,
         "started_at": started_at,
+        "kernel": kernel,
+        "kernel_records": total_records,
+        "kernel_s": kernel_s,
     }
 
 
@@ -579,18 +618,19 @@ def streaming_shuffle_reducer(ctx, task: dict) -> t.Generator:
     payload = b"".join(
         segment for mapper_id in range(mappers) for segment in chunks[mapper_id]
     )
-    records = codec.split(payload)
-    records.sort(key=codec.key)
-    output = codec.join(records)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], output)
+    outcome = kernels.sort_buffer(codec, payload)
+    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
     return {
-        "records": len(records),
-        "bytes": len(output),
+        "records": outcome.records,
+        "bytes": len(outcome.output),
         "output_key": task["output_key"],
         "buffer_waits": buffer.waits,
         "buffer_wait_s": buffer.wait_s,
         "buffer_high_watermark_bytes": buffer.high_watermark,
         "started_at": started_at,
+        "kernel": outcome.kernel,
+        "kernel_records": outcome.records,
+        "kernel_s": outcome.elapsed_s,
     }
 
 
@@ -901,6 +941,7 @@ class StreamingShuffleSort(ShuffleSort):
                 "stream_chunks": sum(
                     result["chunks"] for result in map_results
                 ),
+                **kernels.kernel_report_extras(map_results, reduce_results),
             },
         )
         return ShuffleResult(

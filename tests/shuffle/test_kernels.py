@@ -1,0 +1,475 @@
+"""Property suite for the vectorized record kernels (PR 8 tentpole).
+
+Every kernel must be **byte-identical** to the scalar codec path on
+arbitrary inputs: random buffers, random/duplicated boundaries, skewed
+key distributions, torn-record ``extract_split`` edges, and
+``global_start`` alignment cases.  The scalar reference is the same
+public entry point with ``force_scalar=True`` — the exact per-record
+loop the stages ran before this layer existed.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShuffleError
+from repro.methcomp.datagen import generate_skewed_bed_bytes
+from repro.methcomp.pipeline import BedKeySpec, bed_record_codec
+from repro.shuffle import (
+    DecimalFieldKeySpec,
+    FixedWidthCodec,
+    GroupKeyCodec,
+    LineRecordCodec,
+    PrefixKeySpec,
+    ReversedKey,
+    ReversedKeySpec,
+    SkewSpec,
+    grouped_records,
+    partition_buffer,
+    record_view,
+    skewed_fixed_payload,
+    sort_buffer,
+    window_keys,
+)
+from repro.shuffle import kernels
+from repro.shuffle.orderby import _DescendingCodec
+from repro.shuffle.sampler import partition_index
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def fixed_codec_and_buffer(draw):
+    record_size = draw(st.integers(2, 24))
+    key_bytes = draw(st.integers(1, min(8, record_size)))
+    count = draw(st.integers(0, 200))
+    payload = draw(st.binary(min_size=count * record_size, max_size=count * record_size))
+    return FixedWidthCodec(record_size, key_bytes), payload
+
+
+def line_buffer(draw):
+    lines = draw(
+        st.lists(
+            st.tuples(st.integers(0, 10**9), st.binary(max_size=12)),
+            max_size=120,
+        )
+    )
+    payload = b"".join(
+        b"%d\t" % value + extra.replace(b"\n", b"x").replace(b"\t", b"y") + b"\n"
+        for value, extra in lines
+    )
+    return payload
+
+
+def decimal_line_codec() -> LineRecordCodec:
+    return LineRecordCodec(
+        key_fn=lambda line: int(line.split(b"\t")[0]),
+        key_spec=DecimalFieldKeySpec(field=0),
+    )
+
+
+def boundaries_from(keys, draw):
+    if not keys:
+        return draw(st.lists(st.integers(0, 2**63), max_size=4).map(sorted))
+    picks = draw(st.lists(st.sampled_from(keys), max_size=9))
+    return sorted(picks)
+
+
+def assert_partition_parity(codec, payload, boundaries):
+    vec = partition_buffer(codec, payload, boundaries)
+    ref = partition_buffer(codec, payload, boundaries, force_scalar=True)
+    assert ref.kernel == "scalar"
+    assert vec.combined == ref.combined
+    assert vec.offsets == ref.offsets
+    assert vec.partition_records == ref.partition_records
+    assert vec.partition_sizes == ref.partition_sizes
+    assert vec.records == ref.records
+    assert vec.segments() == ref.segments()
+    return vec
+
+
+def assert_sort_parity(codec, payload, record_limit=None):
+    vec = sort_buffer(codec, payload, record_limit)
+    ref = sort_buffer(codec, payload, record_limit, force_scalar=True)
+    assert vec.output == ref.output
+    assert vec.records == ref.records
+    return vec
+
+
+# ----------------------------------------------------------------------
+# fixed-width parity
+# ----------------------------------------------------------------------
+class TestFixedWidthParity:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_partition_byte_identical(self, data):
+        codec, payload = fixed_codec_and_buffer(data.draw)
+        keys = [codec.key(r) for r in codec.split(payload)]
+        boundaries = boundaries_from(keys, data.draw)
+        vec = assert_partition_parity(codec, payload, boundaries)
+        if payload:
+            assert vec.kernel == "vectorized"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_merge_byte_identical(self, data):
+        codec, payload = fixed_codec_and_buffer(data.draw)
+        limit = data.draw(st.one_of(st.none(), st.integers(0, 50)))
+        assert_sort_parity(codec, payload, limit)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_key_extraction_matches_scalar(self, data):
+        codec, payload = fixed_codec_and_buffer(data.draw)
+        view = record_view(codec, payload)
+        assert view is not None
+        assert view.key_objects() == [codec.key(r) for r in codec.split(payload)]
+
+    def test_wide_keys_fall_back_to_scalar(self):
+        codec = FixedWidthCodec(16, key_bytes=12)  # key exceeds uint64
+        payload = bytes(range(16)) * 8
+        assert codec.vector_spec() is None
+        outcome = partition_buffer(codec, payload, [codec.key(payload[:16])])
+        assert outcome.kernel == "scalar"
+        assert_partition_parity(codec, payload, [codec.key(payload[:16])])
+
+    def test_misaligned_buffer_raises_same_error_on_both_paths(self):
+        codec = FixedWidthCodec(8)
+        with pytest.raises(ShuffleError, match="not a multiple"):
+            partition_buffer(codec, b"x" * 11, [])
+        with pytest.raises(ShuffleError, match="not a multiple"):
+            partition_buffer(codec, b"x" * 11, [], force_scalar=True)
+
+
+class TestSkewedParity:
+    @pytest.mark.parametrize("distribution", ["zipf", "heavy-dup", "sorted-runs"])
+    def test_partition_and_merge_on_skewed_payloads(self, distribution):
+        codec = FixedWidthCodec(16, key_bytes=8)
+        payload = skewed_fixed_payload(
+            4000, SkewSpec(distribution=distribution), seed=11
+        )
+        keys = [codec.key(r) for r in codec.split(payload)]
+        boundaries = sorted(random.Random(5).sample(keys, 31))
+        vec = assert_partition_parity(codec, payload, boundaries)
+        assert vec.kernel == "vectorized"
+        assert_sort_parity(codec, payload)
+
+    def test_duplicate_boundaries_agree_with_bisect(self):
+        # Duplicate boundaries (weighted chooser under key starvation)
+        # must split identically: equal keys go *after* the boundary.
+        codec = FixedWidthCodec(4, key_bytes=2)
+        payload = b"".join(
+            int(v).to_bytes(2, "big") + b"xy" for v in [5, 5, 5, 7, 7, 9]
+        )
+        boundaries = [5, 5, 7]
+        vec = assert_partition_parity(codec, payload, boundaries)
+        keys = [codec.key(r) for r in codec.split(payload)]
+        counts = [0] * (len(boundaries) + 1)
+        for key in keys:
+            counts[partition_index(key, boundaries)] += 1
+        assert vec.partition_records == counts
+
+
+# ----------------------------------------------------------------------
+# line-record parity
+# ----------------------------------------------------------------------
+class TestLineRecordParity:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_partition_byte_identical(self, data):
+        codec = decimal_line_codec()
+        payload = line_buffer(data.draw)
+        keys = [codec.key(r) for r in codec.split(payload)]
+        boundaries = boundaries_from(keys, data.draw)
+        vec = assert_partition_parity(codec, payload, boundaries)
+        if payload:
+            assert vec.kernel == "vectorized"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_merge_byte_identical(self, data):
+        codec = decimal_line_codec()
+        payload = line_buffer(data.draw)
+        limit = data.draw(st.one_of(st.none(), st.integers(0, 40)))
+        assert_sort_parity(codec, payload, limit)
+
+    def test_opaque_key_fn_falls_back_to_scalar(self):
+        codec = LineRecordCodec(key_fn=len)  # no key_spec: not vectorizable
+        payload = b"aa\nb\nccc\n"
+        assert record_view(codec, payload) is None
+        outcome = partition_buffer(codec, payload, [2])
+        assert outcome.kernel == "scalar"
+
+    def test_non_decimal_field_falls_back(self):
+        codec = LineRecordCodec(
+            key_fn=lambda line: int(line.split(b"\t")[0]),
+            key_spec=DecimalFieldKeySpec(field=0),
+        )
+        assert record_view(codec, b"-3\tx\n") is None  # sign byte: scalar path
+        assert record_view(codec, b"12345678901234567890\t\n") is None  # >18 digits
+
+    def test_missing_trailing_newline_raises_same_error_on_both_paths(self):
+        codec = decimal_line_codec()
+        for force in (False, True):
+            with pytest.raises(ShuffleError, match="does not end with a newline"):
+                partition_buffer(codec, b"1\ttorn", [], force_scalar=force)
+
+    def test_boundary_outside_encoding_falls_back(self):
+        # Integer boundaries outside the uint64 domain cannot ride the
+        # encoded kernels; the scalar comparison handles them fine.
+        codec = decimal_line_codec()
+        payload = b"1\ta\n2\tb\n"
+        for boundary in (-1, 2**64):
+            outcome = partition_buffer(codec, payload, [boundary])
+            assert outcome.kernel == "scalar"
+            assert_partition_parity(codec, payload, [boundary])
+
+
+class TestBedParity:
+    def test_bed_partition_and_merge_byte_identical(self):
+        codec = bed_record_codec()
+        payload = generate_skewed_bed_bytes(200_000, seed=4)
+        keys = [codec.key(r) for r in codec.split(payload)]
+        boundaries = sorted(set(random.Random(9).sample(keys, 40)))
+        vec = assert_partition_parity(codec, payload, boundaries)
+        assert vec.kernel == "vectorized"
+        merged = assert_sort_parity(codec, payload)
+        assert merged.kernel == "vectorized"
+
+    def test_bed_keys_round_trip(self):
+        codec = bed_record_codec()
+        payload = generate_skewed_bed_bytes(50_000, seed=6)
+        view = record_view(codec, payload)
+        assert view is not None
+        assert view.key_objects() == [codec.key(r) for r in codec.split(payload)]
+
+    def test_unknown_chromosome_falls_back(self):
+        codec = bed_record_codec()
+        assert record_view(codec, b"chrZZZ\t5\t6\tx\n") is None
+
+    def test_spec_encoding_is_order_preserving(self):
+        spec = BedKeySpec()
+        keys = [(0, 0), (0, 1), (3, 0), (24, 2**32 - 1)]
+        encoded = [spec.to_u64(k) for k in keys]
+        assert encoded == sorted(encoded) and len(set(encoded)) == len(keys)
+        assert [spec.from_u64(v) for v in encoded] == keys
+        assert spec.to_u64((0, 2**32)) is None  # out of packed domain
+
+
+# ----------------------------------------------------------------------
+# descending (ReversedKeySpec)
+# ----------------------------------------------------------------------
+class TestDescendingParity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_descending_partition_and_merge(self, data):
+        inner, payload = fixed_codec_and_buffer(data.draw)
+        codec = _DescendingCodec(inner)
+        keys = [codec.key(r) for r in codec.split(payload)]
+        boundaries = sorted(data.draw(st.lists(st.sampled_from(keys), max_size=6))) if keys else []
+        assert_partition_parity(codec, payload, boundaries)
+        assert_sort_parity(codec, payload, data.draw(st.one_of(st.none(), st.integers(0, 30))))
+
+    def test_reversed_spec_inverts_order(self):
+        spec = ReversedKeySpec(PrefixKeySpec(8))
+        small, big = ReversedKey(1), ReversedKey(2)
+        assert big < small  # ReversedKey semantics
+        assert spec.to_u64(big) < spec.to_u64(small)
+        assert spec.from_u64(spec.to_u64(big)) == big
+
+
+# ----------------------------------------------------------------------
+# sampling-window alignment (torn records, global_start)
+# ----------------------------------------------------------------------
+class TestWindowAlignment:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_fixed_width_window_keys_match_sample_window(self, data):
+        codec, payload = fixed_codec_and_buffer(data.draw)
+        if not payload:
+            return
+        start = data.draw(st.integers(0, len(payload) - 1))
+        length = data.draw(st.integers(0, len(payload)))
+        window = payload[start : start + length]
+        keys, seen, _kernel = window_keys(
+            codec, window, is_first=(start == 0), global_start=start
+        )
+        reference = codec.sample_window(
+            window, is_first=(start == 0), global_start=start
+        )
+        assert keys == [codec.key(r) for r in reference]
+        assert seen == len(reference)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_line_window_keys_match_sample_window(self, data):
+        codec = decimal_line_codec()
+        payload = line_buffer(data.draw)
+        if not payload:
+            return
+        start = data.draw(st.integers(0, len(payload) - 1))
+        length = data.draw(st.integers(0, len(payload)))
+        window = payload[start : start + length]
+        keys, seen, _kernel = window_keys(
+            codec, window, is_first=(start == 0), global_start=start
+        )
+        reference = codec.sample_window(
+            window, is_first=(start == 0), global_start=start
+        )
+        assert keys == [codec.key(r) for r in reference]
+        assert seen == len(reference)
+
+
+class TestExtractSplitEdges:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_torn_split_edges_partition_identically(self, data):
+        """Splits cut mid-record: extract_split realigns, kernels agree."""
+        codec, payload = fixed_codec_and_buffer(data.draw)
+        if len(payload) < 2:
+            return
+        parts = data.draw(st.integers(1, 5))
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(1, len(payload) - 1),
+                    min_size=parts - 1,
+                    max_size=parts - 1,
+                )
+            )
+        )
+        edges = [0, *cuts, len(payload)]
+        keys = [codec.key(r) for r in codec.split(payload)]
+        boundaries = boundaries_from(keys, data.draw)
+        reassembled = []
+        for start, end in zip(edges, edges[1:]):
+            owned = codec.extract_split(
+                payload[start:end],
+                payload[end : end + 64],
+                is_first=(start == 0),
+                at_end=(end >= len(payload)),
+                global_start=start,
+            )
+            vec = assert_partition_parity(codec, owned, boundaries)
+            reassembled.append(vec.records)
+        assert sum(reassembled) == len(keys)
+
+
+# ----------------------------------------------------------------------
+# grouping, counts, env gating
+# ----------------------------------------------------------------------
+class TestGroupedRecords:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_groups_match_scalar_dict_grouping(self, data):
+        base, payload = fixed_codec_and_buffer(data.draw)
+        codec = GroupKeyCodec(base, base.key, key_spec=base.vector_spec())
+        vec_groups, vec_count, vec_kernel = grouped_records(codec, payload)
+        ref_groups, ref_count, ref_kernel = grouped_records(
+            codec, payload, force_scalar=True
+        )
+        assert ref_kernel == "scalar"
+        assert vec_groups == ref_groups
+        assert vec_count == ref_count
+        if payload and base.key_bytes <= 8:
+            assert vec_kernel == "vectorized"
+
+
+class TestPartitionCounts:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=200),
+        st.lists(st.integers(0, 2**64 - 1), max_size=8),
+    )
+    def test_counts_match_bisect(self, keys, raw_boundaries):
+        boundaries = sorted(raw_boundaries)
+        counts = kernels.partition_counts(keys, boundaries)
+        reference = [0] * (len(boundaries) + 1)
+        for key in keys:
+            reference[partition_index(key, boundaries)] += 1
+        assert counts == reference
+
+    def test_non_integer_keys_opt_out(self):
+        assert kernels.partition_counts([(1, 2)], [(0, 0)]) is None
+        assert kernels.partition_counts([ReversedKey(3)], [ReversedKey(5)]) is None
+        assert kernels.partition_counts([1, 2], [2**64]) is None  # overflow
+
+
+class TestEnvironmentGate:
+    def test_scalar_mode_disables_kernels(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "scalar")
+        codec = FixedWidthCodec(8)
+        payload = bytes(range(8)) * 4
+        assert not kernels.kernels_enabled()
+        assert record_view(codec, payload) is None
+        assert partition_buffer(codec, payload, []).kernel == "scalar"
+        assert kernels.partition_counts([1, 2], [1]) is None
+
+    def test_auto_mode_enables_kernels(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        assert kernels.kernels_enabled()
+
+
+# ----------------------------------------------------------------------
+# chunk spans (streaming/online chunking grain)
+# ----------------------------------------------------------------------
+class TestChunkSpans:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_spans_match_greedy_scalar_chunking(self, data):
+        codec = decimal_line_codec()
+        payload = line_buffer(data.draw)
+        if not payload:
+            return
+        chunk_bytes = data.draw(st.integers(1, len(payload) + 8))
+        view = record_view(codec, payload)
+        assert view is not None
+        spans = view.chunk_spans(chunk_bytes)
+        records = codec.split(payload)
+        chunks, current, size = [], 0, 0
+        for index, record in enumerate(records):
+            size += len(record)
+            if size >= chunk_bytes:
+                chunks.append((current, index + 1))
+                current, size = index + 1, 0
+        if current < len(records):
+            chunks.append((current, len(records)))
+        assert spans == chunks
+        # Partitioning span by span reproduces the whole-buffer segments.
+        keys = [codec.key(r) for r in records]
+        boundaries = boundaries_from(keys, data.draw)
+        whole = partition_buffer(codec, payload, boundaries, force_scalar=True)
+        by_span = [b""] * (len(boundaries) + 1)
+        for span_lo, span_hi in spans:
+            outcome = view.partition(boundaries, span_lo, span_hi)
+            for reducer_id, segment in enumerate(outcome.segments()):
+                by_span[reducer_id] += segment
+        assert by_span == whole.segments()
+
+
+# ----------------------------------------------------------------------
+# report extras folding
+# ----------------------------------------------------------------------
+class TestKernelReportExtras:
+    def test_uniform_kind_and_throughput(self):
+        maps = [
+            {"kernel": "vectorized", "kernel_records": 100, "kernel_s": 0.5},
+            {"kernel": "vectorized", "kernel_records": 300, "kernel_s": 0.5},
+        ]
+        reduces = [{"kernel": "vectorized", "kernel_records": 400, "kernel_s": 1.0}]
+        extras = kernels.kernel_report_extras(maps, reduces)
+        assert extras["kernel"] == "vectorized"
+        assert extras["map_kernel"] == "vectorized"
+        assert extras["map_records_per_sec"] == pytest.approx(400.0)
+        assert extras["reduce_records_per_sec"] == pytest.approx(400.0)
+        assert extras["records_per_sec"] == pytest.approx(800 / 2.0)
+
+    def test_mixed_kinds_flagged(self):
+        maps = [{"kernel": "vectorized", "kernel_records": 1, "kernel_s": 0.1}]
+        reduces = [{"kernel": "scalar", "kernel_records": 1, "kernel_s": 0.1}]
+        assert kernels.kernel_report_extras(maps, reduces)["kernel"] == "mixed"
+
+    def test_untagged_results_produce_no_extras(self):
+        assert kernels.kernel_report_extras([{"records": 1}], []) == {}

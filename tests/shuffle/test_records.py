@@ -190,3 +190,41 @@ class TestFixedWidthCodec:
             )
             recovered.extend(codec.split(owned))
         assert codec.join(recovered) == payload
+
+
+class TestLineSplitOffsets:
+    """PR 8 satellite: ``LineRecordCodec.split`` slices by newline
+    offsets instead of splitting then re-concatenating ``+ b"\\n"`` per
+    line.  The regression pins byte-identical output — including the
+    final record — against the old double-materializing implementation.
+    """
+
+    @staticmethod
+    def _old_split(buffer):
+        return [line + b"\n" for line in buffer.split(b"\n")[:-1]]
+
+    @given(
+        lines=st.lists(
+            st.binary(max_size=20).map(lambda b: b.replace(b"\n", b"x")),
+            max_size=60,
+        )
+    )
+    def test_property_matches_old_split(self, lines):
+        codec = line_codec()
+        payload = b"".join(line + b"\n" for line in lines)
+        assert codec.split(payload) == self._old_split(payload)
+
+    def test_no_trailing_record_loss(self):
+        codec = line_codec()
+        records = codec.split(b"first\nsecond\nlast\n")
+        assert records == [b"first\n", b"second\n", b"last\n"]
+        assert records[-1] == b"last\n"
+
+    def test_empty_lines_preserved(self):
+        codec = line_codec()
+        assert codec.split(b"\n\na\n\n") == [b"\n", b"\n", b"a\n", b"\n"]
+
+    def test_records_are_buffer_slices_not_rebuilt(self):
+        codec = line_codec()
+        payload = b"abc\ndef\n"
+        assert b"".join(codec.split(payload)) == payload

@@ -108,3 +108,51 @@ class TestPartitionIndex:
             buckets[partition_index(key, boundaries)].append(key)
         concatenated = [k for bucket in buckets for k in sorted(bucket)]
         assert concatenated == sorted(keys)
+
+
+class TestPartitionIndexBisect:
+    """PR 8 satellite: ``partition_index`` is now ``bisect_right``.
+
+    The reference below is the O(P) linear scan the original
+    implementation was defined against — the property pins exact
+    equivalence on every (key, boundaries) pair, including duplicated
+    boundaries and keys outside the boundary range.
+    """
+
+    @staticmethod
+    def _linear_scan(key, boundaries):
+        for index, boundary in enumerate(boundaries):
+            if key < boundary:
+                return index
+        return len(boundaries)
+
+    @given(
+        key=st.integers(-(10**9), 10**9),
+        boundaries=st.lists(st.integers(-(10**6), 10**6), max_size=32).map(sorted),
+    )
+    def test_property_matches_linear_scan(self, key, boundaries):
+        assert partition_index(key, boundaries) == self._linear_scan(
+            key, boundaries
+        )
+
+    @given(
+        boundaries=st.lists(
+            st.integers(0, 50), min_size=1, max_size=16
+        ).map(sorted),
+    )
+    def test_property_boundary_keys_go_right(self, boundaries):
+        for boundary in boundaries:
+            index = partition_index(boundary, boundaries)
+            assert index == self._linear_scan(boundary, boundaries)
+            # bisect_right semantics: the key equal to a boundary lands
+            # strictly after every copy of that boundary.
+            assert boundaries[index - 1] == boundary
+
+    def test_works_with_reverse_ordered_keys(self):
+        from repro.shuffle import ReversedKey
+
+        boundaries = [ReversedKey(30), ReversedKey(20), ReversedKey(10)]
+        assert partition_index(ReversedKey(40), boundaries) == 0
+        assert partition_index(ReversedKey(30), boundaries) == 1
+        assert partition_index(ReversedKey(25), boundaries) == 1
+        assert partition_index(ReversedKey(5), boundaries) == 3

@@ -8,13 +8,14 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults test-skew test-service collect bench bench-exchange bench-streaming bench-skew bench-online bench-service bench-kernels verify
+.PHONY: test test-faults test-skew test-service test-obs collect bench bench-exchange bench-streaming bench-skew bench-online bench-service bench-kernels bench-obs verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
 # pinned seed matrix, then the skew suite, then the multi-tenant
-# service suite, then everything (which collects them again under
-# their in-repo defaults — identical by default).
-test: test-faults test-skew test-service
+# service suite, then the observability suite, then everything (which
+# collects them again under their in-repo defaults — identical by
+# default).
+test: test-faults test-skew test-service test-obs
 	$(PYTEST) -x -q
 
 # Chaos suite alone: crash-injected shuffles on all four exchange
@@ -46,6 +47,13 @@ test-service:
 		tests/service/test_exchange_service.py \
 		tests/cloud/test_vm_relay_multitenant.py \
 		tests/shuffle/test_multitenant.py
+
+# Observability suite alone: tracer lifecycle units + hypothesis
+# properties, span trees on all four substrates in both modes, chaos /
+# speculation exactly-once span ends with byte parity, exporters
+# (Perfetto JSON, Prometheus text), metrics registry and SLO gates.
+test-obs:
+	$(PYTEST) -x -q tests/obs
 
 # Collection-regression smoke: fails fast when test modules collide or
 # an import breaks, without running anything.
@@ -102,5 +110,14 @@ bench-service:
 bench-kernels:
 	$(PYTEST) benchmarks/bench_kernels.py -q
 	python benchmarks/check_wallclock.py
+
+# Observability bench only: regenerates the S15 result
+# (benchmarks/results/s15_obs.txt) — tracing-on vs tracing-off
+# wall-clock on the auto_sort pipeline, gated at <=5% overhead with
+# identical simulated outcomes — plus the CI observability artifacts
+# (results/s8_trace.json Perfetto trace, results/s8_metrics.txt
+# Prometheus snapshot).
+bench-obs:
+	$(PYTEST) benchmarks/bench_obs.py -q
 
 verify: collect test

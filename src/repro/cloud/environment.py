@@ -73,6 +73,11 @@ class Cloud:
         seed: int = 0,
         profile: CloudProfile | None = None,
         trace: bool = False,
+        spans: bool | None = None,
     ) -> "Cloud":
-        """Convenience: a new simulator plus a new region."""
-        return cls(Simulator(seed=seed, trace=trace), profile)
+        """Convenience: a new simulator plus a new region.
+
+        ``spans`` enables attempt-scoped span tracing (see
+        :mod:`repro.obs.trace`); None defers to ``REPRO_TRACE``.
+        """
+        return cls(Simulator(seed=seed, trace=trace, spans=spans), profile)

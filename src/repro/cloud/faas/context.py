@@ -32,6 +32,7 @@ import typing as t
 
 from repro.cloud.retry import RetryPolicy
 from repro.cloud.storageview import BoundStorage
+from repro.obs.trace import NOOP_SPAN
 from repro.sim import SimEvent, Simulator
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -62,6 +63,10 @@ class FunctionContext:
         self._cancel_callbacks: list[t.Callable[[object], None]] = []
         self._commit_callbacks: list[t.Callable[[], None]] = []
         self._tracked: list["Process"] = []
+        #: This attempt's span (see :mod:`repro.obs.trace`); the noop
+        #: singleton when tracing is off, so clients can record events
+        #: unconditionally.
+        self.span = NOOP_SPAN
         #: Storage client bounded by the function instance's NIC; retries
         #: transient 5xx-style failures like the real worker SDK does.
         self.storage = BoundStorage(
@@ -76,6 +81,11 @@ class FunctionContext:
         )
         #: Mirrors ``CloudProfile.logical_scale`` for workload cost models.
         self.logical_scale = platform.logical_scale
+
+    def bind_span(self, span) -> None:
+        """Attach this attempt's trace span; also hands it to storage."""
+        self.span = span
+        self.storage.span = span
 
     # ------------------------------------------------------------------
     # attempt-scoped cancellation

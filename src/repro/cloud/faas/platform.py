@@ -214,20 +214,34 @@ class FaasPlatform:
         """
         return self.launch(name, payload).completion
 
-    def launch(self, name: str, payload: object = None) -> ActivationHandle:
+    def launch(
+        self,
+        name: str,
+        payload: object = None,
+        parent_span=None,
+        span_track: str | None = None,
+    ) -> ActivationHandle:
         """Invoke ``name`` and return a cancellable activation handle.
 
         Same semantics as :meth:`invoke`, plus the activation id (the
         *attempt id* every stateful service sees) and a ``cancel``
         lever.  Executors use this to fence out and reclaim the losing
         attempts of speculative races.
+
+        ``parent_span``/``span_track`` thread the caller's trace context
+        so the attempt's span (see :mod:`repro.obs.trace`) parents under
+        the submitting wave and renders on the caller-chosen Perfetto
+        track.
         """
         definition = self.function(name)
         activation_id = f"act-{next(self._activation_ids)}"
         cancel_event = SimEvent(self.sim, name=f"{activation_id}.cancel")
         self._active[activation_id] = cancel_event
         process = self.sim.process(
-            self._activation(definition, payload, activation_id, cancel_event),
+            self._activation(
+                definition, payload, activation_id, cancel_event,
+                parent_span, span_track,
+            ),
             name=f"{self.name}.{name}.{activation_id}",
         )
         return ActivationHandle(activation_id, process.completion, self)
@@ -255,8 +269,11 @@ class FaasPlatform:
         payload: object,
         activation_id: str,
         cancel_event: SimEvent,
+        parent_span=None,
+        span_track: str | None = None,
     ) -> t.Generator:
         self.stats.invocations += 1
+        span = None
         try:
             yield self.sim.timeout(self.profile.invoke_overhead.sample(self._rng))
             yield self._concurrency.acquire()
@@ -297,6 +314,21 @@ class FaasPlatform:
             context = FunctionContext(
                 self, definition.name, definition.memory_mb, activation_id
             )
+            if self.sim.tracer.enabled:
+                # One span per executed *attempt*.  Its outcome attribute
+                # is set where billing decides it; it ends exactly once,
+                # in the outer finally, after commit_resources so lease
+                # commits still land on a live span.
+                span = self.sim.tracer.span(
+                    definition.name,
+                    category="attempt",
+                    parent=parent_span,
+                    track=span_track,
+                    activation=activation_id,
+                    cold=started_cold,
+                )
+                self.sim.tracer.bind_attempt(activation_id, span)
+                context.bind_span(span)
             body = self.sim.process(
                 definition.handler(context, payload),
                 name=f"{definition.name}.body.{activation_id}",
@@ -325,6 +357,8 @@ class FaasPlatform:
             finally:
                 self._bill(definition, execution_start, activation_id, outcome)
                 self._release_container(definition.name)
+                if span is not None:
+                    span.set(outcome=outcome)
                 self.sim.timeline.record(
                     self.sim.now,
                     "faas",
@@ -339,6 +373,11 @@ class FaasPlatform:
             self.stats.completions += 1
             return result
         finally:
+            if span is not None:
+                # End after commit_resources so commit events land on a
+                # live span; exactly once whatever path got us here.
+                self.sim.tracer.release_attempt(activation_id)
+                span.end()
             self._active.pop(activation_id, None)
             self._concurrency.release()
 

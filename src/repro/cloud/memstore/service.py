@@ -41,6 +41,7 @@ from repro.cloud.memstore.errors import (
 from repro.cloud.memstore.node import CacheNode
 from repro.cloud.profiles import CacheNodeType, MemStoreProfile
 from repro.errors import SimulationError
+from repro.obs.trace import NOOP_SPAN
 from repro.sim import SimEvent, Simulator
 
 
@@ -283,10 +284,16 @@ class CacheClient:
     # ------------------------------------------------------------------
     def set(self, key: str, data: bytes, logical_size: float | None = None) -> SimEvent:
         """Store ``key``; event → ``None``.  Fails with CacheOutOfMemory."""
+        span = self._span()
+        if span.recording:
+            span.event("cache.set", cluster=self.cluster.cluster_id, key=key)
         return self._spawn(self._set_op(key, data, logical_size), f"set:{key}")
 
     def get(self, key: str) -> SimEvent:
         """Fetch ``key``; event → ``bytes``.  Fails with CacheKeyMissing."""
+        span = self._span()
+        if span.recording:
+            span.event("cache.get", cluster=self.cluster.cluster_id, key=key)
         return self._spawn(self._get_op(key), f"get:{key}")
 
     def get_wait(self, key: str) -> SimEvent:
@@ -297,6 +304,11 @@ class CacheClient:
         this parks the reader on the owning node's set notification and
         transfers the value once a writer publishes it.
         """
+        span = self._span()
+        if span.recording:
+            span.event(
+                "cache.get_wait", cluster=self.cluster.cluster_id, key=key
+            )
         return self._spawn(self._get_wait_op(key), f"get_wait:{key}")
 
     def delete(self, key: str) -> SimEvent:
@@ -321,6 +333,11 @@ class CacheClient:
         (plus one rate-limit token per key) — the reason a cache absorbs
         W² all-to-all writes that would drown object storage in PUTs.
         """
+        span = self._span()
+        if span.recording:
+            span.event(
+                "cache.mset", cluster=self.cluster.cluster_id, keys=len(items)
+            )
         return self._spawn(self._mset_op(list(items), logical_sizes), "mset")
 
     def mget(self, keys: t.Sequence[str]) -> SimEvent:
@@ -329,7 +346,23 @@ class CacheClient:
         Payloads come back in input-key order.  Fails with
         :class:`CacheKeyMissing` naming the first absent key.
         """
+        span = self._span()
+        if span.recording:
+            span.event(
+                "cache.mget", cluster=self.cluster.cluster_id, keys=len(keys)
+            )
         return self._spawn(self._mget_op(list(keys)), "mget")
+
+    def _span(self):
+        """The owning attempt's span (noop for driver-side clients).
+
+        ``owner`` only promises ``track()``; spanless owners (bare
+        process trackers) fall back to the no-op span.
+        """
+        span = getattr(self.owner, "span", None)
+        if span is not None:
+            return span
+        return NOOP_SPAN
 
     def _spawn(self, generator: t.Generator, label: str) -> SimEvent:
         process = self.sim.process(

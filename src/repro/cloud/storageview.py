@@ -20,6 +20,7 @@ import typing as t
 from repro.cloud.objectstore.service import ObjectStore
 from repro.cloud.retry import RETRYABLE_ERRORS, RetryPolicy
 from repro.errors import StorageError
+from repro.obs.trace import NOOP_SPAN
 from repro.sim import SimEvent
 
 
@@ -44,6 +45,9 @@ class BoundStorage:
         self._rng = store.sim.rng.stream(f"{name}.backoff") if retry else None
         #: Transient-error retries performed (visible to tests/reports).
         self.retries = 0
+        #: The owning attempt's trace span (the FaaS context binds it);
+        #: noop when tracing is off.
+        self.span = NOOP_SPAN
 
     # -- retry plumbing --------------------------------------------------
     def _call(self, make_event: t.Callable[[], SimEvent], label: str) -> SimEvent:
@@ -77,6 +81,11 @@ class BoundStorage:
     def put(
         self, bucket: str, key: str, data: bytes, logical_size: float | None = None
     ) -> SimEvent:
+        if self.span.recording:
+            self.span.event(
+                "storage.put", key=key, bytes=len(data),
+                logical=logical_size if logical_size is not None else len(data),
+            )
         return self._call(
             lambda: self._store.put(
                 bucket,
@@ -89,6 +98,8 @@ class BoundStorage:
         )
 
     def get(self, bucket: str, key: str) -> SimEvent:
+        if self.span.recording:
+            self.span.event("storage.get", key=key)
         return self._call(
             lambda: self._store.get(
                 bucket, key, connection_bandwidth=self.connection_bandwidth
@@ -97,6 +108,10 @@ class BoundStorage:
         )
 
     def get_range(self, bucket: str, key: str, start: int, end: int) -> SimEvent:
+        if self.span.recording:
+            self.span.event(
+                "storage.get_range", key=key, start=start, end=end
+            )
         return self._call(
             lambda: self._store.get_range(
                 bucket, key, start, end,
@@ -158,9 +173,11 @@ class BoundStorage:
         """
         if self.connection_bandwidth is not None:
             connection_bandwidth = min(connection_bandwidth, self.connection_bandwidth)
-        return BoundStorage(
+        view = BoundStorage(
             self._store, connection_bandwidth, retry=self.retry, name=self.name
         )
+        view.span = self.span
+        return view
 
     # -- passthrough ---------------------------------------------------
     @property

@@ -64,6 +64,8 @@ from repro.cloud.vm.errors import (
 )
 from repro.cloud.vm.instance import VirtualMachine, VmService
 from repro.errors import SimulationError
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.trace import NOOP_SPAN
 from repro.sim import FairShareLink, KeyedWatch, SimEvent, TokenBucket
 
 
@@ -275,6 +277,7 @@ class PartitionRelay:
         relay and long-lived regions don't accumulate dead payloads.
         """
         resident = len(self._entries)
+        self._publish_metrics()
         self.vm.terminate()
         for reservation in list(self._reservations):
             self._abort_push(reservation)
@@ -297,6 +300,35 @@ class PartitionRelay:
             self.sim.now, "relay", "terminate", relay=self.relay_id,
             type=self.vm.instance_type.name, resident_keys=resident,
         )
+
+    def _publish_metrics(self) -> None:
+        """Fold this relay's lifetime counters into the metrics registry.
+
+        Called once at terminate (relay ids are unique per run, so
+        counter increments never double-count); pure dict bookkeeping.
+        """
+        reg = metrics_registry()
+        kind = self.vm.instance_type.name
+        reg.counter(
+            "repro_relay_bytes_in_total", "Logical bytes pushed to relays"
+        ).inc(self.stats.bytes_in, type=kind)
+        reg.counter(
+            "repro_relay_bytes_out_total", "Logical bytes served by relays"
+        ).inc(self.stats.bytes_out, type=kind)
+        reg.counter(
+            "repro_relay_backpressure_waits_total",
+            "Pushes parked on relay admission",
+        ).inc(self.stats.backpressure_waits, type=kind)
+        reg.counter(
+            "repro_relay_rendezvous_waits_total",
+            "Pulls parked on unpublished keys",
+        ).inc(self.stats.rendezvous_waits, type=kind)
+        reg.counter(
+            "repro_relay_lease_commits_total", "Consume leases finalized"
+        ).inc(self.stats.lease_commits, type=kind)
+        reg.gauge(
+            "repro_relay_peak_fill_fraction", "Highest memory fill observed"
+        ).max(self.peak_fill_fraction, type=kind)
 
     # ------------------------------------------------------------------
     # attempt-scoped cancellation
@@ -328,6 +360,11 @@ class PartitionRelay:
         reinstated = len(leases) if leases else 0
         if reinstated:
             self.stats.lease_reinstatements += reinstated
+        self.sim.tracer.attempt_event(
+            attempt_id, "relay.attempt_cancelled",
+            relay=self.relay_id, reclaimed=reclaimed,
+            leases_reinstated=reinstated,
+        )
         self.sim.timeline.record(
             self.sim.now, "relay", "cancel_attempt",
             relay=self.relay_id, attempt=attempt_id, reclaimed=reclaimed,
@@ -354,6 +391,10 @@ class PartitionRelay:
                 removed += 1
             self._consume_entry(key)
         self.stats.lease_commits += removed
+        self.sim.tracer.attempt_event(
+            attempt_id, "relay.lease_commit",
+            relay=self.relay_id, consumed=removed,
+        )
         self.sim.timeline.record(
             self.sim.now, "relay", "commit_attempt",
             relay=self.relay_id, attempt=attempt_id, consumed=removed,
@@ -476,6 +517,11 @@ class PartitionRelay:
             event.succeed()
         else:
             self.stats.backpressure_waits += 1
+            self.sim.tracer.attempt_event(
+                attempt, "relay.backpressure_stall",
+                relay=self.relay_id, bytes=extra,
+                fill=round(self.fill_fraction, 4),
+            )
             self._waiters.append(reservation)
         return reservation
 
@@ -784,6 +830,9 @@ class RelayClient:
     # ------------------------------------------------------------------
     def push(self, key: str, data: bytes, logical_size: float | None = None) -> SimEvent:
         """Store ``key``; event → ``None``.  Waits under backpressure."""
+        span = self._span()
+        if span.recording:
+            span.event("relay.push", relay=self.relay.relay_id, key=key)
         sizes = None if logical_size is None else [logical_size]
         return self._spawn(
             self._store_op([(key, data)], sizes, batched=False), f"push:{key}"
@@ -791,6 +840,11 @@ class RelayClient:
 
     def pull(self, key: str, consume: bool = False) -> SimEvent:
         """Fetch ``key``; event → ``bytes``.  ``consume`` frees its memory."""
+        span = self._span()
+        if span.recording:
+            span.event(
+                "relay.pull", relay=self.relay.relay_id, key=key, consume=consume
+            )
         return self._spawn(self._pull_op(key, consume), f"pull:{key}")
 
     def pull_wait(self, key: str) -> SimEvent:
@@ -804,6 +858,9 @@ class RelayClient:
         mappers are still producing.  Never consumes (a rendezvous read
         must stay idempotent under crash-retry and speculation).
         """
+        span = self._span()
+        if span.recording:
+            span.event("relay.pull_wait", relay=self.relay.relay_id, key=key)
         return self._spawn(self._pull_wait_op(key), f"pull_wait:{key}")
 
     def delete(self, key: str) -> SimEvent:
@@ -819,6 +876,11 @@ class RelayClient:
         logical_sizes: t.Sequence[float] | None = None,
     ) -> SimEvent:
         """Store many keys over one connection; event → ``None``."""
+        span = self._span()
+        if span.recording:
+            span.event(
+                "relay.mpush", relay=self.relay.relay_id, keys=len(items)
+            )
         return self._spawn(
             self._store_op(list(items), logical_sizes, batched=True), "mpush"
         )
@@ -831,11 +893,28 @@ class RelayClient:
         absent key — before anything is consumed, so a failed batch
         neither loses data nor leaks reserved memory.
         """
+        span = self._span()
+        if span.recording:
+            span.event(
+                "relay.mpull",
+                relay=self.relay.relay_id, keys=len(keys), consume=consume,
+            )
         return self._spawn(self._mpull_op(list(keys), consume), "mpull")
 
     def mdelete(self, keys: t.Sequence[str]) -> SimEvent:
         """Remove many keys over one connection; event → count removed."""
         return self._spawn(self._mdelete_op(list(keys)), "mdelete")
+
+    def _span(self):
+        """The owning attempt's span (noop for driver-side clients).
+
+        ``owner`` only promises ``track()``; spanless owners (bare
+        process trackers) fall back to the no-op span.
+        """
+        span = getattr(self.owner, "span", None)
+        if span is not None:
+            return span
+        return NOOP_SPAN
 
     def _spawn(self, generator: t.Generator, label: str) -> SimEvent:
         process = self.sim.process(
@@ -993,6 +1072,10 @@ class RelayClient:
                 if not waited:
                     waited = True
                     self.relay.stats.rendezvous_waits += 1
+                    self.sim.tracer.attempt_event(
+                        self.attempt_id, "relay.rendezvous_wait",
+                        relay=self.relay.relay_id, key=key,
+                    )
                 watcher = self.relay._watch_key(key)
                 try:
                     yield watcher

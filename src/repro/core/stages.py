@@ -291,6 +291,9 @@ def shuffle_sort(context: StageContext, inputs: dict) -> t.Generator:
         "records": result.total_records,
         "duration_s": result.duration_s,
         "planned_workers": result.planned.workers if result.planned else None,
+        "substrate": operator.report.substrate,
+        "predicted_s": operator.report.predicted_s,
+        "actual_s": operator.report.actual_s,
     }
 
 
@@ -342,6 +345,9 @@ def cache_sort(context: StageContext, inputs: dict) -> t.Generator:
         "records": result.total_records,
         "duration_s": result.duration_s,
         "planned_workers": result.planned.workers if result.planned else None,
+        "substrate": operator.report.substrate,
+        "predicted_s": operator.report.predicted_s,
+        "actual_s": operator.report.actual_s,
         "cache_nodes": operator.report.nodes,
         "cache_node_type": operator.report.node_type,
         "cache_peak_fill": operator.report.peak_fill_fraction,
@@ -396,6 +402,9 @@ def relay_sort(context: StageContext, inputs: dict) -> t.Generator:
         "records": result.total_records,
         "duration_s": result.duration_s,
         "planned_workers": result.planned.workers if result.planned else None,
+        "substrate": operator.report.substrate,
+        "predicted_s": operator.report.predicted_s,
+        "actual_s": operator.report.actual_s,
         "relay_instance_type": operator.report.instance_type,
         "relay_peak_fill": operator.report.peak_fill_fraction,
         "relay_backpressure_waits": operator.report.backpressure_waits,
@@ -451,6 +460,9 @@ def sharded_relay_sort(context: StageContext, inputs: dict) -> t.Generator:
         "records": result.total_records,
         "duration_s": result.duration_s,
         "planned_workers": result.planned.workers if result.planned else None,
+        "substrate": operator.report.substrate,
+        "predicted_s": operator.report.predicted_s,
+        "actual_s": operator.report.actual_s,
         "relay_instance_type": operator.report.instance_type,
         "relay_shards": operator.report.shards,
         "relay_peak_fill": operator.report.peak_fill_fraction,
@@ -554,6 +566,8 @@ def streaming_sort(context: StageContext, inputs: dict) -> t.Generator:
         "planned_workers": result.planned.workers if result.planned else None,
         "substrate": substrate,
         "mode": report.mode,
+        "predicted_s": report.predicted_s,
+        "actual_s": report.actual_s,
         "overlap_s": report.overlap_s,
         "buffer_high_watermark_bytes": report.buffer_high_watermark_bytes,
         "buffer_backpressure_waits": report.buffer_backpressure_waits,
@@ -748,6 +762,8 @@ def online_sort(context: StageContext, inputs: dict) -> t.Generator:
         "substrate": final.substrate,
         "substrate_mode": "online",
         "substrate_workers": final.workers,
+        "predicted_s": report.predicted_s,
+        "actual_s": report.actual_s,
         "substrate_predicted_s": final.predicted_s,
         "substrate_provisioned_usd": report.provisioned_usd,
         "substrate_score_usd": final.score_usd,

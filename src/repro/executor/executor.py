@@ -127,11 +127,15 @@ class FunctionExecutor:
     # submission API (all return SimEvents carrying futures)
     # ------------------------------------------------------------------
     def call_async(
-        self, func: t.Callable, data: object, cpu_model: CpuModel | None = None
+        self,
+        func: t.Callable,
+        data: object,
+        cpu_model: CpuModel | None = None,
+        span=None,
     ) -> SimEvent:
         """Submit one call; event → a single :class:`ResponseFuture`."""
         return self.sim.process(
-            self._submit_job(func, [data], cpu_model, single=True),
+            self._submit_job(func, [data], cpu_model, single=True, span=span),
             name=f"{self.executor_id}.call_async",
         ).completion
 
@@ -141,11 +145,15 @@ class FunctionExecutor:
         iterdata: t.Iterable[object],
         cpu_model: CpuModel | None = None,
         speculation: SpeculationPolicy | None = None,
+        span=None,
     ) -> SimEvent:
         """Submit one call per element; event → list of futures.
 
         ``speculation`` (or the executor-level default) enables backup
         tasks for straggling calls; the first attempt to finish wins.
+        ``span`` parents every attempt span of this job under the
+        caller's wave (threaded explicitly — driver generators
+        interleave, so there is no usable ambient "current span").
         """
         return self.sim.process(
             self._submit_job(
@@ -154,6 +162,7 @@ class FunctionExecutor:
                 cpu_model,
                 single=False,
                 speculation=speculation if speculation is not None else self.speculation,
+                span=span,
             ),
             name=f"{self.executor_id}.map",
         ).completion
@@ -260,6 +269,7 @@ class FunctionExecutor:
         cpu_model: CpuModel | None,
         single: bool,
         speculation: SpeculationPolicy | None = None,
+        span=None,
     ) -> t.Generator:
         if not iterdata:
             raise ExecutorError("map over empty iterdata")
@@ -296,11 +306,14 @@ class FunctionExecutor:
                 "output_key": output_key,
                 "status_key": status_key,
             }
+            track = f"worker-{call_id:03d}"
             if speculator is not None:
-                invocation = speculator.register_primary(call_id, payload)
+                invocation = speculator.register_primary(
+                    call_id, payload, span=span, track=track
+                )
             else:
                 invocation = self.sim.process(
-                    self._invoke_with_retries(payload),
+                    self._invoke_with_retries(payload, span=span, track=track),
                     name=f"{self.executor_id}.{job_id}.{call_id}",
                 ).completion
             future = ResponseFuture(
@@ -325,7 +338,11 @@ class FunctionExecutor:
         return futures[0] if single else futures
 
     def _invoke_with_retries(
-        self, payload: dict, handle: "AttemptHandle | None" = None
+        self,
+        payload: dict,
+        handle: "AttemptHandle | None" = None,
+        span=None,
+        track: str | None = None,
     ) -> t.Generator:
         """Invoke once, re-invoking on infrastructure failures only.
 
@@ -346,7 +363,9 @@ class FunctionExecutor:
         while True:
             if handle is not None and handle.cancel_requested:
                 raise FunctionCancelled(self._runtime_name, "attempt cancelled")
-            activation = self.cloud.faas.launch(self._runtime_name, payload)
+            activation = self.cloud.faas.launch(
+                self._runtime_name, payload, parent_span=span, span_track=track
+            )
             if handle is not None:
                 handle.activation_id = activation.activation_id
             try:

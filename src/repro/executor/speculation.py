@@ -117,6 +117,8 @@ class JobSpeculator:
         #: Live attempt handles per call; the losers are cancelled the
         #: moment the call settles.
         self._attempts: dict[int, list[AttemptHandle]] = {}
+        #: (span, track) trace context per call, shared by all attempts.
+        self._spans: dict[int, tuple[object, str | None]] = {}
         self._durations: list[float] = []
         self._expected_calls: int | None = None
         #: Backup attempts launched (visible to tests and reports).
@@ -131,8 +133,19 @@ class JobSpeculator:
         """Declare the job size (the quantile trigger needs the total)."""
         self._expected_calls = count
 
-    def register_primary(self, call_id: int, payload: dict) -> SimEvent:
-        """Launch the primary attempt; returns the call's settle event."""
+    def register_primary(
+        self,
+        call_id: int,
+        payload: dict,
+        span=None,
+        track: str | None = None,
+    ) -> SimEvent:
+        """Launch the primary attempt; returns the call's settle event.
+
+        ``span``/``track`` carry the submitting wave's trace context so
+        every attempt of this call — primary and backups alike — parents
+        under the same wave span and renders on the same worker track.
+        """
         settle = self.sim.event(name=f"speculate.settle.{call_id}")
         self._settles[call_id] = settle
         self._payloads[call_id] = payload
@@ -140,6 +153,7 @@ class JobSpeculator:
         self._outstanding[call_id] = 0
         self._backups_launched[call_id] = 0
         self._attempts[call_id] = []
+        self._spans[call_id] = (span, track)
         self._launch_attempt(call_id)
         return settle
 
@@ -150,8 +164,11 @@ class JobSpeculator:
         self._outstanding[call_id] += 1
         handle = AttemptHandle(self.executor)
         self._attempts[call_id].append(handle)
+        span, track = self._spans[call_id]
         attempt = self.sim.process(
-            self.executor._invoke_with_retries(self._payloads[call_id], handle),
+            self.executor._invoke_with_retries(
+                self._payloads[call_id], handle, span=span, track=track
+            ),
             name=f"speculate.attempt.{call_id}",
         ).completion
         attempt.add_callback(

@@ -23,6 +23,14 @@ Usage::
     repro-experiments sweep-multicloud
     repro-experiments sweep-service
     repro-experiments exchange
+    repro-experiments trace [--out s8_trace.json]
+    repro-experiments metrics [--out s8_metrics.txt]
+
+The last two run one adaptive (``auto_sort``) pipeline with the
+unified observability plane enabled and export it: ``trace`` writes
+Perfetto-loadable Chrome trace-event JSON (open at ui.perfetto.dev),
+``metrics`` writes a Prometheus text-format snapshot of the substrate
+metrics registry plus the run's SLO verdicts.
 """
 
 from __future__ import annotations
@@ -83,6 +91,14 @@ def main(argv: list[str] | None = None) -> int:
         "exchange",
     ):
         sub.add_parser(name)
+    trace_parser = sub.add_parser(
+        "trace", help="export one traced auto_sort run as Chrome trace JSON"
+    )
+    trace_parser.add_argument("--out", default="s8_trace.json")
+    metrics_parser = sub.add_parser(
+        "metrics", help="export one run's metrics registry as Prometheus text"
+    )
+    metrics_parser.add_argument("--out", default="s8_metrics.txt")
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -113,10 +129,13 @@ def main(argv: list[str] | None = None) -> int:
             "S7: write-combining ablation", sweeps.sweep_io_ablation(_config(args))
         )
     elif args.command == "sweep-exchange":
-        _print_rows(
-            "S8: exchange-substrate worker sweep",
-            sweeps.sweep_exchange(_config(args)),
-        )
+        rows = sweeps.sweep_exchange(_config(args))
+        reports = [row.pop("_report", None) for row in rows]
+        _print_rows("S8: exchange-substrate worker sweep", rows)
+        last_report = next((r for r in reversed(reports) if r), None)
+        if last_report:
+            print()
+            print(last_report)
     elif args.command == "sweep-relay-shards":
         _print_rows(
             "S8b: relay shard-count sweep",
@@ -182,6 +201,31 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.experiment import run_exchange_comparison
 
         print(run_exchange_comparison(_config(args)).to_table())
+    elif args.command == "trace":
+        from repro.obs.cli import export_trace
+
+        summary = export_trace(args.out, logical_scale=args.scale, seed=args.seed)
+        if summary["problems"]:
+            print("trace problems:")
+            for problem in summary["problems"]:
+                print(f"  {problem}")
+            return 1
+        print(
+            f"wrote {summary['path']}: {summary['spans']} spans, "
+            f"{summary['timeline_records']} timeline records "
+            f"(latency {summary['latency_s']:.2f}s, "
+            f"${summary['cost_usd']:.6f}); open at ui.perfetto.dev"
+        )
+    elif args.command == "metrics":
+        from repro.obs.cli import export_metrics
+
+        summary = export_metrics(args.out, logical_scale=args.scale, seed=args.seed)
+        print(
+            f"wrote {summary['path']}: {summary['metrics']} metrics "
+            f"(latency {summary['latency_s']:.2f}s, "
+            f"${summary['cost_usd']:.6f})"
+        )
+        print(summary["slo"])
     return 0
 
 

@@ -293,8 +293,16 @@ def sweep_exchange(
     fleet pulls away from the single relay.  Every row also carries a
     digest of the concatenated sorted runs so callers can assert the
     substrates produced identical artifacts, plus the substrate's
-    uniform report fields (provisioned infrastructure dollars).
+    uniform report fields (provisioned infrastructure dollars) and the
+    rendered :meth:`~repro.shuffle.exchange.ExchangeReport.describe`
+    table (``_report`` — popped by table formatters).
+
+    The sweep gates itself before returning
+    (:class:`~repro.obs.slo.SloGate`): per worker count, every
+    substrate's output digest must match (byte parity), and any planner
+    prediction must land within a 2x envelope of the measured sort.
     """
+    from repro.obs.slo import SloGate
     base = config if config is not None else ExperimentConfig()
     for strategy in strategies:
         if strategy not in EXCHANGE_SUBSTRATES:
@@ -337,8 +345,24 @@ def sweep_exchange(
                     "provisioned_usd": operator.report.provisioned_usd,
                     "storage_requests": cloud.store.stats.total_requests,
                     "output_digest": digest.hexdigest()[:16],
+                    "_report": operator.report.describe(),
+                    "_predicted_s": operator.report.predicted_s,
                 }
             )
+    gate = SloGate("s8-exchange")
+    for workers in worker_counts:
+        group = [row for row in rows if row["workers"] == workers]
+        gate.equal(
+            f"byte-parity@{workers}w",
+            *[row["output_digest"] for row in group],
+        )
+        for row in group:
+            gate.prediction_envelope(
+                f"{row['strategy']}@{workers}w",
+                row.pop("_predicted_s"),
+                row["sort_latency_s"],
+            )
+    gate.assert_ok()
     return rows
 
 

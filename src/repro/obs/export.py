@@ -1,0 +1,209 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and Prometheus text.
+
+``chrome_trace_events`` turns a :class:`~repro.obs.trace.Tracer`'s spans
+into the Chrome trace-event format that https://ui.perfetto.dev loads
+directly: one complete event (``ph: "X"``) per span, instant events
+(``ph: "i"``) for span events, and thread-name metadata so each
+worker/shard/tenant renders on its own track.  Timestamps are the
+simulation clock in microseconds, so the Perfetto timeline reads in
+simulated seconds.
+
+The exporter also folds in the legacy surfaces (satellite 1): pass the
+sim :class:`~repro.sim.timeline.Timeline` and its records — waves,
+substrate switches, service scale events — appear as instants on
+``timeline:<category>`` tracks in the same file.  Sweeps should read
+spans/metrics rather than the raw ``Timeline``; direct ``Timeline``
+reads are deprecated in favour of this exporter.
+
+Output is deterministic: ids are counter-based, tracks are numbered in
+order of first appearance, and span wall-clock self-measurements are
+deliberately *not* exported.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+
+from repro.obs.metrics import MetricsRegistry, registry as _default_registry
+from repro.obs.trace import Tracer
+
+_US = 1_000_000  # sim seconds -> trace microseconds
+
+
+def _clean(attrs: dict[str, t.Any]) -> dict[str, t.Any]:
+    """JSON-safe argument dict (Perfetto shows these in the side panel)."""
+    out: dict[str, t.Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def chrome_trace_events(
+    tracer: Tracer, timeline: t.Any | None = None
+) -> list[dict[str, t.Any]]:
+    """Chrome trace-event list for a tracer (and optional sim Timeline)."""
+    events: list[dict[str, t.Any]] = []
+    tracks: dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        if track not in tracks:
+            tracks[track] = len(tracks) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tracks[track],
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tracks[track]
+
+    for span in tracer.spans:
+        track = str(
+            span.attributes.get("track") or span.category or "driver"
+        )
+        thread = tid(track)
+        args = _clean(span.attributes)
+        args["span_id"] = span.span_id
+        args["trace_id"] = span.trace_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["status"] = span.status
+        end_s = span.end_s
+        if end_s is None:
+            # Export unfinished spans as zero-duration and flag them;
+            # validate() already reports them as structural problems.
+            end_s = span.start_s
+            args["unfinished"] = True
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": thread,
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": round(span.start_s * _US, 3),
+                "dur": round((end_s - span.start_s) * _US, 3),
+                "args": args,
+            }
+        )
+        for at_s, name, attrs in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": thread,
+                    "name": name,
+                    "cat": span.category or "span",
+                    "ts": round(at_s * _US, 3),
+                    "s": "t",
+                    "args": _clean(dict(attrs, span_id=span.span_id)),
+                }
+            )
+
+    if timeline is not None:
+        for record in getattr(timeline, "records", ()):  # TraceRecord
+            track = f"timeline:{record.category}"
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": tid(track),
+                    "name": record.name,
+                    "cat": record.category,
+                    "ts": round(record.time * _US, 3),
+                    "s": "p",
+                    "args": _clean(dict(record.fields)),
+                }
+            )
+
+    return events
+
+
+def chrome_trace_json(tracer: Tracer, timeline: t.Any | None = None) -> str:
+    """Serialized Chrome trace (the string Perfetto opens)."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer, timeline),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "sim-seconds", "source": "repro.obs"},
+    }
+    return json.dumps(payload, indent=None, separators=(",", ":"), sort_keys=False)
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, timeline: t.Any | None = None
+) -> str:
+    """Write the Perfetto-loadable trace file; returns the path."""
+    text = chrome_trace_json(tracer, timeline)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _fmt_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(reg: MetricsRegistry | None = None) -> str:
+    """Prometheus text exposition (v0.0.4) of the registry."""
+    reg = reg if reg is not None else _default_registry()
+    lines: list[str] = []
+    for metric in reg.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            for key, obs in metric.samples():
+                ordered = sorted(obs)
+                for bound in metric.buckets:
+                    cumulative = sum(1 for v in ordered if v <= bound)
+                    bound_label = 'le="' + _fmt_value(bound) + '"'
+                    lines.append(
+                        f"{metric.name}_bucket{_fmt_labels(key, bound_label)} "
+                        f"{cumulative}"
+                    )
+                inf_label = 'le="+Inf"'
+                lines.append(
+                    f"{metric.name}_bucket{_fmt_labels(key, inf_label)} "
+                    f"{len(ordered)}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_fmt_labels(key)} "
+                    f"{_fmt_value(sum(ordered))}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_fmt_labels(key)} {len(ordered)}"
+                )
+        else:
+            for key, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_fmt_labels(key)} {_fmt_value(value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_text(path: str, reg: MetricsRegistry | None = None) -> str:
+    text = prometheus_text(reg)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path

@@ -56,6 +56,7 @@ import typing as t
 from repro.cloud.environment import Cloud
 from repro.cloud.vm.fleet import RelayFleet, fleet_ready
 from repro.errors import ReproError, ShuffleError
+from repro.obs.metrics import registry as metrics_registry
 from repro.executor.executor import FunctionExecutor
 from repro.shuffle.adaptive import FleetScaleDecision, plan_fleet_scale
 from repro.shuffle.records import RecordCodec
@@ -343,9 +344,31 @@ class ExchangeService:
             job=job.job_id, tenant=tenant, bytes=logical_bytes,
             queue_depth=len(self._queue),
         )
+        reg = metrics_registry()
+        reg.counter(
+            "repro_service_jobs_submitted_total",
+            "Jobs accepted by the admission queue.",
+        ).inc(tenant=tenant)
+        self._publish_admission_metrics()
         self._maybe_scale("submit")
         self._wake()
         return job
+
+    def _publish_admission_metrics(self) -> None:
+        """Refresh the admission-control gauges in the metrics registry."""
+        reg = metrics_registry()
+        depth = reg.gauge(
+            "repro_service_admission_queue_depth",
+            "Jobs waiting in the service admission queue.",
+        )
+        depth.set(float(len(self._queue)))
+        depth.max(float(len(self._queue)), peak="true")
+        tokens = reg.gauge(
+            "repro_service_tenant_tokens",
+            "Per-tenant admission token-bucket level.",
+        )
+        for tenant, bucket in self._buckets.items():
+            tokens.set(bucket.tokens, tenant=tenant)
 
     def cancel_tenant(self, tenant: str) -> dict:
         """Cancel everything one tenant has in the system.
@@ -601,6 +624,22 @@ class ExchangeService:
             job=job.job_id, tenant=job.tenant,
             latency_s=job.latency_s, queue_wait_s=job.queue_wait_s,
         )
+        reg = metrics_registry()
+        reg.counter(
+            "repro_service_jobs_total",
+            "Service jobs by terminal state.",
+        ).inc(state=state, tenant=job.tenant)
+        if job.queue_wait_s is not None:
+            reg.histogram(
+                "repro_service_queue_wait_seconds",
+                "Admission-to-dispatch wait per job.",
+            ).observe(job.queue_wait_s)
+        if job.latency_s is not None:
+            reg.histogram(
+                "repro_service_job_latency_seconds",
+                "Submit-to-finish latency per job (queue wait included).",
+            ).observe(job.latency_s)
+        self._publish_admission_metrics()
         if not job.done.triggered:
             job.done.succeed(job)
 
@@ -684,6 +723,15 @@ class ExchangeService:
             from_shards=old.shards, to_shards=decision.shards,
             generation=generation.gen_id, trigger=trigger,
         )
+        reg = metrics_registry()
+        reg.counter(
+            "repro_service_scale_events_total",
+            "Fleet generation rotations by direction and trigger.",
+        ).inc(direction=decision.direction, trigger=trigger)
+        reg.gauge(
+            "repro_service_fleet_shards",
+            "Relay shards in the current fleet generation.",
+        ).set(float(decision.shards))
         # An idle old generation terminates immediately; otherwise it
         # drains its running jobs first (their shard rendezvous must
         # stay stable) and terminates on the last job's exit.

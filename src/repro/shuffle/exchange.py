@@ -47,10 +47,24 @@ import dataclasses
 import typing as t
 
 from repro.cloud.profiles import CloudProfile
+from repro.obs.metrics import publish_exchange_report
 from repro.shuffle.planner import ShuffleCostModel, ShufflePlan, plan_shuffle
 from repro.shuffle.records import RecordCodec
 from repro.shuffle.stages import shuffle_mapper, shuffle_reducer
 from repro.storage import paths
+
+#: Field names an ``extra`` entry may never shadow.
+_COMMON_FIELDS = (
+    "substrate",
+    "workers",
+    "predicted_s",
+    "actual_s",
+    "provisioned_usd",
+    "overlap_s",
+    "buffer_high_watermark_bytes",
+    "partition_skew",
+    "extra",
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +78,14 @@ class ExchangeReport:
     per-substrate special cases.  Substrate-specific metadata lives in
     ``extra`` and is reachable as plain attributes
     (``report.backpressure_waits``) for ergonomic call sites.
+
+    Every constructed report also publishes into the process-wide
+    metrics registry (:mod:`repro.obs.metrics`), so the report is a
+    per-sort *view* and the registry holds the cross-run aggregate —
+    one series namespace (``repro_exchange_*``) whichever construction
+    path built the report.  Construction asserts that no ``extra`` key
+    shadows a common field: shadowing would make ``as_dict()`` and the
+    attribute passthrough silently disagree.
     """
 
     substrate: str
@@ -95,6 +117,14 @@ class ExchangeReport:
     #: Substrate-specific metadata (fill fractions, request counters...).
     extra: dict[str, t.Any] = dataclasses.field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        shadowed = [key for key in self.extra if key in _COMMON_FIELDS]
+        if shadowed:
+            raise ValueError(
+                f"exchange report extra keys shadow common fields: {shadowed}"
+            )
+        publish_exchange_report(self)
+
     def __getattr__(self, name: str) -> t.Any:
         # Convenience passthrough: substrate extras read like fields.
         if name.startswith("_"):
@@ -121,6 +151,23 @@ class ExchangeReport:
         for key, value in self.extra.items():
             out.setdefault(key, value)
         return out
+
+    def describe(self) -> str:
+        """Fixed-width field table — the uniform printer sweeps use.
+
+        Common fields first (the substrate-decision inputs), extras
+        after in insertion order, one ``name  value`` row each.
+        """
+        rows = list(self.as_dict().items())
+        width = max(len(name) for name, _value in rows)
+        lines = [f"exchange report ({self.substrate}):"]
+        for name, value in rows:
+            if isinstance(value, float):
+                rendered = f"{value:.6g}"
+            else:
+                rendered = str(value)
+            lines.append(f"  {name.ljust(width)}  {rendered}")
+        return "\n".join(lines)
 
 
 class ExchangeBackend(abc.ABC):

@@ -591,6 +591,61 @@ class OnlineShuffleSort(ShuffleSort):
         samplers: int,
         max_workers: int,
     ) -> t.Generator:
+        """Span-owning shell around :meth:`_sort_online`.
+
+        Owns the sort's root span, folds the
+        :class:`~repro.shuffle.adaptive.DecisionTimeline` into it as
+        span events once the sort finished (every decision point —
+        including substrate switches and hot-partition reroutes —
+        appears on the exported trace at its simulation time), and on
+        failure closes whatever wave spans the aborted body left open.
+        """
+        started_at = self.sim.now
+        sort_span = self.sim.tracer.span(
+            f"sort:{out_prefix}", category="sort", substrate="online",
+            mode="online",
+        )
+        with sort_span:
+            try:
+                result = yield from self._sort_online(
+                    bucket, key, out_bucket, out_prefix, pinned_workers,
+                    samplers, max_workers, sort_span,
+                )
+            except BaseException:
+                if sort_span.recording:
+                    for open_span in self.sim.tracer.open_spans():
+                        if (
+                            open_span.trace_id == sort_span.trace_id
+                            and open_span.category == "wave"
+                        ):
+                            open_span.end("error")
+                raise
+            if sort_span.recording:
+                for point in self.timeline.points:
+                    chosen = point.decision.chosen
+                    sort_span.event_at(
+                        started_at + point.at_s,
+                        f"decision:{point.trigger}",
+                        wave=point.wave,
+                        substrate=chosen.substrate,
+                        mode=chosen.mode,
+                        workers=chosen.workers,
+                        switched=point.switched,
+                        detail=point.detail,
+                    )
+            return result
+
+    def _sort_online(
+        self,
+        bucket: str,
+        key: str,
+        out_bucket: str,
+        out_prefix: str,
+        pinned_workers: int | None,
+        samplers: int,
+        max_workers: int,
+        sort_span,
+    ) -> t.Generator:
         started_at = self.sim.now
         profile = self.executor.cloud.profile
         meta = yield from self._preflight(bucket, key)
@@ -616,7 +671,8 @@ class OnlineShuffleSort(ShuffleSort):
         )
 
         boundaries = yield from self._sample(
-            bucket, key, real_size, total_logical, reducers, samplers
+            bucket, key, real_size, total_logical, reducers, samplers,
+            span=sort_span,
         )
 
         # --- the fixed (mapper × chunk) grid ---------------------------
@@ -678,6 +734,11 @@ class OnlineShuffleSort(ShuffleSort):
 
         job = f"onlineshuffle:{out_prefix}@{started_at:.3f}"
         self._record_wave(job, "map", "start")
+        # One span covers the whole chunked map phase: online waves are
+        # slices of a single logical stage, not separate stages.
+        map_span = self.sim.tracer.span(
+            "wave:map", category="wave", parent=sort_span, waves=total_waves
+        )
         yield publish_route(0)
 
         # Wave 0's mappers are submitted before the reducers so they
@@ -700,7 +761,8 @@ class OnlineShuffleSort(ShuffleSort):
             ]
 
         map_futures = yield self.executor.map(
-            online_wave_mapper, wave_tasks(units_by_wave[0], current.workers)
+            online_wave_mapper, wave_tasks(units_by_wave[0], current.workers),
+            span=map_span,
         )
 
         reduce_tasks = [
@@ -718,8 +780,11 @@ class OnlineShuffleSort(ShuffleSort):
             for reducer_id in range(reducers)
         ]
         self._record_wave(job, "reduce", "start")
+        reduce_span = self.sim.tracer.span(
+            "wave:reduce", category="wave", parent=sort_span, workers=reducers
+        )
         reduce_futures = yield self.executor.map(
-            online_stream_reducer, reduce_tasks
+            online_stream_reducer, reduce_tasks, span=reduce_span
         )
 
         # --- the wave control loop --------------------------------------
@@ -776,6 +841,7 @@ class OnlineShuffleSort(ShuffleSort):
                     map_futures = yield self.executor.map(
                         online_wave_mapper,
                         wave_tasks(remaining_units, current.workers),
+                        span=map_span,
                     )
                     wave = total_waves
                     map_results = yield self.executor.get_result(map_futures)
@@ -920,12 +986,15 @@ class OnlineShuffleSort(ShuffleSort):
                 map_futures = yield self.executor.map(
                     online_wave_mapper,
                     wave_tasks(units_by_wave[wave], current.workers),
+                    span=map_span,
                 )
 
             map_ended_at = self.sim.now
             self._record_wave(job, "map", "end")
+            map_span.end()
             reduce_results = yield self.executor.get_result(reduce_futures)
             self._record_wave(job, "reduce", "end")
+            reduce_span.end()
         finally:
             for s in stints:
                 s.release(self.sim.now)

@@ -181,6 +181,7 @@ class ShuffleSort:
         logical_size: float,
         workers: int,
         samplers: int,
+        span=None,
     ) -> t.Generator:
         """Run the sampler wave, pick boundaries, estimate partition load.
 
@@ -212,8 +213,14 @@ class ShuffleSort:
             }
             for index, (start, end) in enumerate(sample_splits)
         ]
-        sample_futures = yield self.executor.map(shuffle_sampler, sample_tasks)
-        sample_results = yield self.executor.get_result(sample_futures)
+        wave_span = self.sim.tracer.span(
+            "wave:sample", category="wave", parent=span, samplers=sampler_count
+        )
+        with wave_span:
+            sample_futures = yield self.executor.map(
+                shuffle_sampler, sample_tasks, span=wave_span
+            )
+            sample_results = yield self.executor.get_result(sample_futures)
         pooled_keys = [k for result in sample_results for k in result["keys"]]
         if not pooled_keys:
             raise ShuffleError(f"sampling found no records in {bucket}/{key}")
@@ -295,70 +302,88 @@ class ShuffleSort:
         max_workers: int,
     ) -> t.Generator:
         started_at = self.sim.now
-        self.backend.begin_sort(out_bucket, out_prefix)
-        meta = yield from self._preflight(bucket, key)
-        real_size = meta.size
-        plan, workers = self._plan_workers(
-            meta.logical_size, pinned_workers, max_workers
+        sort_span = self.sim.tracer.span(
+            f"sort:{out_prefix}",
+            category="sort",
+            substrate=self.backend.name,
+            mode=self.backend.mode,
         )
-        boundaries = yield from self._sample(
-            bucket, key, real_size, meta.logical_size, workers, samplers
-        )
-        job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
-
-        # --- map ---------------------------------------------------------
-        map_tasks = self._map_tasks(
-            bucket, key, real_size, boundaries, workers, out_bucket, out_prefix
-        )
-        self._record_wave(job, "map", "start")
-        map_futures = yield self.executor.map(self.backend.mapper_stage(), map_tasks)
-        map_results = yield self.executor.get_result(map_futures)
-        self._record_wave(job, "map", "end")
-        self.backend.on_map_done(map_results)
-
-        # --- reduce --------------------------------------------------------
-        reduce_tasks = [
-            self.backend.reducer_task(
-                reducer_id,
-                workers,
-                map_tasks,
-                map_results,
-                out_bucket,
-                out_prefix,
-                self.codec,
+        with sort_span:
+            self.backend.begin_sort(out_bucket, out_prefix)
+            meta = yield from self._preflight(bucket, key)
+            real_size = meta.size
+            plan, workers = self._plan_workers(
+                meta.logical_size, pinned_workers, max_workers
             )
-            for reducer_id in range(workers)
-        ]
-        self._record_wave(job, "reduce", "start")
-        reduce_futures = yield self.executor.map(
-            self.backend.reducer_stage(), reduce_tasks
-        )
-        reduce_results = yield self.executor.get_result(reduce_futures)
-        self._record_wave(job, "reduce", "end")
+            boundaries = yield from self._sample(
+                bucket, key, real_size, meta.logical_size, workers, samplers,
+                span=sort_span,
+            )
+            job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
 
-        runs, total_records = self._collect_runs(
-            map_results, reduce_results, out_bucket
-        )
-        self.report = self.backend.report(
-            workers,
-            plan,
-            self.sim.now - started_at,
-            partition_skew=partition_skew_of([run.size_bytes for run in runs]),
-            extra={
-                "predicted_partition_skew": partition_skew_of(
-                    self.predicted_partition_bytes
-                ),
-                **kernels.kernel_report_extras(map_results, reduce_results),
-            },
-        )
-        return ShuffleResult(
-            runs=runs,
-            workers=workers,
-            planned=plan,
-            boundaries=tuple(boundaries),
-            total_records=total_records,
-            duration_s=self.sim.now - started_at,
-        )
+            # --- map -------------------------------------------------------
+            map_tasks = self._map_tasks(
+                bucket, key, real_size, boundaries, workers, out_bucket, out_prefix
+            )
+            self._record_wave(job, "map", "start")
+            map_span = self.sim.tracer.span(
+                "wave:map", category="wave", parent=sort_span, workers=workers
+            )
+            with map_span:
+                map_futures = yield self.executor.map(
+                    self.backend.mapper_stage(), map_tasks, span=map_span
+                )
+                map_results = yield self.executor.get_result(map_futures)
+            self._record_wave(job, "map", "end")
+            self.backend.on_map_done(map_results)
+
+            # --- reduce ------------------------------------------------------
+            reduce_tasks = [
+                self.backend.reducer_task(
+                    reducer_id,
+                    workers,
+                    map_tasks,
+                    map_results,
+                    out_bucket,
+                    out_prefix,
+                    self.codec,
+                )
+                for reducer_id in range(workers)
+            ]
+            self._record_wave(job, "reduce", "start")
+            reduce_span = self.sim.tracer.span(
+                "wave:reduce", category="wave", parent=sort_span, workers=workers
+            )
+            with reduce_span:
+                reduce_futures = yield self.executor.map(
+                    self.backend.reducer_stage(), reduce_tasks, span=reduce_span
+                )
+                reduce_results = yield self.executor.get_result(reduce_futures)
+            self._record_wave(job, "reduce", "end")
+
+            runs, total_records = self._collect_runs(
+                map_results, reduce_results, out_bucket
+            )
+            self.report = self.backend.report(
+                workers,
+                plan,
+                self.sim.now - started_at,
+                partition_skew=partition_skew_of([run.size_bytes for run in runs]),
+                extra={
+                    "predicted_partition_skew": partition_skew_of(
+                        self.predicted_partition_bytes
+                    ),
+                    **kernels.kernel_report_extras(map_results, reduce_results),
+                },
+            )
+            return ShuffleResult(
+                runs=runs,
+                workers=workers,
+                planned=plan,
+                boundaries=tuple(boundaries),
+                total_records=total_records,
+                duration_s=self.sim.now - started_at,
+            )
 
 
 def _split(size: int, parts: int) -> list[tuple[int, int]]:

@@ -862,93 +862,119 @@ class StreamingShuffleSort(ShuffleSort):
         max_workers: int,
     ) -> t.Generator:
         started_at = self.sim.now
-        self.backend.begin_sort(out_bucket, out_prefix)
-        meta = yield from self._preflight(bucket, key)
-        real_size = meta.size
-        plan, workers = self._plan_workers(
-            meta.logical_size, pinned_workers, max_workers
+        sort_span = self.sim.tracer.span(
+            f"sort:{out_prefix}",
+            category="sort",
+            substrate=self.backend.name,
+            mode=self.backend.mode,
         )
-        boundaries = yield from self._sample(
-            bucket, key, real_size, meta.logical_size, workers, samplers
-        )
-        job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
-
-        map_tasks = self._map_tasks(
-            bucket, key, real_size, boundaries, workers, out_bucket, out_prefix
-        )
-        reduce_tasks = [
-            self.backend.reducer_task(
-                reducer_id, workers, map_tasks, [], out_bucket, out_prefix,
-                self.codec,
+        with sort_span:
+            self.backend.begin_sort(out_bucket, out_prefix)
+            meta = yield from self._preflight(bucket, key)
+            real_size = meta.size
+            plan, workers = self._plan_workers(
+                meta.logical_size, pinned_workers, max_workers
             )
-            for reducer_id in range(workers)
-        ]
+            boundaries = yield from self._sample(
+                bucket, key, real_size, meta.logical_size, workers, samplers,
+                span=sort_span,
+            )
+            job = f"{self.backend.process_label}:{out_prefix}@{started_at:.3f}"
 
-        # Both waves in flight at once — this is the whole point.  The
-        # map job is submitted first so its invocations enqueue ahead of
-        # the reducers on the account concurrency limit (reducers idle
-        # at their rendezvous; mappers must never starve behind them).
-        self._record_wave(job, "map", "start")
-        map_futures = yield self.executor.map(self.backend.mapper_stage(), map_tasks)
-        self._record_wave(job, "reduce", "start")
-        reduce_futures = yield self.executor.map(
-            self.backend.reducer_stage(), reduce_tasks
-        )
-        map_results = yield self.executor.get_result(map_futures)
-        map_ended_at = self.sim.now
-        self._record_wave(job, "map", "end")
-        self.backend.on_map_done(map_results)
-        reduce_results = yield self.executor.get_result(reduce_futures)
-        self._record_wave(job, "reduce", "end")
+            map_tasks = self._map_tasks(
+                bucket, key, real_size, boundaries, workers, out_bucket, out_prefix
+            )
+            reduce_tasks = [
+                self.backend.reducer_task(
+                    reducer_id, workers, map_tasks, [], out_bucket, out_prefix,
+                    self.codec,
+                )
+                for reducer_id in range(workers)
+            ]
 
-        runs, total_records = self._collect_runs(
-            map_results, reduce_results, out_bucket
-        )
-        # Measured wave overlap from the workers' own execution windows
-        # (each stage stamps its body start) — not from submission time,
-        # which would claim overlap even when reducers queued behind the
-        # mappers on the account concurrency limit and never actually
-        # ran alongside them.
-        map_exec_start = min(result["started_at"] for result in map_results)
-        reduce_exec_start = min(
-            result["started_at"] for result in reduce_results
-        )
-        overlap_s = max(
-            0.0,
-            min(map_ended_at, self.sim.now)
-            - max(map_exec_start, reduce_exec_start),
-        )
-        self.report = self.backend.report(
-            workers,
-            plan,
-            self.sim.now - started_at,
-            overlap_s=overlap_s,
-            buffer_high_watermark_bytes=max(
-                (result["buffer_high_watermark_bytes"] for result in reduce_results),
-                default=0.0,
-            ),
-            partition_skew=partition_skew_of([run.size_bytes for run in runs]),
-            extra={
-                "predicted_partition_skew": partition_skew_of(
-                    self.predicted_partition_bytes
+            # Both waves in flight at once — this is the whole point.  The
+            # map job is submitted first so its invocations enqueue ahead of
+            # the reducers on the account concurrency limit (reducers idle
+            # at their rendezvous; mappers must never starve behind them).
+            # The wave spans overlap on the trace exactly like the waves do.
+            self._record_wave(job, "map", "start")
+            map_span = self.sim.tracer.span(
+                "wave:map", category="wave", parent=sort_span, workers=workers
+            )
+            reduce_span = None
+            try:
+                map_futures = yield self.executor.map(
+                    self.backend.mapper_stage(), map_tasks, span=map_span
+                )
+                self._record_wave(job, "reduce", "start")
+                reduce_span = self.sim.tracer.span(
+                    "wave:reduce", category="wave", parent=sort_span, workers=workers
+                )
+                reduce_futures = yield self.executor.map(
+                    self.backend.reducer_stage(), reduce_tasks, span=reduce_span
+                )
+                map_results = yield self.executor.get_result(map_futures)
+            except BaseException:
+                map_span.end("error")
+                if reduce_span is not None:
+                    reduce_span.end("error")
+                raise
+            map_ended_at = self.sim.now
+            self._record_wave(job, "map", "end")
+            map_span.end()
+            self.backend.on_map_done(map_results)
+            with reduce_span:
+                reduce_results = yield self.executor.get_result(reduce_futures)
+            self._record_wave(job, "reduce", "end")
+
+            runs, total_records = self._collect_runs(
+                map_results, reduce_results, out_bucket
+            )
+            # Measured wave overlap from the workers' own execution windows
+            # (each stage stamps its body start) — not from submission time,
+            # which would claim overlap even when reducers queued behind the
+            # mappers on the account concurrency limit and never actually
+            # ran alongside them.
+            map_exec_start = min(result["started_at"] for result in map_results)
+            reduce_exec_start = min(
+                result["started_at"] for result in reduce_results
+            )
+            overlap_s = max(
+                0.0,
+                min(map_ended_at, self.sim.now)
+                - max(map_exec_start, reduce_exec_start),
+            )
+            self.report = self.backend.report(
+                workers,
+                plan,
+                self.sim.now - started_at,
+                overlap_s=overlap_s,
+                buffer_high_watermark_bytes=max(
+                    (result["buffer_high_watermark_bytes"] for result in reduce_results),
+                    default=0.0,
                 ),
-                "buffer_backpressure_waits": sum(
-                    result["buffer_waits"] for result in reduce_results
-                ),
-                "buffer_wait_s": sum(
-                    result["buffer_wait_s"] for result in reduce_results
-                ),
-                "stream_chunks": sum(
-                    result["chunks"] for result in map_results
-                ),
-                **kernels.kernel_report_extras(map_results, reduce_results),
-            },
-        )
-        return ShuffleResult(
-            runs=runs,
-            workers=workers,
-            planned=plan,
-            boundaries=tuple(boundaries),
-            total_records=total_records,
-            duration_s=self.sim.now - started_at,
-        )
+                partition_skew=partition_skew_of([run.size_bytes for run in runs]),
+                extra={
+                    "predicted_partition_skew": partition_skew_of(
+                        self.predicted_partition_bytes
+                    ),
+                    "buffer_backpressure_waits": sum(
+                        result["buffer_waits"] for result in reduce_results
+                    ),
+                    "buffer_wait_s": sum(
+                        result["buffer_wait_s"] for result in reduce_results
+                    ),
+                    "stream_chunks": sum(
+                        result["chunks"] for result in map_results
+                    ),
+                    **kernels.kernel_report_extras(map_results, reduce_results),
+                },
+            )
+            return ShuffleResult(
+                runs=runs,
+                workers=workers,
+                planned=plan,
+                boundaries=tuple(boundaries),
+                total_records=total_records,
+                duration_s=self.sim.now - started_at,
+            )

@@ -23,6 +23,7 @@ import heapq
 import typing as t
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.trace import Tracer, trace_enabled_from_env
 from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
@@ -42,15 +43,24 @@ class Simulator:
     trace:
         When true, components record :class:`~repro.sim.timeline.TraceRecord`
         entries on :attr:`timeline` (at a modest performance cost).
+    spans:
+        When true, :attr:`tracer` records attempt-scoped spans (see
+        :mod:`repro.obs.trace`).  Defaults to the ``REPRO_TRACE``
+        environment variable so any existing run can be traced without
+        code changes.  Span recording is pure interpreter-side
+        bookkeeping and never perturbs simulation outcomes.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(self, seed: int = 0, trace: bool = False, spans: bool | None = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
         self._seq = 0
         self._active_processes = 0
         self.rng = RngRegistry(seed)
         self.timeline = Timeline(enabled=trace)
+        if spans is None:
+            spans = trace_enabled_from_env()
+        self.tracer = Tracer(clock=lambda: self._now, enabled=spans)
         self.seed = seed
 
     # ------------------------------------------------------------------

@@ -104,7 +104,7 @@ class WorkflowEngine:
         #: engine on the same region — shadows the outer value for its
         #: duration and restores it afterwards.
         self.meter_tags = dict(meter_tags or {})
-        self.tracker = JobTracker(dag.name)
+        self.tracker = JobTracker(dag.name, meter=cloud.meter)
         for stage in dag.topological_order():
             stage_kind(stage.kind)  # fail fast on unknown kinds
             self.tracker.stage_registered(stage.name, stage.kind)
@@ -135,29 +135,39 @@ class WorkflowEngine:
         started_at = sim.now
         self.cloud.store.ensure_bucket(self.dag.bucket)
         artifacts: dict[str, t.Any] = {}
-        for spec in self.dag.topological_order():
-            impl = stage_kind(spec.kind)
-            context = StageContext(self, spec)
-            inputs = {name: artifacts[name] for name in spec.after}
-            cost_marker = self.cloud.meter.snapshot()
-            self.cloud.meter.push_tag("stage", spec.name)
-            self.tracker.stage_started(spec.name, sim.now)
-            try:
-                artifact = yield from impl(context, inputs)
-            except Exception as exc:
-                self.tracker.stage_failed(spec.name, sim.now, exc)
+        run_span = sim.tracer.span(
+            f"workflow:{self.dag.name}", category="workflow",
+            stages=len(self.dag.stages),
+        )
+        with run_span:
+            for spec in self.dag.topological_order():
+                impl = stage_kind(spec.kind)
+                context = StageContext(self, spec)
+                inputs = {name: artifacts[name] for name in spec.after}
+                cost_marker = self.cloud.meter.snapshot()
+                self.cloud.meter.push_tag("stage", spec.name)
+                self.tracker.stage_started(spec.name, sim.now)
+                stage_span = sim.tracer.span(
+                    f"stage:{spec.name}", category="stage",
+                    parent=run_span, kind=spec.kind,
+                )
+                try:
+                    with stage_span:
+                        artifact = yield from impl(context, inputs)
+                except Exception as exc:
+                    self.tracker.stage_failed(spec.name, sim.now, exc)
+                    self.cloud.meter.pop_tag("stage")
+                    raise
                 self.cloud.meter.pop_tag("stage")
-                raise
-            self.cloud.meter.pop_tag("stage")
-            stage_cost = self.cloud.meter.since(cost_marker).total_usd
-            detail = artifact if isinstance(artifact, dict) else {}
-            self.tracker.stage_finished(
-                spec.name,
-                sim.now,
-                stage_cost,
-                detail={k: v for k, v in detail.items() if isinstance(v, (int, float, str))},
-            )
-            artifacts[spec.name] = artifact
+                stage_cost = self.cloud.meter.since(cost_marker).total_usd
+                detail = artifact if isinstance(artifact, dict) else {}
+                self.tracker.stage_finished(
+                    spec.name,
+                    sim.now,
+                    stage_cost,
+                    detail={k: v for k, v in detail.items() if isinstance(v, (int, float, str))},
+                )
+                artifacts[spec.name] = artifact
         return WorkflowResult(
             name=self.dag.name,
             makespan_s=sim.now - started_at,

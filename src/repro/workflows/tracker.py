@@ -5,6 +5,15 @@ time, which displays the workflow progress and breaks the cost down at
 each stage".  This is the headless equivalent: the engine feeds the
 tracker stage events; the tracker renders progress tables and exposes
 the same numbers programmatically.
+
+Dollars come from the :class:`~repro.cloud.billing.CostMeter` when the
+engine hands one over: the engine tags every line it records with
+``stage=<name>``, so :meth:`JobTracker.cost_breakdown` reads
+``meter.total_by_tag("stage")`` instead of trusting the snapshot-delta
+captured at stage exit.  The two disagree exactly when a substrate
+bills after the stage popped its tag (a relay fleet terminating on a
+later stage's clock): the tag travels with the line, the snapshot
+window does not.
 """
 
 from __future__ import annotations
@@ -31,12 +40,28 @@ class StageReport:
             return None
         return self.finished_at - self.started_at
 
+    @property
+    def drift(self) -> float | None:
+        """Actual over predicted seconds for sort stages (None otherwise).
+
+        1.0 is a perfect prediction; the S11 SLO gate allows a factor
+        of two either way.
+        """
+        predicted = self.detail.get("predicted_s")
+        actual = self.detail.get("actual_s")
+        if not predicted or actual is None:
+            return None
+        return actual / predicted
+
 
 class JobTracker:
     """Collects stage progress and renders it for humans."""
 
-    def __init__(self, workflow_name: str):
+    def __init__(self, workflow_name: str, meter=None):
         self.workflow_name = workflow_name
+        #: Optional :class:`~repro.cloud.billing.CostMeter` whose
+        #: ``stage``-tagged lines are the authoritative dollars.
+        self.meter = meter
         self.reports: dict[str, StageReport] = {}
         self._order: list[str] = []
         self.log: list[str] = []
@@ -83,33 +108,44 @@ class JobTracker:
     # ------------------------------------------------------------------
     @property
     def total_cost_usd(self) -> float:
-        return sum(report.cost_usd for report in self.reports.values())
+        return sum(self.cost_breakdown().values())
 
     @property
     def done(self) -> bool:
         return all(report.status == "done" for report in self.reports.values())
 
     def cost_breakdown(self) -> dict[str, float]:
-        """Stage name → dollars, in execution order."""
+        """Stage name → dollars, in execution order.
+
+        Tag-attributed off the meter when one is attached (charges
+        landing after stage exit — terminate-time instance lines —
+        still reach their stage); the stage-exit snapshot deltas
+        otherwise.
+        """
+        if self.meter is not None:
+            by_tag = self.meter.total_by_tag("stage")
+            return {name: by_tag.get(name, 0.0) for name in self._order}
         return {name: self.reports[name].cost_usd for name in self._order}
 
     def render(self) -> str:
-        """Progress table, one row per stage."""
+        """Progress table: one row per stage, drift on sort stages."""
+        costs = self.cost_breakdown()
         rows = [
             f"Workflow: {self.workflow_name}",
             f"{'stage':<22} {'kind':<18} {'status':<8} "
-            f"{'duration':>10} {'cost ($)':>12}",
-            "-" * 74,
+            f"{'duration':>10} {'cost ($)':>12} {'drift':>7}",
+            "-" * 82,
         ]
         for name in self._order:
             report = self.reports[name]
             duration = (
                 f"{report.duration_s:.2f}s" if report.duration_s is not None else "-"
             )
+            drift = f"{report.drift:.2f}x" if report.drift is not None else "-"
             rows.append(
                 f"{report.name:<22} {report.kind:<18} {report.status:<8} "
-                f"{duration:>10} {report.cost_usd:>12.6f}"
+                f"{duration:>10} {costs[name]:>12.6f} {drift:>7}"
             )
-        rows.append("-" * 74)
+        rows.append("-" * 82)
         rows.append(f"{'TOTAL':<50} {self.total_cost_usd:>23.6f}")
         return "\n".join(rows)

@@ -254,9 +254,12 @@ class TestExchangeReportFields:
         assert flat["mode"] == "staged"
 
     def test_extras_never_shadow_the_common_fields(self):
+        # Shadowing used to be silently dropped in as_dict(); it is now
+        # rejected at construction so the attribute passthrough and the
+        # flattened dict can never disagree.
         backend = ObjectStoreExchange()
-        report = backend.report(4, None, 2.5, extra={"overlap_s": 99.0})
-        assert report.as_dict()["overlap_s"] == 0.0
+        with pytest.raises(ValueError, match="shadow"):
+            backend.report(4, None, 2.5, extra={"overlap_s": 99.0})
 
     def test_streaming_backend_reports_streaming_mode(self):
         backend = StreamingObjectStoreExchange()

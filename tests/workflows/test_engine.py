@@ -176,6 +176,54 @@ class TestTracker:
         engine.execute()
         assert engine.tracker.done
 
+    def test_breakdown_reads_stage_tags_off_the_meter(self, cloud):
+        dag = WorkflowDag(
+            "metered",
+            [
+                StageSpec("free", "test_noop"),
+                StageSpec("paid", "test_paid", after=("free",)),
+            ],
+        )
+        engine = WorkflowEngine(cloud, dag)
+        engine.execute()
+        tracker = engine.tracker
+        assert tracker.meter is cloud.meter
+        by_tag = cloud.meter.total_by_tag("stage")
+        assert tracker.cost_breakdown() == {
+            "free": by_tag.get("free", 0.0),
+            "paid": by_tag.get("paid", 0.0),
+        }
+        # A charge recorded after the stage exited but still carrying
+        # the stage tag (terminate-time billing) reaches its stage.
+        cloud.meter.push_tag("stage", "paid")
+        cloud.meter.charge(cloud.sim.now, "vm", "instance_hour", 1.0, 0.25)
+        cloud.meter.pop_tag("stage")
+        assert engine.tracker.cost_breakdown()["paid"] == pytest.approx(0.75)
+        assert engine.tracker.total_cost_usd == pytest.approx(0.75)
+
+    def test_render_shows_prediction_drift_for_sort_stages(self):
+        from repro.workflows.tracker import JobTracker
+
+        tracker = JobTracker("drifty")
+        tracker.stage_registered("ingest", "test_noop")
+        tracker.stage_registered("sort", "test_noop")
+        tracker.stage_started("ingest", 0.0)
+        tracker.stage_finished("ingest", 1.0, 0.0)
+        tracker.stage_started("sort", 1.0)
+        tracker.stage_finished(
+            "sort", 14.0, 0.1,
+            detail={"predicted_s": 10.0, "actual_s": 13.0},
+        )
+        assert tracker.reports["sort"].drift == pytest.approx(1.3)
+        assert tracker.reports["ingest"].drift is None
+        rendered = tracker.render()
+        sort_row = next(l for l in rendered.splitlines() if l.startswith("sort"))
+        ingest_row = next(
+            l for l in rendered.splitlines() if l.startswith("ingest")
+        )
+        assert "1.30x" in sort_row
+        assert ingest_row.rstrip().endswith("-")
+
 
 class TestRenderer:
     def test_render_dag_shows_all_stages(self):

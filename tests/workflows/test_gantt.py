@@ -187,7 +187,9 @@ class TestWorkflowGantt:
         )
         run = run_pipeline(config, PURE_SERVERLESS, cloud=cloud)
         text = workflow_gantt(run.workflow.tracker, cloud.sim.timeline)
-        assert "[sort]" in text
+        # Every sort stage now reports its substrate (PR 9), so even the
+        # pinned pure-serverless sort names where the exchange ran.
+        assert "[sort→objectstore]" in text
         assert "[encode]" in text
         assert "#" in text
         assert "Workflow timeline: purely-serverless" in text

@@ -8,14 +8,14 @@ PYTEST := PYTHONPATH=$(PYTHONPATH) python -m pytest
 #: `make test-faults CHAOS_SEEDS=1,2,3,4`.
 CHAOS_SEEDS ?= 13,2021,77
 
-.PHONY: test test-faults test-skew test-service test-obs collect bench bench-exchange bench-streaming bench-skew bench-online bench-service bench-kernels bench-obs verify
+.PHONY: test test-faults test-skew test-service test-obs test-cas collect bench bench-exchange bench-streaming bench-skew bench-online bench-service bench-kernels bench-obs bench-cas verify
 
 # Tier-1 suite (must stay green).  Runs the chaos suite first with the
 # pinned seed matrix, then the skew suite, then the multi-tenant
-# service suite, then the observability suite, then everything (which
-# collects them again under their in-repo defaults — identical by
-# default).
-test: test-faults test-skew test-service test-obs
+# service suite, then the observability suite, then the
+# content-addressing suite, then everything (which collects them again
+# under their in-repo defaults — identical by default).
+test: test-faults test-skew test-service test-obs test-cas
 	$(PYTEST) -x -q
 
 # Chaos suite alone: crash-injected shuffles on all four exchange
@@ -54,6 +54,16 @@ test-service:
 # (Perfetto JSON, Prometheus text), metrics registry and SLO gates.
 test-obs:
 	$(PYTEST) -x -q tests/obs
+
+# Content-addressing suite alone: the CAS hash core + stable
+# serialization, per-substrate dedup at byte parity (including the
+# dedup-vs-LRU-eviction restore race), hash-chained run manifests with
+# tamper detection, the warm-run lineage cache, and the shared
+# output_digest helper the sweeps report.
+test-cas:
+	$(PYTEST) -x -q \
+		tests/shuffle/test_cas.py \
+		tests/experiments/test_output_digest.py
 
 # Collection-regression smoke: fails fast when test modules collide or
 # an import breaks, without running anything.
@@ -119,5 +129,14 @@ bench-kernels:
 # Prometheus snapshot).
 bench-obs:
 	$(PYTEST) benchmarks/bench_obs.py -q
+
+# Content-addressing bench only: regenerates the S16 results
+# (benchmarks/results/s16_cas.txt dedup matrix, s16_lineage.txt and the
+# s16_run_manifest.json replay artifact) — cold vs warm sorts on every
+# substrate x mode with dedup-at-byte-parity assertions, the >=10x
+# lineage-cache win in dollars and latency, and replay-verify
+# PASS/tamper-FAIL gates.
+bench-cas:
+	$(PYTEST) benchmarks/bench_cas.py -q
 
 verify: collect test

@@ -1,0 +1,128 @@
+"""Content-addressed hashing core (CAS).
+
+Every exchange artifact in this repo is byte-deterministic across all
+four substrates and both execution modes — an invariant the parity
+matrices assert on every PR.  This module turns that invariant into a
+primitive the rest of the stack can *spend*: a stable content hash for
+raw chunk bytes and for structured metadata, plus the process-wide
+``REPRO_CAS`` gate the dedup/lineage/replay features hang off.
+
+It deliberately has **zero** intra-repo imports so the storage, cache
+and relay services can all use it without cycles.  The object store's
+existing ``compute_etag`` (md5, the S3-compatible ETag) stays the
+*transport* checksum on :class:`~repro.cloud.objectstore.service.ObjectMetadata`;
+the CAS layer adds sha256 as the *content address* — the two coexist
+exactly as they do on real object stores.
+
+Determinism contract: everything here is pure interpreter-side hashing
+of real bytes.  No simulation events, no RNG, no clock reads — safe to
+call from inside client ops without perturbing timelines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import typing as t
+
+
+def cas_enabled() -> bool:
+    """Whether content addressing is on (default **on**).
+
+    ``REPRO_CAS=0/false/no/off`` falls back to the legacy path — no
+    dedup, no lineage cache, no run manifests — at byte parity (the
+    gate only ever changes *timing and billing*, never artifact bytes).
+    """
+    return os.environ.get("REPRO_CAS", "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+def sha256_hex(data: bytes) -> str:
+    """Content address of raw bytes (64 hex chars)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def stable_serialize(obj: t.Any) -> bytes:
+    """Canonical byte encoding of plain nested data.
+
+    Unambiguous by construction — every value is tagged and
+    length-prefixed, so ``["ab", "c"]`` and ``["a", "bc"]`` (or a str
+    and the identically-spelled bytes) can never serialize to the same
+    byte string.  Dict entries are sorted by their encoded key.  The
+    repo's serializer (cloudpickle) is *not* hash-stable across runs,
+    which is why the CAS layer carries its own encoding.
+
+    Supported types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, ``list``/``tuple``, ``dict``.  Anything else raises
+    ``TypeError`` — silent ``repr`` coercion could smuggle memory
+    addresses into a supposedly stable hash.
+    """
+    out = bytearray()
+    _encode(obj, out)
+    return bytes(out)
+
+
+def _encode(obj: t.Any, out: bytearray) -> None:
+    if obj is None:
+        out += b"n;"
+    elif isinstance(obj, bool):
+        out += b"b1;" if obj else b"b0;"
+    elif isinstance(obj, int):
+        body = repr(obj).encode("ascii")
+        out += b"i%d:" % len(body) + body
+    elif isinstance(obj, float):
+        body = repr(obj).encode("ascii")
+        out += b"f%d:" % len(body) + body
+    elif isinstance(obj, str):
+        body = obj.encode("utf-8")
+        out += b"s%d:" % len(body) + body
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        body = bytes(obj)
+        out += b"y%d:" % len(body) + body
+    elif isinstance(obj, (list, tuple)):
+        out += b"l%d:" % len(obj)
+        for item in obj:
+            _encode(item, out)
+        out += b";"
+    elif isinstance(obj, dict):
+        encoded: list[tuple[bytes, t.Any]] = []
+        for key, value in obj.items():
+            key_out = bytearray()
+            _encode(key, key_out)
+            encoded.append((bytes(key_out), value))
+        encoded.sort(key=lambda pair: pair[0])
+        out += b"d%d:" % len(encoded)
+        for key_bytes, value in encoded:
+            out += key_bytes
+            _encode(value, out)
+        out += b";"
+    else:
+        raise TypeError(
+            f"stable_serialize cannot encode {type(obj).__name__!r}; "
+            "coerce to plain data first"
+        )
+
+
+def content_hash(obj: t.Any) -> str:
+    """sha256 of the stable serialization (64 hex chars)."""
+    return sha256_hex(stable_serialize(obj))
+
+
+def output_digest(cloud: t.Any, result: t.Any, *, full: bool = False) -> str:
+    """sha256-over-runs digest of a sort's output artifact.
+
+    The one byte-parity fingerprint every sweep and bench compares:
+    the sorted runs' real bytes, peeked free of charge in partition
+    order.  ``full`` returns all 64 hex chars (the speculation sweep
+    compares whole digests); the default is the 16-char prefix the
+    sweep tables print.
+    """
+    digest = hashlib.sha256()
+    for run in result.runs:
+        digest.update(cloud.store.peek(run.bucket, run.key))
+    text = digest.hexdigest()
+    return text if full else text[:16]

@@ -220,6 +220,7 @@ class FaasPlatform:
         payload: object = None,
         parent_span=None,
         span_track: str | None = None,
+        link_spans: t.Sequence[object] = (),
     ) -> ActivationHandle:
         """Invoke ``name`` and return a cancellable activation handle.
 
@@ -231,7 +232,9 @@ class FaasPlatform:
         ``parent_span``/``span_track`` thread the caller's trace context
         so the attempt's span (see :mod:`repro.obs.trace`) parents under
         the submitting wave and renders on the caller-chosen Perfetto
-        track.
+        track.  ``link_spans`` names sibling attempt spans of the same
+        speculative race; the new attempt's span and each sibling link
+        to each other so the trace exposes the racing pair.
         """
         definition = self.function(name)
         activation_id = f"act-{next(self._activation_ids)}"
@@ -240,7 +243,7 @@ class FaasPlatform:
         process = self.sim.process(
             self._activation(
                 definition, payload, activation_id, cancel_event,
-                parent_span, span_track,
+                parent_span, span_track, link_spans,
             ),
             name=f"{self.name}.{name}.{activation_id}",
         )
@@ -271,6 +274,7 @@ class FaasPlatform:
         cancel_event: SimEvent,
         parent_span=None,
         span_track: str | None = None,
+        link_spans: t.Sequence[object] = (),
     ) -> t.Generator:
         self.stats.invocations += 1
         span = None
@@ -329,6 +333,10 @@ class FaasPlatform:
                 )
                 self.sim.tracer.bind_attempt(activation_id, span)
                 context.bind_span(span)
+                for sibling in link_spans:
+                    if getattr(sibling, "recording", False):
+                        span.add_link(sibling.span_id)
+                        sibling.add_link(span.span_id)
             body = self.sim.process(
                 definition.handler(context, payload),
                 name=f"{definition.name}.body.{activation_id}",

@@ -30,10 +30,15 @@ from repro.sim import FairShareLink, KeyedWatch, SimEvent, Simulator, TokenBucke
 
 @dataclasses.dataclass(slots=True)
 class _Entry:
-    """One stored value: real payload plus its logical size."""
+    """One stored value: real payload plus its logical size.
+
+    ``sha`` is the value's content address when the write was
+    dedup-eligible; it keys the node's refcounted content index.
+    """
 
     data: bytes
     logical: float
+    sha: str | None = None
 
 
 class CacheNodeStats:
@@ -51,6 +56,13 @@ class CacheNodeStats:
         self.rendezvous_waits = 0
         self.bytes_in = 0.0  # logical bytes written
         self.bytes_out = 0.0  # logical bytes read
+        #: Writes whose value was already resident (content dedup) and
+        #: therefore skipped the wire transfer.
+        self.dedup_hits = 0
+        #: Dedup'd writes whose referent was evicted between the
+        #: residency check and the store — transparently re-sent.
+        self.dedup_restores = 0
+        self.dedup_bytes = 0.0  # logical wire bytes dedup skipped
 
     def as_dict(self) -> dict[str, float]:
         return dict(vars(self))
@@ -98,12 +110,30 @@ class CacheNode:
         #: bytes each in a run-scoped simulation) — correctness over
         #: memory here.
         self._evicted_keys: set[str] = set()
+        #: Refcounted content index: sha256 → number of resident
+        #: entries holding those bytes.  Identical values are counted,
+        #: not re-stored on the wire; eviction and deletion decrement,
+        #: so residency here always mirrors ``_entries`` exactly.
+        self._content: collections.Counter[str] = collections.Counter()
         self.stats = CacheNodeStats()
+
+    def _content_drop(self, entry: _Entry) -> None:
+        if entry.sha is None:
+            return
+        remaining = self._content[entry.sha] - 1
+        if remaining > 0:
+            self._content[entry.sha] = remaining
+        else:
+            del self._content[entry.sha]
+
+    def content_resident(self, sha: str) -> bool:
+        """Whether any resident entry holds bytes with this address."""
+        return self._content.get(sha, 0) > 0
 
     # ------------------------------------------------------------------
     # bookkeeping (synchronous; the service layer pays latency/bandwidth)
     # ------------------------------------------------------------------
-    def store(self, key: str, data: bytes, logical: float) -> int:
+    def store(self, key: str, data: bytes, logical: float, sha: str | None = None) -> int:
         """Insert or replace ``key``; returns how many keys were evicted.
 
         Raises :class:`CacheOutOfMemory` when the value cannot fit — a
@@ -115,6 +145,7 @@ class CacheNode:
         previous = self._entries.pop(key, None)
         if previous is not None:
             self.used_logical -= previous.logical
+            self._content_drop(previous)
 
         evicted = 0
         while self.used_logical + logical > self.capacity_bytes:
@@ -124,6 +155,8 @@ class CacheNode:
                 if previous is not None:
                     self._entries[key] = previous
                     self.used_logical += previous.logical
+                    if previous.sha is not None:
+                        self._content[previous.sha] += 1
                 self.stats.oom_errors += 1
                 raise CacheOutOfMemory(
                     self.node_id, self.used_logical + logical, self.capacity_bytes
@@ -133,8 +166,11 @@ class CacheNode:
             self.used_logical -= victim.logical
             evicted += 1
             self._evicted_keys.add(victim_key)
+            self._content_drop(victim)
 
-        self._entries[key] = _Entry(bytes(data), logical)
+        self._entries[key] = _Entry(bytes(data), logical, sha)
+        if sha is not None:
+            self._content[sha] += 1
         self._evicted_keys.discard(key)
         self.used_logical += logical
         self.stats.sets += 1
@@ -185,6 +221,7 @@ class CacheNode:
         if entry is None:
             return False
         self.used_logical -= entry.logical
+        self._content_drop(entry)
         return True
 
     def contains(self, key: str) -> bool:

@@ -30,6 +30,7 @@ import itertools
 import typing as t
 import zlib
 
+from repro.cas import cas_enabled, sha256_hex
 from repro.cloud.billing import CostMeter
 from repro.cloud.memstore.errors import (
     CacheKeyMissing,
@@ -41,6 +42,7 @@ from repro.cloud.memstore.errors import (
 from repro.cloud.memstore.node import CacheNode
 from repro.cloud.profiles import CacheNodeType, MemStoreProfile
 from repro.errors import SimulationError
+from repro.obs.metrics import registry
 from repro.obs.trace import NOOP_SPAN
 from repro.sim import SimEvent, Simulator
 
@@ -182,6 +184,9 @@ class MemStoreCluster:
             )
             for index in range(nodes)
         ]
+        #: Append-only ``(key, sha256, logical)`` log of dedup-eligible
+        #: pipelined writes, for run-manifest construction.
+        self.cas_log: list[tuple[str, str, float]] = []
 
     # ------------------------------------------------------------------
     def ensure_running(self) -> None:
@@ -248,6 +253,10 @@ class MemStoreCluster:
             for field, value in node.stats.as_dict().items():
                 totals[field] = totals.get(field, 0.0) + value
         return totals
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        """Dedup-eligible writes whose key starts with ``prefix``."""
+        return [entry for entry in self.cas_log if entry[0].startswith(prefix)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -522,7 +531,9 @@ class CacheClient:
             yield self.sim.timeout(
                 self._profile.write_latency.sample(self._service._rng_write)
             )
-            logicals = []
+            cas = cas_enabled()
+            logicals: list[float] = []
+            shas: list[str | None] = []
             for position, _key in members:
                 _item_key, data = items[position]
                 logicals.append(
@@ -530,12 +541,40 @@ class CacheClient:
                     if logical_sizes is not None
                     else self._logical(data, None)
                 )
-            total_logical = sum(logicals)
-            if total_logical > 0:
-                yield node.link.transfer(total_logical, self._flow_cap(streams))
-            for (position, key), logical in zip(members, logicals):
+                shas.append(sha256_hex(data) if cas and data else None)
+            # Content dedup: values already resident on this shard ride
+            # as references — only novel bytes cross the wire.
+            deduped = [
+                sha is not None and node.content_resident(sha) for sha in shas
+            ]
+            wire_logical = sum(
+                logical for logical, skip in zip(logicals, deduped) if not skip
+            )
+            if wire_logical > 0:
+                yield node.link.transfer(wire_logical, self._flow_cap(streams))
+            for (position, key), logical, sha, was_dedup in zip(
+                members, logicals, shas, deduped
+            ):
                 _item_key, data = items[position]
-                node.store(key, data, logical)
+                if was_dedup and not node.content_resident(sha):
+                    # The referent was LRU-evicted (tombstoned in
+                    # ``_evicted_keys``) after the residency check —
+                    # transparently re-send the bytes instead of
+                    # surfacing a missing-content failure.
+                    node.stats.dedup_restores += 1
+                    if logical > 0:
+                        yield node.link.transfer(logical, self._flow_cap(streams))
+                    was_dedup = False
+                node.store(key, data, logical, sha)
+                if was_dedup:
+                    node.stats.dedup_hits += 1
+                    node.stats.dedup_bytes += logical
+                    registry().counter(
+                        "repro_dedup_bytes_total",
+                        "Wire bytes saved by content-addressed dedup",
+                    ).inc(logical, substrate="cache")
+                if sha is not None:
+                    self.cluster.cas_log.append((key, sha, logical))
 
         writers = [
             self.sim.process(

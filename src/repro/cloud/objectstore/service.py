@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import typing as t
 
+from repro.cas import cas_enabled, sha256_hex
 from repro.cloud.billing import CostMeter
 from repro.cloud.objectstore.blobs import (
     MultipartUpload,
@@ -46,6 +47,7 @@ from repro.cloud.objectstore.errors import (
     SlowDown,
 )
 from repro.cloud.profiles import GB, ObjectStoreProfile
+from repro.obs.metrics import registry
 from repro.sim import FairShareLink, SimEvent, Simulator, TokenBucket
 
 
@@ -62,6 +64,8 @@ class OpStats:
         self.internal_errors = 0
         self.bytes_in = 0.0  # logical bytes written
         self.bytes_out = 0.0  # logical bytes read
+        self.dedup_ops = 0  # PUTs short-circuited by content dedup
+        self.dedup_bytes = 0.0  # logical wire bytes those PUTs skipped
 
     @property
     def total_requests(self) -> int:
@@ -78,6 +82,8 @@ class OpStats:
             "internal_errors": self.internal_errors,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "dedup_ops": self.dedup_ops,
+            "dedup_bytes": self.dedup_bytes,
         }
 
 
@@ -117,6 +123,13 @@ class ObjectStore:
         self._uploads: dict[str, MultipartUpload] = {}
         self._upload_ids = itertools.count(1)
         self.stats = OpStats()
+        # Content addressing: (bucket, sha256) → last key that stored
+        # those bytes, plus an append-only log of dedup-eligible PUTs
+        # for run-manifest construction.  Hits are validated by byte
+        # equality, so stale or colliding index entries can never
+        # silently alias different content.
+        self._cas_index: dict[tuple[str, str], str] = {}
+        self.cas_log: list[tuple[str, str, float]] = []
         # Storage-volume billing: integral of logical bytes over time.
         self._stored_logical = 0.0
         self._volume_updated_at = sim.now
@@ -154,10 +167,20 @@ class ObjectStore:
         data: bytes,
         logical_size: float | None = None,
         connection_bandwidth: float | None = None,
+        dedup: bool = False,
     ) -> SimEvent:
-        """Store ``data`` under ``bucket/key``; event → :class:`ObjectMetadata`."""
+        """Store ``data`` under ``bucket/key``; event → :class:`ObjectMetadata`.
+
+        ``dedup=True`` opts this PUT into content addressing: when
+        byte-identical content is already resident in the bucket the
+        payload transfer is skipped and the request bills as a cheap
+        HEAD-shaped round trip (class B).  The object is still stored
+        under ``key`` with full residency semantics either way.
+        """
         return self._spawn(
-            self._put_op(bucket, key, data, logical_size, connection_bandwidth),
+            self._put_op(
+                bucket, key, data, logical_size, connection_bandwidth, dedup
+            ),
             f"put:{key}",
         )
 
@@ -242,13 +265,32 @@ class ObjectStore:
         data: bytes,
         logical_size: float | None,
         connection_bandwidth: float | None,
+        dedup: bool = False,
     ) -> t.Generator:
         objects = self._bucket(bucket)
+        sha: str | None = None
+        hit = False
+        if dedup and data and cas_enabled():
+            sha = sha256_hex(data)
+            existing_key = self._cas_index.get((bucket, sha))
+            if existing_key is not None:
+                existing = objects.get(existing_key)
+                # Byte-equality guard: a deleted/overwritten referent or
+                # a hash collision degrades to a normal PUT, never an
+                # alias to different content.
+                hit = existing is not None and existing.data == data
         yield from self._admit("put")
-        yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
         logical = self._logical(len(data), logical_size)
-        if logical > 0:
-            yield self._aggregate.transfer(logical, self._flow_cap(connection_bandwidth))
+        if hit:
+            # Content already resident: the request is a metadata round
+            # trip (read latency, class B) with no payload transfer.
+            yield self.sim.timeout(self.profile.read_latency.sample(self._rng_read))
+        else:
+            yield self.sim.timeout(self.profile.write_latency.sample(self._rng_write))
+            if logical > 0:
+                yield self._aggregate.transfer(
+                    logical, self._flow_cap(connection_bandwidth)
+                )
         meta = ObjectMetadata(
             bucket=bucket,
             key=key,
@@ -264,11 +306,34 @@ class ObjectStore:
         objects[key] = StoredObject(bytes(data), meta)
         self._stored_logical += logical
         self.stats.puts += 1
-        self.stats.bytes_in += logical
-        self._charge_request("class_a_request", self.profile.class_a_price_usd)
-        self.sim.timeline.record(
-            self.sim.now, "storage", "put", bucket=bucket, key=key, logical=logical
-        )
+        if hit:
+            self.stats.dedup_ops += 1
+            self.stats.dedup_bytes += logical
+            registry().counter(
+                "repro_dedup_bytes_total",
+                "Wire bytes saved by content-addressed dedup",
+            ).inc(logical, substrate="objectstore")
+            self._charge_request("class_b_request", self.profile.class_b_price_usd)
+        else:
+            self.stats.bytes_in += logical
+            self._charge_request("class_a_request", self.profile.class_a_price_usd)
+        if sha is not None:
+            self._cas_index[(bucket, sha)] = key
+            self.cas_log.append((key, sha, logical))
+        if hit:
+            self.sim.timeline.record(
+                self.sim.now,
+                "storage",
+                "put",
+                bucket=bucket,
+                key=key,
+                logical=logical,
+                dedup=True,
+            )
+        else:
+            self.sim.timeline.record(
+                self.sim.now, "storage", "put", bucket=bucket, key=key, logical=logical
+            )
         return meta
 
     def _get_op(
@@ -466,3 +531,11 @@ class ObjectStore:
         if stored is None:
             raise NoSuchKey(bucket, key)
         return stored.data
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        """Dedup-eligible PUTs whose key starts with ``prefix``.
+
+        ``(key, sha256, logical)`` in commit order; run-manifest
+        builders filter by their sort's output prefix.
+        """
+        return [entry for entry in self.cas_log if entry[0].startswith(prefix)]

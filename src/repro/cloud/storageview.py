@@ -79,7 +79,12 @@ class BoundStorage:
 
     # -- data plane ----------------------------------------------------
     def put(
-        self, bucket: str, key: str, data: bytes, logical_size: float | None = None
+        self,
+        bucket: str,
+        key: str,
+        data: bytes,
+        logical_size: float | None = None,
+        dedup: bool = False,
     ) -> SimEvent:
         if self.span.recording:
             self.span.event(
@@ -93,6 +98,7 @@ class BoundStorage:
                 data,
                 logical_size=logical_size,
                 connection_bandwidth=self.connection_bandwidth,
+                dedup=dedup,
             ),
             f"put:{key}",
         )

@@ -202,6 +202,17 @@ class RelayFleet:
                 setattr(total, field, getattr(total, field) + value)
         return total
 
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        """Dedup-eligible committed pushes across all shards.
+
+        Sorted by key so the fleet's view is deterministic regardless of
+        shard enumeration order.
+        """
+        merged: list[tuple[str, str, float]] = []
+        for shard in self.shards:
+            merged.extend(shard.cas_entries(prefix))
+        return sorted(merged)
+
     def reset_peak(self) -> None:
         for shard in self.shards:
             shard.reset_peak()

@@ -56,6 +56,7 @@ import collections
 import dataclasses
 import typing as t
 
+from repro.cas import cas_enabled, sha256_hex
 from repro.cloud.vm.errors import (
     RelayAttemptFenced,
     RelayCapacityExceeded,
@@ -71,10 +72,15 @@ from repro.sim import FairShareLink, KeyedWatch, SimEvent, TokenBucket
 
 @dataclasses.dataclass(slots=True)
 class _Entry:
-    """One resident partition: real payload plus its logical size."""
+    """One resident partition: real payload plus its logical size.
+
+    ``sha`` is the partition's content address when the push was
+    dedup-eligible; it keys the relay's refcounted content index.
+    """
 
     data: bytes
     logical: float
+    sha: str | None = None
 
 
 #: Lifecycle of a push reservation.  ``waiting`` → queued for memory;
@@ -155,6 +161,10 @@ class RelayStats:
         self.bytes_in = 0.0  # logical bytes pushed (stored)
         self.bytes_out = 0.0  # logical bytes served to pullers
         self.reclaimed_bytes = 0.0  # logical bytes reclaimed from dead attempts
+        #: MPUSH items that rode as content-key references because the
+        #: rendezvous already held byte-identical data.
+        self.dedup_hits = 0
+        self.dedup_bytes = 0.0  # logical wire bytes those references skipped
 
     def as_dict(self) -> dict[str, float]:
         return dict(vars(self))
@@ -198,6 +208,15 @@ class PartitionRelay:
         self._attempt_scopes: dict[str, str] = {}
         self._scope_attempts: dict[str, set[str]] = {}
         self._fenced_scopes: set[str] = set()
+        #: Refcounted content index: sha256 → resident entries holding
+        #: those bytes.  Only affects *wire* accounting (an MPUSH of
+        #: resident content transfers a reference, not the payload);
+        #: reservation and memory byte math stay exact, so the chaos
+        #: suites' residual/accounting invariants are untouched.
+        self._content: collections.Counter[str] = collections.Counter()
+        #: Append-only ``(key, sha256, logical)`` log of dedup-eligible
+        #: committed pushes, for run-manifest construction.
+        self.cas_log: list[tuple[str, str, float]] = []
         #: Open peak-tracking epochs: token → max ``used_logical`` seen
         #: since the epoch began (concurrent jobs each get their own).
         self._peak_epochs: dict[int, float] = {}
@@ -290,6 +309,7 @@ class PartitionRelay:
             lambda _key: VmNotRunning(self.vm.vm_id, self.vm.state)
         )
         self._entries.clear()
+        self._content.clear()
         self._waiters.clear()
         self._pending_swaps.clear()
         self._attempt_consume_leases.clear()
@@ -525,11 +545,29 @@ class PartitionRelay:
             self._waiters.append(reservation)
         return reservation
 
+    def _content_drop(self, entry: _Entry) -> None:
+        if entry.sha is None:
+            return
+        remaining = self._content[entry.sha] - 1
+        if remaining > 0:
+            self._content[entry.sha] = remaining
+        else:
+            del self._content[entry.sha]
+
+    def content_resident(self, sha: str) -> bool:
+        """Whether any resident entry holds bytes with this address."""
+        return self._content.get(sha, 0) > 0
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        """Dedup-eligible committed pushes whose key starts with ``prefix``."""
+        return [entry for entry in self.cas_log if entry[0].startswith(prefix)]
+
     def _commit_push(
         self,
         reservation: _PushReservation,
         items: t.Sequence[tuple[str, bytes]],
         logicals: t.Sequence[float],
+        shas: t.Sequence[str | None] | None = None,
     ) -> None:
         """Atomically swap the pushed entries in and settle the books.
 
@@ -546,18 +584,24 @@ class PartitionRelay:
             # without a process interrupt): the memory is already
             # reclaimed, the data must not land.
             raise RelayAttemptFenced(self.relay_id, reservation.attempt or "?")
-        resident: dict[str, tuple[bytes, float]] = {}
-        for (key, data), logical in zip(items, logicals):
-            resident[key] = (data, logical)  # duplicate keys: last wins
+        if shas is None:
+            shas = [None] * len(items)
+        resident: dict[str, tuple[bytes, float, str | None]] = {}
+        for (key, data), logical, sha in zip(items, logicals, shas):
+            resident[key] = (data, logical, sha)  # duplicate keys: last wins
         actual_old = 0.0
         for key in resident:
             previous = self._entries.pop(key, None)
             if previous is not None:
                 actual_old += previous.logical
-        for key, (data, logical) in resident.items():
-            self._entries[key] = _Entry(bytes(data), logical)
+                self._content_drop(previous)
+        for key, (data, logical, sha) in resident.items():
+            self._entries[key] = _Entry(bytes(data), logical, sha)
+            if sha is not None:
+                self._content[sha] += 1
+                self.cas_log.append((key, sha, logical))
         reservation.state = _COMMITTED
-        resident_total = sum(logical for _data, logical in resident.values())
+        resident_total = sum(logical for _data, logical, _sha in resident.values())
         delta = reservation.extra + reservation.absorbed + actual_old - resident_total
         self._unregister(reservation)
         self.stats.pushes += len(items)
@@ -689,6 +733,7 @@ class PartitionRelay:
     def _consume_entry(self, key: str) -> None:
         removed = self._entries.pop(key, None)
         if removed is not None:
+            self._content_drop(removed)
             release = self._entry_removed(key, removed.logical)
             if release > 0:
                 self._release(release)
@@ -715,6 +760,7 @@ class PartitionRelay:
         self.stats.deletes += 1
         if entry is None:
             return False
+        self._content_drop(entry)
         release = self._entry_removed(key, entry.logical)
         if release > 0:
             self._release(release)
@@ -1009,14 +1055,52 @@ class RelayClient:
                 [key for key, _data in items], resident_total, self.attempt_id
             )
             yield reservation.admission_event
+            # Content dedup (wire only): items whose bytes the rendezvous
+            # already holds ride as content-key references; reservation
+            # and commit byte math stay exact either way.
+            cas = cas_enabled()
+            shas: list[str | None] = [
+                sha256_hex(data) if cas and data else None for _key, data in items
+            ]
+            referenced = [
+                index
+                for index, sha in enumerate(shas)
+                if sha is not None and self.relay.content_resident(sha)
+            ]
+            skipped = sum(logicals[index] for index in referenced)
             total = sum(logicals)
-            if total > 0:
-                transfer = self._transfer(total)
+            if total - skipped > 0:
+                transfer = self._transfer(total - skipped)
                 reservation.transfer_event = transfer
                 yield transfer
                 reservation.transfer_event = None
                 transfer = None
-            self.relay._commit_push(reservation, items, logicals)
+            if referenced:
+                # Referents may have been consumed while the rest of the
+                # batch drained — re-send those payloads transparently.
+                saved = 0.0
+                missing = 0.0
+                hits = 0
+                for index in referenced:
+                    if self.relay.content_resident(t.cast(str, shas[index])):
+                        saved += logicals[index]
+                        hits += 1
+                    else:
+                        missing += logicals[index]
+                if missing > 0:
+                    transfer = self._transfer(missing)
+                    reservation.transfer_event = transfer
+                    yield transfer
+                    reservation.transfer_event = None
+                    transfer = None
+                if hits:
+                    self.relay.stats.dedup_hits += hits
+                    self.relay.stats.dedup_bytes += saved
+                    metrics_registry().counter(
+                        "repro_dedup_bytes_total",
+                        "Wire bytes saved by content-addressed dedup",
+                    ).inc(saved, substrate="relay")
+            self.relay._commit_push(reservation, items, logicals, shas)
             reservation = None
             if batched:
                 self.sim.timeline.record(

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import typing as t
 
+from repro.cas import cas_enabled
 from repro.core.calibration import WorkloadParams
 from repro.errors import WorkflowError
 from repro.executor.executor import FunctionExecutor
@@ -63,6 +64,11 @@ from repro.cloud.vm.fleet import fleet_ready, provision_fleet
 from repro.cloud.vm.relay import provision_relay, relay_ready
 from repro.shuffle.adaptive import choose_exchange_substrate
 from repro.shuffle.cacheoperator import CacheShuffleSort
+from repro.shuffle.content import (
+    LineageCache,
+    lineage_cache_for,
+    lineage_outputs_present,
+)
 from repro.shuffle.cacheplanner import required_cache_nodes
 from repro.shuffle.online import OnlineShuffleSort
 from repro.shuffle.operator import ShuffleSort
@@ -575,6 +581,66 @@ def streaming_sort(context: StageContext, inputs: dict) -> t.Generator:
     }
 
 
+# ----------------------------------------------------------------------
+# warm-run lineage cache (adaptive sorts)
+# ----------------------------------------------------------------------
+def _plan_value(value: t.Any) -> t.Any:
+    """Coerce a stage param into the canonical hash encoding's domain."""
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plan_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plan_value(item) for key, item in value.items()}
+    return repr(value)
+
+
+def _lineage_lookup(context: StageContext, upstream: dict) -> t.Generator:
+    """HEAD the input and look up (input, plan) in the lineage cache.
+
+    The fingerprint covers the input's identity (etag + logical size)
+    and the stage's *plan* — its full param dict — but deliberately not
+    the stage name: two differently-named stages sorting the same input
+    the same way are the same computation, and a hit returns the prior
+    output manifest without provisioning anything.  Priced at exactly
+    the one HEAD (control-plane cost); a hit whose outputs were deleted
+    or overwritten degrades to a miss.
+
+    Returns ``(fingerprint, artifact-or-None)``.
+    """
+    store = context.cloud.store
+    meta = yield store.head(upstream["bucket"], upstream["key"])
+    fingerprint = LineageCache.fingerprint(
+        {
+            "bucket": upstream["bucket"],
+            "key": upstream["key"],
+            "etag": meta.etag,
+            "logical_size": meta.logical_size,
+        },
+        {name: _plan_value(value) for name, value in context.params.items()},
+    )
+    cache = lineage_cache_for(store)
+    entry = cache.get(fingerprint)
+    if entry is not None and lineage_outputs_present(store, entry.artifact):
+        entry.hits += 1
+        artifact = dict(entry.artifact)
+        artifact["lineage"] = "hit"
+        artifact["lineage_hits"] = entry.hits
+        return fingerprint, artifact
+    return fingerprint, None
+
+
+def _lineage_store(
+    context: StageContext, fingerprint: str | None, artifact: dict
+) -> None:
+    """Record a cold sort's artifact under its lineage fingerprint."""
+    if fingerprint is None:
+        return
+    artifact["lineage"] = "miss"
+    artifact["lineage_key"] = fingerprint[:16]
+    lineage_cache_for(context.cloud.store).put(fingerprint, artifact)
+
+
 #: Substrate name → stage kind executing that substrate's sort.
 _AUTO_SORT_DISPATCH: dict[str, str] = {
     "objectstore": "shuffle_sort",
@@ -617,6 +683,11 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
         impl = stage_kind("online_sort")
         return (yield from impl(context, inputs))
     upstream = _single_input(inputs, context.spec.name)
+    lineage_key = None
+    if cas_enabled():
+        lineage_key, cached = yield from _lineage_lookup(context, upstream)
+        if cached is not None:
+            return cached
     substrates = context.param("substrates")
     modes = context.param("modes")
     stream_chunk_mb = float(context.param("stream_chunk_mb", 32.0))
@@ -677,6 +748,7 @@ def auto_sort(context: StageContext, inputs: dict) -> t.Generator:
         substrate_timeline=[decision.describe()],
         substrate_switches=0,
     )
+    _lineage_store(context, lineage_key, artifact)
     return artifact
 
 
@@ -704,6 +776,11 @@ def online_sort(context: StageContext, inputs: dict) -> t.Generator:
     ``substrate_switches`` and ``chunk_reroutes``.
     """
     upstream = _single_input(inputs, context.spec.name)
+    lineage_key = None
+    if cas_enabled():
+        lineage_key, cached = yield from _lineage_lookup(context, upstream)
+        if cached is not None:
+            return cached
     memory_mb = int(context.param("memory_mb", 2048))
     executor = _function_executor(context, memory_mb)
     workload = _workload(context)
@@ -745,7 +822,7 @@ def online_sort(context: StageContext, inputs: dict) -> t.Generator:
     report = operator.report
     timeline = operator.timeline
     final = timeline.final.decision.chosen
-    return {
+    artifact = {
         "runs": [
             {
                 "bucket": run.bucket,
@@ -776,6 +853,8 @@ def online_sort(context: StageContext, inputs: dict) -> t.Generator:
         "buffer_backpressure_waits": report.buffer_backpressure_waits,
         "stream_chunks": report.stream_chunks,
     }
+    _lineage_store(context, lineage_key, artifact)
+    return artifact
 
 
 def vm_sort(context: StageContext, inputs: dict) -> t.Generator:

@@ -343,6 +343,7 @@ class FunctionExecutor:
         handle: "AttemptHandle | None" = None,
         span=None,
         track: str | None = None,
+        link_spans: t.Sequence[object] = (),
     ) -> t.Generator:
         """Invoke once, re-invoking on infrastructure failures only.
 
@@ -364,7 +365,11 @@ class FunctionExecutor:
             if handle is not None and handle.cancel_requested:
                 raise FunctionCancelled(self._runtime_name, "attempt cancelled")
             activation = self.cloud.faas.launch(
-                self._runtime_name, payload, parent_span=span, span_track=track
+                self._runtime_name,
+                payload,
+                parent_span=span,
+                span_track=track,
+                link_spans=link_spans,
             )
             if handle is not None:
                 handle.activation_id = activation.activation_id

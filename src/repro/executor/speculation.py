@@ -160,14 +160,20 @@ class JobSpeculator:
     # ------------------------------------------------------------------
     # attempt plumbing
     # ------------------------------------------------------------------
-    def _launch_attempt(self, call_id: int) -> None:
+    def _launch_attempt(
+        self, call_id: int, link_spans: t.Sequence[object] = ()
+    ) -> None:
         self._outstanding[call_id] += 1
         handle = AttemptHandle(self.executor)
         self._attempts[call_id].append(handle)
         span, track = self._spans[call_id]
         attempt = self.sim.process(
             self.executor._invoke_with_retries(
-                self._payloads[call_id], handle, span=span, track=track
+                self._payloads[call_id],
+                handle,
+                span=span,
+                track=track,
+                link_spans=link_spans,
             ),
             name=f"speculate.attempt.{call_id}",
         ).completion
@@ -248,4 +254,15 @@ class JobSpeculator:
             call_id=call_id,
             job=self._payloads[call_id].get("status_key", ""),
         )
-        self._launch_attempt(call_id)
+        # Hand the backup its live siblings' attempt spans so the trace
+        # carries bidirectional links between the racing attempts (a
+        # sibling still queueing has no span yet — links are best-effort).
+        siblings = []
+        tracer = self.sim.tracer
+        for handle in self._attempts[call_id]:
+            if handle.activation_id is None:
+                continue
+            sibling = tracer.attempt_span(handle.activation_id)
+            if sibling is not None:
+                siblings.append(sibling)
+        self._launch_attempt(call_id, link_spans=siblings)

@@ -99,6 +99,14 @@ def main(argv: list[str] | None = None) -> int:
         "metrics", help="export one run's metrics registry as Prometheus text"
     )
     metrics_parser.add_argument("--out", default="s8_metrics.txt")
+    replay_parser = sub.add_parser(
+        "replay-verify",
+        help="re-derive a RunManifest's hash chain offline and PASS/FAIL it",
+    )
+    replay_parser.add_argument(
+        "--manifest", required=True,
+        help="path to a RunManifest JSON file (e.g. the S16 artifact)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -216,6 +224,16 @@ def main(argv: list[str] | None = None) -> int:
             f"(latency {summary['latency_s']:.2f}s, "
             f"${summary['cost_usd']:.6f}); open at ui.perfetto.dev"
         )
+    elif args.command == "replay-verify":
+        from repro.shuffle.content import verify_manifest_file
+
+        problems = verify_manifest_file(args.manifest)
+        if problems:
+            print(f"FAIL: {args.manifest}")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"PASS: {args.manifest} (hash chain verified)")
     elif args.command == "metrics":
         from repro.obs.cli import export_metrics
 

@@ -11,9 +11,9 @@ data-exchange comparison against the in-memory cache alternative.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import typing as t
 
+from repro.cas import output_digest
 from repro.cloud.environment import Cloud
 from repro.core.calibration import ExperimentConfig
 from repro.core.experiment import run_pipeline, stage_input
@@ -333,9 +333,6 @@ def sweep_exchange(
             result = cloud.sim.run_process(driver())
             if provisioned is not None:
                 provisioned.terminate()
-            digest = hashlib.sha256()
-            for run in result.runs:
-                digest.update(cloud.store.peek(run.bucket, run.key))
             rows.append(
                 {
                     "workers": workers,
@@ -344,7 +341,7 @@ def sweep_exchange(
                     "sort_cost_usd": cloud.meter.since(marker).total_usd,
                     "provisioned_usd": operator.report.provisioned_usd,
                     "storage_requests": cloud.store.stats.total_requests,
-                    "output_digest": digest.hexdigest()[:16],
+                    "output_digest": output_digest(cloud, result),
                     "_report": operator.report.describe(),
                     "_predicted_s": operator.report.predicted_s,
                 }
@@ -416,9 +413,6 @@ def sweep_relay_shards(
         report = operator.report
         if strategy == "sharded-relay":
             backpressure = report.backpressure_waits
-        digest = hashlib.sha256()
-        for run in result.runs:
-            digest.update(cloud.store.peek(run.bucket, run.key))
         return {
             "strategy": strategy,
             "shards": shards,
@@ -428,7 +422,7 @@ def sweep_relay_shards(
             "provisioned_usd": report.provisioned_usd,
             "backpressure_waits": backpressure,
             "residual_bytes": residual,
-            "output_digest": digest.hexdigest()[:16],
+            "output_digest": output_digest(cloud, result),
         }
 
     rows.append(run_one("objectstore", 0))
@@ -499,9 +493,6 @@ def sweep_streaming(
                 residual = provisioned.residual_reservation_bytes()
             provisioned.terminate()
         report = operator.report
-        digest = hashlib.sha256()
-        for run in result.runs:
-            digest.update(cloud.store.peek(run.bucket, run.key))
         return {
             "strategy": strategy,
             "mode": mode,
@@ -516,7 +507,7 @@ def sweep_streaming(
             "sort_cost_usd": cloud.meter.since(marker).total_usd,
             "provisioned_usd": report.provisioned_usd,
             "residual_bytes": residual,
-            "output_digest": digest.hexdigest()[:16],
+            "output_digest": output_digest(cloud, result),
         }
 
     for strategy in strategies:
@@ -640,9 +631,6 @@ def sweep_skew(
                     skew=report.partition_skew,
                 ).total_s
                 fleet.terminate()
-            digest = hashlib.sha256()
-            for run in result.runs:
-                digest.update(cloud.store.peek(run.bucket, run.key))
             return {
                 "distribution": distribution,
                 "strategy": strategy,
@@ -656,7 +644,7 @@ def sweep_skew(
                 "hot_shard_share": hot_share,
                 "sort_cost_usd": cloud.meter.since(marker).total_usd,
                 "residual_bytes": residual,
-                "output_digest": digest.hexdigest()[:16],
+                "output_digest": output_digest(cloud, result),
             }
 
         rows.append(run_one("objectstore", "-"))
@@ -733,10 +721,7 @@ def sweep_exchange_faults(
                 )
 
             result = cloud.sim.run_process(driver())
-            digest = hashlib.sha256()
-            for run in result.runs:
-                digest.update(cloud.store.peek(run.bucket, run.key))
-            digest = digest.hexdigest()[:16]
+            digest = output_digest(cloud, result)
             if baseline_digest is None:
                 baseline_digest = digest
             # Self-healing must be lossless on every substrate.
@@ -807,10 +792,7 @@ def sweep_exchange_speculation(
                 )
 
             result = cloud.sim.run_process(driver())
-            digest = hashlib.sha256()
-            for run in result.runs:
-                digest.update(cloud.store.peek(run.bucket, run.key))
-            digests.add(digest.hexdigest())
+            digests.add(output_digest(cloud, result, full=True))
             rows.append(
                 {
                     "strategy": strategy,
@@ -1173,9 +1155,6 @@ def sweep_online(
         if provisioned is not None:
             provisioned.terminate()
         report = operator.report
-        digest = hashlib.sha256()
-        for run in result.runs:
-            digest.update(cloud.store.peek(run.bucket, run.key))
         score = (
             result.duration_s * time_value / 3600.0 + report.provisioned_usd
         )
@@ -1190,7 +1169,7 @@ def sweep_online(
             "switches": 0,
             "reroutes": 0,
             "peak_fill": 0.0,
-            "output_digest": digest.hexdigest()[:16],
+            "output_digest": output_digest(cloud, result),
         }
         if strategy == "online":
             row["switches"] = operator.timeline.switches
@@ -1419,12 +1398,6 @@ def sweep_service(
         for job in jobs:
             stage_input(cloud, job["config"], "pipeline", job["key"])
 
-    def digest_of(cloud: Cloud, result) -> str:
-        digest = hashlib.sha256()
-        for run in result.runs:
-            digest.update(cloud.store.peek(run.bucket, run.key))
-        return digest.hexdigest()[:16]
-
     rows: list[dict] = []
 
     def blank_row(**overrides) -> dict:
@@ -1561,7 +1534,7 @@ def sweep_service(
         outcomes[job["job"]] = {
             "wait_s": boot_done - job["arrival_s"],
             "latency_s": cloud.sim.now - job["arrival_s"],
-            "output_digest": digest_of(cloud, result),
+            "output_digest": output_digest(cloud, result),
         }
 
     def perjob_driver():

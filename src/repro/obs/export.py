@@ -43,9 +43,19 @@ def _clean(attrs: dict[str, t.Any]) -> dict[str, t.Any]:
 
 
 def chrome_trace_events(
-    tracer: Tracer, timeline: t.Any | None = None
+    tracer: Tracer,
+    timeline: t.Any | None = None,
+    decision_timeline: t.Any | None = None,
 ) -> list[dict[str, t.Any]]:
-    """Chrome trace-event list for a tracer (and optional sim Timeline)."""
+    """Chrome trace-event list for a tracer (and optional sim Timeline).
+
+    ``decision_timeline`` accepts a
+    :class:`~repro.shuffle.adaptive.DecisionTimeline`; each decision
+    point becomes a counter event (``ph: "C"``) on a ``decisions``
+    track, so Perfetto renders the planner's monetized score, predicted
+    latency, worker count, and cumulative switch count as step series
+    over the run.
+    """
     events: list[dict[str, t.Any]] = []
     tracks: dict[str, int] = {}
 
@@ -73,6 +83,8 @@ def chrome_trace_events(
         args["trace_id"] = span.trace_id
         if span.parent_id is not None:
             args["parent_id"] = span.parent_id
+        if span.links:
+            args["links"] = ",".join(span.links)
         args["status"] = span.status
         end_s = span.end_s
         if end_s is None:
@@ -122,13 +134,41 @@ def chrome_trace_events(
                 }
             )
 
+    if decision_timeline is not None:
+        thread = tid("decisions")
+        switches = 0
+        for point in getattr(decision_timeline, "points", ()):
+            if point.switched:
+                switches += 1
+            chosen = point.decision.chosen
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": 1,
+                    "tid": thread,
+                    "name": "substrate_decision",
+                    "cat": "decision",
+                    "ts": round(point.at_s * _US, 3),
+                    "args": {
+                        "score_usd": chosen.score_usd,
+                        "predicted_s": chosen.predicted_s,
+                        "workers": chosen.workers,
+                        "switches": switches,
+                    },
+                }
+            )
+
     return events
 
 
-def chrome_trace_json(tracer: Tracer, timeline: t.Any | None = None) -> str:
+def chrome_trace_json(
+    tracer: Tracer,
+    timeline: t.Any | None = None,
+    decision_timeline: t.Any | None = None,
+) -> str:
     """Serialized Chrome trace (the string Perfetto opens)."""
     payload = {
-        "traceEvents": chrome_trace_events(tracer, timeline),
+        "traceEvents": chrome_trace_events(tracer, timeline, decision_timeline),
         "displayTimeUnit": "ms",
         "otherData": {"clock": "sim-seconds", "source": "repro.obs"},
     }
@@ -136,10 +176,13 @@ def chrome_trace_json(tracer: Tracer, timeline: t.Any | None = None) -> str:
 
 
 def write_chrome_trace(
-    path: str, tracer: Tracer, timeline: t.Any | None = None
+    path: str,
+    tracer: Tracer,
+    timeline: t.Any | None = None,
+    decision_timeline: t.Any | None = None,
 ) -> str:
     """Write the Perfetto-loadable trace file; returns the path."""
-    text = chrome_trace_json(tracer, timeline)
+    text = chrome_trace_json(tracer, timeline, decision_timeline)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return path

@@ -67,6 +67,9 @@ class _NoopSpan:
     def event_at(self, at_s: float, name: str, **attrs) -> None:
         return None
 
+    def add_link(self, span_id: str) -> None:
+        return None
+
     def end(self, status: str | None = None) -> None:
         return None
 
@@ -106,6 +109,7 @@ class Span:
         "status",
         "attributes",
         "events",
+        "links",
         "wall_s",
         "_wall_start",
     )
@@ -134,6 +138,7 @@ class Span:
         self.status = "unset"
         self.attributes = attributes
         self.events: list[tuple[float, str, dict[str, t.Any]]] = []
+        self.links: list[str] = []
         self.wall_s = 0.0
         self._wall_start = time.perf_counter()
 
@@ -164,6 +169,16 @@ class Span:
                 f"event {name!r} on ended span {self.name!r} ({self.span_id})"
             )
         self.events.append((at_s, name, attrs))
+
+    def add_link(self, span_id: str) -> None:
+        """Causal link to a sibling span (speculative attempt pairing).
+
+        Links are directed span-id references outside the parent/child
+        tree — e.g. a backup attempt linking to the primary it races.
+        Self-links and duplicates are dropped.
+        """
+        if span_id and span_id != self.span_id and span_id not in self.links:
+            self.links.append(span_id)
 
     def end(self, status: str | None = None) -> None:
         """Close the span exactly once.

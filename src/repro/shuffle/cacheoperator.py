@@ -118,7 +118,15 @@ class CacheExchange(ExchangeBackend):
             "cache_sets": int(totals["sets"] - baseline.get("sets", 0)),
             "cache_gets": int(totals["gets"] - baseline.get("gets", 0)),
             "evictions": int(totals["evictions"] - baseline.get("evictions", 0)),
+            "dedup_hits": int(totals["dedup_hits"] - baseline.get("dedup_hits", 0)),
+            "dedup_restores": int(
+                totals["dedup_restores"] - baseline.get("dedup_restores", 0)
+            ),
+            "dedup_bytes": totals["dedup_bytes"] - baseline.get("dedup_bytes", 0.0),
         }
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        return self.cluster.cas_entries(prefix)
 
 
 class CacheShuffleSort(ShuffleSort):

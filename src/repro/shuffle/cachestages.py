@@ -93,7 +93,9 @@ def cache_shuffle_reducer(ctx, task: dict) -> t.Generator:
     buffer = b"".join(segments)
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
     outcome = kernels.sort_buffer(codec, buffer)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
+    yield ctx.storage.put(
+        task["out_bucket"], task["output_key"], outcome.output, dedup=True
+    )
     return {
         "records": outcome.records,
         "bytes": len(outcome.output),

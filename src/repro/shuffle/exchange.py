@@ -198,6 +198,21 @@ class ExchangeBackend(abc.ABC):
 
     cost: t.Any
 
+    def bind_executor(self, executor: t.Any) -> None:
+        """Hook at operator construction, giving the backend a handle on
+        the driving executor (and through it the simulated cloud).  The
+        object-storage substrate uses it to read the store's dedup
+        counters into its report; the default is a no-op."""
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        """Content-address log of this sort's exchange chunks under
+        ``prefix`` — ``(key, sha256, logical_bytes)`` triples, one per
+        dedup-eligible commit — feeding the verifiable
+        :class:`~repro.shuffle.content.RunManifest`.  Backends without a
+        content log contribute an empty chunk section (the manifest
+        chain still covers inputs, decisions and outputs)."""
+        return []
+
     def begin_sort(self, out_bucket: str, out_prefix: str) -> None:
         """Hook at sort start, before ``validate``, once the operator has
         resolved the output namespace.  Backends that scope shared-
@@ -317,6 +332,34 @@ class ObjectStoreExchange(ExchangeBackend):
 
     def __init__(self, cost: ShuffleCostModel | None = None):
         self.cost = cost if cost is not None else ShuffleCostModel()
+        self._store = None
+        self._dedup_baseline = (0, 0.0)
+
+    def bind_executor(self, executor: t.Any) -> None:
+        self._store = executor.cloud.store
+
+    def validate(self, logical_size: float) -> None:
+        # Per-sort bookkeeping: dedup counters are reported as deltas
+        # over the sort, so a reused operator doesn't double-count.
+        if self._store is not None:
+            self._dedup_baseline = (
+                self._store.stats.dedup_ops,
+                self._store.stats.dedup_bytes,
+            )
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        if self._store is None:
+            return []
+        return self._store.cas_entries(prefix)
+
+    def extra_report(self) -> dict[str, t.Any]:
+        if self._store is None:
+            return {}
+        base_ops, base_bytes = self._dedup_baseline
+        return {
+            "dedup_ops": self._store.stats.dedup_ops - base_ops,
+            "dedup_bytes": self._store.stats.dedup_bytes - base_bytes,
+        }
 
     def plan(
         self, logical_size: float, profile: CloudProfile, max_workers: int

@@ -48,6 +48,7 @@ import dataclasses
 import math
 import typing as t
 
+from repro.cas import cas_enabled, sha256_hex
 from repro.cloud.objectstore.errors import NoSuchKey
 from repro.cloud.vm.fleet import fleet_ready
 from repro.cloud.vm.relay import relay_ready
@@ -62,8 +63,9 @@ from repro.shuffle.adaptive import (
     fit_stream_profiles,
 )
 from repro.shuffle.cacheplanner import CacheShuffleCostModel
+from repro.shuffle.content import build_run_manifest
 from repro.shuffle.exchange import ExchangeReport, ObjectStoreExchange
-from repro.shuffle.operator import ShuffleResult, ShuffleSort, _split
+from repro.shuffle.operator import ShuffleResult, ShuffleSort, _jsonable, _split
 from repro.shuffle.planner import ShuffleCostModel
 from repro.shuffle.records import RecordCodec
 from repro.shuffle.relay import (
@@ -299,7 +301,9 @@ def online_stream_reducer(ctx, task: dict) -> t.Generator:
         for chunk_index in range(chunk_counts[mapper_id])
     )
     outcome = kernels.sort_buffer(codec, payload)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
+    yield ctx.storage.put(
+        task["out_bucket"], task["output_key"], outcome.output, dedup=True
+    )
     return {
         "records": outcome.records,
         "bytes": len(outcome.output),
@@ -331,6 +335,15 @@ class _Stint:
     started_at: float = 0.0
     ended_at: float | None = None
     peak_fill: float = 0.0
+    #: Content log ``(key, sha256, logical)`` of the chunks this stint's
+    #: substrate committed, captured just before it is torn down (a
+    #: terminated relay/cluster takes its in-memory log with it).
+    cas_entries: list[tuple[str, str, float]] = dataclasses.field(
+        default_factory=list
+    )
+    #: Wire bytes this stint's substrate saved through content dedup
+    #: (fresh instance per stint, so lifetime totals are per-stint).
+    dedup_bytes: float = 0.0
 
     def billed_usd(self, now: float) -> float:
         end = self.ended_at if self.ended_at is not None else now
@@ -346,6 +359,18 @@ class _Stint:
             return
         if hasattr(self.provisioned, "peak_fill_fraction"):
             self.peak_fill = self.provisioned.peak_fill_fraction
+        if hasattr(self.provisioned, "cas_entries"):
+            self.cas_entries = self.provisioned.cas_entries(
+                self.descriptor["prefix"]
+            )
+        if hasattr(self.provisioned, "stats_totals"):
+            self.dedup_bytes = self.provisioned.stats_totals().get(
+                "dedup_bytes", 0.0
+            )
+        elif hasattr(self.provisioned, "stats"):
+            self.dedup_bytes = self.provisioned.stats.as_dict().get(
+                "dedup_bytes", 0.0
+            )
         if self.fleet:
             self.provisioned.terminate()
         elif self.provisioned.state == "running":
@@ -654,6 +679,7 @@ class OnlineShuffleSort(ShuffleSort):
         scale = total_logical / real_size if real_size else 1.0
         self.timeline = DecisionTimeline()
         self.chunk_reroutes = 0
+        cos_dedup_baseline = self.executor.cloud.store.stats.dedup_bytes
 
         # --- initial selection (fixes the grid's reducer count R) -----
         decision = self._decide(
@@ -1010,6 +1036,44 @@ class OnlineShuffleSort(ShuffleSort):
         )
         provisioned_usd = sum(s.billed_usd(self.sim.now) for s in stints)
         final = self.timeline.final.decision.chosen
+        store = self.executor.cloud.store
+        dedup_bytes = (
+            store.stats.dedup_bytes - cos_dedup_baseline
+            + sum(s.dedup_bytes for s in stints)
+        )
+        if cas_enabled():
+            # Stints own their substrate instances (terminated above, so
+            # their content logs were captured at release); the COS
+            # stints' chunk objects live in the shared store's log.
+            chunk_entries = list(store.cas_entries(f"{out_prefix}/stream"))
+            for s in stints:
+                chunk_entries.extend(s.cas_entries)
+            self.run_manifest = build_run_manifest(
+                inputs={
+                    "bucket": bucket,
+                    "key": key,
+                    "etag": meta.etag,
+                    "logical_size": meta.logical_size,
+                },
+                decision={
+                    "substrate": final.substrate,
+                    "mode": "online",
+                    "workers": reducers,
+                    "boundaries": [_jsonable(b) for b in boundaries],
+                },
+                chunks=chunk_entries,
+                outputs=[
+                    {
+                        "bucket": run.bucket,
+                        "key": run.key,
+                        "sha256": sha256_hex(store.peek(run.bucket, run.key)),
+                        "logical": float(run.size_bytes),
+                    }
+                    for run in runs
+                ],
+            )
+        else:
+            self.run_manifest = None
         self.report = ExchangeReport(
             substrate=final.substrate,
             workers=reducers,
@@ -1030,6 +1094,7 @@ class OnlineShuffleSort(ShuffleSort):
                 "decision_points": len(self.timeline),
                 "stream_chunks": stream_chunks,
                 "stints": len(stints),
+                "dedup_bytes": dedup_bytes,
                 "buffer_backpressure_waits": sum(
                     r["buffer_waits"] for r in reduce_results
                 ),

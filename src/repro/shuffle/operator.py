@@ -28,8 +28,10 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
+from repro.cas import cas_enabled, sha256_hex
 from repro.errors import ShuffleError
 from repro.shuffle import kernels
+from repro.shuffle.content import RunManifest, build_run_manifest
 from repro.shuffle.exchange import ExchangeBackend, ObjectStoreExchange
 from repro.shuffle.planner import ShuffleCostModel, ShufflePlan
 from repro.shuffle.records import RecordCodec
@@ -105,9 +107,14 @@ class ShuffleSort:
         self.codec = codec
         self.backend = backend if backend is not None else ObjectStoreExchange(cost)
         self.cost = self.backend.cost
+        self.backend.bind_executor(executor)
         #: Uniform :class:`~repro.shuffle.exchange.ExchangeReport` of the
         #: last sort (``None`` until a sort completed).
         self.report = None
+        #: Hash-chained :class:`~repro.shuffle.content.RunManifest` of
+        #: the last sort (``None`` until a sort completed, or when
+        #: content addressing is disabled via ``REPRO_CAS=off``).
+        self.run_manifest: RunManifest | None = None
         #: Sample-based per-partition logical-byte estimate of the last
         #: sort's load profile (set by the sampling pass; the skew
         #: signal behind load-aware fleet routing and the reports).
@@ -290,6 +297,55 @@ class ShuffleSort:
             self.sim.now, "shuffle", f"wave_{edge}", job=job, wave=wave
         )
 
+    def _build_manifest(
+        self,
+        bucket: str,
+        key: str,
+        meta: t.Any,
+        workers: int,
+        boundaries: t.Sequence[t.Any],
+        runs: t.Sequence[SortedRun],
+        out_prefix: str,
+    ) -> RunManifest | None:
+        """Hash-chain this sort into a verifiable :class:`RunManifest`.
+
+        Inputs (what was sorted) → decision (substrate/mode/workers/
+        boundaries) → chunks (the backend's content log of exchange
+        traffic under this sort's prefix) → outputs (the sorted runs,
+        re-hashed from the bytes actually at rest).  ``None`` when
+        content addressing is disabled (``REPRO_CAS=off``).
+        """
+        if not cas_enabled():
+            return None
+        store = self.executor.cloud.store
+        inputs = {
+            "bucket": bucket,
+            "key": key,
+            "etag": meta.etag,
+            "logical_size": meta.logical_size,
+        }
+        decision = {
+            "substrate": self.backend.name,
+            "mode": self.backend.mode,
+            "workers": workers,
+            "boundaries": [_jsonable(boundary) for boundary in boundaries],
+        }
+        outputs = [
+            {
+                "bucket": run.bucket,
+                "key": run.key,
+                "sha256": sha256_hex(store.peek(run.bucket, run.key)),
+                "logical": float(run.size_bytes),
+            }
+            for run in runs
+        ]
+        return build_run_manifest(
+            inputs=inputs,
+            decision=decision,
+            chunks=self.backend.cas_entries(out_prefix),
+            outputs=outputs,
+        )
+
     # ------------------------------------------------------------------
     def _sort(
         self,
@@ -364,6 +420,9 @@ class ShuffleSort:
             runs, total_records = self._collect_runs(
                 map_results, reduce_results, out_bucket
             )
+            self.run_manifest = self._build_manifest(
+                bucket, key, meta, workers, boundaries, runs, out_prefix
+            )
             self.report = self.backend.report(
                 workers,
                 plan,
@@ -384,6 +443,18 @@ class ShuffleSort:
                 total_records=total_records,
                 duration_s=self.sim.now - started_at,
             )
+
+
+def _jsonable(value: t.Any) -> t.Any:
+    """A JSON-safe, deterministic rendering of a boundary key.
+
+    Range boundaries may be bytes (binary codecs); the manifest must be
+    both hashable by :func:`repro.cas.content_hash` and serializable by
+    ``RunManifest.to_json``, so non-JSON types collapse to their repr.
+    """
+    if isinstance(value, (int, float, str)) or value is None:
+        return value
+    return repr(value)
 
 
 def _split(size: int, parts: int) -> list[tuple[int, int]]:

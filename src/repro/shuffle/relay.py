@@ -342,7 +342,9 @@ def relay_shuffle_reducer(ctx, task: dict) -> t.Generator:
     buffer = b"".join(segments)
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
     outcome = kernels.sort_buffer(codec, buffer)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
+    yield ctx.storage.put(
+        task["out_bucket"], task["output_key"], outcome.output, dedup=True
+    )
     return {
         "records": outcome.records,
         "bytes": len(outcome.output),
@@ -551,7 +553,14 @@ class RelayExchange(ExchangeBackend):
                 totals["backpressure_waits"]
                 - baseline.get("backpressure_waits", 0)
             ),
+            "dedup_hits": int(
+                totals["dedup_hits"] - baseline.get("dedup_hits", 0)
+            ),
+            "dedup_bytes": totals["dedup_bytes"] - baseline.get("dedup_bytes", 0.0),
         }
+
+    def cas_entries(self, prefix: str) -> list[tuple[str, str, float]]:
+        return self.relay.cas_entries(prefix)
 
 
 class RelayShuffleSort(ShuffleSort):

@@ -121,7 +121,9 @@ def shuffle_mapper(ctx, task: dict) -> t.Generator:
     if task.get("write_combining", True):
         # One object holding every partition segment — the vectorized
         # kernel's gathered buffer *is* this object (zero extra joins).
-        yield ctx.storage.put(task["out_bucket"], task["out_key"], outcome.combined)
+        yield ctx.storage.put(
+            task["out_bucket"], task["out_key"], outcome.combined, dedup=True
+        )
         return {
             "offsets": outcome.offsets,
             "records": outcome.records,
@@ -139,7 +141,7 @@ def shuffle_mapper(ctx, task: dict) -> t.Generator:
         partition_key = f"{task['out_key']}.p{reducer_id:05d}"
         partition_keys.append(partition_key)
         yield ctx.storage.put(
-            task["out_bucket"], partition_key, outcome.segment(reducer_id)
+            task["out_bucket"], partition_key, outcome.segment(reducer_id), dedup=True
         )
     return {
         "partition_keys": partition_keys,
@@ -203,7 +205,9 @@ def shuffle_reducer(ctx, task: dict) -> t.Generator:
     buffer = b"".join(chunks[index] for index in sorted(chunks))
     yield ctx.compute_bytes(len(buffer), task["sort_throughput"])
     outcome = kernels.sort_buffer(codec, buffer, task.get("record_limit"))
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
+    yield ctx.storage.put(
+        task["out_bucket"], task["output_key"], outcome.output, dedup=True
+    )
     return {
         "records": outcome.records,
         "bytes": len(outcome.output),

@@ -152,7 +152,7 @@ class _ObjectStorePort:
         # reducer can read points at a chunk object that already exists.
         yield self.ctx.storage.put(
             self.bucket, stream_chunk_object_key(self.prefix, mapper_id, chunk),
-            combined,
+            combined, dedup=True,
         )
         payload = serialize(offsets)
         # Manifests are control-plane metadata: charge their real size,
@@ -619,7 +619,9 @@ def streaming_shuffle_reducer(ctx, task: dict) -> t.Generator:
         segment for mapper_id in range(mappers) for segment in chunks[mapper_id]
     )
     outcome = kernels.sort_buffer(codec, payload)
-    yield ctx.storage.put(task["out_bucket"], task["output_key"], outcome.output)
+    yield ctx.storage.put(
+        task["out_bucket"], task["output_key"], outcome.output, dedup=True
+    )
     return {
         "records": outcome.records,
         "bytes": len(outcome.output),
@@ -929,6 +931,9 @@ class StreamingShuffleSort(ShuffleSort):
 
             runs, total_records = self._collect_runs(
                 map_results, reduce_results, out_bucket
+            )
+            self.run_manifest = self._build_manifest(
+                bucket, key, meta, workers, boundaries, runs, out_prefix
             )
             # Measured wave overlap from the workers' own execution windows
             # (each stage stamps its body start) — not from submission time,
